@@ -1,0 +1,106 @@
+// E16 — ablations over the design choices DESIGN.md calls out:
+//  (a) the in-batch order of ScheduleIndep (paper: "any arbitrary order");
+//  (b) the batch-completion barrier (strict CatBatch vs RelaxedCatBatch);
+//  (c) the scheduling substrate for comparison: list family, EASY
+//      backfilling, and the offline divide-and-conquer twin.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "core/bounds.hpp"
+#include "instances/examples.hpp"
+#include "instances/random_dags.hpp"
+#include "instances/workloads.hpp"
+#include "sched/backfill.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/divide_conquer.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/rank_scheduler.hpp"
+#include "sched/relaxed_catbatch.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "sim/validate.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+void run_instance(const std::string& label, const TaskGraph& g, int procs) {
+  std::cout << "\n" << label << " (" << g.size() << " tasks, P=" << procs
+            << ", Lb=" << format_number(makespan_lower_bound(g, procs), 3)
+            << ")\n";
+  TextTable table({"variant", "makespan", "T/Lb", "util"});
+  const Time lb = makespan_lower_bound(g, procs);
+
+  const auto row = [&](OnlineScheduler& sched) {
+    const SimResult r = simulate(g, sched, procs);
+    require_valid_schedule(g, r.schedule, procs);
+    table.add_row({sched.name(), format_number(r.makespan, 3),
+                   format_number(static_cast<double>(r.makespan / lb), 3),
+                   format_number(r.average_utilization(procs), 3)});
+  };
+
+  // (a) in-batch orders.
+  for (const BatchOrder order :
+       {BatchOrder::Arrival, BatchOrder::WidestFirst, BatchOrder::LongestFirst,
+        BatchOrder::ShortestFirst}) {
+    CatBatchOptions options;
+    options.batch_order = order;
+    CatBatchScheduler sched(options);
+    row(sched);
+  }
+  table.add_separator();
+
+  // (b) the barrier and the lattice anchor.
+  RelaxedCatBatch relaxed;
+  row(relaxed);
+  for (const Time shift : {0.5, 2.0}) {
+    CatBatchOptions options;
+    options.origin_shift = shift;
+    options.name_override =
+        "catbatch(shift=" + format_number(shift, 2) + ")";
+    CatBatchScheduler shifted(options);
+    row(shifted);
+  }
+  table.add_separator();
+
+  // (c) baselines.
+  ListScheduler fifo;
+  ListScheduler lpt(ListSchedulerOptions{ListPriority::LongestFirst, false});
+  EasyBackfill easy;
+  RankScheduler rank(g);
+  row(fifo);
+  row(lpt);
+  row(easy);
+  row(rank);
+  const DivideConquerResult dc = divide_conquer_schedule(g, procs);
+  require_valid_schedule(g, dc.schedule, procs);
+  table.add_row(
+      {"divide-conquer (offline)", format_number(dc.schedule.makespan(), 3),
+       format_number(static_cast<double>(dc.schedule.makespan() / lb), 3),
+       format_number(average_utilization(g, dc.schedule, procs), 3)});
+
+  std::cout << table.render();
+}
+
+}  // namespace
+
+int main() {
+  using namespace catbatch;
+  print_experiment_header(std::cout, "E16",
+                          "Ablations — in-batch order, barrier, baselines");
+
+  Rng rng(31337);
+  RandomTaskParams params;
+  params.procs.max_procs = 16;
+  run_instance("layered-200", random_layered_dag(rng, 200, 14, params), 16);
+  run_instance("cholesky-10", cholesky_dag(10), 16);
+  run_instance("intro-P32", make_intro_instance(32).graph, 32);
+
+  std::cout << "\nShape check: the in-batch order changes makespans only "
+               "marginally (Lemma 6 holds for any order); removing the "
+               "barrier helps on benign DAGs but forfeits the guarantee "
+               "(see the intro instance, where relaxed collapses to ASAP).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E1 — Figure 1: the introductory instance. Any ASAP heuristic pays
+// P(1+ε) while the optimum is 1+2Pε; CatBatch lands within O(log P) of the
+// optimum by deliberately delaying the decoy tasks.
+//
+// Regenerates the figure as a table over a sweep of P, with the measured
+// makespans of the ASAP family, CatBatch, and the explicit optimal schedule
+// (validated).
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "core/bounds.hpp"
+#include "core/lmatrix.hpp"
+#include "instances/examples.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+int main() {
+  using namespace catbatch;
+  print_experiment_header(std::cout, "E1",
+                          "Figure 1 — ASAP pathology vs optimal vs CatBatch");
+
+  TextTable table({"P", "n", "ASAP (any list)", "CatBatch", "Optimal",
+                   "ASAP/Opt", "CatBatch/Opt", "log2(n)+3"});
+  for (const int P : {4, 8, 16, 32, 64, 128, 256}) {
+    const IntroInstance intro = make_intro_instance(P);
+
+    ListScheduler asap;
+    const SimResult asap_run = simulate(intro.graph, asap, P);
+    require_valid_schedule(intro.graph, asap_run.schedule, P);
+
+    CatBatchScheduler cat;
+    const SimResult cat_run = simulate(intro.graph, cat, P);
+    require_valid_schedule(intro.graph, cat_run.schedule, P);
+
+    const Schedule opt = intro_optimal_schedule(intro);
+    require_valid_schedule(intro.graph, opt, P);
+    const Time opt_makespan = opt.makespan();
+
+    table.add_row(
+        {std::to_string(P), std::to_string(intro.graph.size()),
+         format_number(asap_run.makespan, 3),
+         format_number(cat_run.makespan, 3), format_number(opt_makespan, 3),
+         format_number(static_cast<double>(asap_run.makespan / opt_makespan),
+                       2),
+         format_number(static_cast<double>(cat_run.makespan / opt_makespan),
+                       2),
+         format_number(theorem1_bound(intro.graph.size()), 2)});
+  }
+  std::cout << table.render();
+  std::cout << "\nShape check (paper, Section 1): ASAP/Opt grows linearly in "
+               "P (≈ n/3); CatBatch/Opt stays logarithmic, under its "
+               "log2(n)+3 guarantee.\n";
+  return 0;
+}

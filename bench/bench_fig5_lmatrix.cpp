@@ -1,0 +1,53 @@
+// E4 — Figure 5: the L-matrix L(C) and the corresponding category values
+// for C = 6.8, printed exactly in the paper's row/column layout (rows are
+// power levels descending from χ = X, columns are odd longitudes).
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "core/lmatrix.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+int main() {
+  using namespace catbatch;
+  print_experiment_header(std::cout, "E4", "Figure 5 — L-matrix for C = 6.8");
+
+  const LMatrix L(6.8);
+  constexpr std::size_t kRows = 5;
+  constexpr std::size_t kCols = 8;
+
+  std::cout << "Left: lengths ℓ_{i,j} = L_ζ  (X = " << L.X() << ")\n";
+  {
+    TextTable table({"chi \\ lambda", "1", "3", "5", "7", "9", "11", "13",
+                     "15"});
+    for (std::size_t i = 1; i <= kRows; ++i) {
+      std::vector<std::string> row;
+      row.push_back(std::to_string(L.category_at(i, 1).power_level));
+      for (std::size_t j = 1; j <= kCols; ++j) {
+        row.push_back(format_number(L.at(i, j), 4));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << table.render();
+  }
+
+  std::cout << "\nRight: category values ζ = λ·2^χ\n";
+  {
+    TextTable table({"chi \\ lambda", "1", "3", "5", "7", "9", "11", "13",
+                     "15"});
+    for (std::size_t i = 1; i <= kRows; ++i) {
+      std::vector<std::string> row;
+      row.push_back(std::to_string(L.category_at(i, 1).power_level));
+      for (std::size_t j = 1; j <= kCols; ++j) {
+        row.push_back(format_number(L.category_at(i, j).value(), 4));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << table.render();
+  }
+
+  std::cout << "\nPaper reference (Figure 5, left): rows 6.8 | 4, 2.8 | "
+               "2, 2, 2 | 1 x6, 0.8 | 0.5 x8... — zeros mark categories with "
+               "ζ >= C.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E20 — cluster front-end scenario: a stream of workflow jobs arriving
+// over time, scheduled jointly. Reports per-scheduler makespan plus
+// per-job response-time statistics (mean / p95-ish max slowdown). Strict
+// CatBatch is excluded by design: its batch invariant (Corollary 2)
+// assumes the pure precedence model without arrivals; the category-
+// priority relaxation is its stream-safe counterpart.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "instances/job_stream.hpp"
+#include "sched/backfill.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/relaxed_catbatch.hpp"
+#include "sim/validate.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+int main() {
+  using namespace catbatch;
+  print_experiment_header(
+      std::cout, "E20",
+      "Job streams — workflow DAGs arriving over time (cluster scenario)");
+
+  const int P = 32;
+  for (const double interarrival : {2.0, 8.0, 32.0}) {
+    std::cout << "\nmean inter-arrival " << format_number(interarrival, 0)
+              << " (16 jobs, P=" << P << ")\n";
+    TextTable table({"scheduler", "makespan", "mean slowdown",
+                     "max slowdown", "mean response"});
+    RelaxedCatBatch relaxed;
+    ListScheduler fifo;
+    ListScheduler lpt(ListSchedulerOptions{ListPriority::LongestFirst,
+                                           false});
+    EasyBackfill easy;
+    OnlineScheduler* lineup[] = {&relaxed, &fifo, &lpt, &easy};
+    for (OnlineScheduler* sched : lineup) {
+      Rng rng(99);  // identical stream for every scheduler
+      JobStream stream = random_job_stream(rng, 16, interarrival, P);
+      const SimResult r = simulate(stream, *sched, P);
+      require_valid_schedule(stream.realized_graph(), r.schedule, P);
+      const auto jobs = per_job_metrics(stream, r, P);
+      double mean_slow = 0.0, max_slow = 0.0, mean_resp = 0.0;
+      for (const JobMetrics& m : jobs) {
+        mean_slow += m.slowdown;
+        max_slow = std::max(max_slow, m.slowdown);
+        mean_resp += static_cast<double>(m.response_time);
+      }
+      mean_slow /= static_cast<double>(jobs.size());
+      mean_resp /= static_cast<double>(jobs.size());
+      table.add_row({sched->name(), format_number(r.makespan, 2),
+                     format_number(mean_slow, 3),
+                     format_number(max_slow, 3),
+                     format_number(mean_resp, 2)});
+    }
+    std::cout << table.render();
+  }
+  std::cout << "\nShape check: slowdowns shrink as arrivals spread out "
+               "(less contention); the category-priority relaxation stays "
+               "competitive with the classic queueing policies on every "
+               "load level.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E10 — Lemma 6 and Section 2.3: scheduling a batch of independent rigid
+// tasks. Compares the greedy routine of Algorithm 2 with the shelf
+// algorithms NFDH and FFDH against the 2A/P + t_max bound and the area
+// lower bound.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "instances/random_dags.hpp"
+#include "sched/shelf.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+int main() {
+  using namespace catbatch;
+  print_experiment_header(
+      std::cout, "E10",
+      "Lemma 6 — independent rigid batches: greedy vs NFDH vs FFDH");
+
+  const int procs = 32;
+  TextTable table({"mix", "n", "Lb (area/cp)", "greedy", "nfdh", "ffdh",
+                   "2A/P + tmax", "greedy/Lb"});
+
+  struct Mix {
+    const char* name;
+    WorkDistribution::Law law;
+    ProcDistribution::Law procs_law;
+  };
+  const Mix mixes[] = {
+      {"narrow-uniform", WorkDistribution::Law::Uniform,
+       ProcDistribution::Law::MostlyNarrow},
+      {"narrow-heavytail", WorkDistribution::Law::BoundedPareto,
+       ProcDistribution::Law::MostlyNarrow},
+      {"wide-uniform", WorkDistribution::Law::Uniform,
+       ProcDistribution::Law::Uniform},
+      {"wide-heavytail", WorkDistribution::Law::BoundedPareto,
+       ProcDistribution::Law::Uniform},
+      {"pow2-loguniform", WorkDistribution::Law::LogUniform,
+       ProcDistribution::Law::PowerOfTwo},
+  };
+
+  for (const Mix& mix : mixes) {
+    RandomTaskParams params;
+    params.work.law = mix.law;
+    params.work.min_work = 0.25;
+    params.work.max_work = 32.0;
+    params.procs.law = mix.procs_law;
+    params.procs.max_procs = procs;
+
+    Rng rng(2025);
+    const std::size_t n = 400;
+    const TaskGraph g = random_independent(rng, n, params);
+    std::vector<Task> tasks;
+    tasks.reserve(g.size());
+    for (TaskId id = 0; id < g.size(); ++id) tasks.push_back(g.task(id));
+
+    const Time area = g.total_area();
+    const Time tmax = g.max_work();
+    const Time lb = std::max(area / procs, tmax);
+    const Time greedy = greedy_independent(tasks, procs).makespan();
+    const Time nfdh = pack_nfdh(tasks, procs).total_height;
+    const Time ffdh = pack_ffdh(tasks, procs).total_height;
+    const Time lemma6 = 2.0 * area / procs + tmax;
+
+    table.add_row({mix.name, std::to_string(n), format_number(lb, 2),
+                   format_number(greedy, 2), format_number(nfdh, 2),
+                   format_number(ffdh, 2), format_number(lemma6, 2),
+                   format_number(static_cast<double>(greedy / lb), 3)});
+  }
+  std::cout << table.render();
+  std::cout << "\nShape check: greedy <= 2A/P + tmax on every mix (Lemma 6); "
+               "FFDH <= NFDH; greedy typically beats both shelf algorithms "
+               "because it is not constrained to contiguous shelves "
+               "(Section 2.3's 2-approximation vs 2.7/3).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E15 — the paper's Section 7 future-work direction, made concrete: online
+// scheduling of *moldable* task graphs by local allotment + CatBatch. The
+// table sweeps allotment policies x schedulers over moldable instances and
+// reports makespans against the moldable lower bound.
+#include <iostream>
+#include <memory>
+
+#include "analysis/report.hpp"
+#include "moldable/allocation.hpp"
+#include "moldable/moldable_instances.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+int main() {
+  using namespace catbatch;
+  print_experiment_header(
+      std::cout, "E15",
+      "Moldable extension — local allotment x online scheduler");
+
+  const int P = 32;
+  const AllotmentPolicy policies[] = {
+      AllotmentPolicy::Sequential, AllotmentPolicy::MaxParallel,
+      AllotmentPolicy::MinTime, AllotmentPolicy::Efficiency50,
+      AllotmentPolicy::SquareRoot};
+
+  struct Instance {
+    std::string name;
+    MoldableGraph graph;
+  };
+  Rng rng(77);
+  MoldableTaskDistribution dist;
+  dist.max_procs = P;
+  Instance instances[] = {
+      {"random-layered-200", random_moldable_layered(rng, 200, 14, dist)},
+      {"moldable-cholesky-10", moldable_cholesky(10, P)},
+  };
+
+  for (const Instance& inst : instances) {
+    const Time lb = moldable_lower_bound(inst.graph, P);
+    std::cout << "\n" << inst.name << " (" << inst.graph.size()
+              << " tasks, P=" << P
+              << ", moldable Lb=" << format_number(lb, 3) << ")\n";
+    TextTable table({"allotment", "catbatch", "list-fifo",
+                     "catbatch/Lb", "list/Lb"});
+    for (const AllotmentPolicy policy : policies) {
+      const TaskGraph rigid = rigidify(inst.graph, P, policy);
+      CatBatchScheduler cat;
+      ListScheduler fifo;
+      const SimResult rc = simulate(rigid, cat, P);
+      const SimResult rl = simulate(rigid, fifo, P);
+      require_valid_schedule(rigid, rc.schedule, P);
+      require_valid_schedule(rigid, rl.schedule, P);
+      table.add_row(
+          {to_string(policy), format_number(rc.makespan, 3),
+           format_number(rl.makespan, 3),
+           format_number(static_cast<double>(rc.makespan / lb), 3),
+           format_number(static_cast<double>(rl.makespan / lb), 3)});
+    }
+    std::cout << table.render();
+  }
+
+  std::cout << "\nShape check: min-time / efficiency-50 allotments dominate "
+               "the extremes (sequential starves parallelism, max-parallel "
+               "wastes area) — the classic moldable trade-off [4, 24]; the "
+               "category machinery composes with any of them.\n";
+  return 0;
+}

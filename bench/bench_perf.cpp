@@ -1,0 +1,94 @@
+// E14 — engineering throughput: google-benchmark microbenchmarks for the
+// hot paths (category computation, criticality pass, engine event loop,
+// full CatBatch and list-scheduling simulations).
+#include <benchmark/benchmark.h>
+
+#include "core/category.hpp"
+#include "core/criticality.hpp"
+#include "instances/random_dags.hpp"
+#include "instances/workloads.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+TaskGraph benchmark_graph(std::size_t n) {
+  Rng rng(12345);
+  RandomTaskParams params;
+  params.procs.max_procs = 32;
+  return random_layered_dag(rng, n, std::max<std::size_t>(2, n / 16), params);
+}
+
+void BM_ComputeCategory(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Criticality> intervals;
+  for (int k = 0; k < 1024; ++k) {
+    const double s = static_cast<double>(rng.uniform_int(0, 1 << 20)) *
+                     0x1.0p-10;
+    const double t =
+        static_cast<double>(rng.uniform_int(1, 1 << 12)) * 0x1.0p-10;
+    intervals.push_back(Criticality{s, s + t});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_category(intervals[i]));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_ComputeCategory);
+
+void BM_CriticalityPass(benchmark::State& state) {
+  const TaskGraph g = benchmark_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_criticalities(g));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CriticalityPass)->Arg(1024)->Arg(16384);
+
+void BM_SimulateCatBatch(benchmark::State& state) {
+  const TaskGraph g = benchmark_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    CatBatchScheduler sched;
+    benchmark::DoNotOptimize(simulate(g, sched, 32).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateCatBatch)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_SimulateListFifo(benchmark::State& state) {
+  const TaskGraph g = benchmark_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ListScheduler sched;
+    benchmark::DoNotOptimize(simulate(g, sched, 32).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateListFifo)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_SimulateCholesky(benchmark::State& state) {
+  const TaskGraph g = cholesky_dag(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    CatBatchScheduler sched;
+    benchmark::DoNotOptimize(simulate(g, sched, 16).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_SimulateCholesky)->Arg(8)->Arg(16);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  Rng rng(7);
+  RandomTaskParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        random_layered_dag(rng, static_cast<std::size_t>(state.range(0)), 32,
+                           params));
+  }
+}
+BENCHMARK(BM_GraphConstruction)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,115 @@
+// E17 — Section 2.3's first online setting: independent rigid tasks with
+// release times, where greedy list scheduling is 2-competitive
+// (Naroska & Schwiegelshohn; also Johannes). We stream random task sets
+// with random releases through the engine and report the measured ratio
+// against the release-aware lower bound
+//     Lb_r = max(A/P, max_i (r_i + t_i)).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "instances/random_dags.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+class ReleaseStream final : public InstanceSource {
+ public:
+  ReleaseStream(std::uint64_t seed, std::size_t count, int max_procs,
+                double release_span)
+      : seed_(seed),
+        count_(count),
+        max_procs_(max_procs),
+        release_span_(release_span) {}
+
+  std::vector<SourceTask> start() override {
+    graph_ = TaskGraph{};
+    releases_.clear();
+    Rng rng(seed_);
+    RandomTaskParams params;
+    params.procs.max_procs = max_procs_;
+    std::vector<SourceTask> out;
+    for (std::size_t k = 0; k < count_; ++k) {
+      const Time work = draw_work(rng, params.work);
+      const int procs = draw_procs(rng, params.procs);
+      const Time release = quantize_time(
+          rng.uniform_real(0.0, release_span_) + 0x1.0p-20);
+      graph_.add_task(work, procs);
+      SourceTask st;
+      st.work = work;
+      st.procs = procs;
+      st.release = release;
+      releases_.push_back(release);
+      out.push_back(std::move(st));
+    }
+    return out;
+  }
+  std::vector<SourceTask> on_complete(TaskId, Time) override { return {}; }
+  const TaskGraph& realized_graph() const override { return graph_; }
+  [[nodiscard]] const std::vector<Time>& releases() const {
+    return releases_;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t count_;
+  int max_procs_;
+  double release_span_;
+  TaskGraph graph_;
+  std::vector<Time> releases_;
+};
+
+}  // namespace
+
+int main() {
+  print_experiment_header(
+      std::cout, "E17",
+      "Release times (§2.3) — greedy list scheduling vs release-aware Lb");
+
+  const int P = 16;
+  TextTable table({"release span", "n", "max T/Lb_r", "mean T/Lb_r",
+                   "paper bound"});
+  for (const double span : {0.0, 4.0, 16.0, 64.0}) {
+    double max_ratio = 0.0, sum = 0.0;
+    int runs = 0;
+    const std::size_t n = 300;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      ReleaseStream source(seed * 101, n, P, span);
+      ListScheduler greedy;
+      const SimResult r = simulate(source, greedy, P);
+      require_valid_schedule(source.realized_graph(), r.schedule, P);
+      // Release-aware lower bound.
+      Time lb = source.realized_graph().total_area() / P;
+      for (TaskId id = 0; id < source.realized_graph().size(); ++id) {
+        lb = std::max(lb, source.releases()[id] +
+                              source.realized_graph().task(id).work);
+        // Starts must respect releases (engine guarantee; re-checked).
+        if (r.schedule.entry_for(id).start < source.releases()[id]) {
+          std::cerr << "release violated!\n";
+          return 1;
+        }
+      }
+      const double ratio = static_cast<double>(r.makespan) /
+                           static_cast<double>(lb);
+      max_ratio = std::max(max_ratio, ratio);
+      sum += ratio;
+      ++runs;
+    }
+    table.add_row({format_number(span, 0), std::to_string(n),
+                   format_number(max_ratio, 3), format_number(sum / runs, 3),
+                   "2 (vs OPT)"});
+  }
+  std::cout << table.render();
+  std::cout << "\nShape check: measured ratios stay near 1 and well under "
+               "the 2-competitive guarantee (which is proved against OPT "
+               ">= Lb_r); growing release spans stretch the schedule but "
+               "greedy absorbs arrivals without pathologies.\n";
+  return 0;
+}

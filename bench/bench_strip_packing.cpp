@@ -1,0 +1,117 @@
+// E13 — Remark 1: CatBatch adapted to online strip packing with precedence
+// constraints, using NFDH per category band. Reports height vs the lower
+// bound and the analytic 2A + ΣL_ζ guarantee across instance shapes.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "strip/catbatch_strip.hpp"
+#include "strip/strip_packers.hpp"
+#include "strip/strip_validate.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+StripInstance random_strip(Rng& rng, std::size_t count, double edge_prob,
+                           int width_grid) {
+  StripInstance s;
+  for (std::size_t k = 0; k < count; ++k) {
+    const double width =
+        static_cast<double>(rng.uniform_int(1, width_grid)) / width_grid;
+    const double height =
+        static_cast<double>(rng.uniform_int(1, 256)) * 0x1.0p-5;
+    s.add_rect(width, height);
+  }
+  for (TaskId i = 0; i < count; ++i) {
+    for (TaskId j = i + 1; j < count; ++j) {
+      if (rng.bernoulli(edge_prob)) s.add_edge(i, j);
+    }
+  }
+  return s;
+}
+
+StripInstance chain_heavy(Rng& rng, std::size_t chains, std::size_t length) {
+  StripInstance s;
+  for (std::size_t c = 0; c < chains; ++c) {
+    TaskId prev = kInvalidTask;
+    for (std::size_t k = 0; k < length; ++k) {
+      const double width =
+          static_cast<double>(rng.uniform_int(1, 16)) / 16.0;
+      const double height =
+          static_cast<double>(rng.uniform_int(1, 64)) * 0x1.0p-4;
+      const TaskId id = s.add_rect(width, height);
+      if (prev != kInvalidTask) s.add_edge(prev, id);
+      prev = id;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  print_experiment_header(
+      std::cout, "E13",
+      "Remark 1 — online strip packing with precedence (CatBatch + NFDH)");
+
+  TextTable table({"instance", "rects", "Lb", "catbatch-strip height",
+                   "2A + sum L", "height/Lb", "bands"});
+  Rng rng(7);
+
+  struct Case {
+    std::string name;
+    StripInstance instance;
+  };
+  Case cases[] = {
+      {"sparse-dag-100", random_strip(rng, 100, 0.02, 32)},
+      {"dense-dag-100", random_strip(rng, 100, 0.10, 32)},
+      {"independent-200", random_strip(rng, 200, 0.0, 16)},
+      {"chains-8x12", chain_heavy(rng, 8, 12)},
+      {"wide-rects-80", random_strip(rng, 80, 0.03, 4)},
+  };
+
+  for (Case& c : cases) {
+    const CatBatchStripResult result = catbatch_strip_pack(c.instance);
+    require_valid_strip_packing(c.instance, result.packing);
+    const Time lb = c.instance.height_lower_bound();
+    table.add_row(
+        {c.name, std::to_string(c.instance.size()), format_number(lb, 3),
+         format_number(result.total_height, 3),
+         format_number(catbatch_strip_bound(c.instance), 3),
+         format_number(static_cast<double>(result.total_height / lb), 3),
+         std::to_string(result.batches.size())});
+  }
+  std::cout << table.render();
+  std::cout << "\nShape check: heights always within the 2A + ΣL_ζ "
+               "guarantee; ratios mirror the rigid-task case since the "
+               "category machinery is identical (Remark 1).\n";
+
+  // Packer shoot-out on independent rectangles (§2.3: NFDH 3-approx, FFDH
+  // 2.7-approx, Bottom-Left 3-approx but interlocking).
+  std::cout << "\nIndependent-rectangle packers (width grid, 150 rects):\n";
+  TextTable packers({"width grid", "area LB", "nfdh", "ffdh",
+                     "bottom-left"});
+  for (const int grid : {4, 8, 32}) {
+    std::vector<Rect> rects;
+    Rng prng(static_cast<std::uint64_t>(grid));
+    double area = 0.0;
+    for (int k = 0; k < 150; ++k) {
+      const double width =
+          static_cast<double>(prng.uniform_int(1, grid)) / grid;
+      const double height =
+          static_cast<double>(prng.uniform_int(1, 128)) * 0x1.0p-4;
+      rects.push_back(Rect{width, height, ""});
+      area += rects.back().area();
+    }
+    packers.add_row({std::to_string(grid), format_number(area, 2),
+                     format_number(strip_nfdh(rects).total_height, 2),
+                     format_number(strip_ffdh(rects).total_height, 2),
+                     format_number(strip_bottom_left(rects).total_height,
+                                   2)});
+  }
+  std::cout << packers.render();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E18 — true competitive ratios on small instances: the exact branch-and-
+// bound solver provides T_Opt, so we can report T_Alg / T_Opt directly
+// (everywhere else the Lb proxy of Section 3.2 is used). Also quantifies
+// the Lb-to-OPT slack itself.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "core/bounds.hpp"
+#include "instances/random_dags.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/exact.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/relaxed_catbatch.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+int main() {
+  using namespace catbatch;
+  print_experiment_header(
+      std::cout, "E18",
+      "True ratios T/T_Opt on small instances (exact branch and bound)");
+
+  const int P = 4;
+  const std::size_t trials = 40;
+
+  struct Agg {
+    double max_ratio = 1.0;
+    double sum_ratio = 0.0;
+  };
+  Agg catbatch_agg, relaxed_agg, fifo_agg, lb_agg;
+  std::uint64_t total_nodes = 0;
+
+  Rng rng(271828);
+  RandomTaskParams params;
+  params.procs.max_procs = P;
+  std::size_t solved = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 9, 3, params);
+    const ExactResult exact = exact_schedule(g, P);
+    if (!exact.proven_optimal) continue;
+    ++solved;
+    total_nodes += exact.nodes_explored;
+    require_valid_schedule(g, exact.schedule, P);
+
+    const auto measure = [&](OnlineScheduler& sched, Agg& agg) {
+      const Time makespan = simulate(g, sched, P).makespan;
+      const double ratio = static_cast<double>(makespan) /
+                           static_cast<double>(exact.makespan);
+      agg.max_ratio = std::max(agg.max_ratio, ratio);
+      agg.sum_ratio += ratio;
+    };
+    CatBatchScheduler cat;
+    RelaxedCatBatch relaxed;
+    ListScheduler fifo;
+    measure(cat, catbatch_agg);
+    measure(relaxed, relaxed_agg);
+    measure(fifo, fifo_agg);
+
+    const double lb_slack = static_cast<double>(exact.makespan) /
+                            static_cast<double>(makespan_lower_bound(g, P));
+    lb_agg.max_ratio = std::max(lb_agg.max_ratio, lb_slack);
+    lb_agg.sum_ratio += lb_slack;
+  }
+
+  TextTable table({"quantity", "max", "mean"});
+  const auto row = [&](const char* label, const Agg& agg) {
+    table.add_row({label, format_number(agg.max_ratio, 3),
+                   format_number(agg.sum_ratio / static_cast<double>(solved),
+                                 3)});
+  };
+  row("catbatch / OPT", catbatch_agg);
+  row("relaxed-catbatch / OPT", relaxed_agg);
+  row("list-fifo / OPT", fifo_agg);
+  row("OPT / Lb  (lower-bound slack)", lb_agg);
+  std::cout << table.render();
+  std::cout << "\nsolved " << solved << "/" << trials
+            << " instances to optimality, "
+            << total_nodes / std::max<std::uint64_t>(1, solved)
+            << " search nodes each on average.\n";
+  std::cout << "Shape check: true ratios are below the Lb-relative ones "
+               "reported elsewhere (OPT >= Lb); all remain far under "
+               "log2(n)+3.\n";
+  return 0;
+}

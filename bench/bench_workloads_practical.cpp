@@ -1,0 +1,52 @@
+// E12 — the conclusion's conjecture: strict CatBatch is near-optimal in the
+// worst case but practically slow (batch barriers idle processors), while
+// the category-priority relaxation recovers list-scheduling performance.
+// Measured on the HPC workload DAGs.
+#include <iostream>
+
+#include "analysis/metrics.hpp"
+#include "analysis/report.hpp"
+#include "instances/workloads.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+int main() {
+  using namespace catbatch;
+  print_experiment_header(
+      std::cout, "E12",
+      "Practical workloads — strict CatBatch vs relaxed vs list family");
+
+  const int procs = 16;
+  KernelCosts costs;
+  costs.jitter = 0.15;
+
+  struct Workload {
+    std::string name;
+    TaskGraph graph;
+  };
+  const Workload workloads[] = {
+      {"cholesky-12", cholesky_dag(12, costs)},
+      {"lu-10", lu_dag(10, costs)},
+      {"stencil-32x32", stencil_dag(32, 32, 0.5, 1)},
+      {"fft-2^7", fft_dag(7, 0.25, 1)},
+      {"mapreduce-128/16", map_reduce_dag(128, 16, 1.0, 2.0, 1, 2)},
+      {"montage-24", montage_dag(24)},
+  };
+
+  for (const Workload& w : workloads) {
+    std::cout << "\n" << w.name << " (" << w.graph.size() << " tasks):\n";
+    TextTable table = make_metrics_table();
+    for (const NamedScheduler& named : standard_scheduler_lineup()) {
+      const auto scheduler = named.make();
+      add_metrics_row(table, evaluate(w.graph, *scheduler, procs));
+    }
+    std::cout << table.render();
+  }
+
+  std::cout << "\nShape check (paper, Section 7): on benign DAGs the greedy "
+               "schedulers and relaxed-catbatch cluster near the lower "
+               "bound; strict catbatch trails because a batch must complete "
+               "before the next starts — the price of its worst-case "
+               "guarantee. All ratios remain under log2(n)+3.\n";
+  return 0;
+}

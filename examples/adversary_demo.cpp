@@ -1,0 +1,69 @@
+// Adversary demo: watch the Z^Alg_P(K) construction (Definition 9) punish
+// an online scheduler in real time, then see the offline two-phase schedule
+// from Lemma 11 dispatch the very same realized instance.
+//
+//   $ ./adversary_demo [P] [K]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "instances/adversary.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+int main(int argc, char** argv) {
+  using namespace catbatch;
+  const int P = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int K = argc > 2 ? std::atoi(argv[2]) : 2;
+  if (P < 1 || K < 2) {
+    std::cerr << "usage: adversary_demo [P>=1] [K>=2]\n";
+    return 1;
+  }
+  const Time eps = 0x1.0p-8;
+
+  std::cout << "Z^Alg_" << P << "(" << K << "): " << z_task_count(P, K)
+            << " tasks across " << P << " adaptive layers of X_" << P << "("
+            << K << ")\n";
+  std::cout << "Lemma 10 floor for ANY online algorithm : "
+            << format_number(z_online_lower_bound(P, K)) << "\n";
+  std::cout << "Lemma 11 ceiling for the offline optimum: "
+            << format_number(z_offline_upper_bound(P, K, eps)) << "\n\n";
+
+  TextTable table({"scheduler", "online makespan", "offline construction",
+                   "gap", "ratio vs Lb"});
+  CatBatchScheduler catbatch;
+  ListScheduler fifo;
+  ListScheduler lpt(ListSchedulerOptions{ListPriority::LongestFirst, false});
+  OnlineScheduler* lineup[] = {&catbatch, &fifo, &lpt};
+  for (OnlineScheduler* sched : lineup) {
+    // Each scheduler gets its *own* adversary: the instance adapts to the
+    // algorithm (that is the whole point of Definition 9).
+    ZAdversarySource source(P, K, eps);
+    const SimResult online = simulate(source, *sched, P);
+    require_valid_schedule(source.realized_graph(), online.schedule, P);
+
+    const Schedule offline = z_offline_schedule(source);
+    require_valid_schedule(source.realized_graph(), offline, P);
+
+    const Time lb = makespan_lower_bound(source.realized_graph(), P);
+    table.add_row(
+        {sched->name(), format_number(online.makespan, 3),
+         format_number(offline.makespan(), 3),
+         format_number(static_cast<double>(online.makespan) /
+                           static_cast<double>(offline.makespan()),
+                       2),
+         format_number(static_cast<double>(online.makespan) /
+                           static_cast<double>(lb),
+                       2)});
+  }
+  std::cout << table.render();
+  std::cout << "\nThe gap column approaches P/2 as K grows (Theorem 4); no "
+               "online scheduler escapes, CatBatch included — its guarantee "
+               "is relative to n (Theorem 1), and n grows exponentially in "
+               "P here.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// HPC workload comparison: schedule tiled Cholesky / LU / stencil / FFT
+// DAGs with the full scheduler lineup and compare makespans, ratios and
+// utilization — the "practical efficiency" study the paper's conclusion
+// calls for.
+//
+//   $ ./hpc_workload [procs]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/metrics.hpp"
+#include "analysis/report.hpp"
+#include "instances/workloads.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+int main(int argc, char** argv) {
+  using namespace catbatch;
+  const int procs = argc > 1 ? std::atoi(argv[1]) : 16;
+  if (procs < 1) {
+    std::cerr << "usage: hpc_workload [procs>=1]\n";
+    return 1;
+  }
+
+  KernelCosts costs;
+  costs.jitter = 0.15;  // realistic non-uniform kernel times
+  costs.gemm_procs = std::min(4, procs);
+  costs.trsm_procs = std::min(2, procs);
+
+  struct Workload {
+    std::string name;
+    TaskGraph graph;
+  };
+  const Workload workloads[] = {
+      {"cholesky 10x10 tiles", cholesky_dag(10, costs)},
+      {"lu 8x8 tiles", lu_dag(8, costs)},
+      {"stencil 24x24", stencil_dag(24, 24, 0.5, 1)},
+      {"fft 2^6 points", fft_dag(6, 0.25, 1)},
+      {"map-reduce 64->8", map_reduce_dag(64, 8, 1.0, 2.0, 1,
+                                          std::min(2, procs))},
+      {"montage 16 images", montage_dag(16, std::min(4, procs))},
+  };
+
+  for (const Workload& w : workloads) {
+    std::cout << "\n--- " << w.name << " (" << w.graph.size() << " tasks, P="
+              << procs << ") ---\n";
+    TextTable table = make_metrics_table();
+    for (const NamedScheduler& named : standard_scheduler_lineup()) {
+      const auto scheduler = named.make();
+      add_metrics_row(table, evaluate(w.graph, *scheduler, procs));
+    }
+    std::cout << table.render();
+  }
+
+  std::cout << "\nReading the tables: \"ratio\" is makespan / Lb(I); the "
+               "paper predicts strict CatBatch trails greedy schedulers on "
+               "well-behaved DAGs (its batch barrier idles processors) while "
+               "staying within log2(n)+3 of optimal everywhere.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a small rigid task graph, schedule it online with
+// CatBatch, and inspect the result.
+//
+//   $ ./quickstart
+//
+// Walks through the public API in the order a new user would meet it:
+// TaskGraph -> simulate() -> validation -> metrics -> Gantt chart.
+#include <iostream>
+
+#include "analysis/metrics.hpp"
+#include "core/bounds.hpp"
+#include "core/category.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "sim/validate.hpp"
+#include "support/text.hpp"
+
+int main() {
+  using namespace catbatch;
+
+  // 1. Describe the instance: a small fork-join with mixed widths.
+  //    Every task has an execution time and a rigid processor requirement.
+  TaskGraph graph;
+  const TaskId setup = graph.add_task(1.0, 1, "setup");
+  const TaskId simA = graph.add_task(4.0, 2, "simA");
+  const TaskId simB = graph.add_task(3.0, 2, "simB");
+  const TaskId simC = graph.add_task(2.0, 1, "simC");
+  const TaskId merge = graph.add_task(1.0, 4, "merge");
+  const TaskId report = graph.add_task(0.5, 1, "report");
+  graph.add_edge(setup, simA);
+  graph.add_edge(setup, simB);
+  graph.add_edge(setup, simC);
+  graph.add_edge(simA, merge);
+  graph.add_edge(simB, merge);
+  graph.add_edge(simC, merge);
+  graph.add_edge(merge, report);
+
+  const int procs = 4;
+  graph.validate(procs);
+
+  // 2. Run the paper's online algorithm. The engine reveals each task to
+  //    the scheduler only when its predecessors have completed.
+  CatBatchScheduler catbatch;
+  const SimResult result = simulate(graph, catbatch, procs);
+
+  // 3. Machine-check the schedule (precedence, capacity, processor sets).
+  require_valid_schedule(graph, result.schedule, procs);
+
+  // 4. Metrics against the makespan lower bound Lb = max(A/P, C).
+  std::cout << "CatBatch makespan : " << format_number(result.makespan)
+            << "\n";
+  std::cout << "Lower bound Lb    : "
+            << format_number(makespan_lower_bound(graph, procs)) << "\n";
+  std::cout << "Utilization       : "
+            << format_number(result.average_utilization(procs), 3) << "\n";
+
+  // 5. The batch structure CatBatch discovered (category ζ per batch).
+  std::cout << "\nBatches (increasing category ζ):\n";
+  for (const BatchRecord& batch : catbatch.batch_history()) {
+    std::cout << "  ζ=" << format_number(batch.category.value())
+              << "  [" << format_number(batch.started) << ", "
+              << format_number(batch.finished) << ")  tasks:";
+    for (const TaskId id : batch.tasks) {
+      std::cout << ' ' << graph.task(id).name;
+    }
+    std::cout << '\n';
+  }
+
+  // 6. Gantt chart (one row per processor).
+  std::cout << "\n" << ascii_gantt(graph, result.schedule, procs) << "\n";
+
+  // 7. Compare against classic greedy list scheduling.
+  ListScheduler list;
+  const RunMetrics lm = evaluate(graph, list, procs);
+  const RunMetrics cm = evaluate(graph, catbatch, procs);
+  std::cout << "list(fifo) makespan " << format_number(lm.makespan)
+            << " vs catbatch " << format_number(cm.makespan) << "\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Uncertainty demo — the first future-work direction of Section 7: what
+// happens when declared execution times are only estimates? The engine
+// simulates true durations that deviate from the declared ones by up to a
+// chosen relative error, and we watch how the estimate-consuming
+// schedulers (relaxed CatBatch via categories, EASY via reservations)
+// degrade compared to the estimate-oblivious FIFO list.
+//
+//   $ ./uncertainty_demo [procs] [tasks]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "instances/random_dags.hpp"
+#include "sched/backfill.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/relaxed_catbatch.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+/// Wraps a static graph, declaring noisy estimates of the true durations.
+class NoisySource final : public InstanceSource {
+ public:
+  NoisySource(const TaskGraph& graph, double max_error, std::uint64_t seed)
+      : graph_(graph), max_error_(max_error), seed_(seed) {}
+
+  std::vector<SourceTask> start() override {
+    Rng rng(seed_);
+    std::vector<SourceTask> out;
+    for (TaskId id = 0; id < graph_.size(); ++id) {
+      const Task& t = graph_.task(id);
+      SourceTask st;
+      st.work = t.work;
+      const double factor =
+          rng.uniform_real(1.0 - max_error_, 1.0 + max_error_);
+      st.declared_work =
+          quantize_time(static_cast<double>(t.work) * factor);
+      st.procs = t.procs;
+      const auto preds = graph_.predecessors(id);
+      st.predecessors.assign(preds.begin(), preds.end());
+      out.push_back(std::move(st));
+    }
+    return out;
+  }
+  std::vector<SourceTask> on_complete(TaskId, Time) override { return {}; }
+  const TaskGraph& realized_graph() const override { return graph_; }
+
+ private:
+  const TaskGraph& graph_;
+  double max_error_;
+  std::uint64_t seed_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int procs = argc > 1 ? std::atoi(argv[1]) : 16;
+  const std::size_t tasks =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 300;
+  if (procs < 1 || tasks < 1) {
+    std::cerr << "usage: uncertainty_demo [procs>=1] [tasks>=1]\n";
+    return 1;
+  }
+
+  Rng rng(4242);
+  RandomTaskParams params;
+  params.procs.max_procs = procs;
+  const TaskGraph g = random_layered_dag(
+      rng, tasks, std::max<std::size_t>(2, tasks / 15), params);
+  const Time lb = makespan_lower_bound(g, procs);
+  std::cout << "instance: " << g.size() << " tasks, P=" << procs
+            << ", Lb=" << format_number(lb, 3) << "\n\n";
+
+  TextTable table({"estimate error", "relaxed-catbatch", "easy-backfill",
+                   "list-fifo (oblivious)"});
+  for (const double error : {0.0, 0.25, 0.5, 0.75, 0.95}) {
+    std::vector<std::string> row{format_number(error * 100, 0) + "%"};
+    RelaxedCatBatch relaxed;
+    EasyBackfill easy;
+    ListScheduler fifo;
+    OnlineScheduler* lineup[] = {&relaxed, &easy, &fifo};
+    for (OnlineScheduler* sched : lineup) {
+      NoisySource source(g, error, 7);
+      const SimResult r = simulate(source, *sched, procs);
+      require_valid_schedule(g, r.schedule, procs);
+      row.push_back(format_number(static_cast<double>(r.makespan / lb), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.render();
+  std::cout << "\nReading: values are makespan/Lb. FIFO never reads the "
+               "estimates, so its column is flat by construction; the "
+               "estimate-driven schedulers wobble but stay robust — wrong "
+               "categories and stale reservations mis-prioritize without "
+               "ever producing an infeasible schedule (the engine executes "
+               "true durations).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "analysis/batch_stats.hpp"
+
+#include "core/criticality.hpp"
+#include "core/lmatrix.hpp"
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace catbatch {
+
+CatBatchDecomposition decompose_batches(
+    const TaskGraph& graph, const std::vector<BatchRecord>& history,
+    int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  CatBatchDecomposition out;
+  out.procs = procs;
+  out.total_area = graph.total_area();
+  if (history.empty()) return out;
+
+  const Time critical = critical_path_length(graph);
+  for (const BatchRecord& record : history) {
+    BatchStats stats;
+    stats.category = record.category;
+    stats.task_count = record.tasks.size();
+    stats.started = record.started;
+    stats.finished = record.finished;
+    for (const TaskId id : record.tasks) {
+      stats.area += graph.task(id).area();
+    }
+    stats.category_length = category_length(record.category, critical);
+    stats.lemma6_bound =
+        2.0 * stats.area / static_cast<Time>(procs) + stats.category_length;
+    stats.idle_area =
+        static_cast<Time>(procs) * stats.duration() - stats.area;
+    CB_DCHECK(stats.duration() <= stats.lemma6_bound + 1e-9,
+              "Lemma 6 violated by a recorded batch");
+    out.sum_category_lengths += stats.category_length;
+    out.makespan = stats.finished;
+    out.batches.push_back(stats);
+  }
+  out.lemma7_bound = 2.0 * out.total_area / static_cast<Time>(procs) +
+                     out.sum_category_lengths;
+  return out;
+}
+
+std::vector<std::size_t> batch_color_groups(
+    const std::vector<BatchRecord>& history, std::size_t task_count) {
+  std::vector<std::size_t> groups(task_count, 0);
+  for (std::size_t k = 0; k < history.size(); ++k) {
+    for (const TaskId id : history[k].tasks) {
+      CB_CHECK(id < task_count, "batch history references an unknown task");
+      groups[id] = k;
+    }
+  }
+  return groups;
+}
+
+TextTable decomposition_table(const CatBatchDecomposition& d) {
+  TextTable table({"zeta", "tasks", "duration", "area", "L_zeta",
+                   "2A/P+L (Lemma 6)", "idle area"});
+  for (const BatchStats& b : d.batches) {
+    table.add_row({format_number(b.category.value(), 4),
+                   std::to_string(b.task_count),
+                   format_number(b.duration(), 4), format_number(b.area, 4),
+                   format_number(b.category_length, 4),
+                   format_number(b.lemma6_bound, 4),
+                   format_number(b.idle_area, 4)});
+  }
+  table.add_separator();
+  table.add_row({"total", std::to_string(d.batches.size()),
+                 format_number(d.makespan, 4), format_number(d.total_area, 4),
+                 format_number(d.sum_category_lengths, 4),
+                 format_number(d.lemma7_bound, 4), ""});
+  return table;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,55 @@
+// Batch-level decomposition of a CatBatch run — the measurable counterpart
+// of Lemma 7's analysis:
+//     T = Σ_ζ T(B_ζ)   with   T(B_ζ) <= 2·A(B_ζ)/P + L_ζ.
+// For each executed batch we report its area, duration, category length,
+// the Lemma 6 bound, and the idle processor-time the barrier caused; the
+// totals show how much of the makespan the Σ L_ζ term actually claimed.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "support/table.hpp"
+
+namespace catbatch {
+
+struct BatchStats {
+  Category category;
+  std::size_t task_count = 0;
+  Time started = 0.0;
+  Time finished = 0.0;
+  Time area = 0.0;          // Σ t·p over the batch
+  Time category_length = 0.0;  // L_ζ for the realized critical path
+  Time lemma6_bound = 0.0;  // 2·A/P + L_ζ
+  Time idle_area = 0.0;     // P·duration − area
+
+  [[nodiscard]] Time duration() const { return finished - started; }
+};
+
+struct CatBatchDecomposition {
+  std::vector<BatchStats> batches;
+  Time makespan = 0.0;
+  Time total_area = 0.0;
+  Time sum_category_lengths = 0.0;  // Σ L_ζ over non-empty categories
+  Time lemma7_bound = 0.0;          // 2·A/P + Σ L_ζ
+  int procs = 0;
+};
+
+/// Computes the decomposition from a finished CatBatch run. The batch
+/// history must come from a simulation of exactly `graph` on `procs`.
+[[nodiscard]] CatBatchDecomposition decompose_batches(
+    const TaskGraph& graph, const std::vector<BatchRecord>& history,
+    int procs);
+
+/// Renders the decomposition as a text table (one row per batch + totals).
+[[nodiscard]] TextTable decomposition_table(
+    const CatBatchDecomposition& decomposition);
+
+/// Color-group table for sim/svg.hpp: task id -> index of its batch in the
+/// history, so an SVG Gantt chart shows the batch structure (Figure 6's
+/// coloring). Tasks missing from the history map to group 0.
+[[nodiscard]] std::vector<std::size_t> batch_color_groups(
+    const std::vector<BatchRecord>& history, std::size_t task_count);
+
+}  // namespace catbatch

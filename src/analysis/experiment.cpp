@@ -1,0 +1,94 @@
+#include "analysis/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "instances/random_dags.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+std::vector<RatioAggregate> sweep_family(
+    const InstanceFamily& family, const std::vector<NamedScheduler>& lineup,
+    int procs, std::size_t trials, std::uint64_t base_seed) {
+  CB_CHECK(trials >= 1, "sweep needs at least one trial");
+  std::vector<RatioAggregate> out;
+  out.reserve(lineup.size());
+  for (const NamedScheduler& named : lineup) {
+    out.push_back(RatioAggregate{named.label, 0, 0.0, 0.0, 0.0});
+  }
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(base_seed + trial);
+    const TaskGraph graph = family.make(rng);
+    for (std::size_t s = 0; s < lineup.size(); ++s) {
+      const auto scheduler = lineup[s].make();
+      const RunMetrics m = evaluate(graph, *scheduler, procs);
+      RatioAggregate& agg = out[s];
+      ++agg.runs;
+      agg.max_ratio = std::max(agg.max_ratio, m.ratio);
+      agg.mean_ratio += (m.ratio - agg.mean_ratio) /
+                        static_cast<double>(agg.runs);
+      if (m.theorem1_bound > 0.0) {
+        agg.max_theorem1_margin =
+            std::max(agg.max_theorem1_margin, m.ratio / m.theorem1_bound);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<InstanceFamily> standard_families(std::size_t task_count,
+                                              int max_procs) {
+  CB_CHECK(task_count >= 4, "families need at least 4 tasks");
+  RandomTaskParams params;
+  params.procs.max_procs = max_procs;
+
+  std::vector<InstanceFamily> out;
+  out.push_back(InstanceFamily{
+      "layered", [task_count, params](Rng& rng) {
+        const std::size_t layers = std::max<std::size_t>(
+            2, static_cast<std::size_t>(std::sqrt(
+                   static_cast<double>(task_count))));
+        return random_layered_dag(rng, task_count, layers, params);
+      }});
+  out.push_back(InstanceFamily{
+      "order-dag", [task_count, params](Rng& rng) {
+        const double p =
+            std::min(0.5, 4.0 / static_cast<double>(task_count));
+        return random_order_dag(rng, task_count, p, params);
+      }});
+  out.push_back(InstanceFamily{
+      "series-parallel", [task_count, params](Rng& rng) {
+        return random_series_parallel(rng, task_count, 0.5, params);
+      }});
+  out.push_back(InstanceFamily{
+      "fork-join", [task_count, params](Rng& rng) {
+        const std::size_t width = std::max<std::size_t>(
+            2, static_cast<std::size_t>(std::sqrt(
+                   static_cast<double>(task_count))));
+        const std::size_t stages =
+            std::max<std::size_t>(1, task_count / (width + 1));
+        return random_fork_join(rng, stages, width, params);
+      }});
+  out.push_back(InstanceFamily{
+      "chains", [task_count, params](Rng& rng) {
+        const std::size_t chains = std::max<std::size_t>(
+            2, static_cast<std::size_t>(std::sqrt(
+                   static_cast<double>(task_count))));
+        return random_chains(rng, chains,
+                             std::max<std::size_t>(1, task_count / chains),
+                             params);
+      }});
+  out.push_back(InstanceFamily{
+      "out-tree", [task_count, params](Rng& rng) {
+        return random_out_tree(rng, task_count, 3, params);
+      }});
+  out.push_back(InstanceFamily{
+      "independent", [task_count, params](Rng& rng) {
+        return random_independent(rng, task_count, params);
+      }});
+  return out;
+}
+
+}  // namespace catbatch

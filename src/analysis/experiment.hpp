@@ -1,0 +1,43 @@
+// Reusable experiment drivers: run a scheduler lineup over a family of
+// random instances and aggregate worst-case / average ratios. Used by the
+// Theorem 1/2 benches and by the workload comparison.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "core/graph.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+/// A named instance family: seed -> instance.
+struct InstanceFamily {
+  std::string label;
+  std::function<TaskGraph(Rng&)> make;
+};
+
+/// Aggregated ratios of one scheduler over many instances.
+struct RatioAggregate {
+  std::string scheduler;
+  std::size_t runs = 0;
+  double max_ratio = 0.0;
+  double mean_ratio = 0.0;
+  double max_theorem1_margin = 0.0;  // max over runs of ratio / (log2(n)+3)
+};
+
+/// Runs every scheduler of `lineup` on `trials` instances of `family`
+/// (seeds base_seed, base_seed+1, ...) on `procs` processors.
+[[nodiscard]] std::vector<RatioAggregate> sweep_family(
+    const InstanceFamily& family, const std::vector<NamedScheduler>& lineup,
+    int procs, std::size_t trials, std::uint64_t base_seed);
+
+/// The default family lineup over `max_procs`-wide tasks used by the
+/// Theorem 1 bench: layered, order-DAG, series-parallel, fork-join, chains,
+/// out-tree and independent instances of roughly `task_count` tasks.
+[[nodiscard]] std::vector<InstanceFamily> standard_families(
+    std::size_t task_count, int max_procs);
+
+}  // namespace catbatch

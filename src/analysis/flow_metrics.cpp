@@ -1,0 +1,37 @@
+#include "analysis/flow_metrics.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+FlowMetrics compute_flow_metrics(const TaskGraph& graph,
+                                 const SimResult& result) {
+  CB_CHECK(result.ready_times.size() == graph.size(),
+           "result does not belong to this instance");
+  FlowMetrics m;
+  m.task_count = graph.size();
+  if (graph.empty()) return m;
+
+  double wait_sum = 0.0;
+  double stretch_sum = 0.0;
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const ScheduledTask& e = result.schedule.entry_for(id);
+    const Time ready = result.ready_times[id];
+    CB_CHECK(e.start >= ready - 1e-12,
+             "task started before it became ready");
+    const Time wait = e.start - ready;
+    const double stretch = static_cast<double>(e.finish - ready) /
+                           static_cast<double>(graph.task(id).work);
+    wait_sum += static_cast<double>(wait);
+    stretch_sum += stretch;
+    m.max_wait = std::max(m.max_wait, wait);
+    m.max_stretch = std::max(m.max_stretch, stretch);
+  }
+  m.mean_wait = wait_sum / static_cast<double>(graph.size());
+  m.mean_stretch = stretch_sum / static_cast<double>(graph.size());
+  return m;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,28 @@
+// Flow metrics: per-task waiting time and stretch, computed from a
+// simulation result. Makespan is the paper's objective; waiting time and
+// stretch are what users of a shared HPC system feel — and where strict
+// CatBatch's batch barrier pays for its worst-case guarantee (tasks sit
+// ready while the current batch drains).
+#pragma once
+
+#include "core/graph.hpp"
+#include "sim/engine.hpp"
+
+namespace catbatch {
+
+struct FlowMetrics {
+  double mean_wait = 0.0;  // start − ready, averaged over tasks
+  Time max_wait = 0.0;
+  /// Stretch of a task = (finish − ready) / work: 1 means "ran the moment
+  /// it became ready".
+  double mean_stretch = 0.0;
+  double max_stretch = 0.0;
+  std::size_t task_count = 0;
+};
+
+/// Computes flow metrics for a finished run of `graph`. The result must
+/// come from simulating exactly this instance (ready_times indexed by id).
+[[nodiscard]] FlowMetrics compute_flow_metrics(const TaskGraph& graph,
+                                               const SimResult& result);
+
+}  // namespace catbatch

@@ -1,0 +1,74 @@
+#include "analysis/metrics.hpp"
+
+#include "core/lmatrix.hpp"
+#include "sched/backfill.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/relaxed_catbatch.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+RunMetrics metrics_from(const TaskGraph& graph, OnlineScheduler& scheduler,
+                        int procs, const SimResult& result) {
+  require_valid_schedule(graph, result.schedule, procs);
+  const InstanceBounds bounds = compute_bounds(graph, procs);
+
+  RunMetrics m;
+  m.scheduler = scheduler.name();
+  m.task_count = bounds.task_count;
+  m.makespan = result.makespan;
+  m.lower_bound = bounds.lower_bound();
+  m.ratio = m.lower_bound > 0.0
+                ? static_cast<double>(m.makespan) /
+                      static_cast<double>(m.lower_bound)
+                : 0.0;
+  m.utilization = result.average_utilization(procs);
+  m.critical_path = bounds.critical_path;
+  m.area = bounds.area;
+  if (bounds.task_count > 0) {
+    m.theorem1_bound = theorem1_bound(bounds.task_count);
+    m.theorem2_bound = theorem2_bound(bounds.max_work, bounds.min_work);
+  }
+  return m;
+}
+}  // namespace
+
+RunMetrics evaluate(const TaskGraph& graph, OnlineScheduler& scheduler,
+                    int procs) {
+  const SimResult result = simulate(graph, scheduler, procs);
+  return metrics_from(graph, scheduler, procs, result);
+}
+
+RunMetrics evaluate(InstanceSource& source, OnlineScheduler& scheduler,
+                    int procs) {
+  const SimResult result = simulate(source, scheduler, procs);
+  return metrics_from(source.realized_graph(), scheduler, procs, result);
+}
+
+std::vector<NamedScheduler> standard_scheduler_lineup() {
+  std::vector<NamedScheduler> out;
+  out.push_back(NamedScheduler{
+      "catbatch", [] { return std::make_unique<CatBatchScheduler>(); }});
+  out.push_back(NamedScheduler{
+      "relaxed-catbatch", [] { return std::make_unique<RelaxedCatBatch>(); }});
+  const auto add_list = [&out](ListPriority priority) {
+    ListSchedulerOptions options;
+    options.priority = priority;
+    out.push_back(NamedScheduler{
+        std::string("list-") + to_string(priority), [options] {
+          return std::make_unique<ListScheduler>(options);
+        }});
+  };
+  add_list(ListPriority::Fifo);
+  add_list(ListPriority::LongestFirst);
+  add_list(ListPriority::WidestFirst);
+  add_list(ListPriority::SmallestCriticality);
+  out.push_back(NamedScheduler{
+      "easy-backfill", [] { return std::make_unique<EasyBackfill>(); }});
+  return out;
+}
+
+}  // namespace catbatch

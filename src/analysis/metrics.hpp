@@ -1,0 +1,48 @@
+// Evaluation of a scheduler on an instance: makespan, the lower bound
+// Lb(I), the resulting worst-case ratio T/Lb (Section 3.2), utilization and
+// theorem-bound comparisons. Every run is machine-validated before metrics
+// are reported.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "sim/engine.hpp"
+
+namespace catbatch {
+
+struct RunMetrics {
+  std::string scheduler;
+  std::size_t task_count = 0;
+  Time makespan = 0.0;
+  Time lower_bound = 0.0;   // Lb(I)
+  double ratio = 0.0;       // makespan / Lb(I) — upper bound on T/T_Opt
+  double utilization = 0.0;  // time-averaged busy fraction
+  Time critical_path = 0.0;
+  Time area = 0.0;
+  double theorem1_bound = 0.0;  // log2(n) + 3
+  double theorem2_bound = 0.0;  // log2(M/m) + 6
+};
+
+/// Simulates `scheduler` on the static `graph`, validates the schedule, and
+/// computes the metrics above.
+[[nodiscard]] RunMetrics evaluate(const TaskGraph& graph,
+                                  OnlineScheduler& scheduler, int procs);
+
+/// Same for an adaptive source; the realized graph provides the bounds.
+[[nodiscard]] RunMetrics evaluate(InstanceSource& source,
+                                  OnlineScheduler& scheduler, int procs);
+
+/// Factory for a named scheduler lineup used by the comparison benches.
+struct NamedScheduler {
+  std::string label;
+  std::function<std::unique_ptr<OnlineScheduler>()> make;
+};
+
+/// CatBatch, RelaxedCatBatch and the list-scheduling family.
+[[nodiscard]] std::vector<NamedScheduler> standard_scheduler_lineup();
+
+}  // namespace catbatch

@@ -1,0 +1,27 @@
+#include "analysis/report.hpp"
+
+#include <ostream>
+
+#include "support/text.hpp"
+
+namespace catbatch {
+
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& title) {
+  os << "\n=== " << id << ": " << title << " ===\n";
+}
+
+TextTable make_metrics_table() {
+  return TextTable(
+      {"scheduler", "n", "makespan", "Lb", "ratio", "util", "log2(n)+3"});
+}
+
+void add_metrics_row(TextTable& table, const RunMetrics& m) {
+  table.add_row({m.scheduler, std::to_string(m.task_count),
+                 format_number(static_cast<double>(m.makespan), 4),
+                 format_number(static_cast<double>(m.lower_bound), 4),
+                 format_number(m.ratio, 3), format_number(m.utilization, 3),
+                 format_number(m.theorem1_bound, 3)});
+}
+
+}  // namespace catbatch

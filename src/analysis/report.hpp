@@ -1,0 +1,24 @@
+// Report helpers shared by the bench binaries: uniform experiment headers
+// and metric-row formatting, so every regenerated figure/table reads the
+// same way and diffs cleanly against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/metrics.hpp"
+#include "support/table.hpp"
+
+namespace catbatch {
+
+/// Prints a framed experiment header:
+///   === E5: Figure 6 — CatBatch schedule of the running example ===
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& title);
+
+/// Appends a metrics row (scheduler, n, makespan, Lb, ratio, util) to a
+/// table created with metrics_table_header().
+[[nodiscard]] TextTable make_metrics_table();
+void add_metrics_row(TextTable& table, const RunMetrics& metrics);
+
+}  // namespace catbatch

@@ -1,0 +1,34 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+Time InstanceBounds::lower_bound() const {
+  if (task_count == 0) return 0.0;
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  return std::max(area / static_cast<Time>(procs), critical_path);
+}
+
+InstanceBounds compute_bounds(const TaskGraph& graph, int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  CB_CHECK(graph.max_procs_required() <= procs,
+           "instance contains a task wider than the platform");
+  InstanceBounds b;
+  b.task_count = graph.size();
+  b.procs = procs;
+  if (graph.empty()) return b;
+  b.area = graph.total_area();
+  b.critical_path = critical_path_length(graph);
+  b.min_work = graph.min_work();
+  b.max_work = graph.max_work();
+  return b;
+}
+
+Time makespan_lower_bound(const TaskGraph& graph, int procs) {
+  return compute_bounds(graph, procs).lower_bound();
+}
+
+}  // namespace catbatch

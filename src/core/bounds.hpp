@@ -1,0 +1,33 @@
+// Makespan lower bound Lb(I) = max(A(I)/P, C(I)) (Equation 1) and the
+// instance summary used throughout the analysis and experiments.
+#pragma once
+
+#include <cstddef>
+
+#include "core/criticality.hpp"
+#include "core/graph.hpp"
+#include "core/task.hpp"
+
+namespace catbatch {
+
+/// Scalar summary of an instance: everything the paper's bounds depend on.
+struct InstanceBounds {
+  std::size_t task_count = 0;  // n
+  Time area = 0.0;             // A(I) = Σ t_i p_i
+  Time critical_path = 0.0;    // C(I) = max f∞
+  Time min_work = 0.0;         // m
+  Time max_work = 0.0;         // M
+  int procs = 0;               // P
+
+  /// Lb(I) = max(A/P, C) (Equation 1). 0 for an empty instance.
+  [[nodiscard]] Time lower_bound() const;
+};
+
+/// Computes the summary for `graph` scheduled on `procs` processors.
+/// Requires procs >= max_i p_i (throws otherwise).
+[[nodiscard]] InstanceBounds compute_bounds(const TaskGraph& graph, int procs);
+
+/// Lb(I) directly (Equation 1).
+[[nodiscard]] Time makespan_lower_bound(const TaskGraph& graph, int procs);
+
+}  // namespace catbatch

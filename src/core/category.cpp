@@ -1,0 +1,75 @@
+#include "core/category.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+Time Category::value() const {
+  CB_DCHECK(longitude >= 1 && (longitude & 1) == 1,
+            "category longitude must be odd and positive");
+  CB_DCHECK(longitude < (std::int64_t{1} << 53),
+            "category longitude too large for exact double representation");
+  return std::ldexp(static_cast<Time>(longitude), power_level);
+}
+
+Time category_value(int power_level, std::int64_t longitude) {
+  return std::ldexp(static_cast<Time>(longitude), power_level);
+}
+
+Category compute_category(const Criticality& criticality) {
+  const Time s = criticality.earliest_start;
+  const Time f = criticality.earliest_finish;
+  CB_CHECK(s >= 0.0, "earliest start time must be non-negative");
+  CB_CHECK(f > s, "criticality interval must have positive length");
+  CB_CHECK(std::isfinite(s) && std::isfinite(f),
+           "criticality interval must be finite");
+
+  // Largest χ with 2^χ < f: no larger χ can admit any λ >= 1 with
+  // λ·2^χ < f. Descend from there; Lemma 2's existence argument guarantees
+  // we find a multiple once 2^χ < f - s, so the loop terminates after at
+  // most a few iterations beyond log2(f / (f - s)).
+  int chi = std::ilogb(f);
+  if (std::ldexp(1.0, chi) >= f) --chi;
+
+  for (;; --chi) {
+    CB_CHECK(chi > -1060, "category search failed to converge (interval "
+                          "narrower than double resolution)");
+    const Time step = std::ldexp(1.0, chi);
+    // Smallest integer λ with λ·step > s. floor(s/step) is exact: dividing
+    // by a power of two only changes the exponent.
+    const Time lambda_real = std::floor(s / step) + 1.0;
+    if (lambda_real * step < f) {
+      CB_CHECK(lambda_real < 0x1.0p53,
+               "longitude exceeds exact integer range of double");
+      const auto lambda = static_cast<std::int64_t>(lambda_real);
+      // Lemma 2: λ is odd and the interval is contained in
+      // [(λ-1)·2^χ, (λ+1)·2^χ].
+      CB_DCHECK((lambda & 1) == 1, "Lemma 2 violated: even longitude");
+      CB_DCHECK(static_cast<Time>(lambda - 1) * step <= s,
+                "Lemma 2 violated: (λ-1)·2^χ > s∞");
+      CB_DCHECK(f <= static_cast<Time>(lambda + 1) * step,
+                "Lemma 2 violated: f∞ > (λ+1)·2^χ");
+      return Category{chi, lambda};
+    }
+  }
+}
+
+std::vector<Category> compute_categories(
+    const TaskGraph& graph, const std::vector<Criticality>& criticalities) {
+  CB_CHECK(criticalities.size() == graph.size(),
+           "criticality vector does not match graph");
+  std::vector<Category> cats;
+  cats.reserve(graph.size());
+  for (const Criticality& c : criticalities) {
+    cats.push_back(compute_category(c));
+  }
+  return cats;
+}
+
+std::vector<Category> compute_categories(const TaskGraph& graph) {
+  return compute_categories(graph, compute_criticalities(graph));
+}
+
+}  // namespace catbatch

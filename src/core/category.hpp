@@ -1,0 +1,66 @@
+// Power level, longitude and category of a task (Definitions 2-3, Lemma 2).
+//
+// Given a criticality interval (s∞, f∞), the power level is
+//     χ = max{ χ' ∈ Z : ∃λ ∈ N, s∞ < λ·2^χ' < f∞ },
+// the longitude λ is the unique (odd, by Lemma 2) integer with
+// s∞ < λ·2^χ < f∞, and the category is ζ = λ·2^χ.
+//
+// Exactness: the computation below uses only comparisons of s∞/f∞ against
+// integer multiples of powers of two. Powers of two, divisions by them, and
+// small-integer multiples of them are exact in IEEE-754 binary doubles, so
+// the strict inequalities of Definition 2 are evaluated exactly whenever the
+// inputs s∞ and f∞ are exact. Instance generators in this repository emit
+// task lengths as multiples of 2^-20 to keep the criticality recurrence
+// (sums of lengths) exact as well.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+#include "core/criticality.hpp"
+#include "core/task.hpp"
+
+namespace catbatch {
+
+/// A category ζ = λ·2^χ, stored as the exact pair (χ, λ) with λ odd.
+/// Distinct (χ, odd λ) pairs denote distinct real values, so the pair is a
+/// canonical representation.
+struct Category {
+  int power_level = 0;         // χ
+  std::int64_t longitude = 1;  // λ, odd and >= 1
+
+  /// The real value ζ = λ·2^χ. Exact as long as λ < 2^53 (checked).
+  [[nodiscard]] Time value() const;
+
+  /// Categories are totally ordered by their real value ζ; CatBatch
+  /// processes batches in increasing category order (Algorithm 3).
+  [[nodiscard]] std::partial_ordering operator<=>(const Category& o) const {
+    return value() <=> o.value();
+  }
+  [[nodiscard]] bool operator==(const Category& o) const {
+    return power_level == o.power_level && longitude == o.longitude;
+  }
+};
+
+/// Computes the category of a task from its criticality interval
+/// (Definitions 2-3). Requires 0 <= s∞ < f∞. Verifies Lemma 2's guarantees
+/// (λ odd; (λ-1)·2^χ <= s∞ and f∞ <= (λ+1)·2^χ) in debug builds.
+[[nodiscard]] Category compute_category(const Criticality& criticality);
+
+/// Convenience overload.
+[[nodiscard]] inline Category compute_category(Time earliest_start,
+                                               Time earliest_finish) {
+  return compute_category(Criticality{earliest_start, earliest_finish});
+}
+
+/// ζ value of an explicit (χ, λ) pair; λ need not be odd here (used when
+/// enumerating lattice points as in Figure 2).
+[[nodiscard]] Time category_value(int power_level, std::int64_t longitude);
+
+/// Categories of all tasks of a graph, indexed by TaskId.
+[[nodiscard]] std::vector<Category> compute_categories(const TaskGraph& graph);
+[[nodiscard]] std::vector<Category> compute_categories(
+    const TaskGraph& graph, const std::vector<Criticality>& criticalities);
+
+}  // namespace catbatch

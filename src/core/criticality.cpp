@@ -1,0 +1,45 @@
+#include "core/criticality.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+std::vector<Criticality> compute_criticalities(const TaskGraph& graph) {
+  std::vector<Criticality> crit(graph.size());
+  for (const TaskId id : graph.topological_order()) {
+    Time start = 0.0;
+    for (const TaskId pred : graph.predecessors(id)) {
+      start = std::max(start, crit[pred].earliest_finish);
+    }
+    crit[id].earliest_start = start;
+    crit[id].earliest_finish = start + graph.task(id).work;
+  }
+  return crit;
+}
+
+Time critical_path_length(const TaskGraph& graph) {
+  return critical_path_length(compute_criticalities(graph));
+}
+
+Time critical_path_length(const std::vector<Criticality>& criticalities) {
+  Time best = 0.0;
+  for (const Criticality& c : criticalities) {
+    best = std::max(best, c.earliest_finish);
+  }
+  return best;
+}
+
+Criticality criticality_from_predecessors(
+    Time work, const std::vector<Time>& predecessor_finish_times) {
+  CB_CHECK(work > 0.0, "task execution time must be strictly positive");
+  Time start = 0.0;
+  for (const Time f : predecessor_finish_times) {
+    CB_CHECK(f >= 0.0, "predecessor finish time must be non-negative");
+    start = std::max(start, f);
+  }
+  return Criticality{start, start + work};
+}
+
+}  // namespace catbatch

@@ -1,0 +1,42 @@
+// Criticality (Definition 1 and Lemma 1): for each task, the interval
+// (s∞, f∞) in which it would run under an ASAP schedule with unlimited
+// processors. s∞ equals the longest path length from any root to the task.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/task.hpp"
+
+namespace catbatch {
+
+/// The (s∞, f∞) interval of Definition 1.
+struct Criticality {
+  Time earliest_start = 0.0;   // s∞
+  Time earliest_finish = 0.0;  // f∞ = s∞ + t
+
+  friend bool operator==(const Criticality&, const Criticality&) = default;
+};
+
+/// Computes (s∞, f∞) for every task of `graph` by the recurrence of
+/// Lemma 1: s∞(T) = max over predecessors of f∞, or 0 for roots.
+/// Result is indexed by TaskId. Throws on a cyclic graph.
+[[nodiscard]] std::vector<Criticality> compute_criticalities(
+    const TaskGraph& graph);
+
+/// Critical-path length C(I) = max_j f∞_j (Definition 1). Returns 0 for an
+/// empty graph.
+[[nodiscard]] Time critical_path_length(const TaskGraph& graph);
+
+/// Same, reusing previously computed criticalities.
+[[nodiscard]] Time critical_path_length(
+    const std::vector<Criticality>& criticalities);
+
+/// Incremental online variant of Lemma 1, as used by the CatBatch scheduler:
+/// given the earliest-finish times of a task's predecessors (already
+/// revealed), returns the task's criticality. The scheduler maintains its own
+/// f∞ record and never needs the full graph.
+[[nodiscard]] Criticality criticality_from_predecessors(
+    Time work, const std::vector<Time>& predecessor_finish_times);
+
+}  // namespace catbatch

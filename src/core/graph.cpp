@@ -1,0 +1,219 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+TaskId TaskGraph::add_task(Time work, int procs, std::string name) {
+  CB_CHECK(work > 0.0, "task execution time must be strictly positive");
+  CB_CHECK(procs >= 1, "task processor requirement must be at least 1");
+  CB_CHECK(tasks_.size() < std::numeric_limits<TaskId>::max(),
+           "task id space exhausted");
+  const auto id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(Task{work, procs, std::move(name)});
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return id;
+}
+
+void TaskGraph::add_edge(TaskId pred, TaskId succ) {
+  CB_CHECK(pred < tasks_.size() && succ < tasks_.size(),
+           "edge endpoint out of range");
+  CB_CHECK(pred != succ, "self-loops are not allowed in a DAG");
+  auto& out = succs_[pred];
+  if (std::find(out.begin(), out.end(), succ) != out.end()) return;
+  out.push_back(succ);
+  preds_[succ].push_back(pred);
+  ++edges_;
+}
+
+const Task& TaskGraph::task(TaskId id) const {
+  CB_CHECK(id < tasks_.size(), "task id out of range");
+  return tasks_[id];
+}
+
+Task& TaskGraph::task(TaskId id) {
+  CB_CHECK(id < tasks_.size(), "task id out of range");
+  return tasks_[id];
+}
+
+std::span<const TaskId> TaskGraph::predecessors(TaskId id) const {
+  CB_CHECK(id < tasks_.size(), "task id out of range");
+  return preds_[id];
+}
+
+std::span<const TaskId> TaskGraph::successors(TaskId id) const {
+  CB_CHECK(id < tasks_.size(), "task id out of range");
+  return succs_[id];
+}
+
+std::vector<TaskId> TaskGraph::roots() const {
+  std::vector<TaskId> out;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (preds_[id].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::sinks() const {
+  std::vector<TaskId> out;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (succs_[id].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  std::vector<std::size_t> in_degree(tasks_.size());
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    in_degree[id] = preds_[id].size();
+  }
+  std::deque<TaskId> ready;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (in_degree[id] == 0) ready.push_back(id);
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const TaskId succ : succs_[id]) {
+      if (--in_degree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  CB_CHECK(order.size() == tasks_.size(), "task graph contains a cycle");
+  return order;
+}
+
+bool TaskGraph::is_acyclic() const {
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const ContractViolation&) {
+    return false;
+  }
+}
+
+void TaskGraph::validate(int max_procs) const {
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    const Task& t = tasks_[id];
+    CB_CHECK(t.work > 0.0, "task has non-positive execution time");
+    CB_CHECK(t.procs >= 1, "task has processor requirement below 1");
+    if (max_procs > 0) {
+      CB_CHECK(t.procs <= max_procs,
+               "task requires more processors than the platform has");
+    }
+  }
+  (void)topological_order();  // throws on cycle
+}
+
+int TaskGraph::max_procs_required() const noexcept {
+  int best = 0;
+  for (const Task& t : tasks_) best = std::max(best, t.procs);
+  return best;
+}
+
+Time TaskGraph::total_area() const noexcept {
+  Time area = 0.0;
+  for (const Task& t : tasks_) area += t.area();
+  return area;
+}
+
+Time TaskGraph::min_work() const {
+  CB_CHECK(!tasks_.empty(), "min_work of an empty graph");
+  Time best = tasks_.front().work;
+  for (const Task& t : tasks_) best = std::min(best, t.work);
+  return best;
+}
+
+Time TaskGraph::max_work() const {
+  CB_CHECK(!tasks_.empty(), "max_work of an empty graph");
+  Time best = tasks_.front().work;
+  for (const Task& t : tasks_) best = std::max(best, t.work);
+  return best;
+}
+
+std::size_t TaskGraph::depth() const {
+  std::vector<std::size_t> level(tasks_.size(), 0);
+  std::size_t best = tasks_.empty() ? 0 : 1;
+  for (const TaskId id : topological_order()) {
+    std::size_t lvl = 1;
+    for (const TaskId pred : preds_[id]) lvl = std::max(lvl, level[pred] + 1);
+    level[id] = lvl;
+    best = std::max(best, lvl);
+  }
+  return best;
+}
+
+bool TaskGraph::reaches(TaskId from, TaskId to) const {
+  CB_CHECK(from < tasks_.size() && to < tasks_.size(),
+           "task id out of range");
+  if (from == to) return true;
+  std::vector<bool> seen(tasks_.size(), false);
+  std::deque<TaskId> frontier{from};
+  seen[from] = true;
+  while (!frontier.empty()) {
+    const TaskId id = frontier.front();
+    frontier.pop_front();
+    for (const TaskId succ : succs_[id]) {
+      if (succ == to) return true;
+      if (!seen[succ]) {
+        seen[succ] = true;
+        frontier.push_back(succ);
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t TaskGraph::transitive_reduction() {
+  // An edge (u, v) is redundant iff v is reachable from u through some
+  // other successor of u. O(E * (V + E)) via per-edge BFS — fine for the
+  // instance sizes this library targets; hot paths never call this.
+  std::size_t removed = 0;
+  for (TaskId u = 0; u < tasks_.size(); ++u) {
+    std::vector<TaskId>& out = succs_[u];
+    for (std::size_t k = 0; k < out.size();) {
+      const TaskId v = out[k];
+      bool redundant = false;
+      for (const TaskId mid : out) {
+        if (mid == v) continue;
+        if (reaches(mid, v)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (redundant) {
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(k));
+        auto& in = preds_[v];
+        in.erase(std::find(in.begin(), in.end(), u));
+        --edges_;
+        ++removed;
+      } else {
+        ++k;
+      }
+    }
+  }
+  return removed;
+}
+
+TaskId TaskGraph::append(const TaskGraph& other) {
+  const auto offset = static_cast<TaskId>(tasks_.size());
+  for (TaskId id = 0; id < other.size(); ++id) {
+    const Task& t = other.task(id);
+    add_task(t.work, t.procs, t.name);
+  }
+  for (TaskId id = 0; id < other.size(); ++id) {
+    for (const TaskId succ : other.successors(id)) {
+      add_edge(offset + id, offset + succ);
+    }
+  }
+  return offset;
+}
+
+}  // namespace catbatch

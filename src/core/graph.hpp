@@ -1,0 +1,93 @@
+// Directed acyclic graph of rigid tasks (Section 3.1).
+//
+// The graph is the *offline* description of an instance: the full set of
+// tasks and precedence edges. Online schedulers never see a TaskGraph; the
+// simulation engine (src/sim) reveals tasks one by one as their predecessors
+// complete.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace catbatch {
+
+/// A DAG of rigid tasks. Tasks are created with add_task() and wired with
+/// add_edge(pred, succ). Acyclicity is enforced lazily: topological_order()
+/// and validate() throw ContractViolation on a cycle.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Creates a task and returns its id. `work` must be > 0, `procs` >= 1.
+  TaskId add_task(Time work, int procs, std::string name = {});
+
+  /// Adds a precedence edge: `succ` cannot start until `pred` completes.
+  /// Parallel edges are ignored (idempotent); self-loops are rejected.
+  void add_edge(TaskId pred, TaskId succ);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] Task& task(TaskId id);
+
+  [[nodiscard]] std::span<const TaskId> predecessors(TaskId id) const;
+  [[nodiscard]] std::span<const TaskId> successors(TaskId id) const;
+
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Tasks with no predecessors (the initially-ready set).
+  [[nodiscard]] std::vector<TaskId> roots() const;
+
+  /// Tasks with no successors.
+  [[nodiscard]] std::vector<TaskId> sinks() const;
+
+  /// A topological order of all tasks (Kahn's algorithm). Throws if cyclic.
+  [[nodiscard]] std::vector<TaskId> topological_order() const;
+
+  /// Returns true iff the graph is acyclic.
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Full structural validation: acyclic, all works > 0, all procs >= 1, and
+  /// (if max_procs > 0) all procs <= max_procs. Throws on violation.
+  void validate(int max_procs = 0) const;
+
+  /// Largest processor requirement over all tasks (0 for an empty graph).
+  [[nodiscard]] int max_procs_required() const noexcept;
+
+  /// Sum of t_i * p_i over all tasks: the area A(I) (Section 3.2).
+  [[nodiscard]] Time total_area() const noexcept;
+
+  /// Shortest / longest execution time over all tasks (m and M in Thm. 2).
+  [[nodiscard]] Time min_work() const;
+  [[nodiscard]] Time max_work() const;
+
+  /// Number of tasks on the longest path counted in hops (depth of the DAG).
+  [[nodiscard]] std::size_t depth() const;
+
+  /// True iff there is a directed path from `from` to `to` (BFS). Intended
+  /// for tests and validators, not hot paths.
+  [[nodiscard]] bool reaches(TaskId from, TaskId to) const;
+
+  /// Merges `other` into this graph. Returns the id offset that was applied
+  /// to every task of `other` (its task k becomes offset + k here).
+  TaskId append(const TaskGraph& other);
+
+  /// Removes every edge implied by a longer path (transitive reduction of
+  /// the DAG — the canonical minimal instance with identical precedence
+  /// semantics). Returns the number of edges removed. Imported instances
+  /// often carry redundant edges; criticalities, categories and schedules
+  /// are invariant under this operation (property-tested).
+  std::size_t transitive_reduction();
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<std::vector<TaskId>> preds_;
+  std::vector<std::vector<TaskId>> succs_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace catbatch

@@ -1,0 +1,124 @@
+#include "core/lmatrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+Time category_length(const Category& cat, Time critical_path) {
+  CB_CHECK(critical_path > 0.0, "critical path length must be positive");
+  const Time zeta = cat.value();
+  if (critical_path <= zeta) return 0.0;
+  const Time two_chi = std::ldexp(1.0, cat.power_level);
+  const Time cap = std::ldexp(1.0, cat.power_level + 1);  // 2^{χ+1}
+  const Time tail =
+      critical_path - static_cast<Time>(cat.longitude - 1) * two_chi;
+  return std::min(cap, tail);
+}
+
+Time bounded_category_length(const Category& cat, Time critical_path,
+                             Time min_work, Time max_work) {
+  CB_CHECK(min_work > 0.0 && max_work >= min_work,
+           "task length bounds require 0 < m <= M");
+  const Time len = category_length(cat, critical_path);
+  if (len < min_work) return 0.0;
+  return std::min(max_work, len);
+}
+
+LMatrix::LMatrix(Time critical_path) : critical_path_(critical_path) {
+  CB_CHECK(critical_path > 0.0, "critical path length must be positive");
+  CB_CHECK(std::isfinite(critical_path), "critical path must be finite");
+  // X with 2^X < C <= 2^{X+1}. ilogb gives the largest e with 2^e <= C;
+  // decrement when C is exactly a power of two.
+  x_ = std::ilogb(critical_path);
+  if (std::ldexp(1.0, x_) >= critical_path) --x_;
+  CB_DCHECK(std::ldexp(1.0, x_) < critical_path &&
+                critical_path <= std::ldexp(1.0, x_ + 1),
+            "X bracket invariant violated");
+}
+
+Category LMatrix::category_at(std::size_t i, std::size_t j) const {
+  CB_CHECK(i >= 1 && j >= 1, "L-matrix indices are 1-based");
+  const int chi = x_ + 1 - static_cast<int>(i);
+  const auto lambda = static_cast<std::int64_t>(2 * j - 1);
+  return Category{chi, lambda};
+}
+
+Time LMatrix::at(std::size_t i, std::size_t j) const {
+  const Category cat = category_at(i, j);
+  // Closed form of Lemma 4; equal by construction to
+  // category_length(cat, C), which the unit tests verify exhaustively.
+  const Time step = std::ldexp(1.0, x_ + 2 - static_cast<int>(i));  // 2^{χ+1}
+  const Time jd = static_cast<Time>(j);
+  if (jd * step <= critical_path_) return step;
+  if (static_cast<Time>(2 * j - 1) * (step / 2) < critical_path_) {
+    return critical_path_ - (jd - 1.0) * step;
+  }
+  (void)cat;
+  return 0.0;
+}
+
+std::size_t LMatrix::positive_count_in_row(std::size_t i) const {
+  CB_CHECK(i >= 1, "L-matrix indices are 1-based");
+  // Entries in a row are positive for a prefix of columns; the count is
+  // bounded by 2^{i-1} (Theorem 2 proof, Claim 3), so a linear scan is fine.
+  std::size_t count = 0;
+  for (std::size_t j = 1; at(i, j) > 0.0; ++j) ++count;
+  return count;
+}
+
+Time LMatrix::row_sum(std::size_t i) const {
+  Time sum = 0.0;
+  for (std::size_t j = 1;; ++j) {
+    const Time v = at(i, j);
+    if (v <= 0.0) break;
+    sum += v;
+  }
+  return sum;
+}
+
+std::vector<Time> LMatrix::top_values(std::size_t n) const {
+  std::vector<Time> out;
+  out.reserve(n);
+  for (std::size_t i = 1; out.size() < n; ++i) {
+    // Every row below the first has at least one positive entry
+    // (ℓ_{i,1} = 2^{X+2-i} <= C for i >= 2), so the loop always progresses.
+    const std::size_t row_positives = positive_count_in_row(i);
+    for (std::size_t j = 1; j <= row_positives && out.size() < n; ++j) {
+      out.push_back(at(i, j));
+    }
+  }
+  return out;
+}
+
+Time LMatrix::top_sum(std::size_t n) const {
+  Time sum = 0.0;
+  for (const Time v : top_values(n)) sum += v;
+  return sum;
+}
+
+double theorem1_bound(std::size_t n) {
+  CB_CHECK(n >= 1, "Theorem 1 bound requires at least one task");
+  return std::log2(static_cast<double>(n)) + 3.0;
+}
+
+double theorem2_bound(Time max_work, Time min_work) {
+  CB_CHECK(min_work > 0.0 && max_work >= min_work,
+           "Theorem 2 bound requires 0 < m <= M");
+  return std::log2(max_work / min_work) + 6.0;
+}
+
+double theorem3_bound_n(std::size_t n) {
+  CB_CHECK(n >= 1, "Theorem 3 bound requires at least one task");
+  return std::log2(static_cast<double>(n)) / 5.0;
+}
+
+double theorem3_bound_ratio(Time max_work, Time min_work) {
+  CB_CHECK(min_work > 0.0 && max_work >= min_work,
+           "Theorem 3 bound requires 0 < m <= M");
+  return std::log2(max_work / min_work) / 5.0;
+}
+
+}  // namespace catbatch

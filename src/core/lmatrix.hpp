@@ -1,0 +1,81 @@
+// Category lengths and the L-matrix (Definitions 4-5, Lemma 4), plus the
+// bounded L*-matrix used in the proof of Theorem 2.
+//
+// For an instance with critical-path length C, the length of category
+// ζ = λ·2^χ is
+//     L_ζ = min(2^{χ+1}, C − (λ−1)·2^χ)   if ζ < C,   and 0 otherwise,
+// an upper bound on the execution time of any task in that category
+// (Lemma 3). The L-matrix arranges these values with one row per power
+// level (descending from χ = X, where 2^X < C <= 2^{X+1}) and one column
+// per odd longitude λ = 2j−1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/category.hpp"
+#include "core/task.hpp"
+
+namespace catbatch {
+
+/// L_ζ for category `cat` in any instance of critical-path length
+/// `critical_path` (Definition 4).
+[[nodiscard]] Time category_length(const Category& cat, Time critical_path);
+
+/// L*_ζ: the category length sharpened by task-length bounds m and M
+/// (Section 5, before Theorem 2): min(M, L_ζ) if L_ζ >= m, else 0.
+[[nodiscard]] Time bounded_category_length(const Category& cat,
+                                           Time critical_path, Time min_work,
+                                           Time max_work);
+
+/// The (conceptually infinite) L-matrix of Definition 5, materialized
+/// lazily: rows and columns are 1-based as in the paper (row i has power
+/// level χ = X+1−i, column j has longitude λ = 2j−1).
+class LMatrix {
+ public:
+  /// Requires critical_path > 0.
+  explicit LMatrix(Time critical_path);
+
+  [[nodiscard]] Time critical_path() const noexcept { return critical_path_; }
+
+  /// X such that 2^X < C <= 2^{X+1}.
+  [[nodiscard]] int X() const noexcept { return x_; }
+
+  /// Category of cell (i, j): power level X+1−i, longitude 2j−1. 1-based.
+  [[nodiscard]] Category category_at(std::size_t i, std::size_t j) const;
+
+  /// ℓ_{i,j}, computed by the closed form of Lemma 4. 1-based.
+  [[nodiscard]] Time at(std::size_t i, std::size_t j) const;
+
+  /// Number of strictly positive entries in row i (at most 2^{i-1}; the
+  /// paper's Theorem 2 proof, Claim 3).
+  [[nodiscard]] std::size_t positive_count_in_row(std::size_t i) const;
+
+  /// Sum of row i (at most C; Theorem 1 proof, Claim 2).
+  [[nodiscard]] Time row_sum(std::size_t i) const;
+
+  /// Sum of the n largest entries of the matrix. By Theorem 1's Claim 1 the
+  /// maximum is attained by walking rows top to bottom, left to right over
+  /// positive entries; this is what the function does.
+  [[nodiscard]] Time top_sum(std::size_t n) const;
+
+  /// The n largest entries themselves, in the row-major order above.
+  [[nodiscard]] std::vector<Time> top_values(std::size_t n) const;
+
+ private:
+  Time critical_path_;
+  int x_;
+};
+
+/// Theorem bound helpers (right-hand sides of the paper's main results).
+/// Theorem 1: T_CatBatch / Lb <= log2(n) + 3 for any instance with n >= 1.
+[[nodiscard]] double theorem1_bound(std::size_t n);
+
+/// Theorem 2: T_CatBatch / Lb <= log2(M/m) + 6.
+[[nodiscard]] double theorem2_bound(Time max_work, Time min_work);
+
+/// Theorem 3 lower-bound curves: log2(n)/5 and log2(M/m)/5.
+[[nodiscard]] double theorem3_bound_n(std::size_t n);
+[[nodiscard]] double theorem3_bound_ratio(Time max_work, Time min_work);
+
+}  // namespace catbatch

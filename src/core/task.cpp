@@ -1,0 +1,6 @@
+// task.hpp is header-only; this translation unit only anchors the target.
+#include "core/task.hpp"
+
+namespace catbatch {
+static_assert(sizeof(Task) > 0);
+}  // namespace catbatch

@@ -1,0 +1,39 @@
+// Basic task model for rigid parallel tasks (Section 3.1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace catbatch {
+
+/// Dense task identifier: the index of the task inside its TaskGraph.
+using TaskId = std::uint32_t;
+
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+
+/// Simulated time. The paper works over the reals; we use double and keep
+/// the category computation exact (see core/category.hpp for the argument).
+using Time = double;
+
+/// A rigid task T_i: executes for `work` time units on exactly `procs`
+/// processors, which are held for the task's entire execution (Section 3.1).
+struct Task {
+  /// Execution time t_i. Must be strictly positive.
+  Time work = 0.0;
+
+  /// Processor requirement p_i. Must be in [1, P] for the target platform.
+  int procs = 1;
+
+  /// Optional human-readable label (used by examples and traces).
+  std::string name;
+
+  /// Area contribution t_i * p_i of this task (Section 3.2).
+  [[nodiscard]] Time area() const noexcept {
+    return work * static_cast<Time>(procs);
+  }
+
+  friend bool operator==(const Task&, const Task&) = default;
+};
+
+}  // namespace catbatch

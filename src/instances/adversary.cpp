@@ -1,0 +1,279 @@
+#include "instances/adversary.hpp"
+
+#include <numeric>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+std::int64_t ipow(std::int64_t base, int exp) {
+  CB_CHECK(exp >= 0, "ipow requires a non-negative exponent");
+  std::int64_t out = 1;
+  for (int k = 0; k < exp; ++k) {
+    CB_CHECK(out <= (std::int64_t{1} << 62) / base, "ipow overflow");
+    out *= base;
+  }
+  return out;
+}
+
+namespace {
+
+void check_params(int procs, int base, Time epsilon) {
+  CB_CHECK(procs >= 1, "construction requires P >= 1");
+  CB_CHECK(base >= 2, "construction requires K >= 2");
+  CB_CHECK(epsilon > 0.0, "construction requires ε > 0");
+}
+
+/// Appends one chain L^i_P(K) to `graph` (blue K^i/1-proc alternating with
+/// red ε/P-proc, 2·K^{P-1-i} tasks) and returns its ids in chain order.
+ChainIds append_chain(TaskGraph& graph, int procs, int type, int base,
+                      Time epsilon, const std::string& tag) {
+  ChainIds chain;
+  chain.type = type;
+  const std::int64_t pairs = ipow(base, procs - 1 - type);
+  const Time blue_len = static_cast<Time>(ipow(base, type));
+  TaskId prev = kInvalidTask;
+  for (std::int64_t r = 0; r < pairs; ++r) {
+    const TaskId blue = graph.add_task(
+        blue_len, 1, tag + "b" + std::to_string(r));
+    if (prev != kInvalidTask) graph.add_edge(prev, blue);
+    const TaskId red =
+        graph.add_task(epsilon, procs, tag + "r" + std::to_string(r));
+    graph.add_edge(blue, red);
+    chain.tasks.push_back(blue);
+    chain.tasks.push_back(red);
+    prev = red;
+  }
+  return chain;
+}
+
+}  // namespace
+
+XInstance make_x_instance(int procs, int base, Time epsilon) {
+  check_params(procs, base, epsilon);
+  XInstance x;
+  x.procs = procs;
+  x.base = base;
+  x.epsilon = epsilon;
+  for (int i = 0; i < procs; ++i) {
+    x.chains.push_back(append_chain(x.graph, procs, i, base, epsilon,
+                                    "L" + std::to_string(i) + "."));
+  }
+  return x;
+}
+
+std::int64_t x_task_count(int procs, int base) {
+  std::int64_t n = 0;
+  for (int i = 0; i < procs; ++i) n += 2 * ipow(base, procs - 1 - i);
+  return n;
+}
+
+Time x_optimal_lower_bound(int procs, int base) {
+  // Lemma 8: T_Opt(X_P(K)) > P·K^{P-1} − (P−1)·K^{P-2}.
+  const Time kp1 = static_cast<Time>(ipow(base, procs - 1));
+  const Time kp2 =
+      procs >= 2 ? static_cast<Time>(ipow(base, procs - 2)) : 0.0;
+  return static_cast<Time>(procs) * kp1 -
+         static_cast<Time>(procs - 1) * kp2;
+}
+
+YInstance make_y_instance(int procs, int type, int base, Time epsilon) {
+  check_params(procs, base, epsilon);
+  CB_CHECK(type >= 0 && type < procs, "chain type must be in [0, P-1]");
+  YInstance y;
+  y.procs = procs;
+  y.type = type;
+  y.base = base;
+  y.epsilon = epsilon;
+  for (int c = 0; c < procs; ++c) {
+    y.chains.push_back(append_chain(y.graph, procs, type, base, epsilon,
+                                    "Y" + std::to_string(c) + "."));
+  }
+  return y;
+}
+
+Schedule y_optimal_schedule(const YInstance& y) {
+  const int P = y.procs;
+  std::vector<int> all_procs(static_cast<std::size_t>(P));
+  std::iota(all_procs.begin(), all_procs.end(), 0);
+  const Time blue_len = static_cast<Time>(ipow(y.base, y.type));
+  const std::int64_t rounds = ipow(y.base, P - 1 - y.type);
+
+  Schedule schedule;
+  Time t = 0.0;
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    // Blue phase: the r-th blue of every chain, one chain per processor.
+    for (int c = 0; c < P; ++c) {
+      const TaskId blue =
+          y.chains[static_cast<std::size_t>(c)].tasks[static_cast<std::size_t>(
+              2 * r)];
+      schedule.add(blue, t, t + blue_len, {c});
+    }
+    t += blue_len;
+    // Red phase: the r-th red of every chain, back-to-back on all P.
+    for (int c = 0; c < P; ++c) {
+      const TaskId red =
+          y.chains[static_cast<std::size_t>(c)].tasks[static_cast<std::size_t>(
+              2 * r + 1)];
+      schedule.add(red, t, t + y.epsilon, all_procs);
+      t += y.epsilon;
+    }
+  }
+  return schedule;
+}
+
+Time y_optimal_makespan(int procs, int type, int base, Time epsilon) {
+  // Lemma 9: K^{P-1} + P·K^{P-i-1}·ε.
+  return static_cast<Time>(ipow(base, procs - 1)) +
+         static_cast<Time>(procs) *
+             static_cast<Time>(ipow(base, procs - 1 - type)) * epsilon;
+}
+
+// ---------------------------------------------------------------------------
+// Z^Alg_P(K)
+
+ZAdversarySource::ZAdversarySource(int procs, int base, Time epsilon)
+    : procs_(procs), base_(base), epsilon_(epsilon) {
+  check_params(procs, base, epsilon);
+}
+
+std::vector<SourceTask> ZAdversarySource::emit_layer(TaskId unlock_pred) {
+  Layer layer;
+  std::vector<SourceTask> out;
+  const auto layer_tag =
+      "Z" + std::to_string(layers_.size()) + ".L";
+  for (int i = 0; i < procs_; ++i) {
+    const ChainIds chain = append_chain(graph_, procs_, i, base_, epsilon_,
+                                        layer_tag + std::to_string(i) + ".");
+    for (std::size_t k = 0; k < chain.tasks.size(); ++k) {
+      const TaskId id = chain.tasks[k];
+      chain_of_task_.resize(std::max<std::size_t>(chain_of_task_.size(),
+                                                  id + std::size_t{1}),
+                            -1);
+      chain_of_task_[id] = i;
+      SourceTask st;
+      const Task& t = graph_.task(id);
+      st.work = t.work;
+      st.procs = t.procs;
+      st.name = t.name;
+      const auto preds = graph_.predecessors(id);
+      st.predecessors.assign(preds.begin(), preds.end());
+      if (k == 0 && unlock_pred != kInvalidTask) {
+        // Definition 9: the new X_P(K) hangs off the last task the
+        // algorithm completed in the previous layer.
+        graph_.add_edge(unlock_pred, id);
+        st.predecessors.push_back(unlock_pred);
+      }
+      out.push_back(std::move(st));
+    }
+    layer.chains.push_back(chain);
+  }
+  layers_.push_back(std::move(layer));
+  remaining_in_layer_ = x_task_count(procs_, base_);
+  return out;
+}
+
+std::vector<SourceTask> ZAdversarySource::start() {
+  graph_ = TaskGraph{};
+  layers_.clear();
+  chain_of_task_.clear();
+  return emit_layer(kInvalidTask);
+}
+
+std::vector<SourceTask> ZAdversarySource::on_complete(TaskId id, Time) {
+  CB_DCHECK(remaining_in_layer_ > 0, "completion outside the current layer");
+  if (--remaining_in_layer_ > 0) return {};
+
+  // `id` is the last task of the current layer to complete: the unlock
+  // task. Being last, it must be the final task of its chain.
+  Layer& layer = layers_.back();
+  layer.unlock_task = id;
+  layer.unlock_chain = chain_of_task_[id];
+  CB_CHECK(layer.chains[static_cast<std::size_t>(layer.unlock_chain)]
+                   .tasks.back() == id,
+           "unlock task is not the final task of its chain");
+
+  if (layers_.size() >= static_cast<std::size_t>(procs_)) return {};
+  return emit_layer(id);
+}
+
+std::int64_t z_task_count(int procs, int base) {
+  return static_cast<std::int64_t>(procs) * x_task_count(procs, base);
+}
+
+Time z_online_lower_bound(int procs, int base) {
+  // Lemma 10: P²·K^{P-1} − P(P−1)·K^{P-2}.
+  return static_cast<Time>(procs) * x_optimal_lower_bound(procs, base);
+}
+
+Time z_offline_upper_bound(int procs, int base, Time epsilon) {
+  // Lemma 11: 2P(K^{P-1} + P·K^P·ε).
+  return 2.0 * static_cast<Time>(procs) *
+         (static_cast<Time>(ipow(base, procs - 1)) +
+          static_cast<Time>(procs) * static_cast<Time>(ipow(base, procs)) *
+              epsilon);
+}
+
+Schedule z_offline_schedule(const ZAdversarySource& source) {
+  const int P = source.procs();
+  const int K = source.base();
+  const Time eps = source.epsilon();
+  const auto& layers = source.layers();
+  CB_CHECK(layers.size() == static_cast<std::size_t>(P),
+           "z_offline_schedule requires a completed adversary run");
+
+  std::vector<int> all_procs(static_cast<std::size_t>(P));
+  std::iota(all_procs.begin(), all_procs.end(), 0);
+  Schedule schedule;
+  Time t = 0.0;
+
+  // Phase 1 (Lemma 11): the unlock chain of each non-final layer, strictly
+  // in layer order — chain ℓ's first task depends on layer ℓ-1's unlock
+  // task, which is exactly the previous chain's last task.
+  for (std::size_t ell = 0; ell + 1 < layers.size(); ++ell) {
+    const ZAdversarySource::Layer& layer = layers[ell];
+    const ChainIds& chain =
+        layer.chains[static_cast<std::size_t>(layer.unlock_chain)];
+    const Time blue_len = static_cast<Time>(ipow(K, chain.type));
+    for (std::size_t k = 0; k < chain.tasks.size(); k += 2) {
+      schedule.add(chain.tasks[k], t, t + blue_len, {0});
+      t += blue_len;
+      schedule.add(chain.tasks[k + 1], t, t + eps, all_procs);
+      t += eps;
+    }
+  }
+
+  // Phase 2: remaining chains grouped by type i, each group scheduled like
+  // Y^i_P(K) (blue round in parallel, red round sequential). Every group
+  // has at most P chains (one per layer), so one processor per chain works.
+  for (int i = 0; i < P; ++i) {
+    std::vector<const ChainIds*> group;
+    for (std::size_t ell = 0; ell < layers.size(); ++ell) {
+      const bool used_in_phase1 =
+          ell + 1 < layers.size() && layers[ell].unlock_chain == i;
+      if (!used_in_phase1) {
+        group.push_back(&layers[ell].chains[static_cast<std::size_t>(i)]);
+      }
+    }
+    if (group.empty()) continue;
+    const Time blue_len = static_cast<Time>(ipow(K, i));
+    const std::int64_t rounds = ipow(K, P - 1 - i);
+    for (std::int64_t r = 0; r < rounds; ++r) {
+      for (std::size_t c = 0; c < group.size(); ++c) {
+        schedule.add(group[c]->tasks[static_cast<std::size_t>(2 * r)], t,
+                     t + blue_len, {static_cast<int>(c)});
+      }
+      t += blue_len;
+      for (std::size_t c = 0; c < group.size(); ++c) {
+        schedule.add(group[c]->tasks[static_cast<std::size_t>(2 * r + 1)], t,
+                     t + eps, all_procs);
+        t += eps;
+      }
+    }
+  }
+
+  return schedule;
+}
+
+}  // namespace catbatch

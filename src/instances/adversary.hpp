@@ -1,0 +1,132 @@
+// The lower-bound constructions of Section 6:
+//   * L^i_P(K): a linear chain alternating a "blue" task (length K^i, one
+//     processor) and a "red" task (length ε, all P processors)
+//     (Definition 6);
+//   * X_P(K): P independent chains L^0..L^{P-1} (Definition 7, Figure 8) —
+//     poorly schedulable: T_Opt > P·K^{P-1} − (P−1)·K^{P-2} (Lemma 8);
+//   * Y^i_P(K): P identical copies of L^i (Definition 8, Figure 9) —
+//     perfectly schedulable: T_Opt = K^{P-1} + P·K^{P-i-1}·ε (Lemma 9);
+//   * Z^Alg_P(K): the adaptive instance of Definition 9 (Figure 10): P
+//     layers of X_P(K), where layer ℓ+1 hangs off whichever task the online
+//     algorithm finished *last* in layer ℓ. Any online algorithm pays
+//     ≥ P²K^{P-1} − P(P−1)K^{P-2} (Lemma 10) while the offline optimum stays
+//     below 2P(K^{P-1} + P·K^P·ε) (Lemma 11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "sim/schedule.hpp"
+#include "sim/source.hpp"
+
+namespace catbatch {
+
+/// Integer power for the K^i arithmetic of the constructions.
+[[nodiscard]] std::int64_t ipow(std::int64_t base, int exp);
+
+/// Ids of one chain L^i_P(K) inside some graph, in chain order
+/// (blue, red, blue, red, ...).
+struct ChainIds {
+  int type = 0;  // i: blue length is K^i
+  std::vector<TaskId> tasks;
+};
+
+/// X_P(K) with its chain structure. Requires P >= 1, K >= 2, eps > 0.
+struct XInstance {
+  TaskGraph graph;
+  int procs = 0;       // P
+  int base = 0;        // K
+  Time epsilon = 0.0;  // ε
+  std::vector<ChainIds> chains;  // chains[i] is L^i_P(K)
+};
+
+[[nodiscard]] XInstance make_x_instance(int procs, int base, Time epsilon);
+
+/// Number of tasks in X_P(K): Σ_i 2K^{P-1-i} = 2(K^P − 1)/(K − 1).
+[[nodiscard]] std::int64_t x_task_count(int procs, int base);
+
+/// Lemma 8's strict lower bound on T_Opt(X_P(K)).
+[[nodiscard]] Time x_optimal_lower_bound(int procs, int base);
+
+/// Y^i_P(K): P identical copies of L^i_P(K).
+struct YInstance {
+  TaskGraph graph;
+  int procs = 0;
+  int type = 0;  // i
+  int base = 0;
+  Time epsilon = 0.0;
+  std::vector<ChainIds> chains;  // P copies, all of type i
+};
+
+[[nodiscard]] YInstance make_y_instance(int procs, int type, int base,
+                                        Time epsilon);
+
+/// The optimal schedule of Lemma 9's proof: all blue tasks of a round in
+/// parallel, then the round's red tasks back-to-back. Makespan
+/// K^{P-1} + P·K^{P-i-1}·ε.
+[[nodiscard]] Schedule y_optimal_schedule(const YInstance& instance);
+[[nodiscard]] Time y_optimal_makespan(int procs, int type, int base,
+                                      Time epsilon);
+
+/// The adaptive instance Z^Alg_P(K) (Definition 9). Run it through
+/// simulate() with any online scheduler; afterwards realized_graph() is the
+/// instance that particular algorithm generated, and layers() records which
+/// task unlocked each layer (needed by z_offline_schedule()).
+class ZAdversarySource final : public InstanceSource {
+ public:
+  ZAdversarySource(int procs, int base, Time epsilon);
+
+  [[nodiscard]] std::vector<SourceTask> start() override;
+  [[nodiscard]] std::vector<SourceTask> on_complete(TaskId id,
+                                                    Time now) override;
+  [[nodiscard]] const TaskGraph& realized_graph() const override {
+    return graph_;
+  }
+
+  struct Layer {
+    std::vector<ChainIds> chains;
+    /// Task of THIS layer whose completion released the next layer;
+    /// kInvalidTask for the final layer.
+    TaskId unlock_task = kInvalidTask;
+    /// Chain index (== type i) containing unlock_task.
+    int unlock_chain = -1;
+  };
+
+  /// Layers emitted so far (all P after a completed simulation).
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+
+  [[nodiscard]] int procs() const noexcept { return procs_; }
+  [[nodiscard]] int base() const noexcept { return base_; }
+  [[nodiscard]] Time epsilon() const noexcept { return epsilon_; }
+
+ private:
+  /// Emits one X_P(K) layer; every root gains `unlock_pred` as predecessor
+  /// (none for layer 0).
+  std::vector<SourceTask> emit_layer(TaskId unlock_pred);
+
+  int procs_;
+  int base_;
+  Time epsilon_;
+  TaskGraph graph_;
+  std::vector<Layer> layers_;
+  std::int64_t remaining_in_layer_ = 0;
+  std::vector<int> chain_of_task_;  // chain index by TaskId (within layer)
+};
+
+/// Total tasks of Z: P · x_task_count.
+[[nodiscard]] std::int64_t z_task_count(int procs, int base);
+
+/// Lemma 10: every online algorithm's makespan on Z is at least this.
+[[nodiscard]] Time z_online_lower_bound(int procs, int base);
+
+/// Lemma 11: the offline optimum is strictly below this.
+[[nodiscard]] Time z_offline_upper_bound(int procs, int base, Time epsilon);
+
+/// The explicit two-phase offline schedule from Lemma 11's proof, built on
+/// the realized graph of a *finished* adversary run: first the unlock chains
+/// sequentially, then the remaining chains grouped by type in Y-style
+/// rounds. The result is validated by the caller via validate_schedule().
+[[nodiscard]] Schedule z_offline_schedule(const ZAdversarySource& source);
+
+}  // namespace catbatch

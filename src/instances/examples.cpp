@@ -1,0 +1,106 @@
+#include "instances/examples.hpp"
+
+#include <numeric>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+IntroInstance make_intro_instance(int procs, Time epsilon) {
+  CB_CHECK(procs >= 1, "intro instance needs at least one processor");
+  CB_CHECK(epsilon > 0.0, "epsilon must be positive");
+
+  IntroInstance inst;
+  inst.procs = procs;
+  inst.epsilon = epsilon;
+
+  TaskId prev_b = kInvalidTask;
+  for (int k = 1; k <= procs; ++k) {
+    const std::string suffix = std::to_string(k);
+    const TaskId a = inst.graph.add_task(epsilon, 1, "A" + suffix);
+    const TaskId c = inst.graph.add_task(1.0, 1, "C" + suffix);
+    const TaskId b = inst.graph.add_task(epsilon, procs, "B" + suffix);
+    inst.graph.add_edge(a, b);
+    if (prev_b != kInvalidTask) {
+      // B_{k-1} releases both A_k and C_k (Figure 1's DAG).
+      inst.graph.add_edge(prev_b, a);
+      inst.graph.add_edge(prev_b, c);
+    }
+    inst.a_tasks.push_back(a);
+    inst.b_tasks.push_back(b);
+    inst.c_tasks.push_back(c);
+    prev_b = b;
+  }
+  return inst;
+}
+
+Schedule intro_optimal_schedule(const IntroInstance& inst) {
+  const int P = inst.procs;
+  const Time eps = inst.epsilon;
+  Schedule schedule;
+  std::vector<int> all_procs(static_cast<std::size_t>(P));
+  std::iota(all_procs.begin(), all_procs.end(), 0);
+
+  // Phase 1 ([0, 2Pε]): the A/B chain back-to-back.
+  for (int k = 1; k <= P; ++k) {
+    const Time a_start = static_cast<Time>(2 * k - 2) * eps;
+    schedule.add(inst.a_tasks[static_cast<std::size_t>(k - 1)], a_start,
+                 a_start + eps, {0});
+    const Time b_start = static_cast<Time>(2 * k - 1) * eps;
+    schedule.add(inst.b_tasks[static_cast<std::size_t>(k - 1)], b_start,
+                 b_start + eps, all_procs);
+  }
+
+  // Phase 2 ([2Pε, 2Pε + 1]): all C's in parallel, one per processor.
+  const Time c_start = static_cast<Time>(2 * P) * eps;
+  for (int k = 1; k <= P; ++k) {
+    schedule.add(inst.c_tasks[static_cast<std::size_t>(k - 1)], c_start,
+                 c_start + 1.0, {k - 1});
+  }
+  return schedule;
+}
+
+Time intro_optimal_makespan(int procs, Time epsilon) {
+  CB_CHECK(procs >= 1 && epsilon > 0.0, "invalid intro parameters");
+  return 1.0 + static_cast<Time>(2 * procs) * epsilon;
+}
+
+Time intro_asap_makespan(int procs, Time epsilon) {
+  CB_CHECK(procs >= 1 && epsilon > 0.0, "invalid intro parameters");
+  // Each repetition serializes behind the running decoy C: T_k = T_{k-1} +
+  // (1 + ε) (Section 1).
+  return static_cast<Time>(procs) * (1.0 + epsilon);
+}
+
+TaskGraph make_paper_example() {
+  TaskGraph g;
+  const TaskId a = g.add_task(6.0, 1, "A");
+  const TaskId b = g.add_task(2.0, 2, "B");
+  const TaskId c = g.add_task(2.5, 1, "C");
+  const TaskId d = g.add_task(3.0, 3, "D");
+  const TaskId e = g.add_task(2.8, 1, "E");
+  const TaskId f = g.add_task(0.6, 1, "F");
+  const TaskId h = g.add_task(0.8, 3, "G");  // task G
+  const TaskId i = g.add_task(1.2, 2, "H");  // task H
+  const TaskId j = g.add_task(0.6, 2, "I");  // task I
+  const TaskId k = g.add_task(0.8, 3, "J");  // task J
+  const TaskId l = g.add_task(1.4, 3, "K");  // task K
+
+  // Edges chosen to produce the paper's criticality table (Figure 3): s∞ of
+  // each task equals the max f∞ over its predecessors.
+  g.add_edge(b, e);  // E starts after B:        s∞(E) = 2
+  g.add_edge(c, f);  // F after C and D:         s∞(F) = max(2.5, 3) = 3
+  g.add_edge(d, f);
+  g.add_edge(d, h);  // G after D:               s∞(G) = 3
+  g.add_edge(f, j);  // I after F:               s∞(I) = 3.6
+  g.add_edge(j, l);  // K after I:               s∞(K) = 4.2
+  g.add_edge(e, i);  // H after E:               s∞(H) = 4.8
+  g.add_edge(a, k);  // J after A and H:         s∞(J) = 6
+  g.add_edge(i, k);
+  return g;
+}
+
+Time paper_example_critical_path() { return 6.8; }
+
+}  // namespace catbatch

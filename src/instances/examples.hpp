@@ -1,0 +1,55 @@
+// The paper's two worked examples:
+//   * the introductory instance of Figure 1 (ASAP vs optimal, P repetitions
+//     of A -> B with a decoy long task C), together with the optimal
+//     schedule sketched in the figure's bottom-right;
+//   * the 11-task example of Figure 3 (tasks A..K) whose attribute table,
+//     category lengths, L-matrix and CatBatch schedule are reproduced by
+//     Figures 3-6.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+#include "sim/schedule.hpp"
+
+namespace catbatch {
+
+/// The Figure 1 instance for a platform of `procs` processors. Repetition
+/// k (1-based) has A_k (ε, 1 proc) -> B_k (ε, P procs); B_k releases A_{k+1}
+/// and C_{k+1}; C_k (1, 1 proc) is a decoy successor of B_{k-1} (C_1 is a
+/// root). Total 3P tasks.
+struct IntroInstance {
+  TaskGraph graph;
+  int procs = 0;
+  Time epsilon = 0.0;
+  std::vector<TaskId> a_tasks;  // A_1..A_P
+  std::vector<TaskId> b_tasks;  // B_1..B_P
+  std::vector<TaskId> c_tasks;  // C_1..C_P
+};
+
+/// Builds the instance. `epsilon` must be an exact binary fraction for exact
+/// criticalities; the default 2^-6 matches the paper's "small ε" regime.
+[[nodiscard]] IntroInstance make_intro_instance(int procs,
+                                                Time epsilon = 0x1.0p-6);
+
+/// The optimal schedule of Figure 1 (bottom-right): the A/B chain runs
+/// back-to-back in [0, 2Pε], then all C's in parallel. Makespan 1 + 2Pε.
+[[nodiscard]] Schedule intro_optimal_schedule(const IntroInstance& instance);
+
+/// Closed form of the above makespan.
+[[nodiscard]] Time intro_optimal_makespan(int procs, Time epsilon);
+
+/// Makespan any ASAP heuristic obtains on the instance (Figure 1 top-right):
+/// P(1 + ε) + ε — each repetition serializes behind a running C.
+[[nodiscard]] Time intro_asap_makespan(int procs, Time epsilon);
+
+/// The Figure 3 example: 11 tasks A..K with the execution times, processor
+/// requirements and dependencies that produce the paper's attribute table
+/// (criticalities, longitudes, power levels and categories). Task ids are
+/// 0..10 in order A..K; names are the single letters.
+[[nodiscard]] TaskGraph make_paper_example();
+
+/// Critical-path length of the Figure 3 example: 6.8.
+[[nodiscard]] Time paper_example_critical_path();
+
+}  // namespace catbatch

@@ -1,0 +1,310 @@
+#include "instances/io.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace catbatch {
+
+std::string to_dot(const TaskGraph& graph) {
+  std::ostringstream os;
+  os << "digraph instance {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const Task& t = graph.task(id);
+    os << "  t" << id << " [label=\"";
+    if (!t.name.empty()) os << t.name << "\\n";
+    os << "t=" << format_number(t.work) << " p=" << t.procs << "\"];\n";
+  }
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    for (const TaskId succ : graph.successors(id)) {
+      os << "  t" << id << " -> t" << succ << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+namespace {
+/// %.17g round-trips every finite double exactly.
+std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_json(const TaskGraph& graph, int procs) {
+  std::ostringstream os;
+  os << "{\n";
+  if (procs > 0) os << "  \"procs\": " << procs << ",\n";
+  os << "  \"tasks\": [\n";
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const Task& t = graph.task(id);
+    os << "    {\"work\": " << json_number(t.work)
+       << ", \"procs\": " << t.procs << ", \"name\": \""
+       << escape_json(t.name) << "\"}";
+    os << (id + 1 < graph.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"edges\": [\n";
+  bool first = true;
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    for (const TaskId succ : graph.successors(id)) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "    [" << id << ", " << succ << "]";
+    }
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent parser for the dialect written above.
+
+namespace {
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    CB_CHECK(try_consume(c), error_at(std::string("expected '") + c + "'"));
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out.push_back(c);
+    }
+    CB_CHECK(pos_ < text_.size(), error_at("unterminated string"));
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    CB_CHECK(end != begin, error_at("expected a number"));
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] std::string error_at(const std::string& what) const {
+    return what + " at byte " + std::to_string(pos_);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParsedInstance instance_from_json(std::string_view text) {
+  JsonCursor cur(text);
+  ParsedInstance parsed;
+  struct PendingEdge {
+    TaskId from, to;
+  };
+  std::vector<PendingEdge> edges;
+
+  cur.expect('{');
+  bool first_key = true;
+  while (!cur.try_consume('}')) {
+    if (!first_key) cur.expect(',');
+    first_key = false;
+    const std::string key = cur.parse_string();
+    cur.expect(':');
+    if (key == "procs") {
+      const double p = cur.parse_number();
+      CB_CHECK(p >= 1 && p == static_cast<double>(static_cast<int>(p)),
+               "\"procs\" must be a positive integer");
+      parsed.procs = static_cast<int>(p);
+    } else if (key == "tasks") {
+      cur.expect('[');
+      if (!cur.try_consume(']')) {
+        do {
+          cur.expect('{');
+          double work = 0.0;
+          double procs = 1.0;
+          std::string name;
+          bool first_field = true;
+          while (!cur.try_consume('}')) {
+            if (!first_field) cur.expect(',');
+            first_field = false;
+            const std::string field = cur.parse_string();
+            cur.expect(':');
+            if (field == "work") {
+              work = cur.parse_number();
+            } else if (field == "procs") {
+              procs = cur.parse_number();
+            } else if (field == "name") {
+              name = cur.parse_string();
+            } else {
+              CB_CHECK(false, "unknown task field: " + field);
+            }
+          }
+          CB_CHECK(procs >= 1 &&
+                       procs == static_cast<double>(static_cast<int>(procs)),
+                   "task \"procs\" must be a positive integer");
+          parsed.graph.add_task(work, static_cast<int>(procs),
+                                std::move(name));
+        } while (cur.try_consume(','));
+        cur.expect(']');
+      }
+    } else if (key == "edges") {
+      cur.expect('[');
+      if (!cur.try_consume(']')) {
+        do {
+          cur.expect('[');
+          const double u = cur.parse_number();
+          cur.expect(',');
+          const double v = cur.parse_number();
+          cur.expect(']');
+          CB_CHECK(u >= 0 && v >= 0, "edge endpoints must be non-negative");
+          edges.push_back(PendingEdge{static_cast<TaskId>(u),
+                                      static_cast<TaskId>(v)});
+        } while (cur.try_consume(','));
+        cur.expect(']');
+      }
+    } else {
+      CB_CHECK(false, "unknown instance field: " + key);
+    }
+  }
+  CB_CHECK(cur.at_end(), cur.error_at("trailing content"));
+
+  for (const PendingEdge& e : edges) parsed.graph.add_edge(e.from, e.to);
+  parsed.graph.validate(parsed.procs);
+  return parsed;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule serialization.
+
+std::string schedule_to_json(const Schedule& schedule, int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  std::ostringstream os;
+  os << "{\n  \"procs\": " << procs << ",\n  \"entries\": [\n";
+  const auto entries = schedule.entries();
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    const ScheduledTask& e = entries[k];
+    os << "    {\"id\": " << e.id << ", \"start\": "
+       << json_number(e.start) << ", \"finish\": " << json_number(e.finish)
+       << ", \"cpus\": [";
+    for (std::size_t c = 0; c < e.processors.size(); ++c) {
+      if (c > 0) os << ", ";
+      os << e.processors[c];
+    }
+    os << "]}";
+    os << (k + 1 < entries.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+ParsedSchedule schedule_from_json(std::string_view text) {
+  JsonCursor cur(text);
+  ParsedSchedule parsed;
+  cur.expect('{');
+  bool first_key = true;
+  while (!cur.try_consume('}')) {
+    if (!first_key) cur.expect(',');
+    first_key = false;
+    const std::string key = cur.parse_string();
+    cur.expect(':');
+    if (key == "procs") {
+      const double p = cur.parse_number();
+      CB_CHECK(p >= 1 && p == static_cast<double>(static_cast<int>(p)),
+               "\"procs\" must be a positive integer");
+      parsed.procs = static_cast<int>(p);
+    } else if (key == "entries") {
+      cur.expect('[');
+      if (!cur.try_consume(']')) {
+        do {
+          cur.expect('{');
+          double id = -1, start = 0, finish = 0;
+          std::vector<int> cpus;
+          bool first_field = true;
+          while (!cur.try_consume('}')) {
+            if (!first_field) cur.expect(',');
+            first_field = false;
+            const std::string field = cur.parse_string();
+            cur.expect(':');
+            if (field == "id") {
+              id = cur.parse_number();
+            } else if (field == "start") {
+              start = cur.parse_number();
+            } else if (field == "finish") {
+              finish = cur.parse_number();
+            } else if (field == "cpus") {
+              cur.expect('[');
+              if (!cur.try_consume(']')) {
+                do {
+                  const double cpu = cur.parse_number();
+                  CB_CHECK(cpu >= 0 && cpu == std::floor(cpu),
+                           "\"cpus\" entries must be non-negative integers");
+                  cpus.push_back(static_cast<int>(cpu));
+                } while (cur.try_consume(','));
+                cur.expect(']');
+              }
+            } else {
+              CB_CHECK(false, "unknown schedule field: " + field);
+            }
+          }
+          CB_CHECK(id >= 0 && id == std::floor(id),
+                   "schedule entry needs a non-negative integer id");
+          parsed.schedule.add(static_cast<TaskId>(id), start, finish,
+                              std::move(cpus));
+        } while (cur.try_consume(','));
+        cur.expect(']');
+      }
+    } else {
+      CB_CHECK(false, "unknown schedule document field: " + key);
+    }
+  }
+  CB_CHECK(cur.at_end(), cur.error_at("trailing content"));
+  return parsed;
+}
+
+}  // namespace catbatch

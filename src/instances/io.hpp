@@ -1,0 +1,56 @@
+// Instance serialization: Graphviz DOT export (for visual inspection) and a
+// small JSON dialect for loading/saving instances (used by the sched_cli
+// example). The JSON reader accepts exactly what the writer emits:
+//
+//   {
+//     "procs": 8,
+//     "tasks": [ {"work": 1.5, "procs": 2, "name": "A"}, ... ],
+//     "edges": [ [0, 1], [0, 2], ... ]
+//   }
+//
+// "procs" (platform size) is optional on read.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/graph.hpp"
+#include "sim/schedule.hpp"
+
+namespace catbatch {
+
+/// Graphviz DOT rendering with work/procs labels.
+[[nodiscard]] std::string to_dot(const TaskGraph& graph);
+
+/// JSON rendering of the instance; `procs` <= 0 omits the platform field.
+[[nodiscard]] std::string to_json(const TaskGraph& graph, int procs = 0);
+
+struct ParsedInstance {
+  TaskGraph graph;
+  int procs = 0;  // 0 when the file did not specify a platform
+};
+
+/// Parses the JSON dialect above. Throws ContractViolation with a position
+/// hint on malformed input.
+[[nodiscard]] ParsedInstance instance_from_json(std::string_view text);
+
+/// Schedule serialization (for persisting runs and replay-validation):
+///
+///   {
+///     "procs": 4,
+///     "entries": [ {"id": 0, "start": 0, "finish": 2, "cpus": [0, 1]},
+///                  ... ]
+///   }
+[[nodiscard]] std::string schedule_to_json(const Schedule& schedule,
+                                           int procs);
+
+struct ParsedSchedule {
+  Schedule schedule;
+  int procs = 0;
+};
+
+/// Parses what schedule_to_json emits. Throws on malformed input. Validate
+/// the result against its instance with validate_schedule().
+[[nodiscard]] ParsedSchedule schedule_from_json(std::string_view text);
+
+}  // namespace catbatch

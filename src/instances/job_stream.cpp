@@ -1,0 +1,145 @@
+#include "instances/job_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "instances/random_dags.hpp"
+#include "instances/workloads.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+void JobStream::add_job(Job job) {
+  CB_CHECK(offsets_.empty(), "cannot add jobs after the stream started");
+  CB_CHECK(job.arrival >= 0.0, "job arrival must be non-negative");
+  CB_CHECK(!job.graph.empty(), "job must contain at least one task");
+  job.graph.validate();
+  jobs_.push_back(std::move(job));
+}
+
+const Job& JobStream::job(std::size_t index) const {
+  CB_CHECK(index < jobs_.size(), "job index out of range");
+  return jobs_[index];
+}
+
+TaskId JobStream::global_id(std::size_t index, TaskId local) const {
+  CB_CHECK(index < offsets_.size(), "stream not started or index invalid");
+  CB_CHECK(local < jobs_[index].graph.size(), "local task id out of range");
+  return offsets_[index] + local;
+}
+
+std::size_t JobStream::job_of(TaskId global) const {
+  CB_CHECK(global < owner_.size(), "global task id out of range");
+  return owner_[global];
+}
+
+std::vector<SourceTask> JobStream::start() {
+  CB_CHECK(!jobs_.empty(), "stream has no jobs");
+  combined_ = TaskGraph{};
+  offsets_.clear();
+  owner_.clear();
+
+  std::vector<SourceTask> out;
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const Job& job = jobs_[j];
+    const TaskId offset = combined_.append(job.graph);
+    offsets_.push_back(offset);
+    owner_.resize(combined_.size(), j);
+    for (TaskId local = 0; local < job.graph.size(); ++local) {
+      const Task& t = job.graph.task(local);
+      SourceTask st;
+      st.work = t.work;
+      st.procs = t.procs;
+      st.name = job.name.empty()
+                    ? t.name
+                    : job.name + "/" + t.name;
+      // Arrival as a release floor on the job's roots is enough: interior
+      // tasks are gated by their predecessors anyway, but setting it on
+      // every task keeps reveal times ≥ arrival under all schedulers.
+      st.release = job.arrival;
+      const auto preds = job.graph.predecessors(local);
+      st.predecessors.reserve(preds.size());
+      for (const TaskId pred : preds) {
+        st.predecessors.push_back(offset + pred);
+      }
+      out.push_back(std::move(st));
+    }
+  }
+  return out;
+}
+
+std::vector<SourceTask> JobStream::on_complete(TaskId, Time) { return {}; }
+
+std::vector<JobMetrics> per_job_metrics(const JobStream& stream,
+                                        const SimResult& result, int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  std::vector<JobMetrics> out;
+  out.reserve(stream.job_count());
+  for (std::size_t j = 0; j < stream.job_count(); ++j) {
+    const Job& job = stream.job(j);
+    JobMetrics m;
+    m.name = job.name.empty() ? "job" + std::to_string(j) : job.name;
+    m.arrival = job.arrival;
+    for (TaskId local = 0; local < job.graph.size(); ++local) {
+      const ScheduledTask& e =
+          result.schedule.entry_for(stream.global_id(j, local));
+      m.completion = std::max(m.completion, e.finish);
+    }
+    m.response_time = m.completion - m.arrival;
+    const Time solo = makespan_lower_bound(job.graph, procs);
+    m.slowdown = solo > 0.0 ? static_cast<double>(m.response_time / solo)
+                            : 1.0;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+JobStream random_job_stream(Rng& rng, std::size_t job_count,
+                            double mean_interarrival, int max_procs) {
+  CB_CHECK(job_count >= 1, "stream needs at least one job");
+  CB_CHECK(mean_interarrival >= 0.0, "mean inter-arrival must be >= 0");
+  CB_CHECK(max_procs >= 4, "job stream expects a platform of at least 4");
+
+  JobStream stream;
+  Time arrival = 0.0;
+  RandomTaskParams params;
+  params.procs.max_procs = std::max(1, max_procs / 2);
+  for (std::size_t j = 0; j < job_count; ++j) {
+    Job job;
+    job.arrival = arrival;
+    job.name = "job" + std::to_string(j);
+    switch (rng.index(5)) {
+      case 0:
+        job.graph = cholesky_dag(
+            static_cast<int>(rng.uniform_int(3, 6)));
+        break;
+      case 1:
+        job.graph = stencil_dag(static_cast<int>(rng.uniform_int(4, 8)),
+                                static_cast<int>(rng.uniform_int(4, 8)));
+        break;
+      case 2:
+        job.graph = random_fork_join(
+            rng, static_cast<std::size_t>(rng.uniform_int(2, 4)),
+            static_cast<std::size_t>(rng.uniform_int(4, 10)), params);
+        break;
+      case 3:
+        job.graph = random_layered_dag(
+            rng, static_cast<std::size_t>(rng.uniform_int(20, 60)), 6,
+            params);
+        break;
+      default:
+        job.graph = montage_dag(static_cast<int>(rng.uniform_int(4, 10)),
+                                std::min(4, max_procs));
+        break;
+    }
+    stream.add_job(std::move(job));
+    // Exponential-ish gaps, quantized for exact arithmetic.
+    const double gap =
+        -mean_interarrival * std::log(1.0 - rng.uniform_real(0.0, 1.0));
+    if (gap > 0.0) arrival += quantize_time(gap);
+  }
+  return stream;
+}
+
+}  // namespace catbatch

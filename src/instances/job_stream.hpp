@@ -1,0 +1,79 @@
+// Multi-job workloads: a stream of independent DAG jobs arriving over
+// time, scheduled jointly on one platform — the setting of a real HPC
+// cluster front-end (each submission is a workflow DAG; the system sees
+// their union with release times). Builds on the engine's release-time
+// support: each job's tasks inherit the job's arrival as a release floor,
+// so nothing of a job is revealed before it arrives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/source.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+struct Job {
+  TaskGraph graph;
+  Time arrival = 0.0;
+  std::string name;
+};
+
+class JobStream final : public InstanceSource {
+ public:
+  /// Jobs may be appended until the first start(); arrivals need not be
+  /// sorted.
+  void add_job(Job job);
+
+  [[nodiscard]] std::size_t job_count() const noexcept {
+    return jobs_.size();
+  }
+  [[nodiscard]] const Job& job(std::size_t index) const;
+
+  /// Global TaskId of task `local` inside job `index` (valid after
+  /// start()).
+  [[nodiscard]] TaskId global_id(std::size_t index, TaskId local) const;
+
+  /// Job index owning a global task id (valid after start()).
+  [[nodiscard]] std::size_t job_of(TaskId global) const;
+
+  // InstanceSource:
+  [[nodiscard]] std::vector<SourceTask> start() override;
+  [[nodiscard]] std::vector<SourceTask> on_complete(TaskId id,
+                                                    Time now) override;
+  [[nodiscard]] const TaskGraph& realized_graph() const override {
+    return combined_;
+  }
+
+ private:
+  std::vector<Job> jobs_;
+  std::vector<TaskId> offsets_;
+  std::vector<std::size_t> owner_;  // global id -> job index
+  TaskGraph combined_;
+};
+
+/// Per-job response metrics for a finished stream run.
+struct JobMetrics {
+  std::string name;
+  Time arrival = 0.0;
+  Time completion = 0.0;  // latest finish over the job's tasks
+  /// completion − arrival.
+  Time response_time = 0.0;
+  /// response / (job makespan lower bound on the full platform): ≥ 1; how
+  /// much the job was slowed by sharing.
+  double slowdown = 0.0;
+};
+
+[[nodiscard]] std::vector<JobMetrics> per_job_metrics(
+    const JobStream& stream, const SimResult& result, int procs);
+
+/// Random stream: `job_count` jobs drawn from the workload generators with
+/// Poisson-ish arrivals of the given mean inter-arrival time.
+[[nodiscard]] JobStream random_job_stream(Rng& rng, std::size_t job_count,
+                                          double mean_interarrival,
+                                          int max_procs);
+
+}  // namespace catbatch

@@ -1,0 +1,217 @@
+#include "instances/random_dags.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+Time quantize_time(double value) {
+  CB_CHECK(value > 0.0, "cannot quantize a non-positive time");
+  const double quantum = 0x1.0p-20;
+  const double ticks = std::max(1.0, std::round(value / quantum));
+  return ticks * quantum;
+}
+
+Time draw_work(Rng& rng, const WorkDistribution& dist) {
+  CB_CHECK(dist.min_work > 0.0 && dist.max_work >= dist.min_work,
+           "work distribution requires 0 < min <= max");
+  double value = dist.min_work;
+  switch (dist.law) {
+    case WorkDistribution::Law::Uniform:
+      value = rng.uniform_real(dist.min_work, dist.max_work);
+      break;
+    case WorkDistribution::Law::LogUniform: {
+      const double lo = std::log(dist.min_work);
+      const double hi = std::log(dist.max_work);
+      value = std::exp(rng.uniform_real(lo, hi));
+      break;
+    }
+    case WorkDistribution::Law::BoundedPareto:
+      value = rng.bounded_pareto(dist.min_work, dist.max_work, dist.alpha);
+      break;
+  }
+  return quantize_time(std::clamp(value, dist.min_work, dist.max_work));
+}
+
+int draw_procs(Rng& rng, const ProcDistribution& dist) {
+  CB_CHECK(dist.max_procs >= 1, "proc distribution requires max_procs >= 1");
+  switch (dist.law) {
+    case ProcDistribution::Law::Uniform:
+      return static_cast<int>(rng.uniform_int(1, dist.max_procs));
+    case ProcDistribution::Law::PowerOfTwo: {
+      int count = 0;
+      for (int p = 1; p <= dist.max_procs; p *= 2) ++count;
+      const auto pick = static_cast<int>(rng.uniform_int(0, count - 1));
+      return 1 << pick;
+    }
+    case ProcDistribution::Law::MostlyNarrow: {
+      // Halving ladder: p = 1 w.p. 1/2, doubled with p falling back to the
+      // platform bound — yields mostly-sequential mixes typical of HPC
+      // workflow traces.
+      int p = 1;
+      while (p * 2 <= dist.max_procs && rng.bernoulli(0.5)) p *= 2;
+      return p;
+    }
+  }
+  return 1;
+}
+
+namespace {
+TaskId add_random_task(TaskGraph& g, Rng& rng, const RandomTaskParams& params) {
+  return g.add_task(draw_work(rng, params.work),
+                    draw_procs(rng, params.procs));
+}
+}  // namespace
+
+TaskGraph random_layered_dag(Rng& rng, std::size_t task_count,
+                             std::size_t layer_count,
+                             const RandomTaskParams& params) {
+  CB_CHECK(task_count >= 1, "need at least one task");
+  CB_CHECK(layer_count >= 1 && layer_count <= task_count,
+           "layer count must be in [1, task_count]");
+  TaskGraph g;
+  std::vector<std::vector<TaskId>> layers(layer_count);
+  for (std::size_t k = 0; k < task_count; ++k) {
+    // Ensure every layer is non-empty, then distribute uniformly.
+    const std::size_t layer =
+        k < layer_count ? k : rng.index(layer_count);
+    const TaskId id = add_random_task(g, rng, params);
+    layers[layer].push_back(id);
+    if (layer > 0 && !layers[layer - 1].empty()) {
+      const std::size_t pred_count = 1 + rng.index(3);  // 1..3
+      for (std::size_t e = 0; e < pred_count; ++e) {
+        g.add_edge(layers[layer - 1][rng.index(layers[layer - 1].size())],
+                   id);
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph random_order_dag(Rng& rng, std::size_t task_count,
+                           double edge_probability,
+                           const RandomTaskParams& params) {
+  CB_CHECK(task_count >= 1, "need at least one task");
+  CB_CHECK(edge_probability >= 0.0 && edge_probability <= 1.0,
+           "edge probability out of [0,1]");
+  TaskGraph g;
+  for (std::size_t k = 0; k < task_count; ++k) add_random_task(g, rng, params);
+  for (TaskId i = 0; i < task_count; ++i) {
+    for (TaskId j = i + 1; j < task_count; ++j) {
+      if (rng.bernoulli(edge_probability)) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+TaskGraph random_series_parallel(Rng& rng, std::size_t task_count,
+                                 double series_bias,
+                                 const RandomTaskParams& params) {
+  CB_CHECK(task_count >= 1, "need at least one task");
+  CB_CHECK(series_bias >= 0.0 && series_bias <= 1.0,
+           "series bias out of [0,1]");
+  TaskGraph g;
+  // Grow by expansion: maintain a list of edges (u, v); expanding an edge
+  // in series inserts a task w between u and v; in parallel adds another
+  // task w with u -> w -> v. Seed with a source -> sink pair.
+  const TaskId source = add_random_task(g, rng, params);
+  if (task_count == 1) return g;
+  const TaskId sink = add_random_task(g, rng, params);
+  g.add_edge(source, sink);
+  struct Edge {
+    TaskId u, v;
+  };
+  std::vector<Edge> edges{{source, sink}};
+  while (g.size() < task_count) {
+    const std::size_t pick = rng.index(edges.size());
+    const Edge e = edges[pick];
+    const TaskId w = add_random_task(g, rng, params);
+    g.add_edge(e.u, w);
+    g.add_edge(w, e.v);
+    if (rng.bernoulli(series_bias)) {
+      // Series: replace (u,v) by (u,w) and (w,v).
+      edges[pick] = Edge{e.u, w};
+      edges.push_back(Edge{w, e.v});
+    } else {
+      // Parallel: keep (u,v) and add the new two-hop branch.
+      edges.push_back(Edge{e.u, w});
+      edges.push_back(Edge{w, e.v});
+    }
+  }
+  return g;
+}
+
+TaskGraph random_fork_join(Rng& rng, std::size_t stages, std::size_t width,
+                           const RandomTaskParams& params) {
+  CB_CHECK(stages >= 1 && width >= 1, "fork-join needs stages, width >= 1");
+  TaskGraph g;
+  TaskId barrier = g.add_task(draw_work(rng, params.work), 1, "fork0");
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::vector<TaskId> stage;
+    stage.reserve(width);
+    for (std::size_t w = 0; w < width; ++w) {
+      const TaskId id = add_random_task(g, rng, params);
+      g.add_edge(barrier, id);
+      stage.push_back(id);
+    }
+    const TaskId join =
+        g.add_task(draw_work(rng, params.work), 1,
+                   "join" + std::to_string(s + 1));
+    for (const TaskId id : stage) g.add_edge(id, join);
+    barrier = join;
+  }
+  return g;
+}
+
+TaskGraph random_chains(Rng& rng, std::size_t chain_count,
+                        std::size_t chain_length,
+                        const RandomTaskParams& params) {
+  CB_CHECK(chain_count >= 1 && chain_length >= 1,
+           "chains need count, length >= 1");
+  TaskGraph g;
+  for (std::size_t c = 0; c < chain_count; ++c) {
+    TaskId prev = kInvalidTask;
+    for (std::size_t k = 0; k < chain_length; ++k) {
+      const TaskId id = add_random_task(g, rng, params);
+      if (prev != kInvalidTask) g.add_edge(prev, id);
+      prev = id;
+    }
+  }
+  return g;
+}
+
+TaskGraph random_out_tree(Rng& rng, std::size_t task_count,
+                          std::size_t max_children,
+                          const RandomTaskParams& params) {
+  CB_CHECK(task_count >= 1 && max_children >= 1,
+           "tree needs task_count, max_children >= 1");
+  TaskGraph g;
+  std::vector<TaskId> frontier{add_random_task(g, rng, params)};
+  while (g.size() < task_count) {
+    const std::size_t pick = rng.index(frontier.size());
+    const TaskId parent = frontier[pick];
+    const std::size_t children =
+        std::min<std::size_t>(1 + rng.index(max_children),
+                              task_count - g.size());
+    for (std::size_t c = 0; c < children; ++c) {
+      const TaskId id = add_random_task(g, rng, params);
+      g.add_edge(parent, id);
+      frontier.push_back(id);
+    }
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+    if (frontier.empty()) break;  // defensive; cannot happen with children>=1
+  }
+  return g;
+}
+
+TaskGraph random_independent(Rng& rng, std::size_t task_count,
+                             const RandomTaskParams& params) {
+  CB_CHECK(task_count >= 1, "need at least one task");
+  TaskGraph g;
+  for (std::size_t k = 0; k < task_count; ++k) add_random_task(g, rng, params);
+  return g;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,91 @@
+// Random rigid-DAG families for the empirical validation of Theorems 1-2.
+//
+// All generators draw execution times as multiples of 2^-20 (see
+// quantize_time) so that criticality sums — and therefore the category
+// computation — stay exact in double precision.
+#pragma once
+
+#include "core/graph.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+/// Rounds a positive value to the nearest multiple of 2^-20 (at least
+/// 2^-20). Keeps criticality arithmetic exact (core/category.hpp).
+[[nodiscard]] Time quantize_time(double value);
+
+/// How task execution times are drawn.
+struct WorkDistribution {
+  enum class Law {
+    Uniform,        // uniform in [min_work, max_work]
+    LogUniform,     // log-uniform in [min_work, max_work]
+    BoundedPareto,  // heavy tail with shape `alpha`, clipped to the range
+  };
+  Law law = Law::LogUniform;
+  double min_work = 0.125;
+  double max_work = 8.0;
+  double alpha = 1.5;  // BoundedPareto only
+};
+
+/// How processor requirements are drawn.
+struct ProcDistribution {
+  enum class Law {
+    Uniform,     // uniform integer in [1, max_procs]
+    PowerOfTwo,  // uniform over {1, 2, 4, ..., <= max_procs}
+    MostlyNarrow,  // geometric-ish: small p likely, occasionally up to P
+  };
+  Law law = Law::MostlyNarrow;
+  int max_procs = 8;
+};
+
+[[nodiscard]] Time draw_work(Rng& rng, const WorkDistribution& dist);
+[[nodiscard]] int draw_procs(Rng& rng, const ProcDistribution& dist);
+
+struct RandomTaskParams {
+  WorkDistribution work;
+  ProcDistribution procs;
+};
+
+/// Layered DAG: tasks are placed on `layer_count` layers; each task draws
+/// 1..3 predecessors uniformly from the previous layer (layer 0 tasks are
+/// roots). The classic synthetic-workflow shape.
+[[nodiscard]] TaskGraph random_layered_dag(Rng& rng, std::size_t task_count,
+                                           std::size_t layer_count,
+                                           const RandomTaskParams& params);
+
+/// Erdős–Rényi order-DAG: for i < j, edge (i, j) with probability
+/// `edge_probability`.
+[[nodiscard]] TaskGraph random_order_dag(Rng& rng, std::size_t task_count,
+                                         double edge_probability,
+                                         const RandomTaskParams& params);
+
+/// Series-parallel graph grown by repeated series/parallel expansions of a
+/// single edge, `task_count` tasks total (series_bias in [0,1] steers the
+/// shape: 1 = chain-like, 0 = wide).
+[[nodiscard]] TaskGraph random_series_parallel(Rng& rng,
+                                               std::size_t task_count,
+                                               double series_bias,
+                                               const RandomTaskParams& params);
+
+/// Fork-join: `stages` sequential stages of `width` parallel tasks between
+/// synchronization tasks.
+[[nodiscard]] TaskGraph random_fork_join(Rng& rng, std::size_t stages,
+                                         std::size_t width,
+                                         const RandomTaskParams& params);
+
+/// Independent chains: `chain_count` chains of `chain_length` tasks.
+[[nodiscard]] TaskGraph random_chains(Rng& rng, std::size_t chain_count,
+                                      std::size_t chain_length,
+                                      const RandomTaskParams& params);
+
+/// Random out-tree (root fans out, each node gets 1..max_children children
+/// until task_count reached).
+[[nodiscard]] TaskGraph random_out_tree(Rng& rng, std::size_t task_count,
+                                        std::size_t max_children,
+                                        const RandomTaskParams& params);
+
+/// Completely independent tasks (no edges) — the Section 2.3 regime.
+[[nodiscard]] TaskGraph random_independent(Rng& rng, std::size_t task_count,
+                                           const RandomTaskParams& params);
+
+}  // namespace catbatch

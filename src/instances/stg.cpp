@@ -1,0 +1,98 @@
+#include "instances/stg.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+/// %.17g round-trips every finite double exactly.
+std::string stg_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+}  // namespace
+
+std::string to_stg(const TaskGraph& graph, int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  graph.validate(procs);
+  std::ostringstream os;
+  os << "# catbatch STG-style instance: <id> <work> <procs> <npreds> "
+        "<preds...>\n";
+  os << graph.size() << ' ' << procs << '\n';
+  // STG requires topological listing; our ids may not be topological, so
+  // remap through a topological order.
+  const auto topo = graph.topological_order();
+  std::vector<TaskId> new_id(graph.size());
+  for (std::size_t k = 0; k < topo.size(); ++k) {
+    new_id[topo[k]] = static_cast<TaskId>(k);
+  }
+  for (std::size_t k = 0; k < topo.size(); ++k) {
+    const TaskId original = topo[k];
+    const Task& t = graph.task(original);
+    os << k << ' ' << stg_number(t.work) << ' ' << t.procs << ' '
+       << graph.predecessors(original).size();
+    for (const TaskId pred : graph.predecessors(original)) {
+      os << ' ' << new_id[pred];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+ParsedStg instance_from_stg(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  ParsedStg parsed;
+  std::size_t expected = 0;
+  bool header_seen = false;
+  std::size_t next_id = 0;
+
+  while (std::getline(in, line)) {
+    // Strip comments and blank lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    if (!header_seen) {
+      long long n = -1;
+      int procs = 0;
+      if (!(fields >> n >> procs)) continue;  // skip blanks before header
+      CB_CHECK(n >= 0, "negative task count");
+      CB_CHECK(procs >= 1, "platform must have at least one processor");
+      expected = static_cast<std::size_t>(n);
+      parsed.procs = procs;
+      header_seen = true;
+      continue;
+    }
+    long long id = -1;
+    double work = 0.0;
+    int procs = 0;
+    long long npreds = -1;
+    if (!(fields >> id >> work >> procs >> npreds)) continue;
+    CB_CHECK(static_cast<std::size_t>(id) == next_id,
+             "task ids must be ascending from 0");
+    CB_CHECK(npreds >= 0, "negative predecessor count");
+    const TaskId task = parsed.graph.add_task(work, procs);
+    for (long long k = 0; k < npreds; ++k) {
+      long long pred = -1;
+      CB_CHECK(static_cast<bool>(fields >> pred),
+               "missing predecessor id");
+      CB_CHECK(pred >= 0 && static_cast<std::size_t>(pred) < next_id,
+               "predecessor must reference an earlier task");
+      parsed.graph.add_edge(static_cast<TaskId>(pred), task);
+    }
+    long long excess;
+    CB_CHECK(!(fields >> excess), "trailing fields on task line");
+    ++next_id;
+  }
+  CB_CHECK(header_seen, "missing STG header line");
+  CB_CHECK(parsed.graph.size() == expected,
+           "task count does not match the header");
+  parsed.graph.validate(parsed.procs);
+  return parsed;
+}
+
+}  // namespace catbatch

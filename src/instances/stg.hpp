@@ -1,0 +1,31 @@
+// STG-style text format for rigid task graphs, modeled after the Standard
+// Task Graph suite's layout but extended with a processor-requirement
+// column (classic STG is sequential-task only):
+//
+//   # comment lines start with '#'
+//   <task_count> <platform_procs>
+//   <id> <work> <procs> <pred_count> <pred_0> <pred_1> ...
+//
+// Tasks must appear with ascending ids 0..n-1; predecessors must reference
+// earlier-listed ids (STG files are topologically ordered).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/graph.hpp"
+
+namespace catbatch {
+
+/// Serializes `graph` (tasks in id order, predecessors per line).
+[[nodiscard]] std::string to_stg(const TaskGraph& graph, int procs);
+
+struct ParsedStg {
+  TaskGraph graph;
+  int procs = 0;
+};
+
+/// Parses the format above. Throws ContractViolation on malformed input.
+[[nodiscard]] ParsedStg instance_from_stg(std::string_view text);
+
+}  // namespace catbatch

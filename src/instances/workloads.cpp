@@ -1,0 +1,281 @@
+#include "instances/workloads.hpp"
+
+#include <string>
+#include <vector>
+
+#include "instances/random_dags.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+
+/// Applies relative jitter and quantizes.
+class CostDrawer {
+ public:
+  explicit CostDrawer(const KernelCosts& costs)
+      : costs_(costs), rng_(costs.seed) {
+    CB_CHECK(costs.jitter >= 0.0 && costs.jitter < 1.0,
+             "jitter must be in [0, 1)");
+    CB_CHECK(costs.potrf > 0.0 && costs.trsm > 0.0 && costs.gemm > 0.0,
+             "kernel times must be positive");
+    CB_CHECK(costs.potrf_procs >= 1 && costs.trsm_procs >= 1 &&
+                 costs.gemm_procs >= 1,
+             "kernel widths must be at least 1");
+  }
+
+  Time draw(Time base) {
+    if (costs_.jitter == 0.0) return quantize_time(base);
+    const double factor =
+        rng_.uniform_real(1.0 - costs_.jitter, 1.0 + costs_.jitter);
+    return quantize_time(static_cast<double>(base) * factor);
+  }
+
+ private:
+  KernelCosts costs_;
+  Rng rng_;
+};
+
+/// Tracks the last task that wrote each tile, turning "read tile X" into a
+/// dependency edge — the standard way these dataflow DAGs are defined.
+class TileTracker {
+ public:
+  TileTracker(TaskGraph& graph, int tiles)
+      : graph_(graph),
+        tiles_(tiles),
+        writer_(static_cast<std::size_t>(tiles) *
+                    static_cast<std::size_t>(tiles),
+                kInvalidTask) {}
+
+  void depend_on_tile(TaskId task, int i, int j) const {
+    const TaskId w = writer_at(i, j);
+    if (w != kInvalidTask) graph_.add_edge(w, task);
+  }
+
+  void write_tile(TaskId task, int i, int j) {
+    writer_[index(i, j)] = task;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(int i, int j) const {
+    CB_DCHECK(i >= 0 && i < tiles_ && j >= 0 && j < tiles_,
+              "tile index out of range");
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(tiles_) +
+           static_cast<std::size_t>(j);
+  }
+  [[nodiscard]] TaskId writer_at(int i, int j) const {
+    return writer_[index(i, j)];
+  }
+
+  TaskGraph& graph_;
+  int tiles_;
+  std::vector<TaskId> writer_;
+};
+
+std::string tile_name(const char* kernel, int i, int j) {
+  return std::string(kernel) + "(" + std::to_string(i) + "," +
+         std::to_string(j) + ")";
+}
+
+}  // namespace
+
+TaskGraph cholesky_dag(int tiles, const KernelCosts& costs) {
+  CB_CHECK(tiles >= 1, "cholesky needs at least one tile");
+  TaskGraph g;
+  CostDrawer draw(costs);
+  TileTracker tracker(g, tiles);
+
+  for (int k = 0; k < tiles; ++k) {
+    const TaskId potrf =
+        g.add_task(draw.draw(costs.potrf), costs.potrf_procs,
+                   tile_name("potrf", k, k));
+    tracker.depend_on_tile(potrf, k, k);
+    tracker.write_tile(potrf, k, k);
+
+    for (int i = k + 1; i < tiles; ++i) {
+      const TaskId trsm = g.add_task(draw.draw(costs.trsm), costs.trsm_procs,
+                                     tile_name("trsm", i, k));
+      tracker.depend_on_tile(trsm, k, k);  // reads the factored diagonal
+      tracker.depend_on_tile(trsm, i, k);  // updates the panel tile
+      tracker.write_tile(trsm, i, k);
+    }
+
+    for (int i = k + 1; i < tiles; ++i) {
+      // SYRK update of the diagonal tile (i, i) with panel (i, k).
+      const TaskId syrk = g.add_task(draw.draw(costs.gemm), costs.gemm_procs,
+                                     tile_name("syrk", i, i));
+      tracker.depend_on_tile(syrk, i, k);
+      tracker.depend_on_tile(syrk, i, i);
+      tracker.write_tile(syrk, i, i);
+      // GEMM updates of tiles (i, j), k < j < i.
+      for (int j = k + 1; j < i; ++j) {
+        const TaskId gemm = g.add_task(draw.draw(costs.gemm),
+                                       costs.gemm_procs,
+                                       tile_name("gemm", i, j));
+        tracker.depend_on_tile(gemm, i, k);
+        tracker.depend_on_tile(gemm, j, k);
+        tracker.depend_on_tile(gemm, i, j);
+        tracker.write_tile(gemm, i, j);
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph lu_dag(int tiles, const KernelCosts& costs) {
+  CB_CHECK(tiles >= 1, "lu needs at least one tile");
+  TaskGraph g;
+  CostDrawer draw(costs);
+  TileTracker tracker(g, tiles);
+
+  for (int k = 0; k < tiles; ++k) {
+    const TaskId getrf =
+        g.add_task(draw.draw(costs.potrf), costs.potrf_procs,
+                   tile_name("getrf", k, k));
+    tracker.depend_on_tile(getrf, k, k);
+    tracker.write_tile(getrf, k, k);
+
+    for (int j = k + 1; j < tiles; ++j) {  // row panel U
+      const TaskId trsm = g.add_task(draw.draw(costs.trsm), costs.trsm_procs,
+                                     tile_name("trsmU", k, j));
+      tracker.depend_on_tile(trsm, k, k);
+      tracker.depend_on_tile(trsm, k, j);
+      tracker.write_tile(trsm, k, j);
+    }
+    for (int i = k + 1; i < tiles; ++i) {  // column panel L
+      const TaskId trsm = g.add_task(draw.draw(costs.trsm), costs.trsm_procs,
+                                     tile_name("trsmL", i, k));
+      tracker.depend_on_tile(trsm, k, k);
+      tracker.depend_on_tile(trsm, i, k);
+      tracker.write_tile(trsm, i, k);
+    }
+    for (int i = k + 1; i < tiles; ++i) {
+      for (int j = k + 1; j < tiles; ++j) {
+        const TaskId gemm = g.add_task(draw.draw(costs.gemm),
+                                       costs.gemm_procs,
+                                       tile_name("gemm", i, j));
+        tracker.depend_on_tile(gemm, i, k);
+        tracker.depend_on_tile(gemm, k, j);
+        tracker.depend_on_tile(gemm, i, j);
+        tracker.write_tile(gemm, i, j);
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph stencil_dag(int rows, int cols, Time task_time, int task_procs) {
+  CB_CHECK(rows >= 1 && cols >= 1, "stencil needs a non-empty grid");
+  CB_CHECK(task_time > 0.0 && task_procs >= 1, "invalid stencil task shape");
+  TaskGraph g;
+  std::vector<TaskId> ids(static_cast<std::size_t>(rows) *
+                          static_cast<std::size_t>(cols));
+  const auto at = [&](int r, int c) -> TaskId& {
+    return ids[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+               static_cast<std::size_t>(c)];
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      at(r, c) = g.add_task(quantize_time(task_time), task_procs,
+                            tile_name("cell", r, c));
+      if (r > 0) g.add_edge(at(r - 1, c), at(r, c));
+      if (c > 0) g.add_edge(at(r, c - 1), at(r, c));
+    }
+  }
+  return g;
+}
+
+TaskGraph fft_dag(int log2n, Time task_time, int task_procs) {
+  CB_CHECK(log2n >= 1, "fft needs at least one stage");
+  CB_CHECK(task_time > 0.0 && task_procs >= 1, "invalid fft task shape");
+  const int n = 1 << log2n;
+  TaskGraph g;
+  std::vector<TaskId> prev(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    prev[static_cast<std::size_t>(i)] =
+        g.add_task(quantize_time(task_time), task_procs,
+                   tile_name("fft", 0, i));
+  }
+  for (int s = 1; s <= log2n; ++s) {
+    std::vector<TaskId> cur(static_cast<std::size_t>(n));
+    const int stride = 1 << (s - 1);
+    for (int i = 0; i < n; ++i) {
+      const TaskId id = g.add_task(quantize_time(task_time), task_procs,
+                                   tile_name("fft", s, i));
+      g.add_edge(prev[static_cast<std::size_t>(i)], id);
+      g.add_edge(prev[static_cast<std::size_t>(i ^ stride)], id);
+      cur[static_cast<std::size_t>(i)] = id;
+    }
+    prev = std::move(cur);
+  }
+  return g;
+}
+
+TaskGraph map_reduce_dag(int mappers, int reducers, Time map_time,
+                         Time reduce_time, int map_procs, int reduce_procs) {
+  CB_CHECK(mappers >= 1 && reducers >= 1, "map-reduce needs both stages");
+  CB_CHECK(map_time > 0.0 && reduce_time > 0.0, "stage times must be > 0");
+  CB_CHECK(map_procs >= 1 && reduce_procs >= 1, "stage widths must be >= 1");
+  TaskGraph g;
+  std::vector<TaskId> maps;
+  maps.reserve(static_cast<std::size_t>(mappers));
+  for (int m = 0; m < mappers; ++m) {
+    maps.push_back(g.add_task(quantize_time(map_time), map_procs,
+                              "map" + std::to_string(m)));
+  }
+  for (int r = 0; r < reducers; ++r) {
+    const TaskId red = g.add_task(quantize_time(reduce_time), reduce_procs,
+                                  "reduce" + std::to_string(r));
+    for (const TaskId m : maps) g.add_edge(m, red);
+  }
+  return g;
+}
+
+TaskGraph montage_dag(int images, int add_procs) {
+  CB_CHECK(images >= 2, "montage needs at least two input images");
+  CB_CHECK(add_procs >= 1, "mAdd width must be at least 1");
+  TaskGraph g;
+
+  std::vector<TaskId> projects;
+  projects.reserve(static_cast<std::size_t>(images));
+  for (int i = 0; i < images; ++i) {
+    projects.push_back(g.add_task(quantize_time(2.0), 1,
+                                  "project" + std::to_string(i)));
+  }
+
+  // mDiffFit over adjacent image pairs.
+  std::vector<TaskId> diffs;
+  for (int i = 0; i + 1 < images; ++i) {
+    const TaskId diff = g.add_task(quantize_time(0.5), 1,
+                                   "difffit" + std::to_string(i));
+    g.add_edge(projects[static_cast<std::size_t>(i)], diff);
+    g.add_edge(projects[static_cast<std::size_t>(i + 1)], diff);
+    diffs.push_back(diff);
+  }
+
+  const TaskId concat = g.add_task(quantize_time(1.0), 1, "concatfit");
+  for (const TaskId d : diffs) g.add_edge(d, concat);
+  const TaskId bgmodel = g.add_task(quantize_time(4.0), 1, "bgmodel");
+  g.add_edge(concat, bgmodel);
+
+  std::vector<TaskId> backgrounds;
+  for (int i = 0; i < images; ++i) {
+    const TaskId bg = g.add_task(quantize_time(0.5), 1,
+                                 "background" + std::to_string(i));
+    g.add_edge(bgmodel, bg);
+    g.add_edge(projects[static_cast<std::size_t>(i)], bg);
+    backgrounds.push_back(bg);
+  }
+
+  const TaskId imgtbl = g.add_task(quantize_time(0.5), 1, "imgtbl");
+  for (const TaskId bg : backgrounds) g.add_edge(bg, imgtbl);
+  const TaskId add = g.add_task(quantize_time(8.0), add_procs, "add");
+  g.add_edge(imgtbl, add);
+  const TaskId shrink = g.add_task(quantize_time(1.0), 1, "shrink");
+  g.add_edge(add, shrink);
+  const TaskId jpeg = g.add_task(quantize_time(0.5), 1, "jpeg");
+  g.add_edge(shrink, jpeg);
+  return g;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,61 @@
+// Synthetic HPC workload DAGs with realistic shapes, used for the
+// "practical efficiency" experiments suggested by the paper's conclusion:
+// tiled Cholesky and LU factorizations, a 2-D stencil wavefront, an FFT
+// butterfly and a map-reduce stage graph.
+//
+// Kernel execution times and processor widths are configurable; defaults
+// give mixes of narrow/wide tasks comparable to tiled dense linear algebra
+// on a small cluster. All times are quantized (instances/random_dags.hpp)
+// so the category arithmetic is exact.
+#pragma once
+
+#include "core/graph.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+/// Per-kernel cost model. `jitter` (relative, in [0, 1)) perturbs each
+/// task's time with a deterministic Rng to avoid perfectly uniform lengths.
+struct KernelCosts {
+  Time potrf = 1.0;   // / getrf / diagonal kernel
+  Time trsm = 2.0;    // panel solve
+  Time gemm = 4.0;    // trailing update (also syrk)
+  int potrf_procs = 1;
+  int trsm_procs = 2;
+  int gemm_procs = 4;
+  double jitter = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Tiled Cholesky factorization DAG over a T×T lower-triangular tile grid:
+/// POTRF / TRSM / SYRK / GEMM tasks with last-writer dependencies.
+[[nodiscard]] TaskGraph cholesky_dag(int tiles, const KernelCosts& costs = {});
+
+/// Tiled LU factorization (no pivoting): GETRF / TRSM (row+column) / GEMM.
+[[nodiscard]] TaskGraph lu_dag(int tiles, const KernelCosts& costs = {});
+
+/// 2-D stencil wavefront over a rows×cols grid: task (r, c) depends on
+/// (r-1, c) and (r, c-1).
+[[nodiscard]] TaskGraph stencil_dag(int rows, int cols, Time task_time = 1.0,
+                                    int task_procs = 1);
+
+/// FFT butterfly on 2^log2n points: log2n stages; node (s, i) depends on
+/// (s-1, i) and (s-1, i ^ 2^{s-1}).
+[[nodiscard]] TaskGraph fft_dag(int log2n, Time task_time = 1.0,
+                                int task_procs = 1);
+
+/// Map-reduce: `mappers` independent map tasks, then `reducers` reduce
+/// tasks each depending on every map task.
+[[nodiscard]] TaskGraph map_reduce_dag(int mappers, int reducers,
+                                       Time map_time = 1.0,
+                                       Time reduce_time = 2.0,
+                                       int map_procs = 1,
+                                       int reduce_procs = 2);
+
+/// Montage-style astronomy mosaic workflow over `images` input tiles:
+/// project(i) -> difffit over adjacent pairs -> concat -> bgmodel ->
+/// background(i) -> imgtbl -> add (wide) -> shrink -> jpeg. Matches the
+/// canonical Pegasus/Montage DAG shape used in workflow-scheduling papers.
+[[nodiscard]] TaskGraph montage_dag(int images, int add_procs = 4);
+
+}  // namespace catbatch

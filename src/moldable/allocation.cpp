@@ -1,0 +1,84 @@
+#include "moldable/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "instances/random_dags.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+const char* to_string(AllotmentPolicy policy) {
+  switch (policy) {
+    case AllotmentPolicy::Sequential:
+      return "sequential";
+    case AllotmentPolicy::MaxParallel:
+      return "max-parallel";
+    case AllotmentPolicy::MinTime:
+      return "min-time";
+    case AllotmentPolicy::Efficiency50:
+      return "efficiency-50";
+    case AllotmentPolicy::SquareRoot:
+      return "sqrt-p";
+  }
+  return "unknown";
+}
+
+int choose_allotment(const MoldableTask& task, int procs,
+                     AllotmentPolicy policy) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  const int cap = std::min(procs, task.max_procs);
+  switch (policy) {
+    case AllotmentPolicy::Sequential:
+      return 1;
+    case AllotmentPolicy::MaxParallel:
+      return cap;
+    case AllotmentPolicy::MinTime: {
+      int best = 1;
+      Time best_time = task.model.execution_time(task.seq_work, 1);
+      for (int p = 2; p <= cap; ++p) {
+        const Time t = task.model.execution_time(task.seq_work, p);
+        if (t < best_time) {
+          best_time = t;
+          best = p;
+        }
+      }
+      return best;
+    }
+    case AllotmentPolicy::Efficiency50: {
+      const Time t1 = task.model.execution_time(task.seq_work, 1);
+      int best = 1;
+      for (int p = 2; p <= cap; ++p) {
+        const Time tp = task.model.execution_time(task.seq_work, p);
+        const double speedup = static_cast<double>(t1 / tp);
+        if (speedup >= 0.5 * static_cast<double>(p)) best = p;
+      }
+      return best;
+    }
+    case AllotmentPolicy::SquareRoot: {
+      const int root = static_cast<int>(
+          std::ceil(std::sqrt(static_cast<double>(procs))));
+      return std::min(cap, std::max(1, root));
+    }
+  }
+  return 1;
+}
+
+TaskGraph rigidify(const MoldableGraph& graph, int procs,
+                   AllotmentPolicy policy) {
+  TaskGraph rigid;
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const MoldableTask& t = graph.task(id);
+    const int p = choose_allotment(t, procs, policy);
+    rigid.add_task(quantize_time(static_cast<double>(t.execution_time(p))),
+                   p, t.name);
+  }
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    for (const TaskId succ : graph.successors(id)) {
+      rigid.add_edge(id, succ);
+    }
+  }
+  return rigid;
+}
+
+}  // namespace catbatch

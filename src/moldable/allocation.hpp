@@ -1,0 +1,41 @@
+// Local allotment policies for moldable tasks, in the spirit of the local-
+// decision algorithms analysed by Perotin & Sun [28]: each task's allotment
+// is chosen from the task's own parameters only (no global view), which is
+// exactly the regime whose limits the paper's category machinery is meant
+// to break.
+//
+// rigidify() turns a moldable DAG plus a policy into a rigid instance; any
+// scheduler in this library (CatBatch included) then runs it online. Since
+// both the policy and CatBatch's categories use only locally available
+// information, the composition is a legitimate online moldable scheduler —
+// the paper's Section 7 proposal, made concrete.
+#pragma once
+
+#include "core/graph.hpp"
+#include "moldable/moldable_graph.hpp"
+
+namespace catbatch {
+
+enum class AllotmentPolicy {
+  Sequential,    // p = 1 (baseline)
+  MaxParallel,   // p = min(max_procs, P)
+  MinTime,       // p = argmin_p t(p) (ties -> smallest p)
+  Efficiency50,  // largest p with speedup(p)/p >= 1/2
+  SquareRoot,    // p = min(max_procs, ceil(sqrt(P)))
+};
+
+[[nodiscard]] const char* to_string(AllotmentPolicy policy);
+
+/// The allotment the policy picks for one task on a P-processor platform.
+/// Always in [1, min(max_procs, P)].
+[[nodiscard]] int choose_allotment(const MoldableTask& task, int procs,
+                                   AllotmentPolicy policy);
+
+/// Rigid instance induced by the policy: same DAG, execution times t(p)
+/// and processor requirements p fixed by choose_allotment(). Times are
+/// quantized (instances/random_dags.hpp) so the category arithmetic stays
+/// exact downstream.
+[[nodiscard]] TaskGraph rigidify(const MoldableGraph& graph, int procs,
+                                 AllotmentPolicy policy);
+
+}  // namespace catbatch

@@ -1,0 +1,109 @@
+#include "moldable/moldable_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+Time MoldableTask::execution_time(int procs) const {
+  CB_CHECK(procs >= 1 && procs <= max_procs,
+           "allotment outside the task's [1, max_procs] range");
+  return model.execution_time(seq_work, procs);
+}
+
+TaskId MoldableGraph::add_task(Time seq_work, int max_procs,
+                               SpeedupModel model, std::string name) {
+  CB_CHECK(seq_work > 0.0, "sequential work must be positive");
+  CB_CHECK(max_procs >= 1, "allotment cap must be at least 1");
+  model.validate();
+  const auto id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(MoldableTask{seq_work, max_procs, model, std::move(name)});
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return id;
+}
+
+void MoldableGraph::add_edge(TaskId pred, TaskId succ) {
+  CB_CHECK(pred < tasks_.size() && succ < tasks_.size(),
+           "edge endpoint out of range");
+  CB_CHECK(pred != succ, "self-loops are not allowed");
+  auto& out = succs_[pred];
+  if (std::find(out.begin(), out.end(), succ) != out.end()) return;
+  out.push_back(succ);
+  preds_[succ].push_back(pred);
+}
+
+const MoldableTask& MoldableGraph::task(TaskId id) const {
+  CB_CHECK(id < tasks_.size(), "task id out of range");
+  return tasks_[id];
+}
+
+std::span<const TaskId> MoldableGraph::predecessors(TaskId id) const {
+  CB_CHECK(id < tasks_.size(), "task id out of range");
+  return preds_[id];
+}
+
+std::span<const TaskId> MoldableGraph::successors(TaskId id) const {
+  CB_CHECK(id < tasks_.size(), "task id out of range");
+  return succs_[id];
+}
+
+std::vector<TaskId> MoldableGraph::topological_order() const {
+  std::vector<std::size_t> in_degree(tasks_.size());
+  std::deque<TaskId> ready;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    in_degree[id] = preds_[id].size();
+    if (in_degree[id] == 0) ready.push_back(id);
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const TaskId succ : succs_[id]) {
+      if (--in_degree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  CB_CHECK(order.size() == tasks_.size(), "moldable graph contains a cycle");
+  return order;
+}
+
+Time moldable_lower_bound(const MoldableGraph& graph, int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  if (graph.size() == 0) return 0.0;
+
+  // Area bound: each task contributes at least its minimum-area allotment.
+  Time min_area_total = 0.0;
+  std::vector<Time> min_time(graph.size());
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const MoldableTask& t = graph.task(id);
+    const int cap = std::min(procs, t.max_procs);
+    Time best_area = t.model.area(t.seq_work, 1);
+    Time best_time = t.model.execution_time(t.seq_work, 1);
+    for (int p = 2; p <= cap; ++p) {
+      best_area = std::min(best_area, t.model.area(t.seq_work, p));
+      best_time = std::min(best_time, t.model.execution_time(t.seq_work, p));
+    }
+    min_area_total += best_area;
+    min_time[id] = best_time;
+  }
+
+  // Critical-path bound with minimum times.
+  std::vector<Time> finish(graph.size(), 0.0);
+  Time critical = 0.0;
+  for (const TaskId id : graph.topological_order()) {
+    Time start = 0.0;
+    for (const TaskId pred : graph.predecessors(id)) {
+      start = std::max(start, finish[pred]);
+    }
+    finish[id] = start + min_time[id];
+    critical = std::max(critical, finish[id]);
+  }
+
+  return std::max(min_area_total / static_cast<Time>(procs), critical);
+}
+
+}  // namespace catbatch

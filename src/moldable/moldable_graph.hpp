@@ -1,0 +1,50 @@
+// DAGs of moldable tasks (Section 2.2; the paper's Section 7 names online
+// moldable scheduling as the natural next target for the category
+// machinery). A moldable task carries sequential work, a speedup model and
+// an allotment cap; the scheduler chooses p before launch.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+#include "moldable/speedup.hpp"
+
+namespace catbatch {
+
+struct MoldableTask {
+  Time seq_work = 0.0;  // w: time on one processor
+  int max_procs = 1;    // allotment cap (task-specific, <= P)
+  SpeedupModel model;
+  std::string name;
+
+  /// t(p) under the task's model. Requires 1 <= procs <= max_procs.
+  [[nodiscard]] Time execution_time(int procs) const;
+};
+
+class MoldableGraph {
+ public:
+  TaskId add_task(Time seq_work, int max_procs, SpeedupModel model,
+                  std::string name = {});
+  void add_edge(TaskId pred, TaskId succ);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] const MoldableTask& task(TaskId id) const;
+  [[nodiscard]] std::span<const TaskId> predecessors(TaskId id) const;
+  [[nodiscard]] std::span<const TaskId> successors(TaskId id) const;
+  [[nodiscard]] std::vector<TaskId> topological_order() const;
+
+ private:
+  std::vector<MoldableTask> tasks_;
+  std::vector<std::vector<TaskId>> preds_;
+  std::vector<std::vector<TaskId>> succs_;
+};
+
+/// Makespan lower bound for a moldable instance on P processors
+/// (moldable analogue of Equation 1): the area bound uses each task's
+/// *minimum-area* allotment, the critical-path bound its *minimum-time*
+/// allotment — both relaxations of any feasible schedule.
+[[nodiscard]] Time moldable_lower_bound(const MoldableGraph& graph, int procs);
+
+}  // namespace catbatch

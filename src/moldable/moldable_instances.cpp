@@ -1,0 +1,141 @@
+#include "moldable/moldable_instances.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+MoldableTask draw_moldable_task(Rng& rng,
+                                const MoldableTaskDistribution& dist) {
+  CB_CHECK(dist.min_seq_work > 0.0 &&
+               dist.max_seq_work >= dist.min_seq_work,
+           "seq work range requires 0 < min <= max");
+  CB_CHECK(dist.max_procs >= 1, "max_procs must be at least 1");
+
+  std::vector<SpeedupLaw> laws;
+  if (dist.use_linear) laws.push_back(SpeedupLaw::Linear);
+  if (dist.use_roofline) laws.push_back(SpeedupLaw::Roofline);
+  if (dist.use_amdahl) laws.push_back(SpeedupLaw::Amdahl);
+  if (dist.use_comm_overhead) laws.push_back(SpeedupLaw::CommOverhead);
+  if (dist.use_power_law) laws.push_back(SpeedupLaw::PowerLaw);
+  CB_CHECK(!laws.empty(), "at least one speedup law must be enabled");
+
+  MoldableTask task;
+  const double lo = std::log(dist.min_seq_work);
+  const double hi = std::log(dist.max_seq_work);
+  task.seq_work = std::exp(rng.uniform_real(lo, hi));
+  task.max_procs = static_cast<int>(rng.uniform_int(1, dist.max_procs));
+  task.model.law = laws[rng.index(laws.size())];
+  switch (task.model.law) {
+    case SpeedupLaw::Linear:
+      task.model.parameter = 0.0;
+      break;
+    case SpeedupLaw::Roofline:
+      task.model.parameter =
+          static_cast<double>(rng.uniform_int(1, dist.max_procs));
+      break;
+    case SpeedupLaw::Amdahl:
+      task.model.parameter = rng.uniform_real(0.0, 0.3);
+      break;
+    case SpeedupLaw::CommOverhead:
+      task.model.parameter =
+          rng.uniform_real(0.0, 0.05) * task.seq_work;
+      break;
+    case SpeedupLaw::PowerLaw:
+      task.model.parameter = rng.uniform_real(0.5, 1.0);
+      break;
+  }
+  return task;
+}
+
+MoldableGraph random_moldable_layered(Rng& rng, std::size_t task_count,
+                                      std::size_t layer_count,
+                                      const MoldableTaskDistribution& dist) {
+  CB_CHECK(task_count >= 1, "need at least one task");
+  CB_CHECK(layer_count >= 1 && layer_count <= task_count,
+           "layer count must be in [1, task_count]");
+  MoldableGraph g;
+  std::vector<std::vector<TaskId>> layers(layer_count);
+  for (std::size_t k = 0; k < task_count; ++k) {
+    const std::size_t layer = k < layer_count ? k : rng.index(layer_count);
+    const MoldableTask t = draw_moldable_task(rng, dist);
+    const TaskId id = g.add_task(t.seq_work, t.max_procs, t.model);
+    layers[layer].push_back(id);
+    if (layer > 0 && !layers[layer - 1].empty()) {
+      const std::size_t pred_count = 1 + rng.index(3);
+      for (std::size_t e = 0; e < pred_count; ++e) {
+        g.add_edge(layers[layer - 1][rng.index(layers[layer - 1].size())],
+                   id);
+      }
+    }
+  }
+  return g;
+}
+
+MoldableGraph moldable_cholesky(int tiles, int max_procs) {
+  CB_CHECK(tiles >= 1, "cholesky needs at least one tile");
+  CB_CHECK(max_procs >= 1, "max_procs must be at least 1");
+  MoldableGraph g;
+
+  const SpeedupModel potrf_model{SpeedupLaw::Amdahl, 0.4};
+  const SpeedupModel trsm_model{
+      SpeedupLaw::Roofline,
+      std::max(1.0, static_cast<double>(max_procs) / 4.0)};
+  const SpeedupModel gemm_model{
+      SpeedupLaw::Roofline, static_cast<double>(max_procs)};
+
+  // Same last-writer dataflow as instances/workloads.cpp, with moldable
+  // kernels.
+  std::vector<TaskId> writer(
+      static_cast<std::size_t>(tiles) * static_cast<std::size_t>(tiles),
+      kInvalidTask);
+  const auto tile_index = [tiles](int i, int j) {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(tiles) +
+           static_cast<std::size_t>(j);
+  };
+  const auto depend = [&](TaskId task, int i, int j) {
+    if (writer[tile_index(i, j)] != kInvalidTask) {
+      g.add_edge(writer[tile_index(i, j)], task);
+    }
+  };
+
+  for (int k = 0; k < tiles; ++k) {
+    const TaskId potrf = g.add_task(
+        1.0, max_procs, potrf_model,
+        "potrf(" + std::to_string(k) + ")");
+    depend(potrf, k, k);
+    writer[tile_index(k, k)] = potrf;
+    for (int i = k + 1; i < tiles; ++i) {
+      const TaskId trsm = g.add_task(
+          2.0, max_procs, trsm_model,
+          "trsm(" + std::to_string(i) + "," + std::to_string(k) + ")");
+      depend(trsm, k, k);
+      depend(trsm, i, k);
+      writer[tile_index(i, k)] = trsm;
+    }
+    for (int i = k + 1; i < tiles; ++i) {
+      const TaskId syrk = g.add_task(
+          4.0, max_procs, gemm_model,
+          "syrk(" + std::to_string(i) + ")");
+      depend(syrk, i, k);
+      depend(syrk, i, i);
+      writer[tile_index(i, i)] = syrk;
+      for (int j = k + 1; j < i; ++j) {
+        const TaskId gemm = g.add_task(
+            4.0, max_procs, gemm_model,
+            "gemm(" + std::to_string(i) + "," + std::to_string(j) + ")");
+        depend(gemm, i, k);
+        depend(gemm, j, k);
+        depend(gemm, i, j);
+        writer[tile_index(i, j)] = gemm;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace catbatch

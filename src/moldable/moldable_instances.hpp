@@ -1,0 +1,37 @@
+// Moldable instance generators: random DAGs with mixed speedup models and
+// a moldable rendition of the tiled-Cholesky workload (kernels scale with
+// realistic rooflines).
+#pragma once
+
+#include "moldable/moldable_graph.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+struct MoldableTaskDistribution {
+  double min_seq_work = 1.0;
+  double max_seq_work = 64.0;
+  int max_procs = 16;
+  /// Mixture over speedup laws: each task draws one uniformly from the
+  /// enabled set.
+  bool use_linear = true;
+  bool use_roofline = true;
+  bool use_amdahl = true;
+  bool use_comm_overhead = true;
+  bool use_power_law = true;
+};
+
+/// One random moldable task (work log-uniform, model mix per the flags).
+[[nodiscard]] MoldableTask draw_moldable_task(
+    Rng& rng, const MoldableTaskDistribution& dist);
+
+/// Layered random moldable DAG (shape mirrors random_layered_dag).
+[[nodiscard]] MoldableGraph random_moldable_layered(
+    Rng& rng, std::size_t task_count, std::size_t layer_count,
+    const MoldableTaskDistribution& dist);
+
+/// Moldable tiled Cholesky: gemm-like kernels get near-linear rooflines,
+/// panel kernels saturate early.
+[[nodiscard]] MoldableGraph moldable_cholesky(int tiles, int max_procs);
+
+}  // namespace catbatch

@@ -1,0 +1,70 @@
+#include "moldable/speedup.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+const char* to_string(SpeedupLaw law) {
+  switch (law) {
+    case SpeedupLaw::Linear:
+      return "linear";
+    case SpeedupLaw::Roofline:
+      return "roofline";
+    case SpeedupLaw::Amdahl:
+      return "amdahl";
+    case SpeedupLaw::CommOverhead:
+      return "comm-overhead";
+    case SpeedupLaw::PowerLaw:
+      return "power-law";
+  }
+  return "unknown";
+}
+
+void SpeedupModel::validate() const {
+  switch (law) {
+    case SpeedupLaw::Linear:
+      break;
+    case SpeedupLaw::Roofline:
+      CB_CHECK(parameter >= 1.0, "roofline parallelism bound must be >= 1");
+      break;
+    case SpeedupLaw::Amdahl:
+      CB_CHECK(parameter >= 0.0 && parameter <= 1.0,
+               "Amdahl serial fraction must be in [0, 1]");
+      break;
+    case SpeedupLaw::CommOverhead:
+      CB_CHECK(parameter >= 0.0, "communication cost must be >= 0");
+      break;
+    case SpeedupLaw::PowerLaw:
+      CB_CHECK(parameter > 0.0 && parameter <= 1.0,
+               "power-law exponent must be in (0, 1]");
+      break;
+  }
+}
+
+Time SpeedupModel::execution_time(Time seq_work, int procs) const {
+  CB_CHECK(seq_work > 0.0, "sequential work must be positive");
+  CB_CHECK(procs >= 1, "allotment must be at least one processor");
+  validate();
+  const auto p = static_cast<double>(procs);
+  switch (law) {
+    case SpeedupLaw::Linear:
+      return seq_work / p;
+    case SpeedupLaw::Roofline: {
+      const double effective = std::min(p, parameter);
+      return seq_work / effective;
+    }
+    case SpeedupLaw::Amdahl:
+      return seq_work * (parameter + (1.0 - parameter) / p);
+    case SpeedupLaw::CommOverhead:
+      return seq_work / p + parameter * (p - 1.0);
+    case SpeedupLaw::PowerLaw:
+      return seq_work / std::pow(p, parameter);
+  }
+  CB_CHECK(false, "unreachable speedup law");
+  return seq_work;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,54 @@
+// Speedup models for moldable tasks (Section 2.2 of the paper): a moldable
+// task's execution time is a function of its processor allotment, fixed at
+// launch. The models below cover the families used in the related work the
+// paper builds on:
+//   * Linear        — perfect speedup, t(p) = w / p            [13]
+//   * Roofline      — linear up to a parallelism bound p̄, flat beyond [13]
+//   * Amdahl        — serial fraction s: t(p) = w·(s + (1-s)/p)
+//   * CommOverhead  — t(p) = w/p + c·(p-1) (linear model with
+//                     per-processor communication cost)          [5]
+//   * PowerLaw      — t(p) = w / p^α, α ∈ (0, 1]
+//
+// All models are *monotonic* in the sense of Belkhale et al. [4]: execution
+// time is non-increasing and area p·t(p) is non-decreasing in p (verified
+// by property tests).
+#pragma once
+
+#include <string>
+
+#include "core/task.hpp"
+
+namespace catbatch {
+
+enum class SpeedupLaw {
+  Linear,
+  Roofline,
+  Amdahl,
+  CommOverhead,
+  PowerLaw,
+};
+
+[[nodiscard]] const char* to_string(SpeedupLaw law);
+
+struct SpeedupModel {
+  SpeedupLaw law = SpeedupLaw::Linear;
+  /// Meaning depends on `law`: Roofline -> maximum useful parallelism
+  /// (>= 1); Amdahl -> serial fraction in [0, 1]; CommOverhead -> per-
+  /// processor cost c >= 0 (in time units); PowerLaw -> exponent α in
+  /// (0, 1]. Ignored for Linear.
+  double parameter = 0.0;
+
+  /// Execution time of a task with sequential work `seq_work` on `procs`
+  /// processors. Requires seq_work > 0 and procs >= 1.
+  [[nodiscard]] Time execution_time(Time seq_work, int procs) const;
+
+  /// p * t(p): the area consumed by the allotment.
+  [[nodiscard]] Time area(Time seq_work, int procs) const {
+    return static_cast<Time>(procs) * execution_time(seq_work, procs);
+  }
+
+  /// Validates the parameter for the law; throws ContractViolation.
+  void validate() const;
+};
+
+}  // namespace catbatch

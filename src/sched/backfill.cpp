@@ -1,0 +1,84 @@
+#include "sched/backfill.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+void EasyBackfill::reset() {
+  queue_.clear();
+  running_.clear();
+}
+
+void EasyBackfill::task_ready(const ReadyTask& task, Time) {
+  queue_.push_back(Queued{task.id, task.work, task.procs});
+}
+
+void EasyBackfill::task_finished(TaskId id, Time) { running_.erase(id); }
+
+std::vector<TaskId> EasyBackfill::select(Time now, int available_procs) {
+  std::vector<TaskId> picks;
+  int avail = available_procs;
+
+  const auto start = [&](std::size_t queue_index) {
+    const Queued& q = queue_[queue_index];
+    picks.push_back(q.id);
+    avail -= q.procs;
+    running_.emplace(q.id,
+                     Running{now + q.declared_work, q.procs});
+    queue_.erase(queue_.begin() +
+                 static_cast<std::ptrdiff_t>(queue_index));
+  };
+
+  // Start head jobs while they fit.
+  while (!queue_.empty() && queue_.front().procs <= avail) {
+    start(0);
+  }
+  if (queue_.empty()) return picks;
+
+  // Head is blocked: compute its reservation from the declared finish
+  // times of the running tasks (sorted ascending, accumulate releases).
+  const Queued head = queue_.front();
+  std::vector<Running> by_finish;
+  by_finish.reserve(running_.size());
+  for (const auto& [id, run] : running_) by_finish.push_back(run);
+  std::sort(by_finish.begin(), by_finish.end(),
+            [](const Running& a, const Running& b) {
+              return a.declared_finish < b.declared_finish;
+            });
+  Time reservation = now;
+  int free_at_reservation = avail;
+  int extra = 0;  // processors free at the reservation beyond the head's need
+  for (const Running& run : by_finish) {
+    if (free_at_reservation >= head.procs) break;
+    free_at_reservation += run.procs;
+    reservation = run.declared_finish;
+  }
+  CB_DCHECK(free_at_reservation >= head.procs,
+            "reservation accounting failed to find enough processors");
+  extra = free_at_reservation - head.procs;
+
+  // Backfill pass over the rest of the queue: a job may jump ahead if it
+  // fits now and either (a) its declared completion precedes the
+  // reservation, or (b) it needs no more than the processors left over at
+  // the reservation.
+  for (std::size_t k = 1; k < queue_.size();) {
+    const Queued& q = queue_[k];
+    const bool fits_now = q.procs <= avail;
+    const bool ends_before_reservation =
+        now + q.declared_work <= reservation;
+    const bool spares_reservation = q.procs <= extra;
+    if (fits_now && (ends_before_reservation || spares_reservation)) {
+      if (spares_reservation && !ends_before_reservation) {
+        extra -= q.procs;
+      }
+      start(k);
+    } else {
+      ++k;
+    }
+  }
+  return picks;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,49 @@
+#include "sched/catbatch_contiguous.hpp"
+
+#include <map>
+#include <vector>
+
+#include "core/category.hpp"
+#include "core/criticality.hpp"
+#include "sched/shelf.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+ContiguousCatBatchResult catbatch_contiguous_schedule(const TaskGraph& graph,
+                                                      int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  graph.validate(procs);
+  ContiguousCatBatchResult out;
+  if (graph.empty()) return out;
+
+  const auto crit = compute_criticalities(graph);
+  std::map<Time, std::vector<TaskId>> batches;  // ζ -> members
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    batches[compute_category(crit[id]).value()].push_back(id);
+  }
+
+  Time base = 0.0;
+  for (const auto& entry : batches) {
+    const std::vector<TaskId>& ids = entry.second;
+    std::vector<Task> tasks;
+    tasks.reserve(ids.size());
+    for (const TaskId id : ids) tasks.push_back(graph.task(id));
+    const ShelfPacking packing = pack_nfdh(tasks, procs);
+    for (const ShelfPlacement& pl : packing.placements) {
+      const Task& t = tasks[pl.task_index];
+      std::vector<int> held(static_cast<std::size_t>(t.procs));
+      for (int k = 0; k < t.procs; ++k) held[static_cast<std::size_t>(k)] =
+          pl.first_processor + k;
+      out.schedule.add(ids[pl.task_index], base + pl.start,
+                       base + pl.start + t.work, std::move(held));
+    }
+    base += packing.total_height;
+    ++out.batch_count;
+  }
+  // The last shelf's tasks may finish before the shelf's nominal height.
+  out.makespan = out.schedule.makespan();
+  return out;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,31 @@
+// CatBatch with *contiguous* processor allocation for rigid tasks — the
+// bridge between the paper's two problem statements (Section 1's
+// comparison): rigid scheduling allows free processor choice, strip
+// packing demands a contiguous block. Replacing ScheduleIndep with a shelf
+// packer (NFDH, per Remark 1) yields a schedule in which every task holds
+// an interval [first, first + p) of processor indices, at the cost of the
+// shelf constant: per batch, T(B) <= 2·A(B)/P + 2·L_ζ (NFDH's bound) and
+// the Theorem 1 structure survives with a slightly larger constant.
+//
+// Offline formulation (criticalities from the full graph); by Lemma 1 the
+// batch structure equals the online one, so this is exactly what the
+// online algorithm would produce.
+#pragma once
+
+#include "core/graph.hpp"
+#include "sim/schedule.hpp"
+
+namespace catbatch {
+
+struct ContiguousCatBatchResult {
+  Schedule schedule;
+  Time makespan = 0.0;
+  std::size_t batch_count = 0;
+};
+
+/// Builds the contiguous-allocation CatBatch schedule of `graph` on
+/// `procs` processors. Every entry's processor set is a contiguous range.
+[[nodiscard]] ContiguousCatBatchResult catbatch_contiguous_schedule(
+    const TaskGraph& graph, int procs);
+
+}  // namespace catbatch

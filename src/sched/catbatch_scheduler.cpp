@@ -1,0 +1,160 @@
+#include "sched/catbatch_scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+const char* to_string(BatchOrder order) {
+  switch (order) {
+    case BatchOrder::Arrival:
+      return "arrival";
+    case BatchOrder::WidestFirst:
+      return "widest-first";
+    case BatchOrder::LongestFirst:
+      return "longest-first";
+    case BatchOrder::ShortestFirst:
+      return "shortest-first";
+  }
+  return "unknown";
+}
+
+CatBatchScheduler::CatBatchScheduler(CatBatchOptions options)
+    : options_(std::move(options)) {}
+
+std::string CatBatchScheduler::name() const {
+  if (!options_.name_override.empty()) return options_.name_override;
+  std::string n = "catbatch(";
+  n += to_string(options_.batch_order);
+  n += ")";
+  return n;
+}
+
+void CatBatchScheduler::reset() {
+  batches_.clear();
+  earliest_finish_.clear();
+  current_category_.reset();
+  current_pending_.clear();
+  current_running_ = 0;
+  arrivals_ = 0;
+  history_.clear();
+}
+
+Category CatBatchScheduler::category_for(const ReadyTask& task) {
+  if (!options_.fixed_categories.empty()) {
+    CB_CHECK(task.id < options_.fixed_categories.size(),
+             "fixed category table does not cover this task");
+    return options_.fixed_categories[task.id];
+  }
+  // Algorithm 1 (ComputeCat), online: s∞ from the recorded f∞ of the
+  // predecessors (all of which were revealed before this task).
+  Time s_inf = 0.0;
+  for (const TaskId pred : task.predecessors) {
+    const auto it = earliest_finish_.find(pred);
+    CB_CHECK(it != earliest_finish_.end(),
+             "predecessor revealed after its successor");
+    s_inf = std::max(s_inf, it->second);
+  }
+  CB_CHECK(options_.origin_shift >= 0.0,
+           "origin shift must be non-negative");
+  const Time shifted = s_inf + options_.origin_shift;
+  return compute_category(Criticality{shifted, shifted + task.work});
+}
+
+void CatBatchScheduler::task_ready(const ReadyTask& task, Time) {
+  // Track f∞ even under fixed categories so mixed use stays consistent.
+  Time s_inf = 0.0;
+  for (const TaskId pred : task.predecessors) {
+    const auto it = earliest_finish_.find(pred);
+    if (it != earliest_finish_.end()) s_inf = std::max(s_inf, it->second);
+  }
+  earliest_finish_.emplace(task.id, s_inf + task.work);
+
+  const Category cat = category_for(task);
+
+  // Corollary 2: while a batch runs, only strictly larger categories can be
+  // discovered. (Holds for the exact-time model; the uncertainty extension
+  // routes through RelaxedCatBatch instead.)
+  if (current_category_.has_value() && options_.fixed_categories.empty()) {
+    CB_DCHECK(cat.value() > current_category_->value(),
+              "Corollary 2 violated: task of current/past category revealed");
+  }
+
+  Batch& batch = batches_[cat.value()];
+  batch.category = cat;
+  batch.pending.push_back(Pending{task.id, task.work, task.procs, arrivals_++});
+}
+
+bool CatBatchScheduler::batch_order_before(const Pending& a,
+                                           const Pending& b) const {
+  switch (options_.batch_order) {
+    case BatchOrder::Arrival:
+      break;
+    case BatchOrder::WidestFirst:
+      if (a.procs != b.procs) return a.procs > b.procs;
+      break;
+    case BatchOrder::LongestFirst:
+      if (a.work != b.work) return a.work > b.work;
+      break;
+    case BatchOrder::ShortestFirst:
+      if (a.work != b.work) return a.work < b.work;
+      break;
+  }
+  return a.arrival < b.arrival;
+}
+
+void CatBatchScheduler::activate_next_batch(Time now) {
+  CB_DCHECK(!current_category_.has_value(), "previous batch still active");
+  CB_DCHECK(current_pending_.empty() && current_running_ == 0,
+            "previous batch not drained");
+  if (batches_.empty()) return;
+  auto it = batches_.begin();  // B_ζmin (Algorithm 3, line 10)
+  current_category_ = it->second.category;
+  current_pending_ = std::move(it->second.pending);
+  batches_.erase(it);
+  std::sort(current_pending_.begin(), current_pending_.end(),
+            [this](const Pending& a, const Pending& b) {
+              return batch_order_before(a, b);
+            });
+  history_.push_back(BatchRecord{*current_category_, now, now, {}});
+  history_.back().tasks.reserve(current_pending_.size());
+}
+
+void CatBatchScheduler::task_finished(TaskId id, Time now) {
+  if (!current_category_.has_value()) return;
+  // Only tasks of the current batch can be running under strict CatBatch.
+  CB_DCHECK(current_running_ > 0, "completion outside the current batch");
+  (void)id;
+  --current_running_;
+  if (current_running_ == 0 && current_pending_.empty()) {
+    history_.back().finished = now;
+    current_category_.reset();  // batch complete (Algorithm 2, line 17)
+  }
+}
+
+std::vector<TaskId> CatBatchScheduler::select(Time now, int available_procs) {
+  if (!current_category_.has_value()) activate_next_batch(now);
+  if (!current_category_.has_value()) return {};
+
+  // ScheduleIndep's greedy pass (Algorithm 2, lines 9-15): start every
+  // pending task of the current batch that fits the free processors.
+  std::vector<TaskId> picks;
+  int avail = available_procs;
+  std::size_t keep = 0;
+  for (std::size_t k = 0; k < current_pending_.size(); ++k) {
+    Pending& p = current_pending_[k];
+    if (p.procs <= avail) {
+      avail -= p.procs;
+      picks.push_back(p.id);
+      history_.back().tasks.push_back(p.id);
+      ++current_running_;
+    } else {
+      current_pending_[keep++] = std::move(p);
+    }
+  }
+  current_pending_.resize(keep);
+  return picks;
+}
+
+}  // namespace catbatch

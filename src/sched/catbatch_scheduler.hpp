@@ -1,0 +1,113 @@
+// CatBatch (Algorithms 1-3): the paper's online algorithm.
+//
+// Each revealed task is assigned a category ζ = λ·2^χ computed from its
+// criticality interval (ComputeCat, Algorithm 1). Tasks of equal category
+// form a batch of pairwise-independent tasks (Lemma 5). Batches execute in
+// increasing ζ, and a batch runs to *completion* before the next batch is
+// even considered (ScheduleIndep, Algorithm 2); within a batch, whenever a
+// task completes every remaining task that fits the free processors is
+// started greedily.
+//
+// The category of each task is computed purely online: the scheduler keeps
+// the earliest-finish time f∞ of every task it has seen and applies
+// Lemma 1's recurrence when a new task arrives.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/category.hpp"
+#include "sim/scheduler.hpp"
+
+namespace catbatch {
+
+/// Order in which ScheduleIndep considers the tasks of a batch. The paper
+/// proves Lemma 6 for *any* order; the choice is exposed for experiments.
+enum class BatchOrder {
+  Arrival,         // insertion order (the paper's "arbitrary order")
+  WidestFirst,     // decreasing p
+  LongestFirst,    // decreasing t
+  ShortestFirst,   // increasing t
+};
+
+[[nodiscard]] const char* to_string(BatchOrder order);
+
+struct CatBatchOptions {
+  BatchOrder batch_order = BatchOrder::Arrival;
+  /// Research knob: translate every criticality interval by this offset
+  /// before computing categories. The dyadic lattice of Definition 2 is
+  /// anchored at time 0; a common shift re-anchors it, changing how tasks
+  /// bucket into batches while preserving every lemma (all intervals move
+  /// together, so overlaps and orderings are untouched). Theorem 1's bound
+  /// weakens only through the critical-path term: C grows to C + shift in
+  /// the L-matrix accounting. Must be >= 0; exact binary values keep the
+  /// arithmetic exact. See bench_ablation.
+  Time origin_shift = 0.0;
+  /// Optional category override, indexed by TaskId: when non-empty the
+  /// scheduler uses these instead of computing categories online. Used by
+  /// the offline twin (sched/offline_catbatch.hpp) to demonstrate that
+  /// offline knowledge changes nothing (Lemma 1 makes the online computation
+  /// exact).
+  std::vector<Category> fixed_categories;
+  std::string name_override;
+};
+
+/// Record of one executed batch, for traces and the Figure 6 bench.
+struct BatchRecord {
+  Category category;
+  Time started = 0.0;
+  Time finished = 0.0;
+  std::vector<TaskId> tasks;
+};
+
+class CatBatchScheduler final : public OnlineScheduler {
+ public:
+  explicit CatBatchScheduler(CatBatchOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  void task_ready(const ReadyTask& task, Time now) override;
+  void task_finished(TaskId id, Time now) override;
+  [[nodiscard]] std::vector<TaskId> select(Time now,
+                                           int available_procs) override;
+
+  /// Batches executed so far, in execution order. Valid after a simulation.
+  [[nodiscard]] const std::vector<BatchRecord>& batch_history() const {
+    return history_;
+  }
+
+ private:
+  struct Pending {
+    TaskId id;
+    Time work;
+    int procs;
+    std::uint64_t arrival;
+  };
+
+  struct Batch {
+    Category category;
+    std::vector<Pending> pending;
+  };
+
+  [[nodiscard]] Category category_for(const ReadyTask& task);
+  void activate_next_batch(Time now);
+  [[nodiscard]] bool batch_order_before(const Pending& a,
+                                        const Pending& b) const;
+
+  CatBatchOptions options_;
+
+  // Batches keyed by exact ζ value; doubles are exact here because
+  // Category::value() is exact (see core/category.hpp).
+  std::map<Time, Batch> batches_;
+  std::unordered_map<TaskId, Time> earliest_finish_;  // f∞ record (Lemma 1)
+
+  std::optional<Category> current_category_;
+  std::vector<Pending> current_pending_;
+  std::size_t current_running_ = 0;
+  std::uint64_t arrivals_ = 0;
+  std::vector<BatchRecord> history_;
+};
+
+}  // namespace catbatch

@@ -1,0 +1,88 @@
+#include "sched/divide_conquer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/criticality.hpp"
+#include "sched/shelf.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+
+class DivideConquer {
+ public:
+  DivideConquer(const TaskGraph& graph, int procs)
+      : graph_(graph), procs_(procs), crit_(compute_criticalities(graph)) {}
+
+  DivideConquerResult run() {
+    std::vector<TaskId> all(graph_.size());
+    for (TaskId id = 0; id < graph_.size(); ++id) all[id] = id;
+    const Time horizon = critical_path_length(crit_);
+    recurse(std::move(all), 0.0, horizon, 1);
+    return std::move(result_);
+  }
+
+ private:
+  /// Schedules `tasks` (whose criticality intervals lie within [lo, hi])
+  /// after everything already emitted; appends to result_.schedule.
+  void recurse(std::vector<TaskId> tasks, Time lo, Time hi,
+               std::size_t depth) {
+    if (tasks.empty()) return;
+    result_.max_depth = std::max(result_.max_depth, depth);
+    CB_CHECK(depth < 200, "divide-and-conquer recursion failed to converge");
+
+    const Time mid = lo + (hi - lo) / 2.0;
+    std::vector<TaskId> left, straddle, right;
+    for (const TaskId id : tasks) {
+      if (crit_[id].earliest_finish <= mid) {
+        left.push_back(id);
+      } else if (crit_[id].earliest_start >= mid) {
+        right.push_back(id);
+      } else {
+        straddle.push_back(id);
+      }
+    }
+    // Guaranteed progress: a task straddles mid only if it fits neither
+    // half, and every task's interval has positive length, so left/right
+    // shrink strictly. If *all* tasks straddle, the batch below clears them.
+    recurse(std::move(left), lo, mid, depth + 1);
+    schedule_batch(straddle);
+    recurse(std::move(right), mid, hi, depth + 1);
+  }
+
+  /// Greedily schedules an independent set (Algorithm 2 offline) starting
+  /// at the current tail of the schedule.
+  void schedule_batch(const std::vector<TaskId>& batch) {
+    if (batch.empty()) return;
+    ++result_.batch_count;
+    const Time base = result_.schedule.makespan();
+    std::vector<Task> tasks;
+    tasks.reserve(batch.size());
+    for (const TaskId id : batch) tasks.push_back(graph_.task(id));
+    const Schedule sub = greedy_independent(tasks, procs_);
+    for (const ScheduledTask& e : sub.entries()) {
+      result_.schedule.add(batch[e.id], base + e.start, base + e.finish,
+                           e.processors);
+    }
+  }
+
+  const TaskGraph& graph_;
+  int procs_;
+  std::vector<Criticality> crit_;
+  DivideConquerResult result_;
+};
+
+}  // namespace
+
+DivideConquerResult divide_conquer_schedule(const TaskGraph& graph,
+                                            int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  graph.validate(procs);
+  if (graph.empty()) return {};
+  DivideConquer dc(graph, procs);
+  return dc.run();
+}
+
+}  // namespace catbatch

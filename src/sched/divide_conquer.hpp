@@ -1,0 +1,40 @@
+// Offline divide-and-conquer scheduling in the style of Augustine et
+// al. [1] (the paper's offline comparator, approximation ratio
+// log2(n+1) + 2).
+//
+// The criticality horizon [0, C] is split at its midpoint m. Every task
+// whose criticality interval straddles m forms an independent set (their
+// intervals pairwise overlap at m, so by the Section 4.1 observation no
+// precedence can exist among them); it is scheduled greedily as one batch.
+// Tasks entirely left of m are scheduled recursively before the batch and
+// tasks entirely right of m recursively after it, which respects every
+// precedence constraint (a dependency can only go from an earlier interval
+// to a later one). Recursion depth is bounded by log2(C / t_min) + 1
+// because a task only survives into a half whose width still exceeds its
+// length.
+//
+// This gives the same O(log) batch structure CatBatch discovers online —
+// putting the two side by side in the benches shows what the online
+// restriction actually costs.
+#pragma once
+
+#include "core/graph.hpp"
+#include "sim/schedule.hpp"
+
+namespace catbatch {
+
+struct DivideConquerResult {
+  Schedule schedule;
+  /// Number of greedy batches executed (one per recursion node with a
+  /// non-empty straddling set).
+  std::size_t batch_count = 0;
+  /// Maximum recursion depth reached.
+  std::size_t max_depth = 0;
+};
+
+/// Schedules `graph` on `procs` processors offline. Throws on invalid
+/// instances (cycles, tasks wider than the platform).
+[[nodiscard]] DivideConquerResult divide_conquer_schedule(
+    const TaskGraph& graph, int procs);
+
+}  // namespace catbatch

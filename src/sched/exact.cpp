@@ -1,0 +1,258 @@
+#include "sched/exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "sim/processor_pool.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+
+using Mask = std::uint64_t;
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const TaskGraph& graph, int procs,
+                 const ExactOptions& options)
+      : graph_(graph), procs_(procs), options_(options), n_(graph.size()) {
+    // Tail path lengths: t_i plus the longest chain of successors.
+    tail_.resize(n_);
+    const auto topo = graph_.topological_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const TaskId id = *it;
+      Time best = 0.0;
+      for (const TaskId succ : graph_.successors(id)) {
+        best = std::max(best, tail_[succ]);
+      }
+      tail_[id] = graph_.task(id).work + best;
+    }
+    starts_.assign(n_, -1.0);
+    best_starts_.assign(n_, -1.0);
+    total_area_ = graph_.total_area();
+    // Any feasible schedule bounds the incumbent; seed with +inf.
+    best_makespan_ = std::numeric_limits<Time>::infinity();
+  }
+
+  ExactResult run() {
+    std::vector<Running> running;
+    dfs(0.0, 0, 0, running, 0, 0.0);
+    ExactResult result;
+    result.nodes_explored = nodes_;
+    result.proven_optimal = nodes_ <= options_.node_budget;
+    result.makespan = best_makespan_;
+    CB_CHECK(std::isfinite(best_makespan_),
+             "branch and bound found no schedule (internal error)");
+    result.schedule = schedule_from_starts(graph_, best_starts_, procs_);
+    return result;
+  }
+
+ private:
+  struct Running {
+    TaskId id;
+    Time finish;
+  };
+
+  [[nodiscard]] bool over_budget() const {
+    return nodes_ > options_.node_budget;
+  }
+
+  /// `started_area` = total area of started tasks (for the area prune).
+  void dfs(Time now, Mask started, Mask done,
+           std::vector<Running>& running, int used_procs,
+           Time started_area) {
+    if (over_budget()) return;
+    ++nodes_;
+
+    // All started: the makespan is the latest running finish.
+    if (started == full_mask()) {
+      Time makespan = now;
+      for (const Running& r : running) {
+        makespan = std::max(makespan, r.finish);
+      }
+      if (makespan < best_makespan_) {
+        best_makespan_ = makespan;
+        best_starts_ = starts_;
+      }
+      return;
+    }
+
+    // Prune: optimistic completion of this branch.
+    Time optimistic = now;
+    for (const Running& r : running) {
+      optimistic = std::max(optimistic, r.finish);
+    }
+    Time max_tail = 0.0;
+    for (TaskId id = 0; id < n_; ++id) {
+      if (!(started & bit(id))) max_tail = std::max(max_tail, tail_[id]);
+    }
+    const Time area_left = total_area_ - started_area;
+    optimistic = std::max(
+        optimistic,
+        std::max(now + max_tail,
+                 now + area_left / static_cast<Time>(procs_)));
+    if (optimistic >= best_makespan_) return;  // ties keep the incumbent
+
+    // Ready tasks: all predecessors done, not started.
+    std::vector<TaskId> ready;
+    for (TaskId id = 0; id < n_; ++id) {
+      if (started & bit(id)) continue;
+      bool ok = true;
+      for (const TaskId pred : graph_.predecessors(id)) {
+        if (!(done & bit(pred))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(id);
+    }
+
+    // Branch over capacity-feasible subsets of `ready` (including empty if
+    // something is running to advance time).
+    std::vector<TaskId> chosen;
+    branch_subsets(ready, 0, procs_ - used_procs, chosen, now, started,
+                   done, running, used_procs, started_area);
+  }
+
+  void branch_subsets(const std::vector<TaskId>& ready, std::size_t index,
+                      int avail, std::vector<TaskId>& chosen, Time now,
+                      Mask started, Mask done,
+                      std::vector<Running>& running, int used_procs,
+                      Time started_area) {
+    if (over_budget()) return;
+    if (index == ready.size()) {
+      commit(chosen, now, started, done, running, used_procs, started_area);
+      return;
+    }
+    const TaskId id = ready[index];
+    // Include `id` if it fits.
+    if (graph_.task(id).procs <= avail) {
+      chosen.push_back(id);
+      branch_subsets(ready, index + 1, avail - graph_.task(id).procs,
+                     chosen, now, started, done, running, used_procs,
+                     started_area);
+      chosen.pop_back();
+    }
+    // Exclude `id`.
+    branch_subsets(ready, index + 1, avail, chosen, now, started, done,
+                   running, used_procs, started_area);
+  }
+
+  /// Starts `chosen` at `now`, advances to the next completion event, and
+  /// recurses.
+  void commit(const std::vector<TaskId>& chosen, Time now, Mask started,
+              Mask done, std::vector<Running>& running, int used_procs,
+              Time started_area) {
+    // Starting nothing is only meaningful if time can advance.
+    if (chosen.empty() && running.empty()) return;
+
+    const std::size_t base = running.size();
+    for (const TaskId id : chosen) {
+      starts_[id] = now;
+      started |= bit(id);
+      running.push_back(Running{id, now + graph_.task(id).work});
+      used_procs += graph_.task(id).procs;
+      started_area += graph_.task(id).area();
+    }
+
+    if (started == full_mask()) {
+      // No more decisions; evaluate directly.
+      dfs(now, started, done, running, used_procs, started_area);
+    } else {
+      // Advance to the earliest completion; all tasks finishing then
+      // complete together.
+      Time next = std::numeric_limits<Time>::infinity();
+      for (const Running& r : running) next = std::min(next, r.finish);
+      std::vector<Running> still;
+      still.reserve(running.size());
+      Mask new_done = done;
+      int new_used = used_procs;
+      for (const Running& r : running) {
+        if (r.finish <= next) {
+          new_done |= bit(r.id);
+          new_used -= graph_.task(r.id).procs;
+        } else {
+          still.push_back(r);
+        }
+      }
+      dfs(next, started, new_done, still, new_used, started_area);
+    }
+
+    // Undo.
+    for (const TaskId id : chosen) starts_[id] = -1.0;
+    running.resize(base);
+  }
+
+  [[nodiscard]] static Mask bit(TaskId id) { return Mask{1} << id; }
+  [[nodiscard]] Mask full_mask() const {
+    return n_ == 64 ? ~Mask{0} : (Mask{1} << n_) - 1;
+  }
+
+  const TaskGraph& graph_;
+  int procs_;
+  ExactOptions options_;
+  std::size_t n_;
+  std::vector<Time> tail_;
+  Time total_area_ = 0.0;
+
+  std::vector<Time> starts_;
+  std::vector<Time> best_starts_;
+  Time best_makespan_ = 0.0;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+ExactResult exact_schedule(const TaskGraph& graph, int procs,
+                           const ExactOptions& options) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  CB_CHECK(graph.size() <= 64, "exact solver is limited to 64 tasks");
+  graph.validate(procs);
+  if (graph.empty()) return ExactResult{{}, 0.0, 0, true};
+  BranchAndBound solver(graph, procs, options);
+  return solver.run();
+}
+
+Schedule schedule_from_starts(const TaskGraph& graph,
+                              const std::vector<Time>& starts, int procs) {
+  CB_CHECK(starts.size() == graph.size(),
+           "start vector does not match the instance");
+  // Assign concrete processors with a sweep in event order: releases
+  // before acquisitions at equal times (open intervals).
+  struct Ev {
+    Time at;
+    bool is_start;
+    TaskId id;
+  };
+  std::vector<Ev> events;
+  events.reserve(2 * graph.size());
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    CB_CHECK(starts[id] >= 0.0, "task has no start time");
+    events.push_back(Ev{starts[id], true, id});
+    events.push_back(Ev{starts[id] + graph.task(id).work, false, id});
+  }
+  std::sort(events.begin(), events.end(), [](const Ev& a, const Ev& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.is_start < b.is_start;  // releases first
+  });
+
+  ProcessorPool pool(procs);
+  std::vector<std::vector<int>> held(graph.size());
+  Schedule schedule;
+  for (const Ev& ev : events) {
+    if (ev.is_start) {
+      held[ev.id] = pool.acquire(graph.task(ev.id).procs);
+      schedule.add(ev.id, starts[ev.id],
+                   starts[ev.id] + graph.task(ev.id).work, held[ev.id]);
+    } else {
+      pool.release(held[ev.id]);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace catbatch

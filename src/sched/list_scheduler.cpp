@@ -1,0 +1,107 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+const char* to_string(ListPriority priority) {
+  switch (priority) {
+    case ListPriority::Fifo:
+      return "fifo";
+    case ListPriority::LongestFirst:
+      return "longest-first";
+    case ListPriority::ShortestFirst:
+      return "shortest-first";
+    case ListPriority::WidestFirst:
+      return "widest-first";
+    case ListPriority::NarrowestFirst:
+      return "narrowest-first";
+    case ListPriority::SmallestCriticality:
+      return "smallest-criticality";
+  }
+  return "unknown";
+}
+
+ListScheduler::ListScheduler(ListSchedulerOptions options)
+    : options_(options) {}
+
+std::string ListScheduler::name() const {
+  std::string n = "list(";
+  n += to_string(options_.priority);
+  if (options_.strict_head) n += ",strict";
+  n += ")";
+  return n;
+}
+
+void ListScheduler::reset() {
+  ready_.clear();
+  earliest_finish_.clear();
+  arrivals_ = 0;
+}
+
+void ListScheduler::task_ready(const ReadyTask& task, Time) {
+  // Maintain s∞ online (Lemma 1) so the SmallestCriticality priority has
+  // the same information CatBatch uses.
+  Time s_inf = 0.0;
+  for (const TaskId pred : task.predecessors) {
+    const auto it = earliest_finish_.find(pred);
+    CB_CHECK(it != earliest_finish_.end(),
+             "predecessor revealed after its successor");
+    s_inf = std::max(s_inf, it->second);
+  }
+  earliest_finish_.emplace(task.id, s_inf + task.work);
+  ready_.push_back(Entry{task.id, task.work, task.procs, s_inf, arrivals_++});
+}
+
+void ListScheduler::task_finished(TaskId, Time) {}
+
+bool ListScheduler::before(const Entry& a, const Entry& b) const {
+  switch (options_.priority) {
+    case ListPriority::Fifo:
+      break;
+    case ListPriority::LongestFirst:
+      if (a.work != b.work) return a.work > b.work;
+      break;
+    case ListPriority::ShortestFirst:
+      if (a.work != b.work) return a.work < b.work;
+      break;
+    case ListPriority::WidestFirst:
+      if (a.procs != b.procs) return a.procs > b.procs;
+      break;
+    case ListPriority::NarrowestFirst:
+      if (a.procs != b.procs) return a.procs < b.procs;
+      break;
+    case ListPriority::SmallestCriticality:
+      if (a.earliest_start != b.earliest_start) {
+        return a.earliest_start < b.earliest_start;
+      }
+      break;
+  }
+  return a.arrival < b.arrival;  // stable tie-break: arrival order
+}
+
+std::vector<TaskId> ListScheduler::select(Time, int available_procs) {
+  std::sort(ready_.begin(), ready_.end(),
+            [this](const Entry& a, const Entry& b) { return before(a, b); });
+  std::vector<TaskId> picks;
+  int avail = available_procs;
+  std::size_t keep = 0;
+  bool blocked = false;
+  for (std::size_t k = 0; k < ready_.size(); ++k) {
+    Entry& e = ready_[k];
+    const bool fits = e.procs <= avail && !(options_.strict_head && blocked);
+    if (fits) {
+      picks.push_back(e.id);
+      avail -= e.procs;
+    } else {
+      blocked = true;
+      ready_[keep++] = std::move(e);
+    }
+  }
+  ready_.resize(keep);
+  return picks;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,67 @@
+// Greedy list scheduling for rigid task graphs (Graham [18], extended to
+// rigid tasks by Li [25]) — the "ASAP" family of Figure 1. Whenever
+// processors are free, the scheduler scans the ready list in priority order
+// and starts every task that fits. It never idles the whole platform while
+// a ready task fits, which makes it P-competitive and no better (Section 2.1)
+// — the adversary benches demonstrate the lower bound.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/criticality.hpp"
+#include "sim/scheduler.hpp"
+
+namespace catbatch {
+
+/// Priority orders for the ready list. All are computable online from the
+/// information revealed with each task.
+enum class ListPriority {
+  Fifo,              // arrival order (classic list scheduling)
+  LongestFirst,      // decreasing t (LPT)
+  ShortestFirst,     // increasing t (SPT)
+  WidestFirst,       // decreasing p
+  NarrowestFirst,    // increasing p
+  SmallestCriticality,  // increasing s∞ (closest to the DAG root first)
+};
+
+[[nodiscard]] const char* to_string(ListPriority priority);
+
+struct ListSchedulerOptions {
+  ListPriority priority = ListPriority::Fifo;
+  /// When true, the scan stops at the first ready task that does not fit
+  /// (conservative FCFS, no backfilling). When false (default), the scan
+  /// continues past blocked tasks, as in Algorithm 2's inner loop.
+  bool strict_head = false;
+};
+
+class ListScheduler final : public OnlineScheduler {
+ public:
+  explicit ListScheduler(ListSchedulerOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  void task_ready(const ReadyTask& task, Time now) override;
+  void task_finished(TaskId id, Time now) override;
+  [[nodiscard]] std::vector<TaskId> select(Time now,
+                                           int available_procs) override;
+
+ private:
+  struct Entry {
+    TaskId id;
+    Time work;
+    int procs;
+    Time earliest_start;  // s∞, maintained online via Lemma 1
+    std::uint64_t arrival;
+  };
+
+  /// True iff `a` should run before `b` under the configured priority.
+  [[nodiscard]] bool before(const Entry& a, const Entry& b) const;
+
+  ListSchedulerOptions options_;
+  std::vector<Entry> ready_;
+  std::unordered_map<TaskId, Time> earliest_finish_;  // f∞ of revealed tasks
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace catbatch

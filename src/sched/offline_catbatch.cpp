@@ -1,0 +1,14 @@
+#include "sched/offline_catbatch.hpp"
+
+namespace catbatch {
+
+CatBatchScheduler make_offline_catbatch(const TaskGraph& graph,
+                                        BatchOrder order) {
+  CatBatchOptions options;
+  options.batch_order = order;
+  options.fixed_categories = compute_categories(graph);
+  options.name_override = "offline-catbatch";
+  return CatBatchScheduler(std::move(options));
+}
+
+}  // namespace catbatch

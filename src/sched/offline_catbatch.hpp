@@ -1,0 +1,19 @@
+// Offline twin of CatBatch: given the complete instance up front, compute
+// every criticality and category offline (Definitions 1-3) and run the same
+// batch schedule. Lemma 1 makes the online recurrence exact, so the offline
+// twin must produce the *identical* schedule — a strong end-to-end test of
+// the online implementation, and the natural bridge to the offline
+// divide-and-conquer algorithm of Augustine et al. [1].
+#pragma once
+
+#include "core/graph.hpp"
+#include "sched/catbatch_scheduler.hpp"
+
+namespace catbatch {
+
+/// Builds a CatBatch scheduler whose categories are precomputed from the
+/// full graph instead of derived online.
+[[nodiscard]] CatBatchScheduler make_offline_catbatch(
+    const TaskGraph& graph, BatchOrder order = BatchOrder::Arrival);
+
+}  // namespace catbatch

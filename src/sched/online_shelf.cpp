@@ -1,0 +1,70 @@
+#include "sched/online_shelf.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+OnlineShelfPacker::OnlineShelfPacker(int procs, double r, ShelfFit fit)
+    : procs_(procs), r_(r), fit_(fit) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  CB_CHECK(r > 1.0, "shelf base must exceed 1");
+}
+
+int OnlineShelfPacker::height_class(Time height) const {
+  CB_CHECK(height > 0.0, "task height must be positive");
+  // Smallest k with r^k >= height; computed via ceil of log_r, then fixed
+  // up against floating-point drift at exact powers.
+  int k = static_cast<int>(
+      std::ceil(std::log(static_cast<double>(height)) / std::log(r_)));
+  while (std::pow(r_, k) < static_cast<double>(height)) ++k;
+  while (k > std::numeric_limits<int>::min() + 1 &&
+         std::pow(r_, k - 1) >= static_cast<double>(height)) {
+    --k;
+  }
+  return k;
+}
+
+TaskId OnlineShelfPacker::place(const Task& task) {
+  CB_CHECK(task.procs >= 1 && task.procs <= procs_,
+           "task width outside the platform");
+  CB_CHECK(task.work > 0.0, "task height must be positive");
+
+  const int klass = height_class(task.work);
+  auto& shelves = shelves_by_class_[klass];
+
+  Shelf* target = nullptr;
+  if (fit_ == ShelfFit::NextFit) {
+    if (!shelves.empty() &&
+        shelves.back().used + task.procs <= procs_) {
+      target = &shelves.back();
+    }
+  } else {  // FirstFit
+    for (Shelf& shelf : shelves) {
+      if (shelf.used + task.procs <= procs_) {
+        target = &shelf;
+        break;
+      }
+    }
+  }
+  if (target == nullptr) {
+    const Time shelf_height =
+        static_cast<Time>(std::pow(r_, klass));
+    shelves.push_back(Shelf{top_, shelf_height, 0});
+    top_ += shelf_height;
+    ++shelf_total_;
+    target = &shelves.back();
+  }
+
+  std::vector<int> held(static_cast<std::size_t>(task.procs));
+  std::iota(held.begin(), held.end(), target->used);
+  const TaskId id = next_id_++;
+  schedule_.add(id, target->y, target->y + task.work, std::move(held));
+  target->used += task.procs;
+  return id;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,60 @@
+// Shelf algorithms for the *one-by-one* online model of Section 2.3:
+// independent rigid tasks are presented one at a time, and each must be
+// placed irrevocably (start time + processors) before the next is revealed.
+// Baker & Schwarz's Next-Fit / First-Fit shelf algorithms round each task
+// height up to a geometric class r^k and keep shelves per class:
+// Next-Fit only fills the most recent shelf of a class (7.46-competitive
+// for r ≈ 1.61), First-Fit scans all shelves of the class
+// (6.99-competitive).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/task.hpp"
+#include "sim/schedule.hpp"
+
+namespace catbatch {
+
+enum class ShelfFit { NextFit, FirstFit };
+
+class OnlineShelfPacker {
+ public:
+  /// `r` is the geometric shelf-height base (> 1).
+  OnlineShelfPacker(int procs, double r = 2.0,
+                    ShelfFit fit = ShelfFit::FirstFit);
+
+  /// Irrevocably places `task`; returns its assigned id (sequential).
+  /// Throws if the task is wider than the platform.
+  TaskId place(const Task& task);
+
+  [[nodiscard]] const Schedule& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] Time total_height() const noexcept { return top_; }
+  [[nodiscard]] std::size_t shelf_count() const noexcept {
+    return shelf_total_;
+  }
+  [[nodiscard]] int procs() const noexcept { return procs_; }
+
+  /// Height class of a task: the smallest integer k with r^k >= height.
+  [[nodiscard]] int height_class(Time height) const;
+
+ private:
+  struct Shelf {
+    Time y;       // vertical position (start time)
+    Time height;  // r^k
+    int used;     // processors taken, left to right
+  };
+
+  int procs_;
+  double r_;
+  ShelfFit fit_;
+  Time top_ = 0.0;
+  std::size_t shelf_total_ = 0;
+  TaskId next_id_ = 0;
+  std::map<int, std::vector<Shelf>> shelves_by_class_;
+  Schedule schedule_;
+};
+
+}  // namespace catbatch

@@ -1,0 +1,59 @@
+#include "sched/rank_scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+RankScheduler::RankScheduler(const TaskGraph& graph) {
+  ranks_.resize(graph.size());
+  const auto topo = graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskId id = *it;
+    Time best = 0.0;
+    for (const TaskId succ : graph.successors(id)) {
+      best = std::max(best, ranks_[succ]);
+    }
+    ranks_[id] = graph.task(id).work + best;
+  }
+}
+
+Time RankScheduler::rank(TaskId id) const {
+  CB_CHECK(id < ranks_.size(), "task id out of range");
+  return ranks_[id];
+}
+
+void RankScheduler::reset() {
+  ready_.clear();
+  arrivals_ = 0;
+}
+
+void RankScheduler::task_ready(const ReadyTask& task, Time) {
+  CB_CHECK(task.id < ranks_.size(),
+           "rank table does not cover this task (wrong instance?)");
+  ready_.push_back(Entry{task.id, task.procs, ranks_[task.id], arrivals_++});
+}
+
+std::vector<TaskId> RankScheduler::select(Time, int available_procs) {
+  std::sort(ready_.begin(), ready_.end(), [](const Entry& a, const Entry& b) {
+    if (a.rank != b.rank) return a.rank > b.rank;  // critical tasks first
+    return a.arrival < b.arrival;
+  });
+  std::vector<TaskId> picks;
+  int avail = available_procs;
+  std::size_t keep = 0;
+  for (std::size_t k = 0; k < ready_.size(); ++k) {
+    Entry& e = ready_[k];
+    if (e.procs <= avail) {
+      avail -= e.procs;
+      picks.push_back(e.id);
+    } else {
+      ready_[keep++] = std::move(e);
+    }
+  }
+  ready_.resize(keep);
+  return picks;
+}
+
+}  // namespace catbatch

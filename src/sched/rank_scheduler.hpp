@@ -1,0 +1,45 @@
+// Offline rank-based greedy scheduling (the HEFT family's core idea,
+// specialized to identical processors): priority = *upward rank*, the
+// longest path from a task to any sink including itself. Requires the full
+// graph up front — it is the offline-knowledge mirror of the online
+// SmallestCriticality list policy (which can only see the *downward* path)
+// and quantifies in the benches what successor knowledge buys a greedy
+// scheduler.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+#include "sim/scheduler.hpp"
+
+namespace catbatch {
+
+class RankScheduler final : public OnlineScheduler {
+ public:
+  /// Precomputes upward ranks of `graph`; simulate() must then be called
+  /// with exactly this instance.
+  explicit RankScheduler(const TaskGraph& graph);
+
+  [[nodiscard]] std::string name() const override { return "rank(offline)"; }
+  void reset() override;
+  void task_ready(const ReadyTask& task, Time now) override;
+  [[nodiscard]] std::vector<TaskId> select(Time now,
+                                           int available_procs) override;
+
+  /// Upward rank of a task (work + longest successor path).
+  [[nodiscard]] Time rank(TaskId id) const;
+
+ private:
+  struct Entry {
+    TaskId id;
+    int procs;
+    Time rank;
+    std::uint64_t arrival;
+  };
+
+  std::vector<Time> ranks_;
+  std::vector<Entry> ready_;
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace catbatch

@@ -1,0 +1,48 @@
+// RelaxedCatBatch: the practical heuristic sketched in the paper's
+// conclusion (Section 7) — keep CatBatch's category machinery but drop the
+// batch-completion barrier. Ready tasks are greedily started in increasing
+// category order (ties by arrival), backfilling tasks of later categories
+// into processors the earliest category cannot use.
+//
+// This sacrifices the competitive-ratio proof (Corollary 2 no longer gates
+// execution) in exchange for never idling processors; the workload benches
+// compare it against both strict CatBatch and plain list scheduling. It is
+// also the scheduler of choice for the execution-time-uncertainty extension,
+// where declared and actual task lengths differ and strict batch accounting
+// would be miscalibrated anyway.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/category.hpp"
+#include "sim/scheduler.hpp"
+
+namespace catbatch {
+
+class RelaxedCatBatch final : public OnlineScheduler {
+ public:
+  RelaxedCatBatch() = default;
+
+  [[nodiscard]] std::string name() const override {
+    return "relaxed-catbatch";
+  }
+  void reset() override;
+  void task_ready(const ReadyTask& task, Time now) override;
+  [[nodiscard]] std::vector<TaskId> select(Time now,
+                                           int available_procs) override;
+
+ private:
+  struct Entry {
+    TaskId id;
+    int procs;
+    Time category_value;
+    std::uint64_t arrival;
+  };
+
+  std::vector<Entry> ready_;
+  std::unordered_map<TaskId, Time> earliest_finish_;
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace catbatch

@@ -1,0 +1,105 @@
+#include "sched/shelf.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/graph.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+
+std::vector<std::size_t> decreasing_height_order(std::span<const Task> tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tasks[a].work > tasks[b].work;
+                   });
+  return order;
+}
+
+void check_widths(std::span<const Task> tasks, int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  for (const Task& t : tasks) {
+    CB_CHECK(t.procs >= 1 && t.procs <= procs,
+             "task width outside [1, P] cannot be shelf-packed");
+    CB_CHECK(t.work > 0.0, "task with non-positive execution time");
+  }
+}
+
+}  // namespace
+
+ShelfPacking pack_nfdh(std::span<const Task> tasks, int procs) {
+  check_widths(tasks, procs);
+  ShelfPacking out;
+  out.placements.reserve(tasks.size());
+  int used_width = 0;
+  for (const std::size_t idx : decreasing_height_order(tasks)) {
+    const Task& t = tasks[idx];
+    if (out.shelf_heights.empty() || used_width + t.procs > procs) {
+      // Open a new shelf; its height is the first (tallest) task placed.
+      out.shelf_starts.push_back(out.total_height);
+      out.shelf_heights.push_back(t.work);
+      out.total_height += t.work;
+      used_width = 0;
+    }
+    out.placements.push_back(
+        ShelfPlacement{idx, out.shelf_starts.back(), used_width});
+    used_width += t.procs;
+  }
+  return out;
+}
+
+ShelfPacking pack_ffdh(std::span<const Task> tasks, int procs) {
+  check_widths(tasks, procs);
+  ShelfPacking out;
+  out.placements.reserve(tasks.size());
+  std::vector<int> used_width;  // per shelf
+  for (const std::size_t idx : decreasing_height_order(tasks)) {
+    const Task& t = tasks[idx];
+    std::size_t shelf = used_width.size();
+    for (std::size_t k = 0; k < used_width.size(); ++k) {
+      if (used_width[k] + t.procs <= procs) {
+        shelf = k;
+        break;
+      }
+    }
+    if (shelf == used_width.size()) {
+      out.shelf_starts.push_back(out.total_height);
+      out.shelf_heights.push_back(t.work);
+      out.total_height += t.work;
+      used_width.push_back(0);
+    }
+    out.placements.push_back(
+        ShelfPlacement{idx, out.shelf_starts[shelf], used_width[shelf]});
+    used_width[shelf] += t.procs;
+  }
+  return out;
+}
+
+Schedule packing_to_schedule(const ShelfPacking& packing,
+                             std::span<const Task> tasks) {
+  Schedule schedule;
+  for (const ShelfPlacement& pl : packing.placements) {
+    const Task& t = tasks[pl.task_index];
+    std::vector<int> held(static_cast<std::size_t>(t.procs));
+    std::iota(held.begin(), held.end(), pl.first_processor);
+    schedule.add(static_cast<TaskId>(pl.task_index), pl.start,
+                 pl.start + t.work, std::move(held));
+  }
+  return schedule;
+}
+
+Schedule greedy_independent(std::span<const Task> tasks, int procs) {
+  check_widths(tasks, procs);
+  TaskGraph graph;
+  for (const Task& t : tasks) graph.add_task(t.work, t.procs, t.name);
+  ListScheduler greedy(ListSchedulerOptions{ListPriority::Fifo, false});
+  return simulate(graph, greedy, procs).schedule;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,57 @@
+// Shelf algorithms for *independent* rigid tasks: Next-Fit Decreasing
+// Height (NFDH, 3-approx) and First-Fit Decreasing Height (FFDH, 2.7-approx)
+// of Coffman et al. [8], plus the greedy routine of Algorithm 2 run offline.
+//
+// Shelf packings assign contiguous processor ranges, so they double as strip
+// packers (Remark 1 plugs NFDH into CatBatch for the strip-packing variant).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/task.hpp"
+#include "sim/schedule.hpp"
+
+namespace catbatch {
+
+/// Placement of one task inside a shelf packing. Processors
+/// [first_processor, first_processor + procs) are held during
+/// [start, start + work).
+struct ShelfPlacement {
+  std::size_t task_index = 0;
+  Time start = 0.0;
+  int first_processor = 0;
+};
+
+struct ShelfPacking {
+  std::vector<ShelfPlacement> placements;
+  /// Start time of each shelf, ascending; shelf k spans
+  /// [shelf_starts[k], shelf_starts[k] + shelf_heights[k]).
+  std::vector<Time> shelf_starts;
+  std::vector<Time> shelf_heights;
+  Time total_height = 0.0;
+
+  [[nodiscard]] std::size_t shelf_count() const {
+    return shelf_heights.size();
+  }
+};
+
+/// NFDH: sort by decreasing execution time; fill the current shelf left to
+/// right; open a new shelf when the next task does not fit. All tasks must
+/// satisfy 1 <= procs <= P.
+[[nodiscard]] ShelfPacking pack_nfdh(std::span<const Task> tasks, int procs);
+
+/// FFDH: like NFDH but each task goes to the *first* (lowest) shelf with
+/// enough residual width.
+[[nodiscard]] ShelfPacking pack_ffdh(std::span<const Task> tasks, int procs);
+
+/// Converts a packing into a concrete Schedule (task ids = indices).
+[[nodiscard]] Schedule packing_to_schedule(const ShelfPacking& packing,
+                                           std::span<const Task> tasks);
+
+/// Algorithm 2's greedy routine applied offline to an independent task set,
+/// in arrival order. Satisfies Lemma 6: makespan <= 2·A/P + max_i t_i.
+[[nodiscard]] Schedule greedy_independent(std::span<const Task> tasks,
+                                          int procs);
+
+}  // namespace catbatch

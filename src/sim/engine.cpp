@@ -1,0 +1,263 @@
+#include "sim/engine.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "sim/processor_pool.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+// ---------------------------------------------------------------------------
+// GraphSource
+
+GraphSource::GraphSource(const TaskGraph& graph) : graph_(graph) {
+  graph_.validate();
+}
+
+std::vector<SourceTask> GraphSource::start() {
+  std::vector<SourceTask> out;
+  out.reserve(graph_.size());
+  for (TaskId id = 0; id < graph_.size(); ++id) {
+    const Task& t = graph_.task(id);
+    SourceTask st;
+    st.work = t.work;
+    st.procs = t.procs;
+    st.name = t.name;
+    const auto preds = graph_.predecessors(id);
+    st.predecessors.assign(preds.begin(), preds.end());
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+std::vector<SourceTask> GraphSource::on_complete(TaskId, Time) { return {}; }
+
+// ---------------------------------------------------------------------------
+// Engine
+
+namespace {
+
+struct EmittedTask {
+  Time actual_work = 0.0;
+  Time declared_work = 0.0;
+  int procs = 1;
+  std::vector<TaskId> predecessors;
+  std::string name;
+  Time release = 0.0;
+  std::size_t unfinished_preds = 0;
+  bool revealed = false;
+  bool started = false;
+  bool done = false;
+  std::vector<int> held_processors;
+};
+
+struct Event {
+  enum class Kind { Completion, Release };
+  Time at;
+  std::uint64_t seq;  // FIFO tie-break for equal times
+  TaskId id;
+  Kind kind;
+
+  bool operator>(const Event& o) const {
+    if (at != o.at) return at > o.at;
+    return seq > o.seq;
+  }
+};
+
+class Engine {
+ public:
+  Engine(InstanceSource& source, OnlineScheduler& scheduler, int procs)
+      : source_(source), scheduler_(scheduler), pool_(procs), procs_(procs) {
+    CB_CHECK(procs >= 1, "platform must have at least one processor");
+  }
+
+  SimResult run() {
+    scheduler_.reset();
+    emit(source_.start(), /*now=*/0.0);
+    decision_point(/*now=*/0.0);
+
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      if (ev.kind == Event::Kind::Completion) {
+        complete(ev.id, ev.at);
+      } else {
+        reveal(ev.id, ev.at);
+      }
+      decision_point(ev.at);
+    }
+
+    CB_CHECK(done_count_ == tasks_.size(),
+             "simulation drained with unfinished tasks (scheduler deadlock)");
+    SimResult result;
+    result.schedule = std::move(schedule_);
+    result.makespan = result.schedule.makespan();
+    result.stats.task_count = tasks_.size();
+    result.stats.decision_points = decisions_;
+    result.stats.busy_area = busy_area_;
+    ready_times_.resize(tasks_.size(), 0.0);
+    result.ready_times = std::move(ready_times_);
+    return result;
+  }
+
+ private:
+  void emit(std::vector<SourceTask> emitted, Time now) {
+    // Two passes: tasks of one batch may reference each other in any order
+    // (ids need not be topological — e.g. series-parallel generators), so
+    // create every task before resolving predecessor states.
+    const auto base = static_cast<TaskId>(tasks_.size());
+    for (SourceTask& st : emitted) {
+      CB_CHECK(st.work > 0.0, "source emitted a task with non-positive work");
+      CB_CHECK(st.procs >= 1 && st.procs <= procs_,
+               "source emitted a task that cannot fit the platform");
+      EmittedTask et;
+      et.actual_work = st.work;
+      et.declared_work = st.declared();
+      et.procs = st.procs;
+      et.name = std::move(st.name);
+      et.predecessors = std::move(st.predecessors);
+      CB_CHECK(st.release >= 0.0, "release time must be non-negative");
+      et.release = st.release;
+      tasks_.push_back(std::move(et));
+    }
+    for (TaskId id = base; id < tasks_.size(); ++id) {
+      EmittedTask& et = tasks_[id];
+      for (const TaskId pred : et.predecessors) {
+        CB_CHECK(pred < tasks_.size() && pred != id,
+                 "source referenced an unknown predecessor");
+        if (!tasks_[pred].done) ++et.unfinished_preds;
+      }
+      if (et.unfinished_preds == 0) reveal_or_defer(id, now);
+    }
+  }
+
+  /// Reveals `id` now if its release time has passed; otherwise schedules a
+  /// release event.
+  void reveal_or_defer(TaskId id, Time now) {
+    const EmittedTask& et = tasks_[id];
+    if (et.release <= now) {
+      reveal(id, now);
+    } else {
+      events_.push(Event{et.release, seq_++, id, Event::Kind::Release});
+    }
+  }
+
+  void reveal(TaskId id, Time now) {
+    EmittedTask& et = tasks_[id];
+    CB_DCHECK(!et.revealed, "task revealed twice");
+    et.revealed = true;
+    if (ready_times_.size() <= id) ready_times_.resize(id + 1, 0.0);
+    ready_times_[id] = now;
+    ReadyTask rt;
+    rt.id = id;
+    rt.work = et.declared_work;
+    rt.procs = et.procs;
+    rt.predecessors = et.predecessors;
+    rt.name = et.name;
+    scheduler_.task_ready(rt, now);
+  }
+
+  void decision_point(Time now) {
+    ++decisions_;
+    const int free_at_decision = pool_.available();
+    const std::vector<TaskId> picks =
+        scheduler_.select(now, free_at_decision);
+    int requested = 0;
+    for (const TaskId id : picks) {
+      CB_CHECK(id < tasks_.size(), "scheduler selected an unknown task");
+      EmittedTask& et = tasks_[id];
+      CB_CHECK(et.revealed, "scheduler selected an unrevealed task");
+      CB_CHECK(!et.started, "scheduler selected an already started task");
+      requested += et.procs;
+      CB_CHECK(requested <= free_at_decision,
+               "scheduler selection exceeds free processors");
+      et.started = true;
+      et.held_processors = pool_.acquire(et.procs);
+      schedule_.add(id, now, now + et.actual_work, et.held_processors);
+      events_.push(Event{now + et.actual_work, seq_++, id,
+                         Event::Kind::Completion});
+      ++running_;
+    }
+    // Pending release events mean the platform may legitimately sit idle
+    // waiting for future arrivals.
+    CB_CHECK(running_ > 0 || !events_.empty() ||
+                 done_count_ == tasks_.size(),
+             "scheduler deadlock: platform idle, no selection, work remains");
+  }
+
+  void complete(TaskId id, Time now) {
+    EmittedTask& et = tasks_[id];
+    CB_DCHECK(et.started && !et.done, "completion of a task not running");
+    et.done = true;
+    --running_;
+    ++done_count_;
+    busy_area_ += et.actual_work * static_cast<Time>(et.procs);
+    pool_.release(et.held_processors);
+    et.held_processors.clear();
+    scheduler_.task_finished(id, now);
+
+    // Readiness cascade for already-emitted tasks.
+    // (Successor lists are not stored; scan is avoided by keeping reverse
+    // links below.)
+    for (const TaskId succ : successors_of(id)) {
+      EmittedTask& s = tasks_[succ];
+      CB_DCHECK(s.unfinished_preds > 0, "readiness underflow");
+      if (--s.unfinished_preds == 0) reveal_or_defer(succ, now);
+    }
+
+    // Adaptive sources may extend the instance now.
+    emit(source_.on_complete(id, now), now);
+  }
+
+  // Reverse dependency links, built lazily as tasks are emitted.
+  std::vector<TaskId> successors_of(TaskId id) {
+    build_succ_links();
+    return succs_[id];
+  }
+
+  void build_succ_links() {
+    while (succ_built_ < tasks_.size()) {
+      const auto id = static_cast<TaskId>(succ_built_);
+      if (succs_.size() < tasks_.size()) succs_.resize(tasks_.size());
+      for (const TaskId pred : tasks_[id].predecessors) {
+        succs_[pred].push_back(id);
+      }
+      ++succ_built_;
+    }
+  }
+
+  InstanceSource& source_;
+  OnlineScheduler& scheduler_;
+  ProcessorPool pool_;
+  int procs_;
+
+  std::vector<EmittedTask> tasks_;
+  std::vector<std::vector<TaskId>> succs_;
+  std::size_t succ_built_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+  std::vector<Time> ready_times_;
+  std::size_t running_ = 0;
+  std::size_t done_count_ = 0;
+  std::size_t decisions_ = 0;
+  Time busy_area_ = 0.0;
+  Schedule schedule_;
+};
+
+}  // namespace
+
+SimResult simulate(InstanceSource& source, OnlineScheduler& scheduler,
+                   int procs) {
+  Engine engine(source, scheduler, procs);
+  return engine.run();
+}
+
+SimResult simulate(const TaskGraph& graph, OnlineScheduler& scheduler,
+                   int procs) {
+  GraphSource source(graph);
+  return simulate(source, scheduler, procs);
+}
+
+}  // namespace catbatch

@@ -1,0 +1,38 @@
+#include "sim/processor_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+ProcessorPool::ProcessorPool(int procs)
+    : procs_(procs), available_(procs), busy_(static_cast<std::size_t>(procs),
+                                              false) {
+  CB_CHECK(procs >= 1, "pool needs at least one processor");
+}
+
+std::vector<int> ProcessorPool::acquire(int count) {
+  CB_CHECK(count >= 1, "must acquire at least one processor");
+  CB_CHECK(count <= available_, "not enough free processors");
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int p = 0; p < procs_ && static_cast<int>(out.size()) < count; ++p) {
+    if (!busy_[static_cast<std::size_t>(p)]) {
+      busy_[static_cast<std::size_t>(p)] = true;
+      out.push_back(p);
+    }
+  }
+  available_ -= count;
+  return out;
+}
+
+void ProcessorPool::release(const std::vector<int>& processors) {
+  for (const int p : processors) {
+    CB_CHECK(p >= 0 && p < procs_, "releasing out-of-range processor");
+    CB_CHECK(busy_[static_cast<std::size_t>(p)],
+             "releasing a processor that is not in use");
+    busy_[static_cast<std::size_t>(p)] = false;
+  }
+  available_ += static_cast<int>(processors.size());
+}
+
+}  // namespace catbatch

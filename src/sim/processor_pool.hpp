@@ -1,0 +1,34 @@
+// Concrete processor allocation for the simulation engine. Rigid-task
+// scheduling allows a free (non-contiguous) choice of processors
+// (Section 1's comparison with strip packing); this pool hands out the
+// lowest-indexed free processors.
+#pragma once
+
+#include <vector>
+
+namespace catbatch {
+
+class ProcessorPool {
+ public:
+  /// A pool of `procs` processors, indices 0..procs-1, all initially free.
+  explicit ProcessorPool(int procs);
+
+  [[nodiscard]] int capacity() const noexcept { return procs_; }
+  [[nodiscard]] int available() const noexcept { return available_; }
+  [[nodiscard]] int in_use() const noexcept { return procs_ - available_; }
+
+  /// Acquires `count` free processors (lowest indices first). Throws if
+  /// count <= 0 or fewer than `count` are free.
+  [[nodiscard]] std::vector<int> acquire(int count);
+
+  /// Releases previously acquired processors. Throws on double-release or
+  /// out-of-range indices.
+  void release(const std::vector<int>& processors);
+
+ private:
+  int procs_;
+  int available_;
+  std::vector<bool> busy_;
+};
+
+}  // namespace catbatch

@@ -1,0 +1,41 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+void Schedule::add(TaskId id, Time start, Time finish,
+                   std::vector<int> processors) {
+  CB_CHECK(id != kInvalidTask, "cannot schedule the invalid task id");
+  CB_CHECK(finish > start, "scheduled task must have positive duration");
+  CB_CHECK(start >= 0.0, "scheduled task cannot start before time 0");
+  CB_CHECK(!processors.empty(), "scheduled task must hold processors");
+  std::unordered_set<int> seen(processors.begin(), processors.end());
+  CB_CHECK(seen.size() == processors.size(),
+           "processor set contains duplicates");
+  CB_CHECK(!contains(id), "task scheduled twice");
+
+  if (index_.size() <= id) index_.resize(id + 1, npos);
+  index_[id] = entries_.size();
+  entries_.push_back(ScheduledTask{id, start, finish, std::move(processors)});
+}
+
+const ScheduledTask& Schedule::entry_for(TaskId id) const {
+  CB_CHECK(contains(id), "task was never scheduled");
+  return entries_[index_[id]];
+}
+
+bool Schedule::contains(TaskId id) const noexcept {
+  return id < index_.size() && index_[id] != npos;
+}
+
+Time Schedule::makespan() const noexcept {
+  Time best = 0.0;
+  for (const ScheduledTask& e : entries_) best = std::max(best, e.finish);
+  return best;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,56 @@
+// A concrete schedule: per-task start/finish times plus the exact set of
+// processor indices each task occupied. Produced by the simulation engine
+// and by the offline reference constructions; checked by sim/validate.hpp.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace catbatch {
+
+/// One scheduled task occurrence.
+struct ScheduledTask {
+  TaskId id = kInvalidTask;
+  Time start = 0.0;
+  Time finish = 0.0;
+  /// Concrete processor indices held during [start, finish). Size equals the
+  /// task's processor requirement.
+  std::vector<int> processors;
+
+  [[nodiscard]] Time duration() const noexcept { return finish - start; }
+};
+
+/// An append-only record of scheduled tasks.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Records a task execution. `finish` must be > `start`, `processors`
+  /// non-empty with distinct indices; a task id may appear only once.
+  void add(TaskId id, Time start, Time finish, std::vector<int> processors);
+
+  [[nodiscard]] std::span<const ScheduledTask> entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Entry for a given task. Throws if the task was never scheduled.
+  [[nodiscard]] const ScheduledTask& entry_for(TaskId id) const;
+
+  /// True iff `id` has been scheduled.
+  [[nodiscard]] bool contains(TaskId id) const noexcept;
+
+  /// max(finish) over all entries; 0 for an empty schedule.
+  [[nodiscard]] Time makespan() const noexcept;
+
+ private:
+  std::vector<ScheduledTask> entries_;
+  // id -> index into entries_, or npos. Grows with the largest id seen.
+  std::vector<std::size_t> index_;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+}  // namespace catbatch

@@ -1,0 +1,57 @@
+// The online scheduler interface (Section 3.1's information model).
+//
+// A scheduler learns about a task only when it becomes ready (all
+// predecessors completed). At that moment it receives the task's execution
+// time, processor requirement, and the identities of its predecessors —
+// nothing about successors or unreleased tasks. At every decision point
+// (time 0 and each task completion) it may start any subset of revealed,
+// unstarted tasks that fits in the currently free processors, or none
+// (deliberate idling, which CatBatch uses at batch boundaries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace catbatch {
+
+/// Everything the online model reveals about a task when it becomes ready.
+struct ReadyTask {
+  TaskId id = kInvalidTask;
+  /// Execution time as *declared* to the scheduler. Under the exact-time
+  /// model this equals the simulated duration; the uncertainty extension
+  /// (future-work direction in Section 7) lets the engine simulate a
+  /// different actual duration.
+  Time work = 0.0;
+  int procs = 1;
+  /// Predecessors, all already complete (Section 3.1: the predecessor set
+  /// becomes known upon release).
+  std::vector<TaskId> predecessors;
+  std::string name;
+};
+
+class OnlineScheduler {
+ public:
+  virtual ~OnlineScheduler() = default;
+
+  /// Human-readable algorithm name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once per simulation before any other callback.
+  virtual void reset() = 0;
+
+  /// A task became ready at time `now`.
+  virtual void task_ready(const ReadyTask& task, Time now) = 0;
+
+  /// A previously started task completed at time `now`.
+  virtual void task_finished(TaskId id, Time now) { (void)id, (void)now; }
+
+  /// Decision point: return the ids of ready tasks to start *now*. Their
+  /// total processor requirement must not exceed `available_procs`. An empty
+  /// result means "wait for the next completion".
+  [[nodiscard]] virtual std::vector<TaskId> select(Time now,
+                                                   int available_procs) = 0;
+};
+
+}  // namespace catbatch

@@ -1,0 +1,73 @@
+// Instance sources: where the simulated DAG comes from.
+//
+// A static instance is just a TaskGraph. The lower-bound construction
+// Z^Alg_P(K) (Definition 9), however, is *adaptive*: the next layer of the
+// DAG depends on which task the algorithm happened to finish last. The
+// InstanceSource interface models both: the engine asks the source for the
+// initial tasks and notifies it of every completion; the source may respond
+// with newly created tasks whose predecessors are already-emitted tasks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/task.hpp"
+
+namespace catbatch {
+
+/// A task emitted by a source. Ids must be dense and ascending (task k is
+/// the k-th emitted task), matching the ids of `realized_graph()`.
+struct SourceTask {
+  Time work = 0.0;          // actual (simulated) execution time
+  Time declared_work = -1;  // what the scheduler is told; <0 means `work`
+  int procs = 1;
+  std::vector<TaskId> predecessors;
+  std::string name;
+  /// Release time (Section 2.3's first online setting): the task cannot be
+  /// revealed nor started before this time, even if its predecessors are
+  /// done. 0 reproduces the paper's pure precedence model.
+  Time release = 0.0;
+
+  [[nodiscard]] Time declared() const {
+    return declared_work < 0 ? work : declared_work;
+  }
+};
+
+class InstanceSource {
+ public:
+  virtual ~InstanceSource() = default;
+
+  /// Resets internal state and returns the tasks known at time 0.
+  [[nodiscard]] virtual std::vector<SourceTask> start() = 0;
+
+  /// Called when task `id` completes at time `now`; returns any tasks the
+  /// instance creates in response (possibly none). Predecessor lists may
+  /// reference any previously emitted task.
+  [[nodiscard]] virtual std::vector<SourceTask> on_complete(TaskId id,
+                                                            Time now) = 0;
+
+  /// The DAG emitted so far (all tasks from start() and on_complete()).
+  /// After the simulation drains, this is the full realized instance, used
+  /// for validation and lower-bound computation.
+  [[nodiscard]] virtual const TaskGraph& realized_graph() const = 0;
+};
+
+/// Source wrapping a fixed TaskGraph: emits every task up front (the engine
+/// still reveals them to the scheduler only when they become ready).
+class GraphSource final : public InstanceSource {
+ public:
+  explicit GraphSource(const TaskGraph& graph);
+
+  [[nodiscard]] std::vector<SourceTask> start() override;
+  [[nodiscard]] std::vector<SourceTask> on_complete(TaskId id,
+                                                    Time now) override;
+  [[nodiscard]] const TaskGraph& realized_graph() const override {
+    return graph_;
+  }
+
+ private:
+  const TaskGraph& graph_;
+};
+
+}  // namespace catbatch

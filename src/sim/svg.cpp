@@ -1,0 +1,126 @@
+#include "sim/svg.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace catbatch {
+
+namespace {
+
+/// A qualitative palette (12 colors, colorblind-aware ordering).
+constexpr const char* kPalette[] = {
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948",
+    "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#86bcb6", "#d37295",
+};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string svg_gantt(const TaskGraph& graph, const Schedule& schedule,
+                      int procs, const SvgGanttOptions& options) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  CB_CHECK(options.width_px >= 100 && options.lane_height_px >= 8,
+           "SVG dimensions too small");
+  CB_CHECK(options.color_groups.empty() ||
+               options.color_groups.size() >= graph.size(),
+           "color group table does not cover the instance");
+
+  const Time makespan = schedule.makespan();
+  const int margin_left = 48;
+  const int margin_top = 24;
+  const int chart_width = options.width_px - margin_left - 12;
+  const int height =
+      margin_top + procs * options.lane_height_px + 36;
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << options.width_px << "\" height=\"" << height
+     << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Lane backgrounds + processor labels.
+  for (int p = 0; p < procs; ++p) {
+    const int y =
+        margin_top + (procs - 1 - p) * options.lane_height_px;
+    os << "<rect x=\"" << margin_left << "\" y=\"" << y << "\" width=\""
+       << chart_width << "\" height=\"" << options.lane_height_px
+       << "\" fill=\"" << (p % 2 == 0 ? "#f7f7f7" : "#efefef")
+       << "\"/>\n";
+    os << "<text x=\"" << margin_left - 6 << "\" y=\""
+       << y + options.lane_height_px / 2 + 4
+       << "\" text-anchor=\"end\">P" << p << "</text>\n";
+  }
+
+  if (makespan > 0.0) {
+    for (const ScheduledTask& e : schedule.entries()) {
+      const double x0 =
+          static_cast<double>(e.start) / static_cast<double>(makespan);
+      const double x1 =
+          static_cast<double>(e.finish) / static_cast<double>(makespan);
+      const std::size_t group = options.color_groups.empty()
+                                    ? static_cast<std::size_t>(e.id)
+                                    : options.color_groups[e.id];
+      const char* fill = kPalette[group % kPaletteSize];
+      for (const int p : e.processors) {
+        CB_CHECK(p >= 0 && p < procs, "processor index out of range");
+        const int y =
+            margin_top + (procs - 1 - p) * options.lane_height_px + 1;
+        os << "<rect x=\""
+           << margin_left + x0 * chart_width << "\" y=\"" << y
+           << "\" width=\"" << std::max(1.0, (x1 - x0) * chart_width)
+           << "\" height=\"" << options.lane_height_px - 2 << "\" fill=\""
+           << fill << "\" stroke=\"white\" stroke-width=\"0.5\"/>\n";
+      }
+      if (options.show_labels && !graph.task(e.id).name.empty() &&
+          !e.processors.empty()) {
+        const int top_proc =
+            *std::max_element(e.processors.begin(), e.processors.end());
+        const int y = margin_top +
+                      (procs - 1 - top_proc) * options.lane_height_px +
+                      options.lane_height_px / 2 + 4;
+        os << "<text x=\"" << margin_left + x0 * chart_width + 3
+           << "\" y=\"" << y << "\" fill=\"white\">"
+           << escape_xml(graph.task(e.id).name) << "</text>\n";
+      }
+    }
+  }
+
+  // Time axis.
+  const int axis_y = margin_top + procs * options.lane_height_px + 16;
+  os << "<text x=\"" << margin_left << "\" y=\"" << axis_y
+     << "\">0</text>\n";
+  os << "<text x=\"" << margin_left + chart_width << "\" y=\"" << axis_y
+     << "\" text-anchor=\"end\">" << format_number(makespan, 4)
+     << "</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace catbatch

@@ -1,0 +1,29 @@
+// SVG Gantt-chart rendering of schedules — publication-quality counterpart
+// of the ASCII charts in sim/trace.hpp. One horizontal lane per processor;
+// tasks are colored by an optional group key (CatBatch batches use the
+// category, so the batch structure of Figure 6 is visible at a glance).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "sim/schedule.hpp"
+
+namespace catbatch {
+
+struct SvgGanttOptions {
+  int width_px = 960;
+  int lane_height_px = 28;
+  bool show_labels = true;
+  /// Optional color-group per task (indexed by TaskId): tasks with equal
+  /// group share a color. Empty -> color by TaskId.
+  std::vector<std::size_t> color_groups;
+};
+
+/// Renders the schedule as a standalone SVG document.
+[[nodiscard]] std::string svg_gantt(const TaskGraph& graph,
+                                    const Schedule& schedule, int procs,
+                                    const SvgGanttOptions& options = {});
+
+}  // namespace catbatch

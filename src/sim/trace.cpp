@@ -1,0 +1,137 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace catbatch {
+
+std::vector<UtilizationStep> utilization_profile(const TaskGraph& graph,
+                                                 const Schedule& schedule) {
+  struct Event {
+    Time at;
+    int delta;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * schedule.size());
+  for (const ScheduledTask& e : schedule.entries()) {
+    const int p = graph.task(e.id).procs;
+    events.push_back(Event{e.start, +p});
+    events.push_back(Event{e.finish, -p});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.delta < b.delta;
+  });
+
+  std::vector<UtilizationStep> profile;
+  Time prev = 0.0;
+  int in_use = 0;
+  for (const Event& ev : events) {
+    if (ev.at > prev) {
+      if (!profile.empty() && profile.back().procs_in_use == in_use) {
+        profile.back().to = ev.at;
+      } else {
+        profile.push_back(UtilizationStep{prev, ev.at, in_use});
+      }
+      prev = ev.at;
+    }
+    in_use += ev.delta;
+  }
+  return profile;
+}
+
+double average_utilization(const TaskGraph& graph, const Schedule& schedule,
+                           int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  const Time makespan = schedule.makespan();
+  if (makespan <= 0.0) return 0.0;
+  Time busy = 0.0;
+  for (const ScheduledTask& e : schedule.entries()) {
+    busy += e.duration() * static_cast<Time>(graph.task(e.id).procs);
+  }
+  return static_cast<double>(busy) /
+         (static_cast<double>(procs) * static_cast<double>(makespan));
+}
+
+std::string schedule_to_csv(const TaskGraph& graph, const Schedule& schedule) {
+  std::ostringstream os;
+  os << "id,name,start,finish,work,procs,processors\n";
+  std::vector<ScheduledTask> sorted(schedule.entries().begin(),
+                                    schedule.entries().end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScheduledTask& a, const ScheduledTask& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.id < b.id;
+            });
+  for (const ScheduledTask& e : sorted) {
+    const Task& t = graph.task(e.id);
+    os << e.id << ',' << t.name << ',' << format_number(e.start) << ','
+       << format_number(e.finish) << ',' << format_number(t.work) << ','
+       << t.procs << ',';
+    std::vector<std::string> procs;
+    procs.reserve(e.processors.size());
+    for (const int p : e.processors) procs.push_back(std::to_string(p));
+    os << join(procs, " ") << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+char glyph_for(const TaskGraph& graph, TaskId id) {
+  const std::string& name = graph.task(id).name;
+  if (!name.empty() &&
+      std::isprint(static_cast<unsigned char>(name.front())) &&
+      name.front() != ' ' && name.front() != '.') {
+    return name.front();
+  }
+  static constexpr char kCycle[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  return kCycle[id % (sizeof(kCycle) - 1)];
+}
+}  // namespace
+
+std::string ascii_gantt(const TaskGraph& graph, const Schedule& schedule,
+                        int procs, std::size_t width) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  CB_CHECK(width >= 8, "Gantt chart needs at least 8 columns");
+  const Time makespan = schedule.makespan();
+  if (makespan <= 0.0) return "(empty schedule)\n";
+
+  std::vector<std::string> rows(static_cast<std::size_t>(procs),
+                                std::string(width, '.'));
+  for (const ScheduledTask& e : schedule.entries()) {
+    // Sample-based rendering: a column covers
+    // [c * makespan / width, (c+1) * makespan / width); mark it if the cell
+    // midpoint lies inside the task's interval.
+    auto col_begin = static_cast<std::size_t>(
+        static_cast<double>(e.start) / static_cast<double>(makespan) *
+        static_cast<double>(width));
+    auto col_end = static_cast<std::size_t>(
+        static_cast<double>(e.finish) / static_cast<double>(makespan) *
+        static_cast<double>(width));
+    col_begin = std::min(col_begin, width - 1);
+    col_end = std::min(std::max(col_end, col_begin + 1), width);
+    const char g = glyph_for(graph, e.id);
+    for (const int p : e.processors) {
+      CB_CHECK(p >= 0 && p < procs, "Gantt: processor index out of range");
+      for (std::size_t c = col_begin; c < col_end; ++c) {
+        rows[static_cast<std::size_t>(p)][c] = g;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  for (int p = procs - 1; p >= 0; --p) {
+    os << "P" << pad_left(std::to_string(p), 3) << " |"
+       << rows[static_cast<std::size_t>(p)] << "|\n";
+  }
+  os << "     0" << repeated(' ', width - 1 > 6 ? width - 6 : 1)
+     << format_number(makespan, 4) << '\n';
+  return os.str();
+}
+
+}  // namespace catbatch

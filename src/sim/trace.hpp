@@ -1,0 +1,42 @@
+// Schedule inspection: CSV export, ASCII Gantt charts and utilization
+// profiles. Used by the examples and by every bench binary that regenerates
+// one of the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "sim/schedule.hpp"
+
+namespace catbatch {
+
+/// One step of the piecewise-constant "processors in use" function.
+struct UtilizationStep {
+  Time from = 0.0;
+  Time to = 0.0;
+  int procs_in_use = 0;
+};
+
+/// Processors-in-use over time, as maximal constant segments covering
+/// [0, makespan]. Empty schedule yields an empty profile.
+[[nodiscard]] std::vector<UtilizationStep> utilization_profile(
+    const TaskGraph& graph, const Schedule& schedule);
+
+/// Time-averaged utilization in [0, 1] relative to `procs` processors.
+[[nodiscard]] double average_utilization(const TaskGraph& graph,
+                                         const Schedule& schedule, int procs);
+
+/// CSV with one row per scheduled task:
+/// id,name,start,finish,work,procs,processor_list
+[[nodiscard]] std::string schedule_to_csv(const TaskGraph& graph,
+                                          const Schedule& schedule);
+
+/// ASCII Gantt chart: one row per processor, `width` columns over
+/// [0, makespan]. Each task is drawn with a stable printable character; '.'
+/// marks idle processor-time.
+[[nodiscard]] std::string ascii_gantt(const TaskGraph& graph,
+                                      const Schedule& schedule, int procs,
+                                      std::size_t width = 72);
+
+}  // namespace catbatch

@@ -1,0 +1,159 @@
+#include "sim/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+
+std::string task_label(const TaskGraph& graph, TaskId id) {
+  std::ostringstream os;
+  os << "task " << id;
+  const std::string& name = graph.task(id).name;
+  if (!name.empty()) os << " ('" << name << "')";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::string> validate_schedule(const TaskGraph& graph,
+                                             const Schedule& schedule,
+                                             int procs,
+                                             const ValidationOptions& options) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+
+  // 1. Coverage: every task scheduled exactly once (Schedule::add already
+  // rejects duplicates), nothing outside the instance.
+  if (schedule.size() != graph.size()) {
+    std::ostringstream os;
+    os << "schedule has " << schedule.size() << " entries but the instance has "
+       << graph.size() << " tasks";
+    return os.str();
+  }
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    if (!schedule.contains(id)) {
+      return task_label(graph, id) + " was never scheduled";
+    }
+  }
+
+  for (const ScheduledTask& e : schedule.entries()) {
+    const Task& task = graph.task(e.id);
+
+    // 2. Duration matches the execution time. Compared as
+    // finish == start + work — the form every schedule builder uses — so
+    // the check is exact even when work itself is not a binary fraction
+    // (finish - start may differ from work by one ulp).
+    if (std::abs(e.finish - (e.start + task.work)) >
+        options.duration_tolerance) {
+      std::ostringstream os;
+      os << task_label(graph, e.id) << " runs [" << e.start << ", "
+         << e.finish << ") but its execution time is " << task.work;
+      return os.str();
+    }
+
+    // 3. Holds exactly p_i processors, all within [0, P).
+    if (static_cast<int>(e.processors.size()) != task.procs) {
+      std::ostringstream os;
+      os << task_label(graph, e.id) << " holds " << e.processors.size()
+         << " processors but requires " << task.procs;
+      return os.str();
+    }
+    for (const int p : e.processors) {
+      if (p < 0 || p >= procs) {
+        std::ostringstream os;
+        os << task_label(graph, e.id) << " holds out-of-range processor " << p;
+        return os.str();
+      }
+    }
+
+    // 4. Precedence: start >= max predecessor finish.
+    for (const TaskId pred : graph.predecessors(e.id)) {
+      const ScheduledTask& pe = schedule.entry_for(pred);
+      if (e.start < pe.finish) {
+        std::ostringstream os;
+        os << task_label(graph, e.id) << " starts at " << e.start
+           << " before its predecessor " << task_label(graph, pred)
+           << " finishes at " << pe.finish;
+        return os.str();
+      }
+    }
+  }
+
+  // 5. Capacity sweep: at any instant, Σ p_i over running tasks <= P.
+  // Events sorted by time with releases (-p) before acquisitions (+p) at
+  // equal times, because running intervals are open at both ends
+  // (Section 3.1: s_i < x < s_i + t_i).
+  struct Event {
+    Time at;
+    int delta;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * schedule.size());
+  for (const ScheduledTask& e : schedule.entries()) {
+    const int p = graph.task(e.id).procs;
+    events.push_back(Event{e.start, +p});
+    events.push_back(Event{e.finish, -p});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.delta < b.delta;  // releases first
+  });
+  int in_use = 0;
+  for (const Event& ev : events) {
+    in_use += ev.delta;
+    if (in_use > procs) {
+      std::ostringstream os;
+      os << "capacity exceeded at time " << ev.at << ": " << in_use << " of "
+         << procs << " processors in use";
+      return os.str();
+    }
+  }
+  if (in_use != 0) return "internal error: unbalanced capacity events";
+
+  // 6. Per-processor disjointness: a processor never runs two tasks at once.
+  if (options.check_processor_sets) {
+    struct Interval {
+      Time start;
+      Time finish;
+      TaskId id;
+    };
+    std::map<int, std::vector<Interval>> by_proc;
+    for (const ScheduledTask& e : schedule.entries()) {
+      for (const int p : e.processors) {
+        by_proc[p].push_back(Interval{e.start, e.finish, e.id});
+      }
+    }
+    for (auto& [proc, intervals] : by_proc) {
+      std::sort(intervals.begin(), intervals.end(),
+                [](const Interval& a, const Interval& b) {
+                  return a.start < b.start;
+                });
+      for (std::size_t k = 1; k < intervals.size(); ++k) {
+        if (intervals[k].start < intervals[k - 1].finish) {
+          std::ostringstream os;
+          os << "processor " << proc << " runs "
+             << task_label(graph, intervals[k - 1].id) << " and "
+             << task_label(graph, intervals[k].id) << " concurrently";
+          return os.str();
+        }
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+void require_valid_schedule(const TaskGraph& graph, const Schedule& schedule,
+                            int procs, const ValidationOptions& options) {
+  const auto error = validate_schedule(graph, schedule, procs, options);
+  CB_CHECK(!error.has_value(),
+           error.has_value() ? error->c_str() : "valid");
+}
+
+}  // namespace catbatch

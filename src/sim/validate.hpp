@@ -1,0 +1,39 @@
+// Independent machine-checking of schedules. Shares no logic with any
+// scheduler: it re-derives feasibility from first principles (Section 3.1):
+//   * every task of the instance is scheduled exactly once,
+//   * durations match the tasks' execution times,
+//   * no task starts before all its predecessors finished,
+//   * at any instant the running tasks use at most P processors,
+//   * each task holds exactly p_i concrete processors, and no processor is
+//     held by two tasks at once.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/graph.hpp"
+#include "sim/schedule.hpp"
+
+namespace catbatch {
+
+struct ValidationOptions {
+  /// When false, skip the per-processor-index disjointness check (used for
+  /// schedules that track only counts, not concrete indices).
+  bool check_processor_sets = true;
+  /// Absolute tolerance for duration comparison (0 = exact). Kept at 0 in
+  /// this repository; exposed for instances with inexact arithmetic.
+  Time duration_tolerance = 0.0;
+};
+
+/// Returns std::nullopt if `schedule` is a feasible schedule of `graph` on
+/// `procs` processors; otherwise a human-readable description of the first
+/// violation found.
+[[nodiscard]] std::optional<std::string> validate_schedule(
+    const TaskGraph& graph, const Schedule& schedule, int procs,
+    const ValidationOptions& options = {});
+
+/// Throwing wrapper: CB_CHECK-fails with the violation message.
+void require_valid_schedule(const TaskGraph& graph, const Schedule& schedule,
+                            int procs, const ValidationOptions& options = {});
+
+}  // namespace catbatch

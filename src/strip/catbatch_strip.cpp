@@ -1,0 +1,79 @@
+#include "strip/catbatch_strip.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/criticality.hpp"
+#include "core/lmatrix.hpp"
+#include "strip/strip_packers.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+
+/// Criticalities over the strip instance (heights as execution times).
+std::vector<Criticality> strip_criticalities(const StripInstance& instance) {
+  std::vector<Criticality> crit(instance.size());
+  for (const TaskId id : instance.topological_order()) {
+    Time start = 0.0;
+    for (const TaskId pred : instance.predecessors(id)) {
+      start = std::max(start, crit[pred].earliest_finish);
+    }
+    crit[id].earliest_start = start;
+    crit[id].earliest_finish = start + instance.rect(id).height;
+  }
+  return crit;
+}
+
+}  // namespace
+
+CatBatchStripResult catbatch_strip_pack(const StripInstance& instance,
+                                        StripBatchPacker packer) {
+  CatBatchStripResult out;
+  if (instance.size() == 0) return out;
+
+  const std::vector<Criticality> crit = strip_criticalities(instance);
+  std::map<Time, std::pair<Category, std::vector<TaskId>>> batches;
+  for (TaskId id = 0; id < instance.size(); ++id) {
+    const Category cat = compute_category(crit[id]);
+    auto& slot = batches[cat.value()];
+    slot.first = cat;
+    slot.second.push_back(id);
+  }
+
+  Time base = 0.0;
+  for (const auto& entry : batches) {
+    const auto& [category, ids] = entry.second;
+    std::vector<Rect> rects;
+    rects.reserve(ids.size());
+    for (const TaskId id : ids) rects.push_back(instance.rect(id));
+    const StripShelfResult shelves = packer == StripBatchPacker::Nfdh
+                                         ? strip_nfdh(rects)
+                                         : strip_ffdh(rects);
+    for (const PlacedRect& p : shelves.placements) {
+      out.packing.place(ids[p.id], p.x, base + p.y);
+    }
+    out.batches.push_back(StripBatchRecord{category, base,
+                                           base + shelves.total_height, ids});
+    base += shelves.total_height;
+  }
+  out.total_height = base;
+  return out;
+}
+
+Time catbatch_strip_bound(const StripInstance& instance) {
+  if (instance.size() == 0) return 0.0;
+  const Time critical = instance.critical_path();
+  const std::vector<Criticality> crit = strip_criticalities(instance);
+  std::map<Time, Time> length_by_category;  // ζ -> L_ζ
+  for (TaskId id = 0; id < instance.size(); ++id) {
+    const Category cat = compute_category(crit[id]);
+    length_by_category[cat.value()] = category_length(cat, critical);
+  }
+  Time sum_lengths = 0.0;
+  for (const auto& entry : length_by_category) sum_lengths += entry.second;
+  return 2.0 * static_cast<Time>(instance.total_area()) + sum_lengths;
+}
+
+}  // namespace catbatch

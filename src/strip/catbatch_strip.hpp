@@ -1,0 +1,47 @@
+// CatBatch for online strip packing with precedence constraints (Remark 1):
+// categories are computed from the rectangles' criticalities exactly as for
+// rigid tasks, batches are packed in increasing category order, and the
+// independent-batch subroutine is NFDH (which guarantees contiguous
+// horizontal space). Each batch occupies its own horizontal band of the
+// strip, stacked bottom-up, so a rectangle is always strictly above all of
+// its predecessors (they live in lower bands by Lemma 5).
+//
+// The categories only depend on information available online (Lemma 1), so
+// even though this routine runs in one pass over the instance, the packing
+// it produces is exactly what the online algorithm would build.
+#pragma once
+
+#include <vector>
+
+#include "core/category.hpp"
+#include "strip/strip_instance.hpp"
+
+namespace catbatch {
+
+struct StripBatchRecord {
+  Category category;
+  Time band_bottom = 0.0;
+  Time band_top = 0.0;
+  std::vector<TaskId> rects;
+};
+
+struct CatBatchStripResult {
+  StripPacking packing;
+  Time total_height = 0.0;
+  std::vector<StripBatchRecord> batches;
+};
+
+/// Which shelf packer handles each category band. NFDH carries Remark 1's
+/// proof; FFDH is never taller and is offered as the practical variant.
+enum class StripBatchPacker { Nfdh, Ffdh };
+
+/// Packs `instance` with the CatBatch/shelf combination of Remark 1.
+[[nodiscard]] CatBatchStripResult catbatch_strip_pack(
+    const StripInstance& instance,
+    StripBatchPacker packer = StripBatchPacker::Nfdh);
+
+/// Remark 1's bound on the resulting height: 2·A + Σ_ζ L_ζ over non-empty
+/// categories (strip width 1).
+[[nodiscard]] Time catbatch_strip_bound(const StripInstance& instance);
+
+}  // namespace catbatch

@@ -1,0 +1,23 @@
+#include "strip/strip_adversary.hpp"
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+StripInstance to_strip_instance(const TaskGraph& graph, int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  graph.validate(procs);
+  StripInstance strip;
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const Task& t = graph.task(id);
+    strip.add_rect(static_cast<double>(t.procs) / procs, t.work, t.name);
+  }
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    for (const TaskId succ : graph.successors(id)) {
+      strip.add_edge(id, succ);
+    }
+  }
+  return strip;
+}
+
+}  // namespace catbatch

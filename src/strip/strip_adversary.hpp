@@ -1,0 +1,20 @@
+// Remark 2: the Section 6 lower-bound instances transfer to strip packing
+// because they only use tasks of 1 or P processors — i.e. rectangles of
+// width 1/P or 1. This module materializes that reduction: any rigid
+// instance whose tasks are 1-or-P wide becomes a strip instance on a strip
+// of width 1.
+#pragma once
+
+#include "core/graph.hpp"
+#include "strip/strip_instance.hpp"
+
+namespace catbatch {
+
+/// Converts a rigid instance into a strip instance with widths p_i / P.
+/// Requires every task to satisfy 1 <= p_i <= P. The Section 6 graphs use
+/// only p_i ∈ {1, P}, matching Remark 2 exactly, but the conversion is
+/// defined for any widths.
+[[nodiscard]] StripInstance to_strip_instance(const TaskGraph& graph,
+                                              int procs);
+
+}  // namespace catbatch

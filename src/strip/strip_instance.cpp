@@ -1,0 +1,116 @@
+#include "strip/strip_instance.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+TaskId StripInstance::add_rect(double width, Time height, std::string name) {
+  CB_CHECK(width > 0.0 && width <= 1.0, "rectangle width must be in (0, 1]");
+  CB_CHECK(height > 0.0, "rectangle height must be positive");
+  const auto id = static_cast<TaskId>(rects_.size());
+  rects_.push_back(Rect{width, height, std::move(name)});
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return id;
+}
+
+void StripInstance::add_edge(TaskId pred, TaskId succ) {
+  CB_CHECK(pred < rects_.size() && succ < rects_.size(),
+           "edge endpoint out of range");
+  CB_CHECK(pred != succ, "self-loops are not allowed");
+  auto& out = succs_[pred];
+  if (std::find(out.begin(), out.end(), succ) != out.end()) return;
+  out.push_back(succ);
+  preds_[succ].push_back(pred);
+}
+
+const Rect& StripInstance::rect(TaskId id) const {
+  CB_CHECK(id < rects_.size(), "rect id out of range");
+  return rects_[id];
+}
+
+std::span<const TaskId> StripInstance::predecessors(TaskId id) const {
+  CB_CHECK(id < rects_.size(), "rect id out of range");
+  return preds_[id];
+}
+
+std::span<const TaskId> StripInstance::successors(TaskId id) const {
+  CB_CHECK(id < rects_.size(), "rect id out of range");
+  return succs_[id];
+}
+
+std::vector<TaskId> StripInstance::topological_order() const {
+  std::vector<std::size_t> in_degree(rects_.size());
+  std::deque<TaskId> ready;
+  for (TaskId id = 0; id < rects_.size(); ++id) {
+    in_degree[id] = preds_[id].size();
+    if (in_degree[id] == 0) ready.push_back(id);
+  }
+  std::vector<TaskId> order;
+  order.reserve(rects_.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const TaskId succ : succs_[id]) {
+      if (--in_degree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  CB_CHECK(order.size() == rects_.size(), "strip instance contains a cycle");
+  return order;
+}
+
+double StripInstance::total_area() const noexcept {
+  double area = 0.0;
+  for (const Rect& r : rects_) area += r.area();
+  return area;
+}
+
+Time StripInstance::critical_path() const {
+  std::vector<Time> finish(rects_.size(), 0.0);
+  Time best = 0.0;
+  for (const TaskId id : topological_order()) {
+    Time start = 0.0;
+    for (const TaskId pred : preds_[id]) {
+      start = std::max(start, finish[pred]);
+    }
+    finish[id] = start + rects_[id].height;
+    best = std::max(best, finish[id]);
+  }
+  return best;
+}
+
+Time StripInstance::height_lower_bound() const {
+  return std::max(static_cast<Time>(total_area()), critical_path());
+}
+
+void StripPacking::place(TaskId id, double x, Time y) {
+  CB_CHECK(id != kInvalidTask, "cannot place the invalid id");
+  CB_CHECK(x >= 0.0 && y >= 0.0, "placement must be inside the strip");
+  CB_CHECK(!contains(id), "rectangle placed twice");
+  if (index_.size() <= id) index_.resize(id + 1, npos);
+  index_[id] = entries_.size();
+  entries_.push_back(PlacedRect{id, x, y});
+}
+
+bool StripPacking::contains(TaskId id) const noexcept {
+  return id < index_.size() && index_[id] != npos;
+}
+
+const PlacedRect& StripPacking::entry_for(TaskId id) const {
+  CB_CHECK(contains(id), "rectangle was never placed");
+  return entries_[index_[id]];
+}
+
+Time StripPacking::total_height(const StripInstance& instance) const {
+  Time best = 0.0;
+  for (const PlacedRect& e : entries_) {
+    best = std::max(best, e.y + instance.rect(e.id).height);
+  }
+  return best;
+}
+
+}  // namespace catbatch

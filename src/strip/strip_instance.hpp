@@ -1,0 +1,83 @@
+// Strip packing with precedence constraints (Remark 1 and the comparison in
+// Section 1): rectangles of fractional width in (0, 1] and positive height
+// must be placed without overlap in a strip of width 1; an edge (i, j)
+// requires rectangle j to lie entirely above rectangle i. Height plays the
+// role of execution time, width the role of (fractional, contiguous)
+// processor share.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace catbatch {
+
+struct Rect {
+  double width = 0.0;  // in (0, 1]
+  Time height = 0.0;   // > 0
+  std::string name;
+
+  [[nodiscard]] double area() const noexcept {
+    return width * static_cast<double>(height);
+  }
+};
+
+/// A DAG of rectangles (the strip-packing analogue of TaskGraph).
+class StripInstance {
+ public:
+  TaskId add_rect(double width, Time height, std::string name = {});
+  void add_edge(TaskId pred, TaskId succ);
+
+  [[nodiscard]] std::size_t size() const noexcept { return rects_.size(); }
+  [[nodiscard]] const Rect& rect(TaskId id) const;
+  [[nodiscard]] std::span<const TaskId> predecessors(TaskId id) const;
+  [[nodiscard]] std::span<const TaskId> successors(TaskId id) const;
+
+  /// Topological order (throws on cycles).
+  [[nodiscard]] std::vector<TaskId> topological_order() const;
+
+  [[nodiscard]] double total_area() const noexcept;
+
+  /// Critical-path height: the strip-packing analogue of C(I).
+  [[nodiscard]] Time critical_path() const;
+
+  /// Lower bound on the achievable strip height: max(total area, critical
+  /// path) — widths are relative to a strip of width 1.
+  [[nodiscard]] Time height_lower_bound() const;
+
+ private:
+  std::vector<Rect> rects_;
+  std::vector<std::vector<TaskId>> preds_;
+  std::vector<std::vector<TaskId>> succs_;
+};
+
+/// One placed rectangle: horizontal span [x, x + width), vertical span
+/// [y, y + height).
+struct PlacedRect {
+  TaskId id = kInvalidTask;
+  double x = 0.0;
+  Time y = 0.0;
+};
+
+/// A (partial or complete) packing.
+class StripPacking {
+ public:
+  void place(TaskId id, double x, Time y);
+  [[nodiscard]] std::span<const PlacedRect> entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool contains(TaskId id) const noexcept;
+  [[nodiscard]] const PlacedRect& entry_for(TaskId id) const;
+
+  /// Height of the packing given the instance (max y + height).
+  [[nodiscard]] Time total_height(const StripInstance& instance) const;
+
+ private:
+  std::vector<PlacedRect> entries_;
+  std::vector<std::size_t> index_;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+}  // namespace catbatch

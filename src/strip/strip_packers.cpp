@@ -1,0 +1,154 @@
+#include "strip/strip_packers.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+std::vector<std::size_t> decreasing_height_order(std::span<const Rect> rects) {
+  std::vector<std::size_t> order(rects.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return rects[a].height > rects[b].height;
+                   });
+  return order;
+}
+
+void check_rects(std::span<const Rect> rects) {
+  for (const Rect& r : rects) {
+    CB_CHECK(r.width > 0.0 && r.width <= 1.0,
+             "rectangle width must be in (0, 1]");
+    CB_CHECK(r.height > 0.0, "rectangle height must be positive");
+  }
+}
+
+// Guard against accumulated floating-point error when summing widths: a
+// shelf is declared full slightly before exact width 1. Widths in this
+// repository are exact binary fractions, so the epsilon never triggers for
+// well-formed instances; it only protects externally loaded ones.
+constexpr double kWidthSlack = 1e-12;
+}  // namespace
+
+StripShelfResult strip_nfdh(std::span<const Rect> rects) {
+  check_rects(rects);
+  StripShelfResult out;
+  out.placements.reserve(rects.size());
+  double used = 0.0;
+  Time shelf_y = 0.0;
+  bool shelf_open = false;
+  for (const std::size_t idx : decreasing_height_order(rects)) {
+    const Rect& r = rects[idx];
+    if (!shelf_open || used + r.width > 1.0 + kWidthSlack) {
+      shelf_y = out.total_height;
+      out.total_height += r.height;  // first rect of a shelf is the tallest
+      used = 0.0;
+      shelf_open = true;
+      ++out.shelf_count;
+    }
+    out.placements.push_back(
+        PlacedRect{static_cast<TaskId>(idx), used, shelf_y});
+    used += r.width;
+  }
+  return out;
+}
+
+StripShelfResult strip_bottom_left(std::span<const Rect> rects) {
+  check_rects(rects);
+  StripShelfResult out;
+  out.placements.reserve(rects.size());
+
+  // Decreasing-width order (Baker-Coffman-Rivest's 3-approx ordering).
+  std::vector<std::size_t> order(rects.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return rects[a].width > rects[b].width;
+                   });
+
+  // For a candidate y, the leftmost feasible x for a (w x h) rectangle, or
+  // a negative value if none exists.
+  const auto leftmost_fit = [&](double y, double w, Time h) -> double {
+    struct Span {
+      double lo, hi;
+    };
+    std::vector<Span> blocked;
+    for (const PlacedRect& p : out.placements) {
+      const Rect& r = rects[p.id];
+      if (p.y + r.height > y + kWidthSlack &&
+          y + static_cast<double>(h) > p.y + kWidthSlack) {
+        blocked.push_back(Span{p.x, p.x + r.width});
+      }
+    }
+    std::sort(blocked.begin(), blocked.end(),
+              [](const Span& a, const Span& b) { return a.lo < b.lo; });
+    double x = 0.0;
+    for (const Span& s : blocked) {
+      if (s.lo - x >= w - kWidthSlack) break;  // gap before this block
+      x = std::max(x, s.hi);
+    }
+    return x + w <= 1.0 + kWidthSlack ? x : -1.0;
+  };
+
+  for (const std::size_t idx : order) {
+    const Rect& r = rects[idx];
+    // Candidate drop heights: the floor plus every placed rectangle's top.
+    std::vector<double> candidates{0.0};
+    for (const PlacedRect& p : out.placements) {
+      candidates.push_back(p.y + rects[p.id].height);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    double best_y = -1.0, best_x = -1.0;
+    for (const double y : candidates) {
+      const double x = leftmost_fit(y, r.width, r.height);
+      if (x >= 0.0) {
+        best_y = y;
+        best_x = x;
+        break;  // candidates ascend: first feasible y is the lowest
+      }
+    }
+    CB_CHECK(best_y >= 0.0, "bottom-left failed to place a rectangle");
+    out.placements.push_back(PlacedRect{static_cast<TaskId>(idx), best_x,
+                                        best_y});
+    out.total_height =
+        std::max(out.total_height, static_cast<Time>(best_y) + r.height);
+  }
+  out.shelf_count = 0;  // not shelf-based
+  return out;
+}
+
+StripShelfResult strip_ffdh(std::span<const Rect> rects) {
+  check_rects(rects);
+  StripShelfResult out;
+  out.placements.reserve(rects.size());
+  struct Shelf {
+    Time y;
+    double used;
+  };
+  std::vector<Shelf> shelves;
+  for (const std::size_t idx : decreasing_height_order(rects)) {
+    const Rect& r = rects[idx];
+    std::size_t shelf = shelves.size();
+    for (std::size_t k = 0; k < shelves.size(); ++k) {
+      if (shelves[k].used + r.width <= 1.0 + kWidthSlack) {
+        shelf = k;
+        break;
+      }
+    }
+    if (shelf == shelves.size()) {
+      shelves.push_back(Shelf{out.total_height, 0.0});
+      out.total_height += r.height;
+      ++out.shelf_count;
+    }
+    out.placements.push_back(
+        PlacedRect{static_cast<TaskId>(idx), shelves[shelf].used,
+                   shelves[shelf].y});
+    shelves[shelf].used += r.width;
+  }
+  return out;
+}
+
+}  // namespace catbatch

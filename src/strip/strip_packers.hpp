@@ -1,0 +1,33 @@
+// Shelf packers for *independent* rectangles: NFDH and FFDH (Coffman et
+// al. [8]), operating on fractional widths in a strip of width 1. NFDH is
+// the subroutine Remark 1 plugs into CatBatch: its height is at most twice
+// the total area plus the tallest rectangle.
+#pragma once
+
+#include <span>
+
+#include "strip/strip_instance.hpp"
+
+namespace catbatch {
+
+struct StripShelfResult {
+  /// Placement of each input rectangle (ids = indices into the input span).
+  std::vector<PlacedRect> placements;
+  Time total_height = 0.0;
+  std::size_t shelf_count = 0;
+};
+
+/// Next-Fit Decreasing Height on a width-1 strip starting at height 0.
+[[nodiscard]] StripShelfResult strip_nfdh(std::span<const Rect> rects);
+
+/// First-Fit Decreasing Height.
+[[nodiscard]] StripShelfResult strip_ffdh(std::span<const Rect> rects);
+
+/// Bottom-Left in decreasing-width order (Baker, Coffman & Rivest [3],
+/// 3-approximation): each rectangle drops to the lowest y where it fits,
+/// then slides left. Not shelf-based — it can interlock rectangles — so
+/// it often beats NFDH/FFDH on mixed widths. Quadratic per rectangle in
+/// the number of already-placed rectangles.
+[[nodiscard]] StripShelfResult strip_bottom_left(std::span<const Rect> rects);
+
+}  // namespace catbatch

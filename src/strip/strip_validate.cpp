@@ -1,0 +1,82 @@
+#include "strip/strip_validate.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+// Widths/coordinates in this repository are exact binary fractions; the
+// epsilon only guards instances loaded from external text.
+constexpr double kEps = 1e-12;
+}  // namespace
+
+std::optional<std::string> validate_strip_packing(
+    const StripInstance& instance, const StripPacking& packing) {
+  if (packing.entries().size() != instance.size()) {
+    std::ostringstream os;
+    os << "packing has " << packing.entries().size()
+       << " rectangles but the instance has " << instance.size();
+    return os.str();
+  }
+  for (TaskId id = 0; id < instance.size(); ++id) {
+    if (!packing.contains(id)) {
+      return "rectangle " + std::to_string(id) + " was never placed";
+    }
+  }
+
+  for (const PlacedRect& e : packing.entries()) {
+    const Rect& r = instance.rect(e.id);
+    if (e.x < -kEps || e.x + r.width > 1.0 + kEps) {
+      std::ostringstream os;
+      os << "rectangle " << e.id << " leaves the strip horizontally: x="
+         << e.x << " width=" << r.width;
+      return os.str();
+    }
+    if (e.y < -kEps) {
+      return "rectangle " + std::to_string(e.id) + " below the strip";
+    }
+    for (const TaskId pred : instance.predecessors(e.id)) {
+      const PlacedRect& pe = packing.entry_for(pred);
+      const Time pred_top = pe.y + instance.rect(pred).height;
+      if (e.y + kEps < pred_top) {
+        std::ostringstream os;
+        os << "rectangle " << e.id << " (y=" << e.y
+           << ") is not above its predecessor " << pred
+           << " (top=" << pred_top << ")";
+        return os.str();
+      }
+    }
+  }
+
+  // Pairwise overlap (O(n^2), fine for validation duty).
+  const auto entries = packing.entries();
+  for (std::size_t a = 0; a < entries.size(); ++a) {
+    const Rect& ra = instance.rect(entries[a].id);
+    for (std::size_t b = a + 1; b < entries.size(); ++b) {
+      const Rect& rb = instance.rect(entries[b].id);
+      const bool x_overlap =
+          entries[a].x + ra.width > entries[b].x + kEps &&
+          entries[b].x + rb.width > entries[a].x + kEps;
+      const bool y_overlap =
+          entries[a].y + ra.height > entries[b].y + kEps &&
+          entries[b].y + rb.height > entries[a].y + kEps;
+      if (x_overlap && y_overlap) {
+        std::ostringstream os;
+        os << "rectangles " << entries[a].id << " and " << entries[b].id
+           << " overlap";
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void require_valid_strip_packing(const StripInstance& instance,
+                                 const StripPacking& packing) {
+  const auto error = validate_strip_packing(instance, packing);
+  CB_CHECK(!error.has_value(), error.has_value() ? error->c_str() : "valid");
+}
+
+}  // namespace catbatch

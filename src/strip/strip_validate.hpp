@@ -1,0 +1,19 @@
+// Independent validation of strip packings: coverage, strip bounds,
+// pairwise non-overlap, and the precedence rule (a successor lies entirely
+// above each of its predecessors).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "strip/strip_instance.hpp"
+
+namespace catbatch {
+
+[[nodiscard]] std::optional<std::string> validate_strip_packing(
+    const StripInstance& instance, const StripPacking& packing);
+
+void require_valid_strip_packing(const StripInstance& instance,
+                                 const StripPacking& packing);
+
+}  // namespace catbatch

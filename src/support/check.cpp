@@ -1,0 +1,29 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace catbatch {
+
+namespace {
+std::string render(std::string_view expr, std::string_view message,
+                   std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " [" << loc.function_name()
+     << "] check failed: (" << expr << ") — " << message;
+  return os.str();
+}
+}  // namespace
+
+ContractViolation::ContractViolation(std::string_view expr,
+                                     std::string_view message,
+                                     std::source_location loc)
+    : std::logic_error(render(expr, message, loc)), expr_(expr) {}
+
+namespace detail {
+void check_failed(std::string_view expr, std::string_view message,
+                  std::source_location loc) {
+  throw ContractViolation(expr, message, loc);
+}
+}  // namespace detail
+
+}  // namespace catbatch

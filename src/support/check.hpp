@@ -1,0 +1,53 @@
+// Error-handling primitives for the catbatch library.
+//
+// Two tiers, following the C++ Core Guidelines (I.6/E.12):
+//   * CB_CHECK   — precondition / invariant violations that indicate misuse
+//                  of the public API or a corrupted instance. Always on,
+//                  throws catbatch::ContractViolation.
+//   * CB_DCHECK  — internal invariants that are proven by the paper's lemmas
+//                  (e.g. Lemma 2 parity of the longitude). Compiled out in
+//                  NDEBUG builds.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace catbatch {
+
+/// Thrown when a CB_CHECK (or enabled CB_DCHECK) fails. Carries the failing
+/// expression, an explanatory message, and the source location.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(std::string_view expr, std::string_view message,
+                    std::source_location loc);
+
+  [[nodiscard]] const std::string& expression() const noexcept { return expr_; }
+
+ private:
+  std::string expr_;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(std::string_view expr, std::string_view message,
+                               std::source_location loc);
+}  // namespace detail
+
+}  // namespace catbatch
+
+#define CB_CHECK(expr, message)                                          \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]] {                                          \
+      ::catbatch::detail::check_failed(#expr, (message),                 \
+                                       std::source_location::current()); \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define CB_DCHECK(expr, message) \
+  do {                           \
+  } while (false)
+#else
+#define CB_DCHECK(expr, message) CB_CHECK(expr, message)
+#endif

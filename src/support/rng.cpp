@@ -1,0 +1,84 @@
+#include "support/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace catbatch {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // All-zero state is the one forbidden state of xoshiro; splitmix64 cannot
+  // produce four zero words from any seed, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CB_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  CB_CHECK(lo <= hi, "uniform_real requires lo <= hi");
+  // 53 random mantissa bits -> uniform in [0, 1).
+  const double unit =
+      static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+bool Rng::bernoulli(double p) {
+  CB_CHECK(p >= 0.0 && p <= 1.0, "bernoulli probability out of [0,1]");
+  return uniform_real(0.0, 1.0) < p;
+}
+
+double Rng::bounded_pareto(double lo, double hi, double alpha) {
+  CB_CHECK(lo > 0.0 && hi >= lo, "bounded_pareto requires 0 < lo <= hi");
+  CB_CHECK(alpha > 0.0, "bounded_pareto requires alpha > 0");
+  const double u = uniform_real(0.0, 1.0);
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double x =
+      std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  return std::min(hi, std::max(lo, x));
+}
+
+std::size_t Rng::index(std::size_t n) {
+  CB_CHECK(n > 0, "index requires non-empty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+}  // namespace catbatch

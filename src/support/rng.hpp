@@ -1,0 +1,56 @@
+// Deterministic, seedable random-number generation for instance generators
+// and experiments.
+//
+// We implement xoshiro256** (Blackman & Vigna) rather than relying on
+// std::mt19937 so that instance streams are reproducible bit-for-bit across
+// standard libraries and platforms — experiment tables in EXPERIMENTS.md
+// depend on this.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+/// xoshiro256** 1.0 generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` using SplitMix64, as
+  /// recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Bounded Pareto sample in [lo, hi] with shape alpha > 0. Used for
+  /// heavy-tailed task lengths (typical of HPC job-size distributions).
+  double bounded_pareto(double lo, double hi, double alpha);
+
+  /// Picks an index in [0, n) uniformly. Requires n > 0.
+  std::size_t index(std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace catbatch

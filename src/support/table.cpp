@@ -1,0 +1,103 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace catbatch {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  bool digit_seen = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' &&
+               c != 'x' && c != '%') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CB_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  CB_CHECK(cells.size() == header_.size(),
+           "row width must match header width");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  // Right-align a column if every data cell in it looks numeric.
+  std::vector<bool> numeric(header_.size(), true);
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (!row.cells[c].empty() && !looks_numeric(row.cells[c])) {
+        numeric[c] = false;
+      }
+    }
+  }
+
+  std::size_t total = header_.size() * 3 + 1;
+  for (const auto w : width) total += w;
+
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& cells,
+                            bool align_numeric) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ';
+      if (align_numeric && numeric[c]) {
+        os << pad_left(cells[c], width[c]);
+      } else {
+        os << pad_right(cells[c], width[c]);
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  os << repeated('-', total) << '\n';
+  emit_row(header_, false);
+  os << repeated('-', total) << '\n';
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      os << repeated('-', total) << '\n';
+    } else {
+      emit_row(row.cells, true);
+    }
+  }
+  os << repeated('-', total) << '\n';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.render();
+}
+
+}  // namespace catbatch

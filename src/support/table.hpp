@@ -1,0 +1,45 @@
+// Plain-text table rendering for the bench harness. Every experiment binary
+// prints its figure/table through this class so the output format is uniform
+// and diffable against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace catbatch {
+
+/// A simple column-aligned text table.
+///
+///   TextTable t({"Task", "t", "p"});
+///   t.add_row({"A", "6", "1"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a header rule and column alignment (numeric-ish
+  /// cells right-aligned, text left-aligned).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace catbatch

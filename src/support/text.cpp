@@ -1,0 +1,44 @@
+#include "support/text.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace catbatch {
+
+std::string format_number(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string pad_left(std::string s, std::size_t w) {
+  if (s.size() < w) s.insert(0, w - s.size(), ' ');
+  return s;
+}
+
+std::string pad_right(std::string s, std::size_t w) {
+  if (s.size() < w) s.append(w - s.size(), ' ');
+  return s;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string repeated(char c, std::size_t n) { return std::string(n, c); }
+
+}  // namespace catbatch

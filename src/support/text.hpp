@@ -1,0 +1,24 @@
+// Small text-formatting helpers shared by traces, tables and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace catbatch {
+
+/// Formats a double compactly: trailing zeros trimmed, at most `precision`
+/// digits after the decimal point ("6.8", "15.2", "2", "0.05").
+std::string format_number(double value, int precision = 6);
+
+/// Left/right pads `s` with spaces to width `w` (no-op if already wider).
+std::string pad_left(std::string s, std::size_t w);
+std::string pad_right(std::string s, std::size_t w);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Returns a string of `n` copies of `c`.
+std::string repeated(char c, std::size_t n);
+
+}  // namespace catbatch

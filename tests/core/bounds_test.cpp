@@ -1,0 +1,76 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "instances/random_dags.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TaskGraph two_chains() {
+  // chain A: 2 + 3 (p=2), chain B: 4 (p=1)
+  TaskGraph g;
+  g.add_task(2.0, 2);
+  g.add_task(3.0, 2);
+  g.add_task(4.0, 1);
+  g.add_edge(0, 1);
+  return g;
+}
+
+TEST(Bounds, AreaAndCriticalPath) {
+  const InstanceBounds b = compute_bounds(two_chains(), 4);
+  EXPECT_EQ(b.task_count, 3u);
+  EXPECT_DOUBLE_EQ(b.area, 2.0 * 2 + 3.0 * 2 + 4.0 * 1);  // 14
+  EXPECT_DOUBLE_EQ(b.critical_path, 5.0);
+  EXPECT_DOUBLE_EQ(b.min_work, 2.0);
+  EXPECT_DOUBLE_EQ(b.max_work, 4.0);
+}
+
+TEST(Bounds, LowerBoundIsMaxOfAreaAndCriticalPath) {
+  // P=2: A/P = 7 > C = 5 -> 7. P=4: A/P = 3.5 < 5 -> 5.
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(two_chains(), 2), 7.0);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(two_chains(), 4), 5.0);
+}
+
+TEST(Bounds, EmptyInstance) {
+  const TaskGraph g;
+  const InstanceBounds b = compute_bounds(g, 4);
+  EXPECT_EQ(b.task_count, 0u);
+  EXPECT_DOUBLE_EQ(b.lower_bound(), 0.0);
+}
+
+TEST(Bounds, RejectsTooWideTasks) {
+  TaskGraph g;
+  g.add_task(1.0, 8);
+  EXPECT_THROW((void)compute_bounds(g, 4), ContractViolation);
+  EXPECT_NO_THROW((void)compute_bounds(g, 8));
+}
+
+TEST(Bounds, RejectsNonPositivePlatform) {
+  EXPECT_THROW((void)compute_bounds(TaskGraph{}, 0), ContractViolation);
+}
+
+TEST(Bounds, SingleTaskLowerBoundIsItsLength) {
+  TaskGraph g;
+  g.add_task(7.5, 3);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(g, 8), 7.5);
+  // On exactly 3 processors, area bound equals length too.
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(g, 3), 7.5);
+}
+
+TEST(Bounds, LowerBoundMonotoneInProcs) {
+  Rng rng(4);
+  const TaskGraph g = random_layered_dag(rng, 100, 8, RandomTaskParams{});
+  Time prev = makespan_lower_bound(g, 16);
+  for (const int p : {24, 32, 64, 128}) {
+    const Time lb = makespan_lower_bound(g, p);
+    EXPECT_LE(lb, prev);
+    prev = lb;
+  }
+  // Never below the critical path.
+  EXPECT_GE(prev, critical_path_length(g) - 1e-12);
+}
+
+}  // namespace
+}  // namespace catbatch

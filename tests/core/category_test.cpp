@@ -1,0 +1,216 @@
+#include "core/category.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "instances/random_dags.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(Category, KnownSmallIntervals) {
+  // (s∞, f∞) -> ζ, hand-checked against Definition 2 / Figure 2.
+  EXPECT_DOUBLE_EQ(compute_category(0.0, 1.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(compute_category(0.0, 2.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(compute_category(0.0, 2.5).value(), 2.0);
+  EXPECT_DOUBLE_EQ(compute_category(0.0, 6.0).value(), 4.0);
+  EXPECT_DOUBLE_EQ(compute_category(2.0, 4.8).value(), 4.0);
+  EXPECT_DOUBLE_EQ(compute_category(3.0, 3.6).value(), 3.5);
+  EXPECT_DOUBLE_EQ(compute_category(3.0, 3.8).value(), 3.5);
+  EXPECT_DOUBLE_EQ(compute_category(4.8, 6.0).value(), 5.0);
+  EXPECT_DOUBLE_EQ(compute_category(3.6, 4.2).value(), 4.0);
+  EXPECT_DOUBLE_EQ(compute_category(6.0, 6.8).value(), 6.5);
+}
+
+TEST(Category, PaperExampleAttributes) {
+  // The full (λ, χ) pairs of Figure 3's table.
+  const Category b = compute_category(0.0, 2.0);
+  EXPECT_EQ(b.longitude, 1);
+  EXPECT_EQ(b.power_level, 0);
+  const Category f = compute_category(3.0, 3.6);
+  EXPECT_EQ(f.longitude, 7);
+  EXPECT_EQ(f.power_level, -1);
+  const Category h = compute_category(4.8, 6.0);
+  EXPECT_EQ(h.longitude, 5);
+  EXPECT_EQ(h.power_level, 0);
+  const Category j = compute_category(6.0, 6.8);
+  EXPECT_EQ(j.longitude, 13);
+  EXPECT_EQ(j.power_level, -1);
+  const Category a = compute_category(0.0, 6.0);
+  EXPECT_EQ(a.longitude, 1);
+  EXPECT_EQ(a.power_level, 2);
+}
+
+TEST(Category, RejectsDegenerateIntervals) {
+  EXPECT_THROW((void)compute_category(1.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)compute_category(2.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)compute_category(-0.5, 1.0), ContractViolation);
+}
+
+TEST(Category, ValueOrderingMatchesRealOrdering) {
+  const Category c1 = compute_category(0.0, 1.0);   // 0.5
+  const Category c2 = compute_category(0.0, 2.0);   // 1
+  const Category c3 = compute_category(4.8, 6.0);   // 5
+  EXPECT_LT(c1, c2);
+  EXPECT_LT(c2, c3);
+  EXPECT_EQ(c1, compute_category(0.25, 0.75));  // also 0.5
+}
+
+TEST(Category, TinyAndHugeScales) {
+  // Power levels far from zero must still be exact.
+  const Category tiny = compute_category(0.0, 0x1.0p-30);
+  EXPECT_EQ(tiny.power_level, -31);
+  EXPECT_EQ(tiny.longitude, 1);
+  const Category huge = compute_category(0.0, 0x1.0p40);
+  EXPECT_EQ(huge.power_level, 39);
+  EXPECT_EQ(huge.longitude, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: Lemma 2 invariants over a grid of exact binary intervals.
+
+struct IntervalCase {
+  double s;
+  double f;
+};
+
+class CategoryLemma2Property : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CategoryLemma2Property, InvariantsHold) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    // Exact binary fractions: s, t multiples of 2^-12 in wide ranges.
+    const double quantum = 0x1.0p-12;
+    const double s =
+        static_cast<double>(rng.uniform_int(0, 1 << 20)) * quantum;
+    const double t =
+        static_cast<double>(rng.uniform_int(1, 1 << 16)) * quantum;
+    const double f = s + t;
+    const Category cat = compute_category(s, f);
+
+    // λ odd and positive.
+    ASSERT_GE(cat.longitude, 1);
+    ASSERT_EQ(cat.longitude % 2, 1);
+
+    const double step = std::ldexp(1.0, cat.power_level);
+    const double zeta = cat.value();
+    // Definition 2/3: s < λ2^χ < f.
+    ASSERT_LT(s, zeta);
+    ASSERT_LT(zeta, f);
+    // Lemma 2 bracketing.
+    ASSERT_LE(static_cast<double>(cat.longitude - 1) * step, s);
+    ASSERT_LE(f, static_cast<double>(cat.longitude + 1) * step);
+    // Maximality: no multiple of 2^{χ+1} lies strictly inside (s, f).
+    const double bigger = 2.0 * step;
+    const double first_mult = (std::floor(s / bigger) + 1.0) * bigger;
+    ASSERT_GE(first_mult, f)
+        << "power level " << cat.power_level << " not maximal for (" << s
+        << ", " << f << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CategoryLemma2Property,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Lemma 5 over random DAGs: a dependency implies strictly increasing ζ.
+
+class CategoryLemma5Property : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CategoryLemma5Property, DependencyImpliesStrictlySmallerCategory) {
+  Rng rng(GetParam());
+  const TaskGraph g = random_layered_dag(rng, 120, 10, RandomTaskParams{});
+  const auto cats = compute_categories(g);
+  for (TaskId id = 0; id < g.size(); ++id) {
+    for (const TaskId succ : g.successors(id)) {
+      EXPECT_LT(cats[id].value(), cats[succ].value())
+          << "edge " << id << " -> " << succ;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CategoryLemma5Property,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Category, SameCategoryTasksAreIndependent) {
+  // Corollary of Lemma 5 used by ScheduleIndep.
+  Rng rng(55);
+  const TaskGraph g = random_series_parallel(rng, 150, 0.5,
+                                             RandomTaskParams{});
+  const auto cats = compute_categories(g);
+  for (TaskId i = 0; i < g.size(); ++i) {
+    for (TaskId j = i + 1; j < g.size(); ++j) {
+      if (cats[i] == cats[j]) {
+        EXPECT_FALSE(g.reaches(i, j));
+        EXPECT_FALSE(g.reaches(j, i));
+      }
+    }
+  }
+}
+
+TEST(Category, MatchesBruteForceEnumeration) {
+  // Differential test: brute-force the definition — scan (χ, λ) pairs over
+  // a wide window and take the maximal χ admitting a multiple inside the
+  // open interval — and compare with the closed-form search.
+  Rng rng(101);
+  for (int trial = 0; trial < 300; ++trial) {
+    const double quantum = 0x1.0p-8;
+    const double s =
+        static_cast<double>(rng.uniform_int(0, 1 << 12)) * quantum;
+    const double t =
+        static_cast<double>(rng.uniform_int(1, 1 << 10)) * quantum;
+    const double f = s + t;
+
+    int best_chi = -100;
+    std::int64_t best_lambda = -1;
+    for (int chi = 16; chi >= -12; --chi) {
+      const double step = std::ldexp(1.0, chi);
+      const auto lo = static_cast<std::int64_t>(std::floor(s / step)) + 1;
+      if (static_cast<double>(lo) * step < f) {
+        best_chi = chi;
+        best_lambda = lo;
+        break;  // scanning downward: first hit is the maximum χ
+      }
+    }
+    ASSERT_GT(best_lambda, 0) << "(" << s << ", " << f << ")";
+    const Category cat = compute_category(s, f);
+    EXPECT_EQ(cat.power_level, best_chi) << "(" << s << ", " << f << ")";
+    EXPECT_EQ(cat.longitude, best_lambda) << "(" << s << ", " << f << ")";
+  }
+}
+
+TEST(Category, EvenLongitudePointsHaveAPointDirectlyAbove) {
+  // The Figure 2 lattice argument behind Lemma 2: every (χ, even λ) value
+  // equals some (χ+1, λ/2) value, so maximal points must have odd λ.
+  for (int chi = -6; chi <= 6; ++chi) {
+    for (std::int64_t lambda = 2; lambda <= 64; lambda += 2) {
+      EXPECT_DOUBLE_EQ(category_value(chi, lambda),
+                       category_value(chi + 1, lambda / 2));
+    }
+  }
+}
+
+TEST(Category, CategoryValueHelperMatchesLdexp) {
+  EXPECT_DOUBLE_EQ(category_value(-1, 13), 6.5);
+  EXPECT_DOUBLE_EQ(category_value(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(category_value(0, 5), 5.0);
+}
+
+TEST(Category, ComputeCategoriesMatchesPerTaskComputation) {
+  Rng rng(77);
+  const TaskGraph g = random_out_tree(rng, 60, 3, RandomTaskParams{});
+  const auto crit = compute_criticalities(g);
+  const auto cats = compute_categories(g, crit);
+  ASSERT_EQ(cats.size(), g.size());
+  for (TaskId id = 0; id < g.size(); ++id) {
+    EXPECT_EQ(cats[id], compute_category(crit[id]));
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,120 @@
+#include "core/criticality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "instances/random_dags.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(Criticality, RootsStartAtZero) {
+  TaskGraph g;
+  g.add_task(2.0, 1);
+  g.add_task(3.0, 1);
+  const auto crit = compute_criticalities(g);
+  EXPECT_DOUBLE_EQ(crit[0].earliest_start, 0.0);
+  EXPECT_DOUBLE_EQ(crit[0].earliest_finish, 2.0);
+  EXPECT_DOUBLE_EQ(crit[1].earliest_start, 0.0);
+  EXPECT_DOUBLE_EQ(crit[1].earliest_finish, 3.0);
+}
+
+TEST(Criticality, ChainAccumulates) {
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  g.add_task(2.0, 1);
+  g.add_task(4.0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto crit = compute_criticalities(g);
+  EXPECT_DOUBLE_EQ(crit[2].earliest_start, 3.0);
+  EXPECT_DOUBLE_EQ(crit[2].earliest_finish, 7.0);
+  EXPECT_DOUBLE_EQ(critical_path_length(crit), 7.0);
+}
+
+TEST(Criticality, JoinTakesMaxOfPredecessors) {
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  g.add_task(5.0, 1);
+  g.add_task(1.0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const auto crit = compute_criticalities(g);
+  EXPECT_DOUBLE_EQ(crit[2].earliest_start, 5.0);  // Lemma 1: max f∞
+}
+
+TEST(Criticality, CriticalPathOfEmptyGraphIsZero) {
+  TaskGraph g;
+  EXPECT_DOUBLE_EQ(critical_path_length(g), 0.0);
+}
+
+TEST(Criticality, OnlineRecurrenceMatchesOffline) {
+  // criticality_from_predecessors run over a topological order must
+  // reproduce compute_criticalities exactly (Lemma 1).
+  Rng rng(2024);
+  const TaskGraph g = random_layered_dag(rng, 200, 12, RandomTaskParams{});
+  const auto offline = compute_criticalities(g);
+  std::vector<Criticality> online(g.size());
+  for (const TaskId id : g.topological_order()) {
+    std::vector<Time> pred_finish;
+    for (const TaskId pred : g.predecessors(id)) {
+      pred_finish.push_back(online[pred].earliest_finish);
+    }
+    online[id] = criticality_from_predecessors(g.task(id).work, pred_finish);
+  }
+  for (TaskId id = 0; id < g.size(); ++id) {
+    EXPECT_EQ(online[id], offline[id]) << "task " << id;
+  }
+}
+
+TEST(Criticality, IntervalLengthEqualsWork) {
+  Rng rng(7);
+  const TaskGraph g = random_order_dag(rng, 100, 0.05, RandomTaskParams{});
+  const auto crit = compute_criticalities(g);
+  for (TaskId id = 0; id < g.size(); ++id) {
+    EXPECT_DOUBLE_EQ(crit[id].earliest_finish - crit[id].earliest_start,
+                     g.task(id).work);
+  }
+}
+
+TEST(Criticality, OverlappingIntervalsImplyIndependence) {
+  // Section 4.1: if two criticality intervals overlap there is no path
+  // between the tasks.
+  Rng rng(11);
+  const TaskGraph g = random_layered_dag(rng, 80, 8, RandomTaskParams{});
+  const auto crit = compute_criticalities(g);
+  for (TaskId i = 0; i < g.size(); ++i) {
+    for (TaskId j = 0; j < g.size(); ++j) {
+      if (i == j) continue;
+      const bool overlap =
+          crit[i].earliest_start < crit[j].earliest_finish &&
+          crit[j].earliest_start < crit[i].earliest_finish;
+      if (overlap) {
+        EXPECT_FALSE(g.reaches(i, j))
+            << "path between tasks with overlapping criticalities";
+      }
+    }
+  }
+}
+
+TEST(Criticality, FromPredecessorsValidatesInput) {
+  EXPECT_THROW((void)criticality_from_predecessors(0.0, {}),
+               ContractViolation);
+  EXPECT_THROW((void)criticality_from_predecessors(1.0, {-1.0}),
+               ContractViolation);
+  const Criticality c = criticality_from_predecessors(2.0, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(c.earliest_start, 3.0);
+  EXPECT_DOUBLE_EQ(c.earliest_finish, 5.0);
+}
+
+TEST(Criticality, CriticalPathEqualsMaxFinish) {
+  Rng rng(13);
+  const TaskGraph g = random_series_parallel(rng, 60, 0.5, RandomTaskParams{});
+  const auto crit = compute_criticalities(g);
+  Time max_finish = 0.0;
+  for (const auto& c : crit) max_finish = std::max(max_finish, c.earliest_finish);
+  EXPECT_DOUBLE_EQ(critical_path_length(g), max_finish);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,160 @@
+#include "core/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TaskGraph diamond() {
+  // 0 -> {1, 2} -> 3
+  TaskGraph g;
+  g.add_task(1.0, 1, "top");
+  g.add_task(2.0, 2, "left");
+  g.add_task(3.0, 1, "right");
+  g.add_task(1.0, 4, "bottom");
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(TaskGraph, AddTaskAssignsSequentialIds) {
+  TaskGraph g;
+  EXPECT_EQ(g.add_task(1.0, 1), 0u);
+  EXPECT_EQ(g.add_task(1.0, 1), 1u);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_FALSE(g.empty());
+}
+
+TEST(TaskGraph, RejectsInvalidTasks) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_task(0.0, 1), ContractViolation);
+  EXPECT_THROW(g.add_task(-1.0, 1), ContractViolation);
+  EXPECT_THROW(g.add_task(1.0, 0), ContractViolation);
+}
+
+TEST(TaskGraph, EdgesAreIdempotent) {
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  g.add_task(1.0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.successors(0).size(), 1u);
+  EXPECT_EQ(g.predecessors(1).size(), 1u);
+}
+
+TEST(TaskGraph, RejectsSelfLoopsAndBadEndpoints) {
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  EXPECT_THROW(g.add_edge(0, 0), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 5), ContractViolation);
+  EXPECT_THROW(g.add_edge(5, 0), ContractViolation);
+}
+
+TEST(TaskGraph, RootsAndSinks) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.roots(), std::vector<TaskId>{0});
+  EXPECT_EQ(g.sinks(), std::vector<TaskId>{3});
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = diamond();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t k = 0; k < order.size(); ++k) pos[order[k]] = k;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(TaskGraph, CycleDetection) {
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  g.add_task(1.0, 1);
+  g.add_task(1.0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_edge(2, 0);
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_THROW((void)g.topological_order(), ContractViolation);
+  EXPECT_THROW(g.validate(), ContractViolation);
+}
+
+TEST(TaskGraph, ValidateChecksPlatformWidth) {
+  TaskGraph g;
+  g.add_task(1.0, 8);
+  EXPECT_NO_THROW(g.validate(8));
+  EXPECT_THROW(g.validate(4), ContractViolation);
+  EXPECT_NO_THROW(g.validate());  // 0 = unconstrained
+}
+
+TEST(TaskGraph, AreaAndWorkExtremes) {
+  const TaskGraph g = diamond();
+  // 1*1 + 2*2 + 3*1 + 1*4 = 12
+  EXPECT_DOUBLE_EQ(g.total_area(), 12.0);
+  EXPECT_DOUBLE_EQ(g.min_work(), 1.0);
+  EXPECT_DOUBLE_EQ(g.max_work(), 3.0);
+  EXPECT_EQ(g.max_procs_required(), 4);
+}
+
+TEST(TaskGraph, WorkExtremesRejectEmptyGraph) {
+  TaskGraph g;
+  EXPECT_THROW((void)g.min_work(), ContractViolation);
+  EXPECT_THROW((void)g.max_work(), ContractViolation);
+  EXPECT_EQ(g.max_procs_required(), 0);
+  EXPECT_DOUBLE_EQ(g.total_area(), 0.0);
+}
+
+TEST(TaskGraph, DepthCountsHops) {
+  EXPECT_EQ(diamond().depth(), 3u);
+  TaskGraph chain;
+  chain.add_task(1.0, 1);
+  chain.add_task(1.0, 1);
+  chain.add_task(1.0, 1);
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  EXPECT_EQ(chain.depth(), 3u);
+  TaskGraph empty;
+  EXPECT_EQ(empty.depth(), 0u);
+}
+
+TEST(TaskGraph, Reachability) {
+  const TaskGraph g = diamond();
+  EXPECT_TRUE(g.reaches(0, 3));
+  EXPECT_TRUE(g.reaches(1, 3));
+  EXPECT_FALSE(g.reaches(1, 2));
+  EXPECT_FALSE(g.reaches(3, 0));
+  EXPECT_TRUE(g.reaches(2, 2));  // reflexive by convention
+}
+
+TEST(TaskGraph, AppendOffsetsIdsAndEdges) {
+  TaskGraph g = diamond();
+  const TaskGraph other = diamond();
+  const TaskId offset = g.append(other);
+  EXPECT_EQ(offset, 4u);
+  EXPECT_EQ(g.size(), 8u);
+  EXPECT_EQ(g.edge_count(), 8u);
+  EXPECT_TRUE(g.reaches(4, 7));
+  EXPECT_FALSE(g.reaches(0, 4));
+  EXPECT_EQ(g.task(5).name, "left");
+}
+
+TEST(TaskGraph, TaskAccessorBoundsChecked) {
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  EXPECT_THROW((void)g.task(1), ContractViolation);
+  EXPECT_THROW((void)g.predecessors(1), ContractViolation);
+  EXPECT_THROW((void)g.successors(1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

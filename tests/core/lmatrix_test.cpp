@@ -1,0 +1,208 @@
+#include "core/lmatrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+// The L-matrix for C = 6.8 from Figure 5 (left).
+TEST(LMatrix, PaperFigure5Values) {
+  const LMatrix L(6.8);
+  EXPECT_EQ(L.X(), 2);  // 4 < 6.8 <= 8
+
+  EXPECT_DOUBLE_EQ(L.at(1, 1), 6.8);
+  EXPECT_DOUBLE_EQ(L.at(1, 2), 0.0);
+
+  EXPECT_DOUBLE_EQ(L.at(2, 1), 4.0);
+  EXPECT_NEAR(L.at(2, 2), 2.8, 1e-12);
+  EXPECT_DOUBLE_EQ(L.at(2, 3), 0.0);
+
+  EXPECT_DOUBLE_EQ(L.at(3, 1), 2.0);
+  EXPECT_DOUBLE_EQ(L.at(3, 2), 2.0);
+  EXPECT_DOUBLE_EQ(L.at(3, 3), 2.0);
+  EXPECT_DOUBLE_EQ(L.at(3, 4), 0.0);
+
+  for (std::size_t j = 1; j <= 6; ++j) EXPECT_DOUBLE_EQ(L.at(4, j), 1.0);
+  EXPECT_NEAR(L.at(4, 7), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(L.at(4, 8), 0.0);
+
+  for (std::size_t j = 1; j <= 13; ++j) EXPECT_DOUBLE_EQ(L.at(5, j), 0.5);
+}
+
+TEST(LMatrix, CategoryAtMatchesPaperLayout) {
+  const LMatrix L(6.8);
+  // Figure 5 (right): row 1 is χ = X = 2; column j is λ = 2j-1.
+  EXPECT_EQ(L.category_at(1, 1), (Category{2, 1}));
+  EXPECT_EQ(L.category_at(2, 2), (Category{1, 3}));
+  EXPECT_EQ(L.category_at(4, 7), (Category{-1, 13}));
+  EXPECT_DOUBLE_EQ(L.category_at(4, 7).value(), 6.5);
+}
+
+TEST(LMatrix, CellsEqualCategoryLength) {
+  // Lemma 4's closed form must agree with Definition 4 everywhere.
+  for (const double c : {6.8, 1.0, 2.0, 5.5, 0.375, 100.0, 1023.0}) {
+    const LMatrix L(c);
+    for (std::size_t i = 1; i <= 12; ++i) {
+      for (std::size_t j = 1; j <= 40; ++j) {
+        EXPECT_DOUBLE_EQ(L.at(i, j), category_length(L.category_at(i, j), c))
+            << "C=" << c << " cell (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(LMatrix, XBracketInvariant) {
+  for (const double c : {0.1, 0.5, 1.0, 1.5, 2.0, 4.0, 6.8, 8.0, 1000.0}) {
+    const LMatrix L(c);
+    EXPECT_LT(std::ldexp(1.0, L.X()), c);
+    EXPECT_LE(c, std::ldexp(1.0, L.X() + 1));
+  }
+}
+
+TEST(LMatrix, RowsAreNonIncreasing) {
+  // Theorem 1, Claim 1's premise.
+  const LMatrix L(6.8);
+  for (std::size_t i = 1; i <= 8; ++i) {
+    for (std::size_t j = 1; j <= 30; ++j) {
+      EXPECT_GE(L.at(i, j), L.at(i, j + 1));
+    }
+  }
+}
+
+TEST(LMatrix, LastPositiveOfRowAtLeastFirstOfNextRow) {
+  // Theorem 1, Claim 1: row-major walk picks the largest values.
+  for (const double c : {6.8, 3.3, 9.1, 100.5}) {
+    const LMatrix L(c);
+    for (std::size_t i = 1; i <= 10; ++i) {
+      const std::size_t count = L.positive_count_in_row(i);
+      ASSERT_GE(count, 1u);
+      EXPECT_GE(L.at(i, count), L.at(i + 1, 1)) << "C=" << c << " row " << i;
+    }
+  }
+}
+
+TEST(LMatrix, RowSumsAtMostCriticalPath) {
+  // Theorem 1, Claim 2.
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double c =
+        static_cast<double>(rng.uniform_int(1, 1 << 16)) * 0x1.0p-4;
+    const LMatrix L(c);
+    for (std::size_t i = 1; i <= 10; ++i) {
+      EXPECT_LE(L.row_sum(i), c * (1.0 + 1e-12)) << "C=" << c << " row " << i;
+    }
+  }
+}
+
+TEST(LMatrix, RowPositiveCounts) {
+  // Theorem 1 Claim 2: row 1 has exactly one positive value; row i >= 2 has
+  // at least 2^{i-2}; Theorem 2 Claim 3: at most 2^{i-1}.
+  for (const double c : {6.8, 4.1, 7.99, 33.0}) {
+    const LMatrix L(c);
+    EXPECT_EQ(L.positive_count_in_row(1), 1u);
+    for (std::size_t i = 2; i <= 10; ++i) {
+      const std::size_t count = L.positive_count_in_row(i);
+      EXPECT_GE(count, std::size_t{1} << (i - 2));
+      EXPECT_LE(count, std::size_t{1} << (i - 1));
+    }
+  }
+}
+
+TEST(LMatrix, TopSumBoundedByTheorem1Claim3) {
+  // Sum of any n values <= (log2(n) + 1) * C.
+  for (const double c : {6.8, 1.5, 12.0}) {
+    const LMatrix L(c);
+    for (const std::size_t n : {1u, 2u, 3u, 5u, 8u, 17u, 64u, 100u, 500u}) {
+      const double bound = (std::log2(static_cast<double>(n)) + 1.0) * c;
+      EXPECT_LE(L.top_sum(n), bound * (1.0 + 1e-12))
+          << "C=" << c << " n=" << n;
+    }
+  }
+}
+
+TEST(LMatrix, TopValuesAreSortedAndPositive) {
+  const LMatrix L(6.8);
+  const auto values = L.top_values(20);
+  ASSERT_EQ(values.size(), 20u);
+  for (std::size_t k = 1; k < values.size(); ++k) {
+    EXPECT_LE(values[k], values[k - 1]);
+    EXPECT_GT(values[k], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(values[0], 6.8);
+}
+
+TEST(CategoryLength, PaperFigure4Values) {
+  const double C = 6.8;
+  EXPECT_DOUBLE_EQ(category_length(Category{2, 1}, C), 6.8);   // ζ=4: A,E,I
+  EXPECT_DOUBLE_EQ(category_length(Category{1, 1}, C), 4.0);   // ζ=2: C,D
+  EXPECT_DOUBLE_EQ(category_length(Category{0, 1}, C), 2.0);   // ζ=1: B
+  EXPECT_DOUBLE_EQ(category_length(Category{0, 5}, C), 2.0);   // ζ=5: H,K
+  EXPECT_DOUBLE_EQ(category_length(Category{-1, 7}, C), 1.0);  // ζ=3.5: F,G
+  EXPECT_NEAR(category_length(Category{-1, 13}, C), 0.8, 1e-12);  // ζ=6.5: J
+}
+
+TEST(CategoryLength, ZeroBeyondCriticalPath) {
+  EXPECT_DOUBLE_EQ(category_length(Category{3, 1}, 6.8), 0.0);   // ζ=8 >= C
+  EXPECT_DOUBLE_EQ(category_length(Category{-1, 15}, 6.8), 0.0);  // ζ=7.5
+}
+
+TEST(CategoryLength, NeverExceedsTwoToChiPlusOne) {
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int chi = static_cast<int>(rng.uniform_int(-6, 6));
+    const std::int64_t lambda = 2 * rng.uniform_int(0, 40) + 1;
+    const double c =
+        static_cast<double>(rng.uniform_int(1, 1 << 12)) * 0x1.0p-2;
+    const Time len = category_length(Category{chi, lambda}, c);
+    EXPECT_LE(len, std::ldexp(1.0, chi + 1));
+    EXPECT_GE(len, 0.0);
+  }
+}
+
+TEST(BoundedCategoryLength, ReducedUnchangedImpossible) {
+  // Figure 7 (right): C = 6.8, m = 0.9, M = 2.3.
+  const double C = 6.8, m = 0.9, M = 2.3;
+  // R rows: values clipped to M.
+  EXPECT_DOUBLE_EQ(bounded_category_length(Category{2, 1}, C, m, M), 2.3);
+  EXPECT_DOUBLE_EQ(bounded_category_length(Category{1, 1}, C, m, M), 2.3);
+  EXPECT_NEAR(bounded_category_length(Category{1, 3}, C, m, M), 2.3, 1e-12);
+  // U rows: unchanged.
+  EXPECT_DOUBLE_EQ(bounded_category_length(Category{0, 1}, C, m, M), 2.0);
+  EXPECT_DOUBLE_EQ(bounded_category_length(Category{-1, 1}, C, m, M), 1.0);
+  // 0.8 < m = 0.9 -> impossible.
+  EXPECT_DOUBLE_EQ(bounded_category_length(Category{-1, 13}, C, m, M), 0.0);
+  // I rows: everything below m vanishes.
+  EXPECT_DOUBLE_EQ(bounded_category_length(Category{-2, 1}, C, m, M), 0.0);
+}
+
+TEST(BoundedCategoryLength, ValidatesBounds) {
+  EXPECT_THROW(
+      (void)bounded_category_length(Category{0, 1}, 6.8, 0.0, 1.0),
+      ContractViolation);
+  EXPECT_THROW(
+      (void)bounded_category_length(Category{0, 1}, 6.8, 2.0, 1.0),
+      ContractViolation);
+}
+
+TEST(TheoremBounds, Formulas) {
+  EXPECT_DOUBLE_EQ(theorem1_bound(1), 3.0);
+  EXPECT_DOUBLE_EQ(theorem1_bound(8), 6.0);
+  EXPECT_DOUBLE_EQ(theorem2_bound(8.0, 1.0), 9.0);
+  EXPECT_DOUBLE_EQ(theorem2_bound(1.0, 1.0), 6.0);
+  EXPECT_DOUBLE_EQ(theorem3_bound_n(32), 1.0);
+  EXPECT_DOUBLE_EQ(theorem3_bound_ratio(32.0, 1.0), 1.0);
+  EXPECT_THROW((void)theorem1_bound(0), ContractViolation);
+}
+
+TEST(LMatrix, RejectsNonPositiveCriticalPath) {
+  EXPECT_THROW(LMatrix(0.0), ContractViolation);
+  EXPECT_THROW(LMatrix(-1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

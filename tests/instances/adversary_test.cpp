@@ -1,0 +1,172 @@
+#include "instances/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+constexpr Time kEps = 0x1.0p-8;
+
+TEST(Ipow, BasicsAndOverflowGuard) {
+  EXPECT_EQ(ipow(2, 0), 1);
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(3, 4), 81);
+  EXPECT_THROW((void)ipow(2, 63), ContractViolation);
+  EXPECT_THROW((void)ipow(2, -1), ContractViolation);
+}
+
+TEST(XInstance, StructureMatchesDefinition6And7) {
+  const XInstance x = make_x_instance(3, 3, kEps);
+  EXPECT_EQ(static_cast<std::int64_t>(x.graph.size()), x_task_count(3, 3));
+  ASSERT_EQ(x.chains.size(), 3u);
+  // Chain i has 2 * K^{P-1-i} tasks.
+  EXPECT_EQ(x.chains[0].tasks.size(), 18u);
+  EXPECT_EQ(x.chains[1].tasks.size(), 6u);
+  EXPECT_EQ(x.chains[2].tasks.size(), 2u);
+  // Blue lengths K^i with one processor; reds ε with all P.
+  for (const ChainIds& chain : x.chains) {
+    for (std::size_t k = 0; k < chain.tasks.size(); ++k) {
+      const Task& t = x.graph.task(chain.tasks[k]);
+      if (k % 2 == 0) {
+        EXPECT_DOUBLE_EQ(t.work, static_cast<Time>(ipow(3, chain.type)));
+        EXPECT_EQ(t.procs, 1);
+      } else {
+        EXPECT_DOUBLE_EQ(t.work, kEps);
+        EXPECT_EQ(t.procs, 3);
+      }
+      if (k > 0) {
+        EXPECT_TRUE(x.graph.reaches(chain.tasks[k - 1], chain.tasks[k]));
+      }
+    }
+  }
+  // Chains are mutually independent.
+  EXPECT_FALSE(x.graph.reaches(x.chains[0].tasks[0], x.chains[1].tasks[0]));
+}
+
+TEST(XInstance, TaskCountClosedForm) {
+  // 2(K^P - 1)/(K - 1).
+  EXPECT_EQ(x_task_count(3, 2), 2 * (8 - 1) / (2 - 1));
+  EXPECT_EQ(x_task_count(3, 3), 2 * (27 - 1) / (3 - 1));
+  EXPECT_EQ(x_task_count(1, 2), 2);
+}
+
+TEST(XInstance, LowerBoundFormula) {
+  // Lemma 8: P K^{P-1} - (P-1) K^{P-2}.
+  EXPECT_DOUBLE_EQ(x_optimal_lower_bound(3, 3), 3 * 9 - 2 * 3);
+  EXPECT_DOUBLE_EQ(x_optimal_lower_bound(2, 2), 2 * 2 - 1 * 1);
+}
+
+TEST(YInstance, OptimalScheduleMatchesLemma9) {
+  for (const int type : {0, 1, 3}) {
+    const YInstance y = make_y_instance(4, type, 2, kEps);
+    const Schedule opt = y_optimal_schedule(y);
+    require_valid_schedule(y.graph, opt, 4);
+    EXPECT_DOUBLE_EQ(opt.makespan(), y_optimal_makespan(4, type, 2, kEps));
+    // Lemma 9's schedule is perfectly packed: makespan == Lb.
+    EXPECT_DOUBLE_EQ(opt.makespan(), makespan_lower_bound(y.graph, 4));
+  }
+}
+
+TEST(YInstance, ValidatesParameters) {
+  EXPECT_THROW((void)make_y_instance(4, 4, 2, kEps), ContractViolation);
+  EXPECT_THROW((void)make_y_instance(4, -1, 2, kEps), ContractViolation);
+  EXPECT_THROW((void)make_y_instance(4, 0, 1, kEps), ContractViolation);
+  EXPECT_THROW((void)make_y_instance(4, 0, 2, 0.0), ContractViolation);
+}
+
+TEST(ZAdversary, EmitsAllLayersAgainstAnyScheduler) {
+  const int P = 3, K = 2;
+  ZAdversarySource source(P, K, kEps);
+  ListScheduler sched;
+  const SimResult r = simulate(source, sched, P);
+  EXPECT_EQ(static_cast<std::int64_t>(r.stats.task_count),
+            z_task_count(P, K));
+  ASSERT_EQ(source.layers().size(), 3u);
+  require_valid_schedule(source.realized_graph(), r.schedule, P);
+}
+
+TEST(ZAdversary, UnlockTasksRecorded) {
+  const int P = 3, K = 2;
+  ZAdversarySource source(P, K, kEps);
+  CatBatchScheduler sched;
+  (void)simulate(source, sched, P);
+  const auto& layers = source.layers();
+  ASSERT_EQ(layers.size(), 3u);
+  for (std::size_t ell = 0; ell + 1 < layers.size(); ++ell) {
+    ASSERT_NE(layers[ell].unlock_task, kInvalidTask);
+    ASSERT_GE(layers[ell].unlock_chain, 0);
+    // The unlock task is the last task of its chain.
+    const auto& chain =
+        layers[ell].chains[static_cast<std::size_t>(layers[ell].unlock_chain)];
+    EXPECT_EQ(chain.tasks.back(), layers[ell].unlock_task);
+    // Next layer's roots depend on the unlock task.
+    const TaskId next_root = layers[ell + 1].chains[0].tasks[0];
+    EXPECT_TRUE(source.realized_graph().reaches(layers[ell].unlock_task,
+                                                next_root));
+  }
+}
+
+TEST(ZAdversary, OnlineMakespanRespectsLemma10) {
+  for (const int P : {2, 3, 4}) {
+    const int K = 2;
+    for (const bool use_catbatch : {false, true}) {
+      ZAdversarySource source(P, K, kEps);
+      CatBatchScheduler cat;
+      ListScheduler list;
+      OnlineScheduler& sched =
+          use_catbatch ? static_cast<OnlineScheduler&>(cat)
+                       : static_cast<OnlineScheduler&>(list);
+      const SimResult r = simulate(source, sched, P);
+      EXPECT_GT(r.makespan, z_online_lower_bound(P, K) - 1e-9)
+          << "P=" << P << " catbatch=" << use_catbatch;
+    }
+  }
+}
+
+TEST(ZAdversary, OfflineScheduleFeasibleAndWithinLemma11) {
+  for (const int P : {2, 3, 4}) {
+    const int K = 2;
+    ZAdversarySource source(P, K, kEps);
+    ListScheduler sched;
+    (void)simulate(source, sched, P);
+    const Schedule offline = z_offline_schedule(source);
+    require_valid_schedule(source.realized_graph(), offline, P);
+    EXPECT_LT(offline.makespan(), z_offline_upper_bound(P, K, kEps));
+  }
+}
+
+TEST(ZAdversary, OfflineBeatsOnlineByRoughlyHalfP) {
+  // Theorem 4's engine: the gap approaches P/2 for large K.
+  const int P = 4, K = 8;
+  ZAdversarySource source(P, K, 0x1.0p-10);
+  ListScheduler sched;
+  const SimResult online = simulate(source, sched, P);
+  const Schedule offline = z_offline_schedule(source);
+  const double gap = static_cast<double>(online.makespan) /
+                     static_cast<double>(offline.makespan());
+  EXPECT_GT(gap, P / 2.0 - 0.5);
+}
+
+TEST(ZAdversary, OfflineScheduleRequiresCompletedRun) {
+  ZAdversarySource source(3, 2, kEps);
+  EXPECT_THROW((void)z_offline_schedule(source), ContractViolation);
+}
+
+TEST(ZAdversary, RestartsCleanlyAcrossSimulations) {
+  ZAdversarySource source(2, 2, kEps);
+  ListScheduler sched;
+  const SimResult first = simulate(source, sched, 2);
+  const SimResult second = simulate(source, sched, 2);
+  EXPECT_DOUBLE_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(source.layers().size(), 2u);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,128 @@
+#include "instances/examples.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/category.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(IntroInstance, StructureMatchesFigure1) {
+  const IntroInstance intro = make_intro_instance(4);
+  EXPECT_EQ(intro.graph.size(), 12u);  // 3P tasks
+  ASSERT_EQ(intro.a_tasks.size(), 4u);
+  // A_k -> B_k, B_k -> A_{k+1}, B_k -> C_{k+1}.
+  for (int k = 0; k < 4; ++k) {
+    const auto kk = static_cast<std::size_t>(k);
+    EXPECT_TRUE(intro.graph.reaches(intro.a_tasks[kk], intro.b_tasks[kk]));
+    if (k + 1 < 4) {
+      EXPECT_TRUE(
+          intro.graph.reaches(intro.b_tasks[kk], intro.a_tasks[kk + 1]));
+      EXPECT_TRUE(
+          intro.graph.reaches(intro.b_tasks[kk], intro.c_tasks[kk + 1]));
+    }
+  }
+  // C_1 is a root; C's have no successors.
+  EXPECT_TRUE(intro.graph.predecessors(intro.c_tasks[0]).empty());
+  for (const TaskId c : intro.c_tasks) {
+    EXPECT_TRUE(intro.graph.successors(c).empty());
+  }
+  // Shapes: A/B have length ε; C has length 1; B needs all processors.
+  for (const TaskId a : intro.a_tasks) {
+    EXPECT_DOUBLE_EQ(intro.graph.task(a).work, intro.epsilon);
+    EXPECT_EQ(intro.graph.task(a).procs, 1);
+  }
+  for (const TaskId b : intro.b_tasks) {
+    EXPECT_EQ(intro.graph.task(b).procs, 4);
+  }
+  for (const TaskId c : intro.c_tasks) {
+    EXPECT_DOUBLE_EQ(intro.graph.task(c).work, 1.0);
+  }
+}
+
+TEST(IntroInstance, OptimalScheduleIsFeasibleAndMatchesClosedForm) {
+  for (const int P : {2, 4, 16}) {
+    const IntroInstance intro = make_intro_instance(P);
+    const Schedule opt = intro_optimal_schedule(intro);
+    require_valid_schedule(intro.graph, opt, P);
+    EXPECT_DOUBLE_EQ(opt.makespan(), intro_optimal_makespan(P, intro.epsilon));
+  }
+}
+
+TEST(IntroInstance, OptimalNearLowerBound) {
+  const int P = 16;
+  const IntroInstance intro = make_intro_instance(P);
+  const Time lb = makespan_lower_bound(intro.graph, P);
+  const Time opt = intro_optimal_makespan(P, intro.epsilon);
+  // Lb >= C >= 1 + 2(P-1)ε-ish; the optimal is within a small constant.
+  EXPECT_LE(opt, 2.0 * lb);
+}
+
+TEST(IntroInstance, AsapToOptimalGapGrowsLinearlyWithP) {
+  for (const int P : {4, 8, 32}) {
+    const IntroInstance intro = make_intro_instance(P);
+    const double gap = intro_asap_makespan(P, intro.epsilon) /
+                       intro_optimal_makespan(P, intro.epsilon);
+    EXPECT_GT(gap, P / 3.0);
+    EXPECT_LE(gap, P);
+  }
+}
+
+TEST(IntroInstance, ValidatesParameters) {
+  EXPECT_THROW((void)make_intro_instance(0), ContractViolation);
+  EXPECT_THROW((void)make_intro_instance(4, 0.0), ContractViolation);
+}
+
+TEST(PaperExample, AttributeTableMatchesFigure3) {
+  const TaskGraph g = make_paper_example();
+  ASSERT_EQ(g.size(), 11u);
+  const auto crit = compute_criticalities(g);
+  const auto cats = compute_categories(g, crit);
+
+  struct Expected {
+    const char* name;
+    double t;
+    int p;
+    double s_inf;
+    double f_inf;
+    std::int64_t lambda;
+    int chi;
+    double zeta;
+  };
+  // The verbatim table from Figure 3.
+  const Expected table[] = {
+      {"A", 6.0, 1, 0.0, 6.0, 1, 2, 4.0},
+      {"B", 2.0, 2, 0.0, 2.0, 1, 0, 1.0},
+      {"C", 2.5, 1, 0.0, 2.5, 1, 1, 2.0},
+      {"D", 3.0, 3, 0.0, 3.0, 1, 1, 2.0},
+      {"E", 2.8, 1, 2.0, 4.8, 1, 2, 4.0},
+      {"F", 0.6, 1, 3.0, 3.6, 7, -1, 3.5},
+      {"G", 0.8, 3, 3.0, 3.8, 7, -1, 3.5},
+      {"H", 1.2, 2, 4.8, 6.0, 5, 0, 5.0},
+      {"I", 0.6, 2, 3.6, 4.2, 1, 2, 4.0},
+      {"J", 0.8, 3, 6.0, 6.8, 13, -1, 6.5},
+      {"K", 1.4, 3, 4.2, 5.6, 5, 0, 5.0},
+  };
+  for (TaskId id = 0; id < g.size(); ++id) {
+    const Expected& e = table[id];
+    EXPECT_EQ(g.task(id).name, e.name);
+    EXPECT_DOUBLE_EQ(g.task(id).work, e.t) << e.name;
+    EXPECT_EQ(g.task(id).procs, e.p) << e.name;
+    EXPECT_NEAR(crit[id].earliest_start, e.s_inf, 1e-9) << e.name;
+    EXPECT_NEAR(crit[id].earliest_finish, e.f_inf, 1e-9) << e.name;
+    EXPECT_EQ(cats[id].longitude, e.lambda) << e.name;
+    EXPECT_EQ(cats[id].power_level, e.chi) << e.name;
+    EXPECT_NEAR(cats[id].value(), e.zeta, 1e-9) << e.name;
+  }
+}
+
+TEST(PaperExample, CriticalPathIs6Point8) {
+  EXPECT_NEAR(critical_path_length(make_paper_example()),
+              paper_example_critical_path(), 1e-9);
+}
+
+}  // namespace
+}  // namespace catbatch

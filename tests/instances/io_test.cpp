@@ -1,0 +1,174 @@
+#include "instances/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "instances/examples.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "instances/random_dags.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(Dot, ContainsNodesAndEdges) {
+  const TaskGraph g = make_paper_example();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("t0"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("t=6 p=1"), std::string::npos);  // task A
+}
+
+TEST(Json, RoundTripPreservesInstance) {
+  const TaskGraph g = make_paper_example();
+  const std::string json = to_json(g, 4);
+  const ParsedInstance parsed = instance_from_json(json);
+  EXPECT_EQ(parsed.procs, 4);
+  ASSERT_EQ(parsed.graph.size(), g.size());
+  EXPECT_EQ(parsed.graph.edge_count(), g.edge_count());
+  for (TaskId id = 0; id < g.size(); ++id) {
+    EXPECT_EQ(parsed.graph.task(id), g.task(id)) << "task " << id;
+    const auto a = g.successors(id);
+    const auto b = parsed.graph.successors(id);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(Json, RoundTripRandomInstance) {
+  Rng rng(21);
+  const TaskGraph g = random_layered_dag(rng, 80, 8, RandomTaskParams{});
+  const ParsedInstance parsed = instance_from_json(to_json(g, 16));
+  ASSERT_EQ(parsed.graph.size(), g.size());
+  for (TaskId id = 0; id < g.size(); ++id) {
+    // Quantized works survive the 12-digit round trip exactly.
+    EXPECT_DOUBLE_EQ(parsed.graph.task(id).work, g.task(id).work);
+    EXPECT_EQ(parsed.graph.task(id).procs, g.task(id).procs);
+  }
+}
+
+TEST(Json, OmitsProcsWhenUnspecified) {
+  TaskGraph g;
+  g.add_task(1.0, 1, "x");
+  const std::string json = to_json(g);
+  EXPECT_EQ(json.find("\"procs\": 0"), std::string::npos);
+  const ParsedInstance parsed = instance_from_json(json);
+  EXPECT_EQ(parsed.procs, 0);
+}
+
+TEST(Json, EscapesQuotesInNames) {
+  TaskGraph g;
+  g.add_task(1.0, 1, "we \"quote\" and \\slash");
+  const ParsedInstance parsed = instance_from_json(to_json(g));
+  EXPECT_EQ(parsed.graph.task(0).name, "we \"quote\" and \\slash");
+}
+
+TEST(Json, ParsesHandWrittenInstance) {
+  const char* text = R"({
+    "procs": 2,
+    "tasks": [
+      {"work": 1.5, "procs": 1, "name": "a"},
+      {"work": 2, "procs": 2, "name": "b"}
+    ],
+    "edges": [[0, 1]]
+  })";
+  const ParsedInstance parsed = instance_from_json(text);
+  EXPECT_EQ(parsed.procs, 2);
+  ASSERT_EQ(parsed.graph.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.graph.task(0).work, 1.5);
+  EXPECT_EQ(parsed.graph.successors(0).size(), 1u);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)instance_from_json("not json"), ContractViolation);
+  EXPECT_THROW((void)instance_from_json("{\"tasks\": [}"),
+               ContractViolation);
+  EXPECT_THROW((void)instance_from_json("{\"bogus\": 1}"),
+               ContractViolation);
+  // Edge referencing a missing task.
+  EXPECT_THROW((void)instance_from_json(
+                   R"({"tasks": [{"work": 1, "procs": 1, "name": ""}],
+                       "edges": [[0, 5]]})"),
+               ContractViolation);
+  // Task wider than the declared platform.
+  EXPECT_THROW((void)instance_from_json(
+                   R"({"procs": 2,
+                       "tasks": [{"work": 1, "procs": 4, "name": ""}],
+                       "edges": []})"),
+               ContractViolation);
+  // Trailing garbage.
+  EXPECT_THROW((void)instance_from_json(
+                   R"({"tasks": [], "edges": []} extra)"),
+               ContractViolation);
+}
+
+TEST(Json, RejectsNonIntegerProcs) {
+  EXPECT_THROW((void)instance_from_json(
+                   R"({"tasks": [{"work": 1, "procs": 1.5, "name": ""}],
+                       "edges": []})"),
+               ContractViolation);
+}
+
+TEST(Json, EmptyInstanceRoundTrips) {
+  const TaskGraph g;
+  const ParsedInstance parsed = instance_from_json(to_json(g));
+  EXPECT_EQ(parsed.graph.size(), 0u);
+}
+
+TEST(ScheduleJson, RoundTripAndReplayValidation) {
+  // Serialize a handmade schedule, parse it back, compare field by field.
+  Schedule s;
+  s.add(1, 0.0, 2.0, {0, 1});   // B
+  s.add(2, 2.0, 4.5, {0});      // C
+  s.add(3, 2.0, 5.0, {1, 2, 3});  // D
+  const std::string json = schedule_to_json(s, 4);
+  const ParsedSchedule parsed = schedule_from_json(json);
+  EXPECT_EQ(parsed.procs, 4);
+  ASSERT_EQ(parsed.schedule.size(), 3u);
+  for (const ScheduledTask& e : s.entries()) {
+    const ScheduledTask& p = parsed.schedule.entry_for(e.id);
+    EXPECT_DOUBLE_EQ(p.start, e.start);
+    EXPECT_DOUBLE_EQ(p.finish, e.finish);
+    EXPECT_EQ(p.processors, e.processors);
+  }
+}
+
+TEST(ScheduleJson, FullPipelinePersistAndValidate) {
+  const TaskGraph g = make_paper_example();
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, 4);
+  const ParsedSchedule replayed =
+      schedule_from_json(schedule_to_json(r.schedule, 4));
+  // The replayed schedule must still validate against the instance.
+  EXPECT_EQ(validate_schedule(g, replayed.schedule, replayed.procs),
+            std::nullopt);
+  EXPECT_DOUBLE_EQ(replayed.schedule.makespan(), r.makespan);
+}
+
+TEST(ScheduleJson, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)schedule_from_json("nope"), ContractViolation);
+  EXPECT_THROW((void)schedule_from_json(
+                   R"({"entries": [{"id": -1, "start": 0, "finish": 1,
+                       "cpus": [0]}]})"),
+               ContractViolation);
+  EXPECT_THROW((void)schedule_from_json(
+                   R"({"entries": [{"id": 0, "start": 0, "finish": 1,
+                       "cpus": [0.5]}]})"),
+               ContractViolation);
+  EXPECT_THROW((void)schedule_from_json(
+                   R"({"bogus": []})"),
+               ContractViolation);
+}
+
+TEST(ScheduleJson, EmptySchedule) {
+  const Schedule s;
+  const ParsedSchedule parsed = schedule_from_json(schedule_to_json(s, 2));
+  EXPECT_EQ(parsed.schedule.size(), 0u);
+  EXPECT_EQ(parsed.procs, 2);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,134 @@
+#include "instances/job_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "instances/workloads.hpp"
+#include "sched/backfill.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/relaxed_catbatch.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+JobStream two_job_stream() {
+  JobStream stream;
+  Job first;
+  first.name = "alpha";
+  first.arrival = 0.0;
+  first.graph.add_task(2.0, 1, "a0");
+  first.graph.add_task(1.0, 1, "a1");
+  first.graph.add_edge(0, 1);
+  stream.add_job(std::move(first));
+
+  Job second;
+  second.name = "beta";
+  second.arrival = 5.0;
+  second.graph.add_task(1.0, 2, "b0");
+  stream.add_job(std::move(second));
+  return stream;
+}
+
+TEST(JobStream, JobsArriveAtTheirReleaseTimes) {
+  JobStream stream = two_job_stream();
+  ListScheduler sched;
+  const SimResult r = simulate(stream, sched, 2);
+  require_valid_schedule(stream.realized_graph(), r.schedule, 2);
+  // alpha runs immediately; beta cannot start before its arrival.
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(stream.global_id(0, 0)).start, 0.0);
+  EXPECT_GE(r.schedule.entry_for(stream.global_id(1, 0)).start, 5.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+TEST(JobStream, GlobalIdMappingIsConsistent) {
+  JobStream stream = two_job_stream();
+  ListScheduler sched;
+  (void)simulate(stream, sched, 2);
+  EXPECT_EQ(stream.global_id(0, 0), 0u);
+  EXPECT_EQ(stream.global_id(0, 1), 1u);
+  EXPECT_EQ(stream.global_id(1, 0), 2u);
+  EXPECT_EQ(stream.job_of(0), 0u);
+  EXPECT_EQ(stream.job_of(2), 1u);
+  EXPECT_THROW((void)stream.global_id(1, 5), ContractViolation);
+}
+
+TEST(JobStream, PerJobMetrics) {
+  JobStream stream = two_job_stream();
+  ListScheduler sched;
+  const SimResult r = simulate(stream, sched, 2);
+  const auto metrics = per_job_metrics(stream, r, 2);
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].name, "alpha");
+  EXPECT_DOUBLE_EQ(metrics[0].completion, 3.0);
+  EXPECT_DOUBLE_EQ(metrics[0].response_time, 3.0);
+  EXPECT_DOUBLE_EQ(metrics[0].slowdown, 1.0);  // ran unobstructed
+  EXPECT_DOUBLE_EQ(metrics[1].arrival, 5.0);
+  EXPECT_DOUBLE_EQ(metrics[1].response_time, 1.0);
+}
+
+TEST(JobStream, ContentionInflatesSlowdown) {
+  // Two identical single-task jobs arriving together on one processor:
+  // the second must wait for the first.
+  JobStream stream;
+  for (int j = 0; j < 2; ++j) {
+    Job job;
+    job.arrival = 0.0;
+    job.graph.add_task(2.0, 1);
+    stream.add_job(std::move(job));
+  }
+  ListScheduler sched;
+  const SimResult r = simulate(stream, sched, 1);
+  const auto metrics = per_job_metrics(stream, r, 1);
+  EXPECT_DOUBLE_EQ(metrics[0].slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(metrics[1].slowdown, 2.0);
+}
+
+TEST(JobStream, RandomStreamRunsUnderAllStreamSafeSchedulers) {
+  Rng rng(2027);
+  JobStream stream = random_job_stream(rng, 8, 4.0, 16);
+  EXPECT_EQ(stream.job_count(), 8u);
+  RelaxedCatBatch relaxed;
+  ListScheduler fifo;
+  EasyBackfill easy;
+  OnlineScheduler* lineup[] = {&relaxed, &fifo, &easy};
+  for (OnlineScheduler* sched : lineup) {
+    const SimResult r = simulate(stream, *sched, 16);
+    require_valid_schedule(stream.realized_graph(), r.schedule, 16);
+    for (const JobMetrics& m : per_job_metrics(stream, r, 16)) {
+      EXPECT_GE(m.slowdown, 1.0 - 1e-9) << m.name;
+      EXPECT_GE(m.response_time, 0.0) << m.name;
+    }
+  }
+}
+
+TEST(JobStream, RejectsMisuse) {
+  JobStream stream;
+  Job bad;
+  bad.arrival = -1.0;
+  bad.graph.add_task(1.0, 1);
+  EXPECT_THROW(stream.add_job(std::move(bad)), ContractViolation);
+  Job empty;
+  empty.arrival = 0.0;
+  EXPECT_THROW(stream.add_job(std::move(empty)), ContractViolation);
+  EXPECT_THROW((void)stream.start(), ContractViolation);  // no jobs
+}
+
+TEST(JobStream, ArrivalsNeedNotBeSorted) {
+  JobStream stream;
+  Job late;
+  late.arrival = 10.0;
+  late.graph.add_task(1.0, 1, "late");
+  stream.add_job(std::move(late));
+  Job early;
+  early.arrival = 0.0;
+  early.graph.add_task(1.0, 1, "early");
+  stream.add_job(std::move(early));
+  ListScheduler sched;
+  const SimResult r = simulate(stream, sched, 1);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(0).start, 10.0);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,170 @@
+#include "instances/random_dags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(QuantizeTime, RoundsToBinaryGrid) {
+  EXPECT_DOUBLE_EQ(quantize_time(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantize_time(0.3) * 0x1.0p20,
+                   std::round(0.3 * 0x1.0p20));
+  EXPECT_DOUBLE_EQ(quantize_time(1e-9), 0x1.0p-20);  // clamps up to one tick
+  EXPECT_THROW((void)quantize_time(0.0), ContractViolation);
+}
+
+TEST(QuantizeTime, ResultIsExactMultipleOfQuantum) {
+  Rng rng(1);
+  for (int k = 0; k < 1000; ++k) {
+    const double v = quantize_time(rng.uniform_real(0.001, 100.0));
+    const double ticks = v * 0x1.0p20;
+    EXPECT_DOUBLE_EQ(ticks, std::round(ticks));
+  }
+}
+
+TEST(DrawWork, RespectsRange) {
+  Rng rng(2);
+  for (const auto law :
+       {WorkDistribution::Law::Uniform, WorkDistribution::Law::LogUniform,
+        WorkDistribution::Law::BoundedPareto}) {
+    WorkDistribution dist;
+    dist.law = law;
+    dist.min_work = 0.25;
+    dist.max_work = 16.0;
+    for (int k = 0; k < 500; ++k) {
+      const Time w = draw_work(rng, dist);
+      EXPECT_GE(w, dist.min_work);
+      EXPECT_LE(w, dist.max_work);
+    }
+  }
+}
+
+TEST(DrawProcs, RespectsLaws) {
+  Rng rng(3);
+  ProcDistribution uniform{ProcDistribution::Law::Uniform, 8};
+  ProcDistribution pow2{ProcDistribution::Law::PowerOfTwo, 8};
+  ProcDistribution narrow{ProcDistribution::Law::MostlyNarrow, 8};
+  int narrow_ones = 0;
+  for (int k = 0; k < 500; ++k) {
+    const int u = draw_procs(rng, uniform);
+    EXPECT_GE(u, 1);
+    EXPECT_LE(u, 8);
+    const int p = draw_procs(rng, pow2);
+    EXPECT_TRUE(p == 1 || p == 2 || p == 4 || p == 8) << p;
+    const int n = draw_procs(rng, narrow);
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, 8);
+    if (n == 1) ++narrow_ones;
+  }
+  EXPECT_GT(narrow_ones, 150);  // roughly half
+}
+
+TEST(RandomLayeredDag, ShapeAndValidity) {
+  Rng rng(4);
+  const TaskGraph g = random_layered_dag(rng, 100, 10, RandomTaskParams{});
+  EXPECT_EQ(g.size(), 100u);
+  g.validate();
+  EXPECT_LE(g.depth(), 10u);
+  EXPECT_GT(g.edge_count(), 0u);
+}
+
+TEST(RandomLayeredDag, SingleLayerIsIndependent) {
+  Rng rng(5);
+  const TaskGraph g = random_layered_dag(rng, 20, 1, RandomTaskParams{});
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(RandomOrderDag, EdgeProbabilityExtremes) {
+  Rng rng(6);
+  const TaskGraph none = random_order_dag(rng, 20, 0.0, RandomTaskParams{});
+  EXPECT_EQ(none.edge_count(), 0u);
+  const TaskGraph full = random_order_dag(rng, 20, 1.0, RandomTaskParams{});
+  EXPECT_EQ(full.edge_count(), 20u * 19u / 2u);
+  full.validate();
+  EXPECT_EQ(full.depth(), 20u);
+}
+
+TEST(RandomSeriesParallel, SizeAndValidity) {
+  Rng rng(7);
+  for (const double bias : {0.0, 0.5, 1.0}) {
+    const TaskGraph g = random_series_parallel(rng, 60, bias,
+                                               RandomTaskParams{});
+    EXPECT_EQ(g.size(), 60u);
+    g.validate();
+  }
+}
+
+TEST(RandomSeriesParallel, SingleSourceSingleSink) {
+  Rng rng(8);
+  const TaskGraph g = random_series_parallel(rng, 40, 0.5, RandomTaskParams{});
+  EXPECT_EQ(g.roots().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(RandomForkJoin, BarriersSequenceStages) {
+  Rng rng(9);
+  const TaskGraph g = random_fork_join(rng, 3, 5, RandomTaskParams{});
+  // fork0 + 3 * (5 + join) = 19 tasks.
+  EXPECT_EQ(g.size(), 19u);
+  g.validate();
+  EXPECT_EQ(g.roots().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.depth(), 7u);  // fork, stage, join, stage, join, stage, join
+}
+
+TEST(RandomChains, IndependentChains) {
+  Rng rng(10);
+  const TaskGraph g = random_chains(rng, 4, 6, RandomTaskParams{});
+  EXPECT_EQ(g.size(), 24u);
+  EXPECT_EQ(g.roots().size(), 4u);
+  EXPECT_EQ(g.sinks().size(), 4u);
+  EXPECT_EQ(g.depth(), 6u);
+}
+
+TEST(RandomOutTree, EveryNonRootHasOneParent) {
+  Rng rng(11);
+  const TaskGraph g = random_out_tree(rng, 50, 3, RandomTaskParams{});
+  EXPECT_EQ(g.size(), 50u);
+  EXPECT_EQ(g.roots().size(), 1u);
+  for (TaskId id = 1; id < g.size(); ++id) {
+    EXPECT_EQ(g.predecessors(id).size(), 1u);
+  }
+}
+
+TEST(RandomIndependent, NoEdges) {
+  Rng rng(12);
+  const TaskGraph g = random_independent(rng, 30, RandomTaskParams{});
+  EXPECT_EQ(g.size(), 30u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(RandomDags, DeterministicForEqualSeeds) {
+  Rng a(99), b(99);
+  const TaskGraph ga = random_layered_dag(a, 50, 5, RandomTaskParams{});
+  const TaskGraph gb = random_layered_dag(b, 50, 5, RandomTaskParams{});
+  ASSERT_EQ(ga.size(), gb.size());
+  for (TaskId id = 0; id < ga.size(); ++id) {
+    EXPECT_EQ(ga.task(id), gb.task(id));
+  }
+  EXPECT_EQ(ga.edge_count(), gb.edge_count());
+}
+
+TEST(RandomDags, ParameterValidation) {
+  Rng rng(1);
+  EXPECT_THROW((void)random_layered_dag(rng, 0, 1, RandomTaskParams{}),
+               ContractViolation);
+  EXPECT_THROW((void)random_layered_dag(rng, 5, 6, RandomTaskParams{}),
+               ContractViolation);
+  EXPECT_THROW((void)random_order_dag(rng, 5, 1.5, RandomTaskParams{}),
+               ContractViolation);
+  EXPECT_THROW(
+      (void)random_series_parallel(rng, 10, -0.1, RandomTaskParams{}),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,101 @@
+#include "instances/stg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/criticality.hpp"
+#include "instances/examples.hpp"
+#include "instances/random_dags.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(Stg, RoundTripPaperExample) {
+  const TaskGraph g = make_paper_example();
+  const ParsedStg parsed = instance_from_stg(to_stg(g, 4));
+  EXPECT_EQ(parsed.procs, 4);
+  ASSERT_EQ(parsed.graph.size(), g.size());
+  EXPECT_EQ(parsed.graph.edge_count(), g.edge_count());
+  // Ids are remapped topologically, so compare multiset properties.
+  EXPECT_DOUBLE_EQ(parsed.graph.total_area(), g.total_area());
+  EXPECT_DOUBLE_EQ(critical_path_length(parsed.graph),
+                   critical_path_length(g));
+  EXPECT_EQ(parsed.graph.roots().size(), g.roots().size());
+  EXPECT_EQ(parsed.graph.sinks().size(), g.sinks().size());
+}
+
+TEST(Stg, RoundTripRandomInstancePreservesWorksExactly) {
+  Rng rng(7);
+  const TaskGraph g = random_layered_dag(rng, 80, 8, RandomTaskParams{});
+  const ParsedStg parsed = instance_from_stg(to_stg(g, 8));
+  ASSERT_EQ(parsed.graph.size(), g.size());
+  EXPECT_DOUBLE_EQ(parsed.graph.total_area(), g.total_area());
+  EXPECT_DOUBLE_EQ(critical_path_length(parsed.graph),
+                   critical_path_length(g));
+}
+
+TEST(Stg, ParsesHandWrittenFile) {
+  const char* text =
+      "# tiny instance\n"
+      "3 2\n"
+      "0 1.5 1 0\n"
+      "1 2 2 1 0\n"
+      "2 0.5 1 2 0 1\n";
+  const ParsedStg parsed = instance_from_stg(text);
+  EXPECT_EQ(parsed.procs, 2);
+  ASSERT_EQ(parsed.graph.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.graph.task(0).work, 1.5);
+  EXPECT_EQ(parsed.graph.predecessors(2).size(), 2u);
+}
+
+TEST(Stg, CommentsAndBlankLinesIgnored) {
+  const char* text =
+      "\n# header comment\n\n"
+      "1 4   # platform\n"
+      "# task below\n"
+      "0 1 1 0\n";
+  const ParsedStg parsed = instance_from_stg(text);
+  EXPECT_EQ(parsed.graph.size(), 1u);
+  EXPECT_EQ(parsed.procs, 4);
+}
+
+TEST(Stg, RejectsMalformedFiles) {
+  // Missing header.
+  EXPECT_THROW((void)instance_from_stg("# only comments\n"),
+               ContractViolation);
+  // Wrong task count.
+  EXPECT_THROW((void)instance_from_stg("2 2\n0 1 1 0\n"),
+               ContractViolation);
+  // Forward predecessor reference.
+  EXPECT_THROW((void)instance_from_stg("2 2\n0 1 1 1 1\n1 1 1 0\n"),
+               ContractViolation);
+  // Non-ascending ids.
+  EXPECT_THROW((void)instance_from_stg("2 2\n1 1 1 0\n0 1 1 0\n"),
+               ContractViolation);
+  // Task wider than platform.
+  EXPECT_THROW((void)instance_from_stg("1 2\n0 1 4 0\n"),
+               ContractViolation);
+  // Trailing junk on a task line.
+  EXPECT_THROW((void)instance_from_stg("1 2\n0 1 1 0 99\n"),
+               ContractViolation);
+}
+
+TEST(Stg, EmptyInstance) {
+  const ParsedStg parsed = instance_from_stg("0 1\n");
+  EXPECT_EQ(parsed.graph.size(), 0u);
+}
+
+TEST(Stg, TopologicalRemappingKeepsPrecedence) {
+  // Build a graph whose ids are deliberately anti-topological.
+  TaskGraph g;
+  const TaskId late = g.add_task(1.0, 1, "late");
+  const TaskId early = g.add_task(1.0, 1, "early");
+  g.add_edge(early, late);
+  const ParsedStg parsed = instance_from_stg(to_stg(g, 2));
+  // In the file, task 0 must be the root.
+  EXPECT_TRUE(parsed.graph.predecessors(0).empty());
+  EXPECT_EQ(parsed.graph.predecessors(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,161 @@
+#include "instances/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/criticality.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(Cholesky, TaskCountMatchesClosedForm) {
+  // T potrf + T(T-1)/2 trsm + T(T-1)/2 syrk + T(T-1)(T-2)/6 gemm.
+  for (const int T : {1, 2, 4, 6}) {
+    const TaskGraph g = cholesky_dag(T);
+    const std::size_t expected =
+        static_cast<std::size_t>(T + T * (T - 1) / 2 + T * (T - 1) / 2 +
+                                 T * (T - 1) * (T - 2) / 6);
+    EXPECT_EQ(g.size(), expected) << "T=" << T;
+    g.validate();
+  }
+}
+
+TEST(Cholesky, CriticalPathGrowsWithTiles) {
+  const Time c2 = critical_path_length(cholesky_dag(2));
+  const Time c6 = critical_path_length(cholesky_dag(6));
+  EXPECT_GT(c6, c2);
+}
+
+TEST(Cholesky, FirstPotrfIsRootLastPotrfIsLate) {
+  const TaskGraph g = cholesky_dag(4);
+  EXPECT_TRUE(g.predecessors(0).empty());   // potrf(0,0)
+  EXPECT_EQ(g.task(0).name, "potrf(0,0)");
+  // The last potrf depends (transitively) on the first.
+  TaskId last_potrf = kInvalidTask;
+  for (TaskId id = 0; id < g.size(); ++id) {
+    if (g.task(id).name == "potrf(3,3)") last_potrf = id;
+  }
+  ASSERT_NE(last_potrf, kInvalidTask);
+  EXPECT_TRUE(g.reaches(0, last_potrf));
+}
+
+TEST(Cholesky, JitterPerturbsTimesDeterministically) {
+  KernelCosts costs;
+  costs.jitter = 0.2;
+  const TaskGraph a = cholesky_dag(4, costs);
+  const TaskGraph b = cholesky_dag(4, costs);
+  bool any_off_nominal = false;
+  for (TaskId id = 0; id < a.size(); ++id) {
+    EXPECT_DOUBLE_EQ(a.task(id).work, b.task(id).work);
+    if (a.task(id).work != 1.0 && a.task(id).work != 2.0 &&
+        a.task(id).work != 4.0) {
+      any_off_nominal = true;
+    }
+  }
+  EXPECT_TRUE(any_off_nominal);
+}
+
+TEST(Lu, TaskCountMatchesClosedForm) {
+  // T getrf + T(T-1) trsm + Σ (T-1-k)^2 gemm.
+  for (const int T : {1, 2, 4}) {
+    std::size_t gemms = 0;
+    for (int k = 0; k < T; ++k) {
+      gemms += static_cast<std::size_t>((T - 1 - k) * (T - 1 - k));
+    }
+    const TaskGraph g = lu_dag(T);
+    EXPECT_EQ(g.size(),
+              static_cast<std::size_t>(T) +
+                  static_cast<std::size_t>(T * (T - 1)) + gemms);
+    g.validate();
+  }
+}
+
+TEST(Stencil, WavefrontShape) {
+  const TaskGraph g = stencil_dag(3, 4);
+  EXPECT_EQ(g.size(), 12u);
+  g.validate();
+  EXPECT_EQ(g.roots().size(), 1u);   // (0,0)
+  EXPECT_EQ(g.sinks().size(), 1u);   // (2,3)
+  EXPECT_EQ(g.depth(), 3u + 4u - 1u);
+  // Diagonal criticality: s∞(r,c) = (r + c) * t.
+  const auto crit = compute_criticalities(g);
+  EXPECT_DOUBLE_EQ(crit[0].earliest_start, 0.0);
+  EXPECT_DOUBLE_EQ(crit[11].earliest_start, 5.0);
+}
+
+TEST(Fft, ButterflyShape) {
+  const int log2n = 3;
+  const TaskGraph g = fft_dag(log2n);
+  EXPECT_EQ(g.size(), 8u * 4u);  // n * (log2n + 1)
+  g.validate();
+  EXPECT_EQ(g.roots().size(), 8u);
+  EXPECT_EQ(g.sinks().size(), 8u);
+  EXPECT_EQ(g.depth(), 4u);
+  // Each non-root has exactly two predecessors.
+  for (TaskId id = 8; id < g.size(); ++id) {
+    EXPECT_EQ(g.predecessors(id).size(), 2u);
+  }
+}
+
+TEST(MapReduce, BipartiteDependencies) {
+  const TaskGraph g = map_reduce_dag(5, 3);
+  EXPECT_EQ(g.size(), 8u);
+  g.validate();
+  EXPECT_EQ(g.roots().size(), 5u);
+  EXPECT_EQ(g.sinks().size(), 3u);
+  for (TaskId r = 5; r < 8; ++r) {
+    EXPECT_EQ(g.predecessors(r).size(), 5u);
+  }
+}
+
+TEST(Montage, CanonicalShape) {
+  const int images = 6;
+  const TaskGraph g = montage_dag(images);
+  g.validate();
+  // projects + diffs + concat + bgmodel + backgrounds + imgtbl + add +
+  // shrink + jpeg.
+  EXPECT_EQ(g.size(), static_cast<std::size_t>(
+                          images + (images - 1) + 1 + 1 + images + 1 + 3));
+  EXPECT_EQ(g.roots().size(), static_cast<std::size_t>(images));
+  EXPECT_EQ(g.sinks().size(), 1u);
+  // The wide mAdd sits on the critical path after everything.
+  TaskId add = kInvalidTask;
+  for (TaskId id = 0; id < g.size(); ++id) {
+    if (g.task(id).name == "add") add = id;
+  }
+  ASSERT_NE(add, kInvalidTask);
+  for (const TaskId root : g.roots()) {
+    EXPECT_TRUE(g.reaches(root, add));
+  }
+}
+
+TEST(Montage, ValidatesParameters) {
+  EXPECT_THROW((void)montage_dag(1), ContractViolation);
+  EXPECT_THROW((void)montage_dag(4, 0), ContractViolation);
+}
+
+TEST(Workloads, AllSchedulableByCatBatch) {
+  for (const TaskGraph& g :
+       {cholesky_dag(5), lu_dag(4), stencil_dag(6, 6), fft_dag(4),
+        map_reduce_dag(12, 4), montage_dag(8)}) {
+    CatBatchScheduler sched;
+    const SimResult r = simulate(g, sched, 8);
+    require_valid_schedule(g, r.schedule, 8);
+  }
+}
+
+TEST(Workloads, ParameterValidation) {
+  EXPECT_THROW((void)cholesky_dag(0), ContractViolation);
+  EXPECT_THROW((void)stencil_dag(0, 4), ContractViolation);
+  EXPECT_THROW((void)fft_dag(0), ContractViolation);
+  EXPECT_THROW((void)map_reduce_dag(0, 1), ContractViolation);
+  KernelCosts bad;
+  bad.jitter = 1.0;
+  EXPECT_THROW((void)cholesky_dag(2, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,120 @@
+// Lower-bound constructions end-to-end (Section 6): the online/offline gap
+// on Z^Alg_P(K) grows with P for every scheduler in the lineup, matching the
+// Theorem 3/4 shape, while CatBatch stays within its Theorem 1 guarantee.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/bounds.hpp"
+#include "core/lmatrix.hpp"
+#include "instances/adversary.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/relaxed_catbatch.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+
+namespace catbatch {
+namespace {
+
+constexpr Time kEps = 0x1.0p-8;
+
+double online_offline_gap(OnlineScheduler& sched, int P, int K) {
+  ZAdversarySource source(P, K, kEps);
+  const SimResult online = simulate(source, sched, P);
+  require_valid_schedule(source.realized_graph(), online.schedule, P);
+  const Schedule offline = z_offline_schedule(source);
+  require_valid_schedule(source.realized_graph(), offline, P);
+  return static_cast<double>(online.makespan) /
+         static_cast<double>(offline.makespan());
+}
+
+TEST(AdversaryIntegration, GapGrowsWithPForListScheduling) {
+  ListScheduler sched;
+  double prev = 0.0;
+  for (const int P : {2, 3, 4, 5}) {
+    const double gap = online_offline_gap(sched, P, 2);
+    EXPECT_GT(gap, prev * 0.95) << "P=" << P;  // essentially monotone
+    prev = gap;
+  }
+  EXPECT_GT(prev, 1.5);
+}
+
+TEST(AdversaryIntegration, GapGrowsWithPForCatBatch) {
+  // Even CatBatch cannot escape Θ(log n) here — but it must stay within
+  // its own guarantee against Lb of the realized instance.
+  for (const int P : {2, 3, 4, 5}) {
+    CatBatchScheduler sched;
+    ZAdversarySource source(P, 2, kEps);
+    const SimResult r = simulate(source, sched, P);
+    const TaskGraph& g = source.realized_graph();
+    const Time lb = makespan_lower_bound(g, P);
+    EXPECT_LE(static_cast<double>(r.makespan / lb),
+              theorem1_bound(g.size()) + 1e-9)
+        << "P=" << P;
+  }
+}
+
+TEST(AdversaryIntegration, EveryOnlineSchedulerPaysLemma10) {
+  const int P = 4, K = 2;
+  CatBatchScheduler cat;
+  RelaxedCatBatch relaxed;
+  ListScheduler fifo;
+  ListScheduler lpt(ListSchedulerOptions{ListPriority::LongestFirst, false});
+  OnlineScheduler* schedulers[] = {&cat, &relaxed, &fifo, &lpt};
+  for (OnlineScheduler* sched : schedulers) {
+    ZAdversarySource source(P, K, kEps);
+    const SimResult r = simulate(source, *sched, P);
+    EXPECT_GE(r.makespan, z_online_lower_bound(P, K) - 1e-6)
+        << sched->name();
+  }
+}
+
+TEST(AdversaryIntegration, GapTracksTheorem3Curve) {
+  // Theorem 3 machinery: gap > (P+1) / (4 + 8Pε) for K = 2; verify the
+  // measured gap clears that analytic floor.
+  ListScheduler sched;
+  for (const int P : {3, 4, 5, 6}) {
+    const double gap = online_offline_gap(sched, P, 2);
+    const double floor =
+        (P + 1.0) / (2.0 * (2.0 + 4.0 * P * static_cast<double>(kEps)));
+    EXPECT_GT(gap, floor * 0.9) << "P=" << P;
+  }
+}
+
+TEST(AdversaryIntegration, RealizedInstanceMatchesTaskCountFormula) {
+  for (const int P : {2, 4}) {
+    ZAdversarySource source(P, 3, kEps);
+    ListScheduler sched;
+    (void)simulate(source, sched, P);
+    EXPECT_EQ(static_cast<std::int64_t>(source.realized_graph().size()),
+              z_task_count(P, 3));
+  }
+}
+
+TEST(AdversaryIntegration, XAloneForcesSerializationOfAnyWorkConserving) {
+  // Lemma 8's phenomenon on a single X: makespan of list scheduling is
+  // near P*K^{P-1} while Lb is near K^{P-1}.
+  const int P = 5, K = 2;
+  const XInstance x = make_x_instance(P, K, kEps);
+  ListScheduler sched;
+  const SimResult r = simulate(x.graph, sched, P);
+  require_valid_schedule(x.graph, r.schedule, P);
+  EXPECT_GT(r.makespan, x_optimal_lower_bound(P, K) - 1e-9);
+}
+
+TEST(AdversaryIntegration, OfflineZMakespanBelowAnalyticBound) {
+  for (const int K : {2, 3}) {
+    const int P = 4;
+    ZAdversarySource source(P, K, kEps);
+    CatBatchScheduler sched;
+    (void)simulate(source, sched, P);
+    const Schedule offline = z_offline_schedule(source);
+    EXPECT_LT(offline.makespan(), z_offline_upper_bound(P, K, kEps));
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

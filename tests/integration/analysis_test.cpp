@@ -1,0 +1,83 @@
+#include "analysis/experiment.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "instances/examples.hpp"
+#include "sched/catbatch_scheduler.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(Metrics, EvaluateOnPaperExample) {
+  const TaskGraph g = make_paper_example();
+  CatBatchScheduler sched;
+  const RunMetrics m = evaluate(g, sched, 4);
+  EXPECT_EQ(m.scheduler, "catbatch(arrival)");
+  EXPECT_EQ(m.task_count, 11u);
+  EXPECT_NEAR(m.makespan, 15.2, 1e-9);
+  EXPECT_NEAR(m.lower_bound, 9.375, 1e-9);  // area bound: 37.5 / 4
+  EXPECT_NEAR(m.ratio, 15.2 / 9.375, 1e-6);
+  EXPECT_GT(m.utilization, 0.0);
+  EXPECT_LT(m.utilization, 1.0);
+  EXPECT_NEAR(m.theorem1_bound, std::log2(11.0) + 3.0, 1e-12);
+  EXPECT_NEAR(m.theorem2_bound, std::log2(6.0 / 0.6) + 6.0, 1e-9);
+}
+
+TEST(Metrics, StandardLineupContainsCoreAlgorithms) {
+  const auto lineup = standard_scheduler_lineup();
+  ASSERT_GE(lineup.size(), 5u);
+  EXPECT_EQ(lineup[0].label, "catbatch");
+  EXPECT_EQ(lineup[1].label, "relaxed-catbatch");
+  // Factories make fresh independent instances.
+  const auto a = lineup[0].make();
+  const auto b = lineup[0].make();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->name(), "catbatch(arrival)");
+}
+
+TEST(Experiment, SweepAggregatesRatios) {
+  const auto families = standard_families(40, 8);
+  ASSERT_GE(families.size(), 5u);
+  const auto lineup = standard_scheduler_lineup();
+  const auto aggregates = sweep_family(families[0], lineup, 8, 3, 1000);
+  ASSERT_EQ(aggregates.size(), lineup.size());
+  for (const RatioAggregate& agg : aggregates) {
+    EXPECT_EQ(agg.runs, 3u);
+    EXPECT_GE(agg.max_ratio, agg.mean_ratio - 1e-12);
+    EXPECT_GE(agg.mean_ratio, 1.0 - 1e-9);  // makespan >= Lb always
+  }
+  // CatBatch must respect its Theorem 1 margin in every family trial.
+  EXPECT_LE(aggregates[0].max_theorem1_margin, 1.0 + 1e-9);
+}
+
+TEST(Experiment, EveryStandardFamilyProducesRequestedSize) {
+  for (const InstanceFamily& family : standard_families(60, 8)) {
+    Rng rng(5);
+    const TaskGraph g = family.make(rng);
+    EXPECT_GE(g.size(), 20u) << family.label;
+    g.validate(8);
+  }
+}
+
+TEST(Report, HeaderAndMetricsTableRender) {
+  std::ostringstream os;
+  print_experiment_header(os, "E5", "Figure 6 trace");
+  EXPECT_NE(os.str().find("=== E5: Figure 6 trace ==="), std::string::npos);
+
+  const TaskGraph g = make_paper_example();
+  CatBatchScheduler sched;
+  const RunMetrics m = evaluate(g, sched, 4);
+  TextTable table = make_metrics_table();
+  add_metrics_row(table, m);
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("catbatch(arrival)"), std::string::npos);
+  EXPECT_NE(rendered.find("15.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace catbatch

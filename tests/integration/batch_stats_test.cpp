@@ -1,0 +1,93 @@
+#include "analysis/batch_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "instances/examples.hpp"
+#include "instances/random_dags.hpp"
+#include "sim/engine.hpp"
+#include "sim/svg.hpp"
+
+namespace catbatch {
+namespace {
+
+CatBatchDecomposition run_paper_example(CatBatchScheduler& sched) {
+  const TaskGraph g = make_paper_example();
+  (void)simulate(g, sched, 4);
+  return decompose_batches(g, sched.batch_history(), 4);
+}
+
+TEST(BatchStats, PaperExampleDecomposition) {
+  CatBatchScheduler sched;
+  const CatBatchDecomposition d = run_paper_example(sched);
+  ASSERT_EQ(d.batches.size(), 6u);
+  EXPECT_NEAR(d.makespan, 15.2, 1e-9);
+  EXPECT_DOUBLE_EQ(d.total_area, 37.5);
+  // Σ L_ζ over the 6 categories: 2 + 4 + 1 + 6.8 + 2 + 0.8 = 16.6.
+  EXPECT_NEAR(d.sum_category_lengths, 16.6, 1e-9);
+  EXPECT_NEAR(d.lemma7_bound, 2.0 * 37.5 / 4.0 + 16.6, 1e-9);
+  EXPECT_LE(d.makespan, d.lemma7_bound + 1e-9);
+}
+
+TEST(BatchStats, PerBatchInvariants) {
+  CatBatchScheduler sched;
+  const CatBatchDecomposition d = run_paper_example(sched);
+  Time area_sum = 0.0;
+  for (const BatchStats& b : d.batches) {
+    EXPECT_GE(b.task_count, 1u);
+    EXPECT_GE(b.duration(), 0.0);
+    EXPECT_LE(b.duration(), b.lemma6_bound + 1e-9);
+    EXPECT_GE(b.idle_area, -1e-9);
+    area_sum += b.area;
+  }
+  EXPECT_NEAR(area_sum, d.total_area, 1e-9);
+}
+
+TEST(BatchStats, RandomInstancesSatisfyLemma7) {
+  Rng rng(123);
+  for (int trial = 0; trial < 6; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 120, 10, RandomTaskParams{});
+    CatBatchScheduler sched;
+    (void)simulate(g, sched, 8);
+    const CatBatchDecomposition d =
+        decompose_batches(g, sched.batch_history(), 8);
+    EXPECT_LE(d.makespan, d.lemma7_bound + 1e-9);
+  }
+}
+
+TEST(BatchStats, EmptyHistory) {
+  const TaskGraph g;
+  const CatBatchDecomposition d = decompose_batches(g, {}, 4);
+  EXPECT_TRUE(d.batches.empty());
+  EXPECT_DOUBLE_EQ(d.makespan, 0.0);
+}
+
+TEST(BatchStats, ColorGroupsMapTasksToBatches) {
+  CatBatchScheduler sched;
+  const TaskGraph g = make_paper_example();
+  (void)simulate(g, sched, 4);
+  const auto groups = batch_color_groups(sched.batch_history(), g.size());
+  ASSERT_EQ(groups.size(), g.size());
+  EXPECT_EQ(groups[1], 0u);  // B in batch 0
+  EXPECT_EQ(groups[2], 1u);  // C in batch 1
+  EXPECT_EQ(groups[3], 1u);  // D in batch 1
+  EXPECT_EQ(groups[9], 5u);  // J in the last batch
+  // Composes with the SVG renderer.
+  SvgGanttOptions options;
+  options.color_groups = groups;
+  CatBatchScheduler rerun;
+  const SimResult r = simulate(g, rerun, 4);
+  const std::string svg = svg_gantt(g, r.schedule, 4, options);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(BatchStats, TableRenders) {
+  CatBatchScheduler sched;
+  const CatBatchDecomposition d = run_paper_example(sched);
+  const std::string rendered = decomposition_table(d).render();
+  EXPECT_NE(rendered.find("zeta"), std::string::npos);
+  EXPECT_NE(rendered.find("total"), std::string::npos);
+  EXPECT_NE(rendered.find("6.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,171 @@
+// Boundary conditions across modules that the per-module suites don't
+// reach: extreme scales, degenerate platforms, all-wide instances, and
+// cross-module corner interactions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/lmatrix.hpp"
+#include "instances/adversary.hpp"
+#include "instances/examples.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/divide_conquer.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/svg.hpp"
+#include "sim/validate.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(EdgeCases, AllFullWidthTasksSerialize) {
+  // Every task needs all P processors: any scheduler produces a chain.
+  TaskGraph g;
+  for (int k = 0; k < 6; ++k) g.add_task(1.0, 4);
+  for (OnlineScheduler* sched :
+       {static_cast<OnlineScheduler*>(new CatBatchScheduler()),
+        static_cast<OnlineScheduler*>(new ListScheduler())}) {
+    const SimResult r = simulate(g, *sched, 4);
+    require_valid_schedule(g, r.schedule, 4);
+    EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+    delete sched;
+  }
+}
+
+TEST(EdgeCases, IntroInstanceOnOneProcessorDegenerates) {
+  // P = 1: B tasks need 1 proc; everything serializes; ASAP == optimal.
+  const IntroInstance intro = make_intro_instance(1);
+  CatBatchScheduler cat;
+  ListScheduler fifo;
+  const Time t_cat = simulate(intro.graph, cat, 1).makespan;
+  const Time t_fifo = simulate(intro.graph, fifo, 1).makespan;
+  EXPECT_DOUBLE_EQ(t_cat, intro.graph.total_area());
+  EXPECT_DOUBLE_EQ(t_fifo, intro.graph.total_area());
+}
+
+TEST(EdgeCases, ExtremeTimeScalesStayExact) {
+  // Work values spanning ~2^50 in one instance: categories and schedules
+  // must still be exact.
+  TaskGraph g;
+  const TaskId tiny = g.add_task(0x1.0p-20, 1, "tiny");
+  const TaskId huge = g.add_task(0x1.0p30, 1, "huge");
+  g.add_edge(tiny, huge);
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, 2);
+  require_valid_schedule(g, r.schedule, 2);
+  EXPECT_DOUBLE_EQ(r.makespan, 0x1.0p-20 + 0x1.0p30);
+  EXPECT_EQ(sched.batch_history().size(), 2u);
+}
+
+TEST(EdgeCases, TheoremBoundsAtExtremeSpread) {
+  TaskGraph g;
+  g.add_task(0x1.0p-20, 1);
+  g.add_task(0x1.0p30, 1);
+  const InstanceBounds b = compute_bounds(g, 2);
+  EXPECT_NEAR(theorem2_bound(b.max_work, b.min_work), 50.0 + 6.0, 1e-9);
+}
+
+TEST(EdgeCases, LMatrixAtPowerOfTwoCriticalPath) {
+  // C exactly a power of two sits on the X-bracket boundary.
+  const LMatrix L(8.0);
+  EXPECT_EQ(L.X(), 2);  // 4 < 8 <= 8
+  EXPECT_DOUBLE_EQ(L.at(1, 1), 8.0);
+  EXPECT_DOUBLE_EQ(L.at(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(L.at(2, 2), 4.0);  // 2*4 <= 8: full length
+  EXPECT_DOUBLE_EQ(L.at(2, 3), 0.0);
+  EXPECT_DOUBLE_EQ(L.row_sum(2), 8.0);
+}
+
+TEST(EdgeCases, YInstanceAtMaximalType) {
+  // i = P-1: one blue/red pair per chain; optimal is one parallel round.
+  const YInstance y = make_y_instance(4, 3, 2, 0.0625);
+  EXPECT_EQ(y.graph.size(), 8u);
+  const Schedule opt = y_optimal_schedule(y);
+  require_valid_schedule(y.graph, opt, 4);
+  EXPECT_DOUBLE_EQ(opt.makespan(), 8.0 + 4 * 0.0625);
+}
+
+TEST(EdgeCases, DivideConquerOnSingleCategoryInstance) {
+  // All tasks share one criticality interval: the first midpoint splits
+  // none and the whole instance is one straddling batch.
+  TaskGraph g;
+  for (int k = 0; k < 10; ++k) g.add_task(1.0, 2);
+  const DivideConquerResult r = divide_conquer_schedule(g, 4);
+  require_valid_schedule(g, r.schedule, 4);
+  EXPECT_EQ(r.batch_count, 1u);
+  EXPECT_DOUBLE_EQ(r.schedule.makespan(), 5.0);
+}
+
+TEST(EdgeCases, SvgSingleProcessorRenders) {
+  TaskGraph g;
+  g.add_task(1.0, 1, "x");
+  ListScheduler sched;
+  const SimResult r = simulate(g, sched, 1);
+  const std::string svg = svg_gantt(g, r.schedule, 1);
+  EXPECT_NE(svg.find("P0"), std::string::npos);
+}
+
+TEST(EdgeCases, CatBatchManySingletonBatches) {
+  // A chain of distinct-length tasks: every task is its own batch, and
+  // batches chain with zero idle (Lemma 7 with A/P summing to the chain).
+  TaskGraph g;
+  TaskId prev = kInvalidTask;
+  Time total = 0.0;
+  for (int k = 1; k <= 20; ++k) {
+    const Time work = static_cast<Time>(k) * 0.25;
+    const TaskId id = g.add_task(work, 1);
+    if (prev != kInvalidTask) g.add_edge(prev, id);
+    prev = id;
+    total += work;
+  }
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, 8);
+  EXPECT_DOUBLE_EQ(r.makespan, total);
+  EXPECT_EQ(sched.batch_history().size(), 20u);
+}
+
+TEST(EdgeCases, ZAdversaryMinimalPlatform) {
+  // P = 1: X_1(K) is a single blue/red pair; Z has one layer.
+  ZAdversarySource source(1, 2, 0.125);
+  ListScheduler sched;
+  const SimResult r = simulate(source, sched, 1);
+  EXPECT_EQ(r.stats.task_count, 2u);
+  require_valid_schedule(source.realized_graph(), r.schedule, 1);
+  const Schedule offline = z_offline_schedule(source);
+  require_valid_schedule(source.realized_graph(), offline, 1);
+}
+
+TEST(EdgeCases, EqualFinishTimesCascadeCorrectly) {
+  // Four tasks finishing at the same instant release a joint successor.
+  TaskGraph g;
+  for (int k = 0; k < 4; ++k) g.add_task(1.0, 1);
+  const TaskId join = g.add_task(1.0, 4, "join");
+  for (TaskId id = 0; id < 4; ++id) g.add_edge(id, join);
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, 4);
+  require_valid_schedule(g, r.schedule, 4);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(join).start, 1.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 2.0);
+}
+
+TEST(EdgeCases, WidestFirstBatchOrderPacksWideTasksFirst) {
+  // Within one batch: widest-first starts the P-wide task before narrow
+  // ones, arrival order starts narrow ones first; both valid, different
+  // traces.
+  TaskGraph g;
+  g.add_task(1.0, 1, "narrow");
+  g.add_task(1.0, 4, "wide");
+  CatBatchOptions widest;
+  widest.batch_order = BatchOrder::WidestFirst;
+  CatBatchScheduler w(widest);
+  const SimResult rw = simulate(g, w, 4);
+  EXPECT_DOUBLE_EQ(rw.schedule.entry_for(1).start, 0.0);
+  CatBatchScheduler a;  // arrival order
+  const SimResult ra = simulate(g, a, 4);
+  EXPECT_DOUBLE_EQ(ra.schedule.entry_for(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(rw.makespan, ra.makespan);  // 2 either way
+}
+
+}  // namespace
+}  // namespace catbatch

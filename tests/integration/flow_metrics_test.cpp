@@ -1,0 +1,94 @@
+#include "analysis/flow_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "instances/examples.hpp"
+#include "instances/random_dags.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(FlowMetrics, ImmediateStartsHaveZeroWaitUnitStretch) {
+  TaskGraph g;
+  g.add_task(2.0, 1, "a");
+  g.add_task(3.0, 1, "b");
+  ListScheduler sched;
+  const SimResult r = simulate(g, sched, 2);
+  const FlowMetrics m = compute_flow_metrics(g, r);
+  EXPECT_DOUBLE_EQ(m.mean_wait, 0.0);
+  EXPECT_DOUBLE_EQ(m.max_wait, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(m.max_stretch, 1.0);
+}
+
+TEST(FlowMetrics, QueueingShowsUpAsWait) {
+  // Two unit tasks, one processor: the second waits exactly 1.
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  g.add_task(1.0, 1);
+  ListScheduler sched;
+  const SimResult r = simulate(g, sched, 1);
+  const FlowMetrics m = compute_flow_metrics(g, r);
+  EXPECT_DOUBLE_EQ(m.max_wait, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_wait, 0.5);
+  EXPECT_DOUBLE_EQ(m.max_stretch, 2.0);
+}
+
+TEST(FlowMetrics, ReadyTimesFollowPrecedence) {
+  const TaskGraph g = make_paper_example();
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, 4);
+  ASSERT_EQ(r.ready_times.size(), g.size());
+  // Roots ready at 0.
+  for (const TaskId root : g.roots()) {
+    EXPECT_DOUBLE_EQ(r.ready_times[root], 0.0);
+  }
+  // Non-roots become ready exactly when their last predecessor finishes.
+  for (TaskId id = 0; id < g.size(); ++id) {
+    if (g.predecessors(id).empty()) continue;
+    Time latest = 0.0;
+    for (const TaskId pred : g.predecessors(id)) {
+      latest = std::max(latest, r.schedule.entry_for(pred).finish);
+    }
+    EXPECT_DOUBLE_EQ(r.ready_times[id], latest) << "task " << id;
+  }
+}
+
+TEST(FlowMetrics, BarrierInflatesCatBatchWaits) {
+  // The paper's practicality conjecture in flow terms: on a benign DAG the
+  // strict batch barrier produces strictly more waiting than greedy.
+  Rng rng(11);
+  const TaskGraph g = random_fork_join(rng, 4, 10, RandomTaskParams{});
+  CatBatchScheduler cat;
+  ListScheduler fifo;
+  const FlowMetrics cat_flow =
+      compute_flow_metrics(g, simulate(g, cat, 8));
+  const FlowMetrics fifo_flow =
+      compute_flow_metrics(g, simulate(g, fifo, 8));
+  EXPECT_GE(cat_flow.mean_wait, fifo_flow.mean_wait - 1e-9);
+}
+
+TEST(FlowMetrics, RejectsForeignResult) {
+  TaskGraph g1, g2;
+  g1.add_task(1.0, 1);
+  g2.add_task(1.0, 1);
+  g2.add_task(1.0, 1);
+  ListScheduler sched;
+  const SimResult r = simulate(g1, sched, 1);
+  EXPECT_THROW((void)compute_flow_metrics(g2, r), ContractViolation);
+}
+
+TEST(FlowMetrics, EmptyInstance) {
+  const TaskGraph g;
+  ListScheduler sched;
+  const SimResult r = simulate(g, sched, 1);
+  const FlowMetrics m = compute_flow_metrics(g, r);
+  EXPECT_EQ(m.task_count, 0u);
+}
+
+}  // namespace
+}  // namespace catbatch

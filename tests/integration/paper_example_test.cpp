@@ -1,0 +1,92 @@
+// End-to-end walk of the paper's running example (Figures 3-6): attributes,
+// category lengths, L-matrix, CatBatch execution trace, and the competitive
+// guarantee — all from one pipeline.
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/lmatrix.hpp"
+#include "instances/examples.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "sim/validate.hpp"
+
+namespace catbatch {
+namespace {
+
+class PaperExamplePipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = make_paper_example();
+    result_ = simulate(graph_, scheduler_, 4);
+  }
+
+  TaskGraph graph_;
+  CatBatchScheduler scheduler_;
+  SimResult result_;
+};
+
+TEST_F(PaperExamplePipeline, ScheduleIsValid) {
+  require_valid_schedule(graph_, result_.schedule, 4);
+}
+
+TEST_F(PaperExamplePipeline, MakespanMatchesFigure6) {
+  EXPECT_NEAR(result_.makespan, 15.2, 1e-9);
+}
+
+TEST_F(PaperExamplePipeline, RatioWithinTheorem1) {
+  const Time lb = makespan_lower_bound(graph_, 4);
+  // Lb = max(A/P, C) = max(37.5/4, 6.8) = 9.375 (the area bound binds).
+  EXPECT_NEAR(lb, 9.375, 1e-9);
+  const double ratio =
+      static_cast<double>(result_.makespan) / static_cast<double>(lb);
+  EXPECT_LE(ratio, theorem1_bound(11) + 1e-9);  // log2(11)+3 ≈ 6.46
+  EXPECT_NEAR(ratio, 15.2 / 9.375, 1e-6);
+}
+
+TEST_F(PaperExamplePipeline, TasksReadyBeforeTheirBatchStarts) {
+  // Corollary 2, end to end: every task's predecessors complete no later
+  // than its batch's start time.
+  for (const BatchRecord& batch : scheduler_.batch_history()) {
+    for (const TaskId id : batch.tasks) {
+      for (const TaskId pred : graph_.predecessors(id)) {
+        EXPECT_LE(result_.schedule.entry_for(pred).finish,
+                  batch.started + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_F(PaperExamplePipeline, BatchLengthsWithinCategoryLengths) {
+  // No task exceeds the L_ζ of its category (Lemma 3), checked on the real
+  // schedule.
+  const Time critical = critical_path_length(graph_);
+  for (const BatchRecord& batch : scheduler_.batch_history()) {
+    const Time len = category_length(batch.category, critical);
+    for (const TaskId id : batch.tasks) {
+      EXPECT_LE(graph_.task(id).work, len + 1e-12);
+    }
+  }
+}
+
+TEST_F(PaperExamplePipeline, GanttAndCsvRender) {
+  const std::string gantt = ascii_gantt(graph_, result_.schedule, 4);
+  EXPECT_NE(gantt.find('A'), std::string::npos);
+  EXPECT_NE(gantt.find('K'), std::string::npos);
+  const std::string csv = schedule_to_csv(graph_, result_.schedule);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 12);  // header + 11
+}
+
+TEST_F(PaperExamplePipeline, UtilizationProfileIsConsistent) {
+  const auto profile = utilization_profile(graph_, result_.schedule);
+  Time weighted = 0.0;
+  for (const UtilizationStep& step : profile) {
+    EXPECT_GE(step.procs_in_use, 0);
+    EXPECT_LE(step.procs_in_use, 4);
+    weighted += (step.to - step.from) * step.procs_in_use;
+  }
+  EXPECT_NEAR(weighted, graph_.total_area(), 1e-9);
+}
+
+}  // namespace
+}  // namespace catbatch

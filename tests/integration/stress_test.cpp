@@ -1,0 +1,169 @@
+// Stress and fuzz coverage: a randomized (but protocol-abiding) scheduler
+// drives the engine through unusual decision sequences, large instances
+// exercise scaling paths, and determinism is checked end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "instances/adversary.hpp"
+#include "instances/random_dags.hpp"
+#include "instances/workloads.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Starts a random feasible subset of the ready tasks at each decision
+/// point (possibly none while something runs). Not work-conserving and not
+/// clever — exactly what a fuzzer wants.
+class ChaoticScheduler final : public OnlineScheduler {
+ public:
+  explicit ChaoticScheduler(std::uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "chaotic"; }
+  void reset() override {
+    rng_.reseed(seed_);
+    ready_.clear();
+  }
+  void task_ready(const ReadyTask& task, Time) override {
+    ready_.push_back({task.id, task.procs});
+  }
+  std::vector<TaskId> select(Time, int available) override {
+    std::vector<TaskId> picks;
+    std::size_t keep = 0;
+    for (std::size_t k = 0; k < ready_.size(); ++k) {
+      Entry& e = ready_[k];
+      const bool fits = e.procs <= available;
+      if (fits && rng_.bernoulli(0.5)) {
+        available -= e.procs;
+        picks.push_back(e.id);
+      } else {
+        ready_[keep++] = e;
+      }
+    }
+    ready_.resize(keep);
+    // Deadlock safety: if nothing was picked, force-start the first
+    // fitting task (a no-op when nothing fits, in which case something is
+    // necessarily still running).
+    if (picks.empty()) {
+      for (std::size_t k = 0; k < ready_.size(); ++k) {
+        if (ready_[k].procs <= available) {
+          picks.push_back(ready_[k].id);
+          ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(k));
+          break;
+        }
+      }
+    }
+    return picks;
+  }
+
+ private:
+  struct Entry {
+    TaskId id;
+    int procs;
+  };
+  std::uint64_t seed_;
+  Rng rng_{0};
+  std::vector<Entry> ready_;
+};
+
+TEST(Stress, ChaoticSchedulerAlwaysProducesValidSchedules) {
+  Rng rng(1);
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const TaskGraph g = random_layered_dag(rng, 150, 12, RandomTaskParams{});
+    ChaoticScheduler sched(seed);
+    const SimResult r = simulate(g, sched, 8);
+    require_valid_schedule(g, r.schedule, 8);
+    EXPECT_GE(r.makespan, makespan_lower_bound(g, 8) - 1e-9);
+  }
+}
+
+TEST(Stress, ChaoticSchedulerOnAdversary) {
+  ChaoticScheduler sched(99);
+  ZAdversarySource source(3, 2, 0x1.0p-8);
+  const SimResult r = simulate(source, sched, 3);
+  require_valid_schedule(source.realized_graph(), r.schedule, 3);
+  EXPECT_GE(r.makespan, z_online_lower_bound(3, 2) - 1e-9);
+}
+
+TEST(Stress, LargeInstanceScaling) {
+  Rng rng(2);
+  RandomTaskParams params;
+  params.procs.max_procs = 32;
+  const TaskGraph g = random_layered_dag(rng, 20000, 100, params);
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, 32);
+  require_valid_schedule(g, r.schedule, 32);
+  EXPECT_EQ(r.stats.task_count, 20000u);
+}
+
+TEST(Stress, DeepChainScaling) {
+  TaskGraph g;
+  TaskId prev = g.add_task(1.0, 1);
+  for (int k = 1; k < 5000; ++k) {
+    const TaskId id = g.add_task(1.0, 1);
+    g.add_edge(prev, id);
+    prev = id;
+  }
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, 4);
+  EXPECT_DOUBLE_EQ(r.makespan, 5000.0);  // no idle between singleton batches
+}
+
+TEST(Stress, SingleProcessorPlatform) {
+  Rng rng(3);
+  RandomTaskParams params;
+  params.procs.max_procs = 1;
+  const TaskGraph g = random_layered_dag(rng, 200, 10, params);
+  for (const bool use_catbatch : {true, false}) {
+    CatBatchScheduler cat;
+    ListScheduler list;
+    OnlineScheduler& sched = use_catbatch
+                                 ? static_cast<OnlineScheduler&>(cat)
+                                 : static_cast<OnlineScheduler&>(list);
+    const SimResult r = simulate(g, sched, 1);
+    require_valid_schedule(g, r.schedule, 1);
+    // P=1 is fully serialized: makespan equals the total work exactly.
+    EXPECT_DOUBLE_EQ(r.makespan, g.total_area());
+  }
+}
+
+TEST(Stress, SimulationIsDeterministic) {
+  Rng rng(4);
+  const TaskGraph g = random_order_dag(rng, 200, 0.03, RandomTaskParams{});
+  CatBatchScheduler a, b;
+  const SimResult ra = simulate(g, a, 8);
+  const SimResult rb = simulate(g, b, 8);
+  ASSERT_EQ(ra.schedule.size(), rb.schedule.size());
+  for (TaskId id = 0; id < g.size(); ++id) {
+    EXPECT_DOUBLE_EQ(ra.schedule.entry_for(id).start,
+                     rb.schedule.entry_for(id).start);
+    EXPECT_EQ(ra.schedule.entry_for(id).processors,
+              rb.schedule.entry_for(id).processors);
+  }
+}
+
+TEST(Stress, WideWorkloadSweepStaysWithinTheorem1) {
+  // A final broad net over every workload generator and several platform
+  // sizes.
+  for (const int P : {4, 8, 16, 32}) {
+    for (const TaskGraph& g :
+         {cholesky_dag(8), lu_dag(6), stencil_dag(12, 12), fft_dag(5),
+          map_reduce_dag(32, 8, 1.0, 2.0, 1, 2)}) {
+      if (g.max_procs_required() > P) continue;
+      CatBatchScheduler sched;
+      const SimResult r = simulate(g, sched, P);
+      const Time lb = makespan_lower_bound(g, P);
+      EXPECT_LE(r.makespan / lb,
+                std::log2(static_cast<double>(g.size())) + 3.0 + 1e-9)
+          << "P=" << P;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

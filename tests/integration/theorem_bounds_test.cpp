@@ -1,0 +1,130 @@
+// Empirical validation of the paper's main theorems over randomized
+// instance families: CatBatch's measured ratio T/Lb never exceeds
+// log2(n) + 3 (Theorem 1) nor log2(M/m) + 6 (Theorem 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/lmatrix.hpp"
+#include "instances/random_dags.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+
+namespace catbatch {
+namespace {
+
+struct FamilyCase {
+  const char* name;
+  TaskGraph (*make)(Rng&, std::size_t, const RandomTaskParams&);
+};
+
+TaskGraph make_layered(Rng& rng, std::size_t n, const RandomTaskParams& p) {
+  return random_layered_dag(rng, n, std::max<std::size_t>(2, n / 10), p);
+}
+TaskGraph make_order(Rng& rng, std::size_t n, const RandomTaskParams& p) {
+  return random_order_dag(rng, n, 3.0 / static_cast<double>(n), p);
+}
+TaskGraph make_sp(Rng& rng, std::size_t n, const RandomTaskParams& p) {
+  return random_series_parallel(rng, n, 0.6, p);
+}
+TaskGraph make_tree(Rng& rng, std::size_t n, const RandomTaskParams& p) {
+  return random_out_tree(rng, n, 4, p);
+}
+TaskGraph make_indep(Rng& rng, std::size_t n, const RandomTaskParams& p) {
+  return random_independent(rng, n, p);
+}
+TaskGraph make_chains(Rng& rng, std::size_t n, const RandomTaskParams& p) {
+  return random_chains(rng, std::max<std::size_t>(2, n / 12), 12, p);
+}
+
+class TheoremBoundsByFamily : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(TheoremBoundsByFamily, Theorem1And2HoldAcrossSeeds) {
+  const FamilyCase& family = GetParam();
+  const int P = 16;
+  RandomTaskParams params;
+  params.procs.max_procs = P;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 7919);
+    const TaskGraph g = family.make(rng, 150, params);
+    const InstanceBounds bounds = compute_bounds(g, P);
+    CatBatchScheduler sched;
+    const SimResult r = simulate(g, sched, P);
+    require_valid_schedule(g, r.schedule, P);
+    const double ratio = static_cast<double>(r.makespan) /
+                         static_cast<double>(bounds.lower_bound());
+    EXPECT_LE(ratio, theorem1_bound(g.size()) + 1e-9)
+        << family.name << " seed " << seed;
+    EXPECT_LE(ratio, theorem2_bound(bounds.max_work, bounds.min_work) + 1e-9)
+        << family.name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TheoremBoundsByFamily,
+    ::testing::Values(FamilyCase{"layered", make_layered},
+                      FamilyCase{"order", make_order},
+                      FamilyCase{"series_parallel", make_sp},
+                      FamilyCase{"tree", make_tree},
+                      FamilyCase{"independent", make_indep},
+                      FamilyCase{"chains", make_chains}),
+    [](const ::testing::TestParamInfo<FamilyCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(TheoremBounds, Theorem2TightensWhenLengthsAreUniform) {
+  // Equal-length tasks: M/m = 1 -> ratio <= 6 regardless of n.
+  Rng rng(5);
+  const int P = 8;
+  RandomTaskParams params;
+  params.work.min_work = 1.0;
+  params.work.max_work = 1.0;
+  params.procs.max_procs = P;
+  for (int trial = 0; trial < 6; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 300, 20, params);
+    CatBatchScheduler sched;
+    const SimResult r = simulate(g, sched, P);
+    const Time lb = makespan_lower_bound(g, P);
+    EXPECT_LE(static_cast<double>(r.makespan / lb), 6.0 + 1e-9);
+  }
+}
+
+TEST(TheoremBounds, RatioScalesGracefullyWithN) {
+  // Sanity on growth: the measured worst ratio over a size sweep must stay
+  // under the Theorem 1 curve at every size.
+  const int P = 16;
+  RandomTaskParams params;
+  params.procs.max_procs = P;
+  for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
+    Rng rng(n);
+    const TaskGraph g = make_layered(rng, n, params);
+    CatBatchScheduler sched;
+    const SimResult r = simulate(g, sched, P);
+    const Time lb = makespan_lower_bound(g, P);
+    EXPECT_LE(static_cast<double>(r.makespan / lb),
+              theorem1_bound(n) + 1e-9);
+  }
+}
+
+TEST(TheoremBounds, WideTaskHeavyInstancesStillBounded) {
+  // Stress the P/2-threshold argument of Lemma 6 with many wide tasks.
+  Rng rng(17);
+  const int P = 8;
+  RandomTaskParams params;
+  params.procs.law = ProcDistribution::Law::Uniform;
+  params.procs.max_procs = P;  // half the draws are wider than P/2
+  for (int trial = 0; trial < 6; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 120, 10, params);
+    CatBatchScheduler sched;
+    const SimResult r = simulate(g, sched, P);
+    require_valid_schedule(g, r.schedule, P);
+    const Time lb = makespan_lower_bound(g, P);
+    EXPECT_LE(static_cast<double>(r.makespan / lb),
+              theorem1_bound(g.size()) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,116 @@
+#include "moldable/speedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(Speedup, LinearIsPerfect) {
+  const SpeedupModel m{SpeedupLaw::Linear, 0.0};
+  EXPECT_DOUBLE_EQ(m.execution_time(8.0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(m.execution_time(8.0, 4), 2.0);
+  EXPECT_DOUBLE_EQ(m.area(8.0, 4), 8.0);  // area invariant
+}
+
+TEST(Speedup, RooflineSaturates) {
+  const SpeedupModel m{SpeedupLaw::Roofline, 4.0};
+  EXPECT_DOUBLE_EQ(m.execution_time(8.0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.execution_time(8.0, 4), 2.0);
+  EXPECT_DOUBLE_EQ(m.execution_time(8.0, 8), 2.0);  // flat beyond p̄
+}
+
+TEST(Speedup, AmdahlHasSerialFloor) {
+  const SpeedupModel m{SpeedupLaw::Amdahl, 0.25};
+  EXPECT_DOUBLE_EQ(m.execution_time(8.0, 1), 8.0);
+  // t(p) -> s*w as p -> inf.
+  EXPECT_GT(m.execution_time(8.0, 1000), 2.0);
+  EXPECT_LT(m.execution_time(8.0, 1000), 2.1);
+}
+
+TEST(Speedup, CommOverheadHasSweetSpot) {
+  const SpeedupModel m{SpeedupLaw::CommOverhead, 0.5};
+  // t(p) = 8/p + 0.5(p-1): p=4 -> 3.5; p=8 -> 4.5 (past the sweet spot).
+  EXPECT_DOUBLE_EQ(m.execution_time(8.0, 4), 3.5);
+  EXPECT_DOUBLE_EQ(m.execution_time(8.0, 8), 4.5);
+}
+
+TEST(Speedup, PowerLawInterpolates) {
+  const SpeedupModel m{SpeedupLaw::PowerLaw, 0.5};
+  EXPECT_DOUBLE_EQ(m.execution_time(8.0, 4), 4.0);  // 8 / sqrt(4)
+}
+
+TEST(Speedup, ParameterValidation) {
+  const auto time_of = [](SpeedupLaw law, double parameter, Time work,
+                          int procs) {
+    return SpeedupModel{law, parameter}.execution_time(work, procs);
+  };
+  EXPECT_THROW((void)time_of(SpeedupLaw::Roofline, 0.5, 1.0, 1),
+               ContractViolation);
+  EXPECT_THROW((void)time_of(SpeedupLaw::Amdahl, 1.5, 1.0, 1),
+               ContractViolation);
+  EXPECT_THROW((void)time_of(SpeedupLaw::CommOverhead, -1.0, 1.0, 1),
+               ContractViolation);
+  EXPECT_THROW((void)time_of(SpeedupLaw::PowerLaw, 0.0, 1.0, 1),
+               ContractViolation);
+  EXPECT_THROW((void)time_of(SpeedupLaw::Linear, 0.0, 0.0, 1),
+               ContractViolation);
+  EXPECT_THROW((void)time_of(SpeedupLaw::Linear, 0.0, 1.0, 0),
+               ContractViolation);
+}
+
+// Monotonicity (Belkhale et al. [4]): time non-increasing and area
+// non-decreasing in p — for CommOverhead only up to its sweet spot
+// sqrt(w/c), which is where any sensible allocator stops.
+class SpeedupMonotonicity : public ::testing::TestWithParam<SpeedupLaw> {};
+
+TEST_P(SpeedupMonotonicity, TimeNonIncreasingAreaNonDecreasing) {
+  SpeedupModel m;
+  m.law = GetParam();
+  switch (m.law) {
+    case SpeedupLaw::Linear:
+      m.parameter = 0.0;
+      break;
+    case SpeedupLaw::Roofline:
+      m.parameter = 6.0;
+      break;
+    case SpeedupLaw::Amdahl:
+      m.parameter = 0.15;
+      break;
+    case SpeedupLaw::CommOverhead:
+      m.parameter = 0.01;
+      break;
+    case SpeedupLaw::PowerLaw:
+      m.parameter = 0.7;
+      break;
+  }
+  const double w = 16.0;
+  const int limit =
+      m.law == SpeedupLaw::CommOverhead
+          ? static_cast<int>(std::sqrt(w / m.parameter))
+          : 64;
+  for (int p = 1; p < limit; ++p) {
+    EXPECT_LE(m.execution_time(w, p + 1), m.execution_time(w, p) + 1e-12)
+        << "p=" << p;
+    EXPECT_GE(m.area(w, p + 1), m.area(w, p) - 1e-12) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLaws, SpeedupMonotonicity,
+    ::testing::Values(SpeedupLaw::Linear, SpeedupLaw::Roofline,
+                      SpeedupLaw::Amdahl, SpeedupLaw::CommOverhead,
+                      SpeedupLaw::PowerLaw),
+    [](const ::testing::TestParamInfo<SpeedupLaw>& param_info) {
+      std::string name = to_string(param_info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace catbatch

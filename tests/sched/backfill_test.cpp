@@ -1,0 +1,99 @@
+#include "sched/backfill.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "instances/random_dags.hpp"
+#include "instances/workloads.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(EasyBackfill, Name) { EXPECT_EQ(EasyBackfill().name(), "easy-backfill"); }
+
+TEST(EasyBackfill, StartsHeadWhenItFits) {
+  TaskGraph g;
+  g.add_task(1.0, 2, "head");
+  g.add_task(1.0, 2, "next");
+  EasyBackfill sched;
+  const SimResult r = simulate(g, sched, 4);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 0.0);
+}
+
+TEST(EasyBackfill, ShortJobBackfillsBeforeBlockedHead) {
+  // hold(2.0, p=1) runs; head wide(p=4) blocked until t=2; short(1.0, p=1)
+  // finishes before the reservation -> backfills at t=0.
+  TaskGraph g;
+  g.add_task(2.0, 1, "hold");
+  g.add_task(1.0, 4, "wide");
+  g.add_task(1.0, 1, "short");
+  EasyBackfill sched;
+  const SimResult r = simulate(g, sched, 4);
+  require_valid_schedule(g, r.schedule, 4);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(2).start, 0.0);  // backfilled
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 2.0);  // reservation held
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+}
+
+TEST(EasyBackfill, LongJobMustNotDelayReservation) {
+  // long(3.0, p=1) would finish after the t=2 reservation AND the head
+  // needs all processors at the reservation -> no spare -> must NOT
+  // backfill ahead of the reserved head.
+  TaskGraph g;
+  g.add_task(2.0, 1, "hold");
+  g.add_task(1.0, 4, "wide");
+  g.add_task(3.0, 1, "long");
+  EasyBackfill sched;
+  const SimResult r = simulate(g, sched, 4);
+  require_valid_schedule(g, r.schedule, 4);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 2.0);
+  EXPECT_GE(r.schedule.entry_for(2).start, 3.0);  // after wide
+}
+
+TEST(EasyBackfill, LongJobMayUseSpareProcessorsAtReservation) {
+  // Head needs only 2 of 4 at its reservation; a long narrow job can run
+  // on the spare processors without delaying it.
+  TaskGraph g;
+  g.add_task(2.0, 3, "hold");
+  g.add_task(1.0, 2, "head2");  // blocked (only 1 free), reserved at t=2
+  g.add_task(5.0, 1, "longnarrow");
+  EasyBackfill sched;
+  const SimResult r = simulate(g, sched, 4);
+  require_valid_schedule(g, r.schedule, 4);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(2).start, 0.0);  // spare backfill
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 2.0);  // on time
+}
+
+TEST(EasyBackfill, ValidOnRandomDags) {
+  Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 120, 10, RandomTaskParams{});
+    EasyBackfill sched;
+    const SimResult r = simulate(g, sched, 8);
+    require_valid_schedule(g, r.schedule, 8);
+  }
+}
+
+TEST(EasyBackfill, WorkConservingBound) {
+  // Never idles the whole platform with a fitting job -> T <= C + A.
+  Rng rng(9);
+  const TaskGraph g = random_order_dag(rng, 100, 0.04, RandomTaskParams{});
+  EasyBackfill sched;
+  const SimResult r = simulate(g, sched, 8);
+  const InstanceBounds b = compute_bounds(g, 8);
+  EXPECT_LE(r.makespan, b.critical_path + b.area + 1e-9);
+}
+
+TEST(EasyBackfill, HandlesWorkloadDags) {
+  for (const TaskGraph& g : {cholesky_dag(6), stencil_dag(8, 8)}) {
+    EasyBackfill sched;
+    const SimResult r = simulate(g, sched, 8);
+    require_valid_schedule(g, r.schedule, 8);
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

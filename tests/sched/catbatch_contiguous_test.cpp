@@ -1,0 +1,129 @@
+#include "sched/catbatch_contiguous.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/bounds.hpp"
+#include "core/lmatrix.hpp"
+#include "instances/examples.hpp"
+#include "instances/random_dags.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+void expect_contiguous(const Schedule& schedule) {
+  for (const ScheduledTask& e : schedule.entries()) {
+    for (std::size_t k = 1; k < e.processors.size(); ++k) {
+      EXPECT_EQ(e.processors[k], e.processors[k - 1] + 1)
+          << "task " << e.id << " holds a non-contiguous range";
+    }
+  }
+}
+
+TEST(ContiguousCatBatch, PaperExampleFeasibleAndContiguous) {
+  const TaskGraph g = make_paper_example();
+  const ContiguousCatBatchResult r = catbatch_contiguous_schedule(g, 4);
+  require_valid_schedule(g, r.schedule, 4);
+  expect_contiguous(r.schedule);
+  EXPECT_EQ(r.batch_count, 6u);  // same six categories as Figure 6
+}
+
+TEST(ContiguousCatBatch, RandomInstances) {
+  Rng rng(64);
+  for (int trial = 0; trial < 8; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 120, 10, RandomTaskParams{});
+    const ContiguousCatBatchResult r = catbatch_contiguous_schedule(g, 8);
+    require_valid_schedule(g, r.schedule, 8);
+    expect_contiguous(r.schedule);
+    EXPECT_GE(r.makespan, makespan_lower_bound(g, 8) - 1e-9);
+  }
+}
+
+TEST(ContiguousCatBatch, ShelfBoundPerBatchStructure) {
+  // Contiguity costs at most the NFDH constant: total <= 2A/P + 2·ΣL_ζ.
+  Rng rng(66);
+  const int P = 8;
+  const TaskGraph g = random_layered_dag(rng, 150, 12, RandomTaskParams{});
+  const Time critical = critical_path_length(g);
+  const auto cats = compute_categories(g);
+  std::map<Time, Time> lengths;
+  for (TaskId id = 0; id < g.size(); ++id) {
+    lengths[cats[id].value()] = category_length(cats[id], critical);
+  }
+  Time sum_lengths = 0.0;
+  for (const auto& entry : lengths) sum_lengths += entry.second;
+  const ContiguousCatBatchResult r = catbatch_contiguous_schedule(g, P);
+  EXPECT_LE(r.makespan,
+            2.0 * g.total_area() / P + 2.0 * sum_lengths + 1e-9);
+}
+
+TEST(ContiguousCatBatch, NoWorseThanTwiceFreeAllocation) {
+  // Empirical sanity: contiguity should cost a modest constant, never
+  // blow up relative to the free-allocation CatBatch.
+  Rng rng(68);
+  for (int trial = 0; trial < 5; ++trial) {
+    const TaskGraph g = random_order_dag(rng, 100, 0.04, RandomTaskParams{});
+    const ContiguousCatBatchResult contiguous =
+        catbatch_contiguous_schedule(g, 8);
+    CatBatchScheduler free_alloc;
+    const Time free_makespan = simulate(g, free_alloc, 8).makespan;
+    EXPECT_LE(contiguous.makespan, 2.0 * free_makespan + 1e-9);
+  }
+}
+
+TEST(ContiguousCatBatch, EmptyAndSingle) {
+  const TaskGraph empty;
+  EXPECT_DOUBLE_EQ(catbatch_contiguous_schedule(empty, 4).makespan, 0.0);
+  TaskGraph single;
+  single.add_task(2.0, 3, "solo");
+  const ContiguousCatBatchResult r = catbatch_contiguous_schedule(single, 4);
+  EXPECT_DOUBLE_EQ(r.makespan, 2.0);
+  expect_contiguous(r.schedule);
+}
+
+TEST(TransitiveReduction, RemovesImpliedEdges) {
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  g.add_task(1.0, 1);
+  g.add_task(1.0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);  // implied by 0 -> 1 -> 2
+  EXPECT_EQ(g.transitive_reduction(), 1u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.reaches(0, 2));
+}
+
+TEST(TransitiveReduction, PreservesSchedulingSemantics) {
+  Rng rng(70);
+  TaskGraph g = random_order_dag(rng, 60, 0.15, RandomTaskParams{});
+  const auto crit_before = compute_criticalities(g);
+  CatBatchScheduler before;
+  const Time makespan_before = simulate(g, before, 8).makespan;
+
+  const std::size_t removed = g.transitive_reduction();
+  EXPECT_GT(removed, 0u);  // dense order-DAGs carry many implied edges
+  const auto crit_after = compute_criticalities(g);
+  for (TaskId id = 0; id < g.size(); ++id) {
+    EXPECT_EQ(crit_before[id], crit_after[id]) << "task " << id;
+  }
+  CatBatchScheduler after;
+  EXPECT_DOUBLE_EQ(simulate(g, after, 8).makespan, makespan_before);
+}
+
+TEST(TransitiveReduction, IdempotentAndNoOpOnTrees) {
+  Rng rng(72);
+  TaskGraph tree = random_out_tree(rng, 50, 3, RandomTaskParams{});
+  EXPECT_EQ(tree.transitive_reduction(), 0u);
+  TaskGraph g = random_order_dag(rng, 40, 0.2, RandomTaskParams{});
+  (void)g.transitive_reduction();
+  EXPECT_EQ(g.transitive_reduction(), 0u);  // second pass removes nothing
+}
+
+}  // namespace
+}  // namespace catbatch

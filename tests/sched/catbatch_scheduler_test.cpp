@@ -1,0 +1,258 @@
+#include "sched/catbatch_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/lmatrix.hpp"
+#include "instances/examples.hpp"
+#include "instances/random_dags.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(CatBatch, NameReflectsOrder) {
+  EXPECT_EQ(CatBatchScheduler().name(), "catbatch(arrival)");
+  CatBatchOptions options;
+  options.batch_order = BatchOrder::WidestFirst;
+  EXPECT_EQ(CatBatchScheduler(options).name(), "catbatch(widest-first)");
+}
+
+TEST(CatBatch, PaperExampleScheduleMatchesFigure6) {
+  const TaskGraph g = make_paper_example();
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, 4);
+  require_valid_schedule(g, r.schedule, 4);
+  EXPECT_NEAR(r.makespan, 15.2, 1e-9);
+
+  // Batch sequence: ζ = 1, 2, 3.5, 4, 5, 6.5 (Figure 6).
+  const auto& history = sched.batch_history();
+  ASSERT_EQ(history.size(), 6u);
+  const double expected_zeta[] = {1.0, 2.0, 3.5, 4.0, 5.0, 6.5};
+  const double expected_end[] = {2.0, 5.0, 5.8, 11.8, 14.4, 15.2};
+  for (std::size_t k = 0; k < history.size(); ++k) {
+    EXPECT_DOUBLE_EQ(history[k].category.value(), expected_zeta[k]);
+    EXPECT_NEAR(history[k].finished, expected_end[k], 1e-9) << "batch " << k;
+  }
+
+  // Batch membership (names A..K at ids 0..10).
+  EXPECT_EQ(history[0].tasks, (std::vector<TaskId>{1}));        // B
+  EXPECT_EQ(history[1].tasks, (std::vector<TaskId>{2, 3}));     // C, D
+  EXPECT_EQ(history[2].tasks, (std::vector<TaskId>{5, 6}));     // F, G
+  EXPECT_EQ(history[3].tasks, (std::vector<TaskId>{0, 4, 8}));  // A, E, I
+  EXPECT_EQ(history[5].tasks, (std::vector<TaskId>{9}));        // J
+}
+
+TEST(CatBatch, BatchesRunBackToBack) {
+  // Lemma 7: no idle time between batches.
+  const TaskGraph g = make_paper_example();
+  CatBatchScheduler sched;
+  (void)simulate(g, sched, 4);
+  const auto& history = sched.batch_history();
+  EXPECT_DOUBLE_EQ(history.front().started, 0.0);
+  for (std::size_t k = 1; k < history.size(); ++k) {
+    EXPECT_DOUBLE_EQ(history[k].started, history[k - 1].finished);
+  }
+}
+
+TEST(CatBatch, BeatsAsapOnIntroInstance) {
+  // Figure 1's motivation: CatBatch must stay near 1 while ASAP pays ~P.
+  const int P = 32;
+  const IntroInstance intro = make_intro_instance(P);
+  CatBatchScheduler sched;
+  const SimResult r = simulate(intro.graph, sched, P);
+  require_valid_schedule(intro.graph, r.schedule, P);
+  const Time asap = intro_asap_makespan(P, intro.epsilon);
+  EXPECT_LT(r.makespan, asap / 3.0)
+      << "CatBatch should decisively beat ASAP on the adversarial intro DAG";
+  // And stays within the Theorem 1 guarantee.
+  const Time lb = makespan_lower_bound(intro.graph, P);
+  EXPECT_LE(static_cast<double>(r.makespan / lb),
+            theorem1_bound(intro.graph.size()) + 1e-9);
+}
+
+TEST(CatBatch, BatchBarrierIsRespected) {
+  // No task of a later batch may start before the previous batch finishes.
+  Rng rng(17);
+  const TaskGraph g = random_layered_dag(rng, 120, 10, RandomTaskParams{});
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, 8);
+  const auto& history = sched.batch_history();
+  Time prev_end = 0.0;
+  for (const BatchRecord& batch : history) {
+    for (const TaskId id : batch.tasks) {
+      EXPECT_GE(r.schedule.entry_for(id).start, prev_end - 1e-12);
+      EXPECT_LE(r.schedule.entry_for(id).finish, batch.finished + 1e-12);
+    }
+    prev_end = batch.finished;
+  }
+}
+
+TEST(CatBatch, BatchCategoriesStrictlyIncrease) {
+  Rng rng(23);
+  const TaskGraph g = random_series_parallel(rng, 150, 0.5,
+                                             RandomTaskParams{});
+  CatBatchScheduler sched;
+  (void)simulate(g, sched, 8);
+  const auto& history = sched.batch_history();
+  for (std::size_t k = 1; k < history.size(); ++k) {
+    EXPECT_LT(history[k - 1].category.value(), history[k].category.value());
+  }
+}
+
+TEST(CatBatch, EveryTaskInExactlyOneBatch) {
+  Rng rng(29);
+  const TaskGraph g = random_order_dag(rng, 100, 0.04, RandomTaskParams{});
+  CatBatchScheduler sched;
+  (void)simulate(g, sched, 8);
+  std::vector<int> seen(g.size(), 0);
+  for (const BatchRecord& batch : sched.batch_history()) {
+    for (const TaskId id : batch.tasks) ++seen[id];
+  }
+  for (TaskId id = 0; id < g.size(); ++id) EXPECT_EQ(seen[id], 1);
+}
+
+TEST(CatBatch, Lemma6HoldsPerBatch) {
+  // T(B_ζ) <= 2 A(B_ζ)/P + L_ζ for every executed batch.
+  Rng rng(31);
+  const int P = 8;
+  for (int trial = 0; trial < 5; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 100, 8, RandomTaskParams{});
+    const Time critical = critical_path_length(g);
+    CatBatchScheduler sched;
+    (void)simulate(g, sched, P);
+    for (const BatchRecord& batch : sched.batch_history()) {
+      Time area = 0.0;
+      for (const TaskId id : batch.tasks) area += g.task(id).area();
+      const Time len = category_length(batch.category, critical);
+      const Time duration = batch.finished - batch.started;
+      EXPECT_LE(duration, 2.0 * area / P + len + 1e-9)
+          << "batch ζ=" << batch.category.value();
+    }
+  }
+}
+
+TEST(CatBatch, Lemma7MakespanDecomposition) {
+  // Makespan <= 2 A/P + Σ L_ζ over executed batches.
+  Rng rng(37);
+  const int P = 8;
+  const TaskGraph g = random_layered_dag(rng, 150, 12, RandomTaskParams{});
+  const Time critical = critical_path_length(g);
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, P);
+  Time sum_lengths = 0.0;
+  for (const BatchRecord& batch : sched.batch_history()) {
+    sum_lengths += category_length(batch.category, critical);
+  }
+  EXPECT_LE(r.makespan,
+            2.0 * g.total_area() / P + sum_lengths + 1e-9);
+}
+
+TEST(CatBatch, SingleTaskInstance) {
+  TaskGraph g;
+  g.add_task(3.0, 2, "only");
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, 4);
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+  ASSERT_EQ(sched.batch_history().size(), 1u);
+}
+
+TEST(CatBatch, IndependentEqualTasksFormOneBatch) {
+  TaskGraph g;
+  for (int k = 0; k < 6; ++k) g.add_task(1.0, 2);
+  CatBatchScheduler sched;
+  const SimResult r = simulate(g, sched, 4);
+  // All share criticality (0,1) -> ζ = 0.5, one batch, two at a time.
+  ASSERT_EQ(sched.batch_history().size(), 1u);
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+}
+
+class CatBatchOrderParam : public ::testing::TestWithParam<BatchOrder> {};
+
+TEST_P(CatBatchOrderParam, AnyInBatchOrderIsValidAndBounded) {
+  // Lemma 6 holds for any in-batch order; so does Theorem 1.
+  Rng rng(43);
+  const int P = 8;
+  for (int trial = 0; trial < 4; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 80, 8, RandomTaskParams{});
+    CatBatchOptions options;
+    options.batch_order = GetParam();
+    CatBatchScheduler sched(options);
+    const SimResult r = simulate(g, sched, P);
+    require_valid_schedule(g, r.schedule, P);
+    const Time lb = makespan_lower_bound(g, P);
+    EXPECT_LE(static_cast<double>(r.makespan / lb),
+              theorem1_bound(g.size()) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, CatBatchOrderParam,
+                         ::testing::Values(BatchOrder::Arrival,
+                                           BatchOrder::WidestFirst,
+                                           BatchOrder::LongestFirst,
+                                           BatchOrder::ShortestFirst),
+                         [](const ::testing::TestParamInfo<BatchOrder>& param_info) {
+                           std::string name = to_string(param_info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(CatBatch, OriginShiftPreservesValidityAndBounds) {
+  // Translating the dyadic lattice re-buckets tasks but keeps every
+  // schedule feasible; the Theorem 1 bound holds with C + shift.
+  Rng rng(47);
+  const int P = 8;
+  const TaskGraph g = random_layered_dag(rng, 100, 8, RandomTaskParams{});
+  for (const Time shift : {0.0, 0.25, 1.0, 7.5}) {
+    CatBatchOptions options;
+    options.origin_shift = shift;
+    CatBatchScheduler sched(options);
+    const SimResult r = simulate(g, sched, P);
+    require_valid_schedule(g, r.schedule, P);
+  }
+}
+
+TEST(CatBatch, OriginShiftChangesBatchStructure) {
+  // Two independent unit tasks at s∞ = 0: ζ = 0.5 unshifted. Shift by
+  // 0.5: intervals (0.5, 1.5) -> ζ = 1 — a different lattice anchor.
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  g.add_task(1.0, 1);
+  CatBatchScheduler plain;
+  (void)simulate(g, plain, 2);
+  ASSERT_EQ(plain.batch_history().size(), 1u);
+  EXPECT_DOUBLE_EQ(plain.batch_history()[0].category.value(), 0.5);
+
+  CatBatchOptions options;
+  options.origin_shift = 0.5;
+  CatBatchScheduler shifted(options);
+  (void)simulate(g, shifted, 2);
+  ASSERT_EQ(shifted.batch_history().size(), 1u);
+  EXPECT_DOUBLE_EQ(shifted.batch_history()[0].category.value(), 1.0);
+}
+
+TEST(CatBatch, NegativeOriginShiftRejected) {
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  CatBatchOptions options;
+  options.origin_shift = -1.0;
+  CatBatchScheduler sched(options);
+  EXPECT_THROW((void)simulate(g, sched, 1), ContractViolation);
+}
+
+TEST(CatBatch, ResetClearsStateBetweenRuns) {
+  const TaskGraph g = make_paper_example();
+  CatBatchScheduler sched;
+  const SimResult first = simulate(g, sched, 4);
+  const SimResult second = simulate(g, sched, 4);  // reset() re-invoked
+  EXPECT_DOUBLE_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(sched.batch_history().size(), 6u);
+}
+
+}  // namespace
+}  // namespace catbatch

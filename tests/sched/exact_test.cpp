@@ -1,0 +1,154 @@
+#include "sched/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/lmatrix.hpp"
+#include "instances/adversary.hpp"
+#include "instances/examples.hpp"
+#include "instances/random_dags.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(Exact, TrivialInstances) {
+  TaskGraph single;
+  single.add_task(3.0, 2, "solo");
+  const ExactResult r = exact_schedule(single, 4);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+  require_valid_schedule(single, r.schedule, 4);
+
+  const TaskGraph empty;
+  EXPECT_DOUBLE_EQ(exact_schedule(empty, 2).makespan, 0.0);
+}
+
+TEST(Exact, ChainIsSerial) {
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  g.add_task(2.0, 1);
+  g.add_task(3.0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const ExactResult r = exact_schedule(g, 4);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+  EXPECT_TRUE(r.proven_optimal);
+}
+
+TEST(Exact, IndependentTasksPackPerfectly) {
+  TaskGraph g;
+  for (int k = 0; k < 4; ++k) g.add_task(1.0, 2);
+  const ExactResult r = exact_schedule(g, 4);
+  EXPECT_DOUBLE_EQ(r.makespan, 2.0);
+}
+
+TEST(Exact, DeliberateIdlingIsFound) {
+  // The Figure 1 phenomenon at P=2: the optimum delays the decoy C tasks
+  // behind the A/B chain (makespan 1 + 4ε); any greedy schedule starts the
+  // decoys immediately and pays 2(1 + ε). The solver must find the idling
+  // schedule — proof that the search space includes non-greedy schedules.
+  const Time eps = 0.125;
+  const IntroInstance intro = make_intro_instance(2, eps);
+  const ExactResult r = exact_schedule(intro.graph, 2);
+  ASSERT_TRUE(r.proven_optimal);
+  require_valid_schedule(intro.graph, r.schedule, 2);
+  EXPECT_DOUBLE_EQ(r.makespan, intro_optimal_makespan(2, eps));  // 1 + 4ε
+  ListScheduler greedy;
+  const SimResult greedy_run = simulate(intro.graph, greedy, 2);
+  EXPECT_GT(greedy_run.makespan, r.makespan);
+}
+
+TEST(Exact, MatchesClosedFormOnIntroInstance) {
+  for (const int P : {2, 3}) {
+    const IntroInstance intro = make_intro_instance(P, 0.25);
+    const ExactResult r = exact_schedule(intro.graph, P);
+    ASSERT_TRUE(r.proven_optimal);
+    require_valid_schedule(intro.graph, r.schedule, P);
+    EXPECT_DOUBLE_EQ(r.makespan, intro_optimal_makespan(P, 0.25));
+  }
+}
+
+TEST(Exact, MatchesLemma9OnSmallY) {
+  const YInstance y = make_y_instance(3, 1, 2, 0.0625);
+  const ExactResult r = exact_schedule(y.graph, 3);
+  ASSERT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.makespan, y_optimal_makespan(3, 1, 2, 0.0625));
+}
+
+TEST(Exact, NeverAboveAnyHeuristicNorBelowLb) {
+  Rng rng(55);
+  RandomTaskParams params;
+  params.procs.max_procs = 4;
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 9, 3, params);
+    const ExactResult exact = exact_schedule(g, 4);
+    ASSERT_TRUE(exact.proven_optimal);
+    require_valid_schedule(g, exact.schedule, 4);
+    EXPECT_GE(exact.makespan, makespan_lower_bound(g, 4) - 1e-9);
+
+    CatBatchScheduler cat;
+    ListScheduler fifo;
+    EXPECT_LE(exact.makespan, simulate(g, cat, 4).makespan + 1e-9);
+    EXPECT_LE(exact.makespan, simulate(g, fifo, 4).makespan + 1e-9);
+  }
+}
+
+TEST(Exact, TrueRatioOfCatBatchWithinTheorem1OnSmallInstances) {
+  Rng rng(57);
+  RandomTaskParams params;
+  params.procs.max_procs = 3;
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskGraph g = random_out_tree(rng, 8, 2, params);
+    const ExactResult exact = exact_schedule(g, 3);
+    ASSERT_TRUE(exact.proven_optimal);
+    CatBatchScheduler cat;
+    const Time cat_makespan = simulate(g, cat, 3).makespan;
+    const double true_ratio = static_cast<double>(cat_makespan) /
+                              static_cast<double>(exact.makespan);
+    EXPECT_LE(true_ratio, theorem1_bound(g.size()) + 1e-9);
+  }
+}
+
+TEST(Exact, NodeBudgetDegradesGracefully) {
+  Rng rng(59);
+  RandomTaskParams params;
+  params.procs.max_procs = 4;
+  const TaskGraph g = random_layered_dag(rng, 12, 4, params);
+  ExactOptions options;
+  options.node_budget = 50;  // absurdly small
+  const ExactResult r = exact_schedule(g, 4, options);
+  EXPECT_FALSE(r.proven_optimal);
+  // Still a feasible schedule.
+  require_valid_schedule(g, r.schedule, 4);
+}
+
+TEST(Exact, RejectsOversizedInstances) {
+  TaskGraph g;
+  for (int k = 0; k < 65; ++k) g.add_task(1.0, 1);
+  EXPECT_THROW((void)exact_schedule(g, 2), ContractViolation);
+}
+
+TEST(ScheduleFromStarts, RebuildsConcreteProcessors) {
+  TaskGraph g;
+  g.add_task(2.0, 1, "a");
+  g.add_task(1.0, 2, "b");
+  g.add_edge(0, 1);
+  const Schedule s = schedule_from_starts(g, {0.0, 2.0}, 2);
+  require_valid_schedule(g, s, 2);
+}
+
+TEST(ScheduleFromStarts, ThrowsOnCapacityViolation) {
+  TaskGraph g;
+  g.add_task(1.0, 2, "a");
+  g.add_task(1.0, 2, "b");
+  EXPECT_THROW((void)schedule_from_starts(g, {0.0, 0.5}, 2),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,148 @@
+#include "sched/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "instances/examples.hpp"
+#include "instances/random_dags.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(ListScheduler, NamesDescribePolicy) {
+  EXPECT_EQ(ListScheduler().name(), "list(fifo)");
+  EXPECT_EQ(
+      ListScheduler(ListSchedulerOptions{ListPriority::LongestFirst, false})
+          .name(),
+      "list(longest-first)");
+  EXPECT_EQ(ListScheduler(ListSchedulerOptions{ListPriority::Fifo, true})
+                .name(),
+            "list(fifo,strict)");
+}
+
+TEST(ListScheduler, IndependentTasksPackGreedily) {
+  TaskGraph g;
+  g.add_task(1.0, 2);
+  g.add_task(1.0, 2);
+  g.add_task(1.0, 2);
+  ListScheduler sched;
+  const SimResult r = simulate(g, sched, 4);
+  EXPECT_DOUBLE_EQ(r.makespan, 2.0);  // two at a time
+  require_valid_schedule(g, r.schedule, 4);
+}
+
+TEST(ListScheduler, GreedyBackfillsPastBlockedHead) {
+  // FIFO order: wide(4) first, narrow(1) second on 4 procs with 1 busy.
+  TaskGraph g;
+  g.add_task(2.0, 1, "hold");   // keeps one processor busy
+  g.add_task(1.0, 4, "wide");   // blocked while hold runs
+  g.add_task(1.0, 1, "narrow");  // can backfill
+  ListScheduler greedy;
+  const SimResult r = simulate(g, greedy, 4);
+  // narrow runs alongside hold; wide runs after hold finishes.
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(2).start, 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 2.0);
+}
+
+TEST(ListScheduler, StrictHeadDoesNotBackfill) {
+  TaskGraph g;
+  g.add_task(2.0, 1, "hold");
+  g.add_task(1.0, 4, "wide");
+  g.add_task(1.0, 1, "narrow");
+  ListScheduler strict(ListSchedulerOptions{ListPriority::Fifo, true});
+  const SimResult r = simulate(g, strict, 4);
+  // narrow waits behind the blocked wide head.
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 2.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(2).start, 3.0);
+}
+
+TEST(ListScheduler, LongestFirstOrdersByWork) {
+  TaskGraph g;
+  g.add_task(1.0, 2, "short");
+  g.add_task(5.0, 2, "long");
+  ListScheduler lpt(ListSchedulerOptions{ListPriority::LongestFirst, false});
+  const SimResult r = simulate(g, lpt, 2);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(0).start, 5.0);
+}
+
+TEST(ListScheduler, ShortestFirstOrdersByWork) {
+  TaskGraph g;
+  g.add_task(5.0, 2, "long");
+  g.add_task(1.0, 2, "short");
+  ListScheduler spt(ListSchedulerOptions{ListPriority::ShortestFirst, false});
+  const SimResult r = simulate(g, spt, 2);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 0.0);
+}
+
+TEST(ListScheduler, WidestFirstOrdersByProcs) {
+  TaskGraph g;
+  g.add_task(1.0, 1, "narrow");
+  g.add_task(1.0, 3, "wide");
+  ListScheduler widest(ListSchedulerOptions{ListPriority::WidestFirst, false});
+  const SimResult r = simulate(g, widest, 3);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(0).start, 1.0);
+}
+
+TEST(ListScheduler, IntroInstanceSuffersAsapPathology) {
+  // Figure 1 (top right): any ASAP heuristic pays P(1+ε).
+  for (const int P : {2, 4, 8}) {
+    const IntroInstance intro = make_intro_instance(P);
+    for (const ListPriority priority :
+         {ListPriority::Fifo, ListPriority::LongestFirst,
+          ListPriority::WidestFirst, ListPriority::SmallestCriticality}) {
+      ListScheduler sched(ListSchedulerOptions{priority, false});
+      const SimResult r = simulate(intro.graph, sched, P);
+      EXPECT_DOUBLE_EQ(r.makespan, intro_asap_makespan(P, intro.epsilon))
+          << "P=" << P << " priority=" << to_string(priority);
+      require_valid_schedule(intro.graph, r.schedule, P);
+    }
+  }
+}
+
+TEST(ListScheduler, NeverIdlesWhenFittingTaskIsReady) {
+  // Work-conservation implies the P-competitive bound T <= C + A (loose
+  // check: T <= n * Lb on random instances).
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 60, 6, RandomTaskParams{});
+    ListScheduler sched;
+    const SimResult r = simulate(g, sched, 16);
+    require_valid_schedule(g, r.schedule, 16);
+    const InstanceBounds b = compute_bounds(g, 16);
+    EXPECT_LE(r.makespan,
+              b.critical_path + b.area + 1e-9);  // Graham-style bound
+  }
+}
+
+class ListPriorityParam : public ::testing::TestWithParam<ListPriority> {};
+
+TEST_P(ListPriorityParam, ValidOnRandomInstances) {
+  Rng rng(41);
+  for (int trial = 0; trial < 5; ++trial) {
+    const TaskGraph g = random_order_dag(rng, 80, 0.05, RandomTaskParams{});
+    ListScheduler sched(ListSchedulerOptions{GetParam(), false});
+    const SimResult r = simulate(g, sched, 16);
+    require_valid_schedule(g, r.schedule, 16);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPriorities, ListPriorityParam,
+    ::testing::Values(ListPriority::Fifo, ListPriority::LongestFirst,
+                      ListPriority::ShortestFirst, ListPriority::WidestFirst,
+                      ListPriority::NarrowestFirst,
+                      ListPriority::SmallestCriticality),
+    [](const ::testing::TestParamInfo<ListPriority>& param_info) {
+      std::string name = to_string(param_info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,70 @@
+#include "sched/offline_catbatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "instances/examples.hpp"
+#include "instances/random_dags.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Online and offline CatBatch must produce bit-identical schedules on
+/// static instances: Lemma 1 makes the online criticality recurrence exact.
+void expect_identical_schedules(const TaskGraph& g, int procs) {
+  CatBatchScheduler online;
+  CatBatchScheduler offline = make_offline_catbatch(g);
+  const SimResult ro = simulate(g, online, procs);
+  const SimResult rf = simulate(g, offline, procs);
+  require_valid_schedule(g, ro.schedule, procs);
+  require_valid_schedule(g, rf.schedule, procs);
+  ASSERT_EQ(ro.schedule.size(), rf.schedule.size());
+  for (TaskId id = 0; id < g.size(); ++id) {
+    const ScheduledTask& a = ro.schedule.entry_for(id);
+    const ScheduledTask& b = rf.schedule.entry_for(id);
+    EXPECT_DOUBLE_EQ(a.start, b.start) << "task " << id;
+    EXPECT_DOUBLE_EQ(a.finish, b.finish) << "task " << id;
+    EXPECT_EQ(a.processors, b.processors) << "task " << id;
+  }
+}
+
+TEST(OfflineCatBatch, MatchesOnlineOnPaperExample) {
+  expect_identical_schedules(make_paper_example(), 4);
+}
+
+TEST(OfflineCatBatch, MatchesOnlineOnIntroInstance) {
+  expect_identical_schedules(make_intro_instance(8).graph, 8);
+}
+
+TEST(OfflineCatBatch, MatchesOnlineOnRandomFamilies) {
+  Rng rng(61);
+  expect_identical_schedules(
+      random_layered_dag(rng, 120, 10, RandomTaskParams{}), 8);
+  expect_identical_schedules(
+      random_order_dag(rng, 90, 0.05, RandomTaskParams{}), 8);
+  expect_identical_schedules(
+      random_series_parallel(rng, 100, 0.5, RandomTaskParams{}), 8);
+  expect_identical_schedules(random_out_tree(rng, 80, 3, RandomTaskParams{}),
+                             8);
+}
+
+TEST(OfflineCatBatch, NameDistinguishesIt) {
+  const TaskGraph g = make_paper_example();
+  EXPECT_EQ(make_offline_catbatch(g).name(), "offline-catbatch");
+}
+
+TEST(OfflineCatBatch, FixedCategoriesMustCoverAllTasks) {
+  // Scheduler built for a small graph cannot run a larger one.
+  TaskGraph small;
+  small.add_task(1.0, 1);
+  TaskGraph big;
+  big.add_task(1.0, 1);
+  big.add_task(1.0, 1);
+  big.add_edge(0, 1);
+  CatBatchScheduler sched = make_offline_catbatch(small);
+  EXPECT_THROW((void)simulate(big, sched, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,128 @@
+#include "sched/online_shelf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/graph.hpp"
+#include "instances/random_dags.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(OnlineShelf, HeightClassRoundsUpGeometrically) {
+  OnlineShelfPacker packer(4, 2.0);
+  EXPECT_EQ(packer.height_class(1.0), 0);   // 2^0 >= 1
+  EXPECT_EQ(packer.height_class(1.5), 1);   // 2^1 >= 1.5
+  EXPECT_EQ(packer.height_class(2.0), 1);
+  EXPECT_EQ(packer.height_class(2.5), 2);
+  EXPECT_EQ(packer.height_class(0.5), -1);  // 2^-1 >= 0.5
+  EXPECT_EQ(packer.height_class(0.6), 0);
+}
+
+TEST(OnlineShelf, PacksSameClassOntoOneShelf) {
+  OnlineShelfPacker packer(4, 2.0, ShelfFit::NextFit);
+  for (int k = 0; k < 4; ++k) {
+    (void)packer.place(Task{1.5, 1, ""});  // class 1, shelf height 2
+  }
+  EXPECT_EQ(packer.shelf_count(), 1u);
+  EXPECT_DOUBLE_EQ(packer.total_height(), 2.0);
+}
+
+TEST(OnlineShelf, OverflowOpensNewShelf) {
+  OnlineShelfPacker packer(4, 2.0, ShelfFit::NextFit);
+  for (int k = 0; k < 5; ++k) (void)packer.place(Task{1.5, 1, ""});
+  EXPECT_EQ(packer.shelf_count(), 2u);
+  EXPECT_DOUBLE_EQ(packer.total_height(), 4.0);
+}
+
+TEST(OnlineShelf, NextFitForgetsOldShelves) {
+  OnlineShelfPacker next(4, 2.0, ShelfFit::NextFit);
+  OnlineShelfPacker first(4, 2.0, ShelfFit::FirstFit);
+  // class-1 wide task fills most of shelf 1; a class-1 narrow task after a
+  // new shelf opened lands differently.
+  const Task wide{2.0, 3, ""};
+  const Task narrow{2.0, 1, ""};
+  for (const auto* packer : {&next, &first}) (void)packer;  // silence lints
+  (void)next.place(wide);    // shelf A used 3
+  (void)next.place(wide);    // opens shelf B
+  (void)next.place(narrow);  // NextFit: only shelf B considered -> fits (4)
+  (void)next.place(narrow);  // shelf B full -> opens shelf C
+  EXPECT_EQ(next.shelf_count(), 3u);
+
+  (void)first.place(wide);
+  (void)first.place(wide);
+  (void)first.place(narrow);  // FirstFit: back-fills shelf A
+  (void)first.place(narrow);  // back-fills shelf B
+  EXPECT_EQ(first.shelf_count(), 2u);
+}
+
+TEST(OnlineShelf, SchedulesAreValid) {
+  Rng rng(17);
+  RandomTaskParams params;
+  params.procs.max_procs = 8;
+  const TaskGraph g = random_independent(rng, 200, params);
+  for (const ShelfFit fit : {ShelfFit::NextFit, ShelfFit::FirstFit}) {
+    OnlineShelfPacker packer(8, 2.0, fit);
+    for (TaskId id = 0; id < g.size(); ++id) {
+      (void)packer.place(g.task(id));
+    }
+    require_valid_schedule(g, packer.schedule(), 8);
+  }
+}
+
+TEST(OnlineShelf, FirstFitNeverTallerThanNextFit) {
+  Rng rng(19);
+  RandomTaskParams params;
+  params.procs.max_procs = 8;
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskGraph g = random_independent(rng, 100, params);
+    OnlineShelfPacker next(8, 2.0, ShelfFit::NextFit);
+    OnlineShelfPacker first(8, 2.0, ShelfFit::FirstFit);
+    for (TaskId id = 0; id < g.size(); ++id) {
+      (void)next.place(g.task(id));
+      (void)first.place(g.task(id));
+    }
+    EXPECT_LE(first.total_height(), next.total_height() + 1e-9);
+  }
+}
+
+TEST(OnlineShelf, CompetitiveAgainstLowerBoundOnRandomStreams) {
+  // Baker-Schwarz guarantees ~7x for r = 2; measured ratios on random
+  // streams are far smaller — assert a conservative envelope.
+  Rng rng(23);
+  RandomTaskParams params;
+  params.procs.max_procs = 16;
+  for (int trial = 0; trial < 5; ++trial) {
+    const TaskGraph g = random_independent(rng, 300, params);
+    OnlineShelfPacker packer(16, 2.0, ShelfFit::FirstFit);
+    for (TaskId id = 0; id < g.size(); ++id) (void)packer.place(g.task(id));
+    const Time lb = std::max(g.total_area() / 16.0, g.max_work());
+    EXPECT_LE(packer.total_height(), 8.0 * lb);
+  }
+}
+
+TEST(OnlineShelf, ValidatesArguments) {
+  EXPECT_THROW(OnlineShelfPacker(0, 2.0), ContractViolation);
+  EXPECT_THROW(OnlineShelfPacker(4, 1.0), ContractViolation);
+  OnlineShelfPacker packer(4, 2.0);
+  EXPECT_THROW((void)packer.place(Task{1.0, 5, ""}), ContractViolation);
+  EXPECT_THROW((void)packer.place(Task{0.0, 1, ""}), ContractViolation);
+}
+
+TEST(OnlineShelf, NonDyadicBase) {
+  OnlineShelfPacker packer(4, 1.6, ShelfFit::FirstFit);
+  (void)packer.place(Task{1.0, 2, ""});
+  (void)packer.place(Task{1.59, 2, ""});
+  (void)packer.place(Task{1.61, 2, ""});
+  // Classes: 1.0 -> k=0 (1.6^0=1 >= 1); 1.59 -> k=1; 1.61 -> k=2.
+  EXPECT_EQ(packer.height_class(1.0), 0);
+  EXPECT_EQ(packer.height_class(1.59), 1);
+  EXPECT_EQ(packer.height_class(1.61), 2);
+  EXPECT_EQ(packer.shelf_count(), 3u);
+}
+
+}  // namespace
+}  // namespace catbatch

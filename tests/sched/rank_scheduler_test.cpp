@@ -1,0 +1,93 @@
+#include "sched/rank_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "instances/random_dags.hpp"
+#include "instances/workloads.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(RankScheduler, UpwardRanksAreTailPaths) {
+  TaskGraph g;
+  g.add_task(1.0, 1, "a");
+  g.add_task(2.0, 1, "b");
+  g.add_task(4.0, 1, "c");
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const RankScheduler sched(g);
+  EXPECT_DOUBLE_EQ(sched.rank(2), 4.0);
+  EXPECT_DOUBLE_EQ(sched.rank(1), 6.0);
+  EXPECT_DOUBLE_EQ(sched.rank(0), 7.0);
+}
+
+TEST(RankScheduler, PrefersCriticalPathTasks) {
+  // Two ready tasks, room for one: the one feeding the long tail runs
+  // first even though it arrived later and is shorter.
+  TaskGraph g;
+  const TaskId filler = g.add_task(1.0, 1, "filler");
+  const TaskId head = g.add_task(0.5, 1, "head");
+  const TaskId tail = g.add_task(8.0, 1, "tail");
+  g.add_edge(head, tail);
+  (void)filler;
+  RankScheduler sched(g);
+  const SimResult r = simulate(g, sched, 1);
+  require_valid_schedule(g, r.schedule, 1);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(head).start, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 9.5);  // head, tail, filler packs last? no:
+  // head 0-0.5, then rank(tail)=8 > rank(filler)=1 -> tail 0.5-8.5,
+  // filler 8.5-9.5.
+}
+
+TEST(RankScheduler, ValidOnRandomAndWorkloadInstances) {
+  Rng rng(80);
+  for (int trial = 0; trial < 6; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 100, 8, RandomTaskParams{});
+    RankScheduler sched(g);
+    const SimResult r = simulate(g, sched, 8);
+    require_valid_schedule(g, r.schedule, 8);
+  }
+  const TaskGraph chol = cholesky_dag(6);
+  RankScheduler sched(chol);
+  require_valid_schedule(chol, simulate(chol, sched, 8).schedule, 8);
+}
+
+TEST(RankScheduler, OftenBeatsFifoOnCriticalPathHeavyDags) {
+  // Deterministic instance where successor knowledge pays: a long chain
+  // plus filler. FIFO may start fillers first; rank never does.
+  TaskGraph g;
+  TaskId prev = kInvalidTask;
+  for (int k = 0; k < 6; ++k) {
+    const TaskId id = g.add_task(1.0, 1, "chain" + std::to_string(k));
+    if (prev != kInvalidTask) g.add_edge(prev, id);
+    prev = id;
+  }
+  for (int k = 0; k < 6; ++k) g.add_task(1.0, 2, "fill" + std::to_string(k));
+  RankScheduler rank_sched(g);
+  ListScheduler fifo;
+  const Time t_rank = simulate(g, rank_sched, 2).makespan;
+  const Time t_fifo = simulate(g, fifo, 2).makespan;
+  EXPECT_LE(t_rank, t_fifo + 1e-12);
+  // Rank interleaves fillers behind the chain: optimal 6... chain 6 long,
+  // fillers need 2 procs — they serialize against the chain; area bound
+  // = (6*1 + 6*2)/2 = 9.
+  EXPECT_GE(t_rank, makespan_lower_bound(g, 2) - 1e-12);
+}
+
+TEST(RankScheduler, RejectsForeignTasks) {
+  TaskGraph small;
+  small.add_task(1.0, 1);
+  TaskGraph big;
+  big.add_task(1.0, 1);
+  big.add_task(1.0, 1);
+  RankScheduler sched(small);
+  EXPECT_THROW((void)simulate(big, sched, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

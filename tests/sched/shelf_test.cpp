@@ -1,0 +1,149 @@
+#include "sched/shelf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/graph.hpp"
+#include "instances/random_dags.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+std::vector<Task> make_tasks(
+    std::initializer_list<std::pair<double, int>> specs) {
+  std::vector<Task> out;
+  for (const auto& [work, procs] : specs) {
+    out.push_back(Task{work, procs, ""});
+  }
+  return out;
+}
+
+TaskGraph edgeless_graph(std::span<const Task> tasks) {
+  TaskGraph g;
+  for (const Task& t : tasks) g.add_task(t.work, t.procs, t.name);
+  return g;
+}
+
+TEST(Nfdh, SingleShelfWhenEverythingFits) {
+  const auto tasks = make_tasks({{2.0, 1}, {1.5, 2}, {1.0, 1}});
+  const ShelfPacking packing = pack_nfdh(tasks, 4);
+  EXPECT_EQ(packing.shelf_count(), 1u);
+  EXPECT_DOUBLE_EQ(packing.total_height, 2.0);  // tallest task
+}
+
+TEST(Nfdh, OpensNewShelfOnOverflow) {
+  const auto tasks = make_tasks({{3.0, 3}, {2.0, 3}, {1.0, 2}});
+  const ShelfPacking packing = pack_nfdh(tasks, 4);
+  // Decreasing height: each task overflows the previous shelf on P=4.
+  EXPECT_EQ(packing.shelf_count(), 3u);
+  EXPECT_DOUBLE_EQ(packing.total_height, 6.0);
+}
+
+TEST(Nfdh, ShelfHeightIsFirstTaskHeight) {
+  const auto tasks = make_tasks({{4.0, 2}, {3.0, 2}, {2.0, 2}, {1.0, 2}});
+  const ShelfPacking packing = pack_nfdh(tasks, 4);
+  ASSERT_EQ(packing.shelf_count(), 2u);
+  EXPECT_DOUBLE_EQ(packing.shelf_heights[0], 4.0);
+  EXPECT_DOUBLE_EQ(packing.shelf_heights[1], 2.0);
+}
+
+TEST(Nfdh, ThreeApproxBoundHolds) {
+  // Height <= 2*A/P + t_max (the Lemma 6-style bound for shelves).
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomTaskParams params;
+    params.procs.max_procs = 8;
+    const TaskGraph g = random_independent(rng, 60, params);
+    std::vector<Task> tasks;
+    for (TaskId id = 0; id < g.size(); ++id) tasks.push_back(g.task(id));
+    const ShelfPacking packing = pack_nfdh(tasks, 8);
+    EXPECT_LE(packing.total_height,
+              2.0 * g.total_area() / 8.0 + g.max_work() + 1e-9);
+  }
+}
+
+TEST(Ffdh, NeverTallerThanNfdh) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomTaskParams params;
+    params.procs.max_procs = 8;
+    const TaskGraph g = random_independent(rng, 40, params);
+    std::vector<Task> tasks;
+    for (TaskId id = 0; id < g.size(); ++id) tasks.push_back(g.task(id));
+    EXPECT_LE(pack_ffdh(tasks, 8).total_height,
+              pack_nfdh(tasks, 8).total_height + 1e-12);
+  }
+}
+
+TEST(Ffdh, ReusesEarlierShelves) {
+  // NFDH closes shelves; FFDH goes back. Heights 4,3,1 with widths 3,3,2 on
+  // P=4: NFDH -> shelves 4,3,1; FFDH puts the 1-high task beside the
+  // 4-high one -> shelves 4,3.
+  const auto tasks = make_tasks({{4.0, 3}, {3.0, 3}, {1.0, 1}});
+  EXPECT_DOUBLE_EQ(pack_nfdh(tasks, 4).total_height, 7.0);
+  EXPECT_DOUBLE_EQ(pack_ffdh(tasks, 4).total_height, 7.0);
+  const auto tasks2 = make_tasks({{4.0, 3}, {3.0, 4}, {1.0, 1}});
+  EXPECT_DOUBLE_EQ(pack_ffdh(tasks2, 4).total_height, 7.0);
+  EXPECT_DOUBLE_EQ(pack_nfdh(tasks2, 4).total_height, 8.0);
+}
+
+TEST(ShelfPacking, ConvertsToValidSchedule) {
+  Rng rng(7);
+  RandomTaskParams params;
+  params.procs.max_procs = 6;
+  const TaskGraph g = random_independent(rng, 50, params);
+  std::vector<Task> tasks;
+  for (TaskId id = 0; id < g.size(); ++id) tasks.push_back(g.task(id));
+  for (const bool use_ffdh : {false, true}) {
+    const ShelfPacking packing =
+        use_ffdh ? pack_ffdh(tasks, 6) : pack_nfdh(tasks, 6);
+    const Schedule schedule = packing_to_schedule(packing, tasks);
+    require_valid_schedule(edgeless_graph(tasks), schedule, 6);
+    EXPECT_DOUBLE_EQ(schedule.makespan(), packing.total_height);
+  }
+}
+
+TEST(ShelfPacking, ProcessorRangesAreContiguous) {
+  const auto tasks = make_tasks({{2.0, 2}, {2.0, 2}, {1.0, 3}});
+  const ShelfPacking packing = pack_nfdh(tasks, 4);
+  const Schedule schedule = packing_to_schedule(packing, tasks);
+  for (const ScheduledTask& e : schedule.entries()) {
+    for (std::size_t k = 1; k < e.processors.size(); ++k) {
+      EXPECT_EQ(e.processors[k], e.processors[k - 1] + 1);
+    }
+  }
+}
+
+TEST(GreedyIndependent, SatisfiesLemma6Bound) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomTaskParams params;
+    params.procs.max_procs = 8;
+    const TaskGraph g = random_independent(rng, 50, params);
+    std::vector<Task> tasks;
+    for (TaskId id = 0; id < g.size(); ++id) tasks.push_back(g.task(id));
+    const Schedule schedule = greedy_independent(tasks, 8);
+    require_valid_schedule(edgeless_graph(tasks), schedule, 8);
+    EXPECT_LE(schedule.makespan(),
+              2.0 * g.total_area() / 8.0 + g.max_work() + 1e-9);
+  }
+}
+
+TEST(Shelf, RejectsOversizedTasks) {
+  const auto tasks = make_tasks({{1.0, 5}});
+  EXPECT_THROW((void)pack_nfdh(tasks, 4), ContractViolation);
+  EXPECT_THROW((void)pack_ffdh(tasks, 4), ContractViolation);
+  EXPECT_THROW((void)greedy_independent(tasks, 4), ContractViolation);
+}
+
+TEST(Shelf, EmptyInput) {
+  const std::vector<Task> none;
+  EXPECT_DOUBLE_EQ(pack_nfdh(none, 4).total_height, 0.0);
+  EXPECT_EQ(pack_ffdh(none, 4).shelf_count(), 0u);
+}
+
+}  // namespace
+}  // namespace catbatch

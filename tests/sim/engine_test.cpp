@@ -1,0 +1,413 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/list_scheduler.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Greedy FIFO scheduler that records the time each task was revealed.
+class RecordingScheduler final : public OnlineScheduler {
+ public:
+  std::string name() const override { return "recording"; }
+  void reset() override {
+    revealed_at.clear();
+    finished_at.clear();
+    ready_.clear();
+  }
+  void task_ready(const ReadyTask& task, Time now) override {
+    revealed_at[task.id] = now;
+    ready_.push_back({task.id, task.procs});
+  }
+  void task_finished(TaskId id, Time now) override { finished_at[id] = now; }
+  std::vector<TaskId> select(Time, int available) override {
+    std::vector<TaskId> picks;
+    std::size_t keep = 0;
+    for (auto& e : ready_) {
+      if (e.procs <= available) {
+        available -= e.procs;
+        picks.push_back(e.id);
+      } else {
+        ready_[keep++] = e;
+      }
+    }
+    ready_.resize(keep);
+    return picks;
+  }
+
+  std::map<TaskId, Time> revealed_at;
+  std::map<TaskId, Time> finished_at;
+
+ private:
+  struct Entry {
+    TaskId id;
+    int procs;
+  };
+  std::vector<Entry> ready_;
+};
+
+/// Scheduler that deliberately breaks the protocol in a chosen way.
+class MisbehavingScheduler final : public OnlineScheduler {
+ public:
+  enum class Mode { StartUnrevealed, ExceedCapacity, StartTwice, Deadlock };
+  explicit MisbehavingScheduler(Mode mode) : mode_(mode) {}
+  std::string name() const override { return "misbehaving"; }
+  void reset() override { ready_.clear(); }
+  void task_ready(const ReadyTask& task, Time) override {
+    ready_.push_back(task);
+  }
+  std::vector<TaskId> select(Time, int) override {
+    switch (mode_) {
+      case Mode::StartUnrevealed:
+        return {static_cast<TaskId>(999)};
+      case Mode::ExceedCapacity: {
+        std::vector<TaskId> all;
+        for (const auto& t : ready_) all.push_back(t.id);
+        ready_.clear();
+        return all;
+      }
+      case Mode::StartTwice: {
+        if (ready_.empty()) return {};
+        const TaskId id = ready_.front().id;
+        ready_.clear();
+        return {id, id};
+      }
+      case Mode::Deadlock:
+        return {};
+    }
+    return {};
+  }
+
+ private:
+  Mode mode_;
+  std::vector<ReadyTask> ready_;
+};
+
+TaskGraph chain_graph() {
+  TaskGraph g;
+  g.add_task(1.0, 1, "a");
+  g.add_task(2.0, 1, "b");
+  g.add_task(0.5, 2, "c");
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  return g;
+}
+
+TEST(Engine, RunsChainToCompletion) {
+  RecordingScheduler sched;
+  const SimResult result = simulate(chain_graph(), sched, 2);
+  EXPECT_DOUBLE_EQ(result.makespan, 3.5);
+  EXPECT_EQ(result.stats.task_count, 3u);
+  require_valid_schedule(chain_graph(), result.schedule, 2);
+}
+
+TEST(Engine, RevealsTasksOnlyWhenReady) {
+  RecordingScheduler sched;
+  (void)simulate(chain_graph(), sched, 2);
+  EXPECT_DOUBLE_EQ(sched.revealed_at.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(sched.revealed_at.at(1), 1.0);  // after a completes
+  EXPECT_DOUBLE_EQ(sched.revealed_at.at(2), 3.0);  // after b completes
+}
+
+TEST(Engine, ReportsCompletionsToScheduler) {
+  RecordingScheduler sched;
+  (void)simulate(chain_graph(), sched, 2);
+  EXPECT_DOUBLE_EQ(sched.finished_at.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.finished_at.at(1), 3.0);
+  EXPECT_DOUBLE_EQ(sched.finished_at.at(2), 3.5);
+}
+
+TEST(Engine, BusyAreaAccountsAllWork) {
+  RecordingScheduler sched;
+  const SimResult result = simulate(chain_graph(), sched, 2);
+  EXPECT_DOUBLE_EQ(result.stats.busy_area, 1.0 + 2.0 + 0.5 * 2);
+  EXPECT_NEAR(result.average_utilization(2),
+              result.stats.busy_area / (2 * 3.5), 1e-12);
+}
+
+TEST(Engine, ParallelTasksShareThePlatform) {
+  TaskGraph g;
+  g.add_task(1.0, 1, "x");
+  g.add_task(1.0, 1, "y");
+  g.add_task(1.0, 2, "z");
+  RecordingScheduler sched;
+  const SimResult result = simulate(g, sched, 2);
+  // x and y run together in [0,1); z needs both processors -> [1,2).
+  EXPECT_DOUBLE_EQ(result.makespan, 2.0);
+  require_valid_schedule(g, result.schedule, 2);
+}
+
+TEST(Engine, EmptyInstance) {
+  const TaskGraph g;
+  RecordingScheduler sched;
+  const SimResult result = simulate(g, sched, 4);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+  EXPECT_EQ(result.stats.task_count, 0u);
+}
+
+TEST(Engine, RejectsUnrevealedStart) {
+  MisbehavingScheduler sched(MisbehavingScheduler::Mode::StartUnrevealed);
+  EXPECT_THROW((void)simulate(chain_graph(), sched, 2), ContractViolation);
+}
+
+TEST(Engine, RejectsCapacityOverflow) {
+  TaskGraph g;
+  g.add_task(1.0, 2, "x");
+  g.add_task(1.0, 2, "y");
+  MisbehavingScheduler sched(MisbehavingScheduler::Mode::ExceedCapacity);
+  EXPECT_THROW((void)simulate(g, sched, 2), ContractViolation);
+}
+
+TEST(Engine, RejectsDoubleStart) {
+  MisbehavingScheduler sched(MisbehavingScheduler::Mode::StartTwice);
+  EXPECT_THROW((void)simulate(chain_graph(), sched, 2), ContractViolation);
+}
+
+TEST(Engine, DetectsDeadlock) {
+  MisbehavingScheduler sched(MisbehavingScheduler::Mode::Deadlock);
+  EXPECT_THROW((void)simulate(chain_graph(), sched, 2), ContractViolation);
+}
+
+TEST(Engine, RejectsTaskWiderThanPlatform) {
+  TaskGraph g;
+  g.add_task(1.0, 4, "wide");
+  RecordingScheduler sched;
+  EXPECT_THROW((void)simulate(g, sched, 2), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic sources.
+
+/// Emits one root, then a follow-up task every time a task completes, up to
+/// a limit — a minimal adaptive instance.
+class GrowingSource final : public InstanceSource {
+ public:
+  explicit GrowingSource(int extra) : extra_(extra) {}
+
+  std::vector<SourceTask> start() override {
+    graph_ = TaskGraph{};
+    emitted_ = 1;
+    graph_.add_task(1.0, 1, "root");
+    SourceTask st;
+    st.work = 1.0;
+    st.procs = 1;
+    st.name = "root";
+    return {st};
+  }
+
+  std::vector<SourceTask> on_complete(TaskId id, Time) override {
+    if (emitted_ > extra_) return {};
+    ++emitted_;
+    const TaskId nid = graph_.add_task(1.0, 1, "grown");
+    graph_.add_edge(id, nid);
+    SourceTask st;
+    st.work = 1.0;
+    st.procs = 1;
+    st.name = "grown";
+    st.predecessors = {id};
+    return {st};
+  }
+
+  const TaskGraph& realized_graph() const override { return graph_; }
+
+ private:
+  int extra_;
+  int emitted_ = 0;
+  TaskGraph graph_;
+};
+
+TEST(Engine, AdaptiveSourceGrowsChain) {
+  GrowingSource source(3);
+  RecordingScheduler sched;
+  const SimResult result = simulate(source, sched, 1);
+  EXPECT_EQ(result.stats.task_count, 4u);
+  EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+  require_valid_schedule(source.realized_graph(), result.schedule, 1);
+}
+
+/// Declared work differs from actual work (uncertainty extension).
+class LyingSource final : public InstanceSource {
+ public:
+  std::vector<SourceTask> start() override {
+    graph_ = TaskGraph{};
+    graph_.add_task(3.0, 1, "surprise");  // actual duration
+    SourceTask st;
+    st.work = 3.0;
+    st.declared_work = 1.0;  // scheduler is told 1.0
+    st.procs = 1;
+    st.name = "surprise";
+    return {st};
+  }
+  std::vector<SourceTask> on_complete(TaskId, Time) override { return {}; }
+  const TaskGraph& realized_graph() const override { return graph_; }
+
+ private:
+  TaskGraph graph_;
+};
+
+class DeclaredWorkProbe final : public OnlineScheduler {
+ public:
+  std::string name() const override { return "probe"; }
+  void reset() override {}
+  void task_ready(const ReadyTask& task, Time) override {
+    declared = task.work;
+    pending_ = task.id;
+  }
+  std::vector<TaskId> select(Time, int) override {
+    if (pending_ == kInvalidTask) return {};
+    const TaskId id = pending_;
+    pending_ = kInvalidTask;
+    return {id};
+  }
+  Time declared = 0.0;
+
+ private:
+  TaskId pending_ = kInvalidTask;
+};
+
+TEST(Engine, DeclaredAndActualWorkCanDiffer) {
+  LyingSource source;
+  DeclaredWorkProbe probe;
+  const SimResult result = simulate(source, probe, 1);
+  EXPECT_DOUBLE_EQ(probe.declared, 1.0);   // what the scheduler saw
+  EXPECT_DOUBLE_EQ(result.makespan, 3.0);  // what actually happened
+  require_valid_schedule(source.realized_graph(), result.schedule, 1);
+}
+
+TEST(Engine, DecisionPointsAreCounted) {
+  RecordingScheduler sched;
+  const SimResult result = simulate(chain_graph(), sched, 2);
+  // t=0 plus one per completion.
+  EXPECT_EQ(result.stats.decision_points, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Release times (Section 2.3's online-arrival model).
+
+/// Independent tasks with explicit release times.
+class ReleaseSource final : public InstanceSource {
+ public:
+  struct Spec {
+    Time work;
+    int procs;
+    Time release;
+  };
+  explicit ReleaseSource(std::vector<Spec> specs) : specs_(std::move(specs)) {}
+
+  std::vector<SourceTask> start() override {
+    graph_ = TaskGraph{};
+    std::vector<SourceTask> out;
+    for (const Spec& spec : specs_) {
+      graph_.add_task(spec.work, spec.procs);
+      SourceTask st;
+      st.work = spec.work;
+      st.procs = spec.procs;
+      st.release = spec.release;
+      out.push_back(std::move(st));
+    }
+    return out;
+  }
+  std::vector<SourceTask> on_complete(TaskId, Time) override { return {}; }
+  const TaskGraph& realized_graph() const override { return graph_; }
+
+ private:
+  std::vector<Spec> specs_;
+  TaskGraph graph_;
+};
+
+TEST(Engine, ReleaseTimeDelaysRevelation) {
+  ReleaseSource source({{1.0, 1, 0.0}, {1.0, 1, 5.0}});
+  RecordingScheduler sched;
+  const SimResult r = simulate(source, sched, 2);
+  EXPECT_DOUBLE_EQ(sched.revealed_at.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(sched.revealed_at.at(1), 5.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 5.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+TEST(Engine, IdlePlatformWaitsForFutureRelease) {
+  // Only one task, released at t = 3: the platform legitimately sits idle
+  // until then — this must NOT trip the deadlock detector.
+  ReleaseSource source({{2.0, 1, 3.0}});
+  RecordingScheduler sched;
+  const SimResult r = simulate(source, sched, 1);
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+}
+
+TEST(Engine, ReleaseAfterPredecessorsStillWaits) {
+  // Predecessor finishes at 1 but the successor is embargoed until 4.
+  class ChainedRelease final : public InstanceSource {
+   public:
+    std::vector<SourceTask> start() override {
+      graph_ = TaskGraph{};
+      graph_.add_task(1.0, 1, "first");
+      graph_.add_task(1.0, 1, "second");
+      graph_.add_edge(0, 1);
+      SourceTask first;
+      first.work = 1.0;
+      first.procs = 1;
+      SourceTask second;
+      second.work = 1.0;
+      second.procs = 1;
+      second.predecessors = {0};
+      second.release = 4.0;
+      return {first, second};
+    }
+    std::vector<SourceTask> on_complete(TaskId, Time) override { return {}; }
+    const TaskGraph& realized_graph() const override { return graph_; }
+
+   private:
+    TaskGraph graph_;
+  };
+  ChainedRelease source;
+  RecordingScheduler sched;
+  const SimResult r = simulate(source, sched, 1);
+  EXPECT_DOUBLE_EQ(sched.revealed_at.at(1), 4.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+}
+
+TEST(Engine, ReleaseBeforePredecessorsIsMoot) {
+  // Release already passed by the time the predecessor completes.
+  class EarlyRelease final : public InstanceSource {
+   public:
+    std::vector<SourceTask> start() override {
+      graph_ = TaskGraph{};
+      graph_.add_task(3.0, 1, "first");
+      graph_.add_task(1.0, 1, "second");
+      graph_.add_edge(0, 1);
+      SourceTask first;
+      first.work = 3.0;
+      first.procs = 1;
+      SourceTask second;
+      second.work = 1.0;
+      second.procs = 1;
+      second.predecessors = {0};
+      second.release = 1.0;
+      return {first, second};
+    }
+    std::vector<SourceTask> on_complete(TaskId, Time) override { return {}; }
+    const TaskGraph& realized_graph() const override { return graph_; }
+
+   private:
+    TaskGraph graph_;
+  };
+  EarlyRelease source;
+  RecordingScheduler sched;
+  const SimResult r = simulate(source, sched, 1);
+  EXPECT_DOUBLE_EQ(sched.revealed_at.at(1), 3.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+}
+
+TEST(Engine, NegativeReleaseRejected) {
+  ReleaseSource source({{1.0, 1, -1.0}});
+  RecordingScheduler sched;
+  EXPECT_THROW((void)simulate(source, sched, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,68 @@
+#include "sim/processor_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(ProcessorPool, AcquiresLowestIndicesFirst) {
+  ProcessorPool pool(4);
+  EXPECT_EQ(pool.capacity(), 4);
+  EXPECT_EQ(pool.available(), 4);
+  const auto a = pool.acquire(2);
+  EXPECT_EQ(a, (std::vector<int>{0, 1}));
+  EXPECT_EQ(pool.available(), 2);
+  EXPECT_EQ(pool.in_use(), 2);
+}
+
+TEST(ProcessorPool, ReleaseMakesProcessorsReusable) {
+  ProcessorPool pool(3);
+  const auto a = pool.acquire(2);  // {0,1}
+  const auto b = pool.acquire(1);  // {2}
+  pool.release(a);
+  EXPECT_EQ(pool.available(), 2);
+  const auto c = pool.acquire(2);
+  EXPECT_EQ(c, (std::vector<int>{0, 1}));
+  pool.release(b);
+  pool.release(c);
+  EXPECT_EQ(pool.available(), 3);
+}
+
+TEST(ProcessorPool, FillsHolesAfterRelease) {
+  ProcessorPool pool(4);
+  const auto a = pool.acquire(1);  // {0}
+  const auto b = pool.acquire(1);  // {1}
+  const auto c = pool.acquire(1);  // {2}
+  pool.release(b);
+  const auto d = pool.acquire(2);  // lowest free: {1, 3}
+  EXPECT_EQ(d, (std::vector<int>{1, 3}));
+  pool.release(a);
+  pool.release(c);
+  pool.release(d);
+}
+
+TEST(ProcessorPool, RejectsOverAcquire) {
+  ProcessorPool pool(2);
+  (void)pool.acquire(2);
+  EXPECT_THROW((void)pool.acquire(1), ContractViolation);
+  EXPECT_THROW((void)pool.acquire(0), ContractViolation);
+}
+
+TEST(ProcessorPool, RejectsDoubleRelease) {
+  ProcessorPool pool(2);
+  const auto a = pool.acquire(1);
+  pool.release(a);
+  EXPECT_THROW(pool.release(a), ContractViolation);
+  EXPECT_THROW(pool.release({7}), ContractViolation);
+}
+
+TEST(ProcessorPool, RejectsEmptyPool) {
+  EXPECT_THROW(ProcessorPool(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

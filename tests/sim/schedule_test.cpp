@@ -1,0 +1,62 @@
+#include "sim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(Schedule, AddAndQuery) {
+  Schedule s;
+  s.add(3, 0.0, 2.0, {0, 1});
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(0));
+  const ScheduledTask& e = s.entry_for(3);
+  EXPECT_DOUBLE_EQ(e.start, 0.0);
+  EXPECT_DOUBLE_EQ(e.finish, 2.0);
+  EXPECT_DOUBLE_EQ(e.duration(), 2.0);
+  EXPECT_EQ(e.processors, (std::vector<int>{0, 1}));
+}
+
+TEST(Schedule, MakespanIsMaxFinish) {
+  Schedule s;
+  EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+  s.add(0, 0.0, 2.0, {0});
+  s.add(1, 1.0, 5.0, {1});
+  s.add(2, 4.0, 4.5, {2});
+  EXPECT_DOUBLE_EQ(s.makespan(), 5.0);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(Schedule, RejectsDoubleScheduling) {
+  Schedule s;
+  s.add(0, 0.0, 1.0, {0});
+  EXPECT_THROW(s.add(0, 2.0, 3.0, {1}), ContractViolation);
+}
+
+TEST(Schedule, RejectsMalformedEntries) {
+  Schedule s;
+  EXPECT_THROW(s.add(0, 1.0, 1.0, {0}), ContractViolation);   // zero length
+  EXPECT_THROW(s.add(0, 2.0, 1.0, {0}), ContractViolation);   // negative
+  EXPECT_THROW(s.add(0, -1.0, 1.0, {0}), ContractViolation);  // before 0
+  EXPECT_THROW(s.add(0, 0.0, 1.0, {}), ContractViolation);    // no procs
+  EXPECT_THROW(s.add(0, 0.0, 1.0, {1, 1}), ContractViolation);  // dup procs
+  EXPECT_THROW(s.add(kInvalidTask, 0.0, 1.0, {0}), ContractViolation);
+}
+
+TEST(Schedule, EntryForMissingTaskThrows) {
+  const Schedule s;
+  EXPECT_THROW((void)s.entry_for(0), ContractViolation);
+}
+
+TEST(Schedule, SparseTaskIdsSupported) {
+  Schedule s;
+  s.add(1000, 0.0, 1.0, {0});
+  EXPECT_TRUE(s.contains(1000));
+  EXPECT_FALSE(s.contains(999));
+  EXPECT_EQ(s.entries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace catbatch

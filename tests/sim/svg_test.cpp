@@ -1,0 +1,110 @@
+#include "sim/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/catbatch_scheduler.hpp"
+#include "instances/examples.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+std::size_t count_substr(const std::string& haystack,
+                         const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+struct Rendered {
+  TaskGraph graph;
+  Schedule schedule;
+};
+
+Rendered render_paper_example() {
+  Rendered out;
+  out.graph = make_paper_example();
+  CatBatchScheduler sched;
+  out.schedule = simulate(out.graph, sched, 4).schedule;
+  return out;
+}
+
+TEST(SvgGantt, ProducesWellFormedDocument) {
+  const Rendered r = render_paper_example();
+  const std::string svg = svg_gantt(r.graph, r.schedule, 4);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(count_substr(svg, "<svg"), 1u);
+}
+
+TEST(SvgGantt, OneRectPerTaskProcessorPair) {
+  const Rendered r = render_paper_example();
+  const std::string svg = svg_gantt(r.graph, r.schedule, 4);
+  std::size_t proc_slots = 0;
+  for (const ScheduledTask& e : r.schedule.entries()) {
+    proc_slots += e.processors.size();
+  }
+  // background + 4 lanes + one per (task, processor).
+  EXPECT_EQ(count_substr(svg, "<rect"), 1 + 4 + proc_slots);
+}
+
+TEST(SvgGantt, LabelsAppearWhenEnabled) {
+  const Rendered r = render_paper_example();
+  const std::string with = svg_gantt(r.graph, r.schedule, 4);
+  EXPECT_NE(with.find(">A</text>"), std::string::npos);
+  SvgGanttOptions options;
+  options.show_labels = false;
+  const std::string without = svg_gantt(r.graph, r.schedule, 4, options);
+  EXPECT_EQ(without.find(">A</text>"), std::string::npos);
+}
+
+TEST(SvgGantt, ColorGroupsControlFill) {
+  const Rendered r = render_paper_example();
+  SvgGanttOptions options;
+  options.color_groups.assign(r.graph.size(), 0);  // all one group
+  const std::string svg = svg_gantt(r.graph, r.schedule, 4, options);
+  // Every task rect shares the first palette color.
+  EXPECT_GE(count_substr(svg, "#4e79a7"), r.schedule.size());
+}
+
+TEST(SvgGantt, MakespanPrintedOnAxis) {
+  const Rendered r = render_paper_example();
+  const std::string svg = svg_gantt(r.graph, r.schedule, 4);
+  EXPECT_NE(svg.find("15.2"), std::string::npos);
+}
+
+TEST(SvgGantt, EmptyScheduleStillRenders) {
+  const TaskGraph g;
+  const Schedule s;
+  const std::string svg = svg_gantt(g, s, 2);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgGantt, ValidatesArguments) {
+  const Rendered r = render_paper_example();
+  EXPECT_THROW((void)svg_gantt(r.graph, r.schedule, 0), ContractViolation);
+  SvgGanttOptions tiny;
+  tiny.width_px = 10;
+  EXPECT_THROW((void)svg_gantt(r.graph, r.schedule, 4, tiny),
+               ContractViolation);
+  SvgGanttOptions short_groups;
+  short_groups.color_groups = {0};  // does not cover 11 tasks
+  EXPECT_THROW((void)svg_gantt(r.graph, r.schedule, 4, short_groups),
+               ContractViolation);
+}
+
+TEST(SvgGantt, EscapesMarkupInNames) {
+  TaskGraph g;
+  g.add_task(1.0, 1, "a<b>&\"c\"");
+  Schedule s;
+  s.add(0, 0.0, 1.0, {0});
+  const std::string svg = svg_gantt(g, s, 1);
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;&quot;c&quot;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace catbatch

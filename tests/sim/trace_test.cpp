@@ -1,0 +1,108 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace catbatch {
+namespace {
+
+TaskGraph two_task_graph() {
+  TaskGraph g;
+  g.add_task(1.0, 1, "a");
+  g.add_task(1.0, 2, "b");
+  g.add_edge(0, 1);
+  return g;
+}
+
+SimResult run(const TaskGraph& g, int procs) {
+  ListScheduler sched;
+  return simulate(g, sched, procs);
+}
+
+TEST(Utilization, ProfileCoversMakespan) {
+  const TaskGraph g = two_task_graph();
+  const SimResult r = run(g, 2);
+  const auto profile = utilization_profile(g, r.schedule);
+  ASSERT_FALSE(profile.empty());
+  EXPECT_DOUBLE_EQ(profile.front().from, 0.0);
+  EXPECT_DOUBLE_EQ(profile.back().to, r.makespan);
+  // Segments are contiguous.
+  for (std::size_t k = 1; k < profile.size(); ++k) {
+    EXPECT_DOUBLE_EQ(profile[k].from, profile[k - 1].to);
+  }
+}
+
+TEST(Utilization, StepValuesMatchSchedule) {
+  const TaskGraph g = two_task_graph();
+  const SimResult r = run(g, 2);
+  const auto profile = utilization_profile(g, r.schedule);
+  // [0,1): task a on 1 proc. [1,2): task b on 2 procs.
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_EQ(profile[0].procs_in_use, 1);
+  EXPECT_EQ(profile[1].procs_in_use, 2);
+}
+
+TEST(Utilization, AverageMatchesAreaRatio) {
+  const TaskGraph g = two_task_graph();
+  const SimResult r = run(g, 2);
+  // busy area = 1*1 + 1*2 = 3; window = 2 procs * 2 time = 4.
+  EXPECT_DOUBLE_EQ(average_utilization(g, r.schedule, 2), 0.75);
+}
+
+TEST(Utilization, EmptyScheduleIsZero) {
+  const TaskGraph g;
+  const Schedule s;
+  EXPECT_DOUBLE_EQ(average_utilization(g, s, 4), 0.0);
+  EXPECT_TRUE(utilization_profile(g, s).empty());
+}
+
+TEST(Csv, ContainsHeaderAndAllTasks) {
+  const TaskGraph g = two_task_graph();
+  const SimResult r = run(g, 2);
+  const std::string csv = schedule_to_csv(g, r.schedule);
+  EXPECT_NE(csv.find("id,name,start,finish,work,procs,processors"),
+            std::string::npos);
+  EXPECT_NE(csv.find("a"), std::string::npos);
+  EXPECT_NE(csv.find("b"), std::string::npos);
+  // Two data rows + header = 3 lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Csv, RowsSortedByStartTime) {
+  const TaskGraph g = two_task_graph();
+  const SimResult r = run(g, 2);
+  const std::string csv = schedule_to_csv(g, r.schedule);
+  EXPECT_LT(csv.find("0,a"), csv.find("1,b"));
+}
+
+TEST(Gantt, RendersOneRowPerProcessor) {
+  const TaskGraph g = two_task_graph();
+  const SimResult r = run(g, 2);
+  const std::string gantt = ascii_gantt(g, r.schedule, 2, 40);
+  EXPECT_NE(gantt.find("P  0"), std::string::npos);
+  EXPECT_NE(gantt.find("P  1"), std::string::npos);
+  EXPECT_NE(gantt.find('a'), std::string::npos);
+  EXPECT_NE(gantt.find('b'), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleHasPlaceholder) {
+  const TaskGraph g;
+  const Schedule s;
+  EXPECT_EQ(ascii_gantt(g, s, 2), "(empty schedule)\n");
+}
+
+TEST(Gantt, IdleTimeRenderedAsDots) {
+  // One narrow task on a 2-proc platform: processor 1 stays idle.
+  TaskGraph g;
+  g.add_task(1.0, 1, "x");
+  const SimResult r = run(g, 2);
+  const std::string gantt = ascii_gantt(g, r.schedule, 2, 20);
+  EXPECT_NE(gantt.find("...."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,159 @@
+#include "sim/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TaskGraph simple_graph() {
+  TaskGraph g;
+  g.add_task(2.0, 1, "a");
+  g.add_task(1.0, 2, "b");
+  g.add_edge(0, 1);
+  return g;
+}
+
+Schedule good_schedule() {
+  Schedule s;
+  s.add(0, 0.0, 2.0, {0});
+  s.add(1, 2.0, 3.0, {0, 1});
+  return s;
+}
+
+TEST(Validate, AcceptsFeasibleSchedule) {
+  EXPECT_EQ(validate_schedule(simple_graph(), good_schedule(), 2),
+            std::nullopt);
+  EXPECT_NO_THROW(require_valid_schedule(simple_graph(), good_schedule(), 2));
+}
+
+TEST(Validate, DetectsMissingTask) {
+  Schedule s;
+  s.add(0, 0.0, 2.0, {0});
+  const auto error = validate_schedule(simple_graph(), s, 2);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("entries"), std::string::npos);
+}
+
+TEST(Validate, DetectsWrongDuration) {
+  Schedule s;
+  s.add(0, 0.0, 2.5, {0});  // task 0 has work 2.0
+  s.add(1, 2.5, 3.5, {0, 1});
+  const auto error = validate_schedule(simple_graph(), s, 2);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("execution time"), std::string::npos);
+}
+
+TEST(Validate, NonBinaryDurationsCompareExactly) {
+  // 0.6 is not an exact binary fraction; finish - start differs from work
+  // by an ulp, but finish == start + work holds for engine-built entries.
+  TaskGraph g;
+  g.add_task(0.6, 1, "f");
+  Schedule s;
+  s.add(0, 5.0, 5.0 + 0.6, {0});
+  EXPECT_EQ(validate_schedule(g, s, 1), std::nullopt);
+}
+
+TEST(Validate, DurationToleranceOptionAllowsSlack) {
+  Schedule s;
+  s.add(0, 0.0, 2.0000001, {0});
+  s.add(1, 3.0, 4.0, {0, 1});
+  ValidationOptions options;
+  options.duration_tolerance = 1e-6;
+  EXPECT_EQ(validate_schedule(simple_graph(), s, 2, options), std::nullopt);
+}
+
+TEST(Validate, DetectsWrongProcessorCount) {
+  Schedule s;
+  s.add(0, 0.0, 2.0, {0});
+  s.add(1, 2.0, 3.0, {0});  // needs 2 processors
+  const auto error = validate_schedule(simple_graph(), s, 2);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("holds"), std::string::npos);
+}
+
+TEST(Validate, DetectsOutOfRangeProcessor) {
+  Schedule s;
+  s.add(0, 0.0, 2.0, {5});
+  s.add(1, 2.0, 3.0, {0, 1});
+  const auto error = validate_schedule(simple_graph(), s, 2);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("out-of-range"), std::string::npos);
+}
+
+TEST(Validate, DetectsPrecedenceViolation) {
+  Schedule s;
+  s.add(0, 0.0, 2.0, {0});
+  s.add(1, 1.0, 2.0, {0, 1});  // starts before predecessor finishes
+  const auto error = validate_schedule(simple_graph(), s, 2);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("predecessor"), std::string::npos);
+}
+
+TEST(Validate, BackToBackAtSameInstantIsFeasible) {
+  // Open intervals: a successor may start exactly when the predecessor
+  // finishes, and capacity frees at the same instant.
+  TaskGraph g;
+  g.add_task(1.0, 2, "x");
+  g.add_task(1.0, 2, "y");
+  g.add_edge(0, 1);
+  Schedule s;
+  s.add(0, 0.0, 1.0, {0, 1});
+  s.add(1, 1.0, 2.0, {0, 1});
+  EXPECT_EQ(validate_schedule(g, s, 2), std::nullopt);
+}
+
+TEST(Validate, DetectsCapacityOverflow) {
+  TaskGraph g;
+  g.add_task(1.0, 2, "x");
+  g.add_task(1.0, 2, "y");
+  Schedule s;
+  s.add(0, 0.0, 1.0, {0, 1});
+  s.add(1, 0.5, 1.5, {1, 2});
+  const auto error = validate_schedule(g, s, 3);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("capacity"), std::string::npos);
+}
+
+TEST(Validate, DetectsProcessorDoubleBooking) {
+  // Capacity is fine (2 of 4) but both tasks claim processor 0.
+  TaskGraph g;
+  g.add_task(1.0, 1, "x");
+  g.add_task(1.0, 1, "y");
+  Schedule s;
+  s.add(0, 0.0, 1.0, {0});
+  s.add(1, 0.5, 1.5, {0});
+  const auto error = validate_schedule(g, s, 4);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("concurrently"), std::string::npos);
+}
+
+TEST(Validate, ProcessorSetCheckCanBeDisabled) {
+  TaskGraph g;
+  g.add_task(1.0, 1, "x");
+  g.add_task(1.0, 1, "y");
+  Schedule s;
+  s.add(0, 0.0, 1.0, {0});
+  s.add(1, 0.5, 1.5, {0});
+  ValidationOptions options;
+  options.check_processor_sets = false;
+  EXPECT_EQ(validate_schedule(g, s, 4, options), std::nullopt);
+}
+
+TEST(Validate, RequireValidThrowsWithMessage) {
+  Schedule s;
+  s.add(0, 0.0, 2.0, {0});
+  s.add(1, 0.0, 1.0, {0, 1});
+  EXPECT_THROW(require_valid_schedule(simple_graph(), s, 2),
+               ContractViolation);
+}
+
+TEST(Validate, EmptyInstanceEmptySchedule) {
+  const TaskGraph g;
+  const Schedule s;
+  EXPECT_EQ(validate_schedule(g, s, 1), std::nullopt);
+}
+
+}  // namespace
+}  // namespace catbatch

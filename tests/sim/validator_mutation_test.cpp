@@ -1,0 +1,159 @@
+// Mutation testing of the validator: start from a known-valid schedule and
+// apply one corruption from each violation class; the validator must catch
+// every one. This guards the guard — all other guarantees in this
+// repository lean on validate_schedule().
+#include <gtest/gtest.h>
+
+#include "instances/random_dags.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+
+namespace catbatch {
+namespace {
+
+struct Fixture {
+  TaskGraph graph;
+  Schedule valid;
+  int procs = 8;
+};
+
+Fixture make_fixture(std::uint64_t seed) {
+  Fixture f;
+  Rng rng(seed);
+  f.graph = random_layered_dag(rng, 40, 5, RandomTaskParams{});
+  ListScheduler sched;
+  f.valid = simulate(f.graph, sched, f.procs).schedule;
+  return f;
+}
+
+/// Rebuilds a schedule applying `mutate` to each entry (returning false
+/// drops the entry).
+template <typename Fn>
+Schedule rebuild(const Schedule& source, Fn&& mutate) {
+  Schedule out;
+  for (ScheduledTask e : source.entries()) {
+    if (mutate(e)) out.add(e.id, e.start, e.finish, e.processors);
+  }
+  return out;
+}
+
+TEST(ValidatorMutation, BaselineIsValid) {
+  const Fixture f = make_fixture(1);
+  EXPECT_EQ(validate_schedule(f.graph, f.valid, f.procs), std::nullopt);
+}
+
+TEST(ValidatorMutation, DroppedTaskCaught) {
+  const Fixture f = make_fixture(2);
+  bool dropped = false;
+  const Schedule bad = rebuild(f.valid, [&](ScheduledTask& e) {
+    if (!dropped && e.id == 7) {
+      dropped = true;
+      return false;
+    }
+    return true;
+  });
+  EXPECT_TRUE(validate_schedule(f.graph, bad, f.procs).has_value());
+}
+
+TEST(ValidatorMutation, StretchedDurationCaught) {
+  const Fixture f = make_fixture(3);
+  const Schedule bad = rebuild(f.valid, [](ScheduledTask& e) {
+    if (e.id == 5) e.finish += 0.25;
+    return true;
+  });
+  const auto error = validate_schedule(f.graph, bad, f.procs);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("execution time"), std::string::npos);
+}
+
+TEST(ValidatorMutation, EarlyStartBeforePredecessorCaught) {
+  const Fixture f = make_fixture(4);
+  // Find a task with a predecessor and pull its whole interval before the
+  // predecessor's finish.
+  TaskId victim = kInvalidTask;
+  for (TaskId id = 0; id < f.graph.size(); ++id) {
+    if (!f.graph.predecessors(id).empty()) victim = id;
+  }
+  ASSERT_NE(victim, kInvalidTask);
+  const Time pred_finish =
+      f.valid.entry_for(f.graph.predecessors(victim)[0]).finish;
+  const Schedule bad = rebuild(f.valid, [&](ScheduledTask& e) {
+    if (e.id == victim) {
+      const Time len = e.finish - e.start;
+      e.start = std::max(0.0, pred_finish - 0.5 * len);
+      e.finish = e.start + len;
+    }
+    return true;
+  });
+  ValidationOptions tolerant;
+  tolerant.check_processor_sets = false;  // isolate the precedence check
+  tolerant.duration_tolerance = 1e-9;
+  const auto error = validate_schedule(f.graph, bad, f.procs, tolerant);
+  ASSERT_TRUE(error.has_value());
+}
+
+TEST(ValidatorMutation, StolenProcessorCaught) {
+  const Fixture f = make_fixture(5);
+  // Re-map one task's processors onto another concurrently running task's
+  // set. Find two overlapping entries.
+  const auto entries = f.valid.entries();
+  for (std::size_t a = 0; a < entries.size(); ++a) {
+    for (std::size_t b = a + 1; b < entries.size(); ++b) {
+      const bool overlap = entries[a].start < entries[b].finish &&
+                           entries[b].start < entries[a].finish;
+      if (!overlap) continue;
+      if (entries[a].processors.size() < entries[b].processors.size()) {
+        continue;
+      }
+      const TaskId thief = entries[b].id;
+      const auto& loot = entries[a].processors;
+      const Schedule bad = rebuild(f.valid, [&](ScheduledTask& e) {
+        if (e.id == thief) {
+          e.processors.assign(loot.begin(),
+                              loot.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      e.processors.size()));
+        }
+        return true;
+      });
+      const auto error = validate_schedule(f.graph, bad, f.procs);
+      ASSERT_TRUE(error.has_value());
+      EXPECT_NE(error->find("concurrently"), std::string::npos);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no overlapping pair in this schedule";
+}
+
+TEST(ValidatorMutation, WrongWidthCaught) {
+  const Fixture f = make_fixture(6);
+  const Schedule bad = rebuild(f.valid, [&](ScheduledTask& e) {
+    if (e.id == 3) e.processors.push_back(f.procs - 1 - e.processors[0]);
+    return true;
+  });
+  // Either the width check or the duplicate check fires; both are errors.
+  EXPECT_TRUE(validate_schedule(f.graph, bad, f.procs).has_value());
+}
+
+TEST(ValidatorMutation, ForeignProcessorCaught) {
+  const Fixture f = make_fixture(7);
+  const Schedule bad = rebuild(f.valid, [&](ScheduledTask& e) {
+    if (e.id == 2) e.processors[0] = f.procs + 3;
+    return true;
+  });
+  const auto error = validate_schedule(f.graph, bad, f.procs);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("out-of-range"), std::string::npos);
+}
+
+TEST(ValidatorMutation, ManySeedsNoFalsePositives) {
+  for (std::uint64_t seed = 10; seed < 30; ++seed) {
+    const Fixture f = make_fixture(seed);
+    EXPECT_EQ(validate_schedule(f.graph, f.valid, f.procs), std::nullopt)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

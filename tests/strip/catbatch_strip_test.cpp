@@ -1,0 +1,129 @@
+#include "strip/catbatch_strip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "strip/strip_validate.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Strip mirror of the paper's Figure 3 example on a 4-wide platform
+/// (widths p/4).
+StripInstance paper_example_strip() {
+  StripInstance s;
+  s.add_rect(0.25, 6.0, "A");
+  s.add_rect(0.5, 2.0, "B");
+  s.add_rect(0.25, 2.5, "C");
+  s.add_rect(0.75, 3.0, "D");
+  s.add_rect(0.25, 2.8, "E");
+  s.add_rect(0.25, 0.6, "F");
+  s.add_rect(0.75, 0.8, "G");
+  s.add_rect(0.5, 1.2, "H");
+  s.add_rect(0.5, 0.6, "I");
+  s.add_rect(0.75, 0.8, "J");
+  s.add_rect(0.75, 1.4, "K");
+  s.add_edge(1, 4);  // B -> E
+  s.add_edge(2, 5);  // C -> F
+  s.add_edge(3, 5);  // D -> F
+  s.add_edge(3, 6);  // D -> G
+  s.add_edge(5, 8);  // F -> I
+  s.add_edge(8, 10);  // I -> K
+  s.add_edge(4, 7);  // E -> H
+  s.add_edge(0, 9);  // A -> J
+  s.add_edge(7, 9);  // H -> J
+  return s;
+}
+
+StripInstance random_strip(Rng& rng, std::size_t count) {
+  StripInstance s;
+  for (std::size_t k = 0; k < count; ++k) {
+    const double width = static_cast<double>(rng.uniform_int(1, 32)) / 32.0;
+    const double height =
+        static_cast<double>(rng.uniform_int(1, 128)) * 0x1.0p-4;
+    s.add_rect(width, height);
+  }
+  // Forward edges with moderate probability.
+  for (TaskId i = 0; i < count; ++i) {
+    for (TaskId j = i + 1; j < count; ++j) {
+      if (rng.bernoulli(0.03)) s.add_edge(i, j);
+    }
+  }
+  return s;
+}
+
+TEST(CatBatchStrip, PaperExamplePacksFeasibly) {
+  const StripInstance s = paper_example_strip();
+  const CatBatchStripResult result = catbatch_strip_pack(s);
+  require_valid_strip_packing(s, result.packing);
+  // Same six categories as the rigid-task variant (Figure 4).
+  ASSERT_EQ(result.batches.size(), 6u);
+  const double expected_zeta[] = {1.0, 2.0, 3.5, 4.0, 5.0, 6.5};
+  for (std::size_t k = 0; k < 6; ++k) {
+    EXPECT_DOUBLE_EQ(result.batches[k].category.value(), expected_zeta[k]);
+  }
+}
+
+TEST(CatBatchStrip, BandsAreStackedInCategoryOrder) {
+  const StripInstance s = paper_example_strip();
+  const CatBatchStripResult result = catbatch_strip_pack(s);
+  Time prev_top = 0.0;
+  for (const StripBatchRecord& band : result.batches) {
+    EXPECT_DOUBLE_EQ(band.band_bottom, prev_top);
+    EXPECT_GE(band.band_top, band.band_bottom);
+    prev_top = band.band_top;
+  }
+  EXPECT_DOUBLE_EQ(result.total_height, prev_top);
+}
+
+TEST(CatBatchStrip, FeasibleOnRandomDags) {
+  Rng rng(12);
+  for (int trial = 0; trial < 8; ++trial) {
+    const StripInstance s = random_strip(rng, 60);
+    const CatBatchStripResult result = catbatch_strip_pack(s);
+    require_valid_strip_packing(s, result.packing);
+    EXPECT_DOUBLE_EQ(result.packing.total_height(s), result.total_height);
+  }
+}
+
+TEST(CatBatchStrip, HeightWithinRemarkOneBound) {
+  // Height <= 2A + Σ L_ζ (Remark 1 + Lemma 7 analogue).
+  Rng rng(14);
+  for (int trial = 0; trial < 10; ++trial) {
+    const StripInstance s = random_strip(rng, 50);
+    const CatBatchStripResult result = catbatch_strip_pack(s);
+    EXPECT_LE(result.total_height, catbatch_strip_bound(s) + 1e-9);
+  }
+}
+
+TEST(CatBatchStrip, EmptyInstance) {
+  const StripInstance s;
+  const CatBatchStripResult result = catbatch_strip_pack(s);
+  EXPECT_DOUBLE_EQ(result.total_height, 0.0);
+  EXPECT_TRUE(result.batches.empty());
+}
+
+TEST(CatBatchStrip, SingleRect) {
+  StripInstance s;
+  s.add_rect(0.5, 3.0, "solo");
+  const CatBatchStripResult result = catbatch_strip_pack(s);
+  require_valid_strip_packing(s, result.packing);
+  EXPECT_DOUBLE_EQ(result.total_height, 3.0);
+}
+
+TEST(CatBatchStrip, ChainStacksStrictlyAbove) {
+  StripInstance s;
+  s.add_rect(1.0, 1.0, "first");
+  s.add_rect(1.0, 1.0, "second");
+  s.add_rect(1.0, 1.0, "third");
+  s.add_edge(0, 1);
+  s.add_edge(1, 2);
+  const CatBatchStripResult result = catbatch_strip_pack(s);
+  require_valid_strip_packing(s, result.packing);
+  EXPECT_DOUBLE_EQ(result.total_height, 3.0);
+  EXPECT_LT(result.packing.entry_for(0).y, result.packing.entry_for(1).y);
+  EXPECT_LT(result.packing.entry_for(1).y, result.packing.entry_for(2).y);
+}
+
+}  // namespace
+}  // namespace catbatch

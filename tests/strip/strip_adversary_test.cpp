@@ -1,0 +1,75 @@
+#include "strip/strip_adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "instances/adversary.hpp"
+#include "instances/examples.hpp"
+#include "strip/catbatch_strip.hpp"
+#include "strip/strip_validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(StripAdversary, WidthsAreFractionsOfP) {
+  const XInstance x = make_x_instance(4, 2, 0x1.0p-8);
+  const StripInstance strip = to_strip_instance(x.graph, 4);
+  ASSERT_EQ(strip.size(), x.graph.size());
+  for (TaskId id = 0; id < strip.size(); ++id) {
+    const double w = strip.rect(id).width;
+    // Remark 2: the Section 6 instances use only widths 1/P and 1.
+    EXPECT_TRUE(w == 0.25 || w == 1.0) << "rect " << id << " width " << w;
+    EXPECT_DOUBLE_EQ(strip.rect(id).height, x.graph.task(id).work);
+  }
+}
+
+TEST(StripAdversary, PreservesEdges) {
+  const TaskGraph g = make_paper_example();
+  const StripInstance strip = to_strip_instance(g, 4);
+  for (TaskId id = 0; id < g.size(); ++id) {
+    const auto a = g.successors(id);
+    const auto b = strip.successors(id);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST(StripAdversary, CriticalPathAndAreaScale) {
+  const TaskGraph g = make_paper_example();
+  const StripInstance strip = to_strip_instance(g, 4);
+  EXPECT_NEAR(strip.critical_path(), critical_path_length(g), 1e-9);
+  EXPECT_NEAR(strip.total_area(), static_cast<double>(g.total_area()) / 4.0,
+              1e-9);
+}
+
+TEST(StripAdversary, CatBatchStripHandlesAdversaryShape) {
+  // The strip rendition of X_P(K) packs feasibly; full-width reds
+  // serialize against everything, as in the rigid case.
+  const XInstance x = make_x_instance(3, 2, 0x1.0p-8);
+  const StripInstance strip = to_strip_instance(x.graph, 3);
+  for (const StripBatchPacker packer :
+       {StripBatchPacker::Nfdh, StripBatchPacker::Ffdh}) {
+    const CatBatchStripResult result = catbatch_strip_pack(strip, packer);
+    require_valid_strip_packing(strip, result.packing);
+    EXPECT_GE(result.total_height, strip.height_lower_bound() - 1e-9);
+  }
+}
+
+TEST(StripAdversary, FfdhBandNeverTallerThanNfdh) {
+  const TaskGraph g = make_paper_example();
+  const StripInstance strip = to_strip_instance(g, 4);
+  const auto nfdh = catbatch_strip_pack(strip, StripBatchPacker::Nfdh);
+  const auto ffdh = catbatch_strip_pack(strip, StripBatchPacker::Ffdh);
+  require_valid_strip_packing(strip, nfdh.packing);
+  require_valid_strip_packing(strip, ffdh.packing);
+  EXPECT_LE(ffdh.total_height, nfdh.total_height + 1e-9);
+}
+
+TEST(StripAdversary, RejectsOversizedTasks) {
+  TaskGraph g;
+  g.add_task(1.0, 8);
+  EXPECT_THROW((void)to_strip_instance(g, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,79 @@
+#include "strip/strip_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+StripInstance small_dag() {
+  StripInstance s;
+  s.add_rect(0.5, 2.0, "a");
+  s.add_rect(0.25, 1.0, "b");
+  s.add_rect(1.0, 0.5, "c");
+  s.add_edge(0, 2);
+  s.add_edge(1, 2);
+  return s;
+}
+
+TEST(StripInstance, AddRectValidatesShape) {
+  StripInstance s;
+  EXPECT_THROW((void)s.add_rect(0.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)s.add_rect(1.5, 1.0), ContractViolation);
+  EXPECT_THROW((void)s.add_rect(0.5, 0.0), ContractViolation);
+  EXPECT_EQ(s.add_rect(1.0, 1.0), 0u);
+}
+
+TEST(StripInstance, EdgesAndTopologicalOrder) {
+  const StripInstance s = small_dag();
+  const auto order = s.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.back(), 2u);
+  EXPECT_EQ(s.predecessors(2).size(), 2u);
+  EXPECT_EQ(s.successors(0).size(), 1u);
+}
+
+TEST(StripInstance, DetectsCycles) {
+  StripInstance s;
+  s.add_rect(0.5, 1.0);
+  s.add_rect(0.5, 1.0);
+  s.add_edge(0, 1);
+  s.add_edge(1, 0);
+  EXPECT_THROW((void)s.topological_order(), ContractViolation);
+}
+
+TEST(StripInstance, AreaAndCriticalPath) {
+  const StripInstance s = small_dag();
+  EXPECT_DOUBLE_EQ(s.total_area(), 0.5 * 2.0 + 0.25 * 1.0 + 1.0 * 0.5);
+  EXPECT_DOUBLE_EQ(s.critical_path(), 2.5);  // a (2) then c (0.5)
+  EXPECT_DOUBLE_EQ(s.height_lower_bound(), 2.5);
+}
+
+TEST(StripInstance, AreaBoundDominatesWhenDense) {
+  StripInstance s;
+  for (int k = 0; k < 10; ++k) s.add_rect(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.height_lower_bound(), 10.0);  // area 10 > C 1
+}
+
+TEST(StripPacking, PlaceAndQuery) {
+  StripPacking p;
+  p.place(1, 0.25, 3.0);
+  EXPECT_TRUE(p.contains(1));
+  EXPECT_FALSE(p.contains(0));
+  EXPECT_DOUBLE_EQ(p.entry_for(1).x, 0.25);
+  EXPECT_THROW(p.place(1, 0.0, 0.0), ContractViolation);
+  EXPECT_THROW((void)p.entry_for(5), ContractViolation);
+}
+
+TEST(StripPacking, TotalHeight) {
+  const StripInstance s = small_dag();
+  StripPacking p;
+  p.place(0, 0.0, 0.0);   // top at 2.0
+  p.place(1, 0.5, 0.0);   // top at 1.0
+  p.place(2, 0.0, 2.0);   // top at 2.5
+  EXPECT_DOUBLE_EQ(p.total_height(s), 2.5);
+}
+
+}  // namespace
+}  // namespace catbatch

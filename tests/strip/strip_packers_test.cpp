@@ -1,0 +1,173 @@
+#include "strip/strip_packers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+std::vector<Rect> random_rects(Rng& rng, std::size_t count) {
+  std::vector<Rect> out;
+  for (std::size_t k = 0; k < count; ++k) {
+    // Exact binary widths and heights.
+    const double width =
+        static_cast<double>(rng.uniform_int(1, 64)) / 64.0;
+    const double height =
+        static_cast<double>(rng.uniform_int(1, 256)) * 0x1.0p-5;
+    out.push_back(Rect{width, height, ""});
+  }
+  return out;
+}
+
+/// No two placements overlap, everything inside the strip.
+void expect_feasible(std::span<const Rect> rects,
+                     const StripShelfResult& result) {
+  for (const PlacedRect& p : result.placements) {
+    const Rect& r = rects[p.id];
+    EXPECT_GE(p.x, -1e-12);
+    EXPECT_LE(p.x + r.width, 1.0 + 1e-9);
+    EXPECT_GE(p.y, -1e-12);
+    EXPECT_LE(p.y + r.height, result.total_height + 1e-9);
+  }
+  for (std::size_t a = 0; a < result.placements.size(); ++a) {
+    for (std::size_t b = a + 1; b < result.placements.size(); ++b) {
+      const PlacedRect& pa = result.placements[a];
+      const PlacedRect& pb = result.placements[b];
+      const Rect& ra = rects[pa.id];
+      const Rect& rb = rects[pb.id];
+      const bool overlap = pa.x + ra.width > pb.x + 1e-12 &&
+                           pb.x + rb.width > pa.x + 1e-12 &&
+                           pa.y + ra.height > pb.y + 1e-12 &&
+                           pb.y + rb.height > pa.y + 1e-12;
+      EXPECT_FALSE(overlap) << "rects " << pa.id << " and " << pb.id;
+    }
+  }
+}
+
+TEST(StripNfdh, FeasibleOnRandomInputs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto rects = random_rects(rng, 40);
+    const StripShelfResult result = strip_nfdh(rects);
+    ASSERT_EQ(result.placements.size(), rects.size());
+    expect_feasible(rects, result);
+  }
+}
+
+TEST(StripFfdh, FeasibleOnRandomInputs) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto rects = random_rects(rng, 40);
+    const StripShelfResult result = strip_ffdh(rects);
+    ASSERT_EQ(result.placements.size(), rects.size());
+    expect_feasible(rects, result);
+  }
+}
+
+TEST(StripNfdh, RemarkOneBound) {
+  // NFDH height <= 2*area + max height (used by Remark 1).
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto rects = random_rects(rng, 50);
+    double area = 0.0;
+    Time max_h = 0.0;
+    for (const Rect& r : rects) {
+      area += r.area();
+      max_h = std::max(max_h, r.height);
+    }
+    const StripShelfResult result = strip_nfdh(rects);
+    EXPECT_LE(result.total_height, 2.0 * area + max_h + 1e-9);
+  }
+}
+
+TEST(StripFfdh, NeverTallerThanNfdh) {
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto rects = random_rects(rng, 30);
+    EXPECT_LE(strip_ffdh(rects).total_height,
+              strip_nfdh(rects).total_height + 1e-12);
+  }
+}
+
+TEST(StripBottomLeft, FeasibleOnRandomInputs) {
+  Rng rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto rects = random_rects(rng, 30);
+    const StripShelfResult result = strip_bottom_left(rects);
+    ASSERT_EQ(result.placements.size(), rects.size());
+    expect_feasible(rects, result);
+  }
+}
+
+TEST(StripBottomLeft, InterlocksBetterThanShelvesOnMixedWidths) {
+  // A wide flat rect plus tall narrow ones: shelves waste the space above
+  // the flat rect; bottom-left fills it.
+  const std::vector<Rect> rects{
+      {1.0, 1.0, ""}, {0.25, 3.0, ""}, {0.25, 3.0, ""}, {0.25, 3.0, ""},
+      {0.25, 3.0, ""}};
+  const StripShelfResult bl = strip_bottom_left(rects);
+  const StripShelfResult nfdh = strip_nfdh(rects);
+  expect_feasible(rects, bl);
+  EXPECT_DOUBLE_EQ(bl.total_height, 4.0);   // flat on floor, talls above
+  EXPECT_DOUBLE_EQ(nfdh.total_height, 4.0);  // same here (shelf 3 + 1)
+  // A case where BL strictly wins: two interlocking Ls.
+  const std::vector<Rect> els{
+      {0.5, 4.0, ""}, {0.5, 1.0, ""}, {0.5, 1.0, ""}, {0.5, 1.0, ""},
+      {0.5, 1.0, ""}};
+  const StripShelfResult bl2 = strip_bottom_left(els);
+  const StripShelfResult nfdh2 = strip_nfdh(els);
+  expect_feasible(els, bl2);
+  EXPECT_DOUBLE_EQ(bl2.total_height, 4.0);  // four 1-high stack beside tall
+  EXPECT_DOUBLE_EQ(nfdh2.total_height, 6.0);  // shelf 4 (two rects) + 1 + 1
+}
+
+TEST(StripBottomLeft, DecreasingWidthBound) {
+  // Baker-Coffman-Rivest: height <= 3 * OPT >= 3 * max(area, max height).
+  Rng rng(12);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto rects = random_rects(rng, 40);
+    double area = 0.0;
+    Time max_h = 0.0;
+    for (const Rect& r : rects) {
+      area += r.area();
+      max_h = std::max(max_h, r.height);
+    }
+    const StripShelfResult result = strip_bottom_left(rects);
+    EXPECT_LE(result.total_height,
+              3.0 * std::max(area, static_cast<double>(max_h)) + 1e-9);
+  }
+}
+
+TEST(StripBottomLeft, SingleAndEmpty) {
+  const std::vector<Rect> one{{0.5, 2.0, ""}};
+  const StripShelfResult r = strip_bottom_left(one);
+  EXPECT_DOUBLE_EQ(r.total_height, 2.0);
+  EXPECT_DOUBLE_EQ(r.placements[0].x, 0.0);
+  const std::vector<Rect> none;
+  EXPECT_DOUBLE_EQ(strip_bottom_left(none).total_height, 0.0);
+}
+
+TEST(StripPackers, FullWidthRectsStackVertically) {
+  const std::vector<Rect> rects{{1.0, 2.0, ""}, {1.0, 1.0, ""}};
+  const StripShelfResult result = strip_nfdh(rects);
+  EXPECT_EQ(result.shelf_count, 2u);
+  EXPECT_DOUBLE_EQ(result.total_height, 3.0);
+}
+
+TEST(StripPackers, EmptyInput) {
+  const std::vector<Rect> none;
+  EXPECT_DOUBLE_EQ(strip_nfdh(none).total_height, 0.0);
+  EXPECT_DOUBLE_EQ(strip_ffdh(none).total_height, 0.0);
+}
+
+TEST(StripPackers, RejectBadRects) {
+  const std::vector<Rect> bad{{1.5, 1.0, ""}};
+  EXPECT_THROW((void)strip_nfdh(bad), ContractViolation);
+  const std::vector<Rect> flat{{0.5, 0.0, ""}};
+  EXPECT_THROW((void)strip_ffdh(flat), ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

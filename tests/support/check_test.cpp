@@ -1,0 +1,48 @@
+#include "support/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace catbatch {
+namespace {
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(CB_CHECK(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Check, FailingCheckThrowsContractViolation) {
+  EXPECT_THROW(CB_CHECK(false, "always fails"), ContractViolation);
+}
+
+TEST(Check, MessageContainsExpressionAndText) {
+  try {
+    CB_CHECK(2 < 1, "two is not less than one");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_EQ(e.expression(), "2 < 1");
+  }
+}
+
+TEST(Check, MessageContainsSourceLocation) {
+  try {
+    CB_CHECK(false, "location probe");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("check_test.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, DcheckActiveInThisBuild) {
+  // The build strips NDEBUG so lemma-level invariants stay on.
+  EXPECT_THROW(CB_DCHECK(false, "dcheck probe"), ContractViolation);
+}
+
+TEST(Check, ContractViolationIsLogicError) {
+  EXPECT_THROW(CB_CHECK(false, "hierarchy"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace catbatch

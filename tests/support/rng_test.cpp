@@ -1,0 +1,129 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace catbatch {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int k = 0; k < 100; ++k) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::array<std::uint64_t, 8> first{};
+  for (auto& v : first) v = a();
+  a.reseed(7);
+  for (const auto v : first) EXPECT_EQ(a(), v);
+}
+
+TEST(Rng, UniformIntCoversFullInclusiveRange) {
+  Rng rng(99);
+  std::array<int, 5> seen{};
+  for (int k = 0; k < 2000; ++k) {
+    const auto v = rng.uniform_int(0, 4);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 4);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (const int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(5);
+  for (int k = 0; k < 10; ++k) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(17);
+  for (int k = 0; k < 200; ++k) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_int(3, 2), ContractViolation);
+}
+
+TEST(Rng, UniformRealStaysInHalfOpenRange) {
+  Rng rng(31);
+  for (int k = 0; k < 1000; ++k) {
+    const double v = rng.uniform_real(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, UniformRealMeanIsCentred) {
+  Rng rng(77);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int k = 0; k < trials; ++k) sum += rng.uniform_real(0.0, 1.0);
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRejectsOutOfRange) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.bernoulli(-0.1), ContractViolation);
+  EXPECT_THROW((void)rng.bernoulli(1.1), ContractViolation);
+}
+
+TEST(Rng, BoundedParetoStaysInRange) {
+  Rng rng(11);
+  for (int k = 0; k < 1000; ++k) {
+    const double v = rng.bounded_pareto(1.0, 100.0, 1.5);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed) {
+  // Most mass near the lower bound for alpha > 1.
+  Rng rng(13);
+  int below_ten = 0;
+  const int trials = 5000;
+  for (int k = 0; k < trials; ++k) {
+    if (rng.bounded_pareto(1.0, 1000.0, 1.5) < 10.0) ++below_ten;
+  }
+  EXPECT_GT(below_ten, trials * 8 / 10);
+}
+
+TEST(Rng, IndexStaysBelowBound) {
+  Rng rng(19);
+  for (int k = 0; k < 500; ++k) EXPECT_LT(rng.index(7), 7u);
+  EXPECT_THROW((void)rng.index(0), ContractViolation);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,70 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Task", "t", "p"});
+  t.add_row({"A", "6", "1"});
+  t.add_row({"B", "2", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Task"), std::string::npos);
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("B"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), ContractViolation);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+TEST(TextTable, NumericColumnsRightAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"y", "10000"});
+  const std::string out = t.render();
+  // "1" padded to the width of "10000" -> right aligned means spaces before.
+  EXPECT_NE(out.find("    1 |"), std::string::npos) << out;
+}
+
+TEST(TextTable, SeparatorRowsRender) {
+  TextTable t({"c"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header rule + separator + closing rule + top rule = at least 4 dashes
+  // lines; just check both data rows survive.
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsWidenToLargestCell) {
+  TextTable t({"h"});
+  t.add_row({"wide-cell-content"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("wide-cell-content"), std::string::npos);
+}
+
+TEST(TextTable, StreamOperatorMatchesRender) {
+  TextTable t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.render());
+}
+
+}  // namespace
+}  // namespace catbatch

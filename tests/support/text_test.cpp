@@ -1,0 +1,53 @@
+#include "support/text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace catbatch {
+namespace {
+
+TEST(FormatNumber, TrimsTrailingZeros) {
+  EXPECT_EQ(format_number(6.8), "6.8");
+  EXPECT_EQ(format_number(15.2), "15.2");
+  EXPECT_EQ(format_number(2.0), "2");
+  EXPECT_EQ(format_number(0.5), "0.5");
+}
+
+TEST(FormatNumber, RespectsPrecision) {
+  EXPECT_EQ(format_number(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(format_number(1.0 / 3.0, 1), "0.3");
+}
+
+TEST(FormatNumber, HandlesZeroAndNegatives) {
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(-2.5), "-2.5");
+  EXPECT_EQ(format_number(-0.0), "0");
+}
+
+TEST(FormatNumber, HandlesNonFinite) {
+  EXPECT_EQ(format_number(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");  // never truncates
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+TEST(Join, EmptySingleAndMany) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Repeated, BuildsRuns) {
+  EXPECT_EQ(repeated('-', 3), "---");
+  EXPECT_EQ(repeated('x', 0), "");
+}
+
+}  // namespace
+}  // namespace catbatch
