@@ -1,8 +1,10 @@
 // E14 — engineering throughput: google-benchmark microbenchmarks for the
 // hot paths (category computation, criticality pass, engine event loop,
-// full CatBatch and list-scheduling simulations).
+// full CatBatch and list-scheduling simulations), plus the parallel sweep
+// engine's scaling curve (BM_ParallelSweep/jobs:N — real time per grid).
 #include <benchmark/benchmark.h>
 
+#include "analysis/experiment.hpp"
 #include "core/category.hpp"
 #include "core/criticality.hpp"
 #include "instances/random_dags.hpp"
@@ -79,6 +81,34 @@ void BM_SimulateCholesky(benchmark::State& state) {
                           static_cast<std::int64_t>(g.size()));
 }
 BENCHMARK(BM_SimulateCholesky)->Arg(8)->Arg(16);
+
+// Scaling of the experiment engine itself: the same (family x scheduler x
+// seed) grid at increasing worker counts. Aggregates are bit-identical
+// across arms; only the real time should drop.
+void BM_ParallelSweep(benchmark::State& state) {
+  const auto families = standard_families(256, 16);
+  const auto lineup = standard_scheduler_lineup();
+  SweepOptions options;
+  options.procs = 16;
+  options.trials = 4;
+  options.base_seed = 42;
+  options.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_grid(families, lineup, options));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(families.size() * lineup.size() *
+                                options.trials));
+}
+BENCHMARK(BM_ParallelSweep)
+    ->ArgName("jobs")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GraphConstruction(benchmark::State& state) {
   Rng rng(7);

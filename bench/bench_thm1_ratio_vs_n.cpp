@@ -1,50 +1,76 @@
 // E8 — Theorem 1: CatBatch's measured competitive ratio (against Lb) over
 // a size sweep of random DAG families, compared to the log2(n)+3 curve and
 // to the list-scheduling baselines.
+//
+// Runs the (family x scheduler x seed) cross product on the parallel sweep
+// engine (--jobs N / CATBATCH_JOBS, default hardware concurrency; results
+// are bit-identical for every job count) and emits the aggregates plus
+// wall-clock timings as BENCH_thm1_ratio_vs_n.json.
 #include <algorithm>
 #include <iostream>
 
 #include "analysis/experiment.hpp"
+#include "analysis/json_report.hpp"
 #include "analysis/report.hpp"
 #include "core/lmatrix.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace catbatch;
   print_experiment_header(
       std::cout, "E8",
       "Theorem 1 — max measured T/Lb vs log2(n)+3 over random families");
 
-  const int procs = 16;
-  const std::size_t trials = 5;
+  SweepOptions options;
+  options.procs = 16;
+  options.trials = 5;
+  options.jobs = bench_jobs(argc, argv);
+  std::cout << "jobs: " << options.jobs << "\n";
+
+  const auto lineup = standard_scheduler_lineup();
+  std::vector<FamilySweep> report;
+  double wall_ms = 0.0;
 
   for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
-    std::cout << "\nn ≈ " << n << " (P = " << procs << ", " << trials
-              << " seeds per family, bound log2(n)+3 = "
+    std::cout << "\nn ≈ " << n << " (P = " << options.procs << ", "
+              << options.trials << " seeds per family, bound log2(n)+3 = "
               << format_number(theorem1_bound(n), 3) << ")\n";
+    options.base_seed = 42 + n;
+    const auto families = standard_families(n, options.procs);
+    const std::vector<FamilySweep> grid =
+        sweep_grid(families, lineup, options);
+
     TextTable table({"family", "scheduler", "max T/Lb", "mean T/Lb",
                      "max ratio/bound"});
-    for (const InstanceFamily& family : standard_families(n, procs)) {
-      const auto lineup = standard_scheduler_lineup();
-      const auto aggregates =
-          sweep_family(family, lineup, procs, trials, 42 + n);
-      for (const RatioAggregate& agg : aggregates) {
+    for (const FamilySweep& fs : grid) {
+      for (const RatioAggregate& agg : fs.aggregates) {
         // Keep the table readable: only CatBatch + two baselines.
         if (agg.scheduler != "catbatch" &&
             agg.scheduler != "relaxed-catbatch" &&
             agg.scheduler != "list-fifo") {
           continue;
         }
-        table.add_row({family.label, agg.scheduler,
+        table.add_row({fs.family, agg.scheduler,
                        format_number(agg.max_ratio, 3),
                        format_number(agg.mean_ratio, 3),
                        format_number(agg.max_theorem1_margin, 3)});
       }
       table.add_separator();
+
+      FamilySweep labeled = fs;
+      labeled.family = fs.family + "/n=" + std::to_string(n);
+      wall_ms += labeled.wall_ms;
+      report.push_back(std::move(labeled));
     }
     std::cout << table.render();
   }
+
+  const std::string path = write_bench_report(
+      "thm1_ratio_vs_n",
+      sweep_report_json("thm1_ratio_vs_n", options, report, wall_ms));
+  std::cout << "\nwrote " << path << " (" << format_number(wall_ms, 1)
+            << " ms of sweeps at " << options.jobs << " jobs)\n";
   std::cout << "\nShape check: catbatch's \"max ratio/bound\" stays <= 1 at "
                "every size (Theorem 1 is a worst-case guarantee; typical "
                "ratios are far below it). Greedy baselines usually win on "

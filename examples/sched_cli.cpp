@@ -1,12 +1,17 @@
 // sched_cli: schedule an instance loaded from a JSON file (or a built-in
-// demo instance) with a chosen algorithm; print metrics and optionally a
-// Gantt chart or CSV trace.
+// demo instance, or a random family) with any registered algorithm; print
+// metrics and optionally a Gantt chart or CSV trace.
 //
 //   $ ./sched_cli --algo catbatch --procs 8 instance.json
 //   $ ./sched_cli --demo --algo list-lpt --gantt
-//   $ ./sched_cli instance.json --csv > trace.csv
+//   $ ./sched_cli --demo --algo divide-conquer      # offline algorithms too
+//   $ ./sched_cli --list-algos
+//   $ ./sched_cli --random layered --tasks 200 --trials 32 --jobs 8
+//        --algo all --json sweep.json               # parallel multi-seed sweep
 //
-// The JSON dialect is documented in src/instances/io.hpp; export an example
+// Algorithms come from the central registry (src/sched/registry.hpp); the
+// list below in --list-algos is generated, never hand-maintained. The JSON
+// instance dialect is documented in src/instances/io.hpp; export an example
 // with --emit-demo.
 #include <fstream>
 #include <iostream>
@@ -14,60 +19,98 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/experiment.hpp"
+#include "analysis/json_report.hpp"
 #include "analysis/metrics.hpp"
 #include "instances/examples.hpp"
 #include "instances/io.hpp"
 #include "instances/stg.hpp"
-#include "sched/catbatch_scheduler.hpp"
-#include "sched/list_scheduler.hpp"
-#include "sched/relaxed_catbatch.hpp"
+#include "sched/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/svg.hpp"
 #include "sim/trace.hpp"
 #include "sim/validate.hpp"
+#include "support/table.hpp"
 #include "support/text.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
 using namespace catbatch;
 
-std::unique_ptr<OnlineScheduler> make_scheduler(const std::string& algo) {
-  if (algo == "catbatch") return std::make_unique<CatBatchScheduler>();
-  if (algo == "relaxed") return std::make_unique<RelaxedCatBatch>();
-  const auto make_list = [](ListPriority priority) {
-    return std::make_unique<ListScheduler>(
-        ListSchedulerOptions{priority, false});
-  };
-  if (algo == "list-fifo") return make_list(ListPriority::Fifo);
-  if (algo == "list-lpt") return make_list(ListPriority::LongestFirst);
-  if (algo == "list-spt") return make_list(ListPriority::ShortestFirst);
-  if (algo == "list-widest") return make_list(ListPriority::WidestFirst);
-  if (algo == "list-crit") return make_list(ListPriority::SmallestCriticality);
-  return nullptr;
+void list_algos(std::ostream& os) {
+  TextTable table({"name", "model", "aliases", "summary"});
+  for (const SchedulerEntry& entry : scheduler_registry()) {
+    std::string aliases;
+    for (const std::string& alias : entry.aliases) {
+      if (!aliases.empty()) aliases += ", ";
+      aliases += alias;
+    }
+    table.add_row({entry.name,
+                   entry.kind == SchedulerKind::Online ? "online" : "offline",
+                   aliases, entry.summary});
+  }
+  os << table.render();
 }
 
 int usage() {
   std::cerr
       << "usage: sched_cli [options] [instance.json|instance.stg]\n"
-         "  --algo NAME    catbatch | relaxed | list-fifo | list-lpt |\n"
-         "                 list-spt | list-widest | list-crit\n"
+         "  --algo NAME    a registry algorithm (see --list-algos), or\n"
+         "                 'all' for the standard comparison lineup\n"
+         "  --list-algos   print every registered algorithm and exit\n"
          "  --procs N      platform size (default: file's, else 8)\n"
-         "  --gantt        print an ASCII Gantt chart\n"
-         "  --svg FILE     write an SVG Gantt chart to FILE\n"
-         "  --csv          print the schedule as CSV\n"
+         "  --random FAM   use a random family instead of a file: one of\n"
+         "                 layered | order-dag | series-parallel | fork-join\n"
+         "                 | chains | out-tree | independent\n"
+         "  --tasks N      size of --random instances (default 100)\n"
+         "  --trials K     number of seeds to sweep (default 1)\n"
+         "  --seed S       base seed for --random / --trials (default 1)\n"
+         "  --jobs N       worker threads for multi-trial sweeps\n"
+         "                 (default: CATBATCH_JOBS, else hardware)\n"
+         "  --json FILE    write the sweep report as JSON to FILE\n"
+         "  --gantt        print an ASCII Gantt chart (single run)\n"
+         "  --svg FILE     write an SVG Gantt chart to FILE (single run)\n"
+         "  --csv          print the schedule as CSV (single run)\n"
          "  --dot          print the instance in Graphviz DOT\n"
          "  --demo         use the paper's 11-task example instead of a file\n"
          "  --emit-demo    print the demo instance as JSON and exit\n";
   return 1;
 }
 
+/// Lineup for a sweep: the standard registry lineup for "all", else the
+/// one named algorithm. For fixed instances the graph is captured so
+/// offline algorithms work too; for random families (`graph == nullptr`)
+/// only online algorithms are constructible.
+std::vector<NamedScheduler> sweep_lineup(const std::string& algo,
+                                         const TaskGraph* graph) {
+  if (algo == "all") return standard_scheduler_lineup();
+  const SchedulerEntry* entry = find_scheduler(algo);
+  if (entry == nullptr) return {};
+  if (entry->kind == SchedulerKind::Offline && graph == nullptr) {
+    std::cerr << "algorithm '" << entry->name
+              << "' needs the full instance (offline); it cannot sweep a "
+                 "random family\n";
+    return {};
+  }
+  const std::string name = entry->name;
+  if (graph != nullptr && entry->kind == SchedulerKind::Offline) {
+    return {NamedScheduler{name, [name, graph] {
+                             return make_scheduler(name, *graph);
+                           }}};
+  }
+  return {NamedScheduler{name, [name] { return make_scheduler(name); }}};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string algo = "catbatch";
-  std::string path;
-  std::string svg_path;
+  std::string path, svg_path, json_path, family_label;
   int procs = 0;
+  std::size_t tasks = 100, trials = 1;
+  std::uint64_t seed = 1;
+  int jobs = 0;
   bool gantt = false, csv = false, dot = false, demo = false,
        emit_demo = false;
 
@@ -77,6 +120,21 @@ int main(int argc, char** argv) {
       algo = argv[++k];
     } else if (arg == "--procs" && k + 1 < argc) {
       procs = std::atoi(argv[++k]);
+    } else if (arg == "--random" && k + 1 < argc) {
+      family_label = argv[++k];
+    } else if (arg == "--tasks" && k + 1 < argc) {
+      tasks = static_cast<std::size_t>(std::atoll(argv[++k]));
+    } else if (arg == "--trials" && k + 1 < argc) {
+      trials = static_cast<std::size_t>(std::atoll(argv[++k]));
+    } else if (arg == "--seed" && k + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++k]));
+    } else if (arg == "--jobs" && k + 1 < argc) {
+      jobs = std::atoi(argv[++k]);
+    } else if (arg == "--json" && k + 1 < argc) {
+      json_path = argv[++k];
+    } else if (arg == "--list-algos") {
+      list_algos(std::cout);
+      return 0;
     } else if (arg == "--gantt") {
       gantt = true;
     } else if (arg == "--svg" && k + 1 < argc) {
@@ -97,12 +155,63 @@ int main(int argc, char** argv) {
   }
 
   try {
-    TaskGraph graph;
-    int file_procs = 0;
     if (emit_demo) {
       std::cout << to_json(make_paper_example(), 4);
       return 0;
     }
+
+    // ---- Random-family sweep mode -------------------------------------
+    if (!family_label.empty()) {
+      if (procs <= 0) procs = 8;
+      const InstanceFamily family =
+          standard_family(family_label, tasks, procs);
+      const auto lineup = sweep_lineup(algo, nullptr);
+      if (lineup.empty()) return usage();
+
+      SweepOptions options;
+      options.procs = procs;
+      options.trials = trials;
+      options.base_seed = seed;
+      options.jobs = ThreadPool::resolve_jobs(jobs);
+      options.keep_runs = !json_path.empty();
+      const std::vector<FamilySweep> grid = sweep_grid(
+          std::span<const InstanceFamily>(&family, 1), lineup, options);
+      const FamilySweep& fs = grid.front();
+
+      std::cerr << "family      : " << fs.family << " (~" << tasks
+                << " tasks, P = " << procs << ")\n"
+                << "trials      : " << trials << " (seeds " << seed << ".."
+                << seed + trials - 1 << ")\n"
+                << "jobs        : " << options.jobs << "\n"
+                << "wall        : " << format_number(fs.wall_ms, 1)
+                << " ms\n";
+      TextTable table({"scheduler", "runs", "max T/Lb", "mean T/Lb",
+                       "max ratio/bound", "total ms"});
+      for (const RatioAggregate& agg : fs.aggregates) {
+        table.add_row({agg.scheduler, std::to_string(agg.runs),
+                       format_number(agg.max_ratio, 3),
+                       format_number(agg.mean_ratio, 3),
+                       format_number(agg.max_theorem1_margin, 3),
+                       format_number(agg.total_wall_ms, 1)});
+      }
+      std::cout << table.render();
+
+      if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+          std::cerr << "cannot write " << json_path << "\n";
+          return 1;
+        }
+        out << sweep_report_json("sched_cli", options, grid, fs.wall_ms)
+            << "\n";
+        std::cerr << "wrote " << json_path << "\n";
+      }
+      return 0;
+    }
+
+    // ---- File / demo instance -----------------------------------------
+    TaskGraph graph;
+    int file_procs = 0;
     if (demo) {
       graph = make_paper_example();
       file_procs = 4;
@@ -135,8 +244,57 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto scheduler = make_scheduler(algo);
-    if (!scheduler) return usage();
+    // Multi-trial timing sweep over a fixed instance: wrap the graph in a
+    // constant family (offline algorithms work — the graph is captured).
+    if (trials > 1 || algo == "all") {
+      const InstanceFamily constant{
+          demo ? "paper-example" : path,
+          [&graph](Rng&) { return graph; }};
+      const auto lineup = sweep_lineup(algo, &graph);
+      if (lineup.empty()) return usage();
+
+      SweepOptions options;
+      options.procs = procs;
+      options.trials = trials;
+      options.base_seed = seed;
+      options.jobs = ThreadPool::resolve_jobs(jobs);
+      options.keep_runs = !json_path.empty();
+      const std::vector<FamilySweep> grid = sweep_grid(
+          std::span<const InstanceFamily>(&constant, 1), lineup, options);
+      const FamilySweep& fs = grid.front();
+
+      std::cerr << "instance    : " << fs.family << " (" << graph.size()
+                << " tasks, P = " << procs << ")\n"
+                << "trials      : " << trials << "\n"
+                << "jobs        : " << options.jobs << "\n"
+                << "wall        : " << format_number(fs.wall_ms, 1)
+                << " ms\n";
+      TextTable table({"scheduler", "runs", "ratio", "total ms"});
+      for (const RatioAggregate& agg : fs.aggregates) {
+        table.add_row({agg.scheduler, std::to_string(agg.runs),
+                       format_number(agg.mean_ratio, 3),
+                       format_number(agg.total_wall_ms, 1)});
+      }
+      std::cout << table.render();
+      if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+          std::cerr << "cannot write " << json_path << "\n";
+          return 1;
+        }
+        out << sweep_report_json("sched_cli", options, grid, fs.wall_ms)
+            << "\n";
+        std::cerr << "wrote " << json_path << "\n";
+      }
+      return 0;
+    }
+
+    const auto scheduler = make_scheduler(algo, graph);
+    if (!scheduler) {
+      std::cerr << "unknown algorithm '" << algo
+                << "' (see --list-algos)\n";
+      return usage();
+    }
 
     const RunMetrics m = evaluate(graph, *scheduler, procs);
     std::cerr << "algorithm   : " << m.scheduler << "\n"

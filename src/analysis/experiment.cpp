@@ -1,41 +1,153 @@
 #include "analysis/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "instances/random_dags.hpp"
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 
 namespace catbatch {
 
-std::vector<RatioAggregate> sweep_family(
-    const InstanceFamily& family, const std::vector<NamedScheduler>& lineup,
-    int procs, std::size_t trials, std::uint64_t base_seed) {
-  CB_CHECK(trials >= 1, "sweep needs at least one trial");
+namespace {
+
+struct RunSlot {
+  RunMetrics metrics;
+  double wall_ms = 0.0;
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+/// Executes one (family, scheduler, trial) run. The instance is
+/// re-derived from Rng(base_seed + trial) inside the run, so concurrent
+/// runs share no RNG state and every scheduler sees the identical graph
+/// for a given trial.
+RunSlot execute_run(const InstanceFamily& family,
+                    const NamedScheduler& named, int procs,
+                    std::uint64_t seed) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Rng rng(seed);
+  const TaskGraph graph = family.make(rng);
+  const auto scheduler = named.make();
+  RunSlot slot;
+  slot.metrics = evaluate(graph, *scheduler, procs);
+  slot.wall_ms = ms_since(t0);
+  return slot;
+}
+
+/// Serial reduction in trial order — replicates the historical incremental
+/// formulas exactly, so aggregates are bit-identical for any job count.
+std::vector<RatioAggregate> reduce(const std::vector<NamedScheduler>& lineup,
+                                   std::span<const RunSlot> slots,
+                                   std::size_t trials) {
   std::vector<RatioAggregate> out;
   out.reserve(lineup.size());
   for (const NamedScheduler& named : lineup) {
-    out.push_back(RatioAggregate{named.label, 0, 0.0, 0.0, 0.0});
+    out.push_back(RatioAggregate{named.label, 0, 0.0, 0.0, 0.0, 0.0, 0.0});
   }
-
   for (std::size_t trial = 0; trial < trials; ++trial) {
-    Rng rng(base_seed + trial);
-    const TaskGraph graph = family.make(rng);
     for (std::size_t s = 0; s < lineup.size(); ++s) {
-      const auto scheduler = lineup[s].make();
-      const RunMetrics m = evaluate(graph, *scheduler, procs);
+      const RunSlot& slot = slots[trial * lineup.size() + s];
+      const RunMetrics& m = slot.metrics;
       RatioAggregate& agg = out[s];
       ++agg.runs;
       agg.max_ratio = std::max(agg.max_ratio, m.ratio);
-      agg.mean_ratio += (m.ratio - agg.mean_ratio) /
-                        static_cast<double>(agg.runs);
+      agg.mean_ratio +=
+          (m.ratio - agg.mean_ratio) / static_cast<double>(agg.runs);
       if (m.theorem1_bound > 0.0) {
         agg.max_theorem1_margin =
             std::max(agg.max_theorem1_margin, m.ratio / m.theorem1_bound);
       }
+      if (m.theorem2_bound > 0.0) {
+        agg.max_theorem2_margin =
+            std::max(agg.max_theorem2_margin, m.ratio / m.theorem2_bound);
+      }
+      agg.total_wall_ms += slot.wall_ms;
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<FamilySweep> sweep_grid(std::span<const InstanceFamily> families,
+                                    const std::vector<NamedScheduler>& lineup,
+                                    const SweepOptions& options) {
+  CB_CHECK(options.trials >= 1, "sweep needs at least one trial");
+  CB_CHECK(!lineup.empty(), "sweep needs at least one scheduler");
+  const std::size_t per_family = options.trials * lineup.size();
+  const std::size_t total = families.size() * per_family;
+
+  // One flat slot per (family, trial, scheduler) run; workers only ever
+  // touch their own slot.
+  std::vector<RunSlot> slots(total);
+  const auto grid_t0 = std::chrono::steady_clock::now();
+
+  parallel_for(options.jobs, total, [&](std::size_t flat) {
+    const std::size_t f = flat / per_family;
+    const std::size_t rest = flat % per_family;
+    const std::size_t trial = rest / lineup.size();
+    const std::size_t s = rest % lineup.size();
+    slots[flat] = execute_run(families[f], lineup[s], options.procs,
+                              options.base_seed + trial);
+  });
+
+  const double grid_ms = ms_since(grid_t0);
+  double total_busy = 0.0;
+  for (const RunSlot& slot : slots) total_busy += slot.wall_ms;
+
+  std::vector<FamilySweep> out;
+  out.reserve(families.size());
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    FamilySweep fs;
+    fs.family = families[f].label;
+    const std::span<const RunSlot> family_slots(
+        slots.data() + f * per_family, per_family);
+    fs.aggregates = reduce(lineup, family_slots, options.trials);
+    double busy = 0.0;
+    for (const RunSlot& slot : family_slots) busy += slot.wall_ms;
+    // Per-family wall clock is attributed proportionally to run cost when
+    // families share the pool; the sum over families equals the grid's
+    // elapsed time.
+    fs.wall_ms = total_busy > 0.0 ? grid_ms * (busy / total_busy) : 0.0;
+    if (options.keep_runs) {
+      fs.runs.reserve(per_family);
+      for (std::size_t trial = 0; trial < options.trials; ++trial) {
+        for (std::size_t s = 0; s < lineup.size(); ++s) {
+          const RunSlot& slot = family_slots[trial * lineup.size() + s];
+          fs.runs.push_back(RunRecord{lineup[s].label,
+                                      options.base_seed + trial, slot.metrics,
+                                      slot.wall_ms});
+        }
+      }
+    }
+    out.push_back(std::move(fs));
+  }
+  return out;
+}
+
+std::vector<RatioAggregate> sweep_family(
+    const InstanceFamily& family, const std::vector<NamedScheduler>& lineup,
+    const SweepOptions& options) {
+  const std::vector<FamilySweep> grid =
+      sweep_grid(std::span<const InstanceFamily>(&family, 1), lineup,
+                 options);
+  return grid.front().aggregates;
+}
+
+std::vector<RatioAggregate> sweep_family(
+    const InstanceFamily& family, const std::vector<NamedScheduler>& lineup,
+    int procs, std::size_t trials, std::uint64_t base_seed) {
+  SweepOptions options;
+  options.procs = procs;
+  options.trials = trials;
+  options.base_seed = base_seed;
+  options.jobs = 1;
+  return sweep_family(family, lineup, options);
 }
 
 std::vector<InstanceFamily> standard_families(std::size_t task_count,
@@ -89,6 +201,15 @@ std::vector<InstanceFamily> standard_families(std::size_t task_count,
         return random_independent(rng, task_count, params);
       }});
   return out;
+}
+
+InstanceFamily standard_family(const std::string& label,
+                               std::size_t task_count, int max_procs) {
+  for (InstanceFamily& family : standard_families(task_count, max_procs)) {
+    if (family.label == label) return std::move(family);
+  }
+  CB_CHECK(false, "unknown instance family: " + label);
+  return {};  // unreachable
 }
 
 }  // namespace catbatch

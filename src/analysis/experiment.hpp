@@ -1,9 +1,20 @@
-// Reusable experiment drivers: run a scheduler lineup over a family of
+// Reusable experiment drivers: run a scheduler lineup over families of
 // random instances and aggregate worst-case / average ratios. Used by the
-// Theorem 1/2 benches and by the workload comparison.
+// Theorem 1/2 benches, the workload comparison, and sched_cli --trials.
+//
+// Sweeps fan the (scheduler, seed) cross product out over a thread pool
+// (SweepOptions::jobs). Determinism is a hard contract: every run derives
+// its instance from its own Rng(base_seed + trial) stream (never shared
+// between runs), workers write into pre-sized result slots, and aggregation
+// happens serially in trial order afterwards — so the aggregates are
+// bit-identical for every job count, and identical to the historical serial
+// implementation. Wall-clock timings are the only fields that vary between
+// runs.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,25 +30,78 @@ struct InstanceFamily {
   std::function<TaskGraph(Rng&)> make;
 };
 
-/// Aggregated ratios of one scheduler over many instances.
+/// Aggregated ratios of one scheduler over many instances. All fields
+/// except `total_wall_ms` are deterministic in (family, procs, trials,
+/// base_seed) and independent of the job count.
 struct RatioAggregate {
   std::string scheduler;
   std::size_t runs = 0;
   double max_ratio = 0.0;
   double mean_ratio = 0.0;
   double max_theorem1_margin = 0.0;  // max over runs of ratio / (log2(n)+3)
+  double max_theorem2_margin = 0.0;  // max over runs of ratio / (log2(M/m)+6)
+  double total_wall_ms = 0.0;        // summed per-run wall clock (not deterministic)
+};
+
+/// One (scheduler, seed) run, retained when SweepOptions::keep_runs is set.
+struct RunRecord {
+  std::string scheduler;
+  std::uint64_t seed = 0;
+  RunMetrics metrics;
+  double wall_ms = 0.0;
+};
+
+/// Results of one family in a sweep.
+struct FamilySweep {
+  std::string family;
+  std::vector<RatioAggregate> aggregates;  // one per lineup entry, in order
+  std::vector<RunRecord> runs;             // empty unless keep_runs
+  double wall_ms = 0.0;                    // wall clock spent on this family
+};
+
+struct SweepOptions {
+  int procs = 16;
+  std::size_t trials = 1;
+  std::uint64_t base_seed = 0;
+  /// Worker threads for the (scheduler, seed) fan-out; <= 0 resolves to
+  /// ThreadPool::default_jobs() (CATBATCH_JOBS env, else hardware
+  /// concurrency). 1 executes serially on the calling thread.
+  int jobs = 1;
+  /// Retain per-run metrics/timings in FamilySweep::runs (trial-major,
+  /// scheduler-minor order) for detailed JSON reports.
+  bool keep_runs = false;
 };
 
 /// Runs every scheduler of `lineup` on `trials` instances of `family`
-/// (seeds base_seed, base_seed+1, ...) on `procs` processors.
+/// (seeds base_seed, base_seed+1, ...), fanning runs out over
+/// `options.jobs` workers.
+[[nodiscard]] std::vector<RatioAggregate> sweep_family(
+    const InstanceFamily& family, const std::vector<NamedScheduler>& lineup,
+    const SweepOptions& options);
+
+/// Historical signature (serial semantics = jobs 1). Kept so call sites
+/// that don't care about parallelism stay terse.
 [[nodiscard]] std::vector<RatioAggregate> sweep_family(
     const InstanceFamily& family, const std::vector<NamedScheduler>& lineup,
     int procs, std::size_t trials, std::uint64_t base_seed);
+
+/// Cross product: every family × every lineup entry × every seed, one
+/// shared worker pool across the whole grid. Results are returned per
+/// family, in input order.
+[[nodiscard]] std::vector<FamilySweep> sweep_grid(
+    std::span<const InstanceFamily> families,
+    const std::vector<NamedScheduler>& lineup, const SweepOptions& options);
 
 /// The default family lineup over `max_procs`-wide tasks used by the
 /// Theorem 1 bench: layered, order-DAG, series-parallel, fork-join, chains,
 /// out-tree and independent instances of roughly `task_count` tasks.
 [[nodiscard]] std::vector<InstanceFamily> standard_families(
     std::size_t task_count, int max_procs);
+
+/// The family named `label` from standard_families(); throws on unknown
+/// labels. Used by sched_cli --random.
+[[nodiscard]] InstanceFamily standard_family(const std::string& label,
+                                             std::size_t task_count,
+                                             int max_procs);
 
 }  // namespace catbatch

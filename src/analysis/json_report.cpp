@@ -1,0 +1,202 @@
+#include "analysis/json_report.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), v);
+  CB_CHECK(ec == std::errc(), "double formatting failed");
+  return std::string(buffer, ptr);
+}
+
+}  // namespace
+
+std::string json_quote(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out.push_back('"');
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_.push_back(',');
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  CB_CHECK(!needs_comma_.empty(), "end_object without begin_object");
+  needs_comma_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  CB_CHECK(!needs_comma_.empty(), "end_array without begin_array");
+  needs_comma_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  separate();
+  out_ += json_quote(name);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separate();
+  out_ += json_quote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  out_ += format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string sweep_report_json(const std::string& bench_id,
+                              const SweepOptions& options,
+                              std::span<const FamilySweep> families,
+                              double wall_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(bench_id);
+  w.key("schema").value(1);
+  w.key("procs").value(options.procs);
+  w.key("trials").value(options.trials);
+  w.key("base_seed").value(options.base_seed);
+  w.key("jobs").value(options.jobs);
+  w.key("wall_ms").value(wall_ms);
+  w.key("families").begin_array();
+  for (const FamilySweep& fs : families) {
+    w.begin_object();
+    w.key("family").value(fs.family);
+    w.key("wall_ms").value(fs.wall_ms);
+    w.key("schedulers").begin_array();
+    for (const RatioAggregate& agg : fs.aggregates) {
+      w.begin_object();
+      w.key("scheduler").value(agg.scheduler);
+      w.key("runs").value(agg.runs);
+      w.key("max_ratio").value(agg.max_ratio);
+      w.key("mean_ratio").value(agg.mean_ratio);
+      w.key("max_theorem1_margin").value(agg.max_theorem1_margin);
+      w.key("max_theorem2_margin").value(agg.max_theorem2_margin);
+      w.key("total_wall_ms").value(agg.total_wall_ms);
+      w.end_object();
+    }
+    w.end_array();
+    if (!fs.runs.empty()) {
+      w.key("runs").begin_array();
+      for (const RunRecord& run : fs.runs) {
+        w.begin_object();
+        w.key("scheduler").value(run.scheduler);
+        w.key("seed").value(run.seed);
+        w.key("tasks").value(run.metrics.task_count);
+        w.key("makespan").value(static_cast<double>(run.metrics.makespan));
+        w.key("lower_bound")
+            .value(static_cast<double>(run.metrics.lower_bound));
+        w.key("ratio").value(run.metrics.ratio);
+        w.key("wall_ms").value(run.wall_ms);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string write_bench_report(const std::string& bench_id,
+                               const std::string& json, std::string dir) {
+  if (dir.empty()) {
+    if (const char* env = std::getenv("CATBATCH_BENCH_DIR")) dir = env;
+    if (dir.empty()) dir = ".";
+  }
+  const std::string path = dir + "/BENCH_" + bench_id + ".json";
+  std::ofstream out(path);
+  CB_CHECK(out.good(), "cannot open bench report for writing: " + path);
+  out << json << "\n";
+  out.close();
+  CB_CHECK(out.good(), "failed to write bench report: " + path);
+  return path;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,77 @@
+// Machine-readable bench results: BENCH_*.json emission.
+//
+// Every sweep-driven bench serializes its aggregates (and, with keep_runs,
+// per-run metrics/timings) into a small stable JSON document so that ratio
+// and wall-clock trajectories are trackable across PRs by tooling instead
+// of by diffing text tables. The dialect is deliberately tiny: objects,
+// arrays, strings, bools and finite doubles (non-finite values render as
+// null). Schema (schema = 1):
+//
+//   {
+//     "bench": "thm1_ratio_vs_n", "schema": 1,
+//     "procs": 16, "trials": 5, "base_seed": 42, "jobs": 8,
+//     "wall_ms": 123.4,
+//     "families": [
+//       { "family": "layered", "wall_ms": 17.2,
+//         "schedulers": [
+//           { "scheduler": "catbatch", "runs": 5,
+//             "max_ratio": 1.8, "mean_ratio": 1.5,
+//             "max_theorem1_margin": 0.25, "max_theorem2_margin": 0.21,
+//             "total_wall_ms": 15.1 }, ... ],
+//         "runs": [ { "scheduler": "catbatch", "seed": 42, "tasks": 256,
+//                     "makespan": 91.0, "lower_bound": 61.2,
+//                     "ratio": 1.49, "wall_ms": 3.0 }, ... ] }, ... ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+
+namespace catbatch {
+
+/// Incremental JSON writer with correct string escaping and shortest
+/// round-trip double formatting. Keys/values must be emitted in a valid
+/// order (the writer tracks comma placement, not grammar).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Emits `"name":` — must be followed by a value (or begin_*).
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);  // non-finite -> null
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void separate();
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one level per open container
+  bool after_key_ = false;
+};
+
+/// Escapes `raw` as a JSON string literal (with surrounding quotes).
+[[nodiscard]] std::string json_quote(const std::string& raw);
+
+/// Serializes a grid sweep into the document described above.
+[[nodiscard]] std::string sweep_report_json(
+    const std::string& bench_id, const SweepOptions& options,
+    std::span<const FamilySweep> families, double wall_ms);
+
+/// Writes `json` to `<dir>/BENCH_<bench_id>.json` and returns the path.
+/// `dir` defaults to CATBATCH_BENCH_DIR if set, else the working directory.
+std::string write_bench_report(const std::string& bench_id,
+                               const std::string& json,
+                               std::string dir = {});
+
+}  // namespace catbatch

@@ -1,10 +1,7 @@
 #include "analysis/metrics.hpp"
 
 #include "core/lmatrix.hpp"
-#include "sched/backfill.hpp"
-#include "sched/catbatch_scheduler.hpp"
-#include "sched/list_scheduler.hpp"
-#include "sched/relaxed_catbatch.hpp"
+#include "sched/registry.hpp"
 #include "sim/validate.hpp"
 #include "support/check.hpp"
 
@@ -49,25 +46,15 @@ RunMetrics evaluate(InstanceSource& source, OnlineScheduler& scheduler,
 }
 
 std::vector<NamedScheduler> standard_scheduler_lineup() {
+  // The lineup *is* the registry's standard set: one construction API for
+  // benches, examples and tests (ISSUE 2's single-factory invariant).
   std::vector<NamedScheduler> out;
-  out.push_back(NamedScheduler{
-      "catbatch", [] { return std::make_unique<CatBatchScheduler>(); }});
-  out.push_back(NamedScheduler{
-      "relaxed-catbatch", [] { return std::make_unique<RelaxedCatBatch>(); }});
-  const auto add_list = [&out](ListPriority priority) {
-    ListSchedulerOptions options;
-    options.priority = priority;
+  for (const std::string& name : standard_lineup()) {
+    CB_CHECK(find_scheduler(name) != nullptr,
+             "standard lineup names a scheduler missing from the registry");
     out.push_back(NamedScheduler{
-        std::string("list-") + to_string(priority), [options] {
-          return std::make_unique<ListScheduler>(options);
-        }});
-  };
-  add_list(ListPriority::Fifo);
-  add_list(ListPriority::LongestFirst);
-  add_list(ListPriority::WidestFirst);
-  add_list(ListPriority::SmallestCriticality);
-  out.push_back(NamedScheduler{
-      "easy-backfill", [] { return std::make_unique<EasyBackfill>(); }});
+        name, [name] { return make_scheduler(name); }});
+  }
   return out;
 }
 

@@ -1,8 +1,11 @@
 #include "analysis/report.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <ostream>
 
 #include "support/text.hpp"
+#include "support/thread_pool.hpp"
 
 namespace catbatch {
 
@@ -22,6 +25,16 @@ void add_metrics_row(TextTable& table, const RunMetrics& m) {
                  format_number(static_cast<double>(m.lower_bound), 4),
                  format_number(m.ratio, 3), format_number(m.utilization, 3),
                  format_number(m.theorem1_bound, 3)});
+}
+
+int bench_jobs(int argc, char** argv) {
+  for (int k = 1; k + 1 < argc; ++k) {
+    if (std::strcmp(argv[k], "--jobs") == 0) {
+      const int parsed = std::atoi(argv[k + 1]);
+      if (parsed > 0) return parsed;
+    }
+  }
+  return ThreadPool::default_jobs();
 }
 
 }  // namespace catbatch

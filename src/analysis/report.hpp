@@ -21,4 +21,9 @@ void print_experiment_header(std::ostream& os, const std::string& id,
 [[nodiscard]] TextTable make_metrics_table();
 void add_metrics_row(TextTable& table, const RunMetrics& metrics);
 
+/// Shared `--jobs N` knob for the bench mains: returns N when present in
+/// argv, otherwise ThreadPool::default_jobs() (CATBATCH_JOBS environment
+/// override, else hardware concurrency).
+[[nodiscard]] int bench_jobs(int argc, char** argv);
+
 }  // namespace catbatch

@@ -1,0 +1,338 @@
+#include "sched/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sched/backfill.hpp"
+#include "sched/catbatch_contiguous.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/divide_conquer.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/offline_catbatch.hpp"
+#include "sched/rank_scheduler.hpp"
+#include "sched/relaxed_catbatch.hpp"
+#include "sched/shelf.hpp"
+#include "sim/schedule.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+
+/// Drives a schedule produced by an offline construction through the online
+/// engine: at every decision point it starts exactly the tasks whose
+/// recorded start time has been reached. The platform width is only known
+/// at simulation time, so the offline construction is deferred to the first
+/// select() call (nothing has started yet, hence `available_procs` there is
+/// the full platform).
+class ReplayScheduler final : public OnlineScheduler {
+ public:
+  using Builder = std::function<Schedule(const TaskGraph&, int procs)>;
+
+  ReplayScheduler(std::string name, const TaskGraph& graph, Builder builder)
+      : name_(std::move(name)), graph_(&graph), builder_(std::move(builder)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void reset() override {
+    built_ = false;
+    procs_ = 0;
+    starts_.clear();
+    next_ = 0;
+    ready_.clear();
+  }
+
+  void task_ready(const ReadyTask& task, Time /*now*/) override {
+    if (ready_.size() <= task.id) ready_.resize(task.id + 1, 0);
+    ready_[task.id] = 1;
+  }
+
+  [[nodiscard]] std::vector<TaskId> select(Time now,
+                                           int available_procs) override {
+    if (!built_) {
+      procs_ = available_procs;
+      build();
+      built_ = true;
+    }
+    const Time eps = 1e-9 * std::max(1.0, now);
+    std::vector<TaskId> picks;
+    int budget = available_procs;
+    std::size_t i = next_;
+    while (i < starts_.size() && starts_[i].start <= now + eps) {
+      const Entry& e = starts_[i];
+      if (!is_ready(e.id) || e.procs > budget) break;
+      picks.push_back(e.id);
+      budget -= e.procs;
+      ++i;
+    }
+    next_ = i;
+    // Safety valve: the builders above produce start times that coincide
+    // with completion events, so this never fires for them — but if a
+    // replayed schedule ever placed a start strictly between events, the
+    // earliest pending task is provably ready once the platform is fully
+    // idle, and starting it keeps the simulation live (at the cost of an
+    // earlier-than-recorded start).
+    if (picks.empty() && budget == procs_ && next_ < starts_.size() &&
+        is_ready(starts_[next_].id)) {
+      picks.push_back(starts_[next_].id);
+      ++next_;
+    }
+    return picks;
+  }
+
+ private:
+  struct Entry {
+    Time start;
+    TaskId id;
+    int procs;
+  };
+
+  [[nodiscard]] bool is_ready(TaskId id) const {
+    return id < ready_.size() && ready_[id] != 0;
+  }
+
+  void build() {
+    const Schedule schedule = builder_(*graph_, procs_);
+    starts_.reserve(schedule.size());
+    for (const ScheduledTask& st : schedule.entries()) {
+      starts_.push_back(Entry{st.start, st.id,
+                              static_cast<int>(st.processors.size())});
+    }
+    std::sort(starts_.begin(), starts_.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.id < b.id;
+              });
+  }
+
+  std::string name_;
+  const TaskGraph* graph_;
+  Builder builder_;
+  bool built_ = false;
+  int procs_ = 0;
+  std::vector<Entry> starts_;
+  std::size_t next_ = 0;
+  std::vector<char> ready_;
+};
+
+std::unique_ptr<OnlineScheduler> make_replay(std::string name,
+                                             const TaskGraph* graph,
+                                             ReplayScheduler::Builder builder) {
+  CB_CHECK(graph != nullptr, "offline scheduler needs the instance graph");
+  return std::make_unique<ReplayScheduler>(std::move(name), *graph,
+                                           std::move(builder));
+}
+
+std::vector<Task> tasks_of(const TaskGraph& graph) {
+  std::vector<Task> tasks;
+  tasks.reserve(graph.size());
+  for (TaskId id = 0; id < graph.size(); ++id) tasks.push_back(graph.task(id));
+  return tasks;
+}
+
+SchedulerEntry list_entry(std::string name, std::string alias,
+                          std::string summary, ListPriority priority) {
+  SchedulerEntry e;
+  e.name = std::move(name);
+  e.aliases = {std::move(alias)};
+  e.summary = std::move(summary);
+  e.kind = SchedulerKind::Online;
+  e.make = [priority](const TaskGraph*) -> std::unique_ptr<OnlineScheduler> {
+    ListSchedulerOptions options;
+    options.priority = priority;
+    return std::make_unique<ListScheduler>(options);
+  };
+  return e;
+}
+
+std::vector<SchedulerEntry> build_registry() {
+  std::vector<SchedulerEntry> r;
+
+  SchedulerEntry catbatch_entry;
+  catbatch_entry.name = "catbatch";
+  catbatch_entry.aliases = {"catbatch-arrival"};
+  catbatch_entry.summary =
+      "the paper's online algorithm: category batches, ratio log2(n)+3";
+  catbatch_entry.make = [](const TaskGraph*) {
+    return std::make_unique<CatBatchScheduler>();
+  };
+  r.push_back(std::move(catbatch_entry));
+
+  SchedulerEntry relaxed;
+  relaxed.name = "relaxed-catbatch";
+  relaxed.aliases = {"relaxed"};
+  relaxed.summary =
+      "category priority without the batch barrier (Section 7 heuristic)";
+  relaxed.make = [](const TaskGraph*) {
+    return std::make_unique<RelaxedCatBatch>();
+  };
+  r.push_back(std::move(relaxed));
+
+  r.push_back(list_entry("list-fifo", "fifo",
+                         "greedy list scheduling in arrival order",
+                         ListPriority::Fifo));
+  r.push_back(list_entry("list-longest-first", "list-lpt",
+                         "greedy list scheduling, longest task first",
+                         ListPriority::LongestFirst));
+  r.push_back(list_entry("list-shortest-first", "list-spt",
+                         "greedy list scheduling, shortest task first",
+                         ListPriority::ShortestFirst));
+  r.push_back(list_entry("list-widest-first", "list-widest",
+                         "greedy list scheduling, widest task first",
+                         ListPriority::WidestFirst));
+  r.push_back(list_entry("list-narrowest-first", "list-narrowest",
+                         "greedy list scheduling, narrowest task first",
+                         ListPriority::NarrowestFirst));
+  r.push_back(list_entry("list-smallest-criticality", "list-crit",
+                         "greedy list scheduling by online criticality s-inf",
+                         ListPriority::SmallestCriticality));
+
+  SchedulerEntry backfill;
+  backfill.name = "easy-backfill";
+  backfill.aliases = {"backfill"};
+  backfill.summary = "EASY backfilling (production HPC queueing baseline)";
+  backfill.make = [](const TaskGraph*) {
+    return std::make_unique<EasyBackfill>();
+  };
+  r.push_back(std::move(backfill));
+
+  SchedulerEntry rank;
+  rank.name = "rank";
+  rank.aliases = {"rank-offline"};
+  rank.summary = "upward-rank greedy (HEFT-style); offline knowledge";
+  rank.kind = SchedulerKind::Offline;
+  rank.make = [](const TaskGraph* g) -> std::unique_ptr<OnlineScheduler> {
+    CB_CHECK(g != nullptr, "offline scheduler needs the instance graph");
+    return std::make_unique<RankScheduler>(*g);
+  };
+  r.push_back(std::move(rank));
+
+  SchedulerEntry offline_cb;
+  offline_cb.name = "offline-catbatch";
+  offline_cb.summary =
+      "CatBatch with categories precomputed from the full graph (Lemma 1 twin)";
+  offline_cb.kind = SchedulerKind::Offline;
+  offline_cb.make =
+      [](const TaskGraph* g) -> std::unique_ptr<OnlineScheduler> {
+    CB_CHECK(g != nullptr, "offline scheduler needs the instance graph");
+    return std::make_unique<CatBatchScheduler>(make_offline_catbatch(*g));
+  };
+  r.push_back(std::move(offline_cb));
+
+  SchedulerEntry dc;
+  dc.name = "divide-conquer";
+  dc.aliases = {"dc"};
+  dc.summary =
+      "offline divide-and-conquer of Augustine et al., ratio log2(n+1)+2";
+  dc.kind = SchedulerKind::Offline;
+  dc.make = [](const TaskGraph* g) {
+    return make_replay("divide-conquer", g,
+                       [](const TaskGraph& graph, int procs) {
+                         return divide_conquer_schedule(graph, procs).schedule;
+                       });
+  };
+  r.push_back(std::move(dc));
+
+  SchedulerEntry contiguous;
+  contiguous.name = "contiguous-catbatch";
+  contiguous.aliases = {"contiguous"};
+  contiguous.summary =
+      "CatBatch with contiguous processor ranges (shelf-packed batches)";
+  contiguous.kind = SchedulerKind::Offline;
+  contiguous.make = [](const TaskGraph* g) {
+    return make_replay("contiguous-catbatch", g,
+                       [](const TaskGraph& graph, int procs) {
+                         return catbatch_contiguous_schedule(graph, procs)
+                             .schedule;
+                       });
+  };
+  r.push_back(std::move(contiguous));
+
+  SchedulerEntry nfdh;
+  nfdh.name = "shelf-nfdh";
+  nfdh.aliases = {"nfdh"};
+  nfdh.summary =
+      "Next-Fit Decreasing Height shelves (independent tasks only)";
+  nfdh.kind = SchedulerKind::Offline;
+  nfdh.independent_only = true;
+  nfdh.make = [](const TaskGraph* g) {
+    return make_replay("shelf-nfdh", g,
+                       [](const TaskGraph& graph, int procs) {
+                         CB_CHECK(graph.edge_count() == 0,
+                                  "shelf packers need independent tasks");
+                         const std::vector<Task> tasks = tasks_of(graph);
+                         return packing_to_schedule(pack_nfdh(tasks, procs),
+                                                    tasks);
+                       });
+  };
+  r.push_back(std::move(nfdh));
+
+  SchedulerEntry ffdh;
+  ffdh.name = "shelf-ffdh";
+  ffdh.aliases = {"ffdh"};
+  ffdh.summary =
+      "First-Fit Decreasing Height shelves (independent tasks only)";
+  ffdh.kind = SchedulerKind::Offline;
+  ffdh.independent_only = true;
+  ffdh.make = [](const TaskGraph* g) {
+    return make_replay("shelf-ffdh", g,
+                       [](const TaskGraph& graph, int procs) {
+                         CB_CHECK(graph.edge_count() == 0,
+                                  "shelf packers need independent tasks");
+                         const std::vector<Task> tasks = tasks_of(graph);
+                         return packing_to_schedule(pack_ffdh(tasks, procs),
+                                                    tasks);
+                       });
+  };
+  r.push_back(std::move(ffdh));
+
+  return r;
+}
+
+}  // namespace
+
+const std::vector<SchedulerEntry>& scheduler_registry() {
+  static const std::vector<SchedulerEntry> registry = build_registry();
+  return registry;
+}
+
+const SchedulerEntry* find_scheduler(const std::string& name) {
+  for (const SchedulerEntry& entry : scheduler_registry()) {
+    if (entry.name == name) return &entry;
+    for (const std::string& alias : entry.aliases) {
+      if (alias == name) return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> scheduler_names() {
+  std::vector<std::string> names;
+  names.reserve(scheduler_registry().size());
+  for (const SchedulerEntry& entry : scheduler_registry()) {
+    names.push_back(entry.name);
+  }
+  return names;
+}
+
+std::unique_ptr<OnlineScheduler> make_scheduler(const std::string& name) {
+  const SchedulerEntry* entry = find_scheduler(name);
+  if (entry == nullptr || entry->kind != SchedulerKind::Online) return nullptr;
+  return entry->make(nullptr);
+}
+
+std::unique_ptr<OnlineScheduler> make_scheduler(const std::string& name,
+                                                const TaskGraph& graph) {
+  const SchedulerEntry* entry = find_scheduler(name);
+  if (entry == nullptr) return nullptr;
+  return entry->make(&graph);
+}
+
+std::vector<std::string> standard_lineup() {
+  return {"catbatch",          "relaxed-catbatch",
+          "list-fifo",         "list-longest-first",
+          "list-widest-first", "list-smallest-criticality",
+          "easy-backfill"};
+}
+
+}  // namespace catbatch

@@ -1,0 +1,76 @@
+// The single name -> scheduler factory for the whole repo.
+//
+// Every algorithm the library implements — the paper's CatBatch and its
+// relaxed/offline/contiguous variants, the list-scheduling family, EASY
+// backfilling, upward-rank greedy, offline divide-and-conquer, and the
+// Coffman shelf packers — is registered here under one canonical name (plus
+// historical aliases, e.g. "relaxed" for "relaxed-catbatch"). Benches,
+// examples, and tests construct schedulers exclusively through this API, so
+// adding an algorithm to the registry makes it reachable from sched_cli,
+// the sweep engine, and the comparison lineup in one step.
+//
+// Two capability tiers, mirroring the paper's information models:
+//   * Online   — constructible with no instance knowledge (Section 3.1);
+//                make_scheduler(name) suffices.
+//   * Offline  — needs the full TaskGraph up front (rank, offline-catbatch,
+//                divide-conquer, contiguous-catbatch, shelves);
+//                make_scheduler(name, graph) builds an adapter that replays
+//                the offline construction through the online engine, so
+//                every algorithm is drivable by the same simulate() loop.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "sim/scheduler.hpp"
+
+namespace catbatch {
+
+enum class SchedulerKind {
+  Online,   // no instance knowledge needed
+  Offline,  // requires the full graph at construction
+};
+
+struct SchedulerEntry {
+  std::string name;                  // canonical registry key
+  std::vector<std::string> aliases;  // accepted alternative spellings
+  std::string summary;               // one-liner for --list-algos
+  SchedulerKind kind = SchedulerKind::Online;
+  /// Only meaningful for shelf packers: the instance must have no
+  /// precedence edges (independent rigid tasks).
+  bool independent_only = false;
+  /// Factory. `graph` is null for Online construction and non-null (and
+  /// must outlive the scheduler) for Offline construction.
+  std::function<std::unique_ptr<OnlineScheduler>(const TaskGraph* graph)>
+      make;
+};
+
+/// All registered schedulers, in presentation order.
+[[nodiscard]] const std::vector<SchedulerEntry>& scheduler_registry();
+
+/// Entry for `name` (canonical or alias), or nullptr if unknown.
+[[nodiscard]] const SchedulerEntry* find_scheduler(const std::string& name);
+
+/// Canonical names, in registry order.
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+/// Constructs an Online scheduler by name. Returns nullptr for unknown
+/// names and for Offline entries (which need a graph).
+[[nodiscard]] std::unique_ptr<OnlineScheduler> make_scheduler(
+    const std::string& name);
+
+/// Constructs any registered scheduler; Offline entries receive `graph`,
+/// which must outlive the returned scheduler and be the exact instance
+/// later passed to simulate(). Returns nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<OnlineScheduler> make_scheduler(
+    const std::string& name, const TaskGraph& graph);
+
+/// Canonical names of the standard comparison lineup used by the benches:
+/// CatBatch, RelaxedCatBatch, the online list family, EASY backfilling.
+/// All entries are Online (sweeps construct them per run without a graph).
+[[nodiscard]] std::vector<std::string> standard_lineup();
+
+}  // namespace catbatch

@@ -1,0 +1,110 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = resolve_jobs(threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  CB_CHECK(task != nullptr, "cannot submit an empty task");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    CB_CHECK(!stopping_, "cannot submit to a stopping pool");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    all_done_.notify_all();
+  }
+}
+
+int ThreadPool::default_jobs() {
+  if (const char* env = std::getenv("CATBATCH_JOBS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int ThreadPool::resolve_jobs(int requested) {
+  return requested > 0 ? requested : default_jobs();
+}
+
+void parallel_for(int jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  CB_CHECK(body != nullptr, "parallel_for needs a body");
+  jobs = ThreadPool::resolve_jobs(jobs);
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  const auto worker_count =
+      std::min(static_cast<std::size_t>(jobs), count);
+  ThreadPool pool(static_cast<int>(worker_count));
+  std::atomic<std::size_t> next{0};
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    pool.submit([&next, count, &body] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+    });
+  }
+  pool.wait();
+}
+
+}  // namespace catbatch

@@ -1,0 +1,78 @@
+// Fixed-size worker pool for the parallel experiment engine.
+//
+// Design constraints, in order: (1) determinism of *results* — the pool only
+// executes tasks, it never aggregates, so callers write into pre-sized slots
+// and reduce serially afterwards; (2) exception safety — the first exception
+// thrown by any task is captured and rethrown from wait() on the submitting
+// thread; (3) no shutdown hazards — destroying a pool with zero submitted
+// tasks, or with tasks still queued, must join cleanly.
+//
+// Job-count policy is centralized here: `--jobs N` knobs and the
+// CATBATCH_JOBS environment variable both funnel through resolve_jobs().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace catbatch {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; `threads <= 0` means default_jobs().
+  explicit ThreadPool(int threads = 0);
+
+  /// Joins all workers. Tasks already queued are still executed (their
+  /// exceptions, having no wait() left to surface in, are dropped).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any of them raised (if any).
+  void wait();
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// CATBATCH_JOBS environment override if set and positive, otherwise
+  /// std::thread::hardware_concurrency() (at least 1).
+  [[nodiscard]] static int default_jobs();
+
+  /// `requested <= 0` resolves to default_jobs(), anything else passes
+  /// through. The single policy point for every --jobs flag.
+  [[nodiscard]] static int resolve_jobs(int requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// Runs body(0) ... body(count-1) on up to `jobs` workers. `jobs <= 1` (after
+/// resolve_jobs for 0) executes serially on the calling thread — the
+/// reference path parallel sweeps are checked against. Indices are claimed
+/// atomically, so each is executed exactly once; completion order is
+/// unspecified, which is why bodies must write to independent slots.
+/// Rethrows the first exception a body raised.
+void parallel_for(int jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace catbatch

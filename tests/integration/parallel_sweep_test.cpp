@@ -1,0 +1,199 @@
+// Determinism contract of the parallel experiment engine: aggregates are
+// bit-identical for every job count (ISSUE 2 acceptance bar), and the
+// JSON report serializes them faithfully.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/experiment.hpp"
+#include "analysis/json_report.hpp"
+#include "analysis/metrics.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Deterministic fields only (wall clocks legitimately differ).
+void expect_identical(const RatioAggregate& a, const RatioAggregate& b) {
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.runs, b.runs);
+  // Bit-identical, not approximately equal: the parallel path must do the
+  // same arithmetic in the same order as the serial one.
+  EXPECT_EQ(a.max_ratio, b.max_ratio);
+  EXPECT_EQ(a.mean_ratio, b.mean_ratio);
+  EXPECT_EQ(a.max_theorem1_margin, b.max_theorem1_margin);
+  EXPECT_EQ(a.max_theorem2_margin, b.max_theorem2_margin);
+}
+
+TEST(ParallelSweep, JobCountDoesNotChangeAggregates) {
+  const auto families = standard_families(48, 8);
+  const auto lineup = standard_scheduler_lineup();
+  const InstanceFamily& family = families.front();
+
+  SweepOptions serial;
+  serial.procs = 8;
+  serial.trials = 6;
+  serial.base_seed = 4242;
+  serial.jobs = 1;
+  const auto reference = sweep_family(family, lineup, serial);
+
+  for (const int jobs : {2, 8}) {
+    SweepOptions parallel = serial;
+    parallel.jobs = jobs;
+    const auto got = sweep_family(family, lineup, parallel);
+    ASSERT_EQ(got.size(), reference.size()) << jobs << " jobs";
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      expect_identical(got[s], reference[s]);
+    }
+  }
+}
+
+TEST(ParallelSweep, MatchesHandRolledSerialReference) {
+  // Replicates the historical serial sweep loop verbatim and checks the
+  // engine (at 8 jobs) against it — guards both the per-run RNG streams
+  // (Rng(base_seed + trial), never shared) and the reduction order.
+  const auto lineup = standard_scheduler_lineup();
+  const InstanceFamily family = standard_families(40, 8)[2];
+  const int procs = 8;
+  const std::size_t trials = 4;
+  const std::uint64_t base_seed = 99;
+
+  std::vector<RatioAggregate> expected;
+  for (const NamedScheduler& named : lineup) {
+    expected.push_back(RatioAggregate{named.label, 0, 0.0, 0.0, 0.0, 0.0,
+                                      0.0});
+  }
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(base_seed + trial);
+    const TaskGraph graph = family.make(rng);
+    for (std::size_t s = 0; s < lineup.size(); ++s) {
+      const auto scheduler = lineup[s].make();
+      const RunMetrics m = evaluate(graph, *scheduler, procs);
+      RatioAggregate& agg = expected[s];
+      ++agg.runs;
+      agg.max_ratio = std::max(agg.max_ratio, m.ratio);
+      agg.mean_ratio +=
+          (m.ratio - agg.mean_ratio) / static_cast<double>(agg.runs);
+      if (m.theorem1_bound > 0.0) {
+        agg.max_theorem1_margin =
+            std::max(agg.max_theorem1_margin, m.ratio / m.theorem1_bound);
+      }
+      if (m.theorem2_bound > 0.0) {
+        agg.max_theorem2_margin =
+            std::max(agg.max_theorem2_margin, m.ratio / m.theorem2_bound);
+      }
+    }
+  }
+
+  SweepOptions options;
+  options.procs = procs;
+  options.trials = trials;
+  options.base_seed = base_seed;
+  options.jobs = 8;
+  const auto got = sweep_family(family, lineup, options);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t s = 0; s < got.size(); ++s) {
+    expect_identical(got[s], expected[s]);
+  }
+}
+
+TEST(ParallelSweep, GridCoversEveryFamilyAndKeepsRuns) {
+  const auto families = standard_families(24, 4);
+  const auto lineup = standard_scheduler_lineup();
+  SweepOptions options;
+  options.procs = 4;
+  options.trials = 2;
+  options.base_seed = 7;
+  options.jobs = 4;
+  options.keep_runs = true;
+  const auto grid = sweep_grid(families, lineup, options);
+  ASSERT_EQ(grid.size(), families.size());
+  for (std::size_t f = 0; f < grid.size(); ++f) {
+    EXPECT_EQ(grid[f].family, families[f].label);
+    ASSERT_EQ(grid[f].aggregates.size(), lineup.size());
+    ASSERT_EQ(grid[f].runs.size(), options.trials * lineup.size());
+    // Run records are trial-major, scheduler-minor with per-trial seeds.
+    for (std::size_t trial = 0; trial < options.trials; ++trial) {
+      for (std::size_t s = 0; s < lineup.size(); ++s) {
+        const RunRecord& run = grid[f].runs[trial * lineup.size() + s];
+        EXPECT_EQ(run.scheduler, lineup[s].label);
+        EXPECT_EQ(run.seed, options.base_seed + trial);
+        EXPECT_GE(run.metrics.ratio, 1.0 - 1e-9);
+        EXPECT_GE(run.wall_ms, 0.0);
+      }
+    }
+    for (const RatioAggregate& agg : grid[f].aggregates) {
+      EXPECT_EQ(agg.runs, options.trials);
+      EXPECT_GE(agg.max_ratio, agg.mean_ratio - 1e-12);
+    }
+  }
+}
+
+TEST(ParallelSweep, SingleTrialSingleSchedulerWorks) {
+  const auto families = standard_families(16, 4);
+  std::vector<NamedScheduler> lineup = {standard_scheduler_lineup().front()};
+  SweepOptions options;
+  options.procs = 4;
+  options.trials = 1;
+  options.base_seed = 3;
+  options.jobs = 8;  // more workers than runs
+  const auto aggregates = sweep_family(families.front(), lineup, options);
+  ASSERT_EQ(aggregates.size(), 1u);
+  EXPECT_EQ(aggregates.front().runs, 1u);
+}
+
+TEST(JsonReport, SerializesSweepResults) {
+  const auto families = standard_families(16, 4);
+  const auto lineup = standard_scheduler_lineup();
+  SweepOptions options;
+  options.procs = 4;
+  options.trials = 2;
+  options.base_seed = 5;
+  options.jobs = 2;
+  options.keep_runs = true;
+  const auto grid = sweep_grid(
+      std::span<const InstanceFamily>(families.data(), 2), lineup, options);
+  const std::string json =
+      sweep_report_json("unit_test", options, grid, 12.5);
+
+  EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"family\":\"layered\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler\":\"catbatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":["), std::string::npos);
+  // Balanced brackets (cheap well-formedness check; strings contain no
+  // braces in this report).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(JsonReport, QuotesAndEscapes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb"), "\"a\\nb\"");
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("x").value(1.5);
+  w.key("nan").value(std::nan(""));
+  w.key("list").begin_array().value(1).value(true).end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"x\":1.5,\"nan\":null,\"list\":[1,true]}");
+}
+
+TEST(StandardFamily, LooksUpByLabelAndThrowsOnUnknown) {
+  const InstanceFamily family = standard_family("chains", 30, 4);
+  EXPECT_EQ(family.label, "chains");
+  Rng rng(1);
+  const TaskGraph g = family.make(rng);
+  EXPECT_GE(g.size(), 10u);
+  EXPECT_THROW((void)standard_family("nope", 30, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,125 @@
+#include "sched/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "instances/examples.hpp"
+#include "instances/random_dags.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+TaskGraph independent_instance() {
+  Rng rng(7);
+  RandomTaskParams params;
+  params.procs.max_procs = 4;
+  return random_independent(rng, 24, params);
+}
+
+TEST(Registry, EveryNameConstructs) {
+  const TaskGraph indep = independent_instance();
+  const TaskGraph dag = make_paper_example();
+  for (const SchedulerEntry& entry : scheduler_registry()) {
+    const TaskGraph& g = entry.independent_only ? indep : dag;
+    const auto sched = make_scheduler(entry.name, g);
+    ASSERT_NE(sched, nullptr) << entry.name;
+    EXPECT_FALSE(sched->name().empty()) << entry.name;
+    if (entry.kind == SchedulerKind::Online) {
+      EXPECT_NE(make_scheduler(entry.name), nullptr) << entry.name;
+    } else {
+      // Offline entries need a graph.
+      EXPECT_EQ(make_scheduler(entry.name), nullptr) << entry.name;
+    }
+  }
+}
+
+TEST(Registry, UnknownNameReturnsNull) {
+  EXPECT_EQ(find_scheduler("no-such-algorithm"), nullptr);
+  EXPECT_EQ(make_scheduler("no-such-algorithm"), nullptr);
+  const TaskGraph g = make_paper_example();
+  EXPECT_EQ(make_scheduler("no-such-algorithm", g), nullptr);
+}
+
+TEST(Registry, AliasesResolveToTheSameEntry) {
+  for (const SchedulerEntry& entry : scheduler_registry()) {
+    for (const std::string& alias : entry.aliases) {
+      EXPECT_EQ(find_scheduler(alias), find_scheduler(entry.name)) << alias;
+    }
+  }
+  // Historical sched_cli spellings keep working.
+  for (const char* alias :
+       {"relaxed", "list-lpt", "list-spt", "list-widest", "list-crit"}) {
+    EXPECT_NE(find_scheduler(alias), nullptr) << alias;
+  }
+}
+
+TEST(Registry, NamesAreUniqueAcrossAliases) {
+  std::set<std::string> seen;
+  for (const SchedulerEntry& entry : scheduler_registry()) {
+    EXPECT_TRUE(seen.insert(entry.name).second) << entry.name;
+    for (const std::string& alias : entry.aliases) {
+      EXPECT_TRUE(seen.insert(alias).second) << alias;
+    }
+  }
+}
+
+TEST(Registry, EveryEntrySimulatesToAValidSchedule) {
+  const TaskGraph indep = independent_instance();
+  const TaskGraph dag = make_paper_example();
+  const int procs = 4;
+  for (const SchedulerEntry& entry : scheduler_registry()) {
+    const TaskGraph& g = entry.independent_only ? indep : dag;
+    const auto sched = make_scheduler(entry.name, g);
+    ASSERT_NE(sched, nullptr) << entry.name;
+    const SimResult r = simulate(g, *sched, procs);
+    require_valid_schedule(g, r.schedule, procs);
+    EXPECT_EQ(r.schedule.size(), g.size()) << entry.name;
+    EXPECT_GT(r.makespan, 0.0) << entry.name;
+  }
+}
+
+TEST(Registry, OfflineRepliesMatchTheirOfflineConstructions) {
+  // The replay adapter must reproduce the offline makespan exactly.
+  Rng rng(11);
+  RandomTaskParams params;
+  params.procs.max_procs = 8;
+  const TaskGraph g = random_layered_dag(rng, 60, 6, params);
+  const int procs = 8;
+  for (const char* name : {"divide-conquer", "contiguous-catbatch"}) {
+    const auto sched = make_scheduler(name, g);
+    ASSERT_NE(sched, nullptr) << name;
+    const SimResult first = simulate(g, *sched, procs);
+    // Re-simulating with the same adapter (after reset) is deterministic.
+    const SimResult second = simulate(g, *sched, procs);
+    EXPECT_DOUBLE_EQ(static_cast<double>(first.makespan),
+                     static_cast<double>(second.makespan))
+        << name;
+  }
+}
+
+TEST(Registry, StandardLineupReadsFromRegistry) {
+  const std::vector<std::string> names = standard_lineup();
+  ASSERT_GE(names.size(), 5u);
+  EXPECT_EQ(names.front(), "catbatch");
+  for (const std::string& name : names) {
+    const SchedulerEntry* entry = find_scheduler(name);
+    ASSERT_NE(entry, nullptr) << name;
+    EXPECT_EQ(entry->kind, SchedulerKind::Online) << name;
+    EXPECT_EQ(entry->name, name) << name;  // canonical, not an alias
+  }
+}
+
+TEST(Registry, SchedulerNamesMatchEntries) {
+  const auto names = scheduler_names();
+  EXPECT_EQ(names.size(), scheduler_registry().size());
+  EXPECT_NE(std::find(names.begin(), names.end(), "catbatch"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "divide-conquer"),
+            names.end());
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,110 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::atomic<int> sum{0};
+  for (int k = 1; k <= 100; ++k) {
+    pool.submit([&sum, k] { sum.fetch_add(k); });
+  }
+  pool.wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ZeroTaskShutdownDoesNotDeadlock) {
+  ThreadPool pool(3);
+  // Destructor joins with nothing ever submitted.
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();
+  pool.submit([] {});
+  pool.wait();
+  pool.wait();  // idempotent
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int k = 0; k < 16; ++k) {
+    pool.submit([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is consumed: the pool stays usable afterwards.
+  pool.submit([&completed] { completed.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(completed.load(), 17);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), ContractViolation);
+}
+
+TEST(ThreadPool, ResolveJobsPassesPositiveThrough) {
+  EXPECT_EQ(ThreadPool::resolve_jobs(3), 3);
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1);
+  EXPECT_GE(ThreadPool::resolve_jobs(-5), 1);
+}
+
+TEST(ThreadPool, DefaultJobsHonoursEnvironment) {
+  ::setenv("CATBATCH_JOBS", "13", 1);
+  EXPECT_EQ(ThreadPool::default_jobs(), 13);
+  ::setenv("CATBATCH_JOBS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_jobs(), 1);  // falls back to hardware
+  ::unsetenv("CATBATCH_JOBS");
+  EXPECT_GE(ThreadPool::default_jobs(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const int jobs : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(jobs, hits.size(),
+                 [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, HandlesEdgeCounts) {
+  std::atomic<int> calls{0};
+  parallel_for(8, 0, [&calls](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  parallel_for(8, 1, [&calls](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+  // More jobs than work.
+  parallel_for(64, 3, [&calls](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  EXPECT_THROW(
+      parallel_for(4, 64,
+                   [](std::size_t i) {
+                     if (i == 17) throw std::runtime_error("body failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SerialPathPreservesOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(1, 5, [&order](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace catbatch
