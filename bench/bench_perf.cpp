@@ -71,6 +71,32 @@ void BM_SimulateListFifo(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateListFifo)->Arg(256)->Arg(2048)->Arg(16384);
 
+// Counting-mode twins of the simulate benchmarks: same instances, but the
+// engine tracks only processor counts (ScheduleMode::Counting) — the sweep
+// configuration. The gap to the identity-mode numbers above is the cost of
+// concrete processor bookkeeping.
+void BM_SimulateCatBatchCounting(benchmark::State& state) {
+  const TaskGraph g = benchmark_graph(static_cast<std::size_t>(state.range(0)));
+  const SimOptions options{ScheduleMode::Counting};
+  for (auto _ : state) {
+    CatBatchScheduler sched;
+    benchmark::DoNotOptimize(simulate(g, sched, 32, options).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateCatBatchCounting)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SimulateListFifoCounting(benchmark::State& state) {
+  const TaskGraph g = benchmark_graph(static_cast<std::size_t>(state.range(0)));
+  const SimOptions options{ScheduleMode::Counting};
+  for (auto _ : state) {
+    ListScheduler sched;
+    benchmark::DoNotOptimize(simulate(g, sched, 32, options).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateListFifoCounting)->Arg(1000)->Arg(10000)->Arg(100000);
+
 void BM_SimulateCholesky(benchmark::State& state) {
   const TaskGraph g = cholesky_dag(static_cast<int>(state.range(0)));
   for (auto _ : state) {

@@ -1,0 +1,258 @@
+// Engine micro-benchmarks and the perf regression gate.
+//
+// Measures end-to-end simulate() throughput (tasks/sec and events/sec) in
+// counting mode on fixed random layered DAGs at n in {1k, 10k, 100k} for
+// CatBatch and FIFO list scheduling, then emits BENCH_perf.json. Two ctest
+// entry points (see bench/CMakeLists.txt):
+//
+//   --gate   compares the measured throughput against the checked-in
+//            baseline (bench/perf_baseline.txt) and exits non-zero when any
+//            measurement falls below CATBATCH_PERF_GATE_FACTOR (default
+//            0.5) times the recorded post-rewrite value. The generous
+//            factor absorbs machine-to-machine and load variance while
+//            still catching order-of-magnitude regressions such as an
+//            accidental O(n) step per event.
+//   --smoke  runs the same pipeline at tiny sizes (also under sanitizers)
+//            and validates the JSON document's shape without gating.
+//
+// The baseline file is `key value` lines. `pre.*` keys hold the pre-rewrite
+// engine's throughput on the same instances (for the speedup_vs_pre fields
+// in the report); `cur.*` keys hold the rewritten engine's and are what the
+// gate compares against.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/json_report.hpp"
+#include "instances/random_dags.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+constexpr int kProcs = 32;
+
+TaskGraph perf_graph(std::size_t n) {
+  Rng rng(987654321u + n);
+  RandomTaskParams params;
+  params.procs.max_procs = kProcs;
+  return random_layered_dag(rng, n, std::max<std::size_t>(2, n / 16), params);
+}
+
+std::unique_ptr<OnlineScheduler> make_sched(const std::string& name) {
+  if (name == "catbatch") return std::make_unique<CatBatchScheduler>();
+  ListSchedulerOptions options;
+  options.priority = ListPriority::Fifo;
+  return std::make_unique<ListScheduler>(options);
+}
+
+struct Measurement {
+  std::string scheduler;
+  std::size_t tasks = 0;
+  double tasks_per_sec = 0.0;
+  double events_per_sec = 0.0;
+};
+
+/// Best-of-`reps` timing of a counting-mode simulate() run (the minimum is
+/// the standard noise-robust estimator for micro-benchmarks).
+Measurement measure(const std::string& sched_name, std::size_t n, int reps) {
+  const TaskGraph g = perf_graph(n);
+  const SimOptions options{ScheduleMode::Counting};
+  {
+    auto warmup = make_sched(sched_name);
+    (void)simulate(g, *warmup, kProcs, options).makespan;
+  }
+  double best = 1e300;
+  std::size_t events = 0;
+  for (int r = 0; r < reps; ++r) {
+    auto sched = make_sched(sched_name);
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimResult res = simulate(g, *sched, kProcs, options);
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    best = std::min(best, std::chrono::duration<double>(dt).count());
+    events = res.stats.events;
+  }
+  Measurement m;
+  m.scheduler = sched_name;
+  m.tasks = n;
+  m.tasks_per_sec = static_cast<double>(n) / best;
+  m.events_per_sec = static_cast<double>(events) / best;
+  return m;
+}
+
+std::map<std::string, double> load_baseline(const std::string& path) {
+  std::map<std::string, double> baseline;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    double value = 0.0;
+    if (fields >> key >> value && !key.empty() && key[0] != '#') {
+      baseline[key] = value;
+    }
+  }
+  return baseline;
+}
+
+std::string baseline_key(const char* era, const Measurement& m) {
+  std::ostringstream os;
+  os << era << "." << m.scheduler << "." << m.tasks << ".tasks_per_sec";
+  return os.str();
+}
+
+double lookup(const std::map<std::string, double>& baseline,
+              const std::string& key) {
+  const auto it = baseline.find(key);
+  return it == baseline.end() ? 0.0 : it->second;
+}
+
+std::string report_json(const std::vector<Measurement>& results,
+                        const std::map<std::string, double>& baseline,
+                        const char* mode) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("perf");
+  w.key("schema").value(1);
+  w.key("mode").value(mode);
+  w.key("procs").value(kProcs);
+  w.key("schedule_mode").value("counting");
+  w.key("results").begin_array();
+  for (const Measurement& m : results) {
+    const double pre = lookup(baseline, baseline_key("pre", m));
+    const double cur = lookup(baseline, baseline_key("cur", m));
+    w.begin_object();
+    w.key("scheduler").value(m.scheduler);
+    w.key("tasks").value(static_cast<std::uint64_t>(m.tasks));
+    w.key("tasks_per_sec").value(m.tasks_per_sec);
+    w.key("events_per_sec").value(m.events_per_sec);
+    if (pre > 0.0) {
+      w.key("pre_rewrite_tasks_per_sec").value(pre);
+      w.key("speedup_vs_pre").value(m.tasks_per_sec / pre);
+    }
+    if (cur > 0.0) w.key("baseline_tasks_per_sec").value(cur);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+/// Structural sanity of the emitted document (the smoke test's assertion).
+bool json_shape_ok(const std::string& json,
+                   const std::vector<Measurement>& results) {
+  const char* required[] = {"\"bench\"",         "\"perf\"",
+                            "\"schema\"",        "\"results\"",
+                            "\"tasks_per_sec\"", "\"events_per_sec\""};
+  for (const char* token : required) {
+    if (json.find(token) == std::string::npos) {
+      std::fprintf(stderr, "BENCH_perf.json is missing %s\n", token);
+      return false;
+    }
+  }
+  std::size_t entries = 0;
+  for (std::size_t at = json.find("\"scheduler\""); at != std::string::npos;
+       at = json.find("\"scheduler\"", at + 1)) {
+    ++entries;
+  }
+  if (entries != results.size()) {
+    std::fprintf(stderr, "BENCH_perf.json has %zu entries, expected %zu\n",
+                 entries, results.size());
+    return false;
+  }
+  return json.front() == '{' && json.back() == '}';
+}
+
+double gate_factor() {
+  if (const char* env = std::getenv("CATBATCH_PERF_GATE_FACTOR")) {
+    const double f = std::atof(env);
+    if (f > 0.0) return f;
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate = false;
+  bool smoke = false;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--gate|--smoke] [--baseline FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{64, 256}
+      : gate
+          ? std::vector<std::size_t>{1000, 10000}
+          : std::vector<std::size_t>{1000, 10000, 100000};
+  const std::map<std::string, double> baseline =
+      baseline_path.empty() ? std::map<std::string, double>{}
+                            : load_baseline(baseline_path);
+
+  std::vector<Measurement> results;
+  for (const std::size_t n : sizes) {
+    const int reps = smoke ? 2 : n >= 100000 ? 3 : 5;
+    for (const char* sched : {"catbatch", "list-fifo"}) {
+      const Measurement m = measure(sched, n, reps);
+      std::printf("%-10s n=%-7zu tasks_per_sec=%.6e events_per_sec=%.6e\n",
+                  m.scheduler.c_str(), m.tasks, m.tasks_per_sec,
+                  m.events_per_sec);
+      results.push_back(m);
+    }
+  }
+
+  const char* mode = smoke ? "smoke" : gate ? "gate" : "full";
+  const std::string json = report_json(results, baseline, mode);
+  const std::string path = write_bench_report("perf", json);
+  std::printf("wrote %s\n", path.c_str());
+
+  if (smoke) {
+    if (!json_shape_ok(json, results)) return 1;
+    std::printf("smoke: BENCH_perf.json shape OK\n");
+    return 0;
+  }
+
+  if (gate) {
+    const double factor = gate_factor();
+    bool ok = true;
+    for (const Measurement& m : results) {
+      const double cur = lookup(baseline, baseline_key("cur", m));
+      if (cur <= 0.0) {
+        std::fprintf(stderr, "gate: no baseline for %s, skipping\n",
+                     baseline_key("cur", m).c_str());
+        continue;
+      }
+      const double floor = factor * cur;
+      const bool pass = m.tasks_per_sec >= floor;
+      std::printf("gate: %-10s n=%-7zu measured=%.3e floor=%.3e (%.2fx "
+                  "baseline) %s\n",
+                  m.scheduler.c_str(), m.tasks, m.tasks_per_sec, floor,
+                  m.tasks_per_sec / cur, pass ? "PASS" : "FAIL");
+      ok = ok && pass;
+    }
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

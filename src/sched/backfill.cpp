@@ -17,8 +17,8 @@ void EasyBackfill::task_ready(const ReadyTask& task, Time) {
 
 void EasyBackfill::task_finished(TaskId id, Time) { running_.erase(id); }
 
-std::vector<TaskId> EasyBackfill::select(Time now, int available_procs) {
-  std::vector<TaskId> picks;
+void EasyBackfill::select(Time now, int available_procs,
+                          std::vector<TaskId>& picks) {
   int avail = available_procs;
 
   const auto start = [&](std::size_t queue_index) {
@@ -35,7 +35,7 @@ std::vector<TaskId> EasyBackfill::select(Time now, int available_procs) {
   while (!queue_.empty() && queue_.front().procs <= avail) {
     start(0);
   }
-  if (queue_.empty()) return picks;
+  if (queue_.empty()) return;
 
   // Head is blocked: compute its reservation from the declared finish
   // times of the running tasks (sorted ascending, accumulate releases).
@@ -78,7 +78,6 @@ std::vector<TaskId> EasyBackfill::select(Time now, int available_procs) {
       ++k;
     }
   }
-  return picks;
 }
 
 }  // namespace catbatch

@@ -31,8 +31,8 @@ class EasyBackfill final : public OnlineScheduler {
   void reset() override;
   void task_ready(const ReadyTask& task, Time now) override;
   void task_finished(TaskId id, Time now) override;
-  [[nodiscard]] std::vector<TaskId> select(Time now,
-                                           int available_procs) override;
+  void select(Time now, int available_procs,
+              std::vector<TaskId>& picks) override;
 
  private:
   struct Queued {

@@ -51,10 +51,7 @@ Category CatBatchScheduler::category_for(const ReadyTask& task) {
   // predecessors (all of which were revealed before this task).
   Time s_inf = 0.0;
   for (const TaskId pred : task.predecessors) {
-    const auto it = earliest_finish_.find(pred);
-    CB_CHECK(it != earliest_finish_.end(),
-             "predecessor revealed after its successor");
-    s_inf = std::max(s_inf, it->second);
+    s_inf = std::max(s_inf, earliest_finish_.at(pred));
   }
   CB_CHECK(options_.origin_shift >= 0.0,
            "origin shift must be non-negative");
@@ -66,10 +63,9 @@ void CatBatchScheduler::task_ready(const ReadyTask& task, Time) {
   // Track f∞ even under fixed categories so mixed use stays consistent.
   Time s_inf = 0.0;
   for (const TaskId pred : task.predecessors) {
-    const auto it = earliest_finish_.find(pred);
-    if (it != earliest_finish_.end()) s_inf = std::max(s_inf, it->second);
+    s_inf = std::max(s_inf, earliest_finish_.at_or(pred, 0.0));
   }
-  earliest_finish_.emplace(task.id, s_inf + task.work);
+  earliest_finish_.record(task.id, s_inf + task.work);
 
   const Category cat = category_for(task);
 
@@ -113,10 +109,14 @@ void CatBatchScheduler::activate_next_batch(Time now) {
   current_category_ = it->second.category;
   current_pending_ = std::move(it->second.pending);
   batches_.erase(it);
-  std::sort(current_pending_.begin(), current_pending_.end(),
-            [this](const Pending& a, const Pending& b) {
-              return batch_order_before(a, b);
-            });
+  // Arrival order needs no sort: pending tasks were appended in arrival
+  // order and never reordered.
+  if (options_.batch_order != BatchOrder::Arrival) {
+    std::sort(current_pending_.begin(), current_pending_.end(),
+              [this](const Pending& a, const Pending& b) {
+                return batch_order_before(a, b);
+              });
+  }
   history_.push_back(BatchRecord{*current_category_, now, now, {}});
   history_.back().tasks.reserve(current_pending_.size());
 }
@@ -133,13 +133,13 @@ void CatBatchScheduler::task_finished(TaskId id, Time now) {
   }
 }
 
-std::vector<TaskId> CatBatchScheduler::select(Time now, int available_procs) {
+void CatBatchScheduler::select(Time now, int available_procs,
+                               std::vector<TaskId>& picks) {
   if (!current_category_.has_value()) activate_next_batch(now);
-  if (!current_category_.has_value()) return {};
+  if (!current_category_.has_value()) return;
 
   // ScheduleIndep's greedy pass (Algorithm 2, lines 9-15): start every
   // pending task of the current batch that fits the free processors.
-  std::vector<TaskId> picks;
   int avail = available_procs;
   std::size_t keep = 0;
   for (std::size_t k = 0; k < current_pending_.size(); ++k) {
@@ -154,7 +154,6 @@ std::vector<TaskId> CatBatchScheduler::select(Time now, int available_procs) {
     }
   }
   current_pending_.resize(keep);
-  return picks;
 }
 
 }  // namespace catbatch

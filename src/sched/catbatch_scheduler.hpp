@@ -15,10 +15,10 @@
 
 #include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/category.hpp"
+#include "sched/finish_table.hpp"
 #include "sim/scheduler.hpp"
 
 namespace catbatch {
@@ -70,8 +70,8 @@ class CatBatchScheduler final : public OnlineScheduler {
   void reset() override;
   void task_ready(const ReadyTask& task, Time now) override;
   void task_finished(TaskId id, Time now) override;
-  [[nodiscard]] std::vector<TaskId> select(Time now,
-                                           int available_procs) override;
+  void select(Time now, int available_procs,
+              std::vector<TaskId>& picks) override;
 
   /// Batches executed so far, in execution order. Valid after a simulation.
   [[nodiscard]] const std::vector<BatchRecord>& batch_history() const {
@@ -101,7 +101,7 @@ class CatBatchScheduler final : public OnlineScheduler {
   // Batches keyed by exact ζ value; doubles are exact here because
   // Category::value() is exact (see core/category.hpp).
   std::map<Time, Batch> batches_;
-  std::unordered_map<TaskId, Time> earliest_finish_;  // f∞ record (Lemma 1)
+  FinishTimeTable earliest_finish_;  // f∞ record (Lemma 1)
 
   std::optional<Category> current_category_;
   std::vector<Pending> current_pending_;

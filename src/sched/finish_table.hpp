@@ -1,0 +1,55 @@
+// Flat f∞ record for online category computation (Lemma 1).
+//
+// Schedulers keep the earliest-finish time f∞ of every revealed task and
+// look predecessors up on each reveal. TaskIds are dense and ascending by
+// construction (SourceTask contract), so a vector keyed by id beats a hash
+// map on the hot path: O(1) lookups with no hashing, no per-node
+// allocation, and amortized-doubling growth. The sentinel is safe because
+// every valid f∞ is positive (f∞ = s∞ + work with work > 0).
+#pragma once
+
+#include <vector>
+
+#include "core/task.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+class FinishTimeTable {
+ public:
+  void clear() { finish_.clear(); }
+
+  /// Records f∞ for `id`. Re-recording overwrites (the engine reveals each
+  /// task once, so this never happens in practice).
+  void record(TaskId id, Time finish) {
+    if (finish_.size() <= id) {
+      std::size_t grow = finish_.empty() ? kMinSize : finish_.size();
+      while (grow <= id) grow *= 2;
+      finish_.resize(grow, kUnset);
+    }
+    finish_[id] = finish;
+  }
+
+  [[nodiscard]] bool contains(TaskId id) const {
+    return id < finish_.size() && finish_[id] != kUnset;
+  }
+
+  /// f∞ of `id`; throws if never recorded (a predecessor the scheduler has
+  /// not seen would make the online recurrence unsound).
+  [[nodiscard]] Time at(TaskId id) const {
+    CB_CHECK(contains(id), "predecessor revealed after its successor");
+    return finish_[id];
+  }
+
+  /// f∞ of `id`, or `fallback` if never recorded.
+  [[nodiscard]] Time at_or(TaskId id, Time fallback) const {
+    return contains(id) ? finish_[id] : fallback;
+  }
+
+ private:
+  static constexpr Time kUnset = -1.0;
+  static constexpr std::size_t kMinSize = 64;
+  std::vector<Time> finish_;
+};
+
+}  // namespace catbatch

@@ -46,12 +46,9 @@ void ListScheduler::task_ready(const ReadyTask& task, Time) {
   // the same information CatBatch uses.
   Time s_inf = 0.0;
   for (const TaskId pred : task.predecessors) {
-    const auto it = earliest_finish_.find(pred);
-    CB_CHECK(it != earliest_finish_.end(),
-             "predecessor revealed after its successor");
-    s_inf = std::max(s_inf, it->second);
+    s_inf = std::max(s_inf, earliest_finish_.at(pred));
   }
-  earliest_finish_.emplace(task.id, s_inf + task.work);
+  earliest_finish_.record(task.id, s_inf + task.work);
   ready_.push_back(Entry{task.id, task.work, task.procs, s_inf, arrivals_++});
 }
 
@@ -82,10 +79,14 @@ bool ListScheduler::before(const Entry& a, const Entry& b) const {
   return a.arrival < b.arrival;  // stable tie-break: arrival order
 }
 
-std::vector<TaskId> ListScheduler::select(Time, int available_procs) {
-  std::sort(ready_.begin(), ready_.end(),
-            [this](const Entry& a, const Entry& b) { return before(a, b); });
-  std::vector<TaskId> picks;
+void ListScheduler::select(Time, int available_procs,
+                           std::vector<TaskId>& picks) {
+  // Fifo needs no sort: task_ready appends in arrival order and the
+  // compaction below preserves relative order, so ready_ stays sorted.
+  if (options_.priority != ListPriority::Fifo) {
+    std::sort(ready_.begin(), ready_.end(),
+              [this](const Entry& a, const Entry& b) { return before(a, b); });
+  }
   int avail = available_procs;
   std::size_t keep = 0;
   bool blocked = false;
@@ -101,7 +102,6 @@ std::vector<TaskId> ListScheduler::select(Time, int available_procs) {
     }
   }
   ready_.resize(keep);
-  return picks;
 }
 
 }  // namespace catbatch

@@ -6,10 +6,10 @@
 // — the adversary benches demonstrate the lower bound.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "core/criticality.hpp"
+#include "sched/finish_table.hpp"
 #include "sim/scheduler.hpp"
 
 namespace catbatch {
@@ -43,8 +43,8 @@ class ListScheduler final : public OnlineScheduler {
   void reset() override;
   void task_ready(const ReadyTask& task, Time now) override;
   void task_finished(TaskId id, Time now) override;
-  [[nodiscard]] std::vector<TaskId> select(Time now,
-                                           int available_procs) override;
+  void select(Time now, int available_procs,
+              std::vector<TaskId>& picks) override;
 
  private:
   struct Entry {
@@ -60,7 +60,7 @@ class ListScheduler final : public OnlineScheduler {
 
   ListSchedulerOptions options_;
   std::vector<Entry> ready_;
-  std::unordered_map<TaskId, Time> earliest_finish_;  // f∞ of revealed tasks
+  FinishTimeTable earliest_finish_;  // f∞ of revealed tasks
   std::uint64_t arrivals_ = 0;
 };
 

@@ -35,12 +35,12 @@ void RankScheduler::task_ready(const ReadyTask& task, Time) {
   ready_.push_back(Entry{task.id, task.procs, ranks_[task.id], arrivals_++});
 }
 
-std::vector<TaskId> RankScheduler::select(Time, int available_procs) {
+void RankScheduler::select(Time, int available_procs,
+                           std::vector<TaskId>& picks) {
   std::sort(ready_.begin(), ready_.end(), [](const Entry& a, const Entry& b) {
     if (a.rank != b.rank) return a.rank > b.rank;  // critical tasks first
     return a.arrival < b.arrival;
   });
-  std::vector<TaskId> picks;
   int avail = available_procs;
   std::size_t keep = 0;
   for (std::size_t k = 0; k < ready_.size(); ++k) {
@@ -53,7 +53,6 @@ std::vector<TaskId> RankScheduler::select(Time, int available_procs) {
     }
   }
   ready_.resize(keep);
-  return picks;
 }
 
 }  // namespace catbatch

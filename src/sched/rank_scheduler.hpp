@@ -23,8 +23,8 @@ class RankScheduler final : public OnlineScheduler {
   [[nodiscard]] std::string name() const override { return "rank(offline)"; }
   void reset() override;
   void task_ready(const ReadyTask& task, Time now) override;
-  [[nodiscard]] std::vector<TaskId> select(Time now,
-                                           int available_procs) override;
+  void select(Time now, int available_procs,
+              std::vector<TaskId>& picks) override;
 
   /// Upward rank of a task (work + longest successor path).
   [[nodiscard]] Time rank(TaskId id) const;

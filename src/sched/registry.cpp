@@ -47,15 +47,14 @@ class ReplayScheduler final : public OnlineScheduler {
     ready_[task.id] = 1;
   }
 
-  [[nodiscard]] std::vector<TaskId> select(Time now,
-                                           int available_procs) override {
+  void select(Time now, int available_procs,
+              std::vector<TaskId>& picks) override {
     if (!built_) {
       procs_ = available_procs;
       build();
       built_ = true;
     }
     const Time eps = 1e-9 * std::max(1.0, now);
-    std::vector<TaskId> picks;
     int budget = available_procs;
     std::size_t i = next_;
     while (i < starts_.size() && starts_[i].start <= now + eps) {
@@ -77,7 +76,6 @@ class ReplayScheduler final : public OnlineScheduler {
       picks.push_back(starts_[next_].id);
       ++next_;
     }
-    return picks;
   }
 
  private:
@@ -95,8 +93,7 @@ class ReplayScheduler final : public OnlineScheduler {
     const Schedule schedule = builder_(*graph_, procs_);
     starts_.reserve(schedule.size());
     for (const ScheduledTask& st : schedule.entries()) {
-      starts_.push_back(Entry{st.start, st.id,
-                              static_cast<int>(st.processors.size())});
+      starts_.push_back(Entry{st.start, st.id, st.procs()});
     }
     std::sort(starts_.begin(), starts_.end(),
               [](const Entry& a, const Entry& b) {

@@ -15,24 +15,21 @@ void RelaxedCatBatch::reset() {
 void RelaxedCatBatch::task_ready(const ReadyTask& task, Time) {
   Time s_inf = 0.0;
   for (const TaskId pred : task.predecessors) {
-    const auto it = earliest_finish_.find(pred);
-    CB_CHECK(it != earliest_finish_.end(),
-             "predecessor revealed after its successor");
-    s_inf = std::max(s_inf, it->second);
+    s_inf = std::max(s_inf, earliest_finish_.at(pred));
   }
-  earliest_finish_.emplace(task.id, s_inf + task.work);
+  earliest_finish_.record(task.id, s_inf + task.work);
   const Category cat = compute_category(Criticality{s_inf, s_inf + task.work});
   ready_.push_back(Entry{task.id, task.procs, cat.value(), arrivals_++});
 }
 
-std::vector<TaskId> RelaxedCatBatch::select(Time, int available_procs) {
+void RelaxedCatBatch::select(Time, int available_procs,
+                             std::vector<TaskId>& picks) {
   std::sort(ready_.begin(), ready_.end(), [](const Entry& a, const Entry& b) {
     if (a.category_value != b.category_value) {
       return a.category_value < b.category_value;
     }
     return a.arrival < b.arrival;
   });
-  std::vector<TaskId> picks;
   int avail = available_procs;
   std::size_t keep = 0;
   for (std::size_t k = 0; k < ready_.size(); ++k) {
@@ -45,7 +42,6 @@ std::vector<TaskId> RelaxedCatBatch::select(Time, int available_procs) {
     }
   }
   ready_.resize(keep);
-  return picks;
 }
 
 }  // namespace catbatch

@@ -12,10 +12,10 @@
 // would be miscalibrated anyway.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "core/category.hpp"
+#include "sched/finish_table.hpp"
 #include "sim/scheduler.hpp"
 
 namespace catbatch {
@@ -29,8 +29,8 @@ class RelaxedCatBatch final : public OnlineScheduler {
   }
   void reset() override;
   void task_ready(const ReadyTask& task, Time now) override;
-  [[nodiscard]] std::vector<TaskId> select(Time now,
-                                           int available_procs) override;
+  void select(Time now, int available_procs,
+              std::vector<TaskId>& picks) override;
 
  private:
   struct Entry {
@@ -41,7 +41,7 @@ class RelaxedCatBatch final : public OnlineScheduler {
   };
 
   std::vector<Entry> ready_;
-  std::unordered_map<TaskId, Time> earliest_finish_;
+  FinishTimeTable earliest_finish_;
   std::uint64_t arrivals_ = 0;
 };
 

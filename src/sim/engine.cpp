@@ -1,6 +1,8 @@
 #include "sim/engine.hpp"
 
-#include <queue>
+#include <algorithm>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/processor_pool.hpp"
@@ -16,6 +18,9 @@ GraphSource::GraphSource(const TaskGraph& graph) : graph_(graph) {
 }
 
 std::vector<SourceTask> GraphSource::start() {
+  // Generic (copying) fallback for callers driving the InstanceSource
+  // interface by hand; the engine itself uses static_graph() and never
+  // materializes these copies.
   std::vector<SourceTask> out;
   out.reserve(graph_.size());
   for (TaskId id = 0; id < graph_.size(); ++id) {
@@ -38,18 +43,18 @@ std::vector<SourceTask> GraphSource::on_complete(TaskId, Time) { return {}; }
 
 namespace {
 
-struct EmittedTask {
+/// One arena row per emitted task: plain data only, so the arena is a flat
+/// std::vector with no per-task heap blocks. Predecessor lists and names
+/// live in side arrays (CSR layout / shared char buffer).
+struct TaskRec {
   Time actual_work = 0.0;
   Time declared_work = 0.0;
-  int procs = 1;
-  std::vector<TaskId> predecessors;
-  std::string name;
   Time release = 0.0;
-  std::size_t unfinished_preds = 0;
+  int procs = 1;
+  std::uint32_t unfinished_preds = 0;
   bool revealed = false;
   bool started = false;
   bool done = false;
-  std::vector<int> held_processors;
 };
 
 struct Event {
@@ -67,19 +72,29 @@ struct Event {
 
 class Engine {
  public:
-  Engine(InstanceSource& source, OnlineScheduler& scheduler, int procs)
-      : source_(source), scheduler_(scheduler), pool_(procs), procs_(procs) {
+  Engine(InstanceSource& source, OnlineScheduler& scheduler, int procs,
+         const SimOptions& options)
+      : source_(source),
+        scheduler_(scheduler),
+        procs_(procs),
+        counting_(options.mode == ScheduleMode::Counting),
+        avail_(procs),
+        pool_(counting_ ? 1 : procs) {
     CB_CHECK(procs >= 1, "platform must have at least one processor");
   }
 
   SimResult run() {
     scheduler_.reset();
-    emit(source_.start(), /*now=*/0.0);
+    if ((static_graph_ = source_.static_graph()) != nullptr) {
+      ingest_graph(*static_graph_);
+    } else {
+      ingest_batch(source_.start(), /*now=*/0.0);
+    }
     decision_point(/*now=*/0.0);
 
     while (!events_.empty()) {
-      const Event ev = events_.top();
-      events_.pop();
+      const Event ev = pop_event();
+      ++events_processed_;
       if (ev.kind == Event::Kind::Completion) {
         complete(ev.id, ev.at);
       } else {
@@ -95,88 +110,212 @@ class Engine {
     result.makespan = result.schedule.makespan();
     result.stats.task_count = tasks_.size();
     result.stats.decision_points = decisions_;
+    result.stats.events = events_processed_;
     result.stats.busy_area = busy_area_;
-    ready_times_.resize(tasks_.size(), 0.0);
     result.ready_times = std::move(ready_times_);
     return result;
   }
 
  private:
-  void emit(std::vector<SourceTask> emitted, Time now) {
-    // Two passes: tasks of one batch may reference each other in any order
-    // (ids need not be topological — e.g. series-parallel generators), so
-    // create every task before resolving predecessor states.
+  // -- ingestion ------------------------------------------------------------
+
+  /// Static fast path: tasks come straight from the graph. Predecessor
+  /// spans and name views point into graph-owned storage; nothing is
+  /// copied except the per-task scalars.
+  void ingest_graph(const TaskGraph& g) {
+    const std::size_t n = g.size();
+    tasks_.reserve(n);
+    pred_offsets_.reserve(n + 1);
+    std::size_t edges = 0;
+    for (TaskId id = 0; id < n; ++id) edges += g.predecessors(id).size();
+    pred_data_.reserve(edges);
+    for (TaskId id = 0; id < n; ++id) {
+      const Task& t = g.task(id);
+      CB_CHECK(t.work > 0.0, "source emitted a task with non-positive work");
+      CB_CHECK(t.procs >= 1 && t.procs <= procs_,
+               "source emitted a task that cannot fit the platform");
+      TaskRec rec;
+      rec.actual_work = t.work;
+      rec.declared_work = t.work;
+      rec.procs = t.procs;
+      const auto preds = g.predecessors(id);
+      rec.unfinished_preds = static_cast<std::uint32_t>(preds.size());
+      pred_data_.insert(pred_data_.end(), preds.begin(), preds.end());
+      pred_offsets_.push_back(static_cast<std::uint32_t>(pred_data_.size()));
+      tasks_.push_back(rec);
+    }
+    finalize_batch(/*base=*/0, /*now=*/0.0);
+  }
+
+  /// Generic path for adaptive sources. Two passes: tasks of one batch may
+  /// reference each other in any order (ids need not be topological — e.g.
+  /// series-parallel generators), so create every task before resolving
+  /// predecessor states.
+  void ingest_batch(std::vector<SourceTask> emitted, Time now) {
+    if (emitted.empty() && csr_built_) return;
     const auto base = static_cast<TaskId>(tasks_.size());
     for (SourceTask& st : emitted) {
       CB_CHECK(st.work > 0.0, "source emitted a task with non-positive work");
       CB_CHECK(st.procs >= 1 && st.procs <= procs_,
                "source emitted a task that cannot fit the platform");
-      EmittedTask et;
-      et.actual_work = st.work;
-      et.declared_work = st.declared();
-      et.procs = st.procs;
-      et.name = std::move(st.name);
-      et.predecessors = std::move(st.predecessors);
       CB_CHECK(st.release >= 0.0, "release time must be non-negative");
-      et.release = st.release;
-      tasks_.push_back(std::move(et));
+      TaskRec rec;
+      rec.actual_work = st.work;
+      rec.declared_work = st.declared();
+      rec.release = st.release;
+      rec.procs = st.procs;
+      pred_data_.insert(pred_data_.end(), st.predecessors.begin(),
+                        st.predecessors.end());
+      pred_offsets_.push_back(static_cast<std::uint32_t>(pred_data_.size()));
+      name_chars_.append(st.name);
+      name_offsets_.push_back(static_cast<std::uint32_t>(name_chars_.size()));
+      tasks_.push_back(rec);
     }
     for (TaskId id = base; id < tasks_.size(); ++id) {
-      EmittedTask& et = tasks_[id];
-      for (const TaskId pred : et.predecessors) {
+      std::uint32_t unfinished = 0;
+      for (const TaskId pred : preds_of(id)) {
         CB_CHECK(pred < tasks_.size() && pred != id,
                  "source referenced an unknown predecessor");
-        if (!tasks_[pred].done) ++et.unfinished_preds;
+        if (!tasks_[pred].done) ++unfinished;
       }
-      if (et.unfinished_preds == 0) reveal_or_defer(id, now);
+      tasks_[id].unfinished_preds = unfinished;
+    }
+    finalize_batch(base, now);
+  }
+
+  /// Sizes every per-task buffer once for the whole batch (the per-event
+  /// loop then never grows them), wires the reverse adjacency, and reveals
+  /// the batch's ready tasks in id order.
+  void finalize_batch(TaskId base, Time now) {
+    const std::size_t n = tasks_.size();
+    ready_times_.resize(n, 0.0);
+    // A task has at most one pending event at any moment (its release fires
+    // before it can start; its completion is pending only while running).
+    events_.reserve(n);
+    picks_.reserve(n);
+    schedule_.reserve(n);
+    if (!csr_built_) {
+      build_succ_csr();
+      csr_built_ = true;
+    } else if (pred_offsets_[n] > pred_offsets_[base]) {
+      // Later (adaptive) batches append to the overflow adjacency; ids grow
+      // monotonically, so csr-then-overflow traversal stays ascending.
+      if (extra_succs_.size() < n) extra_succs_.resize(n);
+      for (TaskId id = base; id < n; ++id) {
+        for (const TaskId pred : preds_of(id)) {
+          extra_succs_[pred].push_back(id);
+        }
+      }
+      has_extra_ = true;
+    }
+    for (TaskId id = base; id < n; ++id) {
+      if (tasks_[id].unfinished_preds == 0) reveal_or_defer(id, now);
     }
   }
+
+  /// CSR reverse adjacency over the first batch (the whole instance for
+  /// static sources): counting sort of the predecessor arena, one pass, so
+  /// each successor row is ascending — the same order the per-successor
+  /// push_back construction produced historically.
+  void build_succ_csr() {
+    const std::size_t n = tasks_.size();
+    csr_tasks_ = n;
+    succ_offsets_.assign(n + 1, 0);
+    succ_data_.resize(pred_data_.size());
+    for (const TaskId pred : pred_data_) ++succ_offsets_[pred + 1];
+    for (std::size_t i = 1; i <= n; ++i) succ_offsets_[i] += succ_offsets_[i - 1];
+    std::vector<std::uint32_t> cursor(succ_offsets_.begin(),
+                                      succ_offsets_.end() - 1);
+    for (TaskId id = 0; id < n; ++id) {
+      for (const TaskId pred : preds_of(id)) {
+        succ_data_[cursor[pred]++] = id;
+      }
+    }
+  }
+
+  // -- arena views ----------------------------------------------------------
+
+  [[nodiscard]] std::span<const TaskId> preds_of(TaskId id) const {
+    return {pred_data_.data() + pred_offsets_[id],
+            pred_data_.data() + pred_offsets_[id + 1]};
+  }
+
+  [[nodiscard]] std::span<const TaskId> csr_successors(TaskId id) const {
+    if (id >= csr_tasks_) return {};
+    return {succ_data_.data() + succ_offsets_[id],
+            succ_data_.data() + succ_offsets_[id + 1]};
+  }
+
+  [[nodiscard]] std::string_view name_of(TaskId id) const {
+    if (static_graph_ != nullptr) return static_graph_->task(id).name;
+    const std::uint32_t from = name_offsets_[id];
+    return std::string_view(name_chars_).substr(from,
+                                                name_offsets_[id + 1] - from);
+  }
+
+  // -- event heap (std::priority_queue semantics, but reservable) ----------
+
+  void push_event(Time at, TaskId id, Event::Kind kind) {
+    events_.push_back(Event{at, seq_++, id, kind});
+    std::push_heap(events_.begin(), events_.end(), std::greater<>{});
+  }
+
+  Event pop_event() {
+    std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
+    const Event ev = events_.back();
+    events_.pop_back();
+    return ev;
+  }
+
+  // -- simulation steps -----------------------------------------------------
 
   /// Reveals `id` now if its release time has passed; otherwise schedules a
   /// release event.
   void reveal_or_defer(TaskId id, Time now) {
-    const EmittedTask& et = tasks_[id];
-    if (et.release <= now) {
+    const TaskRec& t = tasks_[id];
+    if (t.release <= now) {
       reveal(id, now);
     } else {
-      events_.push(Event{et.release, seq_++, id, Event::Kind::Release});
+      push_event(t.release, id, Event::Kind::Release);
     }
   }
 
   void reveal(TaskId id, Time now) {
-    EmittedTask& et = tasks_[id];
-    CB_DCHECK(!et.revealed, "task revealed twice");
-    et.revealed = true;
-    if (ready_times_.size() <= id) ready_times_.resize(id + 1, 0.0);
+    TaskRec& t = tasks_[id];
+    CB_DCHECK(!t.revealed, "task revealed twice");
+    t.revealed = true;
     ready_times_[id] = now;
     ReadyTask rt;
     rt.id = id;
-    rt.work = et.declared_work;
-    rt.procs = et.procs;
-    rt.predecessors = et.predecessors;
-    rt.name = et.name;
+    rt.work = t.declared_work;
+    rt.procs = t.procs;
+    rt.predecessors = preds_of(id);
+    rt.name = name_of(id);
     scheduler_.task_ready(rt, now);
   }
 
   void decision_point(Time now) {
     ++decisions_;
-    const int free_at_decision = pool_.available();
-    const std::vector<TaskId> picks =
-        scheduler_.select(now, free_at_decision);
+    const int free_at_decision = counting_ ? avail_ : pool_.available();
+    picks_.clear();
+    scheduler_.select(now, free_at_decision, picks_);
     int requested = 0;
-    for (const TaskId id : picks) {
+    for (const TaskId id : picks_) {
       CB_CHECK(id < tasks_.size(), "scheduler selected an unknown task");
-      EmittedTask& et = tasks_[id];
-      CB_CHECK(et.revealed, "scheduler selected an unrevealed task");
-      CB_CHECK(!et.started, "scheduler selected an already started task");
-      requested += et.procs;
+      TaskRec& t = tasks_[id];
+      CB_CHECK(t.revealed, "scheduler selected an unrevealed task");
+      CB_CHECK(!t.started, "scheduler selected an already started task");
+      requested += t.procs;
       CB_CHECK(requested <= free_at_decision,
                "scheduler selection exceeds free processors");
-      et.started = true;
-      et.held_processors = pool_.acquire(et.procs);
-      schedule_.add(id, now, now + et.actual_work, et.held_processors);
-      events_.push(Event{now + et.actual_work, seq_++, id,
-                         Event::Kind::Completion});
+      t.started = true;
+      if (counting_) {
+        avail_ -= t.procs;
+        schedule_.add_counted(id, now, now + t.actual_work, t.procs);
+      } else {
+        schedule_.add(id, now, now + t.actual_work, pool_.acquire(t.procs));
+      }
+      push_event(now + t.actual_work, id, Event::Kind::Completion);
       ++running_;
     }
     // Pending release events mean the platform may legitimately sit idle
@@ -187,61 +326,75 @@ class Engine {
   }
 
   void complete(TaskId id, Time now) {
-    EmittedTask& et = tasks_[id];
-    CB_DCHECK(et.started && !et.done, "completion of a task not running");
-    et.done = true;
+    TaskRec& t = tasks_[id];
+    CB_DCHECK(t.started && !t.done, "completion of a task not running");
+    t.done = true;
     --running_;
     ++done_count_;
-    busy_area_ += et.actual_work * static_cast<Time>(et.procs);
-    pool_.release(et.held_processors);
-    et.held_processors.clear();
+    busy_area_ += t.actual_work * static_cast<Time>(t.procs);
+    if (counting_) {
+      avail_ += t.procs;
+    } else {
+      pool_.release(schedule_.entry_for(id).processors);
+    }
     scheduler_.task_finished(id, now);
 
-    // Readiness cascade for already-emitted tasks.
-    // (Successor lists are not stored; scan is avoided by keeping reverse
-    // links below.)
-    for (const TaskId succ : successors_of(id)) {
-      EmittedTask& s = tasks_[succ];
-      CB_DCHECK(s.unfinished_preds > 0, "readiness underflow");
-      if (--s.unfinished_preds == 0) reveal_or_defer(succ, now);
+    // Readiness cascade over the reverse adjacency (CSR span, plus the
+    // overflow rows for adaptively emitted batches).
+    for (const TaskId succ : csr_successors(id)) on_pred_done(succ, now);
+    if (has_extra_ && id < extra_succs_.size()) {
+      for (const TaskId succ : extra_succs_[id]) on_pred_done(succ, now);
     }
 
-    // Adaptive sources may extend the instance now.
-    emit(source_.on_complete(id, now), now);
-  }
-
-  // Reverse dependency links, built lazily as tasks are emitted.
-  std::vector<TaskId> successors_of(TaskId id) {
-    build_succ_links();
-    return succs_[id];
-  }
-
-  void build_succ_links() {
-    while (succ_built_ < tasks_.size()) {
-      const auto id = static_cast<TaskId>(succ_built_);
-      if (succs_.size() < tasks_.size()) succs_.resize(tasks_.size());
-      for (const TaskId pred : tasks_[id].predecessors) {
-        succs_[pred].push_back(id);
-      }
-      ++succ_built_;
+    // Adaptive sources may extend the instance now. Static sources promised
+    // a fixed instance via static_graph().
+    std::vector<SourceTask> more = source_.on_complete(id, now);
+    if (!more.empty()) {
+      CB_CHECK(static_graph_ == nullptr,
+               "static_graph() source emitted tasks from on_complete()");
+      ingest_batch(std::move(more), now);
     }
+  }
+
+  void on_pred_done(TaskId succ, Time now) {
+    TaskRec& s = tasks_[succ];
+    CB_DCHECK(s.unfinished_preds > 0, "readiness underflow");
+    if (--s.unfinished_preds == 0) reveal_or_defer(succ, now);
   }
 
   InstanceSource& source_;
   OnlineScheduler& scheduler_;
-  ProcessorPool pool_;
   int procs_;
+  bool counting_;
+  int avail_;           // counting-mode occupancy (O(1) acquire/release)
+  ProcessorPool pool_;  // identity-mode concrete indices (unused otherwise)
+  const TaskGraph* static_graph_ = nullptr;
 
-  std::vector<EmittedTask> tasks_;
-  std::vector<std::vector<TaskId>> succs_;
-  std::size_t succ_built_ = 0;
+  // Task arena: flat rows + CSR predecessors (+ name chars for adaptive
+  // sources; static sources view names through the graph).
+  std::vector<TaskRec> tasks_;
+  std::vector<std::uint32_t> pred_offsets_{0};
+  std::vector<TaskId> pred_data_;
+  std::string name_chars_;
+  std::vector<std::uint32_t> name_offsets_{0};
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  // Reverse adjacency: CSR over the first batch, overflow rows for later
+  // adaptive batches.
+  std::vector<std::uint32_t> succ_offsets_;
+  std::vector<TaskId> succ_data_;
+  std::size_t csr_tasks_ = 0;
+  bool csr_built_ = false;
+  std::vector<std::vector<TaskId>> extra_succs_;
+  bool has_extra_ = false;
+
+  std::vector<Event> events_;  // binary min-heap (push_heap/pop_heap)
   std::uint64_t seq_ = 0;
+  std::vector<TaskId> picks_;  // reused select() output buffer
   std::vector<Time> ready_times_;
   std::size_t running_ = 0;
   std::size_t done_count_ = 0;
   std::size_t decisions_ = 0;
+  std::size_t events_processed_ = 0;
   Time busy_area_ = 0.0;
   Schedule schedule_;
 };
@@ -249,15 +402,15 @@ class Engine {
 }  // namespace
 
 SimResult simulate(InstanceSource& source, OnlineScheduler& scheduler,
-                   int procs) {
-  Engine engine(source, scheduler, procs);
+                   int procs, const SimOptions& options) {
+  Engine engine(source, scheduler, procs, options);
   return engine.run();
 }
 
 SimResult simulate(const TaskGraph& graph, OnlineScheduler& scheduler,
-                   int procs) {
+                   int procs, const SimOptions& options) {
   GraphSource source(graph);
-  return simulate(source, scheduler, procs);
+  return simulate(source, scheduler, procs, options);
 }
 
 }  // namespace catbatch

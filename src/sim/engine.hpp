@@ -6,6 +6,13 @@
 // task completion, matching Algorithms 2-3. The engine enforces the
 // capacity constraint on every start and detects schedulers that deadlock
 // (idle platform, no selection, work remaining).
+//
+// Hot-path layout: emitted tasks live in a flat arena (plain-old-data rows,
+// CSR predecessor/successor adjacency, batch-sized buffer growth), the
+// scheduler protocol exchanges spans and a reused picks buffer, and the
+// event queue is a reserve-able binary heap — the steady-state loop of a
+// counting-mode run performs zero heap allocations per event (see
+// DESIGN.md, "Engine complexity").
 #pragma once
 
 #include <cstddef>
@@ -16,9 +23,28 @@
 
 namespace catbatch {
 
+/// How the engine tracks processor occupancy.
+enum class ScheduleMode {
+  /// Concrete processor indices per task (lowest-free-first), full Gantt /
+  /// SVG / per-processor validation support.
+  Identity,
+  /// Only *counts* of busy processors: acquire/release is O(1), schedule
+  /// entries carry the width but no processor identities. The makespan,
+  /// decision sequence and every metric derived from start/finish times are
+  /// bit-identical to Identity mode (schedulers never see identities).
+  /// Intended for sweeps and benches that never render a Gantt chart.
+  Counting,
+};
+
+struct SimOptions {
+  ScheduleMode mode = ScheduleMode::Identity;
+};
+
 struct SimStats {
   std::size_t task_count = 0;
   std::size_t decision_points = 0;
+  /// Events processed by the main loop (completions + delayed releases).
+  std::size_t events = 0;
   /// Total processor-time actually used (Σ t_i p_i over simulated tasks).
   Time busy_area = 0.0;
 };
@@ -44,10 +70,12 @@ struct SimResult {
 /// protocol violations (starting an unready task, exceeding capacity,
 /// deadlocking).
 [[nodiscard]] SimResult simulate(InstanceSource& source,
-                                 OnlineScheduler& scheduler, int procs);
+                                 OnlineScheduler& scheduler, int procs,
+                                 const SimOptions& options = {});
 
 /// Convenience overload for static instances.
 [[nodiscard]] SimResult simulate(const TaskGraph& graph,
-                                 OnlineScheduler& scheduler, int procs);
+                                 OnlineScheduler& scheduler, int procs,
+                                 const SimOptions& options = {});
 
 }  // namespace catbatch

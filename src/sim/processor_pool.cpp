@@ -1,38 +1,49 @@
 #include "sim/processor_pool.hpp"
 
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
 #include "support/check.hpp"
 
 namespace catbatch {
 
 ProcessorPool::ProcessorPool(int procs)
-    : procs_(procs), available_(procs), busy_(static_cast<std::size_t>(procs),
-                                              false) {
+    : procs_(procs), busy_(static_cast<std::size_t>(procs), false) {
   CB_CHECK(procs >= 1, "pool needs at least one processor");
+  // An ascending array is already a valid min-heap.
+  free_.resize(static_cast<std::size_t>(procs));
+  std::iota(free_.begin(), free_.end(), 0);
 }
 
 std::vector<int> ProcessorPool::acquire(int count) {
-  CB_CHECK(count >= 1, "must acquire at least one processor");
-  CB_CHECK(count <= available_, "not enough free processors");
   std::vector<int> out;
-  out.reserve(static_cast<std::size_t>(count));
-  for (int p = 0; p < procs_ && static_cast<int>(out.size()) < count; ++p) {
-    if (!busy_[static_cast<std::size_t>(p)]) {
-      busy_[static_cast<std::size_t>(p)] = true;
-      out.push_back(p);
-    }
-  }
-  available_ -= count;
+  out.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  acquire_into(count, out);
   return out;
 }
 
-void ProcessorPool::release(const std::vector<int>& processors) {
+void ProcessorPool::acquire_into(int count, std::vector<int>& out) {
+  CB_CHECK(count >= 1, "must acquire at least one processor");
+  CB_CHECK(count <= available(), "not enough free processors");
+  for (int i = 0; i < count; ++i) {
+    std::pop_heap(free_.begin(), free_.end(), std::greater<>{});
+    const int p = free_.back();
+    free_.pop_back();
+    busy_[static_cast<std::size_t>(p)] = true;
+    out.push_back(p);
+  }
+}
+
+void ProcessorPool::release(std::span<const int> processors) {
   for (const int p : processors) {
     CB_CHECK(p >= 0 && p < procs_, "releasing out-of-range processor");
     CB_CHECK(busy_[static_cast<std::size_t>(p)],
              "releasing a processor that is not in use");
     busy_[static_cast<std::size_t>(p)] = false;
+    free_.push_back(p);  // never reallocates: capacity() was P at creation
+    std::push_heap(free_.begin(), free_.end(), std::greater<>{});
   }
-  available_ += static_cast<int>(processors.size());
 }
 
 }  // namespace catbatch

@@ -2,8 +2,14 @@
 // scheduling allows a free (non-contiguous) choice of processors
 // (Section 1's comparison with strip packing); this pool hands out the
 // lowest-indexed free processors.
+//
+// The free set is a binary min-heap over processor indices, so acquiring k
+// processors costs O(k log P) and releasing costs O(k log P) — independent
+// of the platform size P, unlike the previous full-bitmap scan. A busy
+// bitmap is kept solely to diagnose double-release / out-of-range bugs.
 #pragma once
 
+#include <span>
 #include <vector>
 
 namespace catbatch {
@@ -14,21 +20,30 @@ class ProcessorPool {
   explicit ProcessorPool(int procs);
 
   [[nodiscard]] int capacity() const noexcept { return procs_; }
-  [[nodiscard]] int available() const noexcept { return available_; }
-  [[nodiscard]] int in_use() const noexcept { return procs_ - available_; }
+  [[nodiscard]] int available() const noexcept {
+    return static_cast<int>(free_.size());
+  }
+  [[nodiscard]] int in_use() const noexcept { return procs_ - available(); }
 
   /// Acquires `count` free processors (lowest indices first). Throws if
   /// count <= 0 or fewer than `count` are free.
   [[nodiscard]] std::vector<int> acquire(int count);
 
+  /// As acquire(), but appends into a caller-owned buffer (no allocation
+  /// once the buffer has capacity).
+  void acquire_into(int count, std::vector<int>& out);
+
   /// Releases previously acquired processors. Throws on double-release or
   /// out-of-range indices.
-  void release(const std::vector<int>& processors);
+  void release(std::span<const int> processors);
+  void release(const std::vector<int>& processors) {
+    release(std::span<const int>(processors));
+  }
 
  private:
   int procs_;
-  int available_;
-  std::vector<bool> busy_;
+  std::vector<int> free_;   // min-heap of free indices (std::greater order)
+  std::vector<bool> busy_;  // contract checking only
 };
 
 }  // namespace catbatch

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "support/check.hpp"
 
@@ -9,18 +10,34 @@ namespace catbatch {
 
 void Schedule::add(TaskId id, Time start, Time finish,
                    std::vector<int> processors) {
-  CB_CHECK(id != kInvalidTask, "cannot schedule the invalid task id");
-  CB_CHECK(finish > start, "scheduled task must have positive duration");
-  CB_CHECK(start >= 0.0, "scheduled task cannot start before time 0");
   CB_CHECK(!processors.empty(), "scheduled task must hold processors");
   std::unordered_set<int> seen(processors.begin(), processors.end());
   CB_CHECK(seen.size() == processors.size(),
            "processor set contains duplicates");
+  add_entry(id, start, finish, std::move(processors), 0);
+}
+
+void Schedule::add_counted(TaskId id, Time start, Time finish, int procs) {
+  CB_CHECK(procs >= 1, "scheduled task must hold processors");
+  add_entry(id, start, finish, {}, procs);
+}
+
+void Schedule::add_entry(TaskId id, Time start, Time finish,
+                         std::vector<int> processors, int width) {
+  CB_CHECK(id != kInvalidTask, "cannot schedule the invalid task id");
+  CB_CHECK(finish > start, "scheduled task must have positive duration");
+  CB_CHECK(start >= 0.0, "scheduled task cannot start before time 0");
   CB_CHECK(!contains(id), "task scheduled twice");
 
   if (index_.size() <= id) index_.resize(id + 1, npos);
   index_[id] = entries_.size();
-  entries_.push_back(ScheduledTask{id, start, finish, std::move(processors)});
+  entries_.push_back(
+      ScheduledTask{id, start, finish, std::move(processors), width});
+}
+
+void Schedule::reserve(std::size_t tasks) {
+  entries_.reserve(tasks);
+  if (index_.size() < tasks) index_.reserve(tasks);
 }
 
 const ScheduledTask& Schedule::entry_for(TaskId id) const {

@@ -10,16 +10,24 @@
 
 namespace catbatch {
 
-/// One scheduled task occurrence.
+/// One scheduled task occurrence. Either `processors` holds the concrete
+/// indices (identity mode) or it is empty and `width` records how many
+/// processors the task occupied (counting mode, see ScheduleMode).
 struct ScheduledTask {
   TaskId id = kInvalidTask;
   Time start = 0.0;
   Time finish = 0.0;
   /// Concrete processor indices held during [start, finish). Size equals the
-  /// task's processor requirement.
+  /// task's processor requirement — empty for counted entries.
   std::vector<int> processors;
+  /// Processor count for counted entries (0 when `processors` is concrete).
+  int width = 0;
 
   [[nodiscard]] Time duration() const noexcept { return finish - start; }
+  /// Number of processors occupied, whichever representation is used.
+  [[nodiscard]] int procs() const noexcept {
+    return processors.empty() ? width : static_cast<int>(processors.size());
+  }
 };
 
 /// An append-only record of scheduled tasks.
@@ -30,6 +38,13 @@ class Schedule {
   /// Records a task execution. `finish` must be > `start`, `processors`
   /// non-empty with distinct indices; a task id may appear only once.
   void add(TaskId id, Time start, Time finish, std::vector<int> processors);
+
+  /// Records a task execution with only a processor *count* (counting-mode
+  /// engine runs): no identities, no per-entry allocation.
+  void add_counted(TaskId id, Time start, Time finish, int procs);
+
+  /// Pre-sizes internal storage for at least `tasks` entries.
+  void reserve(std::size_t tasks);
 
   [[nodiscard]] std::span<const ScheduledTask> entries() const noexcept {
     return entries_;
@@ -47,6 +62,9 @@ class Schedule {
   [[nodiscard]] Time makespan() const noexcept;
 
  private:
+  void add_entry(TaskId id, Time start, Time finish,
+                 std::vector<int> processors, int width);
+
   std::vector<ScheduledTask> entries_;
   // id -> index into entries_, or npos. Grows with the largest id seen.
   std::vector<std::size_t> index_;

@@ -7,9 +7,17 @@
 // (time 0 and each task completion) it may start any subset of revealed,
 // unstarted tasks that fits in the currently free processors, or none
 // (deliberate idling, which CatBatch uses at batch boundaries).
+//
+// Zero-copy protocol: the engine owns all task storage. `ReadyTask` hands
+// the scheduler *views* (std::span / std::string_view) into that storage,
+// and `select` appends into an engine-owned picks buffer that is reused
+// across decision points — the steady-state simulate loop performs no heap
+// allocation on either side of the interface.
 #pragma once
 
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/task.hpp"
@@ -17,6 +25,11 @@
 namespace catbatch {
 
 /// Everything the online model reveals about a task when it becomes ready.
+///
+/// `predecessors` and `name` are views into engine-owned storage and are
+/// valid ONLY for the duration of the task_ready() call; a scheduler that
+/// needs them later must copy what it needs (all in-tree schedulers only
+/// fold the predecessor list into scalars on the spot).
 struct ReadyTask {
   TaskId id = kInvalidTask;
   /// Execution time as *declared* to the scheduler. Under the exact-time
@@ -27,8 +40,8 @@ struct ReadyTask {
   int procs = 1;
   /// Predecessors, all already complete (Section 3.1: the predecessor set
   /// becomes known upon release).
-  std::vector<TaskId> predecessors;
-  std::string name;
+  std::span<const TaskId> predecessors;
+  std::string_view name;
 };
 
 class OnlineScheduler {
@@ -47,11 +60,14 @@ class OnlineScheduler {
   /// A previously started task completed at time `now`.
   virtual void task_finished(TaskId id, Time now) { (void)id, (void)now; }
 
-  /// Decision point: return the ids of ready tasks to start *now*. Their
-  /// total processor requirement must not exceed `available_procs`. An empty
-  /// result means "wait for the next completion".
-  [[nodiscard]] virtual std::vector<TaskId> select(Time now,
-                                                   int available_procs) = 0;
+  /// Decision point: append the ids of ready tasks to start *now* to
+  /// `picks`. The engine clears the buffer before every call and reuses it
+  /// across decision points; the scheduler must not keep a reference to it.
+  /// The total processor requirement of the appended tasks must not exceed
+  /// `available_procs`. Appending nothing means "wait for the next
+  /// completion".
+  virtual void select(Time now, int available_procs,
+                      std::vector<TaskId>& picks) = 0;
 };
 
 }  // namespace catbatch

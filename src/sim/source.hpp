@@ -51,10 +51,21 @@ class InstanceSource {
   /// After the simulation drains, this is the full realized instance, used
   /// for validation and lower-bound computation.
   [[nodiscard]] virtual const TaskGraph& realized_graph() const = 0;
+
+  /// Zero-copy fast path: a source whose whole instance is a fixed
+  /// TaskGraph may return it here, promising that on_complete() always
+  /// returns no tasks. The engine then ingests tasks straight from the
+  /// graph — no SourceTask materialization, no per-task name/predecessor
+  /// copies — and never calls start(). Adaptive sources keep the default.
+  [[nodiscard]] virtual const TaskGraph* static_graph() const {
+    return nullptr;
+  }
 };
 
-/// Source wrapping a fixed TaskGraph: emits every task up front (the engine
-/// still reveals them to the scheduler only when they become ready).
+/// Source wrapping a fixed TaskGraph: the engine ingests every task up
+/// front via static_graph() (it still reveals them to the scheduler only
+/// when they become ready). start() remains as the generic (copying)
+/// InstanceSource fallback but is not used by the engine.
 class GraphSource final : public InstanceSource {
  public:
   explicit GraphSource(const TaskGraph& graph);
@@ -64,6 +75,9 @@ class GraphSource final : public InstanceSource {
                                                     Time now) override;
   [[nodiscard]] const TaskGraph& realized_graph() const override {
     return graph_;
+  }
+  [[nodiscard]] const TaskGraph* static_graph() const override {
+    return &graph_;
   }
 
  private:

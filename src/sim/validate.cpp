@@ -57,18 +57,37 @@ std::optional<std::string> validate_schedule(const TaskGraph& graph,
       return os.str();
     }
 
-    // 3. Holds exactly p_i processors, all within [0, P).
-    if (static_cast<int>(e.processors.size()) != task.procs) {
-      std::ostringstream os;
-      os << task_label(graph, e.id) << " holds " << e.processors.size()
-         << " processors but requires " << task.procs;
-      return os.str();
-    }
-    for (const int p : e.processors) {
-      if (p < 0 || p >= procs) {
+    // 3. Holds exactly p_i processors, all within [0, P). Counted entries
+    // (counting-mode engine runs) carry a width but no identities; they are
+    // acceptable only when the caller opted out of processor-set checks.
+    if (e.processors.empty()) {
+      if (options.check_processor_sets) {
         std::ostringstream os;
-        os << task_label(graph, e.id) << " holds out-of-range processor " << p;
+        os << task_label(graph, e.id)
+           << " holds no concrete processor identities (counted entry) but "
+              "processor-set checking is enabled";
         return os.str();
+      }
+      if (e.width != task.procs) {
+        std::ostringstream os;
+        os << task_label(graph, e.id) << " holds " << e.width
+           << " processors but requires " << task.procs;
+        return os.str();
+      }
+    } else {
+      if (static_cast<int>(e.processors.size()) != task.procs) {
+        std::ostringstream os;
+        os << task_label(graph, e.id) << " holds " << e.processors.size()
+           << " processors but requires " << task.procs;
+        return os.str();
+      }
+      for (const int p : e.processors) {
+        if (p < 0 || p >= procs) {
+          std::ostringstream os;
+          os << task_label(graph, e.id) << " holds out-of-range processor "
+             << p;
+          return os.str();
+        }
       }
     }
 

@@ -1,0 +1,248 @@
+// Golden-schedule invariance: every registry scheduler must produce
+// bit-identical makespans on a fixed corpus (standard_families(120, 8),
+// seeds 7 and 8, P = 8) across engine refactors. The expected values were
+// recorded with the pre-rewrite engine; hex float literals make the
+// comparison exact. Counting mode is asserted against the same goldens —
+// it must not perturb a single decision.
+//
+// If a change legitimately alters schedules (a new tie-break rule, a
+// scheduler behavior fix), regenerate the table by running the corpus and
+// printing makespans with printf("%a") — but treat any unexpected diff as
+// a regression, not noise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "analysis/experiment.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+struct GoldenRow {
+  const char* family;
+  std::uint64_t seed;
+  const char* scheduler;
+  double makespan;
+};
+
+constexpr GoldenRow kGolden[] = {
+    {"layered", 7, "catbatch", 0x1.5e8e904p+6},
+    {"layered", 7, "relaxed-catbatch", 0x1.917fe2cp+6},
+    {"layered", 7, "list-fifo", 0x1.2a6e0f4p+6},
+    {"layered", 7, "list-longest-first", 0x1.b696828p+6},
+    {"layered", 7, "list-shortest-first", 0x1.8e135d4p+6},
+    {"layered", 7, "list-widest-first", 0x1.2f4ab48p+6},
+    {"layered", 7, "list-narrowest-first", 0x1.cfa8fb4p+6},
+    {"layered", 7, "list-smallest-criticality", 0x1.86c8efp+6},
+    {"layered", 7, "easy-backfill", 0x1.57c3638p+6},
+    {"layered", 7, "rank", 0x1.56fdc4p+6},
+    {"layered", 7, "offline-catbatch", 0x1.5e8e904p+6},
+    {"layered", 7, "divide-conquer", 0x1.8d81e4cp+6},
+    {"layered", 7, "contiguous-catbatch", 0x1.90ecb08p+6},
+    {"layered", 8, "catbatch", 0x1.2003c42p+7},
+    {"layered", 8, "relaxed-catbatch", 0x1.d4640fp+6},
+    {"layered", 8, "list-fifo", 0x1.ab5037p+6},
+    {"layered", 8, "list-longest-first", 0x1.e59ec9cp+6},
+    {"layered", 8, "list-shortest-first", 0x1.e54411p+6},
+    {"layered", 8, "list-widest-first", 0x1.ae0b59p+6},
+    {"layered", 8, "list-narrowest-first", 0x1.fedf92cp+6},
+    {"layered", 8, "list-smallest-criticality", 0x1.c7979e8p+6},
+    {"layered", 8, "easy-backfill", 0x1.acd92ep+6},
+    {"layered", 8, "rank", 0x1.da7c208p+6},
+    {"layered", 8, "offline-catbatch", 0x1.2003c42p+7},
+    {"layered", 8, "divide-conquer", 0x1.1754326p+7},
+    {"layered", 8, "contiguous-catbatch", 0x1.412a306p+7},
+    {"order-dag", 7, "catbatch", 0x1.76a0b44p+6},
+    {"order-dag", 7, "relaxed-catbatch", 0x1.4449084p+6},
+    {"order-dag", 7, "list-fifo", 0x1.43c9b8p+6},
+    {"order-dag", 7, "list-longest-first", 0x1.849947p+6},
+    {"order-dag", 7, "list-shortest-first", 0x1.54d1934p+6},
+    {"order-dag", 7, "list-widest-first", 0x1.191f3b8p+6},
+    {"order-dag", 7, "list-narrowest-first", 0x1.83c6cccp+6},
+    {"order-dag", 7, "list-smallest-criticality", 0x1.461ab68p+6},
+    {"order-dag", 7, "easy-backfill", 0x1.1edc794p+6},
+    {"order-dag", 7, "rank", 0x1.7bdbfap+6},
+    {"order-dag", 7, "offline-catbatch", 0x1.76a0b44p+6},
+    {"order-dag", 7, "divide-conquer", 0x1.815135cp+6},
+    {"order-dag", 7, "contiguous-catbatch", 0x1.b3f3c88p+6},
+    {"order-dag", 8, "catbatch", 0x1.dbf16fcp+6},
+    {"order-dag", 8, "relaxed-catbatch", 0x1.daac6c8p+6},
+    {"order-dag", 8, "list-fifo", 0x1.aaf5e1cp+6},
+    {"order-dag", 8, "list-longest-first", 0x1.ebdd2d8p+6},
+    {"order-dag", 8, "list-shortest-first", 0x1.e51ebb8p+6},
+    {"order-dag", 8, "list-widest-first", 0x1.88e83b4p+6},
+    {"order-dag", 8, "list-narrowest-first", 0x1.1f3b6dep+7},
+    {"order-dag", 8, "list-smallest-criticality", 0x1.a7a865p+6},
+    {"order-dag", 8, "easy-backfill", 0x1.9d01548p+6},
+    {"order-dag", 8, "rank", 0x1.c2e927p+6},
+    {"order-dag", 8, "offline-catbatch", 0x1.dbf16fcp+6},
+    {"order-dag", 8, "divide-conquer", 0x1.b84952cp+6},
+    {"order-dag", 8, "contiguous-catbatch", 0x1.2973e72p+7},
+    {"series-parallel", 7, "catbatch", 0x1.11cba8ep+7},
+    {"series-parallel", 7, "relaxed-catbatch", 0x1.d98df14p+6},
+    {"series-parallel", 7, "list-fifo", 0x1.d30adb8p+6},
+    {"series-parallel", 7, "list-longest-first", 0x1.21372a4p+7},
+    {"series-parallel", 7, "list-shortest-first", 0x1.db2773cp+6},
+    {"series-parallel", 7, "list-widest-first", 0x1.d0655dp+6},
+    {"series-parallel", 7, "list-narrowest-first", 0x1.5a07cd4p+7},
+    {"series-parallel", 7, "list-smallest-criticality", 0x1.d7497c4p+6},
+    {"series-parallel", 7, "easy-backfill", 0x1.81a1eb8p+6},
+    {"series-parallel", 7, "rank", 0x1.cc0a82cp+6},
+    {"series-parallel", 7, "offline-catbatch", 0x1.11cba8ep+7},
+    {"series-parallel", 7, "divide-conquer", 0x1.007c3dp+7},
+    {"series-parallel", 7, "contiguous-catbatch", 0x1.14732bcp+7},
+    {"series-parallel", 8, "catbatch", 0x1.0eedd6ap+7},
+    {"series-parallel", 8, "relaxed-catbatch", 0x1.016025p+7},
+    {"series-parallel", 8, "list-fifo", 0x1.b5213bp+6},
+    {"series-parallel", 8, "list-longest-first", 0x1.20a98c8p+7},
+    {"series-parallel", 8, "list-shortest-first", 0x1.3ba073ap+7},
+    {"series-parallel", 8, "list-widest-first", 0x1.b8b84ccp+6},
+    {"series-parallel", 8, "list-narrowest-first", 0x1.581b0fap+7},
+    {"series-parallel", 8, "list-smallest-criticality", 0x1.09e8704p+7},
+    {"series-parallel", 8, "easy-backfill", 0x1.ab75e88p+6},
+    {"series-parallel", 8, "rank", 0x1.0db423ep+7},
+    {"series-parallel", 8, "offline-catbatch", 0x1.0eedd6ap+7},
+    {"series-parallel", 8, "divide-conquer", 0x1.0b87c82p+7},
+    {"series-parallel", 8, "contiguous-catbatch", 0x1.34c2d3cp+7},
+    {"fork-join", 7, "catbatch", 0x1.06c8004p+7},
+    {"fork-join", 7, "relaxed-catbatch", 0x1.b19d034p+6},
+    {"fork-join", 7, "list-fifo", 0x1.a68066p+6},
+    {"fork-join", 7, "list-longest-first", 0x1.9440b58p+6},
+    {"fork-join", 7, "list-shortest-first", 0x1.b77432cp+6},
+    {"fork-join", 7, "list-widest-first", 0x1.a7a77bp+6},
+    {"fork-join", 7, "list-narrowest-first", 0x1.ae9ab78p+6},
+    {"fork-join", 7, "list-smallest-criticality", 0x1.a68066p+6},
+    {"fork-join", 7, "easy-backfill", 0x1.ca0e05p+6},
+    {"fork-join", 7, "rank", 0x1.9440b58p+6},
+    {"fork-join", 7, "offline-catbatch", 0x1.06c8004p+7},
+    {"fork-join", 7, "divide-conquer", 0x1.fac8074p+6},
+    {"fork-join", 7, "contiguous-catbatch", 0x1.0a89508p+7},
+    {"fork-join", 8, "catbatch", 0x1.214981ep+7},
+    {"fork-join", 8, "relaxed-catbatch", 0x1.f7672ep+6},
+    {"fork-join", 8, "list-fifo", 0x1.ec36748p+6},
+    {"fork-join", 8, "list-longest-first", 0x1.dd17518p+6},
+    {"fork-join", 8, "list-shortest-first", 0x1.0180d9cp+7},
+    {"fork-join", 8, "list-widest-first", 0x1.f48d52p+6},
+    {"fork-join", 8, "list-narrowest-first", 0x1.e577634p+6},
+    {"fork-join", 8, "list-smallest-criticality", 0x1.ec36748p+6},
+    {"fork-join", 8, "easy-backfill", 0x1.14af948p+7},
+    {"fork-join", 8, "rank", 0x1.dd17518p+6},
+    {"fork-join", 8, "offline-catbatch", 0x1.214981ep+7},
+    {"fork-join", 8, "divide-conquer", 0x1.3149a8ap+7},
+    {"fork-join", 8, "contiguous-catbatch", 0x1.38e9df6p+7},
+    {"chains", 7, "catbatch", 0x1.97731e4p+6},
+    {"chains", 7, "relaxed-catbatch", 0x1.847be14p+6},
+    {"chains", 7, "list-fifo", 0x1.54a2cb8p+6},
+    {"chains", 7, "list-longest-first", 0x1.86ba8b8p+6},
+    {"chains", 7, "list-shortest-first", 0x1.ad746a8p+6},
+    {"chains", 7, "list-widest-first", 0x1.46d275cp+6},
+    {"chains", 7, "list-narrowest-first", 0x1.0fdb5dcp+7},
+    {"chains", 7, "list-smallest-criticality", 0x1.b5bd164p+6},
+    {"chains", 7, "easy-backfill", 0x1.4141e34p+6},
+    {"chains", 7, "rank", 0x1.9c99a68p+6},
+    {"chains", 7, "offline-catbatch", 0x1.97731e4p+6},
+    {"chains", 7, "divide-conquer", 0x1.97ec35p+6},
+    {"chains", 7, "contiguous-catbatch", 0x1.c23c858p+6},
+    {"chains", 8, "catbatch", 0x1.1c7a364p+7},
+    {"chains", 8, "relaxed-catbatch", 0x1.f29385p+6},
+    {"chains", 8, "list-fifo", 0x1.de8fdp+6},
+    {"chains", 8, "list-longest-first", 0x1.8380be6p+7},
+    {"chains", 8, "list-shortest-first", 0x1.2c39782p+7},
+    {"chains", 8, "list-widest-first", 0x1.c43045p+6},
+    {"chains", 8, "list-narrowest-first", 0x1.b1a2894p+7},
+    {"chains", 8, "list-smallest-criticality", 0x1.1557f2p+7},
+    {"chains", 8, "easy-backfill", 0x1.e3c6e18p+6},
+    {"chains", 8, "rank", 0x1.1b7c75ep+7},
+    {"chains", 8, "offline-catbatch", 0x1.1c7a364p+7},
+    {"chains", 8, "divide-conquer", 0x1.1058ccap+7},
+    {"chains", 8, "contiguous-catbatch", 0x1.3f45bd8p+7},
+    {"out-tree", 7, "catbatch", 0x1.875517cp+6},
+    {"out-tree", 7, "relaxed-catbatch", 0x1.4d38c8cp+6},
+    {"out-tree", 7, "list-fifo", 0x1.3fe71ecp+6},
+    {"out-tree", 7, "list-longest-first", 0x1.bfb8c54p+6},
+    {"out-tree", 7, "list-shortest-first", 0x1.6262798p+6},
+    {"out-tree", 7, "list-widest-first", 0x1.2c4bf8p+6},
+    {"out-tree", 7, "list-narrowest-first", 0x1.ba4822cp+6},
+    {"out-tree", 7, "list-smallest-criticality", 0x1.758b2ap+6},
+    {"out-tree", 7, "easy-backfill", 0x1.306a3e4p+6},
+    {"out-tree", 7, "rank", 0x1.5c14414p+6},
+    {"out-tree", 7, "offline-catbatch", 0x1.875517cp+6},
+    {"out-tree", 7, "divide-conquer", 0x1.901dd0cp+6},
+    {"out-tree", 7, "contiguous-catbatch", 0x1.978cfap+6},
+    {"out-tree", 8, "catbatch", 0x1.c4dc13cp+6},
+    {"out-tree", 8, "relaxed-catbatch", 0x1.98d8a58p+6},
+    {"out-tree", 8, "list-fifo", 0x1.8efeb68p+6},
+    {"out-tree", 8, "list-longest-first", 0x1.c5fe7ap+6},
+    {"out-tree", 8, "list-shortest-first", 0x1.c108d08p+6},
+    {"out-tree", 8, "list-widest-first", 0x1.6f265f4p+6},
+    {"out-tree", 8, "list-narrowest-first", 0x1.05eed9ep+7},
+    {"out-tree", 8, "list-smallest-criticality", 0x1.9912008p+6},
+    {"out-tree", 8, "easy-backfill", 0x1.a1e3648p+6},
+    {"out-tree", 8, "rank", 0x1.b0a083cp+6},
+    {"out-tree", 8, "offline-catbatch", 0x1.c4dc13cp+6},
+    {"out-tree", 8, "divide-conquer", 0x1.c667114p+6},
+    {"out-tree", 8, "contiguous-catbatch", 0x1.0b253bp+7},
+    {"independent", 7, "catbatch", 0x1.085568p+6},
+    {"independent", 7, "relaxed-catbatch", 0x1.f96a8d8p+5},
+    {"independent", 7, "list-fifo", 0x1.f813948p+5},
+    {"independent", 7, "list-longest-first", 0x1.edba658p+5},
+    {"independent", 7, "list-shortest-first", 0x1.01f005p+6},
+    {"independent", 7, "list-widest-first", 0x1.0a9588cp+6},
+    {"independent", 7, "list-narrowest-first", 0x1.f8f12bp+5},
+    {"independent", 7, "list-smallest-criticality", 0x1.f813948p+5},
+    {"independent", 7, "easy-backfill", 0x1.26862a8p+6},
+    {"independent", 7, "rank", 0x1.edba658p+5},
+    {"independent", 7, "offline-catbatch", 0x1.085568p+6},
+    {"independent", 7, "divide-conquer", 0x1.086b9c8p+6},
+    {"independent", 7, "contiguous-catbatch", 0x1.35865a4p+6},
+    {"independent", 7, "shelf-nfdh", 0x1.27e5f3cp+6},
+    {"independent", 7, "shelf-ffdh", 0x1.07e605cp+6},
+    {"independent", 8, "catbatch", 0x1.7a39decp+6},
+    {"independent", 8, "relaxed-catbatch", 0x1.67fadacp+6},
+    {"independent", 8, "list-fifo", 0x1.6ac9274p+6},
+    {"independent", 8, "list-longest-first", 0x1.642fa7p+6},
+    {"independent", 8, "list-shortest-first", 0x1.6e4af58p+6},
+    {"independent", 8, "list-widest-first", 0x1.6f834f4p+6},
+    {"independent", 8, "list-narrowest-first", 0x1.69a692p+6},
+    {"independent", 8, "list-smallest-criticality", 0x1.6ac9274p+6},
+    {"independent", 8, "easy-backfill", 0x1.7d9a37cp+6},
+    {"independent", 8, "rank", 0x1.642fa7p+6},
+    {"independent", 8, "offline-catbatch", 0x1.7a39decp+6},
+    {"independent", 8, "divide-conquer", 0x1.7afae4p+6},
+    {"independent", 8, "contiguous-catbatch", 0x1.c735e7cp+6},
+    {"independent", 8, "shelf-nfdh", 0x1.ba06a4cp+6},
+    {"independent", 8, "shelf-ffdh", 0x1.723cf54p+6},
+};
+
+TEST(GoldenSchedules, RegistryMakespansAreInvariant) {
+  constexpr int kProcs = 8;
+  const auto families = standard_families(120, 8);
+  for (const GoldenRow& row : kGolden) {
+    const auto fam = std::find_if(
+        families.begin(), families.end(),
+        [&](const auto& f) { return f.label == row.family; });
+    ASSERT_NE(fam, families.end()) << row.family;
+    Rng rng(row.seed);
+    const TaskGraph g = fam->make(rng);
+
+    auto identity_sched = make_scheduler(row.scheduler, g);
+    ASSERT_NE(identity_sched, nullptr) << row.scheduler;
+    const SimResult identity = simulate(g, *identity_sched, kProcs);
+    EXPECT_EQ(identity.makespan, row.makespan)
+        << row.family << " seed=" << row.seed << " " << row.scheduler;
+
+    auto counting_sched = make_scheduler(row.scheduler, g);
+    const SimResult counting = simulate(g, *counting_sched, kProcs,
+                                        SimOptions{ScheduleMode::Counting});
+    EXPECT_EQ(counting.makespan, row.makespan)
+        << row.family << " seed=" << row.seed << " " << row.scheduler
+        << " (counting mode)";
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

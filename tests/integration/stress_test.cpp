@@ -32,8 +32,7 @@ class ChaoticScheduler final : public OnlineScheduler {
   void task_ready(const ReadyTask& task, Time) override {
     ready_.push_back({task.id, task.procs});
   }
-  std::vector<TaskId> select(Time, int available) override {
-    std::vector<TaskId> picks;
+  void select(Time, int available, std::vector<TaskId>& picks) override {
     std::size_t keep = 0;
     for (std::size_t k = 0; k < ready_.size(); ++k) {
       Entry& e = ready_[k];
@@ -58,7 +57,6 @@ class ChaoticScheduler final : public OnlineScheduler {
         }
       }
     }
-    return picks;
   }
 
  private:

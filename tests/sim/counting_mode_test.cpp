@@ -1,0 +1,85 @@
+// Counting-mode equivalence: ScheduleMode::Counting skips concrete
+// processor identities but must be observationally identical everywhere
+// else — bit-equal makespans, start/finish times, decision counts and
+// busy areas for every registry scheduler, since schedulers never see
+// processor identities.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+class CountingModeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CountingModeTest, MatchesIdentityModeOnCorpus) {
+  const std::string sched_name = GetParam();
+  const SchedulerEntry* entry = find_scheduler(sched_name);
+  ASSERT_NE(entry, nullptr);
+  const auto families = standard_families(64, 8);
+  constexpr int kProcs = 8;
+  for (const auto& fam : families) {
+    Rng rng(11);
+    const TaskGraph g = fam.make(rng);
+    if (entry->independent_only && g.edge_count() != 0) continue;
+
+    auto identity_sched = make_scheduler(sched_name, g);
+    ASSERT_NE(identity_sched, nullptr);
+    const SimResult identity = simulate(g, *identity_sched, kProcs);
+
+    auto counting_sched = make_scheduler(sched_name, g);
+    const SimResult counting = simulate(g, *counting_sched, kProcs,
+                                        SimOptions{ScheduleMode::Counting});
+
+    EXPECT_EQ(identity.makespan, counting.makespan) << fam.label;
+    EXPECT_EQ(identity.stats.decision_points, counting.stats.decision_points)
+        << fam.label;
+    EXPECT_EQ(identity.stats.events, counting.stats.events) << fam.label;
+    EXPECT_EQ(identity.stats.busy_area, counting.stats.busy_area)
+        << fam.label;
+    EXPECT_EQ(identity.ready_times, counting.ready_times) << fam.label;
+    ASSERT_EQ(identity.schedule.size(), counting.schedule.size()) << fam.label;
+    for (const ScheduledTask& e : identity.schedule.entries()) {
+      const ScheduledTask& c = counting.schedule.entry_for(e.id);
+      EXPECT_EQ(e.start, c.start) << fam.label;
+      EXPECT_EQ(e.finish, c.finish) << fam.label;
+      EXPECT_EQ(e.procs(), c.procs()) << fam.label;
+      EXPECT_TRUE(c.processors.empty()) << fam.label;
+    }
+
+    // A counting schedule is checkable once processor-set checks are off...
+    ValidationOptions no_sets;
+    no_sets.check_processor_sets = false;
+    EXPECT_EQ(validate_schedule(g, counting.schedule, kProcs, no_sets),
+              std::nullopt)
+        << fam.label;
+    // ...and rejected under the default (identity-expecting) options.
+    if (g.size() > 0) {
+      EXPECT_NE(validate_schedule(g, counting.schedule, kProcs), std::nullopt)
+          << fam.label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, CountingModeTest,
+    ::testing::Values("catbatch", "relaxed-catbatch", "list-fifo",
+                      "list-longest-first", "list-shortest-first",
+                      "list-widest-first", "list-narrowest-first",
+                      "list-smallest-criticality", "easy-backfill", "rank",
+                      "offline-catbatch", "divide-conquer",
+                      "contiguous-catbatch", "shelf-nfdh", "shelf-ffdh"),
+    [](const ::testing::TestParamInfo<const char*>& param_info) {
+      std::string name = param_info.param;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace catbatch

@@ -25,8 +25,7 @@ class RecordingScheduler final : public OnlineScheduler {
     ready_.push_back({task.id, task.procs});
   }
   void task_finished(TaskId id, Time now) override { finished_at[id] = now; }
-  std::vector<TaskId> select(Time, int available) override {
-    std::vector<TaskId> picks;
+  void select(Time, int available, std::vector<TaskId>& picks) override {
     std::size_t keep = 0;
     for (auto& e : ready_) {
       if (e.procs <= available) {
@@ -37,7 +36,6 @@ class RecordingScheduler final : public OnlineScheduler {
       }
     }
     ready_.resize(keep);
-    return picks;
   }
 
   std::map<TaskId, Time> revealed_at;
@@ -59,33 +57,31 @@ class MisbehavingScheduler final : public OnlineScheduler {
   std::string name() const override { return "misbehaving"; }
   void reset() override { ready_.clear(); }
   void task_ready(const ReadyTask& task, Time) override {
-    ready_.push_back(task);
+    ready_.push_back(task.id);
   }
-  std::vector<TaskId> select(Time, int) override {
+  void select(Time, int, std::vector<TaskId>& picks) override {
     switch (mode_) {
       case Mode::StartUnrevealed:
-        return {static_cast<TaskId>(999)};
-      case Mode::ExceedCapacity: {
-        std::vector<TaskId> all;
-        for (const auto& t : ready_) all.push_back(t.id);
+        picks.push_back(static_cast<TaskId>(999));
+        return;
+      case Mode::ExceedCapacity:
+        picks.insert(picks.end(), ready_.begin(), ready_.end());
         ready_.clear();
-        return all;
-      }
-      case Mode::StartTwice: {
-        if (ready_.empty()) return {};
-        const TaskId id = ready_.front().id;
+        return;
+      case Mode::StartTwice:
+        if (ready_.empty()) return;
+        picks.push_back(ready_.front());
+        picks.push_back(ready_.front());
         ready_.clear();
-        return {id, id};
-      }
+        return;
       case Mode::Deadlock:
-        return {};
+        return;
     }
-    return {};
   }
 
  private:
   Mode mode_;
-  std::vector<ReadyTask> ready_;
+  std::vector<TaskId> ready_;
 };
 
 TaskGraph chain_graph() {
@@ -258,11 +254,10 @@ class DeclaredWorkProbe final : public OnlineScheduler {
     declared = task.work;
     pending_ = task.id;
   }
-  std::vector<TaskId> select(Time, int) override {
-    if (pending_ == kInvalidTask) return {};
-    const TaskId id = pending_;
+  void select(Time, int, std::vector<TaskId>& picks) override {
+    if (pending_ == kInvalidTask) return;
+    picks.push_back(pending_);
     pending_ = kInvalidTask;
-    return {id};
   }
   Time declared = 0.0;
 

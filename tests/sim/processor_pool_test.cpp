@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace catbatch {
 namespace {
@@ -62,6 +65,78 @@ TEST(ProcessorPool, RejectsDoubleRelease) {
 
 TEST(ProcessorPool, RejectsEmptyPool) {
   EXPECT_THROW(ProcessorPool(0), ContractViolation);
+}
+
+TEST(ProcessorPool, AcquireIntoAppendsWithoutClearing) {
+  ProcessorPool pool(4);
+  std::vector<int> out{42};
+  pool.acquire_into(2, out);
+  EXPECT_EQ(out, (std::vector<int>{42, 0, 1}));
+  pool.acquire_into(1, out);
+  EXPECT_EQ(out, (std::vector<int>{42, 0, 1, 2}));
+}
+
+TEST(ProcessorPool, ReleaseAcceptsSpans) {
+  ProcessorPool pool(3);
+  const auto a = pool.acquire(3);
+  pool.release(std::span<const int>(a.data(), 2));
+  EXPECT_EQ(pool.available(), 2);
+  pool.release(std::span<const int>(a.data() + 2, 1));
+  EXPECT_EQ(pool.available(), 3);
+}
+
+TEST(ProcessorPool, ExhaustionAndRefillRestoresFullSet) {
+  ProcessorPool pool(5);
+  const auto all = pool.acquire(5);
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(pool.available(), 0);
+  EXPECT_THROW((void)pool.acquire(1), ContractViolation);
+  pool.release(all);
+  EXPECT_EQ(pool.available(), 5);
+  EXPECT_EQ(pool.acquire(5), all);
+}
+
+/// Differential check of the free-list pool against a naive bitmap
+/// reference: random interleaved acquires/releases must hand out identical
+/// processor sets (both are specified as lowest-free-index-first).
+TEST(ProcessorPool, InterleavedMatchesBitmapReference) {
+  constexpr int kProcs = 23;
+  ProcessorPool pool(kProcs);
+  std::vector<bool> busy(kProcs, false);
+  const auto reference_acquire = [&](int count) {
+    std::vector<int> out;
+    for (int p = 0; p < kProcs && static_cast<int>(out.size()) < count; ++p) {
+      if (!busy[static_cast<std::size_t>(p)]) {
+        busy[static_cast<std::size_t>(p)] = true;
+        out.push_back(p);
+      }
+    }
+    return out;
+  };
+
+  Rng rng(2024);
+  std::vector<std::vector<int>> held;
+  int free = kProcs;
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_acquire =
+        free > 0 && (held.empty() || rng.bernoulli(0.55));
+    if (do_acquire) {
+      const int count = static_cast<int>(rng.uniform_int(1, free));
+      const auto got = pool.acquire(count);
+      EXPECT_EQ(got, reference_acquire(count));
+      free -= count;
+      held.push_back(got);
+    } else {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
+      for (const int p : held[pick]) busy[static_cast<std::size_t>(p)] = false;
+      free += static_cast<int>(held[pick].size());
+      pool.release(held[pick]);
+      held[pick] = std::move(held.back());
+      held.pop_back();
+    }
+    EXPECT_EQ(pool.available(), free);
+  }
 }
 
 }  // namespace
