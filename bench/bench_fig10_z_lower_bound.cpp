@@ -3,18 +3,29 @@
 // the online makespan, build Lemma 11's offline two-phase schedule on the
 // realized graph (validated), and report the online/offline gap against the
 // analytic curves (P+1)/(4+8Pε) and log2(n)/5.
+//
+// Every E7c run is instrumented (obs/observer.hpp): per-run gaps, batch
+// counts (busy periods) and idle areas land in a MetricsRegistry written as
+// BENCH_fig10_z_lower_bound.json (schema in docs/OBSERVABILITY.md; the
+// engine.* counters aggregate over all runs, the z.P<P>.<scheduler>.*
+// gauges are per run).
 #include <cmath>
 #include <iostream>
 
+#include "analysis/json_report.hpp"
 #include "analysis/report.hpp"
 #include "core/bounds.hpp"
 #include "core/lmatrix.hpp"
 #include "instances/adversary.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/observer.hpp"
 #include "sched/catbatch_scheduler.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/relaxed_catbatch.hpp"
 #include "sim/engine.hpp"
 #include "sim/validate.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
 
@@ -27,23 +38,39 @@ int main() {
       std::cout, "E7c",
       "Figure 10 / Theorem 3 — adaptive adversary Z^Alg_P(2), sweep over P");
 
+  MetricsRegistry metrics;
+  const auto busy_periods = metrics.counter("engine.busy_periods");
+
   TextTable table({"P", "n", "scheduler", "T_online", "T_offline",
                    "gap", "Lemma10 floor", "log2(n)/5", "(P+1)/(4+8Pe)"});
   for (const int P : {2, 3, 4, 5, 6}) {
     const auto run = [&](OnlineScheduler& sched) {
       ZAdversarySource source(P, K, eps);
-      const SimResult online = simulate(source, sched, P);
+      EngineObserver observer(nullptr, &metrics);
+      SimOptions sim;
+      sim.observer = &observer;
+      const std::uint64_t batches_before = metrics.counter_value(busy_periods);
+      const SimResult online = simulate(source, sched, P, sim);
       require_valid_schedule(source.realized_graph(), online.schedule, P);
       const Schedule offline = z_offline_schedule(source);
       require_valid_schedule(source.realized_graph(), offline, P);
       const std::size_t n = source.realized_graph().size();
+      const double gap = static_cast<double>(online.makespan) /
+                         static_cast<double>(offline.makespan());
+      // Per-run observability: gap, batch count, idle area under unique
+      // names (the shared engine.* counters keep aggregating across runs).
+      const std::string prefix =
+          "z.P" + std::to_string(P) + "." + sched.name();
+      metrics.set(metrics.gauge(prefix + ".gap"), gap);
+      metrics.set(metrics.gauge(prefix + ".batches"),
+                  static_cast<double>(metrics.counter_value(busy_periods) -
+                                      batches_before));
+      metrics.set(metrics.gauge(prefix + ".idle_area"),
+                  metrics.gauge_value(metrics.gauge("engine.idle_area")));
       table.add_row(
           {std::to_string(P), std::to_string(n), sched.name(),
            format_number(online.makespan, 2),
-           format_number(offline.makespan(), 2),
-           format_number(static_cast<double>(online.makespan) /
-                             static_cast<double>(offline.makespan()),
-                         3),
+           format_number(offline.makespan(), 2), format_number(gap, 3),
            format_number(z_online_lower_bound(P, K), 2),
            format_number(theorem3_bound_n(n), 3),
            format_number((P + 1.0) /
@@ -59,6 +86,20 @@ int main() {
     table.add_separator();
   }
   std::cout << table.render();
+
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("fig10_z_lower_bound");
+    w.key("schema").value(1);
+    w.key("K").value(K);
+    w.key("metrics");
+    write_metrics_object(w, metrics);
+    w.end_object();
+    const std::string path =
+        write_bench_report("fig10_z_lower_bound", w.str());
+    std::cout << "\nwrote " << path << "\n";
+  }
 
   print_experiment_header(
       std::cout, "E11",

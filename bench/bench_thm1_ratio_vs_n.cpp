@@ -5,14 +5,23 @@
 // Runs the (family x scheduler x seed) cross product on the parallel sweep
 // engine (--jobs N / CATBATCH_JOBS, default hardware concurrency; results
 // are bit-identical for every job count) and emits the aggregates plus
-// wall-clock timings as BENCH_thm1_ratio_vs_n.json.
+// wall-clock timings as BENCH_thm1_ratio_vs_n.json. The report's "metrics"
+// object (docs/OBSERVABILITY.md) carries per-run achieved-ratio histograms
+// for CatBatch plus bench.probe.* gauges (batch count, idle area) from one
+// fully instrumented run on the largest instance; like every other sweep
+// aggregate it is bit-identical run to run and across job counts.
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 
 #include "analysis/experiment.hpp"
 #include "analysis/json_report.hpp"
 #include "analysis/report.hpp"
 #include "core/lmatrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "sched/registry.hpp"
+#include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
 
@@ -26,7 +35,18 @@ int main(int argc, char** argv) {
   options.procs = 16;
   options.trials = 5;
   options.jobs = bench_jobs(argc, argv);
+  options.keep_runs = true;  // per-run records feed the metrics histograms
   std::cout << "jobs: " << options.jobs << "\n";
+
+  // Observability sidecar for the JSON report: the achieved ratio of every
+  // CatBatch run as a histogram, the worst Theorem 1 margin as a gauge.
+  MetricsRegistry bench_metrics;
+  static constexpr double kRatioBounds[] = {1.0, 1.25, 1.5, 2.0,
+                                            3.0, 4.0,  6.0, 8.0};
+  const auto ratio_hist =
+      bench_metrics.histogram("bench.catbatch.ratio", kRatioBounds);
+  const auto margin_max =
+      bench_metrics.gauge("bench.catbatch.max_theorem1_margin");
 
   const auto lineup = standard_scheduler_lineup();
   std::vector<FamilySweep> report;
@@ -58,6 +78,15 @@ int main(int argc, char** argv) {
       }
       table.add_separator();
 
+      for (const RunRecord& run : fs.runs) {
+        if (run.scheduler != "catbatch") continue;
+        bench_metrics.observe(ratio_hist, run.metrics.ratio);
+        if (run.metrics.theorem1_bound > 0.0) {
+          bench_metrics.max_of(
+              margin_max, run.metrics.ratio / run.metrics.theorem1_bound);
+        }
+      }
+
       FamilySweep labeled = fs;
       labeled.family = fs.family + "/n=" + std::to_string(n);
       wall_ms += labeled.wall_ms;
@@ -66,9 +95,41 @@ int main(int argc, char** argv) {
     std::cout << table.render();
   }
 
+  // One fully instrumented CatBatch run on the largest layered instance. The
+  // probe gets its own registry — its select() histograms carry wall-clock
+  // values, which must not leak into the report (the merged "metrics" object
+  // stays bit-identical run to run, like every other sweep aggregate). Only
+  // the deterministic results are copied over as bench.probe.* gauges.
+  {
+    Rng rng(42 + 1024);
+    const TaskGraph probe =
+        standard_families(1024, options.procs).front().make(rng);
+    MetricsRegistry probe_registry;
+    auto cat =
+        instrument_scheduler(make_scheduler("catbatch"), probe_registry);
+    EngineObserver observer(nullptr, &probe_registry);
+    SimOptions sim;
+    sim.observer = &observer;
+    const RunMetrics probe_metrics =
+        evaluate(probe, *cat, options.procs, sim);
+    const std::uint64_t batches = probe_registry.counter_value(
+        probe_registry.counter("engine.busy_periods"));
+    const double idle_area =
+        probe_registry.gauge_value(probe_registry.gauge("engine.idle_area"));
+    bench_metrics.set(bench_metrics.gauge("bench.probe.ratio"),
+                      probe_metrics.ratio);
+    bench_metrics.set(bench_metrics.gauge("bench.probe.batches"),
+                      static_cast<double>(batches));
+    bench_metrics.set(bench_metrics.gauge("bench.probe.idle_area"), idle_area);
+    std::cout << "\ninstrumented probe (layered, n = " << probe.size()
+              << "): ratio " << format_number(probe_metrics.ratio, 3)
+              << ", batches " << batches << ", idle area "
+              << format_number(idle_area, 1) << "\n";
+  }
+
   const std::string path = write_bench_report(
-      "thm1_ratio_vs_n",
-      sweep_report_json("thm1_ratio_vs_n", options, report, wall_ms));
+      "thm1_ratio_vs_n", sweep_report_json("thm1_ratio_vs_n", options, report,
+                                           wall_ms, &bench_metrics));
   std::cout << "\nwrote " << path << " (" << format_number(wall_ms, 1)
             << " ms of sweeps at " << options.jobs << " jobs)\n";
   std::cout << "\nShape check: catbatch's \"max ratio/bound\" stays <= 1 at "

@@ -4,7 +4,11 @@
 //
 // Each spread level is an instance family on the parallel sweep engine
 // (--jobs N / CATBATCH_JOBS); per-run ratio/theorem2-bound margins use the
-// *realized* M/m of each instance. Emits BENCH_thm2_ratio_vs_mm.json.
+// *realized* M/m of each instance. Emits BENCH_thm2_ratio_vs_mm.json, whose
+// "metrics" object (docs/OBSERVABILITY.md) carries the per-run ratio
+// histogram plus bench.probe.* gauges from one instrumented run at the
+// widest spread; it is bit-identical run to run and across job counts.
+#include <cstdint>
 #include <iostream>
 
 #include "analysis/experiment.hpp"
@@ -12,6 +16,8 @@
 #include "analysis/report.hpp"
 #include "core/lmatrix.hpp"
 #include "instances/random_dags.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
 #include "sched/registry.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
@@ -44,9 +50,20 @@ int main(int argc, char** argv) {
         }});
   }
 
+  options.keep_runs = true;  // per-run records feed the metrics histogram
   const std::vector<NamedScheduler> lineup = {
       NamedScheduler{"catbatch", [] { return make_scheduler("catbatch"); }}};
   const std::vector<FamilySweep> grid = sweep_grid(families, lineup, options);
+
+  // Observability sidecar: every run's achieved ratio as one histogram, the
+  // worst Theorem 2 margin as a gauge (schemas in docs/OBSERVABILITY.md).
+  MetricsRegistry bench_metrics;
+  static constexpr double kRatioBounds[] = {1.0, 1.25, 1.5, 2.0,
+                                            3.0, 4.0,  6.0, 8.0};
+  const auto ratio_hist =
+      bench_metrics.histogram("bench.catbatch.ratio", kRatioBounds);
+  const auto margin_max =
+      bench_metrics.gauge("bench.catbatch.max_theorem2_margin");
 
   TextTable table({"family", "n", "max T/Lb", "mean T/Lb",
                    "max ratio/bound"});
@@ -58,12 +75,48 @@ int main(int argc, char** argv) {
                    format_number(agg.mean_ratio, 3),
                    format_number(agg.max_theorem2_margin, 3)});
     wall_ms += fs.wall_ms;
+    for (const RunRecord& run : fs.runs) {
+      bench_metrics.observe(ratio_hist, run.metrics.ratio);
+      if (run.metrics.theorem2_bound > 0.0) {
+        bench_metrics.max_of(margin_max,
+                             run.metrics.ratio / run.metrics.theorem2_bound);
+      }
+    }
   }
   std::cout << table.render();
 
+  // One instrumented run at the widest spread: batch count (busy periods)
+  // and idle area join the report's metrics object. The probe runs against
+  // its own registry so its wall-clock select() histograms stay out of the
+  // report — only deterministic bench.probe.* gauges are copied over.
+  {
+    Rng rng(options.base_seed);
+    const TaskGraph probe = families.back().make(rng);
+    MetricsRegistry probe_registry;
+    auto cat =
+        instrument_scheduler(make_scheduler("catbatch"), probe_registry);
+    EngineObserver observer(nullptr, &probe_registry);
+    SimOptions sim;
+    sim.observer = &observer;
+    const RunMetrics probe_metrics = evaluate(probe, *cat, options.procs, sim);
+    const std::uint64_t batches = probe_registry.counter_value(
+        probe_registry.counter("engine.busy_periods"));
+    const double idle_area =
+        probe_registry.gauge_value(probe_registry.gauge("engine.idle_area"));
+    bench_metrics.set(bench_metrics.gauge("bench.probe.ratio"),
+                      probe_metrics.ratio);
+    bench_metrics.set(bench_metrics.gauge("bench.probe.batches"),
+                      static_cast<double>(batches));
+    bench_metrics.set(bench_metrics.gauge("bench.probe.idle_area"), idle_area);
+    std::cout << "\ninstrumented probe (" << families.back().label
+              << "): ratio " << format_number(probe_metrics.ratio, 3)
+              << ", batches " << batches << ", idle area "
+              << format_number(idle_area, 1) << "\n";
+  }
+
   const std::string path = write_bench_report(
-      "thm2_ratio_vs_mm",
-      sweep_report_json("thm2_ratio_vs_mm", options, grid, wall_ms));
+      "thm2_ratio_vs_mm", sweep_report_json("thm2_ratio_vs_mm", options, grid,
+                                            wall_ms, &bench_metrics));
   std::cout << "\nwrote " << path << "\n";
   std::cout << "\nShape check: the measured ratio grows (at most) "
                "logarithmically with the spread and never crosses the "

@@ -25,6 +25,10 @@
 #include "instances/examples.hpp"
 #include "instances/io.hpp"
 #include "instances/stg.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/observer.hpp"
+#include "obs/summary.hpp"
 #include "sched/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/svg.hpp"
@@ -53,28 +57,37 @@ void list_algos(std::ostream& os) {
   os << table.render();
 }
 
+void print_usage(std::ostream& os) {
+  os << "usage: sched_cli [options] [instance.json|instance.stg]\n"
+        "  --algo NAME    a registry algorithm (see --list-algos), or\n"
+        "                 'all' for the standard comparison lineup\n"
+        "  --list-algos   print every registered algorithm and exit\n"
+        "  --procs N      platform size (default: file's, else 8)\n"
+        "  --random FAM   use a random family instead of a file: one of\n"
+        "                 layered | order-dag | series-parallel | fork-join\n"
+        "                 | chains | out-tree | independent\n"
+        "  --tasks N      size of --random instances (default 100)\n"
+        "  --trials K     number of seeds to sweep (default 1)\n"
+        "  --seed S       base seed for --random / --trials (default 1)\n"
+        "  --jobs N       worker threads for multi-trial sweeps\n"
+        "                 (default: CATBATCH_JOBS, else hardware)\n"
+        "  --json FILE    write the sweep report as JSON to FILE\n"
+        "  --gantt        print an ASCII Gantt chart (single run)\n"
+        "  --svg FILE     write an SVG Gantt chart to FILE (single run)\n"
+        "  --csv          print the schedule as CSV (single run)\n"
+        "  --dot          print the instance in Graphviz DOT\n"
+        "  --demo         use the paper's 11-task example instead of a file\n"
+        "  --emit-demo    print the demo instance as JSON and exit\n"
+        "  --trace-out FILE   write a Chrome trace_event JSON of the run\n"
+        "                 (open in chrome://tracing or ui.perfetto.dev)\n"
+        "  --metrics      print the engine/scheduler metrics summary\n"
+        "                 (single run)\n"
+        "  --metrics-json FILE  write the metrics snapshot as JSON\n"
+        "  --help         print this message and exit\n";
+}
+
 int usage() {
-  std::cerr
-      << "usage: sched_cli [options] [instance.json|instance.stg]\n"
-         "  --algo NAME    a registry algorithm (see --list-algos), or\n"
-         "                 'all' for the standard comparison lineup\n"
-         "  --list-algos   print every registered algorithm and exit\n"
-         "  --procs N      platform size (default: file's, else 8)\n"
-         "  --random FAM   use a random family instead of a file: one of\n"
-         "                 layered | order-dag | series-parallel | fork-join\n"
-         "                 | chains | out-tree | independent\n"
-         "  --tasks N      size of --random instances (default 100)\n"
-         "  --trials K     number of seeds to sweep (default 1)\n"
-         "  --seed S       base seed for --random / --trials (default 1)\n"
-         "  --jobs N       worker threads for multi-trial sweeps\n"
-         "                 (default: CATBATCH_JOBS, else hardware)\n"
-         "  --json FILE    write the sweep report as JSON to FILE\n"
-         "  --gantt        print an ASCII Gantt chart (single run)\n"
-         "  --svg FILE     write an SVG Gantt chart to FILE (single run)\n"
-         "  --csv          print the schedule as CSV (single run)\n"
-         "  --dot          print the instance in Graphviz DOT\n"
-         "  --demo         use the paper's 11-task example instead of a file\n"
-         "  --emit-demo    print the demo instance as JSON and exit\n";
+  print_usage(std::cerr);
   return 1;
 }
 
@@ -107,12 +120,13 @@ std::vector<NamedScheduler> sweep_lineup(const std::string& algo,
 int main(int argc, char** argv) {
   std::string algo = "catbatch";
   std::string path, svg_path, json_path, family_label;
+  std::string trace_path, metrics_json_path;
   int procs = 0;
   std::size_t tasks = 100, trials = 1;
   std::uint64_t seed = 1;
   int jobs = 0;
   bool gantt = false, csv = false, dot = false, demo = false,
-       emit_demo = false;
+       emit_demo = false, show_metrics = false;
 
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
@@ -147,6 +161,15 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (arg == "--emit-demo") {
       emit_demo = true;
+    } else if (arg == "--trace-out" && k + 1 < argc) {
+      trace_path = argv[++k];
+    } else if (arg == "--metrics") {
+      show_metrics = true;
+    } else if (arg == "--metrics-json" && k + 1 < argc) {
+      metrics_json_path = argv[++k];
+    } else if (arg == "--help") {
+      print_usage(std::cout);
+      return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
     } else {
@@ -289,20 +312,56 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto scheduler = make_scheduler(algo, graph);
+    auto scheduler = make_scheduler(algo, graph);
     if (!scheduler) {
       std::cerr << "unknown algorithm '" << algo
                 << "' (see --list-algos)\n";
       return usage();
     }
 
-    const RunMetrics m = evaluate(graph, *scheduler, procs);
+    // Any observability flag turns on the full sink set: decision-time
+    // metrics around the scheduler, engine lifecycle events in the tracer.
+    const bool observed =
+        show_metrics || !trace_path.empty() || !metrics_json_path.empty();
+    MetricsRegistry metrics_registry;
+    EventTracer tracer;
+    SimOptions sim_options;
+    std::unique_ptr<EngineObserver> observer;
+    if (observed) {
+      scheduler = instrument_scheduler(std::move(scheduler), metrics_registry);
+      observer = std::make_unique<EngineObserver>(&tracer, &metrics_registry);
+      sim_options.observer = observer.get();
+    }
+
+    const RunMetrics m = evaluate(graph, *scheduler, procs, sim_options);
     std::cerr << "algorithm   : " << m.scheduler << "\n"
               << "tasks       : " << m.task_count << "\n"
               << "makespan    : " << format_number(m.makespan) << "\n"
               << "lower bound : " << format_number(m.lower_bound) << "\n"
               << "ratio       : " << format_number(m.ratio, 3) << "\n"
               << "utilization : " << format_number(m.utilization, 3) << "\n";
+
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "cannot write " << trace_path << "\n";
+        return 1;
+      }
+      ChromeTraceOptions trace_options;
+      trace_options.graph = &graph;
+      out << chrome_trace_json(tracer, trace_options) << "\n";
+      std::cerr << "wrote " << trace_path << "\n";
+    }
+    if (show_metrics) std::cout << obs_summary(&metrics_registry, &tracer);
+    if (!metrics_json_path.empty()) {
+      std::ofstream out(metrics_json_path);
+      if (!out) {
+        std::cerr << "cannot write " << metrics_json_path << "\n";
+        return 1;
+      }
+      out << metrics_json(metrics_registry) << "\n";
+      std::cerr << "wrote " << metrics_json_path << "\n";
+    }
 
     // Re-run to get the schedule itself for trace output.
     if (gantt || csv || !svg_path.empty()) {

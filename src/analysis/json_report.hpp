@@ -22,6 +22,10 @@
 //                     "makespan": 91.0, "lower_bound": 61.2,
 //                     "ratio": 1.49, "wall_ms": 3.0 }, ... ] }, ... ]
 //   }
+//
+// Benches that opt into observability (docs/OBSERVABILITY.md) append one
+// top-level `"metrics"` object — the flat MetricsRegistry snapshot of
+// obs/metrics_export.hpp — via the overload taking a MetricsRegistry.
 #pragma once
 
 #include <cstdint>
@@ -30,43 +34,26 @@
 #include <vector>
 
 #include "analysis/experiment.hpp"
+#include "support/json.hpp"
 
 namespace catbatch {
 
-/// Incremental JSON writer with correct string escaping and shortest
-/// round-trip double formatting. Keys/values must be emitted in a valid
-/// order (the writer tracks comma placement, not grammar).
-class JsonWriter {
- public:
-  JsonWriter& begin_object();
-  JsonWriter& end_object();
-  JsonWriter& begin_array();
-  JsonWriter& end_array();
-  /// Emits `"name":` — must be followed by a value (or begin_*).
-  JsonWriter& key(const std::string& name);
-  JsonWriter& value(const std::string& v);
-  JsonWriter& value(const char* v);
-  JsonWriter& value(double v);  // non-finite -> null
-  JsonWriter& value(std::uint64_t v);
-  JsonWriter& value(int v);
-  JsonWriter& value(bool v);
-
-  [[nodiscard]] const std::string& str() const noexcept { return out_; }
-
- private:
-  void separate();
-  std::string out_;
-  std::vector<bool> needs_comma_;  // one level per open container
-  bool after_key_ = false;
-};
-
-/// Escapes `raw` as a JSON string literal (with surrounding quotes).
-[[nodiscard]] std::string json_quote(const std::string& raw);
+class MetricsRegistry;  // obs/metrics.hpp
 
 /// Serializes a grid sweep into the document described above.
 [[nodiscard]] std::string sweep_report_json(
     const std::string& bench_id, const SweepOptions& options,
     std::span<const FamilySweep> families, double wall_ms);
+
+/// Same document with an additional top-level `"metrics"` object holding a
+/// flat snapshot of `metrics` (see obs/metrics_export.hpp for the schema:
+/// `counters`, `gauges`, `histograms`). Passing nullptr is equivalent to
+/// the overload above — benches opt into observability without forking the
+/// report path.
+[[nodiscard]] std::string sweep_report_json(
+    const std::string& bench_id, const SweepOptions& options,
+    std::span<const FamilySweep> families, double wall_ms,
+    const MetricsRegistry* metrics);
 
 /// Writes `json` to `<dir>/BENCH_<bench_id>.json` and returns the path.
 /// `dir` defaults to CATBATCH_BENCH_DIR if set, else the working directory.

@@ -34,14 +34,14 @@ RunMetrics metrics_from(const TaskGraph& graph, OnlineScheduler& scheduler,
 }  // namespace
 
 RunMetrics evaluate(const TaskGraph& graph, OnlineScheduler& scheduler,
-                    int procs) {
-  const SimResult result = simulate(graph, scheduler, procs);
+                    int procs, const SimOptions& options) {
+  const SimResult result = simulate(graph, scheduler, procs, options);
   return metrics_from(graph, scheduler, procs, result);
 }
 
 RunMetrics evaluate(InstanceSource& source, OnlineScheduler& scheduler,
-                    int procs) {
-  const SimResult result = simulate(source, scheduler, procs);
+                    int procs, const SimOptions& options) {
+  const SimResult result = simulate(source, scheduler, procs, options);
   return metrics_from(source.realized_graph(), scheduler, procs, result);
 }
 

@@ -28,13 +28,17 @@ struct RunMetrics {
 };
 
 /// Simulates `scheduler` on the static `graph`, validates the schedule, and
-/// computes the metrics above.
+/// computes the metrics above. `options` is forwarded to the engine, so an
+/// instrumented evaluation (SimOptions::observer) reports the same metrics
+/// as a plain one.
 [[nodiscard]] RunMetrics evaluate(const TaskGraph& graph,
-                                  OnlineScheduler& scheduler, int procs);
+                                  OnlineScheduler& scheduler, int procs,
+                                  const SimOptions& options = {});
 
 /// Same for an adaptive source; the realized graph provides the bounds.
 [[nodiscard]] RunMetrics evaluate(InstanceSource& source,
-                                  OnlineScheduler& scheduler, int procs);
+                                  OnlineScheduler& scheduler, int procs,
+                                  const SimOptions& options = {});
 
 /// Factory for a named scheduler lineup used by the comparison benches.
 struct NamedScheduler {

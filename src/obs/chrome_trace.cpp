@@ -1,0 +1,150 @@
+#include "obs/chrome_trace.hpp"
+
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace catbatch {
+
+namespace {
+
+constexpr int kTaskPid = 1;    // dispatch slices, one lane per tid
+constexpr int kEnginePid = 2;  // lifecycle instants, busy spans, counters
+
+void begin_event(JsonWriter& w, const char* name, const char* ph, double ts,
+                 int pid, int tid) {
+  w.begin_object();
+  w.key("name").value(name);
+  w.key("ph").value(ph);
+  w.key("ts").value(ts);
+  w.key("pid").value(pid);
+  w.key("tid").value(tid);
+}
+
+void metadata(JsonWriter& w, const char* kind, int pid, int tid,
+              const char* label) {
+  begin_event(w, kind, "M", 0.0, pid, tid);
+  w.key("args").begin_object().key("name").value(label).end_object();
+  w.end_object();
+}
+
+std::string slice_name(const ChromeTraceOptions& options, TaskId id) {
+  if (options.graph != nullptr && id < options.graph->size()) {
+    const std::string& name = options.graph->task(id).name;
+    if (!name.empty()) return name;
+  }
+  return "task " + std::to_string(id);
+}
+
+/// Greedy interval partition: the first lane whose previous slice has
+/// finished takes the task; a new lane opens only at peak concurrency.
+int assign_lane(std::vector<Time>& lane_free, Time start, Time finish) {
+  for (std::size_t lane = 0; lane < lane_free.size(); ++lane) {
+    if (lane_free[lane] <= start) {
+      lane_free[lane] = finish;
+      return static_cast<int>(lane);
+    }
+  }
+  lane_free.push_back(finish);
+  return static_cast<int>(lane_free.size()) - 1;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const EventTracer& tracer,
+                              const ChromeTraceOptions& options) {
+  const double scale = options.us_per_time_unit;
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  metadata(w, "process_name", kTaskPid, 0, "tasks");
+  metadata(w, "process_name", kEnginePid, 0, "engine");
+  metadata(w, "thread_name", kEnginePid, 0, "lifecycle");
+  metadata(w, "thread_name", kEnginePid, 1, "scheduler");
+  metadata(w, "thread_name", kEnginePid, 2, "busy periods");
+
+  std::vector<Time> lane_free;
+  int procs_in_use = 0;
+  int busy_depth = 0;
+  for (std::size_t i = 0; i < tracer.size(); ++i) {
+    const TraceEvent& ev = tracer.event(i);
+    const double ts = static_cast<double>(ev.at) * scale;
+    switch (ev.kind) {
+      case TraceEventKind::Dispatch: {
+        const std::string name = slice_name(options, ev.id);
+        const int lane =
+            assign_lane(lane_free, ev.at, ev.at + ev.duration);
+        begin_event(w, name.c_str(), "X", ts, kTaskPid, lane);
+        w.key("dur").value(static_cast<double>(ev.duration) * scale);
+        w.key("args").begin_object();
+        w.key("task").value(static_cast<std::uint64_t>(ev.id));
+        w.key("procs").value(ev.procs);
+        w.end_object();
+        w.end_object();
+        break;
+      }
+      case TraceEventKind::TaskReveal:
+      case TraceEventKind::TaskReady:
+      case TraceEventKind::Completion: {
+        begin_event(w, trace_event_kind_name(ev.kind), "i", ts, kEnginePid,
+                    0);
+        w.key("s").value("t");
+        w.key("args").begin_object();
+        w.key("task").value(static_cast<std::uint64_t>(ev.id));
+        w.end_object();
+        w.end_object();
+        break;
+      }
+      case TraceEventKind::Select: {
+        begin_event(w, "select", "i", ts, kEnginePid, 1);
+        w.key("s").value("t");
+        w.key("args").begin_object();
+        w.key("wall_us").value(ev.wall_us);
+        w.key("picks").value(ev.procs);
+        w.end_object();
+        w.end_object();
+        break;
+      }
+      case TraceEventKind::BatchOpen: {
+        begin_event(w, "busy period", "B", ts, kEnginePid, 2);
+        w.end_object();
+        ++busy_depth;
+        break;
+      }
+      case TraceEventKind::BatchClose: {
+        // An open lost to ring wraparound would leave this unbalanced;
+        // skip the orphan instead of emitting an invalid trace.
+        if (busy_depth > 0) {
+          begin_event(w, "busy period", "E", ts, kEnginePid, 2);
+          w.end_object();
+          --busy_depth;
+        }
+        break;
+      }
+      case TraceEventKind::ProcAcquire:
+      case TraceEventKind::ProcRelease: {
+        procs_in_use += ev.kind == TraceEventKind::ProcAcquire ? ev.procs
+                                                               : -ev.procs;
+        begin_event(w, "procs_in_use", "C", ts, kEnginePid, 0);
+        w.key("args").begin_object();
+        w.key("procs").value(procs_in_use);
+        w.end_object();
+        w.end_object();
+        break;
+      }
+    }
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.key("otherData").begin_object();
+  w.key("generator").value("catbatch");
+  w.key("events_recorded").value(tracer.total_recorded());
+  w.key("events_dropped").value(tracer.dropped());
+  w.key("us_per_time_unit").value(scale);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace catbatch

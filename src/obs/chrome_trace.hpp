@@ -1,0 +1,39 @@
+// Chrome trace_event exporter: serializes an EventTracer's retained events
+// into the JSON Array Format consumed by chrome://tracing and Perfetto
+// (ui.perfetto.dev). One document per simulation run.
+//
+// Mapping (docs/OBSERVABILITY.md, "Chrome trace export"):
+//   * Dispatch events become "X" (complete) slices on pid 1 ("tasks"),
+//     packed onto execution lanes by a greedy interval partition — the
+//     rendered lanes are a Gantt chart whose lane count equals the maximal
+//     concurrency, valid for counting-mode runs that have no processor
+//     identities.
+//   * BatchOpen/BatchClose become "B"/"E" spans ("busy period") on pid 2.
+//   * TaskReveal/TaskReady/Select become "i" instants on pid 2; Select
+//     carries its wall-clock duration and pick count in args.
+//   * ProcAcquire/ProcRelease drive a "C" counter track ("procs_in_use").
+// The timeline is *simulated* time scaled by us_per_time_unit (default:
+// 1 sim unit = 1000 µs, so Perfetto's "ms" readout equals sim units).
+#pragma once
+
+#include <string>
+
+#include "core/graph.hpp"
+#include "obs/tracer.hpp"
+
+namespace catbatch {
+
+struct ChromeTraceOptions {
+  /// Resolves task names for slice labels; null renders "task <id>".
+  const TaskGraph* graph = nullptr;
+  /// Microseconds per simulated time unit on the trace timeline.
+  double us_per_time_unit = 1000.0;
+};
+
+/// The full trace document: {"traceEvents": [...], "displayTimeUnit":
+/// "ms", "otherData": {...}}. otherData records total/dropped event counts
+/// so wraparound truncation is visible in the artifact itself.
+[[nodiscard]] std::string chrome_trace_json(
+    const EventTracer& tracer, const ChromeTraceOptions& options = {});
+
+}  // namespace catbatch

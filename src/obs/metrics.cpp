@@ -1,0 +1,111 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+MetricsRegistry::Id MetricsRegistry::register_metric(std::string_view name,
+                                                     MetricKind kind) {
+  CB_CHECK(!name.empty(), "metric name must be non-empty");
+  for (const MetricInfo& info : directory_) {
+    if (info.name == name) {
+      CB_CHECK(info.kind == kind,
+               "metric '" + info.name + "' re-registered with another kind");
+      return info.id;
+    }
+  }
+  return kNoMetric;
+}
+
+MetricsRegistry::Id MetricsRegistry::counter(std::string_view name) {
+  if (const Id existing = register_metric(name, MetricKind::Counter);
+      existing != kNoMetric) {
+    return existing;
+  }
+  const Id id = static_cast<Id>(counters_.size());
+  counters_.push_back(0);
+  directory_.push_back(MetricInfo{std::string(name), MetricKind::Counter, id});
+  return id;
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge(std::string_view name) {
+  if (const Id existing = register_metric(name, MetricKind::Gauge);
+      existing != kNoMetric) {
+    return existing;
+  }
+  const Id id = static_cast<Id>(gauges_.size());
+  gauges_.push_back(0.0);
+  directory_.push_back(MetricInfo{std::string(name), MetricKind::Gauge, id});
+  return id;
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram(
+    std::string_view name, std::span<const double> upper_bounds) {
+  if (const Id existing = register_metric(name, MetricKind::Histogram);
+      existing != kNoMetric) {
+    return existing;
+  }
+  CB_CHECK(std::is_sorted(upper_bounds.begin(), upper_bounds.end()),
+           "histogram bucket bounds must be ascending");
+  const Id id = static_cast<Id>(histograms_.size());
+  Histogram h;
+  h.upper_bounds.assign(upper_bounds.begin(), upper_bounds.end());
+  h.counts.assign(upper_bounds.size() + 1, 0);
+  histograms_.push_back(std::move(h));
+  directory_.push_back(
+      MetricInfo{std::string(name), MetricKind::Histogram, id});
+  return id;
+}
+
+void MetricsRegistry::add(Id id, std::uint64_t delta) noexcept {
+  if (id < counters_.size()) counters_[id] += delta;
+}
+
+void MetricsRegistry::set(Id id, double value) noexcept {
+  if (id < gauges_.size()) gauges_[id] = value;
+}
+
+void MetricsRegistry::max_of(Id id, double value) noexcept {
+  if (id < gauges_.size() && value > gauges_[id]) gauges_[id] = value;
+}
+
+void MetricsRegistry::observe(Id id, double value) noexcept {
+  if (id >= histograms_.size()) return;
+  Histogram& h = histograms_[id];
+  // Buckets are *inclusive* upper bounds: value v lands in the first bucket
+  // with v <= bound (lower_bound, not upper_bound, so v == bound counts).
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(h.upper_bounds.begin(), h.upper_bounds.end(), value) -
+      h.upper_bounds.begin());
+  ++h.counts[bucket];
+  h.sum += value;
+  ++h.total;
+}
+
+std::uint64_t MetricsRegistry::counter_value(Id id) const {
+  CB_CHECK(id < counters_.size(), "unknown counter id");
+  return counters_[id];
+}
+
+double MetricsRegistry::gauge_value(Id id) const {
+  CB_CHECK(id < gauges_.size(), "unknown gauge id");
+  return gauges_[id];
+}
+
+MetricsRegistry::HistogramView MetricsRegistry::histogram_view(Id id) const {
+  CB_CHECK(id < histograms_.size(), "unknown histogram id");
+  const Histogram& h = histograms_[id];
+  return HistogramView{h.upper_bounds, h.counts, h.total, h.sum};
+}
+
+const MetricsRegistry::MetricInfo* MetricsRegistry::find(
+    std::string_view name) const {
+  for (const MetricInfo& info : directory_) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace catbatch

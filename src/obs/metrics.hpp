@@ -1,0 +1,101 @@
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms for
+// engine- and scheduler-level instrumentation.
+//
+// Contract (docs/OBSERVABILITY.md, "Metrics"): registration may allocate
+// (it interns the name and sizes the slot); every *update* — add(), set(),
+// max_of(), observe() — touches only preallocated plain slots
+// (std::uint64_t / double) and performs zero heap allocation, so metrics
+// can sit inside the simulate() hot loop without disturbing the zero-alloc
+// guarantee of DESIGN.md "Engine complexity". Updates are O(1) except
+// observe(), which is O(log buckets) (a binary search over at most a few
+// dozen inclusive upper bounds).
+//
+// Ids are dense indices per metric kind; registering an existing name of
+// the same kind returns the existing id (re-registering under a different
+// kind throws). The registry is not thread-safe: one registry per
+// simulation/bench thread, merged at the edges if needed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace catbatch {
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kNoMetric = std::numeric_limits<Id>::max();
+
+  // -- registration (may allocate; do this before the hot loop) -----------
+
+  /// Registers (or finds) a monotonically increasing uint64 counter.
+  Id counter(std::string_view name);
+  /// Registers (or finds) a last-value-wins double gauge.
+  Id gauge(std::string_view name);
+  /// Registers (or finds) a histogram with the given finite ascending
+  /// bucket upper bounds; an implicit +inf overflow bucket is appended, so
+  /// the histogram has `upper_bounds.size() + 1` counts. Bounds are
+  /// *inclusive*: a sample lands in the first bucket with value <= bound.
+  Id histogram(std::string_view name, std::span<const double> upper_bounds);
+
+  // -- zero-allocation updates --------------------------------------------
+
+  void add(Id id, std::uint64_t delta = 1) noexcept;  // counter += delta
+  void set(Id id, double value) noexcept;             // gauge = value
+  void max_of(Id id, double value) noexcept;          // gauge = max(gauge, v)
+  void observe(Id id, double value) noexcept;         // histogram sample
+
+  // -- readback / export --------------------------------------------------
+
+  struct HistogramView {
+    std::span<const double> upper_bounds;   // finite bounds (no +inf)
+    std::span<const std::uint64_t> counts;  // upper_bounds.size() + 1 slots
+    std::uint64_t total = 0;                // number of samples
+    double sum = 0.0;                       // sum of samples
+  };
+
+  /// One directory row per registered metric, in registration order.
+  struct MetricInfo {
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    Id id = kNoMetric;  // kind-specific dense id
+  };
+
+  [[nodiscard]] std::span<const MetricInfo> metrics() const noexcept {
+    return directory_;
+  }
+  [[nodiscard]] std::uint64_t counter_value(Id id) const;
+  [[nodiscard]] double gauge_value(Id id) const;
+  [[nodiscard]] HistogramView histogram_view(Id id) const;
+
+  /// Directory row for `name`, or nullptr if never registered.
+  [[nodiscard]] const MetricInfo* find(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return directory_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return directory_.empty(); }
+
+ private:
+  struct Histogram {
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> counts;  // upper_bounds.size() + 1
+    double sum = 0.0;
+    std::uint64_t total = 0;
+  };
+
+  Id register_metric(std::string_view name, MetricKind kind);
+
+  std::vector<MetricInfo> directory_;
+  std::vector<std::uint64_t> counters_;
+  std::vector<double> gauges_;
+  std::vector<Histogram> histograms_;
+};
+
+}  // namespace catbatch

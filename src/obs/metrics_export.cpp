@@ -1,0 +1,44 @@
+#include "obs/metrics_export.hpp"
+
+namespace catbatch {
+
+void write_metrics_object(JsonWriter& w, const MetricsRegistry& registry) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const MetricsRegistry::MetricInfo& info : registry.metrics()) {
+    if (info.kind != MetricKind::Counter) continue;
+    w.key(info.name).value(registry.counter_value(info.id));
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const MetricsRegistry::MetricInfo& info : registry.metrics()) {
+    if (info.kind != MetricKind::Gauge) continue;
+    w.key(info.name).value(registry.gauge_value(info.id));
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const MetricsRegistry::MetricInfo& info : registry.metrics()) {
+    if (info.kind != MetricKind::Histogram) continue;
+    const MetricsRegistry::HistogramView h = registry.histogram_view(info.id);
+    w.key(info.name).begin_object();
+    w.key("upper_bounds").begin_array();
+    for (const double bound : h.upper_bounds) w.value(bound);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const std::uint64_t count : h.counts) w.value(count);
+    w.end_array();
+    w.key("total").value(h.total);
+    w.key("sum").value(h.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string metrics_json(const MetricsRegistry& registry) {
+  JsonWriter w;
+  write_metrics_object(w, registry);
+  return w.str();
+}
+
+}  // namespace catbatch

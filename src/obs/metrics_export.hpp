@@ -1,0 +1,31 @@
+// MetricsRegistry serialization: the flat JSON snapshot merged into
+// BENCH_*.json reports (analysis/json_report.hpp) and written standalone by
+// sched_cli --metrics-json. Schema (docs/OBSERVABILITY.md, "Metrics JSON"):
+//
+//   {
+//     "counters":   { "engine.tasks_dispatched": 100, ... },
+//     "gauges":     { "engine.idle_area": 12.5, ... },
+//     "histograms": { "engine.select_us": {
+//         "upper_bounds": [0.25, 0.5, ...],   // +inf bucket implied
+//         "counts": [90, 7, ...],             // upper_bounds.size() + 1
+//         "total": 101, "sum": 17.25 }, ... }
+//   }
+//
+// Keys appear in registration order within each section.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "support/json.hpp"
+
+namespace catbatch {
+
+/// Writes the snapshot object above at the writer's current position
+/// (the caller has emitted the surrounding key, if any).
+void write_metrics_object(JsonWriter& w, const MetricsRegistry& registry);
+
+/// The snapshot as a standalone document.
+[[nodiscard]] std::string metrics_json(const MetricsRegistry& registry);
+
+}  // namespace catbatch

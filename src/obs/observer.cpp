@@ -1,0 +1,108 @@
+#include "obs/observer.hpp"
+
+namespace catbatch {
+
+namespace {
+
+// Engine-level bucket layouts. Select durations are wall-clock µs; picks
+// per call are small integers.
+constexpr double kSelectUsBounds[] = {0.25, 0.5, 1.0,  2.0,   5.0,
+                                      10.0, 25.0, 50.0, 100.0, 1000.0};
+constexpr double kPicksBounds[] = {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+
+}  // namespace
+
+EngineObserver::EngineObserver(EventTracer* tracer, MetricsRegistry* metrics)
+    : tracer_(tracer), metrics_(metrics) {
+  if (metrics_ == nullptr) return;
+  tasks_ready_ = metrics_->counter("engine.tasks_ready");
+  tasks_dispatched_ = metrics_->counter("engine.tasks_dispatched");
+  tasks_completed_ = metrics_->counter("engine.tasks_completed");
+  select_calls_ = metrics_->counter("engine.select_calls");
+  busy_periods_ = metrics_->counter("engine.busy_periods");
+  procs_acquired_ = metrics_->counter("engine.procs_acquired");
+  procs_in_use_gauge_ = metrics_->gauge("engine.procs_in_use");
+  max_procs_in_use_ = metrics_->gauge("engine.max_procs_in_use");
+  makespan_ = metrics_->gauge("engine.makespan");
+  busy_area_ = metrics_->gauge("engine.busy_area");
+  idle_area_ = metrics_->gauge("engine.idle_area");
+  select_us_hist_ = metrics_->histogram("engine.select_us", kSelectUsBounds);
+  picks_hist_ = metrics_->histogram("engine.picks_per_select", kPicksBounds);
+}
+
+void EngineObserver::trace(TraceEventKind kind, TaskId id, Time at,
+                           Time duration, double wall_us,
+                           int procs) noexcept {
+  if (tracer_ == nullptr) return;
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.id = id;
+  ev.at = at;
+  ev.duration = duration;
+  ev.wall_us = wall_us;
+  ev.procs = procs;
+  tracer_->record(ev);
+}
+
+void EngineObserver::on_task_revealed(TaskId id, Time now) noexcept {
+  trace(TraceEventKind::TaskReveal, id, now, 0.0, 0.0, 0);
+}
+
+void EngineObserver::on_task_ready(TaskId id, Time now) noexcept {
+  trace(TraceEventKind::TaskReady, id, now, 0.0, 0.0, 0);
+  if (metrics_ != nullptr) metrics_->add(tasks_ready_);
+}
+
+void EngineObserver::on_select(Time now, int free_procs, double wall_us,
+                               std::size_t picks) noexcept {
+  trace(TraceEventKind::Select, kInvalidTask, now, 0.0, wall_us,
+        static_cast<int>(picks));
+  if (metrics_ == nullptr) return;
+  metrics_->add(select_calls_);
+  metrics_->observe(select_us_hist_, wall_us);
+  metrics_->observe(picks_hist_, static_cast<double>(picks));
+  (void)free_procs;
+}
+
+void EngineObserver::on_dispatch(TaskId id, Time start, Time finish,
+                                 int width) noexcept {
+  trace(TraceEventKind::Dispatch, id, start, finish - start, 0.0, width);
+  trace(TraceEventKind::ProcAcquire, id, start, 0.0, 0.0, width);
+  procs_in_use_ += width;
+  if (metrics_ == nullptr) return;
+  metrics_->add(tasks_dispatched_);
+  metrics_->add(procs_acquired_, static_cast<std::uint64_t>(width));
+  metrics_->set(procs_in_use_gauge_, static_cast<double>(procs_in_use_));
+  metrics_->max_of(max_procs_in_use_, static_cast<double>(procs_in_use_));
+}
+
+void EngineObserver::on_complete(TaskId id, Time now, int width) noexcept {
+  trace(TraceEventKind::Completion, id, now, 0.0, 0.0, width);
+  trace(TraceEventKind::ProcRelease, id, now, 0.0, 0.0, width);
+  procs_in_use_ -= width;
+  if (metrics_ == nullptr) return;
+  metrics_->add(tasks_completed_);
+  metrics_->set(procs_in_use_gauge_, static_cast<double>(procs_in_use_));
+}
+
+void EngineObserver::on_busy_open(Time now) noexcept {
+  trace(TraceEventKind::BatchOpen, kInvalidTask, now, 0.0, 0.0, 0);
+  if (metrics_ != nullptr) metrics_->add(busy_periods_);
+}
+
+void EngineObserver::on_busy_close(Time now) noexcept {
+  trace(TraceEventKind::BatchClose, kInvalidTask, now, 0.0, 0.0, 0);
+}
+
+void EngineObserver::on_run_end(Time makespan, Time busy_area, int procs,
+                                std::size_t tasks) noexcept {
+  if (metrics_ == nullptr) return;
+  metrics_->set(makespan_, static_cast<double>(makespan));
+  metrics_->set(busy_area_, static_cast<double>(busy_area));
+  metrics_->set(idle_area_,
+                static_cast<double>(procs) * static_cast<double>(makespan) -
+                    static_cast<double>(busy_area));
+  (void)tasks;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,83 @@
+// EngineObserver: the hook object the simulation engine drives at each
+// event-loop transition (sim/engine.cpp). Bundles an optional EventTracer
+// and an optional MetricsRegistry behind one pointer in SimOptions.
+//
+// Overhead contract (docs/OBSERVABILITY.md, "Overhead"): with no observer
+// installed (SimOptions::observer == nullptr, the default) every hook site
+// in the engine is a single predictable-false branch — the PR 2 zero-alloc
+// guarantee and the perf gate are unaffected. With an observer installed,
+// every callback is O(1) (observe() is O(log buckets)) and allocation-free:
+// the tracer's ring buffer is preallocated and all engine metrics are
+// registered in the constructor, before the first event. Wall-clock select
+// timing is only taken when an observer is installed (wants_select_timing).
+#pragma once
+
+#include <cstdint>
+
+#include "core/task.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace catbatch {
+
+class EngineObserver {
+ public:
+  /// Either pointer may be null; the observer records into whichever sinks
+  /// exist. The pointees must outlive the observer.
+  EngineObserver(EventTracer* tracer, MetricsRegistry* metrics);
+
+  /// True when select() calls should be wall-clock timed (any sink set).
+  [[nodiscard]] bool wants_select_timing() const noexcept {
+    return tracer_ != nullptr || metrics_ != nullptr;
+  }
+
+  // -- engine callbacks (all O(1), allocation-free) -----------------------
+
+  /// The engine learned of `id` (ingest, or its release time fired).
+  void on_task_revealed(TaskId id, Time now) noexcept;
+  /// `id` was revealed to the scheduler (all predecessors complete).
+  void on_task_ready(TaskId id, Time now) noexcept;
+  /// One select() call returned: `picks` tasks chosen out of `free_procs`
+  /// free processors, taking `wall_us` microseconds of wall clock.
+  void on_select(Time now, int free_procs, double wall_us,
+                 std::size_t picks) noexcept;
+  /// `id` started on `width` processors, to run over [start, finish).
+  void on_dispatch(TaskId id, Time start, Time finish, int width) noexcept;
+  /// `id` finished, freeing `width` processors.
+  void on_complete(TaskId id, Time now, int width) noexcept;
+  /// The platform transitioned idle -> busy (a busy period / batch opened).
+  void on_busy_open(Time now) noexcept;
+  /// The platform drained back to idle (the busy period closed).
+  void on_busy_close(Time now) noexcept;
+  /// Simulation finished: final whole-run gauges (idle area, makespan).
+  void on_run_end(Time makespan, Time busy_area, int procs,
+                  std::size_t tasks) noexcept;
+
+  [[nodiscard]] EventTracer* tracer() const noexcept { return tracer_; }
+  [[nodiscard]] MetricsRegistry* metrics() const noexcept { return metrics_; }
+
+ private:
+  void trace(TraceEventKind kind, TaskId id, Time at, Time duration,
+             double wall_us, int procs) noexcept;
+
+  EventTracer* tracer_;
+  MetricsRegistry* metrics_;
+  int procs_in_use_ = 0;
+
+  // Pre-registered metric ids (kNoMetric when metrics_ == nullptr).
+  MetricsRegistry::Id tasks_ready_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id tasks_dispatched_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id tasks_completed_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id select_calls_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id busy_periods_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id procs_acquired_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id procs_in_use_gauge_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id max_procs_in_use_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id makespan_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id busy_area_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id idle_area_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id select_us_hist_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id picks_hist_ = MetricsRegistry::kNoMetric;
+};
+
+}  // namespace catbatch

@@ -1,0 +1,71 @@
+#include "obs/summary.hpp"
+
+#include <sstream>
+
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace catbatch {
+
+namespace {
+
+std::string bucket_label(std::span<const double> bounds, std::size_t i) {
+  if (i == 0) return "<= " + format_number(bounds[0], 3);
+  if (i == bounds.size()) return "> " + format_number(bounds.back(), 3);
+  return "<= " + format_number(bounds[i], 3);
+}
+
+}  // namespace
+
+std::string obs_summary(const MetricsRegistry* registry,
+                        const EventTracer* tracer) {
+  std::ostringstream os;
+  if (registry == nullptr && tracer == nullptr) {
+    return "(observability disabled: no metrics registry or tracer)\n";
+  }
+
+  if (registry != nullptr && !registry->empty()) {
+    TextTable scalars({"metric", "kind", "value"});
+    for (const MetricsRegistry::MetricInfo& info : registry->metrics()) {
+      if (info.kind == MetricKind::Counter) {
+        scalars.add_row({info.name, "counter",
+                         std::to_string(registry->counter_value(info.id))});
+      } else if (info.kind == MetricKind::Gauge) {
+        scalars.add_row({info.name, "gauge",
+                         format_number(registry->gauge_value(info.id), 4)});
+      }
+    }
+    if (scalars.row_count() > 0) os << scalars.render();
+
+    for (const MetricsRegistry::MetricInfo& info : registry->metrics()) {
+      if (info.kind != MetricKind::Histogram) continue;
+      const MetricsRegistry::HistogramView h =
+          registry->histogram_view(info.id);
+      os << "\n" << info.name << "  (total " << h.total << ", mean "
+         << format_number(h.total > 0
+                              ? h.sum / static_cast<double>(h.total)
+                              : 0.0,
+                          4)
+         << ")\n";
+      TextTable buckets({"bucket", "count"});
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        if (h.counts[i] == 0) continue;  // one screen: skip empty buckets
+        buckets.add_row({bucket_label(h.upper_bounds, i),
+                         std::to_string(h.counts[i])});
+      }
+      os << buckets.render();
+    }
+  }
+
+  if (tracer != nullptr) {
+    os << "\ntrace ring: " << tracer->size() << " retained / "
+       << tracer->total_recorded() << " recorded";
+    if (tracer->dropped() > 0) {
+      os << " (" << tracer->dropped() << " dropped to wraparound)";
+    }
+    os << ", capacity " << tracer->capacity() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace catbatch

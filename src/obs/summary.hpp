@@ -1,0 +1,20 @@
+// One-screen text rendering of an observability session: metric tables
+// (counters, gauges, histograms with bucket counts) plus the tracer's
+// retention statistics. Printed by sched_cli --metrics and by benches that
+// want the instrumented view next to their figure tables.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace catbatch {
+
+/// Renders `registry` (and, when non-null, `tracer`'s retention stats)
+/// as aligned text tables. Either argument may be null; both null yields
+/// an explanatory one-liner.
+[[nodiscard]] std::string obs_summary(const MetricsRegistry* registry,
+                                      const EventTracer* tracer = nullptr);
+
+}  // namespace catbatch

@@ -1,0 +1,48 @@
+#include "obs/tracer.hpp"
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+const char* trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::TaskReveal: return "task.reveal";
+    case TraceEventKind::TaskReady: return "task.ready";
+    case TraceEventKind::BatchOpen: return "batch.open";
+    case TraceEventKind::BatchClose: return "batch.close";
+    case TraceEventKind::Select: return "select";
+    case TraceEventKind::Dispatch: return "task.dispatch";
+    case TraceEventKind::Completion: return "task.complete";
+    case TraceEventKind::ProcAcquire: return "proc.acquire";
+    case TraceEventKind::ProcRelease: return "proc.release";
+  }
+  return "unknown";
+}
+
+EventTracer::EventTracer(std::size_t capacity) {
+  CB_CHECK(capacity >= 1, "tracer needs capacity for at least one event");
+  buffer_.resize(capacity);
+}
+
+void EventTracer::record(const TraceEvent& ev) noexcept {
+  const std::size_t cap = buffer_.size();
+  buffer_[(head_ + size_) % cap] = ev;
+  if (size_ < cap) {
+    ++size_;
+  } else {
+    head_ = (head_ + 1) % cap;  // overwrote the oldest
+  }
+  ++total_;
+}
+
+const TraceEvent& EventTracer::event(std::size_t i) const noexcept {
+  return buffer_[(head_ + i) % buffer_.size()];
+}
+
+void EventTracer::clear() noexcept {
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+}  // namespace catbatch

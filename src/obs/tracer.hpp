@@ -1,0 +1,87 @@
+// EventTracer: a preallocated ring buffer of engine lifecycle events.
+//
+// The taxonomy (docs/OBSERVABILITY.md, "Events") mirrors the engine's
+// event-loop transitions: a task becoming known (Reveal), revealed to the
+// scheduler (Ready), every select() call with its wall-clock duration
+// (Select), task dispatch/completion, processor acquire/release, and the
+// busy-period boundaries the Chrome exporter renders as batch open/close
+// spans (BatchOpen/BatchClose).
+//
+// Contract: the buffer is allocated once, in the constructor. record() is
+// O(1), never allocates and never fails — when the buffer is full it
+// overwrites the oldest event and counts the overwrite in dropped().
+// Events read back oldest-first; total_recorded() is exact even after
+// wraparound, so exporters can report the truncation honestly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace catbatch {
+
+enum class TraceEventKind : std::uint8_t {
+  TaskReveal,   // engine learned of the task (ingest / release fired)
+  TaskReady,    // task revealed to the scheduler (all preds done)
+  BatchOpen,    // platform went from idle to busy (busy-period start)
+  BatchClose,   // platform drained back to idle (busy-period end)
+  Select,       // one scheduler select() call; wall_us holds its duration
+  Dispatch,     // task started; duration spans its execution in sim time
+  Completion,   // task finished
+  ProcAcquire,  // procs processors left the free pool
+  ProcRelease,  // procs processors returned to the free pool
+};
+
+/// Printable name of a trace event kind (stable; used by the exporters).
+[[nodiscard]] const char* trace_event_kind_name(TraceEventKind kind);
+
+/// One recorded event. Plain data; which fields are meaningful depends on
+/// the kind (see docs/OBSERVABILITY.md for the full field matrix).
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::TaskReveal;
+  TaskId id = kInvalidTask;  // task-scoped kinds; kInvalidTask otherwise
+  Time at = 0.0;             // simulated time of the event
+  Time duration = 0.0;       // sim-time span length (Dispatch), else 0
+  double wall_us = 0.0;      // wall-clock µs (Select), else 0
+  int procs = 0;  // width (Dispatch/Completion/Proc*), picks (Select)
+};
+
+class EventTracer {
+ public:
+  /// Preallocates space for `capacity` events (>= 1).
+  explicit EventTracer(std::size_t capacity = 1 << 16);
+
+  /// Appends `ev`, overwriting the oldest retained event when full.
+  /// O(1), zero allocation, noexcept.
+  void record(const TraceEvent& ev) noexcept;
+
+  /// Retained events, oldest first; `i < size()`.
+  [[nodiscard]] const TraceEvent& event(std::size_t i) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return buffer_.size();
+  }
+  /// Every record() call ever made, including overwritten ones.
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return total_;
+  }
+  /// Events lost to wraparound (total_recorded() - size()).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - size_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Forgets all retained events and resets the counters. Keeps the buffer.
+  void clear() noexcept;
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::size_t head_ = 0;  // index of the oldest retained event
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace catbatch

@@ -1,8 +1,10 @@
 #include "sched/registry.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "sched/backfill.hpp"
 #include "sched/catbatch_contiguous.hpp"
 #include "sched/catbatch_scheduler.hpp"
@@ -110,6 +112,63 @@ class ReplayScheduler final : public OnlineScheduler {
   std::vector<Entry> starts_;
   std::size_t next_ = 0;
   std::vector<char> ready_;
+};
+
+/// Decision-time metering around any scheduler: forwards every callback to
+/// the wrapped instance and records select() wall-clock / pick counts into
+/// a MetricsRegistry. All metric slots are registered at construction so
+/// the per-call updates stay allocation-free (the engine's zero-alloc hot
+/// loop runs through this wrapper unchanged).
+class MeteredScheduler final : public OnlineScheduler {
+ public:
+  MeteredScheduler(std::unique_ptr<OnlineScheduler> inner,
+                   MetricsRegistry& registry)
+      : inner_(std::move(inner)), registry_(&registry) {
+    const std::string prefix = "sched." + inner_->name() + ".";
+    select_calls_ = registry_->counter(prefix + "select_calls");
+    picks_total_ = registry_->counter(prefix + "picks");
+    static constexpr double kSelectUs[] = {0.25, 0.5,  1.0,  2.0,   5.0,
+                                           10.0, 25.0, 50.0, 100.0, 1000.0};
+    static constexpr double kPicks[] = {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+    select_us_ = registry_->histogram(prefix + "select_us", kSelectUs);
+    picks_per_call_ =
+        registry_->histogram(prefix + "picks_per_call", kPicks);
+  }
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  void reset() override { inner_->reset(); }
+
+  void task_ready(const ReadyTask& task, Time now) override {
+    inner_->task_ready(task, now);
+  }
+
+  void task_finished(TaskId id, Time now) override {
+    inner_->task_finished(id, now);
+  }
+
+  void select(Time now, int available_procs,
+              std::vector<TaskId>& picks) override {
+    const std::size_t before = picks.size();
+    const auto t0 = std::chrono::steady_clock::now();
+    inner_->select(now, available_procs, picks);
+    const double wall_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    const std::size_t picked = picks.size() - before;
+    registry_->add(select_calls_);
+    registry_->add(picks_total_, picked);
+    registry_->observe(select_us_, wall_us);
+    registry_->observe(picks_per_call_, static_cast<double>(picked));
+  }
+
+ private:
+  std::unique_ptr<OnlineScheduler> inner_;
+  MetricsRegistry* registry_;
+  MetricsRegistry::Id select_calls_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id picks_total_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id select_us_ = MetricsRegistry::kNoMetric;
+  MetricsRegistry::Id picks_per_call_ = MetricsRegistry::kNoMetric;
 };
 
 std::unique_ptr<OnlineScheduler> make_replay(std::string name,
@@ -330,6 +389,12 @@ std::vector<std::string> standard_lineup() {
           "list-fifo",         "list-longest-first",
           "list-widest-first", "list-smallest-criticality",
           "easy-backfill"};
+}
+
+std::unique_ptr<OnlineScheduler> instrument_scheduler(
+    std::unique_ptr<OnlineScheduler> inner, MetricsRegistry& registry) {
+  CB_CHECK(inner != nullptr, "cannot instrument a null scheduler");
+  return std::make_unique<MeteredScheduler>(std::move(inner), registry);
 }
 
 }  // namespace catbatch

@@ -29,6 +29,8 @@
 
 namespace catbatch {
 
+class MetricsRegistry;  // obs/metrics.hpp
+
 enum class SchedulerKind {
   Online,   // no instance knowledge needed
   Offline,  // requires the full graph at construction
@@ -72,5 +74,16 @@ struct SchedulerEntry {
 /// CatBatch, RelaxedCatBatch, the online list family, EASY backfilling.
 /// All entries are Online (sweeps construct them per run without a graph).
 [[nodiscard]] std::vector<std::string> standard_lineup();
+
+/// Wraps any scheduler with per-decision observability: every select()
+/// call is wall-clock timed and recorded into `registry` under the
+/// scheduler's own name — counter `sched.<name>.select_calls`, counter
+/// `sched.<name>.picks`, histograms `sched.<name>.select_us` and
+/// `sched.<name>.picks_per_call` (schemas in docs/OBSERVABILITY.md).
+/// Metric registration happens here, once; the per-call updates are
+/// allocation-free, so the wrapper is safe inside the engine hot loop.
+/// `registry` must outlive the returned scheduler.
+[[nodiscard]] std::unique_ptr<OnlineScheduler> instrument_scheduler(
+    std::unique_ptr<OnlineScheduler> inner, MetricsRegistry& registry);
 
 }  // namespace catbatch

@@ -1,10 +1,12 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <utility>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "sim/processor_pool.hpp"
 #include "support/check.hpp"
 
@@ -78,6 +80,7 @@ class Engine {
         scheduler_(scheduler),
         procs_(procs),
         counting_(options.mode == ScheduleMode::Counting),
+        obs_(options.observer),
         avail_(procs),
         pool_(counting_ ? 1 : procs) {
     CB_CHECK(procs >= 1, "platform must have at least one processor");
@@ -108,6 +111,9 @@ class Engine {
     SimResult result;
     result.schedule = std::move(schedule_);
     result.makespan = result.schedule.makespan();
+    if (obs_ != nullptr) {
+      obs_->on_run_end(result.makespan, busy_area_, procs_, tasks_.size());
+    }
     result.stats.task_count = tasks_.size();
     result.stats.decision_points = decisions_;
     result.stats.events = events_processed_;
@@ -208,6 +214,9 @@ class Engine {
       }
       has_extra_ = true;
     }
+    if (obs_ != nullptr) {
+      for (TaskId id = base; id < n; ++id) obs_->on_task_revealed(id, now);
+    }
     for (TaskId id = base; id < n; ++id) {
       if (tasks_[id].unfinished_preds == 0) reveal_or_defer(id, now);
     }
@@ -292,13 +301,28 @@ class Engine {
     rt.predecessors = preds_of(id);
     rt.name = name_of(id);
     scheduler_.task_ready(rt, now);
+    if (obs_ != nullptr) obs_->on_task_ready(id, now);
   }
 
   void decision_point(Time now) {
     ++decisions_;
     const int free_at_decision = counting_ ? avail_ : pool_.available();
     picks_.clear();
-    scheduler_.select(now, free_at_decision, picks_);
+    // Wall-clock select timing only exists when someone is listening; the
+    // un-observed path stays exactly the PR 2 hot loop.
+    double select_wall_us = 0.0;
+    if (obs_ != nullptr && obs_->wants_select_timing()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      scheduler_.select(now, free_at_decision, picks_);
+      select_wall_us = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    } else {
+      scheduler_.select(now, free_at_decision, picks_);
+    }
+    if (obs_ != nullptr) {
+      obs_->on_select(now, free_at_decision, select_wall_us, picks_.size());
+    }
     int requested = 0;
     for (const TaskId id : picks_) {
       CB_CHECK(id < tasks_.size(), "scheduler selected an unknown task");
@@ -316,6 +340,10 @@ class Engine {
         schedule_.add(id, now, now + t.actual_work, pool_.acquire(t.procs));
       }
       push_event(now + t.actual_work, id, Event::Kind::Completion);
+      if (obs_ != nullptr) {
+        if (running_ == 0) obs_->on_busy_open(now);
+        obs_->on_dispatch(id, now, now + t.actual_work, t.procs);
+      }
       ++running_;
     }
     // Pending release events mean the platform may legitimately sit idle
@@ -336,6 +364,10 @@ class Engine {
       avail_ += t.procs;
     } else {
       pool_.release(schedule_.entry_for(id).processors);
+    }
+    if (obs_ != nullptr) {
+      obs_->on_complete(id, now, t.procs);
+      if (running_ == 0) obs_->on_busy_close(now);
     }
     scheduler_.task_finished(id, now);
 
@@ -366,6 +398,7 @@ class Engine {
   OnlineScheduler& scheduler_;
   int procs_;
   bool counting_;
+  EngineObserver* obs_;  // null = observability off (no hook overhead)
   int avail_;           // counting-mode occupancy (O(1) acquire/release)
   ProcessorPool pool_;  // identity-mode concrete indices (unused otherwise)
   const TaskGraph* static_graph_ = nullptr;

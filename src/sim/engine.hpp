@@ -13,6 +13,12 @@
 // event queue is a reserve-able binary heap — the steady-state loop of a
 // counting-mode run performs zero heap allocations per event (see
 // DESIGN.md, "Engine complexity").
+//
+// Observability: SimOptions::observer (obs/observer.hpp) receives every
+// event-loop transition — reveal, ready, select (with wall-clock
+// duration), dispatch, completion, busy-period boundaries. The contract,
+// including the null-observer zero-overhead guarantee, is in
+// docs/OBSERVABILITY.md.
 #pragma once
 
 #include <cstddef>
@@ -36,8 +42,17 @@ enum class ScheduleMode {
   Counting,
 };
 
+class EngineObserver;  // obs/observer.hpp
+
 struct SimOptions {
   ScheduleMode mode = ScheduleMode::Identity;
+  /// Optional observability sink (obs/observer.hpp): when non-null the
+  /// engine reports every event-loop transition — task reveal/ready,
+  /// select() calls with wall-clock duration, dispatch, completion,
+  /// busy-period boundaries — to it. The default (null) compiles each hook
+  /// site down to one predictable branch, preserving the zero-alloc hot
+  /// path and the perf gate (see docs/OBSERVABILITY.md, "Overhead").
+  EngineObserver* observer = nullptr;
 };
 
 struct SimStats {

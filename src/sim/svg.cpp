@@ -80,6 +80,12 @@ std::string svg_gantt(const TaskGraph& graph, const Schedule& schedule,
 
   if (makespan > 0.0) {
     for (const ScheduledTask& e : schedule.entries()) {
+      // Counting-mode entries carry no identities; rendering them here
+      // would silently draw an empty chart. Fail clearly instead (the
+      // ASCII Gantt has an occupancy fallback; SVG lanes do not).
+      CB_CHECK(!e.processors.empty(),
+               "SVG Gantt needs processor identities: re-run the schedule "
+               "in ScheduleMode::Identity (counting-mode entries have none)");
       const double x0 =
           static_cast<double>(e.start) / static_cast<double>(makespan);
       const double x1 =

@@ -72,10 +72,16 @@ std::string schedule_to_csv(const TaskGraph& graph, const Schedule& schedule) {
     os << e.id << ',' << t.name << ',' << format_number(e.start) << ','
        << format_number(e.finish) << ',' << format_number(t.work) << ','
        << t.procs << ',';
-    std::vector<std::string> procs;
-    procs.reserve(e.processors.size());
-    for (const int p : e.processors) procs.push_back(std::to_string(p));
-    os << join(procs, " ") << '\n';
+    if (e.processors.empty()) {
+      // Counting-mode entry: no identities exist. Emit the width marker
+      // "#<procs>" rather than a silently empty processor list.
+      os << '#' << e.procs() << '\n';
+    } else {
+      std::vector<std::string> procs;
+      procs.reserve(e.processors.size());
+      for (const int p : e.processors) procs.push_back(std::to_string(p));
+      os << join(procs, " ") << '\n';
+    }
   }
   return os.str();
 }
@@ -101,9 +107,19 @@ std::string ascii_gantt(const TaskGraph& graph, const Schedule& schedule,
   const Time makespan = schedule.makespan();
   if (makespan <= 0.0) return "(empty schedule)\n";
 
+  // Counting-mode schedules (ScheduleMode::Counting) carry widths but no
+  // processor identities; rendering their (empty) identity lists would
+  // silently draw nothing. Detect them and fall back to occupancy rows:
+  // identities are re-derived with the same lowest-free-first rule the
+  // identity-mode engine uses, so the chart shows each task occupying
+  // procs() rows. Row labels are then occupancy slots, not processor ids.
+  const bool counted = std::any_of(
+      schedule.entries().begin(), schedule.entries().end(),
+      [](const ScheduledTask& e) { return e.processors.empty(); });
+
   std::vector<std::string> rows(static_cast<std::size_t>(procs),
                                 std::string(width, '.'));
-  for (const ScheduledTask& e : schedule.entries()) {
+  const auto columns = [&](const ScheduledTask& e) {
     // Sample-based rendering: a column covers
     // [c * makespan / width, (c+1) * makespan / width); mark it if the cell
     // midpoint lies inside the task's interval.
@@ -115,16 +131,48 @@ std::string ascii_gantt(const TaskGraph& graph, const Schedule& schedule,
         static_cast<double>(width));
     col_begin = std::min(col_begin, width - 1);
     col_end = std::min(std::max(col_end, col_begin + 1), width);
-    const char g = glyph_for(graph, e.id);
-    for (const int p : e.processors) {
-      CB_CHECK(p >= 0 && p < procs, "Gantt: processor index out of range");
-      for (std::size_t c = col_begin; c < col_end; ++c) {
-        rows[static_cast<std::size_t>(p)][c] = g;
+    return std::pair<std::size_t, std::size_t>{col_begin, col_end};
+  };
+  const auto draw = [&](int row, const ScheduledTask& e, char g) {
+    CB_CHECK(row >= 0 && row < procs, "Gantt: processor index out of range");
+    const auto [col_begin, col_end] = columns(e);
+    for (std::size_t c = col_begin; c < col_end; ++c) {
+      rows[static_cast<std::size_t>(row)][c] = g;
+    }
+  };
+
+  if (counted) {
+    std::vector<const ScheduledTask*> order;
+    order.reserve(schedule.size());
+    for (const ScheduledTask& e : schedule.entries()) order.push_back(&e);
+    std::sort(order.begin(), order.end(),
+              [](const ScheduledTask* a, const ScheduledTask* b) {
+                if (a->start != b->start) return a->start < b->start;
+                return a->id < b->id;
+              });
+    std::vector<Time> free_at(static_cast<std::size_t>(procs), 0.0);
+    for (const ScheduledTask* e : order) {
+      int needed = e->procs();
+      const char g = glyph_for(graph, e->id);
+      for (int p = 0; p < procs && needed > 0; ++p) {
+        if (free_at[static_cast<std::size_t>(p)] <= e->start) {
+          free_at[static_cast<std::size_t>(p)] = e->finish;
+          draw(p, *e, g);
+          --needed;
+        }
       }
+      CB_CHECK(needed == 0,
+               "Gantt: counted schedule exceeds platform capacity");
+    }
+  } else {
+    for (const ScheduledTask& e : schedule.entries()) {
+      const char g = glyph_for(graph, e.id);
+      for (const int p : e.processors) draw(p, e, g);
     }
   }
 
   std::ostringstream os;
+  if (counted) os << "(counting-mode schedule: rows are occupancy slots)\n";
   for (int p = procs - 1; p >= 0; --p) {
     os << "P" << pad_left(std::to_string(p), 3) << " |"
        << rows[static_cast<std::size_t>(p)] << "|\n";

@@ -29,12 +29,17 @@ struct UtilizationStep {
 
 /// CSV with one row per scheduled task:
 /// id,name,start,finish,work,procs,processor_list
+/// Counting-mode entries (no processor identities) render the processor
+/// column as the width marker "#<procs>" instead of an identity list.
 [[nodiscard]] std::string schedule_to_csv(const TaskGraph& graph,
                                           const Schedule& schedule);
 
 /// ASCII Gantt chart: one row per processor, `width` columns over
 /// [0, makespan]. Each task is drawn with a stable printable character; '.'
-/// marks idle processor-time.
+/// marks idle processor-time. Counting-mode schedules are detected and
+/// rendered as occupancy rows (identities re-derived lowest-free-first, a
+/// header line marks the fallback); a counted schedule that exceeds the
+/// platform capacity throws instead of rendering garbage.
 [[nodiscard]] std::string ascii_gantt(const TaskGraph& graph,
                                       const Schedule& schedule, int procs,
                                       std::size_t width = 72);

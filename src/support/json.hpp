@@ -1,0 +1,45 @@
+// Minimal JSON emission: an incremental writer with correct string escaping
+// and shortest round-trip double formatting. Shared by the bench report
+// layer (analysis/json_report.hpp) and the observability exporters
+// (obs/chrome_trace.hpp, obs/metrics_export.hpp). The dialect is
+// deliberately tiny: objects, arrays, strings, bools and finite doubles
+// (non-finite values render as null).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace catbatch {
+
+/// Incremental JSON writer with correct string escaping and shortest
+/// round-trip double formatting. Keys/values must be emitted in a valid
+/// order (the writer tracks comma placement, not grammar).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Emits `"name":` — must be followed by a value (or begin_*).
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);  // non-finite -> null
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void separate();
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one level per open container
+  bool after_key_ = false;
+};
+
+/// Escapes `raw` as a JSON string literal (with surrounding quotes).
+[[nodiscard]] std::string json_quote(const std::string& raw);
+
+}  // namespace catbatch

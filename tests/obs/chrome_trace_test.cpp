@@ -1,0 +1,262 @@
+// Parse-back validation of the Chrome trace_event exporter: the document
+// must be syntactically valid JSON (checked with a minimal recursive-descent
+// parser, no external dependency) and structurally what chrome://tracing
+// expects — a traceEvents array of objects with ph/pid/ts fields, balanced
+// B/E spans, and honest otherData truncation counters.
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "instances/examples.hpp"
+#include "obs/observer.hpp"
+#include "sched/catbatch_scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace catbatch {
+namespace {
+
+// ---- minimal JSON validator ------------------------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_];
+        if (esc == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Traces the paper's 11-task example under CatBatch and exports it.
+std::string traced_demo_json(EventTracer& tracer, const TaskGraph& graph) {
+  CatBatchScheduler sched;
+  EngineObserver observer(&tracer, nullptr);
+  SimOptions options;
+  options.mode = ScheduleMode::Counting;  // lanes need no identities
+  options.observer = &observer;
+  const SimResult r = simulate(graph, sched, 4, options);
+  EXPECT_GT(r.makespan, 0.0);
+  ChromeTraceOptions trace_options;
+  trace_options.graph = &graph;
+  return chrome_trace_json(tracer, trace_options);
+}
+
+TEST(ChromeTrace, DocumentIsValidJson) {
+  EventTracer tracer;
+  const TaskGraph graph = make_paper_example();
+  const std::string json = traced_demo_json(tracer, graph);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json.substr(0, 400);
+}
+
+TEST(ChromeTrace, HasExpectedStructure) {
+  EventTracer tracer;
+  const TaskGraph graph = make_paper_example();
+  const std::string json = traced_demo_json(tracer, graph);
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("\"events_recorded\""), std::string::npos);
+  EXPECT_NE(json.find("\"events_dropped\":0"), std::string::npos);
+
+  // One "X" slice per task (11 in the paper example), named after the task.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), graph.size());
+  // Busy-period spans are balanced.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""),
+            count_occurrences(json, "\"ph\":\"E\""));
+  // The counter track exists.
+  EXPECT_NE(json.find("\"procs_in_use\""), std::string::npos);
+}
+
+TEST(ChromeTrace, SliceNamesComeFromTheGraph) {
+  EventTracer tracer;
+  const TaskGraph graph = make_paper_example();
+  const std::string json = traced_demo_json(tracer, graph);
+  // Every task name appears as a slice label.
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const std::string& name = graph.task(id).name;
+    if (name.empty()) continue;
+    EXPECT_NE(json.find("\"name\":\"" + name + "\""), std::string::npos)
+        << "missing slice for task " << name;
+  }
+}
+
+TEST(ChromeTrace, WithoutGraphFallsBackToTaskIds) {
+  EventTracer tracer;
+  TraceEvent ev;
+  ev.kind = TraceEventKind::Dispatch;
+  ev.id = 3;
+  ev.at = 0.0;
+  ev.duration = 2.0;
+  ev.procs = 1;
+  tracer.record(ev);
+  const std::string json = chrome_trace_json(tracer);
+  EXPECT_TRUE(JsonValidator(json).valid());
+  EXPECT_NE(json.find("task 3"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyTracerStillProducesValidDocument) {
+  EventTracer tracer;
+  const std::string json = chrome_trace_json(tracer);
+  EXPECT_TRUE(JsonValidator(json).valid());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTrace, WraparoundTruncationIsReported) {
+  EventTracer tracer(8);  // far smaller than the demo's event count
+  const TaskGraph graph = make_paper_example();
+  const std::string json = traced_demo_json(tracer, graph);
+  EXPECT_TRUE(JsonValidator(json).valid());
+  // Dropped events are visible in otherData, and orphaned "E" closes from
+  // the truncated window never precede their "B".
+  EXPECT_EQ(json.find("\"events_dropped\":0"), std::string::npos);
+  EXPECT_GE(count_occurrences(json, "\"ph\":\"B\""),
+            count_occurrences(json, "\"ph\":\"E\""));
+}
+
+TEST(ChromeTrace, SimulatedTimeIsScaledToMicroseconds) {
+  EventTracer tracer;
+  TraceEvent ev;
+  ev.kind = TraceEventKind::Dispatch;
+  ev.id = 0;
+  ev.at = 2.0;
+  ev.duration = 3.0;
+  ev.procs = 1;
+  tracer.record(ev);
+  ChromeTraceOptions options;
+  options.us_per_time_unit = 10.0;
+  const std::string json = chrome_trace_json(tracer, options);
+  EXPECT_TRUE(JsonValidator(json).valid());
+  EXPECT_NE(json.find("\"ts\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":30"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,102 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace catbatch {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry r;
+  const auto id = r.counter("tasks");
+  EXPECT_EQ(r.counter_value(id), 0u);
+  r.add(id);
+  r.add(id, 41);
+  EXPECT_EQ(r.counter_value(id), 42u);
+}
+
+TEST(Metrics, GaugeLastValueWinsAndMaxOf) {
+  MetricsRegistry r;
+  const auto id = r.gauge("load");
+  r.set(id, 3.5);
+  r.set(id, 1.25);
+  EXPECT_DOUBLE_EQ(r.gauge_value(id), 1.25);
+  r.max_of(id, 0.5);  // below current value: no change
+  EXPECT_DOUBLE_EQ(r.gauge_value(id), 1.25);
+  r.max_of(id, 9.0);
+  EXPECT_DOUBLE_EQ(r.gauge_value(id), 9.0);
+}
+
+TEST(Metrics, HistogramBucketBoundsAreInclusive) {
+  MetricsRegistry r;
+  const double bounds[] = {0.0, 1.0, 2.0};
+  const auto id = r.histogram("picks", bounds);
+  r.observe(id, 0.0);  // == first bound -> first bucket
+  r.observe(id, 1.0);  // == second bound -> second bucket
+  r.observe(id, 1.5);
+  r.observe(id, 99.0);  // overflow bucket
+  const auto view = r.histogram_view(id);
+  ASSERT_EQ(view.counts.size(), 4u);
+  EXPECT_EQ(view.counts[0], 1u);
+  EXPECT_EQ(view.counts[1], 1u);
+  EXPECT_EQ(view.counts[2], 1u);
+  EXPECT_EQ(view.counts[3], 1u);
+  EXPECT_EQ(view.total, 4u);
+  EXPECT_DOUBLE_EQ(view.sum, 101.5);
+}
+
+TEST(Metrics, ReRegistrationSameKindReturnsExistingId) {
+  MetricsRegistry r;
+  const auto a = r.counter("x");
+  const auto b = r.counter("x");
+  EXPECT_EQ(a, b);
+  r.add(a);
+  r.add(b);
+  EXPECT_EQ(r.counter_value(a), 2u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Metrics, ReRegistrationDifferentKindThrows) {
+  MetricsRegistry r;
+  (void)r.counter("x");
+  EXPECT_THROW((void)r.gauge("x"), std::exception);
+  const double bounds[] = {1.0};
+  EXPECT_THROW((void)r.histogram("x", bounds), std::exception);
+}
+
+TEST(Metrics, UnsortedHistogramBoundsThrow) {
+  MetricsRegistry r;
+  const double bounds[] = {2.0, 1.0};
+  EXPECT_THROW((void)r.histogram("bad", bounds), std::exception);
+}
+
+TEST(Metrics, KNoMetricUpdatesAreNoOps) {
+  MetricsRegistry r;
+  const auto id = r.counter("real");
+  r.add(MetricsRegistry::kNoMetric);
+  r.set(MetricsRegistry::kNoMetric, 1.0);
+  r.max_of(MetricsRegistry::kNoMetric, 1.0);
+  r.observe(MetricsRegistry::kNoMetric, 1.0);
+  EXPECT_EQ(r.counter_value(id), 0u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Metrics, DirectoryListsRegistrationOrderAndFind) {
+  MetricsRegistry r;
+  (void)r.counter("a");
+  (void)r.gauge("b");
+  const double bounds[] = {1.0};
+  (void)r.histogram("c", bounds);
+  ASSERT_EQ(r.metrics().size(), 3u);
+  EXPECT_EQ(r.metrics()[0].name, "a");
+  EXPECT_EQ(r.metrics()[1].kind, MetricKind::Gauge);
+  EXPECT_EQ(r.metrics()[2].kind, MetricKind::Histogram);
+  ASSERT_NE(r.find("b"), nullptr);
+  EXPECT_EQ(r.find("b")->kind, MetricKind::Gauge);
+  EXPECT_EQ(r.find("nope"), nullptr);
+  EXPECT_FALSE(r.empty());
+}
+
+}  // namespace
+}  // namespace catbatch

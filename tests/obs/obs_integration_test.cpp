@@ -1,0 +1,196 @@
+// End-to-end observability: an instrumented simulate() run must tell the
+// same story as the SimResult it produced, the scheduler wrapper must not
+// change behavior, and the metrics snapshot must merge into the sweep JSON
+// report exactly as documented in docs/OBSERVABILITY.md.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "analysis/json_report.hpp"
+#include "instances/examples.hpp"
+#include "instances/random_dags.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/observer.hpp"
+#include "obs/summary.hpp"
+#include "obs/tracer.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+struct ObservedRun {
+  MetricsRegistry metrics;
+  EventTracer tracer;
+  SimResult result;
+  int procs = 0;
+};
+
+std::unique_ptr<ObservedRun> observed_demo_run(ScheduleMode mode) {
+  auto run = std::make_unique<ObservedRun>();
+  run->procs = 4;
+  const TaskGraph graph = make_paper_example();
+  auto sched = make_scheduler("catbatch");
+  EngineObserver observer(&run->tracer, &run->metrics);
+  SimOptions options;
+  options.mode = mode;
+  options.observer = &observer;
+  run->result = simulate(graph, *sched, run->procs, options);
+  return run;
+}
+
+std::uint64_t counter(MetricsRegistry& m, const char* name) {
+  return m.counter_value(m.counter(name));
+}
+
+double gauge(MetricsRegistry& m, const char* name) {
+  return m.gauge_value(m.gauge(name));
+}
+
+TEST(ObsIntegration, EngineCountersMatchTheSimResult) {
+  auto run = observed_demo_run(ScheduleMode::Counting);
+  const std::size_t n = run->result.stats.task_count;
+  EXPECT_EQ(counter(run->metrics, "engine.tasks_ready"), n);
+  EXPECT_EQ(counter(run->metrics, "engine.tasks_dispatched"), n);
+  EXPECT_EQ(counter(run->metrics, "engine.tasks_completed"), n);
+  EXPECT_EQ(counter(run->metrics, "engine.select_calls"),
+            run->result.stats.decision_points);
+  EXPECT_DOUBLE_EQ(gauge(run->metrics, "engine.makespan"),
+                   static_cast<double>(run->result.makespan));
+  EXPECT_DOUBLE_EQ(gauge(run->metrics, "engine.busy_area"),
+                   static_cast<double>(run->result.stats.busy_area));
+  // idle_area = procs * makespan - busy_area, by definition.
+  EXPECT_DOUBLE_EQ(gauge(run->metrics, "engine.idle_area"),
+                   run->procs * static_cast<double>(run->result.makespan) -
+                       static_cast<double>(run->result.stats.busy_area));
+  // Every acquire was released: nothing in use after the run.
+  EXPECT_DOUBLE_EQ(gauge(run->metrics, "engine.procs_in_use"), 0.0);
+  EXPECT_LE(gauge(run->metrics, "engine.max_procs_in_use"), run->procs);
+  EXPECT_GT(gauge(run->metrics, "engine.max_procs_in_use"), 0.0);
+}
+
+TEST(ObsIntegration, IdentityAndCountingModeRecordTheSameStory) {
+  auto counting = observed_demo_run(ScheduleMode::Counting);
+  auto identity = observed_demo_run(ScheduleMode::Identity);
+  EXPECT_EQ(counter(counting->metrics, "engine.tasks_dispatched"),
+            counter(identity->metrics, "engine.tasks_dispatched"));
+  EXPECT_EQ(counter(counting->metrics, "engine.busy_periods"),
+            counter(identity->metrics, "engine.busy_periods"));
+  EXPECT_DOUBLE_EQ(gauge(counting->metrics, "engine.makespan"),
+                   gauge(identity->metrics, "engine.makespan"));
+  EXPECT_EQ(counting->tracer.total_recorded(),
+            identity->tracer.total_recorded());
+}
+
+TEST(ObsIntegration, TracerEventsAreTimeOrderedAndComplete) {
+  auto run = observed_demo_run(ScheduleMode::Counting);
+  const EventTracer& t = run->tracer;
+  ASSERT_GT(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  std::size_t dispatches = 0, completions = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(t.event(i).at, t.event(i - 1).at);
+    }
+    if (t.event(i).kind == TraceEventKind::Dispatch) ++dispatches;
+    if (t.event(i).kind == TraceEventKind::Completion) ++completions;
+  }
+  EXPECT_EQ(dispatches, run->result.stats.task_count);
+  EXPECT_EQ(completions, run->result.stats.task_count);
+}
+
+TEST(ObsIntegration, InstrumentedSchedulerBehavesIdentically) {
+  Rng rng(7);
+  RandomTaskParams params;
+  params.procs.max_procs = 8;
+  const TaskGraph graph = random_layered_dag(rng, 120, 10, params);
+
+  auto plain = make_scheduler("catbatch");
+  const SimResult bare = simulate(graph, *plain, 8);
+
+  MetricsRegistry metrics;
+  auto wrapped = instrument_scheduler(make_scheduler("catbatch"), metrics);
+  EXPECT_EQ(wrapped->name(), plain->name());
+  const SimResult observed = simulate(graph, *wrapped, 8);
+
+  EXPECT_DOUBLE_EQ(static_cast<double>(observed.makespan),
+                   static_cast<double>(bare.makespan));
+  EXPECT_EQ(observed.stats.decision_points, bare.stats.decision_points);
+
+  const std::string prefix = "sched." + plain->name() + ".";
+  EXPECT_EQ(counter(metrics, (prefix + "select_calls").c_str()),
+            bare.stats.decision_points);
+  EXPECT_EQ(counter(metrics, (prefix + "picks").c_str()),
+            bare.stats.task_count);
+  const auto* info = metrics.find(prefix + "select_us");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(metrics.histogram_view(info->id).total,
+            bare.stats.decision_points);
+}
+
+TEST(ObsIntegration, MetricsMergeIntoTheSweepReport) {
+  const InstanceFamily family{"demo", [](Rng&) { return make_paper_example(); }};
+  SweepOptions options;
+  options.procs = 4;
+  options.trials = 2;
+  const auto lineup = standard_scheduler_lineup();
+  const std::vector<FamilySweep> grid = sweep_grid(
+      std::span<const InstanceFamily>(&family, 1), lineup, options);
+
+  MetricsRegistry metrics;
+  metrics.add(metrics.counter("bench.runs"), 42);
+  metrics.set(metrics.gauge("bench.best_ratio"), 1.5);
+
+  const std::string without =
+      sweep_report_json("test", options, grid, 1.0);
+  EXPECT_EQ(without.find("\"metrics\""), std::string::npos);
+
+  const std::string with =
+      sweep_report_json("test", options, grid, 1.0, &metrics);
+  EXPECT_NE(with.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(with.find("\"bench.runs\":42"), std::string::npos);
+  EXPECT_NE(with.find("\"bench.best_ratio\":1.5"), std::string::npos);
+  // The merged report still opens with the original document's fields.
+  EXPECT_NE(with.find("\"bench\":\"test\""), std::string::npos);
+  EXPECT_NE(with.find("\"families\""), std::string::npos);
+}
+
+TEST(ObsIntegration, MetricsJsonCarriesAllThreeSections) {
+  auto run = observed_demo_run(ScheduleMode::Counting);
+  const std::string json = metrics_json(run->metrics);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.tasks_dispatched\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"engine.select_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"upper_bounds\""), std::string::npos);
+}
+
+TEST(ObsIntegration, SummaryRendersMetricsAndTracerRetention) {
+  auto run = observed_demo_run(ScheduleMode::Counting);
+  const std::string text = obs_summary(&run->metrics, &run->tracer);
+  EXPECT_NE(text.find("engine.tasks_dispatched"), std::string::npos);
+  EXPECT_NE(text.find("engine.select_us"), std::string::npos);
+  EXPECT_NE(text.find("trace ring"), std::string::npos);
+  // Null registry renders a friendly placeholder, not a crash.
+  const std::string none = obs_summary(nullptr, nullptr);
+  EXPECT_FALSE(none.empty());
+}
+
+TEST(ObsIntegration, NullSinkObserverIsInert) {
+  const TaskGraph graph = make_paper_example();
+  auto sched = make_scheduler("catbatch");
+  EngineObserver observer(nullptr, nullptr);
+  EXPECT_FALSE(observer.wants_select_timing());
+  SimOptions options;
+  options.observer = &observer;
+  const SimResult r = simulate(graph, *sched, 4, options);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace catbatch

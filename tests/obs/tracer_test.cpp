@@ -1,0 +1,88 @@
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace catbatch {
+namespace {
+
+TraceEvent dispatch_at(Time at, TaskId id) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::Dispatch;
+  ev.id = id;
+  ev.at = at;
+  ev.duration = 1.0;
+  ev.procs = 1;
+  return ev;
+}
+
+TEST(Tracer, StartsEmpty) {
+  EventTracer t(8);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.capacity(), 8u);
+  EXPECT_EQ(t.total_recorded(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RecordsInOrderBelowCapacity) {
+  EventTracer t(8);
+  for (TaskId id = 0; id < 5; ++id) t.record(dispatch_at(id, id));
+  ASSERT_EQ(t.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(t.event(i).id, static_cast<TaskId>(i));
+  }
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, WraparoundKeepsNewestOldestFirst) {
+  EventTracer t(4);
+  for (TaskId id = 0; id < 6; ++id) t.record(dispatch_at(id, id));
+  // 6 recorded into 4 slots: events 0 and 1 were overwritten; the retained
+  // window reads back oldest-first as 2, 3, 4, 5.
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.total_recorded(), 6u);
+  EXPECT_EQ(t.dropped(), 2u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.event(i).id, static_cast<TaskId>(i + 2));
+  }
+}
+
+TEST(Tracer, WraparoundManyTimesOver) {
+  EventTracer t(3);
+  for (TaskId id = 0; id < 100; ++id) t.record(dispatch_at(id, id));
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.total_recorded(), 100u);
+  EXPECT_EQ(t.dropped(), 97u);
+  EXPECT_EQ(t.event(0).id, 97u);
+  EXPECT_EQ(t.event(2).id, 99u);
+}
+
+TEST(Tracer, ClearForgetsEventsKeepsCapacity) {
+  EventTracer t(4);
+  for (TaskId id = 0; id < 6; ++id) t.record(dispatch_at(id, id));
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.total_recorded(), 0u);
+  EXPECT_EQ(t.capacity(), 4u);
+  t.record(dispatch_at(0.0, 7));
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.event(0).id, 7u);
+}
+
+TEST(Tracer, EveryKindHasAStableName) {
+  for (const TraceEventKind kind :
+       {TraceEventKind::TaskReveal, TraceEventKind::TaskReady,
+        TraceEventKind::BatchOpen, TraceEventKind::BatchClose,
+        TraceEventKind::Select, TraceEventKind::Dispatch,
+        TraceEventKind::Completion, TraceEventKind::ProcAcquire,
+        TraceEventKind::ProcRelease}) {
+    const char* name = trace_event_kind_name(kind);
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

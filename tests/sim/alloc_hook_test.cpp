@@ -15,6 +15,9 @@
 #include <utility>
 
 #include "instances/random_dags.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/tracer.hpp"
 #include "sched/catbatch_scheduler.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sim/engine.hpp"
@@ -123,6 +126,60 @@ TEST(AllocHook, CountingModeCatBatchAllocationsScaleWithBatchesNotEvents) {
   // vectors were 6+ and would trip this immediately.
   EXPECT_LT(alloc_growth, 2u * 2000u)
       << "per-event heap allocation crept into the counting-mode hot path";
+}
+
+TEST(AllocHook, NullObserverAddsNoAllocations) {
+  // The default SimOptions (observer == nullptr) must cost exactly what the
+  // pre-observability engine cost: each hook site is one untaken branch.
+  const TaskGraph g = alloc_test_graph(2000);
+  const std::size_t first = allocations_during_simulate<ListScheduler>(
+      g, ScheduleMode::Counting);
+  const std::size_t second = allocations_during_simulate<ListScheduler>(
+      g, ScheduleMode::Counting);
+  EXPECT_EQ(first, second)
+      << "the null-observer path is not allocation-deterministic";
+}
+
+TEST(AllocHook, InstalledObserverAllocatesNothingDuringTheRun) {
+  // Observability's allocation budget is spent entirely up front: the
+  // tracer's ring is preallocated, the observer registers every metric in
+  // its constructor. The run itself — record(), add(), observe() on every
+  // event — must add zero heap allocations over the bare run.
+  const TaskGraph g = alloc_test_graph(2000);
+  const std::size_t bare = allocations_during_simulate<ListScheduler>(
+      g, ScheduleMode::Counting);
+
+  MetricsRegistry metrics;
+  EventTracer tracer;  // default capacity comfortably holds the run
+  EngineObserver observer(&tracer, &metrics);
+  ListScheduler sched;
+  SimOptions options{ScheduleMode::Counting};
+  options.observer = &observer;
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  const SimResult result = simulate(g, sched, 16, options);
+  const std::size_t observed =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(observed, bare)
+      << "an observability hook allocates inside the simulate() hot loop";
+}
+
+TEST(AllocHook, NullSinkObserverAllocatesNothingDuringTheRun) {
+  const TaskGraph g = alloc_test_graph(2000);
+  const std::size_t bare = allocations_during_simulate<ListScheduler>(
+      g, ScheduleMode::Counting);
+
+  EngineObserver observer(nullptr, nullptr);
+  ListScheduler sched;
+  SimOptions options{ScheduleMode::Counting};
+  options.observer = &observer;
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  const SimResult result = simulate(g, sched, 16, options);
+  const std::size_t observed =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_EQ(observed, bare);
 }
 
 TEST(AllocHook, IdentityModeAllocatesPerTaskProcessorSets) {

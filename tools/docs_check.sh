@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# docs_check.sh — fail when the docs drift from the code.
+#
+# Registered as the `catbatch_docs_check` ctest target. Two contracts:
+#
+#   1. every flag printed by `sched_cli --help` is documented in README.md
+#      and in the usage-derived docs (docs/OBSERVABILITY.md only needs the
+#      observability flags it owns);
+#   2. every bench binary (bench/bench_*.cpp) appears in docs/BENCHMARKS.md.
+#
+# Usage: docs_check.sh <path-to-sched_cli> <repo-source-dir>
+
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <path-to-sched_cli> <repo-source-dir>" >&2
+  exit 2
+fi
+
+sched_cli="$1"
+src="$2"
+fail=0
+
+err() {
+  echo "docs-check: $*" >&2
+  fail=1
+}
+
+[[ -x "$sched_cli" ]] || { echo "docs-check: not executable: $sched_cli" >&2; exit 2; }
+[[ -f "$src/README.md" ]] || { echo "docs-check: missing $src/README.md" >&2; exit 2; }
+[[ -f "$src/docs/BENCHMARKS.md" ]] || { echo "docs-check: missing $src/docs/BENCHMARKS.md" >&2; exit 2; }
+
+# --- 1. sched_cli flags ----------------------------------------------------
+
+help_text="$("$sched_cli" --help)"
+
+# Every "--flag" token the usage text mentions, deduplicated.
+flags="$(grep -oE '\-\-[a-z][a-z-]*' <<<"$help_text" | sort -u)"
+
+if [[ -z "$flags" ]]; then
+  err "sched_cli --help printed no --flags at all"
+fi
+
+for flag in $flags; do
+  if ! grep -qF -- "$flag" "$src/README.md"; then
+    err "sched_cli flag '$flag' is not documented in README.md"
+  fi
+done
+
+# The observability flags must also be covered by their contract document.
+for flag in --trace-out --metrics --metrics-json; do
+  if ! grep -q -- "$flag" <<<"$flags"; then
+    err "expected sched_cli --help to mention '$flag'"
+  fi
+  if ! grep -qF -- "$flag" "$src/docs/OBSERVABILITY.md"; then
+    err "observability flag '$flag' is not documented in docs/OBSERVABILITY.md"
+  fi
+done
+
+# --- 2. bench binaries -----------------------------------------------------
+
+found_bench=0
+for bench_src in "$src"/bench/bench_*.cpp; do
+  [[ -e "$bench_src" ]] || continue
+  found_bench=1
+  name="$(basename "$bench_src" .cpp)"
+  if ! grep -qF -- "\`$name\`" "$src/docs/BENCHMARKS.md"; then
+    err "bench binary '$name' is missing from docs/BENCHMARKS.md"
+  fi
+done
+[[ $found_bench -eq 1 ]] || err "no bench/bench_*.cpp sources found under $src"
+
+if [[ $fail -ne 0 ]]; then
+  echo "docs-check: FAILED" >&2
+  exit 1
+fi
+echo "docs-check: OK ($(wc -w <<<"$flags") flags, $(ls "$src"/bench/bench_*.cpp | wc -l) bench binaries)"
