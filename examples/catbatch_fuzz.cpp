@@ -1,0 +1,166 @@
+// catbatch_fuzz: seeded differential fuzzer for every registered scheduler.
+//
+//   $ ./catbatch_fuzz --seed 1 --iters 10000            # smoke sweep
+//   $ ./catbatch_fuzz --iters 500 --corpus tests/corpus # persist repros
+//   $ ./catbatch_fuzz --replay tests/corpus             # regression replay
+//
+// Each iteration generates (and optionally mutates) one instance, runs the
+// whole scheduler registry on it, and checks the invariant battery of
+// src/qa/oracles.hpp. Failing instances are shrunk to minimal repros and,
+// with --corpus, written in the instances/io.hpp dialect for permanent
+// replay. The report — including the instance fingerprint — is
+// bit-identical for any --jobs value. Battery and triage workflow:
+// docs/FUZZING.md.
+//
+// Exit codes: 0 = clean, 1 = findings (or failed replay), 2 = bad usage.
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qa/corpus.hpp"
+#include "qa/fuzzer.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+void print_usage(std::ostream& os) {
+  os << "usage: catbatch_fuzz [options]\n"
+        "  --seed S         base seed; iteration k uses mix(seed, k)\n"
+        "                   (default 1)\n"
+        "  --iters N        iterations to run (default 1000)\n"
+        "  --jobs N         worker threads (default: CATBATCH_JOBS, else\n"
+        "                   hardware); the report is identical for any N\n"
+        "  --max-tasks N    instance size cap (default 48)\n"
+        "  --max-procs P    platform width cap (default 16)\n"
+        "  --mutate K       up to K mutations per instance (default 2,\n"
+        "                   0 disables mutation)\n"
+        "  --max-findings N stop recording after N findings (default 16)\n"
+        "  --no-shrink      report findings without minimizing them\n"
+        "  --corpus DIR     write shrunk repros into DIR as JSON\n"
+        "  --replay DIR     replay a corpus directory instead of fuzzing:\n"
+        "                   every case must pass the full battery\n"
+        "  --quiet          only print the final summary line\n"
+        "  --help           print this message and exit\n";
+}
+
+int usage() {
+  print_usage(std::cerr);
+  return 2;
+}
+
+/// Same strict flag policy as sched_cli (support/text.hpp parse_integer):
+/// non-numeric or out-of-range values get a one-line error and exit 2.
+bool parse_flag(const std::string& flag, const char* text,
+                std::int64_t min_value, std::int64_t max_value,
+                std::int64_t& out) {
+  const std::optional<std::int64_t> value = parse_integer(text);
+  if (!value.has_value() || *value < min_value || *value > max_value) {
+    std::cerr << "catbatch_fuzz: " << flag << " expects an integer in ["
+              << min_value << ", " << max_value << "], got '" << text
+              << "'\n";
+    return false;
+  }
+  out = *value;
+  return true;
+}
+
+int replay_corpus(const std::string& directory, bool quiet) {
+  std::size_t failed = 0;
+  std::vector<std::pair<std::string, CorpusCase>> cases;
+  try {
+    cases = load_corpus(directory);
+  } catch (const std::exception& e) {
+    std::cerr << "catbatch_fuzz: " << e.what() << "\n";
+    return 2;
+  }
+  for (const auto& [file, corpus_case] : cases) {
+    const auto failures = replay_case(corpus_case);
+    if (failures.empty()) {
+      if (!quiet) std::cout << "ok   " << file << "\n";
+      continue;
+    }
+    ++failed;
+    std::cout << "FAIL " << file << " (recorded oracle: "
+              << corpus_case.oracle << ")\n";
+    for (const OracleFailure& f : failures) {
+      std::cout << "  [" << f.oracle << "] "
+                << (f.scheduler.empty() ? "<instance>" : f.scheduler) << ": "
+                << f.detail << "\n";
+    }
+  }
+  std::cout << "replayed " << cases.size() << " corpus case(s), " << failed
+            << " failing\n";
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  std::string replay_dir;
+  bool quiet = false;
+
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    const bool has_value = k + 1 < argc;
+    std::int64_t value = 0;
+    if (arg == "--seed" && has_value) {
+      if (!parse_flag(arg, argv[++k], 0,
+                      std::numeric_limits<std::int64_t>::max(), value)) {
+        return 2;
+      }
+      options.seed = static_cast<std::uint64_t>(value);
+    } else if (arg == "--iters" && has_value) {
+      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return 2;
+      options.iterations = static_cast<std::size_t>(value);
+    } else if (arg == "--jobs" && has_value) {
+      if (!parse_flag(arg, argv[++k], 0, 1 << 20, value)) return 2;
+      options.jobs = static_cast<int>(value);
+    } else if (arg == "--max-tasks" && has_value) {
+      if (!parse_flag(arg, argv[++k], 1, 10'000, value)) return 2;
+      options.generator.max_tasks = static_cast<std::size_t>(value);
+    } else if (arg == "--max-procs" && has_value) {
+      if (!parse_flag(arg, argv[++k], 1, 1 << 20, value)) return 2;
+      options.generator.max_procs = static_cast<int>(value);
+    } else if (arg == "--mutate" && has_value) {
+      if (!parse_flag(arg, argv[++k], 0, 1'000, value)) return 2;
+      options.mutations = static_cast<std::size_t>(value);
+    } else if (arg == "--max-findings" && has_value) {
+      if (!parse_flag(arg, argv[++k], 0, 1'000'000, value)) return 2;
+      options.max_findings = static_cast<std::size_t>(value);
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--corpus" && has_value) {
+      options.corpus_dir = argv[++k];
+    } else if (arg == "--replay" && has_value) {
+      replay_dir = argv[++k];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help") {
+      print_usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "catbatch_fuzz: unknown or incomplete option '" << arg
+                << "'\n";
+      return usage();
+    }
+  }
+
+  if (!replay_dir.empty()) return replay_corpus(replay_dir, quiet);
+
+  if (!quiet) {
+    options.on_progress = [](const std::string& line) { std::cout << line; };
+  }
+  const FuzzReport report = run_fuzzer(options);
+  std::cout << "fuzz: " << report.iterations_run << " iterations, "
+            << report.instances_with_failures << " failing instance(s), "
+            << report.findings.size() << " recorded finding(s), fingerprint "
+            << std::hex << report.instance_fingerprint << std::dec << "\n";
+  return report.clean() ? 0 : 1;
+}

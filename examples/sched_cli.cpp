@@ -13,9 +13,12 @@
 // list below in --list-algos is generated, never hand-maintained. The JSON
 // instance dialect is documented in src/instances/io.hpp; export an example
 // with --emit-demo.
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -91,6 +94,24 @@ int usage() {
   return 1;
 }
 
+/// Strict numeric-flag parsing (support/text.hpp): rejects non-numeric
+/// values and out-of-range counts at the flag, with a one-line error and a
+/// nonzero exit, instead of letting atoi zeros or raw exceptions reach the
+/// engine. Returns false after printing the error.
+bool parse_flag(const std::string& flag, const char* text,
+                std::int64_t min_value, std::int64_t max_value,
+                std::int64_t& out) {
+  const std::optional<std::int64_t> value = parse_integer(text);
+  if (!value.has_value() || *value < min_value || *value > max_value) {
+    std::cerr << "sched_cli: " << flag << " expects an integer in ["
+              << min_value << ", " << max_value << "], got '" << text
+              << "'\n";
+    return false;
+  }
+  out = *value;
+  return true;
+}
+
 /// Lineup for a sweep: the standard registry lineup for "all", else the
 /// one named algorithm. For fixed instances the graph is captured so
 /// offline algorithms work too; for random families (`graph == nullptr`)
@@ -130,20 +151,30 @@ int main(int argc, char** argv) {
 
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
+    std::int64_t value = 0;
     if (arg == "--algo" && k + 1 < argc) {
       algo = argv[++k];
     } else if (arg == "--procs" && k + 1 < argc) {
-      procs = std::atoi(argv[++k]);
+      if (!parse_flag(arg, argv[++k], 1, 1 << 20, value)) return 1;
+      procs = static_cast<int>(value);
     } else if (arg == "--random" && k + 1 < argc) {
       family_label = argv[++k];
     } else if (arg == "--tasks" && k + 1 < argc) {
-      tasks = static_cast<std::size_t>(std::atoll(argv[++k]));
+      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return 1;
+      tasks = static_cast<std::size_t>(value);
     } else if (arg == "--trials" && k + 1 < argc) {
-      trials = static_cast<std::size_t>(std::atoll(argv[++k]));
+      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return 1;
+      trials = static_cast<std::size_t>(value);
     } else if (arg == "--seed" && k + 1 < argc) {
-      seed = static_cast<std::uint64_t>(std::atoll(argv[++k]));
+      if (!parse_flag(arg, argv[++k], 0,
+                      std::numeric_limits<std::int64_t>::max(), value)) {
+        return 1;
+      }
+      seed = static_cast<std::uint64_t>(value);
     } else if (arg == "--jobs" && k + 1 < argc) {
-      jobs = std::atoi(argv[++k]);
+      // 0 keeps the CATBATCH_JOBS / hardware default; negatives are junk.
+      if (!parse_flag(arg, argv[++k], 0, 1 << 20, value)) return 1;
+      jobs = static_cast<int>(value);
     } else if (arg == "--json" && k + 1 < argc) {
       json_path = argv[++k];
     } else if (arg == "--list-algos") {

@@ -5,7 +5,8 @@
 // and wall-clock trajectories are trackable across PRs by tooling instead
 // of by diffing text tables. The dialect is deliberately tiny: objects,
 // arrays, strings, bools and finite doubles (non-finite values render as
-// null). Schema (schema = 1):
+// the tagged string sentinels "NaN"/"Infinity"/"-Infinity", so strict
+// numeric parse-back fails loudly). Schema (schema = 1):
 //
 //   {
 //     "bench": "thm1_ratio_vs_n", "schema": 1,

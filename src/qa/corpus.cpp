@@ -1,0 +1,221 @@
+#include "qa/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "instances/io.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Returns the [start, end) span of the balanced JSON object beginning at
+/// `start` (which must index a '{'), honoring string literals and escapes.
+std::size_t balanced_object_end(std::string_view text, std::size_t start) {
+  CB_CHECK(start < text.size() && text[start] == '{',
+           "corpus: expected '{' at instance value");
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++depth;
+    else if (c == '}' && --depth == 0) return i + 1;
+  }
+  CB_CHECK(false, "corpus: unterminated instance object");
+  return 0;  // unreachable
+}
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    CB_CHECK(try_consume(c),
+             std::string("corpus: expected '") + c + "' at offset " +
+                 std::to_string(pos_));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: c = esc; break;  // \" \\ \/ and friends
+        }
+      }
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+
+  std::uint64_t parse_uint() {
+    skip_ws();
+    CB_CHECK(pos_ < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_])),
+             "corpus: expected a number at offset " + std::to_string(pos_));
+    std::uint64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + static_cast<std::uint64_t>(text_[pos_++] - '0');
+    }
+    return value;
+  }
+
+  /// Captures the balanced object starting at the cursor.
+  std::string_view capture_object() {
+    skip_ws();
+    const std::size_t start = pos_;
+    pos_ = balanced_object_end(text_, start);
+    return text_.substr(start, pos_ - start);
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string corpus_to_json(const CorpusCase& c) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": " << c.schema << ",\n";
+  os << "  \"oracle\": " << json_quote(c.oracle) << ",\n";
+  os << "  \"scheduler\": " << json_quote(c.scheduler) << ",\n";
+  os << "  \"seed\": " << c.seed << ",\n";
+  os << "  \"note\": " << json_quote(c.note) << ",\n";
+  // The instance text is embedded verbatim (to_json is deterministic, so a
+  // parse/re-emit cycle reproduces the file byte-for-byte). The trailing
+  // newline of to_json is dropped to keep the outer object tidy.
+  std::string instance = to_json(c.instance.graph, c.instance.procs);
+  while (!instance.empty() && instance.back() == '\n') instance.pop_back();
+  os << "  \"instance\": " << instance << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+CorpusCase corpus_from_json(std::string_view text) {
+  CorpusCase out;
+  Scanner scan(text);
+  scan.expect('{');
+  bool first = true;
+  bool saw_instance = false;
+  while (!scan.try_consume('}')) {
+    if (!first) scan.expect(',');
+    first = false;
+    const std::string key = scan.parse_string();
+    scan.expect(':');
+    if (key == "schema") {
+      out.schema = static_cast<int>(scan.parse_uint());
+      CB_CHECK(out.schema == 1, "corpus: unsupported schema version");
+    } else if (key == "oracle") {
+      out.oracle = scan.parse_string();
+    } else if (key == "scheduler") {
+      out.scheduler = scan.parse_string();
+    } else if (key == "seed") {
+      out.seed = scan.parse_uint();
+    } else if (key == "note") {
+      out.note = scan.parse_string();
+    } else if (key == "instance") {
+      const std::string_view span = scan.capture_object();
+      const ParsedInstance parsed = instance_from_json(span);
+      out.instance.graph = parsed.graph;
+      out.instance.procs = parsed.procs > 0 ? parsed.procs : 1;
+      saw_instance = true;
+    } else {
+      CB_CHECK(false, "corpus: unknown field '" + key + "'");
+    }
+  }
+  CB_CHECK(saw_instance, "corpus: missing 'instance'");
+  out.instance.origin = out.note;
+  return out;
+}
+
+std::string corpus_file_name(const CorpusCase& c) {
+  const std::uint64_t hash = instance_hash(c.instance);
+  std::ostringstream os;
+  os << (c.oracle.empty() ? "finding" : c.oracle) << "-"
+     << (c.scheduler.empty() ? "all" : c.scheduler) << "-" << std::hex
+     << std::setw(16) << std::setfill('0') << hash << ".json";
+  return os.str();
+}
+
+std::vector<std::pair<std::string, CorpusCase>> load_corpus(
+    const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::string, CorpusCase>> cases;
+  CB_CHECK(fs::is_directory(directory),
+           "corpus: not a directory: " + directory);
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  cases.reserve(files.size());
+  for (const fs::path& path : files) {
+    std::ifstream in(path);
+    CB_CHECK(in.good(), "corpus: cannot read " + path.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    cases.emplace_back(path.filename().string(),
+                       corpus_from_json(buffer.str()));
+  }
+  return cases;
+}
+
+std::vector<OracleFailure> replay_case(const CorpusCase& c) {
+  return check_all_schedulers(c.instance);
+}
+
+std::string write_corpus_case(const std::string& directory,
+                              const CorpusCase& c) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  const fs::path path = fs::path(directory) / corpus_file_name(c);
+  std::ofstream out(path, std::ios::trunc);
+  CB_CHECK(out.good(), "corpus: cannot write " + path.string());
+  out << corpus_to_json(c);
+  return path.string();
+}
+
+}  // namespace catbatch

@@ -1,0 +1,67 @@
+// Persistent regression corpus for fuzzer findings (tests/corpus/).
+//
+// Each file is one shrunk repro: which oracle fired, for which scheduler,
+// under which seed, plus the instance itself embedded verbatim in the
+// instances/io.hpp dialect. Files are written once when a finding is
+// shrunk and then replayed forever by the catbatch_corpus_replay ctest —
+// a corpus entry documents a *fixed* bug, so replay expects the whole
+// oracle battery to pass.
+//
+//   {
+//     "schema": 1,
+//     "oracle": "feasibility",
+//     "scheduler": "catbatch",
+//     "seed": 12345,
+//     "note": "layered+edge+shrunk",
+//     "instance": { "procs": 4, "tasks": [...], "edges": [...] }
+//   }
+//
+// corpus_to_json embeds to_json(graph, procs) byte-for-byte, so a
+// write/parse/write cycle is bit-identical (tested).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "qa/generator.hpp"
+#include "qa/oracles.hpp"
+
+namespace catbatch {
+
+struct CorpusCase {
+  int schema = 1;
+  std::string oracle;     // oracle that originally fired
+  std::string scheduler;  // registry name ("" for instance-level findings)
+  std::uint64_t seed = 0;  // fuzzer iteration seed that found it
+  std::string note;        // instance lineage (FuzzInstance::origin)
+  FuzzInstance instance;
+};
+
+[[nodiscard]] std::string corpus_to_json(const CorpusCase& c);
+
+/// Parses what corpus_to_json emits. Throws ContractViolation on malformed
+/// input. The embedded instance text is re-parsed with instance_from_json.
+[[nodiscard]] CorpusCase corpus_from_json(std::string_view text);
+
+/// Deterministic file name: <oracle>-<scheduler>-<hash8>.json where hash8
+/// is the first 16 hex digits of instance_hash (collision-free in practice
+/// and stable across runs and --jobs).
+[[nodiscard]] std::string corpus_file_name(const CorpusCase& c);
+
+/// Loads every *.json under `directory`, sorted by file name. Throws on
+/// unreadable or malformed files (a broken corpus should fail loudly).
+[[nodiscard]] std::vector<std::pair<std::string, CorpusCase>> load_corpus(
+    const std::string& directory);
+
+/// Re-runs the full oracle battery on the case's instance. Empty result
+/// means every invariant holds (the recorded bug stays fixed).
+[[nodiscard]] std::vector<OracleFailure> replay_case(const CorpusCase& c);
+
+/// Writes the case into `directory` under corpus_file_name(). Returns the
+/// full path. Overwrites an existing file with the same name.
+std::string write_corpus_case(const std::string& directory,
+                              const CorpusCase& c);
+
+}  // namespace catbatch

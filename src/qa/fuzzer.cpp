@@ -1,0 +1,140 @@
+#include "qa/fuzzer.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "qa/mutator.hpp"
+#include "support/thread_pool.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Everything one iteration produces, written into its own slot; the
+/// serial reduction below walks the slots in index order.
+struct IterationResult {
+  bool ran = false;
+  std::uint64_t seed = 0;
+  std::uint64_t hash = 0;
+  FuzzInstance instance;
+  std::vector<OracleFailure> failures;
+};
+
+FuzzInstance build_instance(std::uint64_t iteration_seed,
+                            const FuzzOptions& options) {
+  Rng rng(iteration_seed);
+  FuzzInstance instance = generate_instance(rng, options.generator);
+  if (options.mutations > 0) {
+    const std::size_t count =
+        rng.index(options.mutations + 1);  // uniform in [0, mutations]
+    for (std::size_t m = 0; m < count; ++m) {
+      mutate_instance(rng, instance, options.generator);
+    }
+  }
+  return instance;
+}
+
+}  // namespace
+
+FuzzReport run_fuzzer(const FuzzOptions& options) {
+  FuzzReport report;
+  std::vector<IterationResult> slots(options.iterations);
+  // Every iteration always runs; max_findings is applied only in the serial
+  // index-ordered reduction below. Capping inside the parallel loop would
+  // make *which* iterations get skipped depend on completion order — i.e.
+  // on --jobs — and break the bit-identical-report contract.
+  parallel_for(
+      ThreadPool::resolve_jobs(options.jobs), options.iterations,
+      [&](std::size_t index) {
+        IterationResult& slot = slots[index];
+        slot.seed = mix_seed(options.seed, index);
+        slot.instance = build_instance(slot.seed, options);
+        slot.hash = instance_hash(slot.instance);
+        slot.failures = check_all_schedulers(slot.instance, options.oracles);
+        slot.ran = true;
+      });
+
+  // Serial, index-ordered reduction: fingerprint, then shrink + record
+  // findings up to the cap.
+  for (IterationResult& slot : slots) {
+    if (!slot.ran) continue;
+    ++report.iterations_run;
+    report.instance_fingerprint ^= slot.hash;
+    if (slot.failures.empty()) continue;
+    ++report.instances_with_failures;
+    if (options.max_findings > 0 &&
+        report.findings.size() >= options.max_findings) {
+      continue;
+    }
+
+    FuzzFinding finding;
+    finding.iteration_seed = slot.seed;
+    finding.instance = std::move(slot.instance);
+    finding.failures = std::move(slot.failures);
+
+    if (options.shrink && !finding.instance.graph.empty()) {
+      // Preserve the instance's *first* failure signature while shrinking:
+      // an instance failing a different oracle after deletion is a
+      // different bug and must not hijack this repro.
+      const std::string oracle = finding.failures.front().oracle;
+      const std::string scheduler = finding.failures.front().scheduler;
+      const OracleOptions& oracle_options = options.oracles;
+      const auto still_fails = [&](const FuzzInstance& candidate) {
+        const auto failures =
+            check_all_schedulers(candidate, oracle_options);
+        for (const OracleFailure& f : failures) {
+          if (f.oracle == oracle && f.scheduler == scheduler) return true;
+        }
+        return false;
+      };
+      const ShrinkResult shrunk =
+          shrink_instance(finding.instance, still_fails,
+                          options.shrink_options);
+      finding.instance = shrunk.instance;
+      finding.shrink_checks = shrunk.checks;
+      finding.shrink_minimal = shrunk.minimal;
+      finding.failures = check_all_schedulers(finding.instance,
+                                              oracle_options);
+    }
+
+    if (!options.corpus_dir.empty() && !finding.failures.empty()) {
+      CorpusCase repro;
+      repro.oracle = finding.failures.front().oracle;
+      repro.scheduler = finding.failures.front().scheduler;
+      repro.seed = finding.iteration_seed;
+      repro.note = finding.instance.origin;
+      repro.instance = finding.instance;
+      finding.corpus_path = write_corpus_case(options.corpus_dir, repro);
+    }
+
+    if (options.on_progress) {
+      options.on_progress(describe_finding(finding));
+    }
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+std::string describe_finding(const FuzzFinding& finding) {
+  std::ostringstream os;
+  os << "finding: seed=" << finding.iteration_seed << " origin='"
+     << finding.instance.origin << "' tasks="
+     << finding.instance.graph.size() << " edges="
+     << finding.instance.graph.edge_count() << " procs="
+     << finding.instance.procs;
+  if (finding.shrink_checks > 0) {
+    os << " (shrunk in " << finding.shrink_checks << " checks"
+       << (finding.shrink_minimal ? ", minimal" : ", budget hit") << ")";
+  }
+  os << "\n";
+  for (const OracleFailure& f : finding.failures) {
+    os << "  [" << f.oracle << "] "
+       << (f.scheduler.empty() ? "<instance>" : f.scheduler) << ": "
+       << f.detail << "\n";
+  }
+  if (!finding.corpus_path.empty()) {
+    os << "  repro written to " << finding.corpus_path << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace catbatch

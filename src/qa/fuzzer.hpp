@@ -1,0 +1,73 @@
+// The differential fuzzing loop: generate -> (optionally mutate) ->
+// run every registry scheduler -> check the oracle battery -> shrink and
+// record failures. Drives everything in src/qa; the catbatch_fuzz binary
+// is a thin flag-parser around run_fuzzer().
+//
+// Determinism contract: iteration k derives its Rng from
+// mix_seed(options.seed, k), results are written into per-iteration slots
+// and reduced serially in index order, and the report fingerprint
+// accumulates per-iteration hashes with a commutative fold — so the
+// FuzzReport is bit-identical for any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "qa/corpus.hpp"
+#include "qa/generator.hpp"
+#include "qa/oracles.hpp"
+#include "qa/shrinker.hpp"
+
+namespace catbatch {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 1000;
+  /// Worker threads; <= 0 resolves to the platform default.
+  int jobs = 0;
+  GeneratorOptions generator;
+  OracleOptions oracles;
+  /// Mutations applied after generation, uniform in [0, mutations].
+  std::size_t mutations = 2;
+  /// Shrink failing instances before reporting (disable for triage speed).
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+  /// Stop scheduling new iterations once this many findings exist
+  /// (existing iterations still finish; 0 = unlimited).
+  std::size_t max_findings = 16;
+  /// When non-empty, every shrunk finding is written here as a corpus file.
+  std::string corpus_dir;
+  /// Progress callback (e.g. a line per finding); may be empty.
+  std::function<void(const std::string&)> on_progress;
+};
+
+/// One distinct failure, post-shrink. `failures` holds every oracle that
+/// fired on the *shrunk* instance (at least one).
+struct FuzzFinding {
+  std::uint64_t iteration_seed = 0;
+  FuzzInstance instance;
+  std::vector<OracleFailure> failures;
+  std::size_t shrink_checks = 0;
+  bool shrink_minimal = false;
+  std::string corpus_path;  // set when the finding was persisted
+};
+
+struct FuzzReport {
+  std::size_t iterations_run = 0;
+  std::size_t instances_with_failures = 0;
+  std::vector<FuzzFinding> findings;
+  /// Commutative (XOR) fold of per-iteration instance hashes: identical for
+  /// identical (seed, iters, generator) regardless of --jobs.
+  std::uint64_t instance_fingerprint = 0;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+[[nodiscard]] FuzzReport run_fuzzer(const FuzzOptions& options);
+
+/// Renders one finding as a short human-readable block for the CLI.
+[[nodiscard]] std::string describe_finding(const FuzzFinding& finding);
+
+}  // namespace catbatch

@@ -1,0 +1,272 @@
+#include "qa/generator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "instances/adversary.hpp"
+#include "instances/io.hpp"
+#include "instances/random_dags.hpp"
+#include "instances/workloads.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace catbatch {
+namespace {
+
+RandomTaskParams draw_params(Rng& rng, int max_procs) {
+  RandomTaskParams params;
+  switch (rng.index(3)) {
+    case 0: params.work.law = WorkDistribution::Law::Uniform; break;
+    case 1: params.work.law = WorkDistribution::Law::LogUniform; break;
+    default: params.work.law = WorkDistribution::Law::BoundedPareto; break;
+  }
+  switch (rng.index(3)) {
+    case 0: params.procs.law = ProcDistribution::Law::Uniform; break;
+    case 1: params.procs.law = ProcDistribution::Law::PowerOfTwo; break;
+    default: params.procs.law = ProcDistribution::Law::MostlyNarrow; break;
+  }
+  params.procs.max_procs =
+      static_cast<int>(rng.uniform_int(1, std::max(1, max_procs)));
+  return params;
+}
+
+FuzzInstance random_family(Rng& rng, const GeneratorOptions& options) {
+  const std::size_t n =
+      static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(std::max<std::size_t>(
+                 2, options.max_tasks))));
+  const RandomTaskParams params = draw_params(rng, options.max_procs);
+  FuzzInstance out;
+  switch (rng.index(7)) {
+    case 0: {
+      const std::size_t layers =
+          static_cast<std::size_t>(rng.uniform_int(
+              1, static_cast<std::int64_t>(std::max<std::size_t>(1, n / 2))));
+      out.graph = random_layered_dag(rng, n, layers, params);
+      out.origin = "layered";
+      break;
+    }
+    case 1:
+      out.graph = random_order_dag(rng, n, rng.uniform_real(0.0, 0.5), params);
+      out.origin = "order";
+      break;
+    case 2:
+      out.graph = random_series_parallel(rng, n, rng.uniform_real(0.0, 1.0),
+                                         params);
+      out.origin = "series-parallel";
+      break;
+    case 3: {
+      const std::size_t width =
+          static_cast<std::size_t>(rng.uniform_int(1, 6));
+      const std::size_t stages = std::max<std::size_t>(
+          1, std::min<std::size_t>(4, n / std::max<std::size_t>(1, width)));
+      out.graph = random_fork_join(rng, stages, width, params);
+      out.origin = "fork-join";
+      break;
+    }
+    case 4: {
+      const std::size_t chains =
+          static_cast<std::size_t>(rng.uniform_int(1, 6));
+      const std::size_t length = std::max<std::size_t>(
+          1, std::min<std::size_t>(8, n / std::max<std::size_t>(1, chains)));
+      out.graph = random_chains(rng, chains, length, params);
+      out.origin = "chains";
+      break;
+    }
+    case 5:
+      out.graph = random_out_tree(
+          rng, n, static_cast<std::size_t>(rng.uniform_int(1, 4)), params);
+      out.origin = "out-tree";
+      break;
+    default:
+      out.graph = random_independent(rng, n, params);
+      out.origin = "independent";
+      break;
+  }
+  return out;
+}
+
+FuzzInstance workload_family(Rng& rng, const GeneratorOptions& options) {
+  FuzzInstance out;
+  KernelCosts costs;
+  costs.jitter = rng.uniform_real(0.0, 0.3);
+  costs.seed = rng();
+  const int gemm_cap = std::max(1, std::min(4, options.max_procs));
+  costs.trsm_procs = std::min(costs.trsm_procs, gemm_cap);
+  costs.gemm_procs = gemm_cap;
+  switch (rng.index(6)) {
+    case 0:
+      // 4 tiles -> 20 tasks, 5 tiles -> 35; stay near the budget.
+      out.graph = cholesky_dag(static_cast<int>(rng.uniform_int(2, 4)), costs);
+      out.origin = "cholesky";
+      break;
+    case 1:
+      out.graph = lu_dag(static_cast<int>(rng.uniform_int(2, 3)), costs);
+      out.origin = "lu";
+      break;
+    case 2:
+      out.graph = stencil_dag(static_cast<int>(rng.uniform_int(2, 6)),
+                              static_cast<int>(rng.uniform_int(2, 6)),
+                              quantize_time(rng.uniform_real(0.25, 2.0)),
+                              static_cast<int>(rng.uniform_int(
+                                  1, std::max(1, options.max_procs / 2))));
+      out.origin = "stencil";
+      break;
+    case 3:
+      out.graph = fft_dag(static_cast<int>(rng.uniform_int(1, 3)),
+                          quantize_time(rng.uniform_real(0.25, 2.0)), 1);
+      out.origin = "fft";
+      break;
+    case 4:
+      out.graph = map_reduce_dag(static_cast<int>(rng.uniform_int(1, 12)),
+                                 static_cast<int>(rng.uniform_int(1, 4)));
+      out.origin = "map-reduce";
+      break;
+    default:
+      out.graph = montage_dag(static_cast<int>(rng.uniform_int(2, 4)),
+                              std::min(4, std::max(1, options.max_procs)));
+      out.origin = "montage";
+      break;
+  }
+  return out;
+}
+
+FuzzInstance adversary_family(Rng& rng, const GeneratorOptions& options) {
+  // Parameter grid filtered to the task budget; X_P(K) has
+  // 2(K^P - 1)/(K - 1) tasks, Z has P times that.
+  const Time epsilon = quantize_time(rng.uniform_real(0.001, 0.1));
+  FuzzInstance out;
+  switch (rng.index(3)) {
+    case 0: {
+      int procs = static_cast<int>(rng.uniform_int(2, 4));
+      int base = static_cast<int>(rng.uniform_int(2, 3));
+      while (x_task_count(procs, base) >
+             static_cast<std::int64_t>(options.max_tasks)) {
+        if (base > 2) {
+          --base;
+        } else {
+          --procs;
+        }
+      }
+      XInstance x = make_x_instance(procs, base, epsilon);
+      out.graph = std::move(x.graph);
+      out.origin = "adversary-x";
+      break;
+    }
+    case 1: {
+      const int procs = static_cast<int>(rng.uniform_int(2, 4));
+      const int type = static_cast<int>(rng.uniform_int(0, procs - 1));
+      YInstance y = make_y_instance(procs, type, 2, epsilon);
+      out.graph = std::move(y.graph);
+      out.origin = "adversary-y";
+      break;
+    }
+    default: {
+      // The realized graph of a Z run depends on the driving algorithm; a
+      // list-FIFO run gives a representative adversarial DAG to replay
+      // against every scheduler.
+      const int procs = 2;
+      ZAdversarySource source(procs, 2, epsilon);
+      ListScheduler driver;
+      (void)simulate(source, driver, procs);
+      out.graph = source.realized_graph();
+      out.origin = "adversary-z";
+      break;
+    }
+  }
+  return out;
+}
+
+FuzzInstance degenerate_family(Rng& rng, const GeneratorOptions& options) {
+  const int width = std::max(1, options.max_procs);
+  FuzzInstance out;
+  switch (rng.index(4)) {
+    case 0:
+      out.graph.add_task(quantize_time(rng.uniform_real(0.25, 4.0)),
+                         static_cast<int>(rng.uniform_int(1, width)),
+                         "solo");
+      out.origin = "degenerate-single";
+      break;
+    case 1: {
+      // Full-width chain: every task needs the whole platform.
+      const std::int64_t n = rng.uniform_int(2, 6);
+      TaskId prev = kInvalidTask;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const TaskId id = out.graph.add_task(
+            quantize_time(rng.uniform_real(0.25, 2.0)), width);
+        if (prev != kInvalidTask) out.graph.add_edge(prev, id);
+        prev = id;
+      }
+      out.origin = "degenerate-full-width-chain";
+      break;
+    }
+    case 2: {
+      // Minimum representable work everywhere: stresses the category
+      // arithmetic near the quantization floor.
+      const std::int64_t n = rng.uniform_int(2, 10);
+      TaskId prev = kInvalidTask;
+      for (std::int64_t i = 0; i < n; ++i) {
+        // quantize_time clamps to its floor of 2^-20, the minimum work.
+        const TaskId id = out.graph.add_task(quantize_time(1e-12), 1);
+        if (prev != kInvalidTask) out.graph.add_edge(prev, id);
+        prev = id;
+      }
+      out.origin = "degenerate-min-work-chain";
+      break;
+    }
+    default: {
+      // Independent tasks all as wide as the platform: forces strict
+      // serialization and exercises the capacity boundary on every start.
+      const std::int64_t n = rng.uniform_int(2, 6);
+      for (std::int64_t i = 0; i < n; ++i) {
+        out.graph.add_task(quantize_time(rng.uniform_real(0.25, 2.0)), width);
+      }
+      out.origin = "degenerate-all-wide";
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FuzzInstance generate_instance(Rng& rng, const GeneratorOptions& options) {
+  FuzzInstance out;
+  // Random families dominate; the structured families keep the paper's
+  // constructions and realistic shapes in every run's diet.
+  const std::size_t roll = rng.index(10);
+  if (roll < 5) {
+    out = random_family(rng, options);
+  } else if (roll < 7) {
+    out = workload_family(rng, options);
+  } else if (roll < 9) {
+    out = adversary_family(rng, options);
+  } else {
+    out = degenerate_family(rng, options);
+  }
+  const int floor = std::max(1, out.graph.max_procs_required());
+  const int ceiling = std::max(floor, options.max_procs);
+  out.procs = static_cast<int>(rng.uniform_int(floor, ceiling));
+  return out;
+}
+
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
+  // SplitMix64 finalizer over the pair; any fixed mixing works, this one
+  // matches the Rng's own seeding discipline.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t instance_hash(const FuzzInstance& instance) {
+  const std::string text = to_json(instance.graph, instance.procs);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,55 @@
+// Instance generation for the differential fuzzer (docs/FUZZING.md).
+//
+// The paper's guarantees are exact inequalities, so every scheduler bug is
+// machine-detectable if the instance space is searched systematically
+// (Chatterjee et al.'s automated competitive analysis framing). The
+// generator draws from a deliberately wide family mix: the seven random-DAG
+// families, the synthetic HPC workload DAGs, the Section 6 lower-bound
+// constructions (X, Y and a realized Z run), and degenerate shapes —
+// single-task graphs, full-width p_i = P tasks, minimum-work chains — that
+// hand-written example suites never cover.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/graph.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+/// One instance under test: the DAG, the platform width it targets, and a
+/// human-readable lineage (family name plus any mutation trail) used for
+/// triage and corpus notes.
+struct FuzzInstance {
+  TaskGraph graph;
+  int procs = 8;
+  std::string origin;
+};
+
+struct GeneratorOptions {
+  /// Soft cap on instance size: families are parameterized to land at or
+  /// under this, so oracle batteries stay fast enough for 10k-iteration
+  /// smoke runs.
+  std::size_t max_tasks = 48;
+  /// Largest platform width drawn. Instances always get procs >= the
+  /// widest task they contain.
+  int max_procs = 16;
+};
+
+/// Draws one instance from the family mix. Deterministic in `rng`.
+[[nodiscard]] FuzzInstance generate_instance(Rng& rng,
+                                             const GeneratorOptions& options);
+
+/// SplitMix64-style mix of the base seed and an iteration index. The
+/// fuzzer seeds iteration k with mix_seed(seed, k), which makes every
+/// iteration independent of execution order — the basis of the bit-identical
+/// report at any --jobs.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index);
+
+/// FNV-1a over the instance's serialized form (instances/io.hpp dialect).
+/// Order-insensitive accumulation of these per-iteration hashes gives the
+/// fuzzer's jobs-invariant fingerprint.
+[[nodiscard]] std::uint64_t instance_hash(const FuzzInstance& instance);
+
+}  // namespace catbatch

@@ -1,0 +1,172 @@
+#include "qa/mutator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "instances/random_dags.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Rebuilds `graph` with one task's work/procs rewritten. TaskGraph has no
+/// task mutation beyond task(), which is enough here.
+void set_work(TaskGraph& graph, TaskId id, Time work) {
+  graph.task(id).work = work;
+}
+
+void set_procs(TaskGraph& graph, TaskId id, int procs) {
+  graph.task(id).procs = procs;
+}
+
+bool try_insert_edge(Rng& rng, FuzzInstance& instance) {
+  const std::size_t n = instance.graph.size();
+  if (n < 2) return false;
+  // An edge from earlier to later in a topological order can never create
+  // a cycle.
+  const std::vector<TaskId> order = instance.graph.topological_order();
+  const std::size_t a = rng.index(n - 1);
+  const std::size_t b = a + 1 + rng.index(n - a - 1);
+  instance.graph.add_edge(order[a], order[b]);
+  instance.origin += "+edge";
+  return true;
+}
+
+bool try_delete_edge(Rng& rng, FuzzInstance& instance) {
+  const auto edges = all_edges(instance.graph);
+  if (edges.empty()) return false;
+  const auto [pred, succ] = edges[rng.index(edges.size())];
+  instance.graph = without_edge(instance.graph, pred, succ);
+  instance.origin += "+deledge";
+  return true;
+}
+
+bool try_perturb_work(Rng& rng, FuzzInstance& instance) {
+  if (instance.graph.empty()) return false;
+  const TaskId id = static_cast<TaskId>(rng.index(instance.graph.size()));
+  const Time work = instance.graph.task(id).work;
+  set_work(instance.graph, id,
+           quantize_time(work * rng.uniform_real(0.5, 2.0)));
+  instance.origin += "+work";
+  return true;
+}
+
+bool try_perturb_procs(Rng& rng, FuzzInstance& instance) {
+  if (instance.graph.empty()) return false;
+  const TaskId id = static_cast<TaskId>(rng.index(instance.graph.size()));
+  const int procs = instance.graph.task(id).procs;
+  const int next = rng.bernoulli(0.5) ? procs + 1 : procs - 1;
+  if (next < 1 || next > instance.procs) return false;
+  set_procs(instance.graph, id, next);
+  instance.origin += "+procs";
+  return true;
+}
+
+bool try_widen_to_platform(Rng& rng, FuzzInstance& instance) {
+  if (instance.graph.empty()) return false;
+  const TaskId id = static_cast<TaskId>(rng.index(instance.graph.size()));
+  if (instance.graph.task(id).procs == instance.procs) return false;
+  set_procs(instance.graph, id, instance.procs);
+  instance.origin += "+widen";
+  return true;
+}
+
+bool try_splice(Rng& rng, FuzzInstance& instance,
+                const GeneratorOptions& options) {
+  if (instance.graph.empty()) return false;
+  GeneratorOptions small = options;
+  small.max_tasks = std::max<std::size_t>(2, options.max_tasks / 4);
+  small.max_procs = instance.procs;
+  const FuzzInstance extra = generate_instance(rng, small);
+  if (extra.graph.empty() || extra.graph.max_procs_required() > instance.procs)
+    return false;
+  const std::vector<TaskId> sinks = instance.graph.sinks();
+  const TaskId anchor = sinks[rng.index(sinks.size())];
+  const TaskId offset = instance.graph.append(extra.graph);
+  for (const TaskId root : extra.graph.roots()) {
+    instance.graph.add_edge(anchor, offset + root);
+  }
+  instance.origin += "+splice";
+  return true;
+}
+
+bool try_drop_task(Rng& rng, FuzzInstance& instance) {
+  if (instance.graph.size() < 2) return false;
+  const TaskId victim = static_cast<TaskId>(rng.index(instance.graph.size()));
+  std::vector<TaskId> keep;
+  keep.reserve(instance.graph.size() - 1);
+  for (TaskId id = 0; id < instance.graph.size(); ++id) {
+    if (id != victim) keep.push_back(id);
+  }
+  instance.graph = induced_subgraph(instance.graph, keep);
+  instance.origin += "+drop";
+  return true;
+}
+
+}  // namespace
+
+void mutate_instance(Rng& rng, FuzzInstance& instance,
+                     const GeneratorOptions& options) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    bool applied = false;
+    switch (rng.index(7)) {
+      case 0: applied = try_insert_edge(rng, instance); break;
+      case 1: applied = try_delete_edge(rng, instance); break;
+      case 2: applied = try_perturb_work(rng, instance); break;
+      case 3: applied = try_perturb_procs(rng, instance); break;
+      case 4: applied = try_widen_to_platform(rng, instance); break;
+      case 5: applied = try_splice(rng, instance, options); break;
+      default: applied = try_drop_task(rng, instance); break;
+    }
+    if (applied) return;
+  }
+  // Every kind declined (tiny degenerate instance); leave it unchanged.
+}
+
+TaskGraph induced_subgraph(const TaskGraph& graph,
+                           const std::vector<TaskId>& keep) {
+  std::vector<TaskId> sorted = keep;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<TaskId> remap(graph.size(), kInvalidTask);
+  TaskGraph out;
+  for (const TaskId old : sorted) {
+    const Task& task = graph.task(old);
+    remap[old] = out.add_task(task.work, task.procs, task.name);
+  }
+  for (const TaskId old : sorted) {
+    for (const TaskId succ : graph.successors(old)) {
+      if (remap[succ] != kInvalidTask) {
+        out.add_edge(remap[old], remap[succ]);
+      }
+    }
+  }
+  return out;
+}
+
+TaskGraph without_edge(const TaskGraph& graph, TaskId pred, TaskId succ) {
+  TaskGraph out;
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const Task& task = graph.task(id);
+    (void)out.add_task(task.work, task.procs, task.name);
+  }
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    for (const TaskId s : graph.successors(id)) {
+      if (id == pred && s == succ) continue;
+      out.add_edge(id, s);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<TaskId, TaskId>> all_edges(const TaskGraph& graph) {
+  std::vector<std::pair<TaskId, TaskId>> edges;
+  edges.reserve(graph.edge_count());
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    for (const TaskId succ : graph.successors(id)) {
+      edges.emplace_back(id, succ);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,40 @@
+// Structure-preserving instance mutations for the fuzzer, plus the graph
+// surgery helpers the shrinker reuses.
+//
+// Every mutation keeps the instance well-formed (acyclic, work > 0,
+// 1 <= p_i, procs >= max_procs_required): the fuzzer tests schedulers, not
+// the graph validator, so invalid instances would only waste iterations.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "qa/generator.hpp"
+
+namespace catbatch {
+
+/// Applies one randomly chosen mutation to `instance` in place and appends
+/// a "+<mutation>" tag to its origin. Mutations: insert a forward edge
+/// (topological order keeps it acyclic), delete an edge, perturb a task's
+/// work (quantized, x[0.5, 2]), perturb a task's width by +-1, widen a task
+/// to the full platform, splice a second generated instance behind a sink,
+/// or drop a task. No-ops (e.g. deleting an edge from an edgeless graph)
+/// fall through to another mutation kind.
+void mutate_instance(Rng& rng, FuzzInstance& instance,
+                     const GeneratorOptions& options);
+
+/// Copy of `graph` restricted to the tasks in `keep` (any order, no
+/// duplicates); kept tasks are renumbered by ascending old id and edges
+/// between kept tasks survive. The shrinker's task-deletion step.
+[[nodiscard]] TaskGraph induced_subgraph(const TaskGraph& graph,
+                                         const std::vector<TaskId>& keep);
+
+/// Copy of `graph` without the edge pred -> succ (all tasks kept).
+[[nodiscard]] TaskGraph without_edge(const TaskGraph& graph, TaskId pred,
+                                     TaskId succ);
+
+/// All edges of `graph` as (pred, succ) pairs, ascending by pred then succ.
+[[nodiscard]] std::vector<std::pair<TaskId, TaskId>> all_edges(
+    const TaskGraph& graph);
+
+}  // namespace catbatch

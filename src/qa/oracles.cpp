@@ -1,0 +1,294 @@
+#include "qa/oracles.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "core/bounds.hpp"
+#include "core/lmatrix.hpp"
+#include "sched/catbatch_contiguous.hpp"
+#include "sched/divide_conquer.hpp"
+#include "sched/shelf.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Absolute slack for comparisons between two independently computed
+/// floating-point quantities (bound vs makespan). Everything the engine
+/// itself produces is compared exactly.
+constexpr Time kCompareSlack = 1e-9;
+
+/// Generic-path source over a fixed graph: emits every task up front via
+/// start() and keeps static_graph() == nullptr, forcing the engine through
+/// the copying SourceTask ingest. Differentially testing this against
+/// GraphSource (the zero-copy path) checks the two ingest paths agree.
+class HiddenGraphSource final : public InstanceSource {
+ public:
+  explicit HiddenGraphSource(const TaskGraph& graph) : graph_(graph) {}
+
+  std::vector<SourceTask> start() override {
+    std::vector<SourceTask> tasks;
+    tasks.reserve(graph_.size());
+    for (TaskId id = 0; id < graph_.size(); ++id) {
+      const Task& task = graph_.task(id);
+      SourceTask emitted;
+      emitted.work = task.work;
+      emitted.procs = task.procs;
+      emitted.name = task.name;
+      const auto preds = graph_.predecessors(id);
+      emitted.predecessors.assign(preds.begin(), preds.end());
+      tasks.push_back(std::move(emitted));
+    }
+    return tasks;
+  }
+
+  std::vector<SourceTask> on_complete(TaskId, Time) override { return {}; }
+
+  const TaskGraph& realized_graph() const override { return graph_; }
+
+ private:
+  const TaskGraph& graph_;
+};
+
+std::string describe_entry(const ScheduledTask& e) {
+  std::ostringstream out;
+  out << "task " << e.id << " [" << e.start << ", " << e.finish << ") x"
+      << e.procs();
+  return out.str();
+}
+
+/// Bit-exact comparison of two runs' timing decisions. Processor
+/// *identities* are compared only when both sides carry them.
+std::optional<std::string> compare_schedules(const Schedule& a,
+                                             const Schedule& b,
+                                             bool compare_identities) {
+  if (a.size() != b.size()) {
+    return "entry counts differ: " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+  }
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const ScheduledTask& ea = a.entries()[k];
+    const ScheduledTask& eb = b.entries()[k];
+    if (ea.id != eb.id || ea.start != eb.start || ea.finish != eb.finish ||
+        ea.procs() != eb.procs()) {
+      return "entry " + std::to_string(k) + " differs: " +
+             describe_entry(ea) + " vs " + describe_entry(eb);
+    }
+    if (compare_identities && ea.processors != eb.processors) {
+      return "entry " + std::to_string(k) + " processor sets differ for " +
+             describe_entry(ea);
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_catbatch_bound_carrier(const std::string& name) {
+  // Theorems 1-2 bound T against Lb for the paper's algorithm itself; the
+  // offline formulation produces the identical batch structure (Lemma 1).
+  return name == "catbatch" || name == "offline-catbatch";
+}
+
+SimResult run_identity(const FuzzInstance& instance,
+                       const SchedulerEntry& entry) {
+  const auto scheduler = entry.make(
+      entry.kind == SchedulerKind::Offline ? &instance.graph : nullptr);
+  CB_CHECK(scheduler != nullptr, "registry returned null scheduler");
+  return simulate(instance.graph, *scheduler, instance.procs);
+}
+
+void check_offline_builder(
+    const FuzzInstance& instance, const std::string& name,
+    const Schedule& built, const std::optional<SimResult>& replay,
+    bool check_identities, std::vector<OracleFailure>& failures) {
+  const auto error = validate_schedule(
+      instance.graph, built, instance.procs,
+      ValidationOptions{.check_processor_sets = check_identities});
+  if (error.has_value()) {
+    failures.push_back({"offline-replay", name, "built schedule invalid: " +
+                                                    *error});
+    return;
+  }
+  if (replay.has_value() &&
+      replay->makespan > built.makespan() + kCompareSlack) {
+    std::ostringstream detail;
+    detail << "engine replay finishes later than the plan: " <<
+        replay->makespan << " vs " << built.makespan();
+    failures.push_back({"offline-replay", name, detail.str()});
+  }
+}
+
+}  // namespace
+
+std::vector<OracleFailure> check_scheduler(const FuzzInstance& instance,
+                                           const SchedulerEntry& entry,
+                                           const OracleOptions& options) {
+  std::vector<OracleFailure> failures;
+  const std::string& name = entry.name;
+
+  SimResult identity;
+  try {
+    identity = run_identity(instance, entry);
+  } catch (const ContractViolation& e) {
+    failures.push_back({"engine-contract", name, e.what()});
+    return failures;
+  } catch (const std::exception& e) {
+    failures.push_back({"exception", name, e.what()});
+    return failures;
+  }
+
+  // Feasibility, checked exactly: the engine only ever hands out free
+  // processors at event times it computed itself.
+  if (const auto error = validate_schedule(instance.graph, identity.schedule,
+                                           instance.procs)) {
+    failures.push_back({"feasibility", name, *error});
+    return failures;  // downstream oracles would re-report the same defect
+  }
+
+  // No schedule beats Lb(I) = max(A/P, C) (Equation 1). The bound and the
+  // makespan come from different arithmetic, so allow the comparison slack.
+  const InstanceBounds bounds = compute_bounds(instance.graph, instance.procs);
+  const Time lb = bounds.lower_bound();
+  if (identity.makespan < lb - kCompareSlack) {
+    std::ostringstream detail;
+    detail << "makespan " << identity.makespan << " < Lb " << lb;
+    failures.push_back({"lower-bound", name, detail.str()});
+  }
+
+  if (options.check_theorem_bounds && is_catbatch_bound_carrier(name) &&
+      lb > 0.0) {
+    const double t1 = theorem1_bound(bounds.task_count);
+    const double t2 = theorem2_bound(bounds.max_work, bounds.min_work);
+    const double bound = std::min(t1, t2);
+    if (identity.makespan > bound * lb + kCompareSlack) {
+      std::ostringstream detail;
+      detail << "ratio " << identity.makespan / lb
+             << " exceeds min(theorem1 " << t1 << ", theorem2 " << t2 << ")";
+      failures.push_back({"theorem-bound", name, detail.str()});
+    }
+  }
+
+  if (options.check_counting) {
+    try {
+      const auto scheduler = entry.make(
+          entry.kind == SchedulerKind::Offline ? &instance.graph : nullptr);
+      SimOptions sim;
+      sim.mode = ScheduleMode::Counting;
+      const SimResult counting =
+          simulate(instance.graph, *scheduler, instance.procs, sim);
+      if (const auto diff = compare_schedules(identity.schedule,
+                                              counting.schedule,
+                                              /*compare_identities=*/false)) {
+        failures.push_back({"counting", name, *diff});
+      }
+      ValidationOptions counted;
+      counted.check_processor_sets = false;
+      if (const auto error = validate_schedule(
+              instance.graph, counting.schedule, instance.procs, counted)) {
+        failures.push_back({"counting", name, "counted run invalid: " +
+                                                  *error});
+      }
+    } catch (const std::exception& e) {
+      failures.push_back({"counting", name, e.what()});
+    }
+  }
+
+  if (options.check_source_parity) {
+    try {
+      const auto scheduler = entry.make(
+          entry.kind == SchedulerKind::Offline ? &instance.graph : nullptr);
+      HiddenGraphSource source(instance.graph);
+      const SimResult generic =
+          simulate(source, *scheduler, instance.procs);
+      if (const auto diff = compare_schedules(identity.schedule,
+                                              generic.schedule,
+                                              /*compare_identities=*/true)) {
+        failures.push_back({"source-parity", name, *diff});
+      }
+    } catch (const std::exception& e) {
+      failures.push_back({"source-parity", name, e.what()});
+    }
+  }
+
+  if (options.check_determinism) {
+    try {
+      const SimResult again = run_identity(instance, entry);
+      if (const auto diff = compare_schedules(identity.schedule,
+                                              again.schedule,
+                                              /*compare_identities=*/true)) {
+        failures.push_back({"determinism", name, *diff});
+      }
+    } catch (const std::exception& e) {
+      failures.push_back({"determinism", name, e.what()});
+    }
+  }
+
+  return failures;
+}
+
+std::vector<OracleFailure> check_all_schedulers(const FuzzInstance& instance,
+                                                const OracleOptions& options) {
+  std::vector<OracleFailure> failures;
+  const bool has_edges = instance.graph.edge_count() > 0;
+  for (const SchedulerEntry& entry : scheduler_registry()) {
+    if (entry.independent_only && has_edges) continue;
+    auto found = check_scheduler(instance, entry, options);
+    failures.insert(failures.end(), found.begin(), found.end());
+  }
+
+  if (options.check_offline_builders && !instance.graph.empty()) {
+    // The offline constructions, built directly (not through the replay
+    // adapter) and validated; the replay through the registry above must
+    // not finish later than the plan it replays.
+    try {
+      const auto built =
+          divide_conquer_schedule(instance.graph, instance.procs);
+      std::optional<SimResult> replay;
+      if (const SchedulerEntry* e = find_scheduler("divide-conquer")) {
+        replay = run_identity(instance, *e);
+      }
+      check_offline_builder(instance, "divide-conquer", built.schedule,
+                            replay, /*check_identities=*/true, failures);
+    } catch (const std::exception& e) {
+      failures.push_back({"offline-replay", "divide-conquer", e.what()});
+    }
+    try {
+      const auto built =
+          catbatch_contiguous_schedule(instance.graph, instance.procs);
+      std::optional<SimResult> replay;
+      if (const SchedulerEntry* e = find_scheduler("contiguous-catbatch")) {
+        replay = run_identity(instance, *e);
+      }
+      check_offline_builder(instance, "contiguous-catbatch", built.schedule,
+                            replay, /*check_identities=*/true, failures);
+    } catch (const std::exception& e) {
+      failures.push_back({"offline-replay", "contiguous-catbatch", e.what()});
+    }
+    if (!has_edges) {
+      try {
+        std::vector<Task> tasks;
+        tasks.reserve(instance.graph.size());
+        for (TaskId id = 0; id < instance.graph.size(); ++id) {
+          tasks.push_back(instance.graph.task(id));
+        }
+        const Schedule nfdh = packing_to_schedule(
+            pack_nfdh(tasks, instance.procs), tasks);
+        check_offline_builder(instance, "shelf-nfdh", nfdh, std::nullopt,
+                              /*check_identities=*/true, failures);
+        const Schedule ffdh = packing_to_schedule(
+            pack_ffdh(tasks, instance.procs), tasks);
+        check_offline_builder(instance, "shelf-ffdh", ffdh, std::nullopt,
+                              /*check_identities=*/true, failures);
+      } catch (const std::exception& e) {
+        failures.push_back({"offline-replay", "shelf", e.what()});
+      }
+    }
+  }
+  return failures;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,52 @@
+// The fuzzer's invariant battery: everything the paper and the engine
+// promise about a scheduler run, re-checked from first principles on every
+// instance (docs/FUZZING.md lists the battery with rationale).
+//
+//   feasibility     — validate_schedule() on the identity-mode run, exact;
+//   lower-bound     — makespan >= Lb(I) = max(A/P, C) (Equation 1);
+//   theorem-bound   — CatBatch variants stay within Theorem 1 AND 2;
+//   counting        — counting-mode times/widths bit-identical to identity,
+//                     and the counted schedule passes the exact sweep;
+//   source-parity   — the generic InstanceSource ingest path produces the
+//                     same schedule as the zero-copy static-graph path;
+//   determinism     — a second identity run is bit-identical;
+//   offline-replay  — a directly built offline schedule validates, and its
+//                     engine replay finishes no later than the plan;
+//   engine-contract — any ContractViolation out of the engine or scheduler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qa/generator.hpp"
+#include "sched/registry.hpp"
+
+namespace catbatch {
+
+struct OracleOptions {
+  bool check_theorem_bounds = true;
+  bool check_counting = true;
+  bool check_source_parity = true;
+  bool check_determinism = true;
+  bool check_offline_builders = true;
+};
+
+/// One broken invariant. `scheduler` is the registry name; empty for
+/// instance-level failures (e.g. a builder that threw).
+struct OracleFailure {
+  std::string oracle;
+  std::string scheduler;
+  std::string detail;
+};
+
+/// Runs the full battery for one registry entry on one instance.
+[[nodiscard]] std::vector<OracleFailure> check_scheduler(
+    const FuzzInstance& instance, const SchedulerEntry& entry,
+    const OracleOptions& options = {});
+
+/// Runs every registry scheduler (skipping independent-only packers on
+/// instances with precedence edges) plus the direct offline builders.
+[[nodiscard]] std::vector<OracleFailure> check_all_schedulers(
+    const FuzzInstance& instance, const OracleOptions& options = {});
+
+}  // namespace catbatch

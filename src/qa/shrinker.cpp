@@ -1,0 +1,112 @@
+#include "qa/shrinker.hpp"
+
+#include <algorithm>
+
+#include "qa/mutator.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+struct Budget {
+  std::size_t remaining;
+  std::size_t spent = 0;
+
+  bool charge() {
+    if (remaining == 0) return false;
+    --remaining;
+    ++spent;
+    return true;
+  }
+};
+
+/// Tries dropping `chunk`-sized runs of tasks; returns true if any drop
+/// kept the failure (instance updated in place).
+bool try_drop_chunks(FuzzInstance& instance, std::size_t chunk,
+                     const FailurePredicate& still_fails, Budget& budget) {
+  bool shrunk = false;
+  std::size_t begin = 0;
+  while (begin < instance.graph.size() && instance.graph.size() > 1) {
+    const std::size_t end =
+        std::min(instance.graph.size(), begin + chunk);
+    if (end - begin >= instance.graph.size()) break;  // never drop everything
+    std::vector<TaskId> keep;
+    keep.reserve(instance.graph.size() - (end - begin));
+    for (TaskId id = 0; id < instance.graph.size(); ++id) {
+      if (id < begin || id >= end) keep.push_back(id);
+    }
+    if (!budget.charge()) return shrunk;
+    FuzzInstance candidate;
+    candidate.graph = induced_subgraph(instance.graph, keep);
+    candidate.procs = instance.procs;
+    candidate.origin = instance.origin;
+    if (still_fails(candidate)) {
+      instance.graph = std::move(candidate.graph);
+      shrunk = true;
+      // Do not advance: the ids shifted down, re-test the same position.
+    } else {
+      begin += chunk;
+    }
+  }
+  return shrunk;
+}
+
+bool try_drop_edges(FuzzInstance& instance,
+                    const FailurePredicate& still_fails, Budget& budget) {
+  bool shrunk = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const auto& [pred, succ] : all_edges(instance.graph)) {
+      if (!budget.charge()) return shrunk;
+      FuzzInstance candidate;
+      candidate.graph = without_edge(instance.graph, pred, succ);
+      candidate.procs = instance.procs;
+      candidate.origin = instance.origin;
+      if (still_fails(candidate)) {
+        instance.graph = std::move(candidate.graph);
+        shrunk = progress = true;
+        break;  // edge list invalidated; rescan
+      }
+    }
+  }
+  return shrunk;
+}
+
+}  // namespace
+
+ShrinkResult shrink_instance(const FuzzInstance& instance,
+                             const FailurePredicate& still_fails,
+                             const ShrinkOptions& options) {
+  CB_CHECK(!instance.graph.empty(), "cannot shrink an empty instance");
+  ShrinkResult result;
+  result.instance = instance;
+  Budget budget{options.max_checks};
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Large-to-small chunked task deletion, ddmin style.
+    for (std::size_t chunk = std::max<std::size_t>(
+             1, result.instance.graph.size() / 2);
+         ; chunk /= 2) {
+      if (try_drop_chunks(result.instance, chunk, still_fails, budget)) {
+        progress = true;
+      }
+      if (chunk <= 1) break;
+    }
+    if (try_drop_edges(result.instance, still_fails, budget)) {
+      progress = true;
+    }
+    if (budget.remaining == 0) break;
+  }
+
+  result.checks = budget.spent;
+  result.minimal = budget.remaining > 0;
+  if (!result.instance.origin.empty()) {
+    result.instance.origin += "+shrunk";
+  }
+  return result;
+}
+
+}  // namespace catbatch

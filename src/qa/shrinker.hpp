@@ -1,0 +1,42 @@
+// Delta-debugging shrinker: reduces a failing instance to a locally
+// minimal repro before it is written to the corpus.
+//
+// Classic ddmin structure specialized to DAG instances: chunked task
+// deletion (halving chunk sizes), then single-task deletion, then edge
+// deletion, iterated to a fixpoint. The predicate re-runs the oracle that
+// originally failed, so the shrunk instance provably still fails. The
+// result is 1-minimal with respect to the moves tried: removing any single
+// remaining task or edge makes the failure disappear (or the check budget
+// ran out first).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "qa/generator.hpp"
+
+namespace catbatch {
+
+/// Returns true iff `instance` still exhibits the failure being minimized.
+using FailurePredicate = std::function<bool(const FuzzInstance&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations; shrinking stops (keeping the
+  /// smallest failing instance so far) when exhausted.
+  std::size_t max_checks = 2000;
+};
+
+struct ShrinkResult {
+  FuzzInstance instance;
+  std::size_t checks = 0;     // predicate evaluations spent
+  bool minimal = false;       // fixpoint reached within the budget
+};
+
+/// Shrinks `instance` under `still_fails`. Requires
+/// still_fails(instance) == true on entry; the returned instance also
+/// satisfies it and is never empty.
+[[nodiscard]] ShrinkResult shrink_instance(const FuzzInstance& instance,
+                                           const FailurePredicate& still_fails,
+                                           const ShrinkOptions& options = {});
+
+}  // namespace catbatch

@@ -50,7 +50,7 @@ std::optional<std::string> validate_schedule(const TaskGraph& graph,
     // the check is exact even when work itself is not a binary fraction
     // (finish - start may differ from work by one ulp).
     if (std::abs(e.finish - (e.start + task.work)) >
-        options.duration_tolerance) {
+        options.time_tolerance) {
       std::ostringstream os;
       os << task_label(graph, e.id) << " runs [" << e.start << ", "
          << e.finish << ") but its execution time is " << task.work;
@@ -91,10 +91,14 @@ std::optional<std::string> validate_schedule(const TaskGraph& graph,
       }
     }
 
-    // 4. Precedence: start >= max predecessor finish.
+    // 4. Precedence: start >= max predecessor finish, under the same
+    // epsilon policy as every other time comparison — an exact tie at a
+    // predecessor's finish time is feasible (running intervals are open),
+    // and a start within the tolerance of it is feasible up to the
+    // documented slack.
     for (const TaskId pred : graph.predecessors(e.id)) {
       const ScheduledTask& pe = schedule.entry_for(pred);
-      if (e.start < pe.finish) {
+      if (e.start < pe.finish - options.time_tolerance) {
         std::ostringstream os;
         os << task_label(graph, e.id) << " starts at " << e.start
            << " before its predecessor " << task_label(graph, pred)
@@ -105,35 +109,50 @@ std::optional<std::string> validate_schedule(const TaskGraph& graph,
   }
 
   // 5. Capacity sweep: at any instant, Σ p_i over running tasks <= P.
-  // Events sorted by time with releases (-p) before acquisitions (+p) at
-  // equal times, because running intervals are open at both ends
-  // (Section 3.1: s_i < x < s_i + t_i).
+  // Releases are ordered before acquisitions when they happen no later
+  // than `time_tolerance` after them — running intervals are open at both
+  // ends (Section 3.1: s_i < x < s_i + t_i), and a handoff within the
+  // tolerance is feasible after shifting times by at most the tolerance.
+  // The processor *sum* is compared exactly against P in all cases, and
+  // width-carrying (counting-mode) entries forfeit the time slack too: the
+  // engine emits exact event times and disjointness is unverifiable
+  // without identities, so the exact sweep is the only capacity evidence.
   struct Event {
     Time at;
     int delta;
   };
-  std::vector<Event> events;
-  events.reserve(2 * schedule.size());
+  bool any_counted = false;
+  std::vector<Event> acquires, releases;
+  acquires.reserve(schedule.size());
+  releases.reserve(schedule.size());
   for (const ScheduledTask& e : schedule.entries()) {
     const int p = graph.task(e.id).procs;
-    events.push_back(Event{e.start, +p});
-    events.push_back(Event{e.finish, -p});
+    acquires.push_back(Event{e.start, +p});
+    releases.push_back(Event{e.finish, -p});
+    if (e.processors.empty()) any_counted = true;
   }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.at != b.at) return a.at < b.at;
-    return a.delta < b.delta;  // releases first
-  });
+  const auto by_time = [](const Event& a, const Event& b) {
+    return a.at < b.at;
+  };
+  std::sort(acquires.begin(), acquires.end(), by_time);
+  std::sort(releases.begin(), releases.end(), by_time);
+  const Time capacity_tolerance = any_counted ? 0.0 : options.time_tolerance;
   int in_use = 0;
-  for (const Event& ev : events) {
-    in_use += ev.delta;
+  std::size_t released = 0;
+  for (const Event& acq : acquires) {
+    while (released < releases.size() &&
+           releases[released].at <= acq.at + capacity_tolerance) {
+      in_use += releases[released].delta;
+      ++released;
+    }
+    in_use += acq.delta;
     if (in_use > procs) {
       std::ostringstream os;
-      os << "capacity exceeded at time " << ev.at << ": " << in_use << " of "
-         << procs << " processors in use";
+      os << "capacity exceeded at time " << acq.at << ": " << in_use
+         << " of " << procs << " processors in use";
       return os.str();
     }
   }
-  if (in_use != 0) return "internal error: unbalanced capacity events";
 
   // 6. Per-processor disjointness: a processor never runs two tasks at once.
   if (options.check_processor_sets) {
@@ -154,7 +173,8 @@ std::optional<std::string> validate_schedule(const TaskGraph& graph,
                   return a.start < b.start;
                 });
       for (std::size_t k = 1; k < intervals.size(); ++k) {
-        if (intervals[k].start < intervals[k - 1].finish) {
+        if (intervals[k].start <
+            intervals[k - 1].finish - options.time_tolerance) {
           std::ostringstream os;
           os << "processor " << proc << " runs "
              << task_label(graph, intervals[k - 1].id) << " and "

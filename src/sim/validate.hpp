@@ -20,9 +20,23 @@ struct ValidationOptions {
   /// When false, skip the per-processor-index disjointness check (used for
   /// schedules that track only counts, not concrete indices).
   bool check_processor_sets = true;
-  /// Absolute tolerance for duration comparison (0 = exact). Kept at 0 in
-  /// this repository; exposed for instances with inexact arithmetic.
-  Time duration_tolerance = 0.0;
+  /// One absolute epsilon policy for every *time* comparison the validator
+  /// makes (0 = exact, the default throughout this repository; exposed for
+  /// schedules built with inexact arithmetic):
+  ///   * durations:   |finish - (start + work)| <= tolerance,
+  ///   * precedence:  start >= pred finish - tolerance (a tie at a
+  ///                  predecessor's finish time is always feasible),
+  ///   * capacity:    a release within `tolerance` of an acquisition is
+  ///                  ordered before it (the handoff is feasible after
+  ///                  shifting times by at most the tolerance),
+  ///   * disjointness: per-processor intervals may overlap by <= tolerance.
+  /// Processor *counts* are never slackened: the instantaneous-capacity sum
+  /// is compared exactly against P. For width-carrying (counting-mode)
+  /// entries the capacity sweep also ignores the time tolerance entirely —
+  /// with disjointness unverifiable, the exact sweep over exact engine
+  /// event times is the only capacity evidence, so Σ p_i <= P is enforced
+  /// at every width boundary with no slack of any kind.
+  Time time_tolerance = 0.0;
 };
 
 /// Returns std::nullopt if `schedule` is a feasible schedule of `graph` on

@@ -11,7 +11,11 @@ namespace catbatch {
 namespace {
 
 std::string format_double(double v) {
-  if (!std::isfinite(v)) return "null";
+  // Tagged sentinels instead of null: a strict numeric parse-back trips
+  // over the string where it expects a number, so a non-finite metric
+  // fails loudly instead of being silently folded into aggregates.
+  if (std::isnan(v)) return "\"NaN\"";
+  if (std::isinf(v)) return v > 0 ? "\"Infinity\"" : "\"-Infinity\"";
   char buffer[32];
   const auto [ptr, ec] =
       std::to_chars(buffer, buffer + sizeof(buffer), v);

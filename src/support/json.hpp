@@ -2,8 +2,11 @@
 // and shortest round-trip double formatting. Shared by the bench report
 // layer (analysis/json_report.hpp) and the observability exporters
 // (obs/chrome_trace.hpp, obs/metrics_export.hpp). The dialect is
-// deliberately tiny: objects, arrays, strings, bools and finite doubles
-// (non-finite values render as null).
+// deliberately tiny: objects, arrays, strings, bools and finite doubles.
+// Non-finite doubles render as the tagged string sentinels "NaN",
+// "Infinity" and "-Infinity" — never null — so strict numeric parse-back
+// rejects a corrupted metric instead of silently folding it into
+// aggregates.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +28,7 @@ class JsonWriter {
   JsonWriter& key(const std::string& name);
   JsonWriter& value(const std::string& v);
   JsonWriter& value(const char* v);
-  JsonWriter& value(double v);  // non-finite -> null
+  JsonWriter& value(double v);  // non-finite -> "NaN"/"Infinity"/"-Infinity"
   JsonWriter& value(std::uint64_t v);
   JsonWriter& value(int v);
   JsonWriter& value(bool v);

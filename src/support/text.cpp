@@ -1,9 +1,24 @@
 #include "support/text.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
 namespace catbatch {
+
+std::optional<std::int64_t> parse_integer(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  if (*first == '+') {  // from_chars accepts '-' but not '+'
+    ++first;
+    if (first == last || *first < '0' || *first > '9') return std::nullopt;
+  }
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
 
 std::string format_number(double value, int precision) {
   if (std::isnan(value)) return "nan";
@@ -15,7 +30,10 @@ std::string format_number(double value, int precision) {
     while (!s.empty() && s.back() == '0') s.pop_back();
     if (!s.empty() && s.back() == '.') s.pop_back();
   }
-  if (s == "-0") s = "0";
+  // Constructing the result instead of assigning through operator=(const
+  // char*) sidesteps a GCC 12 -Wrestrict false positive that breaks
+  // -fsanitize=undefined builds under -Werror.
+  if (s == "-0") return "0";
   return s;
 }
 

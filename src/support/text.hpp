@@ -1,10 +1,20 @@
 // Small text-formatting helpers shared by traces, tables and benches.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace catbatch {
+
+/// Strict whole-string integer parse: an optional sign followed by digits
+/// only — no leading/trailing whitespace or junk, no empty input, and no
+/// silent overflow. The single parsing policy behind every numeric CLI
+/// flag (sched_cli, catbatch_fuzz), so `--trials 0x10` or `--jobs banana`
+/// fail loudly at the flag instead of reaching the engine.
+[[nodiscard]] std::optional<std::int64_t> parse_integer(std::string_view s);
 
 /// Formats a double compactly: trailing zeros trimmed, at most `precision`
 /// digits after the decimal point ("6.8", "15.2", "2", "0.05").

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "analysis/experiment.hpp"
 #include "analysis/json_report.hpp"
@@ -181,9 +182,42 @@ TEST(JsonReport, QuotesAndEscapes) {
   w.begin_object();
   w.key("x").value(1.5);
   w.key("nan").value(std::nan(""));
+  w.key("inf").value(std::numeric_limits<double>::infinity());
+  w.key("ninf").value(-std::numeric_limits<double>::infinity());
   w.key("list").begin_array().value(1).value(true).end_array();
   w.end_object();
-  EXPECT_EQ(w.str(), "{\"x\":1.5,\"nan\":null,\"list\":[1,true]}");
+  // Non-finite doubles must surface as tagged sentinels, never as null:
+  // null parses back as "no value" and silently corrupts aggregates.
+  EXPECT_EQ(w.str(),
+            "{\"x\":1.5,\"nan\":\"NaN\",\"inf\":\"Infinity\","
+            "\"ninf\":\"-Infinity\",\"list\":[1,true]}");
+}
+
+TEST(JsonReport, BenchReportNeverContainsNull) {
+  // Round-trip guard for BENCH_*.json consumers: where a number is
+  // required, a null token must be a hard error. The writer therefore may
+  // not emit `null` at all — a non-finite metric becomes a tagged string
+  // sentinel that a strict numeric parse rejects loudly.
+  const auto families = standard_families(16, 4);
+  const auto lineup = standard_scheduler_lineup();
+  SweepOptions options;
+  options.procs = 4;
+  options.trials = 2;
+  options.base_seed = 5;
+  options.jobs = 2;
+  options.keep_runs = true;
+  const auto grid = sweep_grid(
+      std::span<const InstanceFamily>(families.data(), 2), lineup, options);
+
+  // A healthy report has no non-finite values in the first place...
+  const std::string json = sweep_report_json("unit_test", options, grid, 1.0);
+  EXPECT_EQ(json.find("null"), std::string::npos);
+
+  // ...and even a poisoned wall-clock renders as a sentinel, not null.
+  const std::string poisoned = sweep_report_json(
+      "unit_test", options, grid, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(poisoned.find("null"), std::string::npos);
+  EXPECT_NE(poisoned.find("\"NaN\""), std::string::npos);
 }
 
 TEST(StandardFamily, LooksUpByLabelAndThrowsOnUnknown) {

@@ -1,0 +1,93 @@
+// Corpus format round-trip and the checked-in regression corpus itself.
+// CATBATCH_CORPUS_DIR is injected by tests/CMakeLists.txt and points at
+// tests/corpus in the source tree.
+#include "qa/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+CorpusCase sample_case() {
+  CorpusCase c;
+  c.oracle = "feasibility";
+  c.scheduler = "catbatch";
+  c.seed = 77;
+  c.note = "sample \"quoted\" note";
+  c.instance.procs = 3;
+  const TaskId a = c.instance.graph.add_task(0.6, 1, "a");
+  const TaskId b = c.instance.graph.add_task(1.25, 2, "b \"x\"");
+  c.instance.graph.add_edge(a, b);
+  c.instance.origin = c.note;
+  return c;
+}
+
+TEST(Corpus, RoundTripIsBitIdentical) {
+  const CorpusCase original = sample_case();
+  const std::string once = corpus_to_json(original);
+  const CorpusCase parsed = corpus_from_json(once);
+  EXPECT_EQ(corpus_to_json(parsed), once);
+
+  EXPECT_EQ(parsed.schema, 1);
+  EXPECT_EQ(parsed.oracle, original.oracle);
+  EXPECT_EQ(parsed.scheduler, original.scheduler);
+  EXPECT_EQ(parsed.seed, original.seed);
+  EXPECT_EQ(parsed.note, original.note);
+  EXPECT_EQ(parsed.instance.procs, original.instance.procs);
+  ASSERT_EQ(parsed.instance.graph.size(), original.instance.graph.size());
+  for (TaskId id = 0; id < parsed.instance.graph.size(); ++id) {
+    EXPECT_EQ(parsed.instance.graph.task(id), original.instance.graph.task(id));
+  }
+  EXPECT_EQ(parsed.instance.graph.edge_count(),
+            original.instance.graph.edge_count());
+}
+
+TEST(Corpus, FileNameIsDeterministic) {
+  const CorpusCase c = sample_case();
+  const std::string name = corpus_file_name(c);
+  EXPECT_EQ(name, corpus_file_name(c));
+  EXPECT_NE(name.find("feasibility-catbatch-"), std::string::npos);
+  EXPECT_EQ(name.substr(name.size() - 5), ".json");
+}
+
+TEST(Corpus, MalformedInputRejected) {
+  EXPECT_THROW((void)corpus_from_json("{"), ContractViolation);
+  EXPECT_THROW((void)corpus_from_json("{\"schema\": 1}"), ContractViolation);
+  EXPECT_THROW((void)corpus_from_json("{\"wat\": 1}"), ContractViolation);
+  EXPECT_THROW((void)corpus_from_json(
+                   "{\"schema\": 2, \"instance\": {\"tasks\": [], "
+                   "\"edges\": []}}"),
+               ContractViolation);
+}
+
+TEST(Corpus, CheckedInCorpusRoundTripsBitIdentically) {
+  const auto cases = load_corpus(CATBATCH_CORPUS_DIR);
+  ASSERT_FALSE(cases.empty()) << "tests/corpus should hold the satellite "
+                                 "repros";
+  for (const auto& [file, corpus_case] : cases) {
+    std::ifstream in(std::string(CATBATCH_CORPUS_DIR) + "/" + file);
+    ASSERT_TRUE(in.good()) << file;
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    EXPECT_EQ(corpus_to_json(corpus_case), raw.str())
+        << file << " does not re-emit byte-for-byte";
+  }
+}
+
+TEST(Corpus, CheckedInCorpusReplaysClean) {
+  for (const auto& [file, corpus_case] : load_corpus(CATBATCH_CORPUS_DIR)) {
+    const auto failures = replay_case(corpus_case);
+    for (const OracleFailure& f : failures) {
+      ADD_FAILURE() << file << ": [" << f.oracle << "] " << f.scheduler
+                    << ": " << f.detail;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,52 @@
+#include "qa/fuzzer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace catbatch {
+namespace {
+
+FuzzOptions small_options() {
+  FuzzOptions options;
+  options.seed = 11;
+  options.iterations = 60;
+  options.generator.max_tasks = 16;
+  options.generator.max_procs = 6;
+  return options;
+}
+
+TEST(Fuzzer, SmokeRunIsClean) {
+  const FuzzReport report = run_fuzzer(small_options());
+  EXPECT_EQ(report.iterations_run, 60u);
+  for (const FuzzFinding& finding : report.findings) {
+    ADD_FAILURE() << describe_finding(finding);
+  }
+  EXPECT_TRUE(report.clean());
+  EXPECT_NE(report.instance_fingerprint, 0u);
+}
+
+TEST(Fuzzer, ReportIsJobsInvariant) {
+  FuzzOptions serial = small_options();
+  serial.jobs = 1;
+  FuzzOptions parallel = small_options();
+  parallel.jobs = 7;
+  const FuzzReport a = run_fuzzer(serial);
+  const FuzzReport b = run_fuzzer(parallel);
+  EXPECT_EQ(a.instance_fingerprint, b.instance_fingerprint);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+  EXPECT_EQ(a.findings.size(), b.findings.size());
+}
+
+TEST(Fuzzer, FingerprintTracksSeedAndIterations) {
+  const FuzzReport base = run_fuzzer(small_options());
+  FuzzOptions reseeded = small_options();
+  reseeded.seed = 12;
+  EXPECT_NE(run_fuzzer(reseeded).instance_fingerprint,
+            base.instance_fingerprint);
+  FuzzOptions shorter = small_options();
+  shorter.iterations = 59;
+  EXPECT_NE(run_fuzzer(shorter).instance_fingerprint,
+            base.instance_fingerprint);
+}
+
+}  // namespace
+}  // namespace catbatch

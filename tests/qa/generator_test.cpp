@@ -1,0 +1,92 @@
+#include "qa/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace catbatch {
+namespace {
+
+TEST(Generator, ManySeedsProduceValidInstances) {
+  GeneratorOptions options;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    const FuzzInstance instance = generate_instance(rng, options);
+    EXPECT_FALSE(instance.graph.empty()) << "seed " << seed;
+    EXPECT_FALSE(instance.origin.empty()) << "seed " << seed;
+    EXPECT_GE(instance.procs, instance.graph.max_procs_required())
+        << "seed " << seed;
+    EXPECT_NO_THROW(instance.graph.validate(instance.procs))
+        << "seed " << seed;
+  }
+}
+
+TEST(Generator, RespectsSizeCaps) {
+  GeneratorOptions options;
+  options.max_tasks = 12;
+  options.max_procs = 4;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    Rng rng(seed);
+    const FuzzInstance instance = generate_instance(rng, options);
+    // Structured families (workloads, adversaries) may exceed the soft task
+    // cap slightly, but the platform cap binds unless a task forces more.
+    EXPECT_LE(instance.procs,
+              std::max(options.max_procs,
+                       instance.graph.max_procs_required()))
+        << "seed " << seed;
+  }
+}
+
+TEST(Generator, DrawsFromEveryFamilyGroup) {
+  GeneratorOptions options;
+  std::set<std::string> origins;
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    Rng rng(seed);
+    origins.insert(generate_instance(rng, options).origin);
+  }
+  // At least one representative of each group over 400 seeds.
+  auto any_with_prefix = [&](const std::string& prefix) {
+    for (const std::string& origin : origins) {
+      if (origin.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(any_with_prefix("layered") || any_with_prefix("order") ||
+              any_with_prefix("series-parallel"));
+  EXPECT_TRUE(any_with_prefix("cholesky") || any_with_prefix("lu") ||
+              any_with_prefix("stencil") || any_with_prefix("fft") ||
+              any_with_prefix("map-reduce") || any_with_prefix("montage"));
+  EXPECT_TRUE(any_with_prefix("adversary-"));
+  EXPECT_TRUE(any_with_prefix("degenerate-"));
+}
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorOptions options;
+  Rng a(42), b(42);
+  const FuzzInstance x = generate_instance(a, options);
+  const FuzzInstance y = generate_instance(b, options);
+  EXPECT_EQ(instance_hash(x), instance_hash(y));
+  EXPECT_EQ(x.origin, y.origin);
+}
+
+TEST(Generator, MixSeedDecorrelates) {
+  EXPECT_NE(mix_seed(1, 0), mix_seed(1, 1));
+  EXPECT_NE(mix_seed(1, 0), mix_seed(2, 0));
+  EXPECT_EQ(mix_seed(7, 3), mix_seed(7, 3));
+}
+
+TEST(Generator, InstanceHashSeesEveryField) {
+  FuzzInstance a;
+  a.procs = 4;
+  (void)a.graph.add_task(1.0, 2, "t");
+  FuzzInstance b = a;
+  EXPECT_EQ(instance_hash(a), instance_hash(b));
+  b.graph.task(0).work = 2.0;
+  EXPECT_NE(instance_hash(a), instance_hash(b));
+  FuzzInstance c = a;
+  c.procs = 5;
+  EXPECT_NE(instance_hash(a), instance_hash(c));
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,95 @@
+#include "qa/mutator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace catbatch {
+namespace {
+
+TEST(Mutator, MutationsPreserveWellFormedness) {
+  GeneratorOptions options;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    Rng rng(seed);
+    FuzzInstance instance = generate_instance(rng, options);
+    for (int m = 0; m < 5; ++m) {
+      mutate_instance(rng, instance, options);
+      ASSERT_FALSE(instance.graph.empty()) << "seed " << seed;
+      ASSERT_NO_THROW(instance.graph.validate(instance.procs))
+          << "seed " << seed << " after mutation " << m << " ("
+          << instance.origin << ")";
+    }
+  }
+}
+
+TEST(Mutator, RecordsLineage) {
+  GeneratorOptions options;
+  Rng rng(3);
+  FuzzInstance instance = generate_instance(rng, options);
+  const std::string before = instance.origin;
+  // Mutations on a multi-task instance almost always apply; allow the rare
+  // all-declined case but require lineage growth when anything applied.
+  for (int m = 0; m < 10; ++m) mutate_instance(rng, instance, options);
+  EXPECT_GE(instance.origin.size(), before.size());
+}
+
+TEST(InducedSubgraph, RenumbersAndKeepsInnerEdges) {
+  TaskGraph g;
+  const TaskId a = g.add_task(1.0, 1, "a");
+  const TaskId b = g.add_task(2.0, 2, "b");
+  const TaskId c = g.add_task(3.0, 1, "c");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(a, c);
+
+  const TaskGraph sub = induced_subgraph(g, {a, c});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.task(0).name, "a");
+  EXPECT_EQ(sub.task(1).name, "c");
+  EXPECT_EQ(sub.task(1).work, 3.0);
+  // a->c survives; edges through the dropped b vanish.
+  ASSERT_EQ(sub.edge_count(), 1u);
+  EXPECT_EQ(sub.successors(0).size(), 1u);
+  EXPECT_EQ(sub.successors(0)[0], 1u);
+}
+
+TEST(InducedSubgraph, KeepOrderIsIrrelevant) {
+  TaskGraph g;
+  const TaskId a = g.add_task(1.0, 1, "a");
+  const TaskId b = g.add_task(2.0, 1, "b");
+  g.add_edge(a, b);
+  const TaskGraph sub = induced_subgraph(g, {b, a});  // unsorted keep set
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.task(0).name, "a");  // renumbered by ascending old id
+  EXPECT_EQ(sub.edge_count(), 1u);
+}
+
+TEST(WithoutEdge, RemovesExactlyOne) {
+  TaskGraph g;
+  const TaskId a = g.add_task(1.0, 1, "a");
+  const TaskId b = g.add_task(1.0, 1, "b");
+  const TaskId c = g.add_task(1.0, 1, "c");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  const TaskGraph cut = without_edge(g, a, b);
+  EXPECT_EQ(cut.size(), 3u);
+  EXPECT_EQ(cut.edge_count(), 1u);
+  EXPECT_TRUE(cut.predecessors(b).empty());
+  EXPECT_EQ(cut.predecessors(c).size(), 1u);
+}
+
+TEST(AllEdges, SortedPairs) {
+  TaskGraph g;
+  const TaskId a = g.add_task(1.0, 1, "a");
+  const TaskId b = g.add_task(1.0, 1, "b");
+  const TaskId c = g.add_task(1.0, 1, "c");
+  g.add_edge(b, c);
+  g.add_edge(a, c);
+  g.add_edge(a, b);
+  const auto edges = all_edges(g);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(a, b));
+  EXPECT_EQ(edges[1], std::make_pair(a, c));
+  EXPECT_EQ(edges[2], std::make_pair(b, c));
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,139 @@
+// The oracle battery must (a) stay silent on every registered scheduler —
+// the negative space every fuzz iteration relies on — and (b) actually
+// fire when handed a scheduler that breaks an invariant. The broken
+// schedulers below are deliberately minimal protocol violators.
+#include "qa/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "instances/workloads.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace catbatch {
+namespace {
+
+FuzzInstance small_instance() {
+  FuzzInstance instance;
+  instance.graph = cholesky_dag(3);
+  instance.procs = 6;
+  instance.origin = "cholesky-3";
+  return instance;
+}
+
+TEST(Oracles, WholeRegistryCleanOnStructuredInstance) {
+  const auto failures = check_all_schedulers(small_instance());
+  for (const OracleFailure& f : failures) {
+    ADD_FAILURE() << "[" << f.oracle << "] " << f.scheduler << ": "
+                  << f.detail;
+  }
+}
+
+TEST(Oracles, WholeRegistryCleanOnIndependentInstance) {
+  FuzzInstance instance;
+  for (int i = 0; i < 6; ++i) {
+    (void)instance.graph.add_task(1.0 + i, 1 + i % 3);
+  }
+  instance.procs = 4;
+  instance.origin = "independent";
+  // No edges: the shelf packers participate too.
+  const auto failures = check_all_schedulers(instance);
+  for (const OracleFailure& f : failures) {
+    ADD_FAILURE() << "[" << f.oracle << "] " << f.scheduler << ": "
+                  << f.detail;
+  }
+}
+
+/// Never starts anything: the engine must flag the deadlock and the
+/// battery must surface it as an engine-contract failure.
+class StallingScheduler final : public OnlineScheduler {
+ public:
+  std::string name() const override { return "stall"; }
+  void reset() override {}
+  void task_ready(const ReadyTask&, Time) override {}
+  void select(Time, int, std::vector<TaskId>&) override {}
+};
+
+TEST(Oracles, DeadlockSurfacesAsEngineContract) {
+  SchedulerEntry entry;
+  entry.name = "stall";
+  entry.kind = SchedulerKind::Online;
+  entry.make = [](const TaskGraph*) -> std::unique_ptr<OnlineScheduler> {
+    return std::make_unique<StallingScheduler>();
+  };
+  const auto failures = check_scheduler(small_instance(), entry);
+  ASSERT_FALSE(failures.empty());
+  EXPECT_EQ(failures.front().oracle, "engine-contract");
+  EXPECT_EQ(failures.front().scheduler, "stall");
+}
+
+/// FIFO on the first construction, LIFO afterwards — a scheduler whose
+/// behavior depends on process history. The determinism oracle (and the
+/// counting/source-parity reruns) must notice.
+class FlipFlopScheduler final : public OnlineScheduler {
+ public:
+  explicit FlipFlopScheduler(bool reverse) : reverse_(reverse) {}
+  std::string name() const override { return "flipflop"; }
+  void reset() override { ready_.clear(); }
+  void task_ready(const ReadyTask& task, Time) override {
+    ready_.push_back({task.id, task.procs});
+  }
+  void task_finished(TaskId, Time) override {}
+  void select(Time, int available, std::vector<TaskId>& picks) override {
+    auto scan = [&](auto begin, auto end) {
+      for (auto it = begin; it != end; ++it) {
+        if (it->procs <= available) {
+          picks.push_back(it->id);
+          available -= it->procs;
+          it->procs = -1;  // consumed
+        }
+      }
+    };
+    if (reverse_) {
+      scan(ready_.rbegin(), ready_.rend());
+    } else {
+      scan(ready_.begin(), ready_.end());
+    }
+    std::erase_if(ready_, [](const Entry& e) { return e.procs < 0; });
+  }
+
+ private:
+  struct Entry {
+    TaskId id;
+    int procs;
+  };
+  std::vector<Entry> ready_;
+  bool reverse_;
+};
+
+TEST(Oracles, NondeterministicSchedulerCaught) {
+  int constructions = 0;
+  SchedulerEntry entry;
+  entry.name = "flipflop";
+  entry.kind = SchedulerKind::Online;
+  entry.make = [&](const TaskGraph*) -> std::unique_ptr<OnlineScheduler> {
+    return std::make_unique<FlipFlopScheduler>(constructions++ > 0);
+  };
+  // A wide independent set gives order-sensitive packing decisions.
+  FuzzInstance instance;
+  for (int i = 0; i < 8; ++i) {
+    (void)instance.graph.add_task(1.0 + i, 1 + i % 4);
+  }
+  instance.procs = 4;
+  const auto failures = check_scheduler(instance, entry);
+  bool caught = false;
+  for (const OracleFailure& f : failures) {
+    caught |= f.oracle == "determinism" || f.oracle == "counting" ||
+              f.oracle == "source-parity";
+  }
+  EXPECT_TRUE(caught) << "reruns with different behavior went unnoticed";
+}
+
+TEST(Oracles, EmptyGraphIsTriviallyClean) {
+  FuzzInstance instance;
+  instance.procs = 2;
+  instance.origin = "empty";
+  EXPECT_TRUE(check_all_schedulers(instance).empty());
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,107 @@
+#include "qa/shrinker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "instances/random_dags.hpp"
+#include "qa/mutator.hpp"
+
+namespace catbatch {
+namespace {
+
+FuzzInstance layered_instance(std::uint64_t seed, std::size_t tasks) {
+  Rng rng(seed);
+  FuzzInstance instance;
+  instance.graph = random_layered_dag(rng, tasks, 5, RandomTaskParams{});
+  instance.procs = 8;
+  instance.origin = "layered";
+  return instance;
+}
+
+TEST(Shrinker, ReducesToSingleWideTask) {
+  // Failure: "contains a task at least 4 wide". The unique minimal repro
+  // is one such task and nothing else.
+  FuzzInstance start = layered_instance(1, 40);
+  start.graph.task(17).procs = 4;
+  const auto still_fails = [](const FuzzInstance& candidate) {
+    for (TaskId id = 0; id < candidate.graph.size(); ++id) {
+      if (candidate.graph.task(id).procs >= 4) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(still_fails(start));
+  const ShrinkResult result = shrink_instance(start, still_fails);
+  EXPECT_TRUE(result.minimal);
+  EXPECT_TRUE(still_fails(result.instance));
+  EXPECT_EQ(result.instance.graph.size(), 1u);
+  EXPECT_EQ(result.instance.graph.edge_count(), 0u);
+  EXPECT_GE(result.instance.graph.task(0).procs, 4);
+}
+
+TEST(Shrinker, ReducesToSingleEdge) {
+  // Failure: "has at least one precedence edge" — minimal repro is two
+  // tasks joined by one edge.
+  const FuzzInstance start = layered_instance(2, 30);
+  const auto still_fails = [](const FuzzInstance& candidate) {
+    return candidate.graph.edge_count() >= 1;
+  };
+  ASSERT_TRUE(still_fails(start));
+  const ShrinkResult result = shrink_instance(start, still_fails);
+  EXPECT_TRUE(result.minimal);
+  EXPECT_EQ(result.instance.graph.size(), 2u);
+  EXPECT_EQ(result.instance.graph.edge_count(), 1u);
+}
+
+TEST(Shrinker, OneMinimality) {
+  // Whatever the shrinker returns for a thresholded predicate, deleting
+  // any single remaining task must break the predicate.
+  const FuzzInstance start = layered_instance(3, 35);
+  const auto still_fails = [](const FuzzInstance& candidate) {
+    return candidate.graph.size() >= 7;  // needs at least 7 tasks
+  };
+  const ShrinkResult result = shrink_instance(start, still_fails);
+  EXPECT_TRUE(result.minimal);
+  EXPECT_EQ(result.instance.graph.size(), 7u);
+  for (TaskId victim = 0; victim < result.instance.graph.size(); ++victim) {
+    std::vector<TaskId> keep;
+    for (TaskId id = 0; id < result.instance.graph.size(); ++id) {
+      if (id != victim) keep.push_back(id);
+    }
+    FuzzInstance smaller;
+    smaller.graph = induced_subgraph(result.instance.graph, keep);
+    smaller.procs = result.instance.procs;
+    EXPECT_FALSE(still_fails(smaller));
+  }
+}
+
+TEST(Shrinker, RespectsCheckBudget) {
+  const FuzzInstance start = layered_instance(4, 40);
+  const auto still_fails = [](const FuzzInstance& candidate) {
+    return !candidate.graph.empty();
+  };
+  ShrinkOptions options;
+  options.max_checks = 5;
+  const ShrinkResult result = shrink_instance(start, still_fails, options);
+  EXPECT_LE(result.checks, 5u);
+  EXPECT_TRUE(still_fails(result.instance));
+}
+
+TEST(Shrinker, NeverReturnsEmpty) {
+  FuzzInstance start;
+  start.graph.add_task(1.0, 1, "only");
+  start.procs = 1;
+  const auto still_fails = [](const FuzzInstance&) { return true; };
+  const ShrinkResult result = shrink_instance(start, still_fails);
+  EXPECT_EQ(result.instance.graph.size(), 1u);
+}
+
+TEST(Shrinker, TagsLineage) {
+  FuzzInstance start = layered_instance(5, 20);
+  const auto still_fails = [](const FuzzInstance& candidate) {
+    return !candidate.graph.empty();
+  };
+  const ShrinkResult result = shrink_instance(start, still_fails);
+  EXPECT_NE(result.instance.origin.find("+shrunk"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace catbatch

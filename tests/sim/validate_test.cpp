@@ -60,7 +60,7 @@ TEST(Validate, DurationToleranceOptionAllowsSlack) {
   s.add(0, 0.0, 2.0000001, {0});
   s.add(1, 3.0, 4.0, {0, 1});
   ValidationOptions options;
-  options.duration_tolerance = 1e-6;
+  options.time_tolerance = 1e-6;
   EXPECT_EQ(validate_schedule(simple_graph(), s, 2, options), std::nullopt);
 }
 
@@ -139,6 +139,109 @@ TEST(Validate, ProcessorSetCheckCanBeDisabled) {
   ValidationOptions options;
   options.check_processor_sets = false;
   EXPECT_EQ(validate_schedule(g, s, 4, options), std::nullopt);
+}
+
+TEST(Validate, PrecedenceTieAtPredecessorFinishIsFeasibleAtAnyTolerance) {
+  // Regression for the one-epsilon policy: an exact tie at a predecessor's
+  // finish time must be accepted both exactly and under a tolerance (it
+  // used to depend on which check happened to see the tie first).
+  TaskGraph g;
+  g.add_task(0.6, 1, "pred");  // 0.6 is not a binary fraction
+  g.add_task(0.6, 1, "succ");
+  g.add_edge(0, 1);
+  Schedule s;
+  s.add(0, 0.0, 0.6, {0});
+  s.add(1, 0.6, 0.6 + 0.6, {0});
+  EXPECT_EQ(validate_schedule(g, s, 1), std::nullopt);
+  ValidationOptions tolerant;
+  tolerant.time_tolerance = 1e-9;
+  EXPECT_EQ(validate_schedule(g, s, 1, tolerant), std::nullopt);
+}
+
+TEST(Validate, ToleranceCoversPrecedenceAndCapacityAlike) {
+  // A successor nudged half a tolerance before its predecessor's finish —
+  // on the same processors — is feasible up to the documented tolerance.
+  // The pre-fix validator accepted the duration slack but rejected the
+  // same slack at the precedence and capacity checks.
+  constexpr Time tol = 1e-6;
+  TaskGraph g;
+  g.add_task(1.0, 2, "pred");
+  g.add_task(1.0, 2, "succ");
+  g.add_edge(0, 1);
+  Schedule s;
+  s.add(0, 0.0, 1.0, {0, 1});
+  s.add(1, 1.0 - tol / 2, 2.0 - tol / 2, {0, 1});
+  ValidationOptions tolerant;
+  tolerant.time_tolerance = tol;
+  EXPECT_EQ(validate_schedule(g, s, 2, tolerant), std::nullopt);
+  // Exact validation still rejects it (precedence, capacity and
+  // disjointness all fire; precedence is reported first).
+  const auto exact_error = validate_schedule(g, s, 2);
+  ASSERT_TRUE(exact_error.has_value());
+  EXPECT_NE(exact_error->find("predecessor"), std::string::npos);
+}
+
+TEST(Validate, BeyondToleranceStillRejected) {
+  constexpr Time tol = 1e-6;
+  TaskGraph g;
+  g.add_task(1.0, 1, "pred");
+  g.add_task(1.0, 1, "succ");
+  g.add_edge(0, 1);
+  Schedule s;
+  s.add(0, 0.0, 1.0, {0});
+  s.add(1, 1.0 - 4 * tol, 2.0 - 4 * tol, {0});
+  ValidationOptions tolerant;
+  tolerant.time_tolerance = tol;
+  const auto error = validate_schedule(g, s, 1, tolerant);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("predecessor"), std::string::npos);
+}
+
+TEST(Validate, CountingOverCapacityCaught) {
+  // Width-carrying entries: disjointness is unverifiable, so the capacity
+  // sweep must still enforce Σ p_i <= P at every width boundary.
+  TaskGraph g;
+  g.add_task(2.0, 3, "a");
+  g.add_task(2.0, 3, "b");
+  Schedule s;
+  s.add_counted(0, 0.0, 2.0, 3);
+  s.add_counted(1, 1.0, 3.0, 3);
+  ValidationOptions counting;
+  counting.check_processor_sets = false;
+  const auto error = validate_schedule(g, s, 4, counting);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("capacity"), std::string::npos);
+}
+
+TEST(Validate, CountingCapacityIgnoresTimeTolerance) {
+  // A sub-tolerance over-capacity window is forgiven for identity entries
+  // (the handoff is feasible after shifting times by <= tolerance) but
+  // NEVER for counting entries: the engine emits exact event times and the
+  // exact sweep is the only capacity evidence counting mode has.
+  constexpr Time tol = 1e-6;
+  TaskGraph g;
+  g.add_task(1.0, 3, "a");
+  g.add_task(1.0, 3, "b");
+  ValidationOptions tolerant_counting;
+  tolerant_counting.check_processor_sets = false;
+  tolerant_counting.time_tolerance = tol;
+
+  Schedule counted;
+  counted.add_counted(0, 0.0, 1.0, 3);
+  counted.add_counted(1, 1.0 - tol / 2, 2.0 - tol / 2, 3);
+  const auto error =
+      validate_schedule(g, counted, 4, tolerant_counting);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("capacity"), std::string::npos);
+
+  // The identical timing with concrete identities on a handoff is the
+  // feasible-up-to-tolerance case the policy exists for.
+  Schedule identity;
+  identity.add(0, 0.0, 1.0, {0, 1, 2});
+  identity.add(1, 1.0 - tol / 2, 2.0 - tol / 2, {0, 1, 2});
+  ValidationOptions tolerant;
+  tolerant.time_tolerance = tol;
+  EXPECT_EQ(validate_schedule(g, identity, 4, tolerant), std::nullopt);
 }
 
 TEST(Validate, RequireValidThrowsWithMessage) {

@@ -88,7 +88,7 @@ TEST(ValidatorMutation, EarlyStartBeforePredecessorCaught) {
   });
   ValidationOptions tolerant;
   tolerant.check_processor_sets = false;  // isolate the precedence check
-  tolerant.duration_tolerance = 1e-9;
+  tolerant.time_tolerance = 1e-9;
   const auto error = validate_schedule(f.graph, bad, f.procs, tolerant);
   ASSERT_TRUE(error.has_value());
 }

@@ -49,5 +49,28 @@ TEST(Repeated, BuildsRuns) {
   EXPECT_EQ(repeated('x', 0), "");
 }
 
+TEST(ParseInteger, AcceptsWholeStringIntegersOnly) {
+  EXPECT_EQ(parse_integer("0"), 0);
+  EXPECT_EQ(parse_integer("42"), 42);
+  EXPECT_EQ(parse_integer("-17"), -17);
+  EXPECT_EQ(parse_integer("+9"), 9);
+  EXPECT_EQ(parse_integer("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(ParseInteger, RejectsJunkWhitespaceAndOverflow) {
+  EXPECT_EQ(parse_integer(""), std::nullopt);
+  EXPECT_EQ(parse_integer(" 1"), std::nullopt);
+  EXPECT_EQ(parse_integer("1 "), std::nullopt);
+  EXPECT_EQ(parse_integer("12x"), std::nullopt);
+  EXPECT_EQ(parse_integer("x12"), std::nullopt);
+  EXPECT_EQ(parse_integer("1.5"), std::nullopt);
+  EXPECT_EQ(parse_integer("0x10"), std::nullopt);
+  EXPECT_EQ(parse_integer("+"), std::nullopt);
+  EXPECT_EQ(parse_integer("-"), std::nullopt);
+  EXPECT_EQ(parse_integer("+-5"), std::nullopt);
+  EXPECT_EQ(parse_integer("9223372036854775808"), std::nullopt);  // overflow
+}
+
 }  // namespace
 }  // namespace catbatch

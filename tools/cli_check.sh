@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# cli_check.sh — strict numeric-flag validation contract for the CLIs.
+#
+# Registered as the `catbatch_cli_check` ctest target. Both binaries parse
+# numeric flags through support/text.hpp parse_integer: a zero count, a
+# negative thread count or a non-numeric value must produce a one-line
+# error on stderr and a nonzero exit — never an atoi zero silently reaching
+# the engine.
+#
+# Usage: cli_check.sh <path-to-sched_cli> <path-to-catbatch_fuzz>
+
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <path-to-sched_cli> <path-to-catbatch_fuzz>" >&2
+  exit 2
+fi
+
+sched_cli="$1"
+fuzz_cli="$2"
+fail=0
+
+err() {
+  echo "cli-check: $*" >&2
+  fail=1
+}
+
+# expect_reject <label> <binary> <args...>: the command must exit nonzero
+# and print exactly one line mentioning the offending flag on stderr.
+expect_reject() {
+  local label="$1" bin="$2" flag="$3"
+  shift 2
+  local stderr_file
+  stderr_file="$(mktemp)"
+  if "$bin" "$@" >/dev/null 2>"$stderr_file"; then
+    err "$label: expected a nonzero exit"
+  fi
+  local lines
+  lines="$(wc -l <"$stderr_file")"
+  if [[ "$lines" -ne 1 ]]; then
+    err "$label: expected a one-line error, got $lines line(s)"
+  fi
+  if ! grep -qF -- "$flag" "$stderr_file"; then
+    err "$label: error does not mention '$flag'"
+  fi
+  rm -f "$stderr_file"
+}
+
+expect_reject "sched_cli --trials 0"    "$sched_cli" --trials  --demo --trials 0
+expect_reject "sched_cli --jobs -3"     "$sched_cli" --jobs    --demo --jobs -3
+expect_reject "sched_cli --tasks junk"  "$sched_cli" --tasks   --random layered --tasks banana
+expect_reject "sched_cli --procs 0"     "$sched_cli" --procs   --demo --procs 0
+
+expect_reject "catbatch_fuzz --iters 0"     "$fuzz_cli" --iters     --iters 0
+expect_reject "catbatch_fuzz --jobs -3"     "$fuzz_cli" --jobs      --jobs -3
+expect_reject "catbatch_fuzz --seed junk"   "$fuzz_cli" --seed      --seed banana
+expect_reject "catbatch_fuzz --max-tasks 0" "$fuzz_cli" --max-tasks --max-tasks 0
+
+# Sanity: valid invocations still succeed.
+if ! "$fuzz_cli" --iters 2 --quiet >/dev/null 2>&1; then
+  err "catbatch_fuzz --iters 2 should succeed"
+fi
+
+if [[ $fail -ne 0 ]]; then
+  echo "cli-check: FAILED" >&2
+  exit 1
+fi
+echo "cli-check: OK"

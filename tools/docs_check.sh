@@ -8,17 +8,21 @@
 #      observability flags it owns);
 #   2. every bench binary (bench/bench_*.cpp) appears in docs/BENCHMARKS.md.
 #
-# Usage: docs_check.sh <path-to-sched_cli> <repo-source-dir>
+# Usage: docs_check.sh <path-to-sched_cli> <repo-source-dir> [path-to-catbatch_fuzz]
+#
+# When a catbatch_fuzz binary is given, a third contract applies: every flag
+# in its --help must be documented in README.md and docs/FUZZING.md.
 
 set -euo pipefail
 
-if [[ $# -ne 2 ]]; then
-  echo "usage: $0 <path-to-sched_cli> <repo-source-dir>" >&2
+if [[ $# -lt 2 || $# -gt 3 ]]; then
+  echo "usage: $0 <path-to-sched_cli> <repo-source-dir> [path-to-catbatch_fuzz]" >&2
   exit 2
 fi
 
 sched_cli="$1"
 src="$2"
+fuzz_cli="${3:-}"
 fail=0
 
 err() {
@@ -57,7 +61,32 @@ for flag in --trace-out --metrics --metrics-json; do
   fi
 done
 
-# --- 2. bench binaries -----------------------------------------------------
+# --- 2. catbatch_fuzz flags ------------------------------------------------
+
+fuzz_flag_count=0
+if [[ -n "$fuzz_cli" ]]; then
+  [[ -x "$fuzz_cli" ]] || { echo "docs-check: not executable: $fuzz_cli" >&2; exit 2; }
+  [[ -f "$src/docs/FUZZING.md" ]] || { echo "docs-check: missing $src/docs/FUZZING.md" >&2; exit 2; }
+
+  fuzz_help="$("$fuzz_cli" --help)"
+  fuzz_flags="$(grep -oE '\-\-[a-z][a-z-]*' <<<"$fuzz_help" | sort -u)"
+
+  if [[ -z "$fuzz_flags" ]]; then
+    err "catbatch_fuzz --help printed no --flags at all"
+  fi
+
+  for flag in $fuzz_flags; do
+    if ! grep -qF -- "$flag" "$src/README.md"; then
+      err "catbatch_fuzz flag '$flag' is not documented in README.md"
+    fi
+    if ! grep -qF -- "$flag" "$src/docs/FUZZING.md"; then
+      err "catbatch_fuzz flag '$flag' is not documented in docs/FUZZING.md"
+    fi
+  done
+  fuzz_flag_count="$(wc -w <<<"$fuzz_flags")"
+fi
+
+# --- 3. bench binaries -----------------------------------------------------
 
 found_bench=0
 for bench_src in "$src"/bench/bench_*.cpp; do
@@ -74,4 +103,4 @@ if [[ $fail -ne 0 ]]; then
   echo "docs-check: FAILED" >&2
   exit 1
 fi
-echo "docs-check: OK ($(wc -w <<<"$flags") flags, $(ls "$src"/bench/bench_*.cpp | wc -l) bench binaries)"
+echo "docs-check: OK ($(wc -w <<<"$flags") sched_cli flags, $fuzz_flag_count catbatch_fuzz flags, $(ls "$src"/bench/bench_*.cpp | wc -l) bench binaries)"
