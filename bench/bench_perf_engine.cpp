@@ -1,24 +1,41 @@
 // Engine micro-benchmarks and the perf regression gate.
 //
 // Measures end-to-end simulate() throughput (tasks/sec and events/sec) in
-// counting mode on fixed random layered DAGs at n in {1k, 10k, 100k} for
-// CatBatch and FIFO list scheduling, then emits BENCH_perf.json. Two ctest
-// entry points (see bench/CMakeLists.txt):
+// counting mode on fixed random layered DAGs for CatBatch and FIFO list
+// scheduling, then emits BENCH_perf.json. Tiers: 1k/10k/100k run through
+// the classic TaskGraph path (GraphSource); 1M and 10M run through the
+// streaming SoA pipeline (build_soa_graph / huge_layered_soa + SoaSource),
+// which is the layout the scale work targets — the one-time SoA freeze is
+// reported separately as instance_build_seconds and excluded from the
+// simulate() timing. Tiers at or above 1M also measure *peak-RSS bytes per
+// task* over a dedicated simulate() run (obs/process_stats.hpp), the
+// layout-regression canary: a per-task string or AoS row creeping back in
+// moves bytes/task long before it moves tasks/sec.
 //
-//   --gate   compares the measured throughput against the checked-in
-//            baseline (bench/perf_baseline.txt) and exits non-zero when any
-//            measurement falls below CATBATCH_PERF_GATE_FACTOR (default
-//            0.5) times the recorded post-rewrite value. The generous
-//            factor absorbs machine-to-machine and load variance while
-//            still catching order-of-magnitude regressions such as an
-//            accidental O(n) step per event.
-//   --smoke  runs the same pipeline at tiny sizes (also under sanitizers)
-//            and validates the JSON document's shape without gating.
+// Entry points (see bench/CMakeLists.txt):
 //
-// The baseline file is `key value` lines. `pre.*` keys hold the pre-rewrite
-// engine's throughput on the same instances (for the speedup_vs_pre fields
-// in the report); `cur.*` keys hold the rewritten engine's and are what the
-// gate compares against.
+//   --gate      runs 1k/10k/1M and compares against the checked-in
+//               baseline (bench/perf_baseline.txt): throughput must stay
+//               above CATBATCH_PERF_GATE_FACTOR (default 0.5) times the
+//               recorded value, and bytes/task must stay below
+//               CATBATCH_PERF_GATE_MEM_FACTOR (default 2.0) times it. A
+//               missing baseline file or a missing gated key FAILS the
+//               gate with regeneration instructions — a silent skip hides
+//               exactly the regressions the gate exists to catch.
+//   --smoke     tiny sizes (also runnable under sanitizers), validates the
+//               JSON document's shape without gating.
+//   --smoke-1m  the 1M tier only, counting mode, no gating: the quick
+//               at-scale sanity run behind the catbatch_perf_smoke_1m
+//               build target.
+//   --write-baseline  runs the gate tiers and rewrites the cur.* keys of
+//               the baseline file in place (comments and pre.* lines are
+//               preserved verbatim).
+//
+// The baseline file is `key value` lines. `pre.*` keys hold the
+// pre-refactor engine's numbers on the same instances (for the
+// speedup_vs_pre fields in the report); `cur.*` keys hold the current
+// engine's and are what the gate compares against.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +48,10 @@
 #include <vector>
 
 #include "analysis/json_report.hpp"
+#include "core/soa_graph.hpp"
 #include "instances/random_dags.hpp"
+#include "instances/streaming.hpp"
+#include "obs/process_stats.hpp"
 #include "sched/catbatch_scheduler.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sim/engine.hpp"
@@ -42,12 +62,22 @@ namespace {
 using namespace catbatch;
 
 constexpr int kProcs = 32;
+constexpr std::size_t kSoaTier = 1000000;  // tiers >= this use the SoA path
 
 TaskGraph perf_graph(std::size_t n) {
   Rng rng(987654321u + n);
   RandomTaskParams params;
   params.procs.max_procs = kProcs;
   return random_layered_dag(rng, n, std::max<std::size_t>(2, n / 16), params);
+}
+
+/// The 10M-task instance never materializes a TaskGraph: same layered
+/// family and seed recipe, emitted straight to CSR.
+SoaGraph perf_soa_huge(std::size_t n) {
+  Rng rng(987654321u + n);
+  RandomTaskParams params;
+  params.procs.max_procs = kProcs;
+  return huge_layered_soa(rng, n, std::max<std::size_t>(2, n / 16), params);
 }
 
 std::unique_ptr<OnlineScheduler> make_sched(const std::string& name) {
@@ -62,38 +92,58 @@ struct Measurement {
   std::size_t tasks = 0;
   double tasks_per_sec = 0.0;
   double events_per_sec = 0.0;
+  double bytes_per_task = 0.0;          // 0 = not measured for this tier
+  std::size_t peak_rss_bytes = 0;       // of the dedicated memory run
+  double instance_build_seconds = 0.0;  // SoA freeze / generation, unshared
 };
 
-/// Best-of-`reps` timing of a counting-mode simulate() run (the minimum is
-/// the standard noise-robust estimator for micro-benchmarks).
-Measurement measure(const std::string& sched_name, std::size_t n, int reps) {
-  const TaskGraph g = perf_graph(n);
-  const SimOptions options{ScheduleMode::Counting};
-  {
-    auto warmup = make_sched(sched_name);
-    (void)simulate(g, *warmup, kProcs, options).makespan;
+double time_once(InstanceSource& source, const std::string& sched_name,
+                 std::size_t* events_out) {
+  auto sched = make_sched(sched_name);
+  const auto t0 = std::chrono::steady_clock::now();
+  const SimResult res =
+      simulate(source, *sched, kProcs, SimOptions{ScheduleMode::Counting});
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  if (events_out != nullptr) *events_out = res.stats.events;
+  return std::chrono::duration<double>(dt).count();
+}
+
+/// Best-of-`reps` timing of counting-mode simulate() through `source` (the
+/// minimum is the standard noise-robust estimator for micro-benchmarks),
+/// plus — when `measure_memory` — one dedicated run bracketed by a peak-RSS
+/// watermark reset that prices the engine's allocations in bytes/task.
+Measurement measure_source(InstanceSource& source,
+                           const std::string& sched_name, std::size_t n,
+                           int reps, bool measure_memory) {
+  (void)time_once(source, sched_name, nullptr);  // warmup
+  Measurement m;
+  m.scheduler = sched_name;
+  m.tasks = n;
+  if (measure_memory && reset_peak_rss()) {
+    const std::size_t rss_before = current_rss_bytes();
+    (void)time_once(source, sched_name, nullptr);
+    const std::size_t peak = peak_rss_bytes();
+    m.peak_rss_bytes = peak;
+    if (peak > rss_before) {
+      m.bytes_per_task =
+          static_cast<double>(peak - rss_before) / static_cast<double>(n);
+    }
   }
   double best = 1e300;
   std::size_t events = 0;
   for (int r = 0; r < reps; ++r) {
-    auto sched = make_sched(sched_name);
-    const auto t0 = std::chrono::steady_clock::now();
-    const SimResult res = simulate(g, *sched, kProcs, options);
-    const auto dt = std::chrono::steady_clock::now() - t0;
-    best = std::min(best, std::chrono::duration<double>(dt).count());
-    events = res.stats.events;
+    best = std::min(best, time_once(source, sched_name, &events));
   }
-  Measurement m;
-  m.scheduler = sched_name;
-  m.tasks = n;
   m.tasks_per_sec = static_cast<double>(n) / best;
   m.events_per_sec = static_cast<double>(events) / best;
   return m;
 }
 
-std::map<std::string, double> load_baseline(const std::string& path) {
+std::map<std::string, double> load_baseline(const std::string& path,
+                                            bool* file_ok) {
   std::map<std::string, double> baseline;
   std::ifstream in(path);
+  if (file_ok != nullptr) *file_ok = in.good();
   std::string line;
   while (std::getline(in, line)) {
     std::istringstream fields(line);
@@ -106,9 +156,10 @@ std::map<std::string, double> load_baseline(const std::string& path) {
   return baseline;
 }
 
-std::string baseline_key(const char* era, const Measurement& m) {
+std::string baseline_key(const char* era, const Measurement& m,
+                         const char* metric) {
   std::ostringstream os;
-  os << era << "." << m.scheduler << "." << m.tasks << ".tasks_per_sec";
+  os << era << "." << m.scheduler << "." << m.tasks << "." << metric;
   return os.str();
 }
 
@@ -124,19 +175,29 @@ std::string report_json(const std::vector<Measurement>& results,
   JsonWriter w;
   w.begin_object();
   w.key("bench").value("perf");
-  w.key("schema").value(1);
+  w.key("schema").value(2);
   w.key("mode").value(mode);
   w.key("procs").value(kProcs);
   w.key("schedule_mode").value("counting");
   w.key("results").begin_array();
   for (const Measurement& m : results) {
-    const double pre = lookup(baseline, baseline_key("pre", m));
-    const double cur = lookup(baseline, baseline_key("cur", m));
+    const double pre =
+        lookup(baseline, baseline_key("pre", m, "tasks_per_sec"));
+    const double cur =
+        lookup(baseline, baseline_key("cur", m, "tasks_per_sec"));
     w.begin_object();
     w.key("scheduler").value(m.scheduler);
     w.key("tasks").value(static_cast<std::uint64_t>(m.tasks));
     w.key("tasks_per_sec").value(m.tasks_per_sec);
     w.key("events_per_sec").value(m.events_per_sec);
+    if (m.bytes_per_task > 0.0) {
+      w.key("bytes_per_task").value(m.bytes_per_task);
+      w.key("peak_rss_bytes")
+          .value(static_cast<std::uint64_t>(m.peak_rss_bytes));
+    }
+    if (m.instance_build_seconds > 0.0) {
+      w.key("instance_build_seconds").value(m.instance_build_seconds);
+    }
     if (pre > 0.0) {
       w.key("pre_rewrite_tasks_per_sec").value(pre);
       w.key("speedup_vs_pre").value(m.tasks_per_sec / pre);
@@ -174,12 +235,53 @@ bool json_shape_ok(const std::string& json,
   return json.front() == '{' && json.back() == '}';
 }
 
-double gate_factor() {
-  if (const char* env = std::getenv("CATBATCH_PERF_GATE_FACTOR")) {
+double env_factor(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
     const double f = std::atof(env);
     if (f > 0.0) return f;
   }
-  return 0.5;
+  return fallback;
+}
+
+void print_regenerate_hint(const char* argv0, const std::string& path) {
+  std::fprintf(stderr,
+               "gate: regenerate the baseline on this machine with:\n"
+               "  %s --write-baseline --baseline %s\n",
+               argv0, path.c_str());
+}
+
+/// Rewrites the cur.* keys of the baseline file in place: comments and
+/// pre.* lines survive verbatim, stale cur.* lines are dropped, and one
+/// cur.* line per measured metric is appended in measurement order.
+bool write_baseline(const std::string& path,
+                    const std::vector<Measurement>& results) {
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("cur.", 0) == 0) continue;
+      kept.push_back(line);
+    }
+  }
+  while (!kept.empty() && kept.back().empty()) kept.pop_back();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write baseline file %s\n", path.c_str());
+    return false;
+  }
+  for (const std::string& line : kept) out << line << "\n";
+  out.precision(6);
+  out.setf(std::ios::scientific, std::ios::floatfield);
+  for (const Measurement& m : results) {
+    out << baseline_key("cur", m, "tasks_per_sec") << " " << m.tasks_per_sec
+        << "\n";
+    if (m.bytes_per_task > 0.0) {
+      out << baseline_key("cur", m, "bytes_per_task") << " "
+          << m.bytes_per_task << "\n";
+    }
+  }
+  return out.good();
 }
 
 }  // namespace
@@ -187,71 +289,169 @@ double gate_factor() {
 int main(int argc, char** argv) {
   bool gate = false;
   bool smoke = false;
+  bool smoke_1m = false;
+  bool write = false;
   std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gate") == 0) {
       gate = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--smoke-1m") == 0) {
+      smoke_1m = true;
+    } else if (std::strcmp(argv[i], "--write-baseline") == 0) {
+      write = true;
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--gate|--smoke] [--baseline FILE]\n", argv[0]);
+                   "usage: %s [--gate|--smoke|--smoke-1m|--write-baseline] "
+                   "[--baseline FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (write && baseline_path.empty()) {
+    std::fprintf(stderr, "--write-baseline requires --baseline FILE\n");
+    return 2;
+  }
 
   const std::vector<std::size_t> sizes =
-      smoke ? std::vector<std::size_t>{64, 256}
-      : gate
-          ? std::vector<std::size_t>{1000, 10000}
-          : std::vector<std::size_t>{1000, 10000, 100000};
+      smoke      ? std::vector<std::size_t>{64, 256}
+      : smoke_1m ? std::vector<std::size_t>{1000000}
+      : (gate || write)
+          ? std::vector<std::size_t>{1000, 10000, 1000000}
+          : std::vector<std::size_t>{1000, 10000, 100000, 1000000, 10000000};
+
+  bool baseline_file_ok = false;
   const std::map<std::string, double> baseline =
-      baseline_path.empty() ? std::map<std::string, double>{}
-                            : load_baseline(baseline_path);
+      baseline_path.empty()
+          ? std::map<std::string, double>{}
+          : load_baseline(baseline_path, &baseline_file_ok);
+  if (gate && (!baseline_file_ok || baseline.empty())) {
+    std::fprintf(stderr,
+                 "gate: baseline file '%s' is missing, unreadable, or empty "
+                 "-- refusing to pass silently.\n",
+                 baseline_path.c_str());
+    print_regenerate_hint(
+        argv[0], baseline_path.empty() ? std::string("bench/perf_baseline.txt")
+                                       : baseline_path);
+    return 1;
+  }
 
   std::vector<Measurement> results;
   for (const std::size_t n : sizes) {
-    const int reps = smoke ? 2 : n >= 100000 ? 3 : 5;
+    const int reps = (smoke || smoke_1m || n >= 10000000) ? 2
+                     : n >= 100000                        ? 3
+                                                          : 5;
+    const bool soa_tier = n >= kSoaTier;
+
+    // Instance construction is hoisted out of the timed region for every
+    // tier (the TaskGraph path always did this); for SoA tiers the freeze
+    // cost is recorded so the one-time price of the layout stays visible.
+    TaskGraph graph;
+    SoaGraph soa;
+    double build_seconds = 0.0;
+    if (soa_tier) {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (n >= 10000000) {
+        soa = perf_soa_huge(n);
+      } else {
+        graph = perf_graph(n);
+        soa = build_soa_graph(graph);
+        graph = TaskGraph{};  // only the frozen instance stays resident
+      }
+      build_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    } else {
+      graph = perf_graph(n);
+    }
+
     for (const char* sched : {"catbatch", "list-fifo"}) {
-      const Measurement m = measure(sched, n, reps);
-      std::printf("%-10s n=%-7zu tasks_per_sec=%.6e events_per_sec=%.6e\n",
+      Measurement m;
+      if (soa_tier) {
+        SoaSource source(soa);
+        m = measure_source(source, sched, n, reps, /*measure_memory=*/true);
+        m.instance_build_seconds = build_seconds;
+      } else {
+        GraphSource source(graph);
+        m = measure_source(source, sched, n, reps, /*measure_memory=*/false);
+      }
+      std::printf("%-10s n=%-8zu tasks_per_sec=%.6e events_per_sec=%.6e",
                   m.scheduler.c_str(), m.tasks, m.tasks_per_sec,
                   m.events_per_sec);
+      if (m.bytes_per_task > 0.0) {
+        std::printf(" bytes_per_task=%.1f", m.bytes_per_task);
+      }
+      std::printf("\n");
       results.push_back(m);
     }
   }
 
-  const char* mode = smoke ? "smoke" : gate ? "gate" : "full";
+  const char* mode = smoke      ? "smoke"
+                     : smoke_1m ? "smoke-1m"
+                     : gate     ? "gate"
+                     : write    ? "write-baseline"
+                                : "full";
   const std::string json = report_json(results, baseline, mode);
   const std::string path = write_bench_report("perf", json);
   std::printf("wrote %s\n", path.c_str());
 
-  if (smoke) {
+  if (smoke || smoke_1m) {
     if (!json_shape_ok(json, results)) return 1;
-    std::printf("smoke: BENCH_perf.json shape OK\n");
+    std::printf("%s: BENCH_perf.json shape OK\n", mode);
+    return 0;
+  }
+
+  if (write) {
+    if (!write_baseline(baseline_path, results)) return 1;
+    std::printf("rewrote cur.* keys of %s\n", baseline_path.c_str());
     return 0;
   }
 
   if (gate) {
-    const double factor = gate_factor();
+    const double factor = env_factor("CATBATCH_PERF_GATE_FACTOR", 0.5);
+    const double mem_factor = env_factor("CATBATCH_PERF_GATE_MEM_FACTOR", 2.0);
     bool ok = true;
     for (const Measurement& m : results) {
-      const double cur = lookup(baseline, baseline_key("cur", m));
+      const std::string key = baseline_key("cur", m, "tasks_per_sec");
+      const double cur = lookup(baseline, key);
       if (cur <= 0.0) {
-        std::fprintf(stderr, "gate: no baseline for %s, skipping\n",
-                     baseline_key("cur", m).c_str());
+        std::fprintf(stderr,
+                     "gate: FAIL -- baseline has no %s (a stale baseline "
+                     "does not excuse the gate).\n",
+                     key.c_str());
+        ok = false;
         continue;
       }
       const double floor = factor * cur;
       const bool pass = m.tasks_per_sec >= floor;
-      std::printf("gate: %-10s n=%-7zu measured=%.3e floor=%.3e (%.2fx "
+      std::printf("gate: %-10s n=%-8zu measured=%.3e floor=%.3e (%.2fx "
                   "baseline) %s\n",
                   m.scheduler.c_str(), m.tasks, m.tasks_per_sec, floor,
                   m.tasks_per_sec / cur, pass ? "PASS" : "FAIL");
       ok = ok && pass;
+
+      if (m.bytes_per_task > 0.0) {
+        const std::string mem_key = baseline_key("cur", m, "bytes_per_task");
+        const double mem_base = lookup(baseline, mem_key);
+        if (mem_base <= 0.0) {
+          std::fprintf(stderr, "gate: FAIL -- baseline has no %s.\n",
+                       mem_key.c_str());
+          ok = false;
+          continue;
+        }
+        const double ceiling = mem_factor * mem_base;
+        const bool mem_pass = m.bytes_per_task <= ceiling;
+        std::printf(
+            "gate: %-10s n=%-8zu bytes_per_task=%.1f ceiling=%.1f %s\n",
+            m.scheduler.c_str(), m.tasks, m.bytes_per_task, ceiling,
+            mem_pass ? "PASS" : "FAIL");
+        ok = ok && mem_pass;
+      }
     }
+    if (!ok) print_regenerate_hint(argv[0], baseline_path);
     return ok ? 0 : 1;
   }
   return 0;

@@ -23,7 +23,7 @@
 
 #include "qa/corpus.hpp"
 #include "qa/fuzzer.hpp"
-#include "support/text.hpp"
+#include "support/cli.hpp"
 
 namespace {
 
@@ -36,8 +36,12 @@ void print_usage(std::ostream& os) {
         "  --iters N        iterations to run (default 1000)\n"
         "  --jobs N         worker threads (default: CATBATCH_JOBS, else\n"
         "                   hardware); the report is identical for any N\n"
-        "  --max-tasks N    instance size cap (default 48)\n"
+        "  --max-tasks N    instance size cap (default 48; 100000 under\n"
+        "                   --huge)\n"
         "  --max-procs P    platform width cap (default 16)\n"
+        "  --huge           draw streaming-scale instances (bounded-degree\n"
+        "                   O(n)-edge shapes near --max-tasks); implies\n"
+        "                   --mutate 0 and --no-shrink unless given\n"
         "  --mutate K       up to K mutations per instance (default 2,\n"
         "                   0 disables mutation)\n"
         "  --max-findings N stop recording after N findings (default 16)\n"
@@ -54,20 +58,13 @@ int usage() {
   return 2;
 }
 
-/// Same strict flag policy as sched_cli (support/text.hpp parse_integer):
-/// non-numeric or out-of-range values get a one-line error and exit 2.
+/// Same strict flag policy as sched_cli (support/cli.hpp): non-numeric or
+/// out-of-range values get a one-line error and exit 2.
 bool parse_flag(const std::string& flag, const char* text,
                 std::int64_t min_value, std::int64_t max_value,
                 std::int64_t& out) {
-  const std::optional<std::int64_t> value = parse_integer(text);
-  if (!value.has_value() || *value < min_value || *value > max_value) {
-    std::cerr << "catbatch_fuzz: " << flag << " expects an integer in ["
-              << min_value << ", " << max_value << "], got '" << text
-              << "'\n";
-    return false;
-  }
-  out = *value;
-  return true;
+  return parse_flag_value("catbatch_fuzz", flag, text, min_value, max_value,
+                          out);
 }
 
 int replay_corpus(const std::string& directory, bool quiet) {
@@ -105,6 +102,8 @@ int main(int argc, char** argv) {
   FuzzOptions options;
   std::string replay_dir;
   bool quiet = false;
+  bool max_tasks_given = false;
+  bool mutate_given = false;
 
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
@@ -123,14 +122,18 @@ int main(int argc, char** argv) {
       if (!parse_flag(arg, argv[++k], 0, 1 << 20, value)) return 2;
       options.jobs = static_cast<int>(value);
     } else if (arg == "--max-tasks" && has_value) {
-      if (!parse_flag(arg, argv[++k], 1, 10'000, value)) return 2;
+      if (!parse_flag(arg, argv[++k], 1, 10'000'000, value)) return 2;
       options.generator.max_tasks = static_cast<std::size_t>(value);
+      max_tasks_given = true;
+    } else if (arg == "--huge") {
+      options.generator.huge = true;
     } else if (arg == "--max-procs" && has_value) {
       if (!parse_flag(arg, argv[++k], 1, 1 << 20, value)) return 2;
       options.generator.max_procs = static_cast<int>(value);
     } else if (arg == "--mutate" && has_value) {
       if (!parse_flag(arg, argv[++k], 0, 1'000, value)) return 2;
       options.mutations = static_cast<std::size_t>(value);
+      mutate_given = true;
     } else if (arg == "--max-findings" && has_value) {
       if (!parse_flag(arg, argv[++k], 0, 1'000'000, value)) return 2;
       options.max_findings = static_cast<std::size_t>(value);
@@ -150,6 +153,16 @@ int main(int argc, char** argv) {
                 << "'\n";
       return usage();
     }
+  }
+
+  if (options.generator.huge) {
+    // Streaming-scale defaults: mutation walks and shrink bisections are
+    // priced for 48-task instances; at 100k tasks they dominate the run
+    // without adding coverage the generator families don't already have.
+    if (!max_tasks_given) options.generator.max_tasks = 100'000;
+    if (!mutate_given) options.mutations = 0;
+    options.shrink = false;
+    options.oracles.scale_gate_tasks = 10'000;
   }
 
   if (!replay_dir.empty()) return replay_corpus(replay_dir, quiet);

@@ -37,6 +37,7 @@
 #include "sim/svg.hpp"
 #include "sim/trace.hpp"
 #include "sim/validate.hpp"
+#include "support/cli.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
 #include "support/thread_pool.hpp"
@@ -94,22 +95,14 @@ int usage() {
   return 1;
 }
 
-/// Strict numeric-flag parsing (support/text.hpp): rejects non-numeric
+/// Strict numeric-flag parsing (support/cli.hpp): rejects non-numeric
 /// values and out-of-range counts at the flag, with a one-line error and a
 /// nonzero exit, instead of letting atoi zeros or raw exceptions reach the
 /// engine. Returns false after printing the error.
 bool parse_flag(const std::string& flag, const char* text,
                 std::int64_t min_value, std::int64_t max_value,
                 std::int64_t& out) {
-  const std::optional<std::int64_t> value = parse_integer(text);
-  if (!value.has_value() || *value < min_value || *value > max_value) {
-    std::cerr << "sched_cli: " << flag << " expects an integer in ["
-              << min_value << ", " << max_value << "], got '" << text
-              << "'\n";
-    return false;
-  }
-  out = *value;
-  return true;
+  return parse_flag_value("sched_cli", flag, text, min_value, max_value, out);
 }
 
 /// Lineup for a sweep: the standard registry lineup for "all", else the

@@ -1,21 +1,61 @@
 #include "core/category.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "support/check.hpp"
 
 namespace catbatch {
+
+namespace {
+
+// std::ldexp/std::ilogb compile to libc calls, and compute_category sits on
+// the per-task reveal path of the simulation engine — at 1M+ tasks the call
+// overhead is measurable. For normal-range exponents the same exact values
+// fall out of direct IEEE-754 bit manipulation; the subnormal/huge tails
+// (never produced by sane instances, but allowed by the contract) fall back
+// to libm.
+
+/// 2^e, exact. Fast path covers every normal double power of two.
+[[nodiscard]] inline Time pow2(int e) {
+  if (e >= -1022 && e <= 1023) [[likely]] {
+    return std::bit_cast<double>(static_cast<std::uint64_t>(e + 1023) << 52);
+  }
+  return std::ldexp(1.0, e);
+}
+
+/// x·2^e. The multiply is exact whenever x is an integer < 2^53 and the
+/// product stays normal — both guaranteed by the longitude checks below —
+/// so the fast path is bit-identical to ldexp.
+[[nodiscard]] inline Time mul_pow2(Time x, int e) {
+  if (e >= -1022 && e <= 1023) [[likely]] {
+    return x * std::bit_cast<double>(static_cast<std::uint64_t>(e + 1023)
+                                     << 52);
+  }
+  return std::ldexp(x, e);
+}
+
+/// Largest e with 2^e <= x, for finite positive x (ilogb without the call).
+[[nodiscard]] inline int floor_log2(Time x) {
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  const auto biased = static_cast<int>((bits >> 52) & 0x7ff);
+  if (biased != 0) [[likely]] return biased - 1023;
+  return std::ilogb(x);  // subnormal
+}
+
+}  // namespace
 
 Time Category::value() const {
   CB_DCHECK(longitude >= 1 && (longitude & 1) == 1,
             "category longitude must be odd and positive");
   CB_DCHECK(longitude < (std::int64_t{1} << 53),
             "category longitude too large for exact double representation");
-  return std::ldexp(static_cast<Time>(longitude), power_level);
+  return mul_pow2(static_cast<Time>(longitude), power_level);
 }
 
 Time category_value(int power_level, std::int64_t longitude) {
-  return std::ldexp(static_cast<Time>(longitude), power_level);
+  return mul_pow2(static_cast<Time>(longitude), power_level);
 }
 
 Category compute_category(const Criticality& criticality) {
@@ -30,13 +70,13 @@ Category compute_category(const Criticality& criticality) {
   // λ·2^χ < f. Descend from there; Lemma 2's existence argument guarantees
   // we find a multiple once 2^χ < f - s, so the loop terminates after at
   // most a few iterations beyond log2(f / (f - s)).
-  int chi = std::ilogb(f);
-  if (std::ldexp(1.0, chi) >= f) --chi;
+  int chi = floor_log2(f);
+  if (pow2(chi) >= f) --chi;
 
   for (;; --chi) {
     CB_CHECK(chi > -1060, "category search failed to converge (interval "
                           "narrower than double resolution)");
-    const Time step = std::ldexp(1.0, chi);
+    const Time step = pow2(chi);
     // Smallest integer λ with λ·step > s. floor(s/step) is exact: dividing
     // by a power of two only changes the exponent.
     const Time lambda_real = std::floor(s / step) + 1.0;

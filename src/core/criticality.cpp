@@ -2,19 +2,22 @@
 
 #include <algorithm>
 
+#include "core/soa_graph.hpp"
 #include "support/check.hpp"
 
 namespace catbatch {
 
 std::vector<Criticality> compute_criticalities(const TaskGraph& graph) {
+  // One implementation of Lemma 1: freeze to SoA and run the level sweep.
+  // Identical results to the old per-task Kahn walk — max over a task's
+  // predecessors is evaluation-order-insensitive — with the CSR layout
+  // doing the memory traffic.
+  const SoaGraph soa = build_soa_graph(graph);
+  const CriticalityArrays arrays = compute_criticalities(soa);
   std::vector<Criticality> crit(graph.size());
-  for (const TaskId id : graph.topological_order()) {
-    Time start = 0.0;
-    for (const TaskId pred : graph.predecessors(id)) {
-      start = std::max(start, crit[pred].earliest_finish);
-    }
-    crit[id].earliest_start = start;
-    crit[id].earliest_finish = start + graph.task(id).work;
+  for (std::size_t i = 0; i < crit.size(); ++i) {
+    crit[i] = Criticality{arrays.earliest_start[i],
+                          arrays.earliest_finish[i]};
   }
   return crit;
 }

@@ -1,0 +1,263 @@
+#include "core/soa_graph.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/graph.hpp"
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace catbatch {
+namespace {
+
+// Fixed block size for intra-level parallelism. The partition depends only
+// on the level size — never on the worker count — which is what makes the
+// sweeps bit-identical at any --jobs. Below one block the dispatch
+// overhead dwarfs the work, so short ranges stay on the calling thread.
+constexpr std::size_t kSweepBlock = 4096;
+
+template <typename Body>
+void blocked_parallel(int jobs, std::size_t count, const Body& body) {
+  if (count == 0) return;
+  const std::size_t blocks = (count + kSweepBlock - 1) / kSweepBlock;
+  if (jobs <= 1 || blocks < 2) {
+    body(std::size_t{0}, count);
+    return;
+  }
+  parallel_for(jobs, blocks, [&](std::size_t b) {
+    body(b * kSweepBlock, std::min(count, (b + 1) * kSweepBlock));
+  });
+}
+
+/// Derives the successor CSR from the predecessor CSR by counting sort.
+/// Iterating successors in ascending id keeps every row ascending.
+void build_succ_csr(SoaGraph& g) {
+  const std::size_t n = g.size();
+  g.succ_offsets.assign(n + 1, 0);
+  for (const TaskId pred : g.pred_data) {
+    CB_CHECK(pred < n, "predecessor id out of range");
+    ++g.succ_offsets[pred + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    g.succ_offsets[i + 1] += g.succ_offsets[i];
+  }
+  g.succ_data.resize(g.pred_data.size());
+  std::vector<std::uint32_t> cursor(g.succ_offsets.begin(),
+                                    g.succ_offsets.end() - 1);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto begin = g.pred_offsets[s];
+    const auto end = g.pred_offsets[s + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      g.succ_data[cursor[g.pred_data[k]]++] = static_cast<TaskId>(s);
+    }
+  }
+}
+
+/// BFS level decomposition (Kahn's algorithm in layers). Doubles as the
+/// cycle check: a cycle leaves tasks with positive in-degree unplaced.
+void build_levels(SoaGraph& g) {
+  const std::size_t n = g.size();
+  std::vector<std::uint32_t> indegree(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    indegree[i] = g.pred_offsets[i + 1] - g.pred_offsets[i];
+  }
+  g.level_order.clear();
+  g.level_order.reserve(n);
+  g.level_offsets.assign(1, 0);
+
+  std::vector<TaskId> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) frontier.push_back(static_cast<TaskId>(i));
+  }
+  std::vector<TaskId> next;
+  while (!frontier.empty()) {
+    g.level_order.insert(g.level_order.end(), frontier.begin(),
+                         frontier.end());
+    g.level_offsets.push_back(
+        static_cast<std::uint32_t>(g.level_order.size()));
+    next.clear();
+    for (const TaskId id : frontier) {
+      for (const TaskId succ : g.successors(id)) {
+        if (--indegree[succ] == 0) next.push_back(succ);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    frontier.swap(next);
+  }
+  CB_CHECK(g.level_order.size() == n, "task graph contains a cycle");
+}
+
+void finish_build(SoaGraph& g) {
+  const std::size_t n = g.size();
+  CB_CHECK(g.procs.size() == n, "procs array does not match task count");
+  CB_CHECK(g.pred_offsets.size() == n + 1,
+           "predecessor offsets must have size n + 1");
+  CB_CHECK(g.pred_offsets.front() == 0 &&
+               g.pred_offsets.back() == g.pred_data.size(),
+           "predecessor offsets do not span the data array");
+  CB_CHECK(g.names.empty() || g.names.size() == n,
+           "names array must be empty or match the task count");
+  g.max_procs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    CB_CHECK(g.pred_offsets[i] <= g.pred_offsets[i + 1],
+             "predecessor offsets must be non-decreasing");
+    CB_CHECK(g.work[i] > 0.0, "task execution time must be strictly positive");
+    CB_CHECK(g.procs[i] >= 1, "task processor requirement must be >= 1");
+    g.max_procs = std::max(g.max_procs, g.procs[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto begin = g.pred_offsets[i];
+    const auto end = g.pred_offsets[i + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      CB_CHECK(g.pred_data[k] < n, "predecessor id out of range");
+      CB_CHECK(g.pred_data[k] != i, "self-loop in task graph");
+      CB_CHECK(k == begin || g.pred_data[k - 1] < g.pred_data[k],
+               "predecessor rows must be strictly ascending");
+    }
+  }
+  g.edge_count = g.pred_data.size();
+  build_succ_csr(g);
+  build_levels(g);
+}
+
+}  // namespace
+
+SoaGraph build_soa_graph(const TaskGraph& graph, bool with_names) {
+  const std::size_t n = graph.size();
+  SoaGraph g;
+  g.work.resize(n);
+  g.procs.resize(n);
+  g.pred_offsets.resize(n + 1);
+  g.pred_offsets[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& task = graph.task(static_cast<TaskId>(i));
+    g.work[i] = task.work;
+    g.procs[i] = task.procs;
+    const auto preds = graph.predecessors(static_cast<TaskId>(i));
+    g.pred_offsets[i + 1] =
+        g.pred_offsets[i] + static_cast<std::uint32_t>(preds.size());
+  }
+  g.pred_data.resize(g.pred_offsets[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto preds = graph.predecessors(static_cast<TaskId>(i));
+    std::copy(preds.begin(), preds.end(),
+              g.pred_data.begin() + g.pred_offsets[i]);
+    std::sort(g.pred_data.begin() + g.pred_offsets[i],
+              g.pred_data.begin() + g.pred_offsets[i + 1]);
+  }
+  if (with_names) {
+    // One arena string for every label; per-task views index into it.
+    auto arena = std::make_shared<std::string>();
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += graph.task(static_cast<TaskId>(i)).name.size();
+    }
+    arena->reserve(total);
+    std::vector<std::pair<std::size_t, std::size_t>> spans(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string& name = graph.task(static_cast<TaskId>(i)).name;
+      spans[i] = {arena->size(), name.size()};
+      arena->append(name);
+    }
+    g.names.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      g.names[i] = std::string_view(*arena).substr(spans[i].first,
+                                                   spans[i].second);
+    }
+    g.name_storage = std::move(arena);
+  }
+  finish_build(g);
+  return g;
+}
+
+SoaGraph build_soa_graph(std::vector<Time> work, std::vector<int> procs,
+                         std::vector<std::uint32_t> pred_offsets,
+                         std::vector<TaskId> pred_data,
+                         std::vector<std::string_view> names,
+                         std::shared_ptr<const void> name_storage) {
+  SoaGraph g;
+  g.work = std::move(work);
+  g.procs = std::move(procs);
+  g.pred_offsets = std::move(pred_offsets);
+  g.pred_data = std::move(pred_data);
+  g.names = std::move(names);
+  g.name_storage = std::move(name_storage);
+  finish_build(g);
+  return g;
+}
+
+CriticalityArrays compute_criticalities(const SoaGraph& graph, int jobs) {
+  const std::size_t n = graph.size();
+  CriticalityArrays out;
+  out.earliest_start.resize(n);
+  out.earliest_finish.resize(n);
+  Time* const start = out.earliest_start.data();
+  Time* const finish = out.earliest_finish.data();
+  for (std::size_t lvl = 0; lvl < graph.level_count(); ++lvl) {
+    const std::span<const TaskId> ids = graph.level(lvl);
+    blocked_parallel(jobs, ids.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        const TaskId id = ids[k];
+        Time s = 0.0;
+        for (const TaskId pred : graph.predecessors(id)) {
+          s = std::max(s, finish[pred]);
+        }
+        start[id] = s;
+        finish[id] = s + graph.work[id];
+      }
+    });
+  }
+  return out;
+}
+
+std::vector<Category> compute_categories(const SoaGraph& graph,
+                                         const CriticalityArrays& crit,
+                                         int jobs) {
+  const std::size_t n = graph.size();
+  CB_CHECK(crit.size() == n, "criticality arrays do not match graph");
+  std::vector<Category> cats(n);
+  blocked_parallel(jobs, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      cats[i] = compute_category(
+          Criticality{crit.earliest_start[i], crit.earliest_finish[i]});
+    }
+  });
+  return cats;
+}
+
+Time critical_path_length(const CriticalityArrays& criticalities) {
+  Time best = 0.0;
+  for (const Time f : criticalities.earliest_finish) {
+    best = std::max(best, f);
+  }
+  return best;
+}
+
+InstanceBounds compute_bounds(const SoaGraph& graph, int procs) {
+  CB_CHECK(procs >= 1, "platform must have at least one processor");
+  CB_CHECK(graph.max_procs <= procs,
+           "instance contains a task wider than the platform");
+  InstanceBounds b;
+  b.task_count = graph.size();
+  b.procs = procs;
+  if (graph.empty()) return b;
+  // Serial id-order sum: floating-point addition is order-sensitive, and
+  // this order is the one TaskGraph::total_area() and the golden corpus pin.
+  Time area = 0.0;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    area += graph.work[i] * static_cast<Time>(graph.procs[i]);
+  }
+  b.area = area;
+  b.critical_path = critical_path_length(compute_criticalities(graph));
+  Time lo = graph.work[0], hi = graph.work[0];
+  for (const Time w : graph.work) {
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  b.min_work = lo;
+  b.max_work = hi;
+  return b;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,137 @@
+// Structure-of-arrays snapshot of a task DAG (the 10M-task layout).
+//
+// TaskGraph is the mutable, builder-friendly description: one Task struct
+// and two adjacency vectors per task — convenient, but ~5 heap blocks and
+// a std::string per task, which is what caps the AoS engine at a few
+// hundred thousand tasks. SoaGraph is the frozen counterpart: parallel
+// arrays (work, procs) plus CSR predecessor/successor adjacency and a
+// level-by-level topological decomposition, all in O(1) allocations total.
+// The simulation engine borrows these arrays by span (sim/source.hpp
+// `soa_graph()` fast path), and the core analysis passes — criticality,
+// category, bounds — run as SIMD-friendly sweeps over them.
+//
+// Determinism contract: every pass here is bit-identical for any `jobs`
+// value. Levels are swept in order; within a level, tasks are partitioned
+// into fixed-size blocks (independent of the worker count) and each task
+// writes only its own slots, reading only finished levels. Floating-point
+// max is insensitive to evaluation order; the one order-sensitive
+// reduction (the area sum in compute_bounds) is always serial in id order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/category.hpp"
+#include "core/criticality.hpp"
+#include "core/task.hpp"
+
+namespace catbatch {
+
+/// Frozen SoA/CSR view of a validated DAG. Invariants (established by the
+/// builders, relied upon everywhere): arrays are consistently sized,
+/// adjacency rows are ascending, `level_order` lists every task exactly
+/// once grouped by level with ascending ids inside each level, and every
+/// predecessor of a task lives in a strictly earlier level.
+struct SoaGraph {
+  std::vector<Time> work;   // t_i, indexed by TaskId
+  std::vector<int> procs;   // p_i
+
+  // CSR adjacency: row i is data[offsets[i] .. offsets[i+1]), ascending.
+  std::vector<std::uint32_t> pred_offsets;  // size n + 1
+  std::vector<TaskId> pred_data;
+  std::vector<std::uint32_t> succ_offsets;  // size n + 1
+  std::vector<TaskId> succ_data;
+
+  // Level decomposition: level k is
+  //   level_order[level_offsets[k] .. level_offsets[k+1]),
+  // ids ascending within the level. Level 0 holds exactly the roots.
+  std::vector<std::uint32_t> level_offsets;  // size L + 1
+  std::vector<TaskId> level_order;           // size n
+
+  int max_procs = 0;          // max_i p_i (0 for an empty graph)
+  std::size_t edge_count = 0;
+
+  // Optional task names: either empty or one view per task. The views
+  // point into `name_storage` (or into storage the producer guarantees to
+  // outlive this graph); tasks never own a std::string each.
+  std::vector<std::string_view> names;
+  std::shared_ptr<const void> name_storage;
+
+  [[nodiscard]] std::size_t size() const noexcept { return work.size(); }
+  [[nodiscard]] bool empty() const noexcept { return work.empty(); }
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return level_offsets.empty() ? 0 : level_offsets.size() - 1;
+  }
+
+  [[nodiscard]] std::span<const TaskId> predecessors(TaskId id) const {
+    return {pred_data.data() + pred_offsets[id],
+            pred_data.data() + pred_offsets[id + 1]};
+  }
+  [[nodiscard]] std::span<const TaskId> successors(TaskId id) const {
+    return {succ_data.data() + succ_offsets[id],
+            succ_data.data() + succ_offsets[id + 1]};
+  }
+  [[nodiscard]] std::span<const TaskId> level(std::size_t k) const {
+    return {level_order.data() + level_offsets[k],
+            level_order.data() + level_offsets[k + 1]};
+  }
+  [[nodiscard]] std::string_view name(TaskId id) const {
+    return names.empty() ? std::string_view{} : names[id];
+  }
+};
+
+/// Freezes `graph` into SoA form. Throws ContractViolation on a cycle
+/// (detected by the level decomposition). With `with_names`, task names
+/// are packed into one arena string owned by the result; otherwise the
+/// result is nameless regardless of the graph's labels.
+[[nodiscard]] SoaGraph build_soa_graph(const TaskGraph& graph,
+                                       bool with_names = false);
+
+/// Builds directly from raw arrays — the streaming path, which never
+/// materializes a TaskGraph. `pred_offsets` must have size work.size()+1
+/// with ascending rows; works must be > 0, procs >= 1. Successor CSR and
+/// levels are derived here; throws ContractViolation on any violation or
+/// cycle. Names (optional) follow the same borrowing rule as SoaGraph.
+[[nodiscard]] SoaGraph build_soa_graph(
+    std::vector<Time> work, std::vector<int> procs,
+    std::vector<std::uint32_t> pred_offsets, std::vector<TaskId> pred_data,
+    std::vector<std::string_view> names = {},
+    std::shared_ptr<const void> name_storage = nullptr);
+
+/// Criticalities (s∞, f∞) as two parallel arrays — the SoA pass behind
+/// compute_criticalities(TaskGraph).
+struct CriticalityArrays {
+  std::vector<Time> earliest_start;
+  std::vector<Time> earliest_finish;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return earliest_start.size();
+  }
+};
+
+/// Lemma 1 as a level-by-level sweep: level k reads only finishes of
+/// levels < k, so each level parallelizes freely. Bit-identical for any
+/// `jobs` (fixed block partition; max is order-insensitive). `jobs <= 1`
+/// runs serially on the calling thread.
+[[nodiscard]] CriticalityArrays compute_criticalities(const SoaGraph& graph,
+                                                      int jobs = 1);
+
+/// Definitions 2-3 for every task, from the SoA criticalities. Tasks are
+/// independent; parallelized over fixed blocks, bit-identical at any jobs.
+[[nodiscard]] std::vector<Category> compute_categories(
+    const SoaGraph& graph, const CriticalityArrays& criticalities,
+    int jobs = 1);
+
+/// C(I) = max f∞ over the SoA arrays (order-insensitive max).
+[[nodiscard]] Time critical_path_length(const CriticalityArrays& criticalities);
+
+/// Instance summary over the SoA layout. The area sum runs serially in id
+/// order — the one reduction whose floating-point result depends on
+/// order, pinned to match TaskGraph::total_area() exactly.
+[[nodiscard]] InstanceBounds compute_bounds(const SoaGraph& graph, int procs);
+
+}  // namespace catbatch

@@ -1,0 +1,25 @@
+#include "instances/interner.hpp"
+
+#include <algorithm>
+
+namespace catbatch {
+
+std::string_view NameInterner::intern(std::string_view s) {
+  if (s.empty()) return {};
+  if (const auto it = set_.find(s); it != set_.end()) return *it;
+  std::vector<std::string>& chunks = arena_->chunks;
+  if (chunks.empty() ||
+      chunks.back().capacity() - chunks.back().size() < s.size()) {
+    chunks.emplace_back();
+    chunks.back().reserve(std::max(kChunkBytes, s.size()));
+  }
+  std::string& chunk = chunks.back();
+  const std::size_t pos = chunk.size();
+  chunk.append(s);  // capacity reserved above: never reallocates
+  const std::string_view view(chunk.data() + pos, s.size());
+  set_.insert(view);
+  bytes_ += s.size();
+  return view;
+}
+
+}  // namespace catbatch

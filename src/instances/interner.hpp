@@ -1,0 +1,55 @@
+// Task-name / metadata interner for streaming-scale instances.
+//
+// A 10M-task DAG must never hold 10M std::strings: at libstdc++'s 32-byte
+// SSO footprint plus heap blocks for longer labels, names alone would
+// dwarf the task arrays. Workload traces repeat a handful of labels
+// ("stage-3", "reduce", ...) millions of times, so the interner stores
+// each distinct spelling once in a chunked arena and hands out
+// std::string_views into it. The arena is shared-ptr-owned, which is
+// exactly the shape SoaGraph::name_storage wants: the views stay valid for
+// as long as any graph (or the interner) keeps the handle alive.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace catbatch {
+
+class NameInterner {
+ public:
+  /// Returns the canonical view for `s`, storing it on first sight. The
+  /// empty string interns to the empty view without touching the arena.
+  /// Views stay valid as long as the arena lives (see storage()).
+  std::string_view intern(std::string_view s);
+
+  /// Number of distinct non-empty strings interned.
+  [[nodiscard]] std::size_t size() const noexcept { return set_.size(); }
+
+  /// Total bytes of distinct string data (not arena capacity).
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+  /// Shared ownership handle for the arena, suitable for
+  /// SoaGraph::name_storage: the views outlive the interner as long as
+  /// someone holds this.
+  [[nodiscard]] std::shared_ptr<const void> storage() const noexcept {
+    return arena_;
+  }
+
+ private:
+  // Chunked arena: each chunk's capacity is reserved once and never
+  // exceeded, so appends never reallocate and handed-out views never dangle.
+  static constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
+  struct Arena {
+    std::vector<std::string> chunks;
+  };
+
+  std::shared_ptr<Arena> arena_ = std::make_shared<Arena>();
+  std::unordered_set<std::string_view> set_;  // views into the arena
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace catbatch

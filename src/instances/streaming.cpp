@@ -1,0 +1,119 @@
+#include "instances/streaming.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+StreamingGraphBuilder::StreamingGraphBuilder(std::size_t expected_tasks) {
+  work_.reserve(expected_tasks);
+  procs_.reserve(expected_tasks);
+  pred_offsets_.reserve(expected_tasks + 1);
+}
+
+TaskId StreamingGraphBuilder::add_task(Time work, int procs,
+                                       std::span<const TaskId> predecessors,
+                                       std::string_view name) {
+  const auto id = static_cast<TaskId>(work_.size());
+  CB_CHECK(work > 0.0, "task work must be positive");
+  CB_CHECK(procs >= 1, "task needs at least one processor");
+  pred_scratch_.assign(predecessors.begin(), predecessors.end());
+  std::sort(pred_scratch_.begin(), pred_scratch_.end());
+  pred_scratch_.erase(
+      std::unique(pred_scratch_.begin(), pred_scratch_.end()),
+      pred_scratch_.end());
+  for (const TaskId pred : pred_scratch_) {
+    CB_CHECK(pred < id, "streaming predecessor must be an earlier task");
+  }
+  work_.push_back(work);
+  procs_.push_back(procs);
+  pred_data_.insert(pred_data_.end(), pred_scratch_.begin(),
+                    pred_scratch_.end());
+  pred_offsets_.push_back(static_cast<std::uint32_t>(pred_data_.size()));
+  if (!name.empty() && !any_names_) {
+    // First named task: backfill empty views for everything before it.
+    names_.assign(work_.size() - 1, std::string_view{});
+    any_names_ = true;
+  }
+  if (any_names_) names_.push_back(interner_.intern(name));
+  return id;
+}
+
+SoaGraph StreamingGraphBuilder::finish() {
+  std::shared_ptr<const void> storage =
+      any_names_ ? interner_.storage() : nullptr;
+  SoaGraph g = build_soa_graph(std::move(work_), std::move(procs_),
+                               std::move(pred_offsets_), std::move(pred_data_),
+                               std::move(names_), std::move(storage));
+  *this = StreamingGraphBuilder();
+  return g;
+}
+
+std::vector<SourceTask> SoaSource::start() {
+  std::vector<SourceTask> out;
+  out.reserve(graph_.size());
+  for (TaskId id = 0; id < graph_.size(); ++id) {
+    SourceTask st;
+    st.work = graph_.work[id];
+    st.procs = graph_.procs[id];
+    st.name = std::string(graph_.name(id));
+    const auto preds = graph_.predecessors(id);
+    st.predecessors.assign(preds.begin(), preds.end());
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+std::vector<SourceTask> SoaSource::on_complete(TaskId, Time) { return {}; }
+
+const TaskGraph& SoaSource::realized_graph() const {
+  if (!realized_.has_value()) {
+    TaskGraph g;
+    for (TaskId id = 0; id < graph_.size(); ++id) {
+      g.add_task(graph_.work[id], graph_.procs[id],
+                 std::string(graph_.name(id)));
+    }
+    for (TaskId id = 0; id < graph_.size(); ++id) {
+      for (const TaskId pred : graph_.predecessors(id)) {
+        g.add_edge(pred, id);
+      }
+    }
+    realized_ = std::move(g);
+  }
+  return *realized_;
+}
+
+SoaGraph huge_layered_soa(Rng& rng, std::size_t task_count,
+                          std::size_t layer_count,
+                          const RandomTaskParams& params) {
+  CB_CHECK(task_count >= 1, "need at least one task");
+  CB_CHECK(layer_count >= 1 && layer_count <= task_count,
+           "layer count must be in [1, task_count]");
+  StreamingGraphBuilder builder(task_count);
+  std::vector<std::vector<TaskId>> layers(layer_count);
+  std::vector<TaskId> preds;
+  preds.reserve(3);
+  for (std::size_t k = 0; k < task_count; ++k) {
+    // Explicit statement order (layer, work, procs, predecessors): the
+    // draw sequence is part of the instance definition, so it must not
+    // depend on argument evaluation order.
+    const std::size_t layer = k < layer_count ? k : rng.index(layer_count);
+    const Time work = draw_work(rng, params.work);
+    const int procs = draw_procs(rng, params.procs);
+    preds.clear();
+    if (layer > 0 && !layers[layer - 1].empty()) {
+      const std::vector<TaskId>& prev = layers[layer - 1];
+      const std::size_t pred_count = 1 + rng.index(3);  // 1..3
+      for (std::size_t e = 0; e < pred_count; ++e) {
+        preds.push_back(prev[rng.index(prev.size())]);
+      }
+    }
+    const TaskId id = builder.add_task(work, procs, preds);
+    layers[layer].push_back(id);
+  }
+  return builder.finish();
+}
+
+}  // namespace catbatch

@@ -1,0 +1,96 @@
+// Streaming/chunked instance ingest: building and simulating 1M-10M-task
+// DAGs without ever materializing a TaskGraph.
+//
+// The TaskGraph builder costs ~5 heap blocks and a std::string per task —
+// fine for the paper-scale examples, fatal at 10M tasks. This layer goes
+// straight to the frozen SoA/CSR form:
+//
+//   StreamingGraphBuilder — append tasks chunk by chunk (scalars + a
+//       predecessor span + an optional name, interned); finish() freezes
+//       into a validated SoaGraph via the raw build_soa_graph overload.
+//       Predecessor ids must reference earlier tasks only, which every
+//       streaming producer satisfies by construction.
+//   SoaSource — InstanceSource over a frozen SoaGraph: the engine borrows
+//       the arrays via the soa_graph() fast path; realized_graph() (needed
+//       only by validators/analysis) materializes a TaskGraph lazily, so
+//       benchmark runs never pay for it.
+//   huge_layered_soa — the layered random-DAG family emitted directly to
+//       CSR: the streaming-scale counterpart of random_layered_dag with an
+//       explicitly sequenced draw order (statement order, not argument
+//       evaluation order), so instances are reproducible across compilers.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "core/soa_graph.hpp"
+#include "instances/interner.hpp"
+#include "instances/random_dags.hpp"
+#include "sim/source.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+/// Incremental SoA builder. Append-only; ids are dense and ascending in
+/// call order. finish() consumes the builder.
+class StreamingGraphBuilder {
+ public:
+  explicit StreamingGraphBuilder(std::size_t expected_tasks = 0);
+
+  /// Adds one task and returns its id. `predecessors` may be unsorted and
+  /// may contain duplicates (they are deduplicated, matching
+  /// TaskGraph::add_edge); every entry must reference an earlier task.
+  /// Non-empty names are interned — repeated labels cost one copy total.
+  TaskId add_task(Time work, int procs, std::span<const TaskId> predecessors,
+                  std::string_view name = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return work_.size(); }
+
+  /// Freezes into a validated SoaGraph (succ CSR + levels derived there).
+  /// The builder is empty afterwards.
+  [[nodiscard]] SoaGraph finish();
+
+ private:
+  std::vector<Time> work_;
+  std::vector<int> procs_;
+  std::vector<std::uint32_t> pred_offsets_{0};
+  std::vector<TaskId> pred_data_;
+  std::vector<TaskId> pred_scratch_;  // reused per-task sort/dedupe buffer
+  NameInterner interner_;
+  std::vector<std::string_view> names_;
+  bool any_names_ = false;
+};
+
+/// InstanceSource over a frozen SoaGraph (borrowed; must outlive the
+/// source). The engine takes the zero-copy soa_graph() path; start() is
+/// the generic copying fallback for callers driving the interface by hand.
+class SoaSource final : public InstanceSource {
+ public:
+  explicit SoaSource(const SoaGraph& graph) : graph_(graph) {}
+
+  [[nodiscard]] std::vector<SourceTask> start() override;
+  [[nodiscard]] std::vector<SourceTask> on_complete(TaskId id,
+                                                    Time now) override;
+  /// Materializes a TaskGraph from the SoA arrays on first call — O(n)
+  /// time and the full AoS footprint. Validation-only; benchmark runs
+  /// must not call it.
+  [[nodiscard]] const TaskGraph& realized_graph() const override;
+  [[nodiscard]] const SoaGraph* soa_graph() const override { return &graph_; }
+
+ private:
+  const SoaGraph& graph_;
+  mutable std::optional<TaskGraph> realized_;
+};
+
+/// Layered random DAG emitted straight to CSR: tasks land on
+/// `layer_count` layers (the first `layer_count` tasks seed one layer
+/// each, the rest draw a layer uniformly); each non-root-layer task draws
+/// 1..3 predecessors from the previous layer. Same family as
+/// random_layered_dag, scaled to 10M tasks in O(1) allocations per chunk
+/// rather than per task.
+[[nodiscard]] SoaGraph huge_layered_soa(Rng& rng, std::size_t task_count,
+                                        std::size_t layer_count,
+                                        const RandomTaskParams& params);
+
+}  // namespace catbatch

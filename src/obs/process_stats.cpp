@@ -1,0 +1,62 @@
+#include "obs/process_stats.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace catbatch {
+
+namespace {
+
+/// Reads a "<key>:  <kB> kB" line from /proc/self/status; 0 if absent.
+std::size_t proc_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) return 0;
+  const std::size_t key_len = std::strlen(key);
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &value) == 1) {
+        kb = static_cast<std::size_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::size_t current_rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+std::size_t peak_rss_bytes() {
+  if (const std::size_t kb = proc_status_kb("VmHWM"); kb != 0) {
+    return kb * 1024;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // kB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "we");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace catbatch

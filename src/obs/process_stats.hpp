@@ -1,0 +1,32 @@
+// Process-level memory statistics for the perf bench and its bytes/task
+// gate.
+//
+// The 10M-task work is budgeted in *bytes per task*: a layout regression
+// (say, a per-task std::string creeping back in) shows up as a peak-RSS
+// jump long before it shows up as a throughput loss. Linux exposes what we
+// need in /proc/self/status (VmRSS, VmHWM); the high-water mark can be
+// reset via /proc/self/clear_refs, which is what lets one bench process
+// measure several tiers independently. Everything degrades gracefully:
+// unavailable proc files yield 0 / false and callers skip the gate rather
+// than fail it.
+#pragma once
+
+#include <cstddef>
+
+namespace catbatch {
+
+/// Current resident set size (VmRSS) in bytes; falls back to 0 when
+/// /proc/self/status is unavailable (non-Linux).
+[[nodiscard]] std::size_t current_rss_bytes();
+
+/// Peak resident set size in bytes: VmHWM from /proc/self/status, falling
+/// back to getrusage(RUSAGE_SELF).ru_maxrss, else 0.
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+/// Resets the kernel's RSS high-water mark to the current RSS (writes "5"
+/// to /proc/self/clear_refs). Returns true on success; false means
+/// peak_rss_bytes() still reports the all-time peak and per-phase memory
+/// measurements are not possible.
+bool reset_peak_rss();
+
+}  // namespace catbatch

@@ -228,10 +228,77 @@ FuzzInstance degenerate_family(Rng& rng, const GeneratorOptions& options) {
   return out;
 }
 
+FuzzInstance huge_family(Rng& rng, const GeneratorOptions& options) {
+  // Streaming-scale shapes: every family here is O(n) in tasks AND edges
+  // with bounded in-degree, so a ~100k-task draw generates, ingests and
+  // simulates in seconds — the whole point of the smoke tier is exercising
+  // the SoA ingest, calendar queue and batch slabs at a size where an
+  // accidental O(n^2) (or a per-task allocation) is unmissable.
+  const std::size_t cap = std::max<std::size_t>(2, options.max_tasks);
+  const std::size_t n =
+      static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(cap / 2), static_cast<std::int64_t>(cap)));
+  const RandomTaskParams params = draw_params(rng, options.max_procs);
+  FuzzInstance out;
+  switch (rng.index(6)) {
+    case 0:
+      // Deep: ~8 tasks per layer, tens of thousands of decision points.
+      out.graph = random_layered_dag(
+          rng, n, std::max<std::size_t>(2, n / 8), params);
+      out.origin = "huge-layered-deep";
+      break;
+    case 1:
+      // Wide: ~1k tasks per layer, stresses ready-backlog and batch sizes.
+      out.graph = random_layered_dag(
+          rng, n, std::max<std::size_t>(2, n / 1024), params);
+      out.origin = "huge-layered-wide";
+      break;
+    case 2: {
+      // Square stencil sized to ~n tasks: regular 2-predecessor mesh.
+      std::size_t side = 2;
+      while ((side + 1) * (side + 1) <= n) ++side;
+      out.graph = stencil_dag(static_cast<int>(side), static_cast<int>(side),
+                              quantize_time(rng.uniform_real(0.25, 2.0)),
+                              static_cast<int>(rng.uniform_int(
+                                  1, std::max(1, options.max_procs / 2))));
+      out.origin = "huge-stencil";
+      break;
+    }
+    case 3: {
+      // Bundle of long independent chains: maximal event-queue churn with a
+      // near-empty ready backlog.
+      std::size_t chains = 2;
+      while ((chains + 1) * (chains + 1) <= n) ++chains;
+      out.graph = random_chains(rng, chains,
+                                std::max<std::size_t>(1, n / chains), params);
+      out.origin = "huge-chains";
+      break;
+    }
+    case 4:
+      out.graph = random_out_tree(
+          rng, n, static_cast<std::size_t>(rng.uniform_int(2, 4)), params);
+      out.origin = "huge-out-tree";
+      break;
+    default:
+      // Edge-free: the one shape where the shelf packers join the battery.
+      out.graph = random_independent(rng, n, params);
+      out.origin = "huge-independent";
+      break;
+  }
+  return out;
+}
+
 }  // namespace
 
 FuzzInstance generate_instance(Rng& rng, const GeneratorOptions& options) {
   FuzzInstance out;
+  if (options.huge) {
+    out = huge_family(rng, options);
+    const int floor = std::max(1, out.graph.max_procs_required());
+    out.procs = static_cast<int>(
+        rng.uniform_int(floor, std::max(floor, options.max_procs)));
+    return out;
+  }
   // Random families dominate; the structured families keep the paper's
   // constructions and realistic shapes in every run's diet.
   const std::size_t roll = rng.index(10);

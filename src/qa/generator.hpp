@@ -35,6 +35,12 @@ struct GeneratorOptions {
   /// Largest platform width drawn. Instances always get procs >= the
   /// widest task they contain.
   int max_procs = 16;
+  /// Draw exclusively from the huge-dag family: streaming-scale shapes
+  /// (deep/wide layered, stencil grids, chain bundles, out-trees,
+  /// independent sets) sized near max_tasks with O(n) edges and bounded
+  /// in-degree. The standard mix is unusable at this scale — the
+  /// transitive-order family alone is Theta(n^2) in candidate edges.
+  bool huge = false;
 };
 
 /// Draws one instance from the family mix. Deterministic in `rng`.

@@ -29,6 +29,13 @@ struct OracleOptions {
   bool check_source_parity = true;
   bool check_determinism = true;
   bool check_offline_builders = true;
+  /// When non-zero, instances with at least this many tasks skip the
+  /// schedulers that are impractical at streaming scale (sort-per-decision
+  /// policies: O(decisions x backlog log backlog), i.e. minutes per run on
+  /// a 100k-task wide-layered DAG — and the battery runs each scheduler
+  /// four times). The survivors still exercise every oracle kind.
+  /// 0 = run the full registry regardless of size.
+  std::size_t scale_gate_tasks = 0;
 };
 
 /// One broken invariant. `scheduler` is the registry name; empty for

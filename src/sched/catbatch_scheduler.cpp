@@ -32,8 +32,9 @@ std::string CatBatchScheduler::name() const {
 }
 
 void CatBatchScheduler::reset() {
-  batches_.clear();
-  earliest_finish_.clear();
+  keys_.clear();
+  slots_.clear();
+  free_slots_.clear();
   current_category_.reset();
   current_pending_.clear();
   current_running_ = 0;
@@ -47,26 +48,16 @@ Category CatBatchScheduler::category_for(const ReadyTask& task) {
              "fixed category table does not cover this task");
     return options_.fixed_categories[task.id];
   }
-  // Algorithm 1 (ComputeCat), online: s∞ from the recorded f∞ of the
-  // predecessors (all of which were revealed before this task).
-  Time s_inf = 0.0;
-  for (const TaskId pred : task.predecessors) {
-    s_inf = std::max(s_inf, earliest_finish_.at(pred));
-  }
+  // Algorithm 1 (ComputeCat), online: s∞ precomputed by the engine via
+  // Lemma 1's recurrence over the predecessors' f∞ (all of which were
+  // revealed before this task).
   CB_CHECK(options_.origin_shift >= 0.0,
            "origin shift must be non-negative");
-  const Time shifted = s_inf + options_.origin_shift;
+  const Time shifted = task.earliest_start + options_.origin_shift;
   return compute_category(Criticality{shifted, shifted + task.work});
 }
 
 void CatBatchScheduler::task_ready(const ReadyTask& task, Time) {
-  // Track f∞ even under fixed categories so mixed use stays consistent.
-  Time s_inf = 0.0;
-  for (const TaskId pred : task.predecessors) {
-    s_inf = std::max(s_inf, earliest_finish_.at_or(pred, 0.0));
-  }
-  earliest_finish_.record(task.id, s_inf + task.work);
-
   const Category cat = category_for(task);
 
   // Corollary 2: while a batch runs, only strictly larger categories can be
@@ -77,9 +68,35 @@ void CatBatchScheduler::task_ready(const ReadyTask& task, Time) {
               "Corollary 2 violated: task of current/past category revealed");
   }
 
-  Batch& batch = batches_[cat.value()];
-  batch.category = cat;
+  Batch& batch = batch_for(cat);
   batch.pending.push_back(Pending{task.id, task.work, task.procs, arrivals_++});
+}
+
+CatBatchScheduler::Batch& CatBatchScheduler::batch_for(const Category& cat) {
+  const Time key = cat.value();
+  // Hot path: Corollary 2 means reveals arrive in non-decreasing ζ, so the
+  // right batch is almost always the one with the largest key.
+  if (!keys_.empty() && keys_.back().first == key) {
+    return slots_[keys_.back().second];
+  }
+  const auto it = std::lower_bound(
+      keys_.begin(), keys_.end(), key,
+      [](const std::pair<Time, std::uint32_t>& kv, Time k) {
+        return kv.first < k;
+      });
+  if (it != keys_.end() && it->first == key) return slots_[it->second];
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].category = cat;
+  CB_DCHECK(slots_[slot].pending.empty(), "recycled batch slot not drained");
+  keys_.insert(it, {key, slot});
+  return slots_[slot];
 }
 
 bool CatBatchScheduler::batch_order_before(const Pending& a,
@@ -104,11 +121,15 @@ void CatBatchScheduler::activate_next_batch(Time now) {
   CB_DCHECK(!current_category_.has_value(), "previous batch still active");
   CB_DCHECK(current_pending_.empty() && current_running_ == 0,
             "previous batch not drained");
-  if (batches_.empty()) return;
-  auto it = batches_.begin();  // B_ζmin (Algorithm 3, line 10)
-  current_category_ = it->second.category;
-  current_pending_ = std::move(it->second.pending);
-  batches_.erase(it);
+  if (keys_.empty()) return;
+  const auto [key, slot] = keys_.front();  // B_ζmin (Algorithm 3, line 10)
+  (void)key;
+  current_category_ = slots_[slot].category;
+  // Swap instead of move: the drained current_pending_ buffer (empty, with
+  // capacity) goes back into the slab, so recycled batches reuse it.
+  current_pending_.swap(slots_[slot].pending);
+  keys_.erase(keys_.begin());
+  free_slots_.push_back(slot);
   // Arrival order needs no sort: pending tasks were appended in arrival
   // order and never reordered.
   if (options_.batch_order != BatchOrder::Arrival) {
@@ -139,10 +160,14 @@ void CatBatchScheduler::select(Time now, int available_procs,
   if (!current_category_.has_value()) return;
 
   // ScheduleIndep's greedy pass (Algorithm 2, lines 9-15): start every
-  // pending task of the current batch that fits the free processors.
+  // pending task of the current batch that fits the free processors. The
+  // scan stops once the free processors are exhausted (no later task can
+  // fit), leaving the untouched tail in place — large batches would
+  // otherwise pay a full scan-and-move on every completion.
   int avail = available_procs;
   std::size_t keep = 0;
-  for (std::size_t k = 0; k < current_pending_.size(); ++k) {
+  std::size_t k = 0;
+  for (; k < current_pending_.size() && avail > 0; ++k) {
     Pending& p = current_pending_[k];
     if (p.procs <= avail) {
       avail -= p.procs;
@@ -153,7 +178,13 @@ void CatBatchScheduler::select(Time now, int available_procs,
       current_pending_[keep++] = std::move(p);
     }
   }
-  current_pending_.resize(keep);
+  if (keep != k) {
+    const auto tail = std::move(
+        current_pending_.begin() + static_cast<std::ptrdiff_t>(k),
+        current_pending_.end(),
+        current_pending_.begin() + static_cast<std::ptrdiff_t>(keep));
+    current_pending_.erase(tail, current_pending_.end());
+  }
 }
 
 }  // namespace catbatch

@@ -8,17 +8,18 @@
 // task completes every remaining task that fits the free processors is
 // started greedily.
 //
-// The category of each task is computed purely online: the scheduler keeps
-// the earliest-finish time f∞ of every task it has seen and applies
-// Lemma 1's recurrence when a new task arrives.
+// The category of each task is computed purely online: the engine
+// maintains the earliest-finish time f∞ of every revealed task (Lemma 1's
+// recurrence, see ReadyTask::earliest_start) and hands the resulting s∞ to
+// the scheduler with each reveal.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/category.hpp"
-#include "sched/finish_table.hpp"
 #include "sim/scheduler.hpp"
 
 namespace catbatch {
@@ -92,16 +93,27 @@ class CatBatchScheduler final : public OnlineScheduler {
   };
 
   [[nodiscard]] Category category_for(const ReadyTask& task);
+  [[nodiscard]] Batch& batch_for(const Category& cat);
   void activate_next_batch(Time now);
   [[nodiscard]] bool batch_order_before(const Pending& a,
                                         const Pending& b) const;
 
   CatBatchOptions options_;
 
-  // Batches keyed by exact ζ value; doubles are exact here because
-  // Category::value() is exact (see core/category.hpp).
-  std::map<Time, Batch> batches_;
-  FinishTimeTable earliest_finish_;  // f∞ record (Lemma 1)
+  // Flat batch index keyed by exact ζ value (doubles are exact here because
+  // Category::value() is exact, see core/category.hpp). `keys_` holds
+  // (ζ, slot) pairs sorted ascending by ζ; `slots_` is a slab of batch
+  // bodies recycled through `free_slots_`, so the pending vectors keep
+  // their capacity across batches and the reveal hot path never allocates
+  // a tree node per task the way the old std::map index did. Corollary 2
+  // makes reveals arrive in non-decreasing ζ, so nearly every lookup is
+  // satisfied by the largest key; mid-vector inserts are rare and shift
+  // only 16-byte pairs, and the minimum batch pops from the front of a
+  // vector whose length is the number of *distinct pending categories*
+  // (O(log) of the time horizon, not O(tasks)).
+  std::vector<std::pair<Time, std::uint32_t>> keys_;
+  std::vector<Batch> slots_;
+  std::vector<std::uint32_t> free_slots_;
 
   std::optional<Category> current_category_;
   std::vector<Pending> current_pending_;

@@ -19,6 +19,10 @@ class FinishTimeTable {
  public:
   void clear() { finish_.clear(); }
 
+  /// Capacity hint (engine instance_hint pass-through): pre-sizes the
+  /// backing vector so record() never reallocates during the run.
+  void reserve(std::size_t task_count) { finish_.reserve(task_count); }
+
   /// Records f∞ for `id`. Re-recording overwrites (the engine reveals each
   /// task once, so this never happens in practice).
   void record(TaskId id, Time finish) {

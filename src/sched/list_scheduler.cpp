@@ -37,19 +37,15 @@ std::string ListScheduler::name() const {
 
 void ListScheduler::reset() {
   ready_.clear();
-  earliest_finish_.clear();
   arrivals_ = 0;
 }
 
 void ListScheduler::task_ready(const ReadyTask& task, Time) {
-  // Maintain s∞ online (Lemma 1) so the SmallestCriticality priority has
-  // the same information CatBatch uses.
-  Time s_inf = 0.0;
-  for (const TaskId pred : task.predecessors) {
-    s_inf = std::max(s_inf, earliest_finish_.at(pred));
-  }
-  earliest_finish_.record(task.id, s_inf + task.work);
-  ready_.push_back(Entry{task.id, task.work, task.procs, s_inf, arrivals_++});
+  // s∞ (Lemma 1) arrives precomputed from the engine, so the
+  // SmallestCriticality priority has the same information CatBatch uses
+  // without a scheduler-side finish-time table.
+  ready_.push_back(
+      Entry{task.id, task.work, task.procs, task.earliest_start, arrivals_++});
 }
 
 void ListScheduler::task_finished(TaskId, Time) {}
@@ -89,11 +85,16 @@ void ListScheduler::select(Time, int available_procs,
   }
   int avail = available_procs;
   std::size_t keep = 0;
+  std::size_t k = 0;
   bool blocked = false;
-  for (std::size_t k = 0; k < ready_.size(); ++k) {
+  // Early exit once no further task can fit (every task needs >= 1
+  // processor; under strict_head, any blocked head): the untouched tail
+  // stays in place, so a saturated platform never pays a full-backlog
+  // scan-and-move per decision point.
+  for (; k < ready_.size(); ++k) {
+    if (avail == 0 || (options_.strict_head && blocked)) break;
     Entry& e = ready_[k];
-    const bool fits = e.procs <= avail && !(options_.strict_head && blocked);
-    if (fits) {
+    if (e.procs <= avail) {
       picks.push_back(e.id);
       avail -= e.procs;
     } else {
@@ -101,7 +102,12 @@ void ListScheduler::select(Time, int available_procs,
       ready_[keep++] = std::move(e);
     }
   }
-  ready_.resize(keep);
+  if (keep != k) {
+    const auto tail =
+        std::move(ready_.begin() + static_cast<std::ptrdiff_t>(k),
+                  ready_.end(), ready_.begin() + static_cast<std::ptrdiff_t>(keep));
+    ready_.erase(tail, ready_.end());
+  }
 }
 
 }  // namespace catbatch

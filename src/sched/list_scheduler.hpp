@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "core/criticality.hpp"
-#include "sched/finish_table.hpp"
 #include "sim/scheduler.hpp"
 
 namespace catbatch {
@@ -51,7 +50,7 @@ class ListScheduler final : public OnlineScheduler {
     TaskId id;
     Time work;
     int procs;
-    Time earliest_start;  // s∞, maintained online via Lemma 1
+    Time earliest_start;  // s∞, from ReadyTask (engine-maintained Lemma 1)
     std::uint64_t arrival;
   };
 
@@ -60,7 +59,6 @@ class ListScheduler final : public OnlineScheduler {
 
   ListSchedulerOptions options_;
   std::vector<Entry> ready_;
-  FinishTimeTable earliest_finish_;  // f∞ of revealed tasks
   std::uint64_t arrivals_ = 0;
 };
 

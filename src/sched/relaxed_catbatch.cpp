@@ -8,16 +8,13 @@ namespace catbatch {
 
 void RelaxedCatBatch::reset() {
   ready_.clear();
-  earliest_finish_.clear();
   arrivals_ = 0;
 }
 
 void RelaxedCatBatch::task_ready(const ReadyTask& task, Time) {
-  Time s_inf = 0.0;
-  for (const TaskId pred : task.predecessors) {
-    s_inf = std::max(s_inf, earliest_finish_.at(pred));
-  }
-  earliest_finish_.record(task.id, s_inf + task.work);
+  // s∞ comes from the engine-maintained Lemma 1 recurrence (which uses the
+  // *declared* work, exactly what the old scheduler-side table recorded).
+  const Time s_inf = task.earliest_start;
   const Category cat = compute_category(Criticality{s_inf, s_inf + task.work});
   ready_.push_back(Entry{task.id, task.procs, cat.value(), arrivals_++});
 }
@@ -30,9 +27,12 @@ void RelaxedCatBatch::select(Time, int available_procs,
     }
     return a.arrival < b.arrival;
   });
+  // Stop scanning once the free processors are exhausted — no later task
+  // can fit, and the untouched tail keeps its order in place.
   int avail = available_procs;
   std::size_t keep = 0;
-  for (std::size_t k = 0; k < ready_.size(); ++k) {
+  std::size_t k = 0;
+  for (; k < ready_.size() && avail > 0; ++k) {
     Entry& e = ready_[k];
     if (e.procs <= avail) {
       avail -= e.procs;
@@ -41,7 +41,12 @@ void RelaxedCatBatch::select(Time, int available_procs,
       ready_[keep++] = std::move(e);
     }
   }
-  ready_.resize(keep);
+  if (keep != k) {
+    const auto tail =
+        std::move(ready_.begin() + static_cast<std::ptrdiff_t>(k),
+                  ready_.end(), ready_.begin() + static_cast<std::ptrdiff_t>(keep));
+    ready_.erase(tail, ready_.end());
+  }
 }
 
 }  // namespace catbatch

@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "core/category.hpp"
-#include "sched/finish_table.hpp"
 #include "sim/scheduler.hpp"
 
 namespace catbatch {
@@ -41,7 +40,6 @@ class RelaxedCatBatch final : public OnlineScheduler {
   };
 
   std::vector<Entry> ready_;
-  FinishTimeTable earliest_finish_;
   std::uint64_t arrivals_ = 0;
 };
 

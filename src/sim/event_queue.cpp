@@ -1,0 +1,175 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+void EventQueue::push(Time at, TaskId id, SimEvent::Kind kind) {
+  const SimEvent ev{at, seq_++, id, kind};
+  ++size_;
+  if (!calendar_) [[likely]] {
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    if (size_ >= kCalendarOn && size_ >= 2 * last_calendar_attempt_) {
+      rebuild_calendar();
+    }
+    return;
+  }
+  insert_calendar(ev);
+}
+
+SimEvent EventQueue::pop() {
+  CB_DCHECK(size_ > 0, "pop from an empty event queue");
+  if (!calendar_) [[likely]] {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const SimEvent ev = heap_.back();
+    heap_.pop_back();
+    --size_;
+    return ev;
+  }
+  return pop_calendar();
+}
+
+void EventQueue::insert_calendar(const SimEvent& ev) {
+  const std::uint64_t day = day_of(ev.at);
+  // The engine only pushes at times >= the last popped time, but the queue
+  // does not rely on it: an event landing before the scan cursor simply
+  // pulls the cursor back.
+  if (day < cur_day_) cur_day_ = day;
+  std::vector<SimEvent>& bucket = buckets_[day & bucket_mask_];
+  bucket.push_back(ev);
+  const std::size_t nbuckets = bucket_mask_ + 1;
+  if (size_ > 4 * nbuckets && nbuckets < kMaxBuckets) {
+    rebuild_calendar();  // grown well past the bucket count: re-spread
+  } else if (bucket.size() > kOvercrowd &&
+             size_ >= 2 * last_calendar_attempt_) {
+    rebuild_calendar();  // clustered times: re-measure the day width
+  }
+}
+
+SimEvent EventQueue::pop_calendar() {
+  constexpr auto npos = std::numeric_limits<std::size_t>::max();
+  const std::size_t nbuckets = bucket_mask_ + 1;
+  std::size_t scanned_days = 0;
+  for (;;) {
+    std::vector<SimEvent>& bucket = buckets_[cur_day_ & bucket_mask_];
+    // Exact in-day minimum under (at, seq). Events of other virtual days
+    // sharing this physical bucket are skipped, which is what makes the
+    // pop sequence identical to the heap's.
+    std::size_t best = npos;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (day_of(bucket[i].at) != cur_day_) continue;
+      if (best == npos || bucket[i].before(bucket[best])) best = i;
+    }
+    if (best != npos) {
+      const SimEvent ev = bucket[best];
+      bucket[best] = bucket.back();
+      bucket.pop_back();
+      --size_;
+      if (size_ <= kCalendarOff) collapse_to_heap(/*back_off=*/false);
+      return ev;
+    }
+    ++cur_day_;
+    if (++scanned_days >= nbuckets) {
+      // A whole year of empty days: jump straight to the earliest pending
+      // day instead of walking a sparse tail one day at a time.
+      std::uint64_t min_day = std::numeric_limits<std::uint64_t>::max();
+      for (const std::vector<SimEvent>& b : buckets_) {
+        for (const SimEvent& e : b) min_day = std::min(min_day, day_of(e.at));
+      }
+      cur_day_ = min_day;
+      scanned_days = 0;
+    }
+  }
+}
+
+void EventQueue::collect_all(std::vector<SimEvent>& out) {
+  out.clear();
+  out.reserve(size_);
+  if (calendar_) {
+    for (std::vector<SimEvent>& b : buckets_) {
+      out.insert(out.end(), b.begin(), b.end());
+    }
+  } else {
+    out.swap(heap_);
+  }
+}
+
+void EventQueue::rebuild_calendar() {
+  std::vector<SimEvent> all;
+  collect_all(all);
+
+  // Day width from the *median* inter-event gap (Brown's rule): a mean —
+  // (max-min)/n — is ruined by one far-future outlier, which heavy-tailed
+  // workloads always have; the median sizes days for the dense head of the
+  // distribution and leaves the sparse tail to the empty-day jump.
+  std::vector<Time> ats;
+  ats.reserve(all.size());
+  for (const SimEvent& e : all) ats.push_back(e.at);
+  std::sort(ats.begin(), ats.end());
+  std::vector<Time> gaps;
+  gaps.reserve(ats.size());
+  for (std::size_t i = 0; i + 1 < ats.size(); ++i) {
+    const Time d = ats[i + 1] - ats[i];
+    if (d > 0.0) gaps.push_back(d);
+  }
+  double width = 0.0;
+  if (!gaps.empty()) {
+    const auto mid =
+        gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2);
+    std::nth_element(gaps.begin(), mid, gaps.end());
+    width = 2.0 * gaps[gaps.size() / 2];
+  }
+  const Time lo = ats.empty() ? 0.0 : ats.front();
+  if (!(width > 0.0) || !std::isfinite(width)) {
+    // Degenerate spread (e.g. every event at one instant): bucketing buys
+    // nothing, stay on the heap and back off until the queue doubles.
+    heap_ = std::move(all);
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    buckets_.clear();
+    calendar_ = false;
+    last_calendar_attempt_ = size_;
+    return;
+  }
+
+  std::size_t nbuckets = 1;
+  while (nbuckets < all.size() && nbuckets < kMaxBuckets) nbuckets <<= 1;
+  buckets_.assign(nbuckets, {});
+  bucket_mask_ = nbuckets - 1;
+  width_ = width;
+  base_ = lo;
+  cur_day_ = 0;
+  std::size_t max_load = 0;
+  for (const SimEvent& e : all) {
+    std::vector<SimEvent>& bucket = buckets_[day_of(e.at) & bucket_mask_];
+    bucket.push_back(e);
+    max_load = std::max(max_load, bucket.size());
+  }
+  heap_.clear();
+  calendar_ = true;  // events now live in buckets_ (collapse reads them)
+  if (max_load > all.size() / 2 && all.size() > 8) {
+    // One bucket swallowed the distribution (heavy clustering): the scan
+    // would be linear anyway, so the heap is strictly better.
+    collapse_to_heap(/*back_off=*/true);
+    return;
+  }
+  last_calendar_attempt_ = size_;
+}
+
+void EventQueue::collapse_to_heap(bool back_off) {
+  std::vector<SimEvent> all;
+  collect_all(all);
+  heap_ = std::move(all);
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  buckets_.clear();
+  buckets_.shrink_to_fit();
+  calendar_ = false;
+  last_calendar_attempt_ = back_off ? size_ : 0;
+}
+
+}  // namespace catbatch

@@ -1,7 +1,6 @@
 #include "sim/schedule.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 #include <utility>
 
 #include "support/check.hpp"
@@ -11,48 +10,107 @@ namespace catbatch {
 void Schedule::add(TaskId id, Time start, Time finish,
                    std::vector<int> processors) {
   CB_CHECK(!processors.empty(), "scheduled task must hold processors");
-  std::unordered_set<int> seen(processors.begin(), processors.end());
-  CB_CHECK(seen.size() == processors.size(),
+  dup_scratch_.assign(processors.begin(), processors.end());
+  std::sort(dup_scratch_.begin(), dup_scratch_.end());
+  CB_CHECK(std::adjacent_find(dup_scratch_.begin(), dup_scratch_.end()) ==
+               dup_scratch_.end(),
            "processor set contains duplicates");
+  if (!materialized_) materialize();
   add_entry(id, start, finish, std::move(processors), 0);
 }
 
 void Schedule::add_counted(TaskId id, Time start, Time finish, int procs) {
   CB_CHECK(procs >= 1, "scheduled task must hold processors");
-  add_entry(id, start, finish, {}, procs);
+  if (materialized_) {
+    add_entry(id, start, finish, {}, procs);
+    return;
+  }
+  // Cheap validity checks only; the scheduled-once contract is enforced
+  // lazily by ensure_index() so the hot path touches nothing but the
+  // sequential columns (no random-access index write per task).
+  CB_CHECK(id != kInvalidTask, "cannot schedule the invalid task id");
+  CB_CHECK(finish > start, "scheduled task must have positive duration");
+  CB_CHECK(start >= 0.0, "scheduled task cannot start before time 0");
+  ids_.push_back(id);
+  starts_.push_back(start);
+  finishes_.push_back(finish);
+  widths_.push_back(procs);
+  makespan_ = std::max(makespan_, finish);
 }
 
-void Schedule::add_entry(TaskId id, Time start, Time finish,
-                         std::vector<int> processors, int width) {
+void Schedule::check_new_entry(TaskId id, Time start, Time finish) const {
   CB_CHECK(id != kInvalidTask, "cannot schedule the invalid task id");
   CB_CHECK(finish > start, "scheduled task must have positive duration");
   CB_CHECK(start >= 0.0, "scheduled task cannot start before time 0");
   CB_CHECK(!contains(id), "task scheduled twice");
+}
 
+void Schedule::add_entry(TaskId id, Time start, Time finish,
+                         std::vector<int> processors, int width) {
+  check_new_entry(id, start, finish);  // contains() indexed everything prior
   if (index_.size() <= id) index_.resize(id + 1, npos);
   index_[id] = entries_.size();
   entries_.push_back(
       ScheduledTask{id, start, finish, std::move(processors), width});
+  indexed_ = entries_.size();
+  makespan_ = std::max(makespan_, finish);
+}
+
+bool Schedule::contains(TaskId id) const {
+  ensure_index();
+  return id < index_.size() && index_[id] != npos;
+}
+
+void Schedule::ensure_index() const {
+  const std::size_t total = materialized_ ? entries_.size() : ids_.size();
+  for (; indexed_ < total; ++indexed_) {
+    const TaskId id = materialized_ ? entries_[indexed_].id : ids_[indexed_];
+    if (index_.size() <= id) index_.resize(id + 1, npos);
+    CB_CHECK(index_[id] == npos, "task scheduled twice");
+    index_[id] = indexed_;
+  }
+}
+
+void Schedule::materialize() const {
+  ensure_index();
+  entries_.reserve(entries_.size() + ids_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    entries_.push_back(
+        ScheduledTask{ids_[i], starts_[i], finishes_[i], {}, widths_[i]});
+  }
+  ids_.clear();
+  ids_.shrink_to_fit();
+  starts_.clear();
+  starts_.shrink_to_fit();
+  finishes_.clear();
+  finishes_.shrink_to_fit();
+  widths_.clear();
+  widths_.shrink_to_fit();
+  materialized_ = true;
 }
 
 void Schedule::reserve(std::size_t tasks) {
-  entries_.reserve(tasks);
-  if (index_.size() < tasks) index_.reserve(tasks);
+  if (materialized_) {
+    entries_.reserve(tasks);
+  } else {
+    ids_.reserve(tasks);
+    starts_.reserve(tasks);
+    finishes_.reserve(tasks);
+    widths_.reserve(tasks);
+  }
+  // index_ is NOT pre-sized: a counting run that is never queried by id
+  // should not pay 8 bytes/task for an index it never builds.
+}
+
+std::span<const ScheduledTask> Schedule::entries() const {
+  if (!materialized_) materialize();
+  return entries_;
 }
 
 const ScheduledTask& Schedule::entry_for(TaskId id) const {
   CB_CHECK(contains(id), "task was never scheduled");
+  if (!materialized_) materialize();
   return entries_[index_[id]];
-}
-
-bool Schedule::contains(TaskId id) const noexcept {
-  return id < index_.size() && index_[id] != npos;
-}
-
-Time Schedule::makespan() const noexcept {
-  Time best = 0.0;
-  for (const ScheduledTask& e : entries_) best = std::max(best, e.finish);
-  return best;
 }
 
 }  // namespace catbatch

@@ -1,6 +1,17 @@
 // A concrete schedule: per-task start/finish times plus the exact set of
 // processor indices each task occupied. Produced by the simulation engine
 // and by the offline reference constructions; checked by sim/validate.hpp.
+//
+// Storage is dual-representation. Counted entries (the counting-mode hot
+// path, which is what 1M-10M-task benchmark runs use) append to flat
+// structure-of-arrays columns — id/start/finish/width, 24 bytes per task,
+// zero per-entry allocation — and the makespan is maintained as a running
+// max so finishing a run never rescans the schedule. The classic AoS
+// `ScheduledTask` rows are materialized lazily, only when a consumer first
+// asks for `entries()`/`entry_for()` (validators, trace/SVG exporters,
+// analysis); a pure counting benchmark run never pays for them. Identity
+// entries (concrete processor indices) force materialization up front and
+// behave exactly as before.
 #pragma once
 
 #include <span>
@@ -40,34 +51,70 @@ class Schedule {
   void add(TaskId id, Time start, Time finish, std::vector<int> processors);
 
   /// Records a task execution with only a processor *count* (counting-mode
-  /// engine runs): no identities, no per-entry allocation.
+  /// engine runs): no identities, no per-entry allocation. Appends to the
+  /// SoA columns unless AoS rows were already materialized. The
+  /// task-scheduled-once contract is enforced lazily, on the first query
+  /// (contains/entry_for/entries): an eager per-add id lookup would be the
+  /// single random-access write in an otherwise streaming hot path, and
+  /// the engine already rejects double starts before calling this.
   void add_counted(TaskId id, Time start, Time finish, int procs);
 
   /// Pre-sizes internal storage for at least `tasks` entries.
   void reserve(std::size_t tasks);
 
-  [[nodiscard]] std::span<const ScheduledTask> entries() const noexcept {
-    return entries_;
+  /// AoS view in insertion order. Materializes the rows from the SoA
+  /// columns on first use for a counted schedule; the pointer stays valid
+  /// until the next non-const call.
+  [[nodiscard]] std::span<const ScheduledTask> entries() const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return materialized_ ? entries_.size() : ids_.size();
   }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
   /// Entry for a given task. Throws if the task was never scheduled.
   [[nodiscard]] const ScheduledTask& entry_for(TaskId id) const;
 
-  /// True iff `id` has been scheduled.
-  [[nodiscard]] bool contains(TaskId id) const noexcept;
+  /// True iff `id` has been scheduled. May throw ContractViolation if the
+  /// deferred duplicate check (see add_counted) fails while indexing.
+  [[nodiscard]] bool contains(TaskId id) const;
 
-  /// max(finish) over all entries; 0 for an empty schedule.
-  [[nodiscard]] Time makespan() const noexcept;
+  /// max(finish) over all entries; 0 for an empty schedule. O(1): the max
+  /// is maintained on every add.
+  [[nodiscard]] Time makespan() const noexcept { return makespan_; }
 
  private:
   void add_entry(TaskId id, Time start, Time finish,
                  std::vector<int> processors, int width);
+  void check_new_entry(TaskId id, Time start, Time finish) const;
+  /// Moves every SoA row into `entries_` (insertion order, same ordinals,
+  /// so `index_` is untouched) and makes the AoS side authoritative.
+  void materialize() const;
+  /// Indexes every entry past `indexed_` (counted adds defer this — see
+  /// add_counted); fails the scheduled-once contract on a duplicate id.
+  void ensure_index() const;
 
-  std::vector<ScheduledTask> entries_;
-  // id -> index into entries_, or npos. Grows with the largest id seen.
-  std::vector<std::size_t> index_;
+  // AoS rows: authoritative once `materialized_` (identity entries or any
+  // consumer having called entries()/entry_for()); mutable because
+  // materialization is a caching step behind a const view.
+  mutable std::vector<ScheduledTask> entries_;
+  mutable bool materialized_ = false;
+
+  // SoA columns for counted entries, parallel by ordinal; emptied by
+  // materialize().
+  mutable std::vector<TaskId> ids_;
+  mutable std::vector<Time> starts_;
+  mutable std::vector<Time> finishes_;
+  mutable std::vector<int> widths_;
+
+  // id -> insertion ordinal, or npos. Grows with the largest id seen;
+  // built lazily over ordinals [indexed_, size()) by ensure_index().
+  mutable std::vector<std::size_t> index_;
+  mutable std::size_t indexed_ = 0;
+  Time makespan_ = 0.0;
+  // Reused scratch for the duplicate-processor check in add(); member so
+  // repeated identity adds don't allocate a fresh set every call.
+  mutable std::vector<int> dup_scratch_;
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 };
 

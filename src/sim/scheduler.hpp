@@ -42,6 +42,14 @@ struct ReadyTask {
   /// becomes known upon release).
   std::span<const TaskId> predecessors;
   std::string_view name;
+  /// s∞, the task's criticality earliest start (Lemma 1: the max f∞ over
+  /// the predecessors, 0 for sources). The engine maintains the f∞
+  /// recurrence once, on the reveal path, and hands every scheduler the
+  /// same value the scheduler-side recurrence used to produce — schedulers
+  /// that batch or prioritize by criticality read it instead of keeping
+  /// their own finish-time tables. Derived purely from information the
+  /// online model reveals, so using it never leaks future knowledge.
+  Time earliest_start = 0.0;
 };
 
 class OnlineScheduler {
@@ -53,6 +61,14 @@ class OnlineScheduler {
 
   /// Called once per simulation before any other callback.
   virtual void reset() = 0;
+
+  /// Optional capacity hint, called right after reset() and before any
+  /// task_ready() when the engine knows the instance size up front
+  /// (static-graph and SoA sources). Schedulers may pre-size id-indexed
+  /// state so the hot loop never reallocates; the default ignores it.
+  /// Adaptive sources may never trigger it, and the hint must not change
+  /// any scheduling decision.
+  virtual void instance_hint(std::size_t task_count) { (void)task_count; }
 
   /// A task became ready at time `now`.
   virtual void task_ready(const ReadyTask& task, Time now) = 0;

@@ -16,6 +16,8 @@
 
 namespace catbatch {
 
+struct SoaGraph;  // core/soa_graph.hpp
+
 /// A task emitted by a source. Ids must be dense and ascending (task k is
 /// the k-th emitted task), matching the ids of `realized_graph()`.
 struct SourceTask {
@@ -60,6 +62,15 @@ class InstanceSource {
   [[nodiscard]] virtual const TaskGraph* static_graph() const {
     return nullptr;
   }
+
+  /// Zero-copy *SoA* fast path, preferred over static_graph() when both
+  /// are non-null: a source whose instance is already frozen in SoA/CSR
+  /// form (core/soa_graph.hpp) returns it here, promising — like
+  /// static_graph() — that on_complete() never emits tasks. The engine
+  /// then borrows the work/procs/adjacency arrays by pointer for the whole
+  /// run: no per-task ingest at all, which is what 1M-10M-task instances
+  /// require. The returned graph must outlive the simulation.
+  [[nodiscard]] virtual const SoaGraph* soa_graph() const { return nullptr; }
 };
 
 /// Source wrapping a fixed TaskGraph: the engine ingests every task up

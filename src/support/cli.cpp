@@ -1,0 +1,31 @@
+#include "support/cli.hpp"
+
+#include <iostream>
+#include <optional>
+
+#include "support/text.hpp"
+
+namespace catbatch {
+
+bool parse_flag_value(std::string_view program, std::string_view flag,
+                      std::string_view text, std::int64_t min_value,
+                      std::int64_t max_value, std::int64_t& out,
+                      std::ostream& err) {
+  const std::optional<std::int64_t> value = parse_integer(text);
+  if (!value.has_value() || *value < min_value || *value > max_value) {
+    err << program << ": " << flag << " expects an integer in [" << min_value
+        << ", " << max_value << "], got '" << text << "'\n";
+    return false;
+  }
+  out = *value;
+  return true;
+}
+
+bool parse_flag_value(std::string_view program, std::string_view flag,
+                      std::string_view text, std::int64_t min_value,
+                      std::int64_t max_value, std::int64_t& out) {
+  return parse_flag_value(program, flag, text, min_value, max_value, out,
+                          std::cerr);
+}
+
+}  // namespace catbatch

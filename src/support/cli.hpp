@@ -1,0 +1,50 @@
+// Shared strict CLI flag parsing for the example binaries.
+//
+// sched_cli and catbatch_fuzz (and any future front end) share one policy
+// for numeric flags: a value must parse as an integer (support/text.hpp
+// parse_integer — no trailing junk, no overflow) and fall inside the
+// flag's documented range, otherwise the program prints a one-line
+// diagnostic prefixed with its own name and exits nonzero. This header is
+// that policy's single home; the binaries only choose the program name and
+// the exit code.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace catbatch {
+
+/// Parses `text` as a strict integer in [min_value, max_value]. On success
+/// stores the value in `out` and returns true. On failure prints
+/// "<program>: <flag> expects an integer in [min, max], got '<text>'" to
+/// `err` and returns false without touching `out`.
+bool parse_flag_value(std::string_view program, std::string_view flag,
+                      std::string_view text, std::int64_t min_value,
+                      std::int64_t max_value, std::int64_t& out,
+                      std::ostream& err);
+
+/// Convenience overload writing diagnostics to std::cerr — the path every
+/// real binary takes; the std::ostream overload exists for the unit tests.
+bool parse_flag_value(std::string_view program, std::string_view flag,
+                      std::string_view text, std::int64_t min_value,
+                      std::int64_t max_value, std::int64_t& out);
+
+/// Small binder so argument loops stay one-liners:
+///   FlagParser flags("sched_cli");
+///   if (!flags.parse(arg, argv[++k], 1, 1 << 20, value)) return 1;
+class FlagParser {
+ public:
+  explicit FlagParser(std::string_view program) : program_(program) {}
+
+  bool parse(std::string_view flag, std::string_view text,
+             std::int64_t min_value, std::int64_t max_value,
+             std::int64_t& out) const {
+    return parse_flag_value(program_, flag, text, min_value, max_value, out);
+  }
+
+ private:
+  std::string_view program_;
+};
+
+}  // namespace catbatch

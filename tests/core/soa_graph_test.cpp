@@ -1,0 +1,197 @@
+#include "core/soa_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "instances/random_dags.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+TaskGraph diamond() {
+  TaskGraph g;
+  const TaskId a = g.add_task(1.0, 1, "a");
+  const TaskId b = g.add_task(2.0, 2, "b");
+  const TaskId c = g.add_task(3.0, 1, "c");
+  const TaskId d = g.add_task(1.0, 4, "d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(SoaGraph, FreezesStructureAndAdjacency) {
+  const SoaGraph soa = build_soa_graph(diamond());
+  ASSERT_EQ(soa.size(), 4u);
+  EXPECT_EQ(soa.edge_count, 4u);
+  EXPECT_EQ(soa.max_procs, 4);
+  EXPECT_EQ(soa.work[2], 3.0);
+  EXPECT_EQ(soa.procs[1], 2);
+  ASSERT_EQ(soa.predecessors(3).size(), 2u);
+  EXPECT_EQ(soa.predecessors(3)[0], 1u);
+  EXPECT_EQ(soa.predecessors(3)[1], 2u);
+  ASSERT_EQ(soa.successors(0).size(), 2u);
+  EXPECT_EQ(soa.successors(0)[0], 1u);
+  EXPECT_EQ(soa.successors(0)[1], 2u);
+  // Levels: {a}, {b, c}, {d}.
+  ASSERT_EQ(soa.level_count(), 3u);
+  EXPECT_EQ(soa.level(0).size(), 1u);
+  EXPECT_EQ(soa.level(1).size(), 2u);
+  EXPECT_EQ(soa.level(2).size(), 1u);
+  EXPECT_EQ(soa.level(1)[0], 1u);
+  EXPECT_EQ(soa.level(1)[1], 2u);
+}
+
+TEST(SoaGraph, NamesAreOptionalAndArenaBacked) {
+  const SoaGraph nameless = build_soa_graph(diamond());
+  EXPECT_TRUE(nameless.names.empty());
+  EXPECT_EQ(nameless.name(2), "");
+
+  const SoaGraph named = build_soa_graph(diamond(), /*with_names=*/true);
+  ASSERT_EQ(named.names.size(), 4u);
+  EXPECT_EQ(named.name(0), "a");
+  EXPECT_EQ(named.name(3), "d");
+}
+
+TEST(SoaGraph, RawBuilderMatchesGraphBuilder) {
+  const SoaGraph from_graph = build_soa_graph(diamond());
+  const SoaGraph raw = build_soa_graph(
+      {1.0, 2.0, 3.0, 1.0}, {1, 2, 1, 4}, {0, 0, 1, 2, 4}, {0, 0, 1, 2});
+  EXPECT_EQ(raw.pred_offsets, from_graph.pred_offsets);
+  EXPECT_EQ(raw.pred_data, from_graph.pred_data);
+  EXPECT_EQ(raw.succ_offsets, from_graph.succ_offsets);
+  EXPECT_EQ(raw.succ_data, from_graph.succ_data);
+  EXPECT_EQ(raw.level_order, from_graph.level_order);
+  EXPECT_EQ(raw.level_offsets, from_graph.level_offsets);
+  EXPECT_EQ(raw.max_procs, from_graph.max_procs);
+}
+
+TEST(SoaGraph, RawBuilderRejectsBadInput) {
+  // Non-positive work.
+  EXPECT_THROW(build_soa_graph({0.0}, {1}, {0, 0}, {}), ContractViolation);
+  // procs < 1.
+  EXPECT_THROW(build_soa_graph({1.0}, {0}, {0, 0}, {}), ContractViolation);
+  // Out-of-range predecessor.
+  EXPECT_THROW(build_soa_graph({1.0, 1.0}, {1, 1}, {0, 0, 1}, {5}),
+               ContractViolation);
+  // Self-loop (a 1-cycle).
+  EXPECT_THROW(build_soa_graph({1.0}, {1}, {0, 1}, {0}), ContractViolation);
+  // A genuine 2-cycle.
+  EXPECT_THROW(build_soa_graph({1.0, 1.0}, {1, 1}, {0, 1, 2}, {1, 0}),
+               ContractViolation);
+}
+
+TEST(SoaGraph, CycleInTaskGraphIsRejected) {
+  TaskGraph g;
+  const TaskId a = g.add_task(1.0, 1);
+  const TaskId b = g.add_task(1.0, 1);
+  const TaskId c = g.add_task(1.0, 1);
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);
+  EXPECT_THROW(build_soa_graph(g), ContractViolation);
+}
+
+TEST(SoaCriticality, MatchesDiamondByHand) {
+  const SoaGraph soa = build_soa_graph(diamond());
+  const CriticalityArrays crit = compute_criticalities(soa);
+  EXPECT_EQ(crit.earliest_start[0], 0.0);
+  EXPECT_EQ(crit.earliest_finish[0], 1.0);
+  EXPECT_EQ(crit.earliest_start[1], 1.0);
+  EXPECT_EQ(crit.earliest_start[2], 1.0);
+  EXPECT_EQ(crit.earliest_start[3], 4.0);  // via c: 1 + 3
+  EXPECT_EQ(crit.earliest_finish[3], 5.0);
+  EXPECT_EQ(critical_path_length(crit), 5.0);
+}
+
+TEST(SoaCriticality, BitIdenticalToAosPassOnRandomDags) {
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    Rng rng(seed);
+    RandomTaskParams params;
+    params.procs.max_procs = 8;
+    const TaskGraph g = random_layered_dag(rng, 400, 25, params);
+    const std::vector<Criticality> aos = compute_criticalities(g);
+    const SoaGraph soa = build_soa_graph(g);
+    const CriticalityArrays arrays = compute_criticalities(soa);
+    ASSERT_EQ(arrays.size(), aos.size());
+    for (std::size_t i = 0; i < aos.size(); ++i) {
+      EXPECT_EQ(aos[i].earliest_start, arrays.earliest_start[i]);
+      EXPECT_EQ(aos[i].earliest_finish, arrays.earliest_finish[i]);
+    }
+    EXPECT_EQ(critical_path_length(g), critical_path_length(arrays));
+  }
+}
+
+TEST(SoaCriticality, BitIdenticalAtAnyJobCount) {
+  Rng rng(99);
+  RandomTaskParams params;
+  params.procs.max_procs = 16;
+  // Wide and shallow so levels actually exceed the parallel block size
+  // threshold and the multi-worker path runs.
+  const TaskGraph g = random_layered_dag(rng, 20000, 2, params);
+  const SoaGraph soa = build_soa_graph(g);
+  const CriticalityArrays serial = compute_criticalities(soa, 1);
+  for (const int jobs : {2, 3, 8}) {
+    const CriticalityArrays par = compute_criticalities(soa, jobs);
+    EXPECT_EQ(serial.earliest_start, par.earliest_start) << "jobs=" << jobs;
+    EXPECT_EQ(serial.earliest_finish, par.earliest_finish) << "jobs=" << jobs;
+  }
+}
+
+TEST(SoaCategory, MatchesAosCategoriesAndAllJobCounts) {
+  Rng rng(7);
+  RandomTaskParams params;
+  params.procs.max_procs = 8;
+  const TaskGraph g = random_layered_dag(rng, 500, 10, params);
+  const std::vector<Category> aos = compute_categories(g);
+  const SoaGraph soa = build_soa_graph(g);
+  const CriticalityArrays crit = compute_criticalities(soa);
+  const std::vector<Category> serial = compute_categories(soa, crit, 1);
+  ASSERT_EQ(serial.size(), aos.size());
+  for (std::size_t i = 0; i < aos.size(); ++i) {
+    EXPECT_EQ(serial[i], aos[i]) << "task " << i;
+  }
+  const std::vector<Category> parallel = compute_categories(soa, crit, 4);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(SoaBounds, MatchesAosBoundsExactly) {
+  Rng rng(13);
+  RandomTaskParams params;
+  params.procs.max_procs = 8;
+  const TaskGraph g = random_layered_dag(rng, 300, 12, params);
+  const InstanceBounds aos = compute_bounds(g, 8);
+  const SoaGraph soa = build_soa_graph(g);
+  const InstanceBounds via_soa = compute_bounds(soa, 8);
+  EXPECT_EQ(via_soa.task_count, aos.task_count);
+  EXPECT_EQ(via_soa.area, aos.area);  // bit-identical: same summation order
+  EXPECT_EQ(via_soa.critical_path, aos.critical_path);
+  EXPECT_EQ(via_soa.min_work, aos.min_work);
+  EXPECT_EQ(via_soa.max_work, aos.max_work);
+  EXPECT_EQ(via_soa.lower_bound(), aos.lower_bound());
+}
+
+TEST(SoaBounds, RejectsTooNarrowPlatform) {
+  const SoaGraph soa = build_soa_graph(diamond());
+  EXPECT_THROW((void)compute_bounds(soa, 2), ContractViolation);
+  EXPECT_EQ(compute_bounds(soa, 4).procs, 4);
+}
+
+TEST(SoaGraph, EmptyGraphIsFine) {
+  const SoaGraph soa = build_soa_graph(TaskGraph{});
+  EXPECT_TRUE(soa.empty());
+  EXPECT_EQ(soa.level_count(), 0u);
+  const CriticalityArrays crit = compute_criticalities(soa);
+  EXPECT_EQ(crit.size(), 0u);
+  EXPECT_EQ(critical_path_length(crit), 0.0);
+  EXPECT_EQ(compute_bounds(soa, 4).lower_bound(), 0.0);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,248 @@
+// Streaming ingest layer: the name interner, the direct-to-CSR builder,
+// the SoaSource engine fast path, and the huge layered generator.
+//
+// The load-bearing property is source equivalence: simulating a DAG
+// through SoaSource (engine borrows the SoA arrays, zero copies) must be
+// bit-identical — makespan, per-task start/finish, ready times, stats —
+// to simulating the same DAG through the classic GraphSource path, for
+// every registry scheduler. The 10M-task path earns its speed purely from
+// layout, never from a different schedule.
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "core/soa_graph.hpp"
+#include "instances/interner.hpp"
+#include "instances/random_dags.hpp"
+#include "instances/streaming.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+// -- NameInterner -----------------------------------------------------------
+
+TEST(NameInterner, DeduplicatesToTheSamePointer) {
+  NameInterner interner;
+  const std::string_view a = interner.intern("reduce-stage");
+  const std::string_view b = interner.intern("reduce-stage");
+  EXPECT_EQ(a.data(), b.data());  // same arena bytes, not just equal text
+  EXPECT_EQ(interner.size(), 1u);
+  EXPECT_EQ(interner.bytes(), a.size());
+}
+
+TEST(NameInterner, EmptyStringCostsNothing) {
+  NameInterner interner;
+  EXPECT_EQ(interner.intern(""), std::string_view{});
+  EXPECT_EQ(interner.size(), 0u);
+  EXPECT_EQ(interner.bytes(), 0u);
+}
+
+TEST(NameInterner, ViewsStaySableAcrossChunkGrowth) {
+  NameInterner interner;
+  // Force many chunks: each string is distinct and large enough that a
+  // few dozen cross the chunk boundary repeatedly.
+  std::vector<std::string_view> views;
+  std::vector<std::string> sources;
+  sources.reserve(300);
+  for (int i = 0; i < 300; ++i) {
+    sources.push_back("task-" + std::to_string(i) +
+                      std::string(512, 'x'));  // ~518 bytes each
+  }
+  views.reserve(sources.size());
+  for (const std::string& s : sources) views.push_back(interner.intern(s));
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(views[i], sources[i]);  // no view invalidated by later interns
+  }
+  EXPECT_EQ(interner.size(), sources.size());
+}
+
+TEST(NameInterner, StorageKeepsViewsAliveAfterInternerDies) {
+  std::string_view view;
+  std::shared_ptr<const void> storage;
+  {
+    NameInterner interner;
+    view = interner.intern("survivor");
+    storage = interner.storage();
+  }
+  EXPECT_EQ(view, "survivor");
+}
+
+// -- StreamingGraphBuilder --------------------------------------------------
+
+TEST(StreamingBuilder, MatchesGraphBuiltSoaOnRandomDags) {
+  for (const std::uint64_t seed : {7u, 19u, 512u}) {
+    Rng rng(seed);
+    RandomTaskParams params;
+    params.procs.max_procs = 8;
+    const TaskGraph g = random_layered_dag(rng, 300, 20, params);
+    const SoaGraph from_graph = build_soa_graph(g);
+
+    StreamingGraphBuilder builder(g.size());
+    std::vector<TaskId> preds;
+    for (TaskId id = 0; id < g.size(); ++id) {
+      const auto p = g.predecessors(id);
+      preds.assign(p.begin(), p.end());
+      builder.add_task(g.task(id).work, g.task(id).procs, preds);
+    }
+    const SoaGraph streamed = builder.finish();
+
+    ASSERT_EQ(streamed.size(), from_graph.size());
+    EXPECT_EQ(streamed.work, from_graph.work);
+    EXPECT_EQ(streamed.procs, from_graph.procs);
+    EXPECT_EQ(streamed.pred_offsets, from_graph.pred_offsets);
+    EXPECT_EQ(streamed.pred_data, from_graph.pred_data);
+    EXPECT_EQ(streamed.succ_offsets, from_graph.succ_offsets);
+    EXPECT_EQ(streamed.succ_data, from_graph.succ_data);
+    EXPECT_EQ(streamed.level_offsets, from_graph.level_offsets);
+    EXPECT_EQ(streamed.level_order, from_graph.level_order);
+    EXPECT_EQ(streamed.max_procs, from_graph.max_procs);
+    EXPECT_EQ(streamed.edge_count, from_graph.edge_count);
+  }
+}
+
+TEST(StreamingBuilder, DeduplicatesAndSortsPredecessors) {
+  StreamingGraphBuilder builder;
+  builder.add_task(1.0, 1, {});
+  builder.add_task(1.0, 1, {});
+  const TaskId dups[] = {1, 0, 1, 0, 1};
+  builder.add_task(2.0, 2, dups);
+  const SoaGraph g = builder.finish();
+  const auto preds = g.predecessors(2);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], 0u);
+  EXPECT_EQ(preds[1], 1u);
+  EXPECT_EQ(g.edge_count, 2u);
+}
+
+TEST(StreamingBuilder, RejectsForwardAndSelfReferences) {
+  StreamingGraphBuilder builder;
+  builder.add_task(1.0, 1, {});
+  const TaskId self[] = {1};  // the task being added
+  EXPECT_THROW((void)builder.add_task(1.0, 1, self), ContractViolation);
+  StreamingGraphBuilder builder2;
+  builder2.add_task(1.0, 1, {});
+  const TaskId forward[] = {5};
+  EXPECT_THROW((void)builder2.add_task(1.0, 1, forward), ContractViolation);
+}
+
+TEST(StreamingBuilder, InternsRepeatedNamesIntoOneArenaCopy) {
+  StreamingGraphBuilder builder;
+  builder.add_task(1.0, 1, {}, "map");
+  builder.add_task(1.0, 1, {}, "map");
+  builder.add_task(1.0, 1, {}, "reduce");
+  const SoaGraph g = builder.finish();
+  ASSERT_EQ(g.names.size(), 3u);
+  EXPECT_EQ(g.name(0), "map");
+  EXPECT_EQ(g.name(1), "map");
+  EXPECT_EQ(g.name(0).data(), g.name(1).data());  // one arena copy
+  EXPECT_EQ(g.name(2), "reduce");
+  EXPECT_NE(g.name_storage, nullptr);
+}
+
+// -- SoaSource engine equivalence -------------------------------------------
+
+TEST(SoaSource, BitIdenticalToGraphSourceForEveryRegistryScheduler) {
+  Rng rng(4242);
+  RandomTaskParams params;
+  params.procs.max_procs = 8;
+  const TaskGraph g = random_layered_dag(rng, 400, 25, params);
+  const SoaGraph soa = build_soa_graph(g);
+  constexpr int kProcs = 8;
+
+  for (const SchedulerEntry& entry : scheduler_registry()) {
+    if (entry.independent_only && g.edge_count() != 0) continue;
+    for (const ScheduleMode mode :
+         {ScheduleMode::Identity, ScheduleMode::Counting}) {
+      auto graph_sched = make_scheduler(entry.name, g);
+      ASSERT_NE(graph_sched, nullptr) << entry.name;
+      const SimResult via_graph =
+          simulate(g, *graph_sched, kProcs, SimOptions{mode});
+
+      auto soa_sched = make_scheduler(entry.name, g);
+      SoaSource source(soa);
+      const SimResult via_soa =
+          simulate(source, *soa_sched, kProcs, SimOptions{mode});
+
+      EXPECT_EQ(via_graph.makespan, via_soa.makespan) << entry.name;
+      EXPECT_EQ(via_graph.stats.decision_points,
+                via_soa.stats.decision_points)
+          << entry.name;
+      EXPECT_EQ(via_graph.stats.events, via_soa.stats.events) << entry.name;
+      EXPECT_EQ(via_graph.stats.busy_area, via_soa.stats.busy_area)
+          << entry.name;
+      EXPECT_EQ(via_graph.ready_times, via_soa.ready_times) << entry.name;
+      ASSERT_EQ(via_graph.schedule.size(), via_soa.schedule.size())
+          << entry.name;
+      for (const ScheduledTask& e : via_graph.schedule.entries()) {
+        const ScheduledTask& s = via_soa.schedule.entry_for(e.id);
+        EXPECT_EQ(e.start, s.start) << entry.name;
+        EXPECT_EQ(e.finish, s.finish) << entry.name;
+        EXPECT_EQ(e.procs(), s.procs()) << entry.name;
+      }
+    }
+  }
+}
+
+TEST(SoaSource, RealizedGraphRoundTrips) {
+  Rng rng(99);
+  RandomTaskParams params;
+  const TaskGraph g = random_layered_dag(rng, 120, 10, params);
+  const SoaGraph soa = build_soa_graph(g);
+  SoaSource source(soa);
+  const TaskGraph& realized = source.realized_graph();
+  ASSERT_EQ(realized.size(), g.size());
+  EXPECT_EQ(realized.edge_count(), g.edge_count());
+  for (TaskId id = 0; id < g.size(); ++id) {
+    EXPECT_EQ(realized.task(id).work, g.task(id).work);
+    EXPECT_EQ(realized.task(id).procs, g.task(id).procs);
+    const auto a = soa.predecessors(id);
+    const auto b = realized.predecessors(id);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+// -- huge_layered_soa -------------------------------------------------------
+
+TEST(HugeLayeredSoa, StructureAndDeterminism) {
+  RandomTaskParams params;
+  params.procs.max_procs = 16;
+  Rng rng_a(1234);
+  const SoaGraph a = huge_layered_soa(rng_a, 5000, 50, params);
+  ASSERT_EQ(a.size(), 5000u);
+  EXPECT_LE(a.level_count(), 50u);  // levels can merge, never exceed layers
+  EXPECT_GE(a.level_count(), 2u);
+  EXPECT_GE(a.edge_count, 5000u - 50u);  // every non-seed task has >= 1 pred
+  EXPECT_LE(a.max_procs, 16);
+
+  Rng rng_b(1234);
+  const SoaGraph b = huge_layered_soa(rng_b, 5000, 50, params);
+  EXPECT_EQ(a.work, b.work);
+  EXPECT_EQ(a.procs, b.procs);
+  EXPECT_EQ(a.pred_offsets, b.pred_offsets);
+  EXPECT_EQ(a.pred_data, b.pred_data);
+}
+
+TEST(HugeLayeredSoa, SimulatesUnderBothModes) {
+  RandomTaskParams params;
+  params.procs.max_procs = 8;
+  Rng rng(777);
+  const SoaGraph soa = huge_layered_soa(rng, 2000, 40, params);
+  auto sched = make_scheduler("list-fifo");
+  ASSERT_NE(sched, nullptr);
+  SoaSource counting_source(soa);
+  const SimResult counting = simulate(counting_source, *sched, 8,
+                                      SimOptions{ScheduleMode::Counting});
+  EXPECT_EQ(counting.schedule.size(), soa.size());
+  auto sched2 = make_scheduler("list-fifo");
+  SoaSource identity_source(soa);
+  const SimResult identity = simulate(identity_source, *sched2, 8);
+  EXPECT_EQ(identity.makespan, counting.makespan);
+}
+
+}  // namespace
+}  // namespace catbatch

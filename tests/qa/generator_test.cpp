@@ -60,6 +60,28 @@ TEST(Generator, DrawsFromEveryFamilyGroup) {
   EXPECT_TRUE(any_with_prefix("degenerate-"));
 }
 
+TEST(Generator, HugeFamilyStaysLinearAndValid) {
+  GeneratorOptions options;
+  options.huge = true;
+  options.max_tasks = 3000;  // scaled-down: same shapes, fast to validate
+  options.max_procs = 16;
+  std::set<std::string> origins;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    const FuzzInstance instance = generate_instance(rng, options);
+    origins.insert(instance.origin);
+    EXPECT_EQ(instance.origin.rfind("huge-", 0), 0u) << instance.origin;
+    EXPECT_GE(instance.graph.size(), options.max_tasks / 4) << "seed " << seed;
+    EXPECT_LE(instance.graph.size(), options.max_tasks) << "seed " << seed;
+    // The whole point of the family: edges stay O(n) (bounded in-degree).
+    EXPECT_LE(instance.graph.edge_count(), 4 * instance.graph.size())
+        << instance.origin;
+    EXPECT_NO_THROW(instance.graph.validate(instance.procs))
+        << "seed " << seed;
+  }
+  EXPECT_GE(origins.size(), 4u) << "family mix collapsed";
+}
+
 TEST(Generator, DeterministicInSeed) {
   GeneratorOptions options;
   Rng a(42), b(42);

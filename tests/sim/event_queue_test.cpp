@@ -1,0 +1,217 @@
+// The event queue's one observable contract: pops come out in exactly
+// (time, seq) order — bit-identical to the reference binary heap — no
+// matter which internal mode (heap or calendar) is active, including under
+// adversarial time distributions designed to break bucketing: every event
+// at the same instant, power-law clustering, strictly monotone arrivals.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Reference implementation: the plain binary heap the engine used before
+/// the calendar queue, with the same push-order seq assignment.
+class ReferenceHeap {
+ public:
+  void push(Time at, TaskId id, SimEvent::Kind kind) {
+    heap_.push(SimEvent{at, seq_++, id, kind});
+  }
+  SimEvent pop() {
+    const SimEvent ev = heap_.top();
+    heap_.pop();
+    return ev;
+  }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+ private:
+  std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<SimEvent>>
+      heap_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Drives both queues through the same (time, pop-probability) script and
+/// asserts every popped event matches field for field.
+void cross_check(const std::vector<Time>& times, Rng& rng,
+                 double pop_probability, bool expect_calendar) {
+  EventQueue queue;
+  ReferenceHeap reference;
+  bool saw_calendar = false;
+  std::uint32_t next_id = 0;
+  for (const Time at : times) {
+    const auto kind = (next_id % 3 == 0) ? SimEvent::Kind::Release
+                                         : SimEvent::Kind::Completion;
+    queue.push(at, next_id, kind);
+    reference.push(at, next_id, kind);
+    ++next_id;
+    saw_calendar = saw_calendar || queue.calendar_active();
+    while (!queue.empty() && rng.uniform_real(0.0, 1.0) < pop_probability) {
+      ASSERT_FALSE(reference.empty());
+      const SimEvent got = queue.pop();
+      const SimEvent want = reference.pop();
+      ASSERT_EQ(got.at, want.at);
+      ASSERT_EQ(got.seq, want.seq);
+      ASSERT_EQ(got.id, want.id);
+      ASSERT_EQ(got.kind, want.kind);
+    }
+  }
+  while (!queue.empty()) {
+    ASSERT_FALSE(reference.empty());
+    const SimEvent got = queue.pop();
+    const SimEvent want = reference.pop();
+    ASSERT_EQ(got.at, want.at);
+    ASSERT_EQ(got.seq, want.seq);
+    ASSERT_EQ(got.id, want.id);
+    ASSERT_EQ(got.kind, want.kind);
+  }
+  EXPECT_TRUE(reference.empty());
+  if (expect_calendar) {
+    EXPECT_TRUE(saw_calendar)
+        << "distribution was expected to activate the calendar mode";
+  }
+}
+
+TEST(EventQueue, PopsInTimeOrderWithFifoTieBreak) {
+  EventQueue q;
+  q.push(3.0, 1, SimEvent::Kind::Completion);
+  q.push(1.0, 2, SimEvent::Kind::Completion);
+  q.push(1.0, 3, SimEvent::Kind::Release);
+  q.push(2.0, 4, SimEvent::Kind::Completion);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.pop().id, 2u);  // t=1, pushed before id 3
+  EXPECT_EQ(q.pop().id, 3u);
+  EXPECT_EQ(q.pop().id, 4u);
+  EXPECT_EQ(q.pop().id, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, AllEqualTimesStayFifoAndNeverKeepACalendar) {
+  // 6000 events at the same instant: bucketing is useless, the queue must
+  // fall back to (or stay on) the heap and still pop in push order.
+  Rng rng(42);
+  const std::vector<Time> times(6000, 1.25);
+  cross_check(times, rng, 0.3, /*expect_calendar=*/false);
+
+  EventQueue q;
+  for (std::uint32_t i = 0; i < 6000; ++i) {
+    q.push(7.5, i, SimEvent::Kind::Completion);
+  }
+  EXPECT_FALSE(q.calendar_active())
+      << "a degenerate all-equal distribution must not keep a calendar";
+  for (std::uint32_t i = 0; i < 6000; ++i) {
+    ASSERT_EQ(q.pop().id, i);
+  }
+}
+
+TEST(EventQueue, PowerLawClusteredTimesMatchReference) {
+  // Heavy-tailed: most events crammed near t=1, a long sparse tail — the
+  // classic calendar-queue killer (overcrowded buckets + empty years).
+  Rng rng(7);
+  std::vector<Time> times;
+  times.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double u = std::max(rng.uniform_real(0.0, 1.0), 1e-9);
+    times.push_back(1.0 + std::pow(u, -1.5));
+  }
+  Rng pops(8);
+  cross_check(times, pops, 0.2, /*expect_calendar=*/true);
+}
+
+TEST(EventQueue, MonotoneTimesMatchReference) {
+  // Strictly increasing times, drained concurrently: drives the calendar's
+  // day cursor forward through long empty stretches.
+  Rng rng(19);
+  std::vector<Time> times;
+  times.reserve(20000);
+  Time t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += 0.5 + 4.0 * rng.uniform_real(0.0, 1.0);
+    times.push_back(t);
+  }
+  Rng pops(20);
+  cross_check(times, pops, 0.2, /*expect_calendar=*/true);
+}
+
+TEST(EventQueue, UniformRandomTimesMatchReference) {
+  Rng rng(101);
+  std::vector<Time> times;
+  times.reserve(30000);
+  for (int i = 0; i < 30000; ++i) {
+    times.push_back(1000.0 * rng.uniform_real(0.0, 1.0));
+  }
+  Rng pops(102);
+  cross_check(times, pops, 0.25, /*expect_calendar=*/true);
+}
+
+TEST(EventQueue, TiesInsideACalendarDayStayFifo) {
+  // Spread enough to activate the calendar, then hammer one instant so a
+  // single day holds a run of equal times; their pop order must be seq.
+  EventQueue q;
+  std::uint32_t id = 0;
+  for (int i = 0; i < 4000; ++i) {
+    q.push(static_cast<Time>(i), id++, SimEvent::Kind::Completion);
+  }
+  for (int i = 0; i < 30; ++i) {
+    q.push(1500.5, id++, SimEvent::Kind::Completion);
+  }
+  ReferenceHeap ref;
+  {
+    std::uint32_t rid = 0;
+    for (int i = 0; i < 4000; ++i) {
+      ref.push(static_cast<Time>(i), rid++, SimEvent::Kind::Completion);
+    }
+    for (int i = 0; i < 30; ++i) {
+      ref.push(1500.5, rid++, SimEvent::Kind::Completion);
+    }
+  }
+  while (!q.empty()) {
+    const SimEvent got = q.pop();
+    const SimEvent want = ref.pop();
+    ASSERT_EQ(got.at, want.at);
+    ASSERT_EQ(got.seq, want.seq);
+    ASSERT_EQ(got.id, want.id);
+  }
+}
+
+TEST(EventQueue, DrainsBackToHeapMode) {
+  EventQueue q;
+  Rng rng(5);
+  for (std::uint32_t i = 0; i < 8000; ++i) {
+    q.push(1000.0 * rng.uniform_real(0.0, 1.0), i, SimEvent::Kind::Completion);
+  }
+  EXPECT_TRUE(q.calendar_active());
+  while (q.size() > 10) (void)q.pop();
+  EXPECT_FALSE(q.calendar_active())
+      << "a drained queue should collapse back to the heap";
+  Time last = -1.0;
+  while (!q.empty()) {
+    const Time at = q.pop().at;
+    EXPECT_GE(at, last);
+    last = at;
+  }
+}
+
+TEST(EventQueue, SmallQueuesNeverLeaveHeapMode) {
+  // The engine's no-release-time steady state: never more than P pending.
+  EventQueue q;
+  Rng rng(3);
+  std::uint32_t id = 0;
+  for (int round = 0; round < 2000; ++round) {
+    while (q.size() < 32) {
+      q.push(1000.0 * rng.uniform_real(0.0, 1.0), id++, SimEvent::Kind::Completion);
+    }
+    (void)q.pop();
+    ASSERT_FALSE(q.calendar_active());
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,85 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+namespace catbatch {
+namespace {
+
+struct ParseResult {
+  bool ok;
+  std::int64_t value;
+  std::string error;
+};
+
+ParseResult parse(std::string_view text, std::int64_t lo, std::int64_t hi) {
+  std::ostringstream err;
+  std::int64_t out = -12345;
+  const bool ok = parse_flag_value("prog", "--flag", text, lo, hi, out, err);
+  return {ok, out, err.str()};
+}
+
+TEST(CliParseFlag, AcceptsInRangeIntegers) {
+  const ParseResult r = parse("42", 1, 100);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 42);
+  EXPECT_TRUE(r.error.empty());
+}
+
+TEST(CliParseFlag, AcceptsBoundaryValues) {
+  EXPECT_TRUE(parse("1", 1, 100).ok);
+  EXPECT_TRUE(parse("100", 1, 100).ok);
+  EXPECT_TRUE(parse("-5", -5, 5).ok);
+}
+
+TEST(CliParseFlag, RejectsOutOfRange) {
+  EXPECT_FALSE(parse("0", 1, 100).ok);
+  EXPECT_FALSE(parse("101", 1, 100).ok);
+  EXPECT_FALSE(parse("-1", 0, std::numeric_limits<std::int64_t>::max()).ok);
+}
+
+TEST(CliParseFlag, RejectsNonNumericJunk) {
+  EXPECT_FALSE(parse("banana", 0, 100).ok);
+  EXPECT_FALSE(parse("", 0, 100).ok);
+  EXPECT_FALSE(parse("0x10", 0, 100).ok);
+  EXPECT_FALSE(parse("12abc", 0, 100).ok);
+  EXPECT_FALSE(parse(" 7", 0, 100).ok);
+  EXPECT_FALSE(parse("7 ", 0, 100).ok);
+  EXPECT_FALSE(parse("1e3", 0, 10000).ok);
+}
+
+TEST(CliParseFlag, RejectsOverflowInsteadOfWrapping) {
+  EXPECT_FALSE(
+      parse("99999999999999999999", 0,
+            std::numeric_limits<std::int64_t>::max())
+          .ok);
+}
+
+TEST(CliParseFlag, FailureLeavesOutputUntouched) {
+  std::ostringstream err;
+  std::int64_t out = 777;
+  EXPECT_FALSE(parse_flag_value("prog", "--n", "junk", 0, 10, out, err));
+  EXPECT_EQ(out, 777);
+}
+
+TEST(CliParseFlag, DiagnosticNamesProgramFlagRangeAndValue) {
+  const ParseResult r = parse("banana", 2, 64);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error,
+            "prog: --flag expects an integer in [2, 64], got 'banana'\n");
+}
+
+TEST(CliParseFlag, FlagParserBindsProgramName) {
+  // The binder is what the argument loops use; same policy, same message.
+  const FlagParser flags("sched_cli");
+  std::int64_t out = 0;
+  EXPECT_TRUE(flags.parse("--procs", "8", 1, 1 << 20, out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(flags.parse("--procs", "none", 1, 1 << 20, out));
+}
+
+}  // namespace
+}  // namespace catbatch

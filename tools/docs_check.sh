@@ -6,12 +6,16 @@
 #   1. every flag printed by `sched_cli --help` is documented in README.md
 #      and in the usage-derived docs (docs/OBSERVABILITY.md only needs the
 #      observability flags it owns);
-#   2. every bench binary (bench/bench_*.cpp) appears in docs/BENCHMARKS.md.
+#   2. every bench binary (bench/bench_*.cpp) appears in docs/BENCHMARKS.md;
+#   3. the perf-gate interface (bench_perf_engine modes and the gated
+#      metrics) is documented in docs/BENCHMARKS.md, and DESIGN.md's
+#      engine-complexity section names the hot-path structures it
+#      describes — both drifted silently during past engine rewrites.
 #
 # Usage: docs_check.sh <path-to-sched_cli> <repo-source-dir> [path-to-catbatch_fuzz]
 #
-# When a catbatch_fuzz binary is given, a third contract applies: every flag
-# in its --help must be documented in README.md and docs/FUZZING.md.
+# When a catbatch_fuzz binary is given, a further contract applies: every
+# flag in its --help must be documented in README.md and docs/FUZZING.md.
 
 set -euo pipefail
 
@@ -86,7 +90,27 @@ if [[ -n "$fuzz_cli" ]]; then
   fuzz_flag_count="$(wc -w <<<"$fuzz_flags")"
 fi
 
-# --- 3. bench binaries -----------------------------------------------------
+# --- 3. perf interface and engine-design docs ------------------------------
+
+# The perf bench's modes and gated metrics, as spelled in its usage text;
+# each must appear backquoted or verbatim in docs/BENCHMARKS.md.
+for term in "--gate" "--smoke" "--smoke-1m" "--write-baseline" \
+    "--baseline" "bytes_per_task" "speedup_vs_pre" \
+    "CATBATCH_PERF_GATE_FACTOR" "CATBATCH_PERF_GATE_MEM_FACTOR"; do
+  if ! grep -qF -- "$term" "$src/docs/BENCHMARKS.md"; then
+    err "perf interface term '$term' is not documented in docs/BENCHMARKS.md"
+  fi
+done
+
+# DESIGN.md's engine-complexity section must describe the structures the
+# hot path actually uses (renames here mean the section went stale).
+for term in "TaskRec" "calendar" "earliest_start"; do
+  if ! grep -qF -- "$term" "$src/DESIGN.md"; then
+    err "DESIGN.md no longer mentions hot-path structure '$term'"
+  fi
+done
+
+# --- 4. bench binaries -----------------------------------------------------
 
 found_bench=0
 for bench_src in "$src"/bench/bench_*.cpp; do
