@@ -1,0 +1,311 @@
+// catbatchd service throughput: sessions/sec, decisions/sec, and
+// per-request latency percentiles through the real protocol path, plus the
+// service regression gate.
+//
+// Drives run_loadgen() against an in-process ServiceHub (HubClient — the
+// protocol + engine cost with zero transport I/O, the same path the unix
+// transport serializes onto per-connection strands) at 64 concurrent
+// client connections, one scenario per session clock. Emits
+// BENCH_service.json.
+//
+// Entry points (see bench/CMakeLists.txt):
+//
+//   --gate   runs both scenarios and compares decisions/sec against the
+//            checked-in baseline (bench/service_baseline.txt): throughput
+//            must stay above CATBATCH_PERF_GATE_FACTOR (default 0.5) times
+//            the recorded value, and the simulated-clock scenario must
+//            clear the absolute floor of 10k decisions/sec regardless of
+//            the baseline. A missing baseline or key FAILS the gate.
+//   --smoke  tiny sizes (sanitizer-safe), validates the JSON shape only.
+//   --write-baseline  rewrites the cur.* keys of the baseline file.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/json_report.hpp"
+#include "service/client.hpp"
+#include "service/hub.hpp"
+#include "service/loadgen.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+/// The acceptance floor for the service: aggregate decision throughput at
+/// 64 concurrent sessions must not fall below this, baseline or not.
+constexpr double kAbsoluteFloorDecisionsPerSec = 10000.0;
+
+struct Scenario {
+  const char* name;   // baseline key component
+  const char* clock;  // "simulated" | "external"
+};
+
+constexpr Scenario kScenarios[] = {{"simulated", "simulated"},
+                                   {"external", "external"}};
+
+struct Measurement {
+  std::string scenario;
+  LoadgenOptions options;
+  LoadgenStats stats;
+};
+
+Measurement measure(const Scenario& scenario, bool smoke) {
+  LoadgenOptions options;
+  options.sessions = smoke ? 8 : 256;
+  options.concurrency = smoke ? 2 : 64;
+  options.tasks_per_session = smoke ? 8 : 64;
+  options.procs = 64;
+  options.algo = "catbatch";
+  options.clock = scenario.clock;
+  options.seed = 20260808;
+
+  ServiceHub hub;
+  const ClientFactory factory = [&]() -> std::unique_ptr<LineClient> {
+    return std::make_unique<HubClient>(hub);
+  };
+  Measurement m;
+  m.scenario = scenario.name;
+  m.options = options;
+  m.stats = run_loadgen(factory, options);
+  return m;
+}
+
+std::map<std::string, double> load_baseline(const std::string& path,
+                                            bool* file_ok) {
+  std::map<std::string, double> baseline;
+  std::ifstream in(path);
+  if (file_ok != nullptr) *file_ok = in.good();
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    double value = 0.0;
+    if (fields >> key >> value && !key.empty() && key[0] != '#') {
+      baseline[key] = value;
+    }
+  }
+  return baseline;
+}
+
+std::string baseline_key(const Measurement& m) {
+  return "cur.service." + m.scenario + ".decisions_per_sec";
+}
+
+double lookup(const std::map<std::string, double>& baseline,
+              const std::string& key) {
+  const auto it = baseline.find(key);
+  return it == baseline.end() ? 0.0 : it->second;
+}
+
+std::string report_json(const std::vector<Measurement>& results,
+                        const std::map<std::string, double>& baseline,
+                        const char* mode) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("service");
+  w.key("schema").value(1);
+  w.key("mode").value(mode);
+  w.key("transport").value("hub");
+  w.key("results").begin_array();
+  for (const Measurement& m : results) {
+    w.begin_object();
+    w.key("scenario").value(m.scenario);
+    w.key("algo").value(m.options.algo);
+    w.key("clock").value(m.options.clock);
+    w.key("sessions").value(m.stats.sessions);
+    w.key("concurrency").value(m.options.concurrency);
+    w.key("tasks_per_session").value(m.options.tasks_per_session);
+    w.key("procs").value(m.options.procs);
+    w.key("requests").value(m.stats.requests);
+    w.key("decisions").value(m.stats.decisions);
+    w.key("elapsed_sec").value(m.stats.elapsed_sec);
+    w.key("sessions_per_sec").value(m.stats.sessions_per_sec);
+    w.key("decisions_per_sec").value(m.stats.decisions_per_sec);
+    w.key("p50_latency_us").value(m.stats.p50_latency_us);
+    w.key("p99_latency_us").value(m.stats.p99_latency_us);
+    w.key("max_latency_us").value(m.stats.max_latency_us);
+    const double base = lookup(baseline, baseline_key(m));
+    if (base > 0.0) w.key("baseline_decisions_per_sec").value(base);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool json_shape_ok(const std::string& json,
+                   const std::vector<Measurement>& results) {
+  const char* required[] = {"\"bench\"",
+                            "\"service\"",
+                            "\"results\"",
+                            "\"decisions_per_sec\"",
+                            "\"p50_latency_us\"",
+                            "\"p99_latency_us\""};
+  for (const char* token : required) {
+    if (json.find(token) == std::string::npos) {
+      std::fprintf(stderr, "BENCH_service.json is missing %s\n", token);
+      return false;
+    }
+  }
+  std::size_t entries = 0;
+  for (std::size_t at = json.find("\"scenario\""); at != std::string::npos;
+       at = json.find("\"scenario\"", at + 1)) {
+    ++entries;
+  }
+  if (entries != results.size()) {
+    std::fprintf(stderr,
+                 "BENCH_service.json has %zu entries, expected %zu\n",
+                 entries, results.size());
+    return false;
+  }
+  return !json.empty() && json.front() == '{' && json.back() == '}';
+}
+
+double env_factor(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    const double f = std::atof(env);
+    if (f > 0.0) return f;
+  }
+  return fallback;
+}
+
+bool write_baseline(const std::string& path,
+                    const std::vector<Measurement>& results) {
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("cur.", 0) == 0) continue;
+      kept.push_back(line);
+    }
+  }
+  while (!kept.empty() && kept.back().empty()) kept.pop_back();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write baseline file %s\n", path.c_str());
+    return false;
+  }
+  for (const std::string& line : kept) out << line << "\n";
+  out.precision(6);
+  out.setf(std::ios::scientific, std::ios::floatfield);
+  for (const Measurement& m : results) {
+    out << baseline_key(m) << " " << m.stats.decisions_per_sec << "\n";
+  }
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate = false;
+  bool smoke = false;
+  bool write = false;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--write-baseline") == 0) {
+      write = true;
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--gate|--smoke|--write-baseline] "
+                   "[--baseline FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (write && baseline_path.empty()) {
+    std::fprintf(stderr, "--write-baseline requires --baseline FILE\n");
+    return 2;
+  }
+
+  bool baseline_file_ok = false;
+  const std::map<std::string, double> baseline =
+      baseline_path.empty()
+          ? std::map<std::string, double>{}
+          : load_baseline(baseline_path, &baseline_file_ok);
+  if (gate && (!baseline_file_ok || baseline.empty())) {
+    std::fprintf(stderr,
+                 "gate: baseline file '%s' is missing, unreadable, or empty "
+                 "-- refusing to pass silently.\n"
+                 "gate: regenerate with: %s --write-baseline --baseline %s\n",
+                 baseline_path.c_str(), argv[0], baseline_path.c_str());
+    return 1;
+  }
+
+  std::vector<Measurement> results;
+  for (const Scenario& scenario : kScenarios) {
+    const Measurement m = measure(scenario, smoke);
+    std::printf(
+        "%-10s sessions=%llu decisions_per_sec=%.6e sessions_per_sec=%.3e "
+        "p50_us=%.1f p99_us=%.1f\n",
+        m.scenario.c_str(),
+        static_cast<unsigned long long>(m.stats.sessions),
+        m.stats.decisions_per_sec, m.stats.sessions_per_sec,
+        m.stats.p50_latency_us, m.stats.p99_latency_us);
+    results.push_back(m);
+  }
+
+  const char* mode = smoke   ? "smoke"
+                     : gate  ? "gate"
+                     : write ? "write-baseline"
+                             : "full";
+  const std::string json = report_json(results, baseline, mode);
+  const std::string path = write_bench_report("service", json);
+  std::printf("wrote %s\n", path.c_str());
+
+  if (smoke) {
+    if (!json_shape_ok(json, results)) return 1;
+    std::printf("smoke: BENCH_service.json shape OK\n");
+    return 0;
+  }
+
+  if (write) {
+    if (!write_baseline(baseline_path, results)) return 1;
+    std::printf("rewrote cur.* keys of %s\n", baseline_path.c_str());
+    return 0;
+  }
+
+  if (gate) {
+    const double factor = env_factor("CATBATCH_PERF_GATE_FACTOR", 0.5);
+    bool ok = true;
+    for (const Measurement& m : results) {
+      const std::string key = baseline_key(m);
+      const double base = lookup(baseline, key);
+      if (base <= 0.0) {
+        std::fprintf(stderr,
+                     "gate: FAIL -- baseline has no %s (a stale baseline "
+                     "does not excuse the gate).\n",
+                     key.c_str());
+        ok = false;
+        continue;
+      }
+      double floor = factor * base;
+      if (m.options.clock == std::string("simulated")) {
+        floor = std::max(floor, kAbsoluteFloorDecisionsPerSec);
+      }
+      const bool pass = m.stats.decisions_per_sec >= floor;
+      std::printf("gate: %-10s measured=%.3e floor=%.3e (%.2fx baseline) "
+                  "%s\n",
+                  m.scenario.c_str(), m.stats.decisions_per_sec, floor,
+                  m.stats.decisions_per_sec / base, pass ? "PASS" : "FAIL");
+      ok = ok && pass;
+    }
+    return ok ? 0 : 1;
+  }
+
+  return 0;
+}

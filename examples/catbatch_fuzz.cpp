@@ -23,6 +23,7 @@
 
 #include "qa/corpus.hpp"
 #include "qa/fuzzer.hpp"
+#include "qa/protocol_fuzz.hpp"
 #include "support/cli.hpp"
 
 namespace {
@@ -49,6 +50,9 @@ void print_usage(std::ostream& os) {
         "  --corpus DIR     write shrunk repros into DIR as JSON\n"
         "  --replay DIR     replay a corpus directory instead of fuzzing:\n"
         "                   every case must pass the full battery\n"
+        "  --protocol N     fuzz the catbatchd wire protocol instead: N\n"
+        "                   adversarial connection conversations against\n"
+        "                   the in-process service hub\n"
         "  --quiet          only print the final summary line\n"
         "  --help           print this message and exit\n";
 }
@@ -65,6 +69,24 @@ bool parse_flag(const std::string& flag, const char* text,
                 std::int64_t& out) {
   return parse_flag_value("catbatch_fuzz", flag, text, min_value, max_value,
                           out);
+}
+
+int protocol_fuzz_main(std::uint64_t seed, std::size_t iterations,
+                       bool quiet) {
+  ProtocolFuzzOptions options;
+  options.seed = seed;
+  options.iterations = iterations;
+  const ProtocolFuzzReport report = run_protocol_fuzz(options);
+  if (!quiet) {
+    for (const std::string& finding : report.findings) {
+      std::cout << "FINDING " << finding << "\n";
+    }
+  }
+  std::cout << "protocol-fuzz: " << report.iterations_run
+            << " conversations, " << report.lines_sent << " lines, "
+            << report.error_replies << " error replies, "
+            << report.findings.size() << " finding(s)\n";
+  return report.clean() ? 0 : 1;
 }
 
 int replay_corpus(const std::string& directory, bool quiet) {
@@ -101,6 +123,7 @@ int replay_corpus(const std::string& directory, bool quiet) {
 int main(int argc, char** argv) {
   FuzzOptions options;
   std::string replay_dir;
+  std::size_t protocol_iters = 0;
   bool quiet = false;
   bool max_tasks_given = false;
   bool mutate_given = false;
@@ -143,6 +166,9 @@ int main(int argc, char** argv) {
       options.corpus_dir = argv[++k];
     } else if (arg == "--replay" && has_value) {
       replay_dir = argv[++k];
+    } else if (arg == "--protocol" && has_value) {
+      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return 2;
+      protocol_iters = static_cast<std::size_t>(value);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help") {
@@ -165,6 +191,9 @@ int main(int argc, char** argv) {
     options.oracles.scale_gate_tasks = 10'000;
   }
 
+  if (protocol_iters > 0) {
+    return protocol_fuzz_main(options.seed, protocol_iters, quiet);
+  }
   if (!replay_dir.empty()) return replay_corpus(replay_dir, quiet);
 
   if (!quiet) {

@@ -1,0 +1,204 @@
+// catbatch_loadgen: protocol load generator for catbatchd.
+//
+// Drives many concurrent scheduling sessions of pseudo-random layered DAGs
+// through the wire protocol and reports throughput and per-request latency
+// percentiles:
+//
+//   $ ./catbatch_loadgen --session 256 --concurrency 8      # in-process hub
+//   $ ./catbatch_loadgen --protocol unix --socket /tmp/catbatch.sock
+//   $ ./catbatch_loadgen --algo easy-backfill --clock external --json out.json
+//
+// --protocol hub serves the traffic against an in-process ServiceHub — the
+// number it reports is protocol + engine cost with zero I/O, the same path
+// bench_service measures. --protocol unix talks to a running daemon.
+#include <array>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/loadgen.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+void print_usage(std::ostream& os) {
+  os << "usage: catbatch_loadgen [options]\n"
+        "  --protocol MODE    target: hub (in-process, default) | unix\n"
+        "  --socket PATH      socket file for --protocol unix\n"
+        "  --session N        total sessions to run (default 256)\n"
+        "  --concurrency N    client threads, one connection each"
+        " (default 8)\n"
+        "  --tasks N          tasks per session (default 64)\n"
+        "  --procs N          platform size per session (default 64)\n"
+        "  --algo NAME        registry algorithm (default catbatch)\n"
+        "  --clock MODE       session clock: simulated | external"
+        " (default simulated)\n"
+        "  --seed S           base seed for the generated DAGs (default 1)\n"
+        "  --json FILE        write the stats as JSON to FILE\n"
+        "  --shutdown         after the run, ask the server to shut down\n"
+        "  --help             print this message and exit\n"
+        "exit codes: 0 success, 1 runtime failure, 2 usage error,\n"
+        "            3 protocol error, 4 contract violation\n";
+}
+
+int usage() {
+  print_usage(std::cerr);
+  return kExitUsage;
+}
+
+std::string stats_json(const LoadgenOptions& options,
+                       const LoadgenStats& stats) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("catbatch_loadgen");
+  w.key("algo").value(options.algo);
+  w.key("clock").value(options.clock);
+  w.key("sessions").value(stats.sessions);
+  w.key("concurrency").value(options.concurrency);
+  w.key("tasks_per_session").value(options.tasks_per_session);
+  w.key("requests").value(stats.requests);
+  w.key("decisions").value(stats.decisions);
+  w.key("elapsed_sec").value(stats.elapsed_sec);
+  w.key("sessions_per_sec").value(stats.sessions_per_sec);
+  w.key("decisions_per_sec").value(stats.decisions_per_sec);
+  w.key("p50_latency_us").value(stats.p50_latency_us);
+  w.key("p99_latency_us").value(stats.p99_latency_us);
+  w.key("max_latency_us").value(stats.max_latency_us);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags("catbatch_loadgen");
+  constexpr std::array<std::string_view, 2> kProtocols = {"hub", "unix"};
+  constexpr std::array<std::string_view, 2> kClocks = {"simulated",
+                                                       "external"};
+
+  std::string protocol = "hub";
+  std::string socket_path, json_path;
+  bool shutdown_after = false;
+  LoadgenOptions options;
+
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    std::int64_t value = 0;
+    if (arg == "--protocol" && k + 1 < argc) {
+      if (!flags.choice(arg, argv[++k], kProtocols, protocol)) {
+        return kExitUsage;
+      }
+    } else if (arg == "--socket" && k + 1 < argc) {
+      socket_path = argv[++k];
+    } else if (arg == "--session" && k + 1 < argc) {
+      if (!flags.parse(arg, argv[++k], 1, 1'000'000, value)) {
+        return kExitUsage;
+      }
+      options.sessions = static_cast<int>(value);
+    } else if (arg == "--concurrency" && k + 1 < argc) {
+      if (!flags.parse(arg, argv[++k], 1, 4096, value)) return kExitUsage;
+      options.concurrency = static_cast<int>(value);
+    } else if (arg == "--tasks" && k + 1 < argc) {
+      if (!flags.parse(arg, argv[++k], 1, 1'000'000, value)) {
+        return kExitUsage;
+      }
+      options.tasks_per_session = static_cast<int>(value);
+    } else if (arg == "--procs" && k + 1 < argc) {
+      if (!flags.parse(arg, argv[++k], 1, 1 << 20, value)) return kExitUsage;
+      options.procs = static_cast<int>(value);
+    } else if (arg == "--algo" && k + 1 < argc) {
+      options.algo = argv[++k];
+    } else if (arg == "--clock" && k + 1 < argc) {
+      if (!flags.choice(arg, argv[++k], kClocks, options.clock)) {
+        return kExitUsage;
+      }
+    } else if (arg == "--seed" && k + 1 < argc) {
+      if (!flags.parse(arg, argv[++k], 0,
+                       std::numeric_limits<std::int64_t>::max(), value)) {
+        return kExitUsage;
+      }
+      options.seed = static_cast<std::uint64_t>(value);
+    } else if (arg == "--json" && k + 1 < argc) {
+      json_path = argv[++k];
+    } else if (arg == "--shutdown") {
+      shutdown_after = true;
+    } else if (arg == "--help") {
+      print_usage(std::cout);
+      return kExitOk;
+    } else {
+      return usage();
+    }
+  }
+  if (protocol == "unix" && socket_path.empty()) {
+    std::cerr << "catbatch_loadgen: --protocol unix requires --socket PATH\n";
+    return kExitUsage;
+  }
+
+  try {
+    ServiceHub hub;  // only used by --protocol hub
+    const ClientFactory factory = [&]() -> std::unique_ptr<LineClient> {
+      if (protocol == "unix") {
+        return std::make_unique<SocketClient>(socket_path);
+      }
+      return std::make_unique<HubClient>(hub);
+    };
+    const LoadgenStats stats = run_loadgen(factory, options);
+    std::cerr << "target        : " << protocol << "\n"
+              << "algo          : " << options.algo << " (clock "
+              << options.clock << ")\n"
+              << "sessions      : " << stats.sessions << " ("
+              << options.concurrency << " threads, "
+              << options.tasks_per_session << " tasks each)\n"
+              << "elapsed       : " << stats.elapsed_sec << " s\n"
+              << "sessions/sec  : " << stats.sessions_per_sec << "\n"
+              << "decisions/sec : " << stats.decisions_per_sec << "\n"
+              << "latency (us)  : p50 " << stats.p50_latency_us << ", p99 "
+              << stats.p99_latency_us << ", max " << stats.max_latency_us
+              << "\n";
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return kExitRuntime;
+      }
+      out << stats_json(options, stats) << "\n";
+      std::cerr << "wrote " << json_path << "\n";
+    }
+    if (shutdown_after) {
+      // One dedicated connection: hello, then ask the server to stop.
+      const std::unique_ptr<LineClient> client = factory();
+      protocol_handshake(*client);
+      const std::string reply = client->request("{\"type\":\"shutdown\"}");
+      if (reply.find("\"type\":\"goodbye\"") == std::string::npos) {
+        throw std::runtime_error("shutdown request answered: " + reply);
+      }
+      std::cerr << "server acknowledged shutdown\n";
+    }
+    return kExitOk;
+  } catch (const ContractViolation& e) {
+    std::cerr << "catbatch_loadgen: contract violation: " << e.what()
+              << "\n";
+    return kExitContract;
+  } catch (const std::system_error& e) {
+    // Transport failures (connect, send, recv) are runtime, not protocol.
+    std::cerr << "catbatch_loadgen: " << e.what() << "\n";
+    return kExitRuntime;
+  } catch (const std::runtime_error& e) {
+    // Unexpected or error replies from the server surface here.
+    std::cerr << "catbatch_loadgen: protocol error: " << e.what() << "\n";
+    return kExitProtocol;
+  } catch (const std::exception& e) {
+    std::cerr << "catbatch_loadgen: " << e.what() << "\n";
+    return kExitRuntime;
+  }
+}

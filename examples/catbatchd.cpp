@@ -1,0 +1,100 @@
+// catbatchd: the scheduler-as-a-service daemon.
+//
+// Speaks the line-delimited JSON protocol (docs/SERVICE.md) over one of two
+// transports and multiplexes any number of concurrent scheduling sessions,
+// each running any registry algorithm:
+//
+//   $ ./catbatchd                                  # stdio, one connection
+//   $ ./catbatchd --protocol unix --socket /tmp/catbatch.sock --jobs 4
+//   $ ./catbatchd --protocol-spec                  # machine-readable spec
+//
+// The daemon exits when a client sends {"type":"shutdown"} (stdio: also on
+// EOF). --protocol-spec prints the accepted message set generated from the
+// same table the server validates against; tools/docs_check.sh diffs it
+// against docs/SERVICE.md.
+#include <array>
+#include <iostream>
+#include <string>
+
+#include "service/daemon.hpp"
+#include "service/protocol.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+void print_usage(std::ostream& os) {
+  os << "usage: catbatchd [options]\n"
+        "  --protocol MODE  transport: stdio | unix (default stdio)\n"
+        "  --socket PATH    socket file for --protocol unix\n"
+        "  --jobs N         worker threads for connection strands\n"
+        "                   (default: CATBATCH_JOBS, else hardware)\n"
+        "  --protocol-spec  print the wire-protocol spec and exit\n"
+        "  --help           print this message and exit\n"
+        "exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error,\n"
+        "            4 contract violation\n";
+}
+
+int usage() {
+  print_usage(std::cerr);
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags("catbatchd");
+  constexpr std::array<std::string_view, 2> kProtocols = {"stdio", "unix"};
+
+  std::string protocol = "stdio";
+  std::string socket_path;
+  int jobs = 0;
+
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    std::int64_t value = 0;
+    if (arg == "--protocol" && k + 1 < argc) {
+      if (!flags.choice(arg, argv[++k], kProtocols, protocol)) {
+        return kExitUsage;
+      }
+    } else if (arg == "--socket" && k + 1 < argc) {
+      socket_path = argv[++k];
+    } else if (arg == "--jobs" && k + 1 < argc) {
+      if (!flags.parse(arg, argv[++k], 0, 1 << 20, value)) return kExitUsage;
+      jobs = static_cast<int>(value);
+    } else if (arg == "--protocol-spec") {
+      std::cout << protocol_spec_text();
+      return kExitOk;
+    } else if (arg == "--help") {
+      print_usage(std::cout);
+      return kExitOk;
+    } else {
+      return usage();
+    }
+  }
+  if (protocol == "unix" && socket_path.empty()) {
+    std::cerr << "catbatchd: --protocol unix requires --socket PATH\n";
+    return kExitUsage;
+  }
+
+  try {
+    ServiceHub hub;
+    if (protocol == "unix") {
+      DaemonOptions options;
+      options.socket_path = socket_path;
+      options.jobs = jobs;
+      serve_unix(hub, options);
+    } else {
+      serve_stdio(hub, std::cin, std::cout);
+    }
+    return kExitOk;
+  } catch (const ContractViolation& e) {
+    std::cerr << "catbatchd: contract violation: " << e.what() << "\n";
+    return kExitContract;
+  } catch (const std::exception& e) {
+    std::cerr << "catbatchd: " << e.what() << "\n";
+    return kExitRuntime;
+  }
+}

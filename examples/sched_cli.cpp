@@ -37,6 +37,7 @@
 #include "sim/svg.hpp"
 #include "sim/trace.hpp"
 #include "sim/validate.hpp"
+#include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "support/text.hpp"
@@ -87,12 +88,14 @@ void print_usage(std::ostream& os) {
         "  --metrics      print the engine/scheduler metrics summary\n"
         "                 (single run)\n"
         "  --metrics-json FILE  write the metrics snapshot as JSON\n"
-        "  --help         print this message and exit\n";
+        "  --help         print this message and exit\n"
+        "exit codes: 0 success, 1 runtime failure, 2 usage error,\n"
+        "            4 contract violation\n";
 }
 
 int usage() {
   print_usage(std::cerr);
-  return 1;
+  return kExitUsage;
 }
 
 /// Strict numeric-flag parsing (support/cli.hpp): rejects non-numeric
@@ -148,31 +151,31 @@ int main(int argc, char** argv) {
     if (arg == "--algo" && k + 1 < argc) {
       algo = argv[++k];
     } else if (arg == "--procs" && k + 1 < argc) {
-      if (!parse_flag(arg, argv[++k], 1, 1 << 20, value)) return 1;
+      if (!parse_flag(arg, argv[++k], 1, 1 << 20, value)) return kExitUsage;
       procs = static_cast<int>(value);
     } else if (arg == "--random" && k + 1 < argc) {
       family_label = argv[++k];
     } else if (arg == "--tasks" && k + 1 < argc) {
-      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return 1;
+      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return kExitUsage;
       tasks = static_cast<std::size_t>(value);
     } else if (arg == "--trials" && k + 1 < argc) {
-      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return 1;
+      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return kExitUsage;
       trials = static_cast<std::size_t>(value);
     } else if (arg == "--seed" && k + 1 < argc) {
       if (!parse_flag(arg, argv[++k], 0,
                       std::numeric_limits<std::int64_t>::max(), value)) {
-        return 1;
+        return kExitUsage;
       }
       seed = static_cast<std::uint64_t>(value);
     } else if (arg == "--jobs" && k + 1 < argc) {
       // 0 keeps the CATBATCH_JOBS / hardware default; negatives are junk.
-      if (!parse_flag(arg, argv[++k], 0, 1 << 20, value)) return 1;
+      if (!parse_flag(arg, argv[++k], 0, 1 << 20, value)) return kExitUsage;
       jobs = static_cast<int>(value);
     } else if (arg == "--json" && k + 1 < argc) {
       json_path = argv[++k];
     } else if (arg == "--list-algos") {
       list_algos(std::cout);
-      return 0;
+      return kExitOk;
     } else if (arg == "--gantt") {
       gantt = true;
     } else if (arg == "--svg" && k + 1 < argc) {
@@ -193,7 +196,7 @@ int main(int argc, char** argv) {
       metrics_json_path = argv[++k];
     } else if (arg == "--help") {
       print_usage(std::cout);
-      return 0;
+      return kExitOk;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
     } else {
@@ -204,7 +207,7 @@ int main(int argc, char** argv) {
   try {
     if (emit_demo) {
       std::cout << to_json(make_paper_example(), 4);
-      return 0;
+      return kExitOk;
     }
 
     // ---- Random-family sweep mode -------------------------------------
@@ -247,13 +250,13 @@ int main(int argc, char** argv) {
         std::ofstream out(json_path);
         if (!out) {
           std::cerr << "cannot write " << json_path << "\n";
-          return 1;
+          return kExitRuntime;
         }
         out << sweep_report_json("sched_cli", options, grid, fs.wall_ms)
             << "\n";
         std::cerr << "wrote " << json_path << "\n";
       }
-      return 0;
+      return kExitOk;
     }
 
     // ---- File / demo instance -----------------------------------------
@@ -266,7 +269,7 @@ int main(int argc, char** argv) {
       std::ifstream in(path);
       if (!in) {
         std::cerr << "cannot open " << path << "\n";
-        return 1;
+        return kExitRuntime;
       }
       std::ostringstream buffer;
       buffer << in.rdbuf();
@@ -288,7 +291,7 @@ int main(int argc, char** argv) {
 
     if (dot) {
       std::cout << to_dot(graph);
-      return 0;
+      return kExitOk;
     }
 
     // Multi-trial timing sweep over a fixed instance: wrap the graph in a
@@ -327,13 +330,13 @@ int main(int argc, char** argv) {
         std::ofstream out(json_path);
         if (!out) {
           std::cerr << "cannot write " << json_path << "\n";
-          return 1;
+          return kExitRuntime;
         }
         out << sweep_report_json("sched_cli", options, grid, fs.wall_ms)
             << "\n";
         std::cerr << "wrote " << json_path << "\n";
       }
-      return 0;
+      return kExitOk;
     }
 
     auto scheduler = make_scheduler(algo, graph);
@@ -369,7 +372,7 @@ int main(int argc, char** argv) {
       std::ofstream out(trace_path);
       if (!out) {
         std::cerr << "cannot write " << trace_path << "\n";
-        return 1;
+        return kExitRuntime;
       }
       ChromeTraceOptions trace_options;
       trace_options.graph = &graph;
@@ -381,7 +384,7 @@ int main(int argc, char** argv) {
       std::ofstream out(metrics_json_path);
       if (!out) {
         std::cerr << "cannot write " << metrics_json_path << "\n";
-        return 1;
+        return kExitRuntime;
       }
       out << metrics_json(metrics_registry) << "\n";
       std::cerr << "wrote " << metrics_json_path << "\n";
@@ -396,15 +399,18 @@ int main(int argc, char** argv) {
         std::ofstream out(svg_path);
         if (!out) {
           std::cerr << "cannot write " << svg_path << "\n";
-          return 1;
+          return kExitRuntime;
         }
         out << svg_gantt(graph, r.schedule, procs);
         std::cerr << "wrote " << svg_path << "\n";
       }
     }
-    return 0;
+    return kExitOk;
+  } catch (const ContractViolation& e) {
+    std::cerr << "error: contract violation: " << e.what() << "\n";
+    return kExitContract;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitRuntime;
   }
 }

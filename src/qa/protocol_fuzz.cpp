@@ -1,0 +1,264 @@
+#include "qa/protocol_fuzz.hpp"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "service/hub.hpp"
+#include "service/protocol.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+namespace {
+
+constexpr std::array<std::string_view, 7> kReplyTypes = {
+    "welcome", "opened", "decisions", "stats", "closed", "goodbye", "error"};
+
+constexpr std::array<std::string_view, 5> kAlgoPool = {
+    "catbatch", "easy-backfill", "shelf-nfdh", "divide-conquer",
+    "no-such-algo"};
+
+constexpr std::array<std::string_view, 4> kSessionPool = {"s0", "s1", "s2",
+                                                          "ghost"};
+
+/// A small random JSON value — the payload for fuzzed fields.
+std::string random_json_value(Rng& rng, int depth) {
+  switch (rng.index(depth > 1 ? 8 : 6)) {
+    case 0:
+      return "null";
+    case 1:
+      return rng.bernoulli(0.5) ? "true" : "false";
+    case 2:
+      return std::to_string(rng.uniform_int(-5, 1000));
+    case 3: {
+      JsonWriter w;
+      w.value(rng.uniform_real(-1e9, 1e9));
+      return w.str();
+    }
+    case 4:
+      return "\"" + std::string(rng.index(8), 'x') + "\"";
+    case 5:
+      return "1e999";  // overflows double: parser must reject the line
+    case 6:
+      return "[" + random_json_value(rng, depth - 1) + "]";
+    default:
+      return "{\"k\":" + random_json_value(rng, depth - 1) + "}";
+  }
+}
+
+/// A message matching a random spec shape, each field filled with either a
+/// plausible or a random value.
+std::string shaped_message(Rng& rng) {
+  const std::span<const RequestShape> shapes = request_shapes();
+  const RequestShape& shape = shapes[rng.index(shapes.size())];
+  std::string out = "{\"type\":\"" + std::string(shape.type) + "\"";
+  for (const std::string_view field : shape.fields) {
+    std::string_view name = field.substr(0, field.find(':'));
+    if (!name.empty() && name.back() == '?') name.remove_suffix(1);
+    if (rng.bernoulli(0.2)) continue;  // sometimes omit (even required)
+    out += ",\"" + std::string(name) + "\":";
+    if (rng.bernoulli(0.5)) {
+      out += random_json_value(rng, 2);
+    } else if (name == "session") {
+      out += "\"" + std::string(kSessionPool[rng.index(4)]) + "\"";
+    } else if (name == "algo") {
+      out += "\"" + std::string(kAlgoPool[rng.index(5)]) + "\"";
+    } else if (name == "version") {
+      out += std::to_string(rng.uniform_int(0, 3));
+    } else if (name == "tasks") {
+      out += "[{\"work\":1.5,\"procs\":1}]";
+    } else if (name == "procs" || name == "task") {
+      out += std::to_string(rng.uniform_int(-1, 64));
+    } else {
+      JsonWriter w;  // now / at
+      w.value(rng.uniform_real(-1.0, 100.0));
+      out += w.str();
+    }
+  }
+  out += "}";
+  return out;
+}
+
+/// A protocol-plausible next line for a conversation that opened sessions
+/// from kSessionPool with small fixed task batches.
+std::string plausible_message(Rng& rng) {
+  const std::string session(kSessionPool[rng.index(4)]);
+  switch (rng.index(9)) {
+    case 0:
+      return "{\"type\":\"hello\",\"version\":1}";
+    case 1:
+      return "{\"type\":\"open\",\"session\":\"" + session +
+             "\",\"algo\":\"catbatch\",\"procs\":4" +
+             (rng.bernoulli(0.4) ? ",\"clock\":\"external\"}" : "}");
+    case 2:
+      return "{\"type\":\"submit\",\"session\":\"" + session +
+             "\",\"tasks\":[{\"work\":2.0,\"procs\":1},{\"work\":1.0,"
+             "\"procs\":" +
+             std::to_string(rng.uniform_int(1, 5)) + ",\"preds\":[0]}]}";
+    case 3:
+      return "{\"type\":\"complete\",\"session\":\"" + session +
+             "\",\"task\":" + std::to_string(rng.uniform_int(0, 3)) +
+             ",\"at\":" + std::to_string(rng.uniform_int(0, 9)) + "}";
+    case 4:
+      return "{\"type\":\"tick\",\"session\":\"" + session +
+             "\",\"at\":" + std::to_string(rng.uniform_int(0, 9)) + "}";
+    case 5:
+      return "{\"type\":\"step\",\"session\":\"" + session + "\"}";
+    case 6:
+      return "{\"type\":\"drain\",\"session\":\"" + session + "\"}";
+    case 7:
+      return "{\"type\":\"query\",\"session\":\"" + session + "\"}";
+    default:
+      return "{\"type\":\"close\",\"session\":\"" + session + "\"}";
+  }
+}
+
+std::string garbage_line(Rng& rng) {
+  std::string out;
+  const std::size_t len = rng.index(40);
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng.uniform_int(1, 255)));
+  }
+  std::erase(out, '\n');  // a line, by definition, has none
+  return out;
+}
+
+std::string next_line(Rng& rng) {
+  const std::size_t roll = rng.index(100);
+  if (roll < 10) return garbage_line(rng);
+  if (roll < 20) {  // truncation
+    std::string line = plausible_message(rng);
+    return line.substr(0, rng.index(line.size() + 1));
+  }
+  if (roll < 35) {  // unknown field injected after the opening brace
+    std::string line = plausible_message(rng);
+    if (line.size() > 1 && line.front() == '{') {
+      line.insert(1, "\"unexpected-field\":" + random_json_value(rng, 2) +
+                         (line.size() > 2 ? "," : ""));
+    }
+    return line;
+  }
+  if (roll < 60) return shaped_message(rng);
+  return plausible_message(rng);
+}
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(ProtocolFuzzReport& report) : report_(report) {}
+
+  void check(const std::string& line,
+             const std::vector<std::string>& replies) {
+    ++report_.lines_sent;
+    if (replies.size() != 1) {
+      record("lockstep violated: " + std::to_string(replies.size()) +
+             " replies to line: " + preview(line));
+      return;
+    }
+    const std::string& reply = replies.front();
+    const std::optional<JsonValue> parsed = parse_json(reply);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      record("reply is not a JSON object: " + preview(reply));
+      return;
+    }
+    const JsonValue* type = parsed->find("type");
+    if (type == nullptr || !type->is_string() ||
+        std::find(kReplyTypes.begin(), kReplyTypes.end(), type->str_v) ==
+            kReplyTypes.end()) {
+      record("reply has unknown type: " + preview(reply));
+      return;
+    }
+    if (type->str_v == "error") {
+      ++report_.error_replies;
+      const JsonValue* code = parsed->find("code");
+      const std::span<const std::string_view> codes = error_codes();
+      if (code == nullptr || !code->is_string() ||
+          std::find(codes.begin(), codes.end(), code->str_v) ==
+              codes.end()) {
+        record("error reply has unknown code: " + preview(reply));
+      }
+    }
+  }
+
+  void record(std::string what) {
+    if (report_.findings.size() < 16) {
+      report_.findings.push_back(std::move(what));
+    }
+  }
+
+ private:
+  static std::string preview(std::string_view text) {
+    std::string out(text.substr(0, 120));
+    for (char& ch : out) {
+      if (static_cast<unsigned char>(ch) < 0x20) ch = '.';
+    }
+    return out;
+  }
+
+  ProtocolFuzzReport& report_;
+};
+
+/// After abuse, a fresh connection must still run a clean session; any
+/// error reply means the hub's shared state was corrupted.
+void check_recovery(ServiceHub& hub, InvariantChecker& checker) {
+  const std::uint64_t conn = hub.open_connection();
+  const std::array<std::string, 5> script = {
+      std::string("{\"type\":\"hello\",\"version\":1}"),
+      std::string("{\"type\":\"open\",\"session\":\"probe\","
+                  "\"algo\":\"catbatch\",\"procs\":4}"),
+      std::string("{\"type\":\"submit\",\"session\":\"probe\","
+                  "\"tasks\":[{\"work\":1.0,\"procs\":2},"
+                  "{\"work\":2.0,\"procs\":1,\"preds\":[0]}]}"),
+      std::string("{\"type\":\"drain\",\"session\":\"probe\"}"),
+      std::string("{\"type\":\"close\",\"session\":\"probe\"}")};
+  std::vector<std::string> replies;
+  for (const std::string& line : script) {
+    replies.clear();
+    hub.handle_line(conn, line, replies);
+    if (replies.size() != 1 ||
+        replies.front().find("\"type\":\"error\"") != std::string::npos) {
+      checker.record("clean session failed after fuzz traffic, on '" +
+                     line + "' got: " +
+                     (replies.empty() ? "<nothing>" : replies.front()));
+      break;
+    }
+  }
+  hub.close_connection(conn);
+}
+
+}  // namespace
+
+ProtocolFuzzReport run_protocol_fuzz(const ProtocolFuzzOptions& options) {
+  ProtocolFuzzReport report;
+  InvariantChecker checker(report);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    if (report.findings.size() >= 16) break;
+    Rng rng(options.seed + iter * std::uint64_t{0x9e3779b97f4a7c15});
+    ServiceHub hub;
+    const std::uint64_t conn = hub.open_connection();
+    const std::size_t lines = 1 + rng.index(40);
+    std::vector<std::string> replies;
+    for (std::size_t i = 0; i < lines; ++i) {
+      const std::string line = next_line(rng);
+      replies.clear();
+      try {
+        hub.handle_line(conn, line, replies);
+      } catch (const std::exception& e) {
+        checker.record(std::string("exception escaped handle_line: ") +
+                       e.what());
+        break;
+      }
+      checker.check(line, replies);
+    }
+    hub.close_connection(conn);
+    check_recovery(hub, checker);
+    ++report.iterations_run;
+  }
+  return report;
+}
+
+}  // namespace catbatch

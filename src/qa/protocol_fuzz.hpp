@@ -1,0 +1,45 @@
+// Protocol fuzzing: throw adversarial wire traffic at the real serving
+// code (ServiceHub::handle_line — the same path both transports use) and
+// check the server-side invariants no client can be trusted to respect:
+//
+//   * lockstep  — exactly one reply line per request line;
+//   * typed     — every reply parses as a JSON object whose "type" is a
+//                 known reply type, and every "error" carries a code from
+//                 the spec's error list;
+//   * contained — no exception ever escapes handle_line (engine contract
+//                 violations must be converted into "contract" replies);
+//   * recovery  — after arbitrary abuse, the connection still serves a
+//                 well-formed session correctly.
+//
+// The traffic mixes raw garbage, truncated and junk-injected JSON,
+// spec-shaped messages with fuzzed field values, and stateful
+// protocol-plausible conversations (out-of-order completions, double
+// opens, unknown sessions). Deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace catbatch {
+
+struct ProtocolFuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 1000;  // one connection conversation each
+};
+
+struct ProtocolFuzzReport {
+  std::size_t iterations_run = 0;
+  std::size_t lines_sent = 0;
+  std::size_t error_replies = 0;
+  /// One human-readable description per violated invariant, capped at 16
+  /// (the traffic that triggered it is reproducible from the seed).
+  std::vector<std::string> findings;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+[[nodiscard]] ProtocolFuzzReport run_protocol_fuzz(
+    const ProtocolFuzzOptions& options);
+
+}  // namespace catbatch

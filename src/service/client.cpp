@@ -1,0 +1,86 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+HubClient::HubClient(ServiceHub& hub)
+    : hub_(hub), conn_(hub.open_connection()) {}
+
+HubClient::~HubClient() { hub_.close_connection(conn_); }
+
+std::string HubClient::request(std::string_view line) {
+  replies_.clear();
+  hub_.handle_line(conn_, line, replies_);
+  CB_CHECK(replies_.size() == 1, "protocol is lockstep: one reply per line");
+  return std::move(replies_.front());
+}
+
+SocketClient::SocketClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  CB_CHECK(socket_path.size() < sizeof(addr.sun_path),
+           "socket path too long for sockaddr_un");
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::system_error(saved, std::generic_category(),
+                            "connect " + socket_path);
+  }
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string SocketClient::request(std::string_view line) {
+  std::string framed(line);
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string reply = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return reply;
+    }
+    char chunk[1 << 16];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "recv");
+    }
+    if (n == 0) {
+      throw std::runtime_error("catbatchd closed the connection mid-reply");
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace catbatch

@@ -1,0 +1,67 @@
+// Protocol clients: how tests, the load generator and the bench talk to a
+// catbatchd.
+//
+// The protocol is lockstep (one reply line per request line), so the whole
+// client surface is one call: request(line) -> reply line. Two transports:
+//   * HubClient    — in-process, drives a ServiceHub directly. Measures
+//     protocol + engine cost with zero I/O; the equivalence suite and the
+//     service bench run on this.
+//   * SocketClient — blocking AF_UNIX client for a spawned daemon; the
+//     smoke test and the standalone loadgen binary use it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/hub.hpp"
+
+namespace catbatch {
+
+class LineClient {
+ public:
+  virtual ~LineClient() = default;
+
+  /// Sends one request line (no trailing newline) and returns the single
+  /// reply line. Throws std::runtime_error on transport failure.
+  virtual std::string request(std::string_view line) = 0;
+};
+
+/// One in-process connection to a ServiceHub. Distinct HubClients on the
+/// same hub may be driven from different threads (the hub serializes only
+/// per connection); a single HubClient may not.
+class HubClient final : public LineClient {
+ public:
+  explicit HubClient(ServiceHub& hub);
+  ~HubClient() override;
+
+  HubClient(const HubClient&) = delete;
+  HubClient& operator=(const HubClient&) = delete;
+
+  std::string request(std::string_view line) override;
+
+ private:
+  ServiceHub& hub_;
+  std::uint64_t conn_;
+  std::vector<std::string> replies_;
+};
+
+/// Blocking unix-socket connection to a running catbatchd.
+class SocketClient final : public LineClient {
+ public:
+  /// Throws std::system_error if the connect fails.
+  explicit SocketClient(const std::string& socket_path);
+  ~SocketClient() override;
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  std::string request(std::string_view line) override;
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the last returned newline
+};
+
+}  // namespace catbatch

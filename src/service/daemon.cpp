@@ -1,0 +1,309 @@
+#include "service/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <system_error>
+#include <unordered_map>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace catbatch {
+
+void serve_stdio(ServiceHub& hub, std::istream& in, std::ostream& out) {
+  const std::uint64_t conn = hub.open_connection();
+  std::string line;
+  std::vector<std::string> replies;
+  while (std::getline(in, line)) {
+    replies.clear();
+    if (line.size() > kMaxLineBytes) {
+      replies.push_back(
+          error_line(errc::kBadMessage, "request line too long"));
+    } else {
+      hub.handle_line(conn, line, replies);
+    }
+    for (const std::string& reply : replies) out << reply << '\n';
+    out.flush();
+    if (hub.shutdown_requested()) break;
+  }
+  hub.close_connection(conn);
+}
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+/// Closes a file descriptor on scope exit (listener, wake pipe).
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// One accepted socket. The reactor thread owns fd/inbuf/eof; pending,
+/// outbuf and busy are shared with the connection's strand task and
+/// guarded by m.
+struct UnixConn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::string inbuf;
+  bool eof = false;    // peer half-closed, or read error
+  bool fatal = false;  // framing lost (overlong line): close after flush
+
+  std::mutex m;
+  std::deque<std::string> pending;  // complete lines awaiting the strand
+  std::string outbuf;               // reply bytes awaiting the socket
+  bool busy = false;                // a strand task is in flight
+};
+
+class UnixServer {
+ public:
+  UnixServer(ServiceHub& hub, const DaemonOptions& options)
+      : hub_(hub),
+        path_(options.socket_path),
+        pool_(ThreadPool::resolve_jobs(options.jobs)) {}
+
+  void run() {
+    CB_CHECK(!path_.empty(), "serve_unix requires a socket path");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    CB_CHECK(path_.size() < sizeof(addr.sun_path),
+             "socket path too long for sockaddr_un");
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+    FdGuard listener{::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0)};
+    if (listener.fd < 0) throw_errno("socket(AF_UNIX)");
+    set_nonblocking(listener.fd);
+    ::unlink(path_.c_str());
+    if (::bind(listener.fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      throw_errno("bind");
+    }
+    if (::listen(listener.fd, 128) < 0) throw_errno("listen");
+
+    int pipe_fds[2];
+    if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) < 0) throw_errno("pipe2");
+    FdGuard wake_read{pipe_fds[0]};
+    FdGuard wake_write{pipe_fds[1]};
+    wake_fd_ = pipe_fds[1];
+
+    bool accepting = true;
+    std::vector<pollfd> fds;
+    std::vector<UnixConn*> polled;
+    while (true) {
+      // Stop point: shutdown served (or all input gone), every strand
+      // drained, every reply flushed.
+      if (hub_.shutdown_requested()) accepting = false;
+      if (!accepting && conns_.empty()) break;
+
+      fds.clear();
+      polled.clear();
+      fds.push_back({accepting ? listener.fd : -1, POLLIN, 0});
+      fds.push_back({wake_read.fd, POLLIN, 0});
+      for (const auto& [fd, conn] : conns_) {
+        int events = 0;
+        bool flushed = false;
+        bool idle = false;
+        {
+          const std::lock_guard<std::mutex> lock(conn->m);
+          if (!conn->outbuf.empty()) events |= POLLOUT;
+          flushed = conn->outbuf.empty();
+          idle = !conn->busy && conn->pending.empty();
+        }
+        const bool draining =
+            conn->eof || conn->fatal || hub_.shutdown_requested();
+        if (!draining) events |= POLLIN;
+        if (draining && flushed && idle) {
+          to_close_.push_back(conn.get());
+          continue;
+        }
+        fds.push_back({conn->fd, static_cast<short>(events), 0});
+        polled.push_back(conn.get());
+      }
+      reap();
+      if (!accepting && conns_.empty()) break;
+
+      if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), 250) < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll");
+      }
+
+      if ((fds[1].revents & POLLIN) != 0) drain_wake_pipe(wake_read.fd);
+      if (accepting && (fds[0].revents & POLLIN) != 0) accept_all(listener.fd);
+      for (std::size_t i = 0; i < polled.size(); ++i) {
+        const short got = fds[i + 2].revents;
+        UnixConn* conn = polled[i];
+        if ((got & POLLOUT) != 0) flush_writes(*conn);
+        if ((got & (POLLIN | POLLHUP | POLLERR)) != 0) read_input(*conn);
+      }
+    }
+    pool_.wait();
+    ::unlink(path_.c_str());
+  }
+
+ private:
+  void wake() {
+    const char byte = 0;
+    // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &byte, 1);
+  }
+
+  static void drain_wake_pipe(int fd) {
+    char buf[256];
+    while (::read(fd, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void accept_all(int listener) {
+    while (true) {
+      const int fd = ::accept4(listener, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN, or a transient accept error: re-poll
+      auto conn = std::make_unique<UnixConn>();
+      conn->fd = fd;
+      conn->id = hub_.open_connection();
+      conns_.emplace(fd, std::move(conn));
+    }
+  }
+
+  void read_input(UnixConn& conn) {
+    char buf[1 << 16];
+    while (true) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.inbuf.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      conn.eof = true;  // orderly close (n == 0) or a hard error
+      break;
+    }
+    split_lines(conn);
+  }
+
+  void split_lines(UnixConn& conn) {
+    bool dispatched = false;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = conn.inbuf.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = conn.inbuf.substr(start, nl - start);
+      start = nl + 1;
+      const std::lock_guard<std::mutex> lock(conn.m);
+      conn.pending.push_back(std::move(line));
+      if (!conn.busy) {
+        conn.busy = true;
+        dispatched = true;
+        UnixConn* c = &conn;
+        pool_.submit([this, c] { run_strand(c); });
+      }
+    }
+    conn.inbuf.erase(0, start);
+    if (conn.inbuf.size() > kMaxLineBytes && !conn.fatal) {
+      conn.fatal = true;
+      const std::lock_guard<std::mutex> lock(conn.m);
+      conn.outbuf += error_line(errc::kBadMessage, "request line too long");
+      conn.outbuf += '\n';
+    }
+    // A strand dispatched above may finish before we next build the poll
+    // set; its own wake() covers that. Nothing to do here.
+    (void)dispatched;
+  }
+
+  /// Strand body: drains the connection's pending lines one at a time.
+  /// Exactly one instance runs per connection (the busy flag), so
+  /// hub_.handle_line calls for this connection are serialized.
+  void run_strand(UnixConn* conn) {
+    std::vector<std::string> replies;
+    while (true) {
+      std::string line;
+      {
+        const std::lock_guard<std::mutex> lock(conn->m);
+        if (conn->pending.empty()) {
+          conn->busy = false;
+          break;
+        }
+        line = std::move(conn->pending.front());
+        conn->pending.pop_front();
+      }
+      replies.clear();
+      hub_.handle_line(conn->id, line, replies);
+      {
+        const std::lock_guard<std::mutex> lock(conn->m);
+        for (const std::string& reply : replies) {
+          conn->outbuf += reply;
+          conn->outbuf += '\n';
+        }
+      }
+    }
+    wake();  // reactor: flush outbuf, or close if this conn is draining
+  }
+
+  void flush_writes(UnixConn& conn) {
+    std::string chunk;
+    {
+      const std::lock_guard<std::mutex> lock(conn.m);
+      chunk = conn.outbuf;
+    }
+    if (chunk.empty()) return;
+    const ssize_t n =
+        ::send(conn.fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK) conn.eof = true;
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(conn.m);
+    conn.outbuf.erase(0, static_cast<std::size_t>(n));
+  }
+
+  /// Destroys connections found fully drained while building the poll set.
+  /// Safe without their locks: busy was false and only the reactor
+  /// dispatches new strands.
+  void reap() {
+    for (UnixConn* conn : to_close_) {
+      hub_.close_connection(conn->id);
+      ::close(conn->fd);
+      conns_.erase(conn->fd);
+    }
+    to_close_.clear();
+  }
+
+  ServiceHub& hub_;
+  std::string path_;
+  ThreadPool pool_;
+  int wake_fd_ = -1;
+  std::unordered_map<int, std::unique_ptr<UnixConn>> conns_;
+  std::vector<UnixConn*> to_close_;
+};
+
+}  // namespace
+
+void serve_unix(ServiceHub& hub, const DaemonOptions& options) {
+  UnixServer server(hub, options);
+  server.run();
+}
+
+}  // namespace catbatch

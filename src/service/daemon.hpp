@@ -1,0 +1,49 @@
+// catbatchd transports: the loops that move protocol lines between clients
+// and a ServiceHub.
+//
+// Two transports share one hub implementation:
+//   * serve_stdio — one connection over an istream/ostream pair. The
+//     simplest deployment (spawn catbatchd as a child, talk over pipes)
+//     and the reference loop the fuzzer drives.
+//   * serve_unix  — an AF_UNIX listener multiplexing many connections with
+//     a poll() reactor. Reads are non-blocking; each connection's request
+//     lines are processed on a strand (at most one ThreadPool task in
+//     flight per connection), which is what makes the hub's "serialize
+//     per-connection" contract hold while different connections' engines
+//     run concurrently.
+//
+// Both return once a client's {"type":"shutdown"} has been served (reply
+// flushed) or input ends.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "service/hub.hpp"
+
+namespace catbatch {
+
+/// Longest request line either transport accepts. Longer lines answer
+/// bad-message; on the socket transport the connection is then closed
+/// (framing is unrecoverable once a line is dropped mid-stream).
+inline constexpr std::size_t kMaxLineBytes = std::size_t{64} << 20;
+
+struct DaemonOptions {
+  /// Filesystem path to bind. An existing socket file is replaced.
+  std::string socket_path;
+  /// Worker threads for connection strands; <= 0 means
+  /// ThreadPool::resolve_jobs default.
+  int jobs = 0;
+};
+
+/// Serves one connection over (in, out): one request line in, its reply
+/// lines out, flushed per request so a lockstep client never deadlocks.
+void serve_stdio(ServiceHub& hub, std::istream& in, std::ostream& out);
+
+/// Binds options.socket_path and serves until shutdown is requested.
+/// Throws std::system_error on socket setup failure; removes the socket
+/// file on exit.
+void serve_unix(ServiceHub& hub, const DaemonOptions& options);
+
+}  // namespace catbatch

@@ -1,0 +1,252 @@
+#include "service/hub.hpp"
+
+#include <utility>
+
+#include "sched/registry.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+
+/// The "session" routing field, shared by every session-scoped request.
+const std::string* session_name(const JsonValue& msg) {
+  const JsonValue* field = msg.find("session");
+  if (field == nullptr || !field->is_string()) return nullptr;
+  return &field->str_v;
+}
+
+}  // namespace
+
+ServiceHub::ServiceHub() = default;
+ServiceHub::~ServiceHub() = default;
+
+std::uint64_t ServiceHub::open_connection() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t conn = next_conn_++;
+  conns_.emplace(conn, std::make_unique<Connection>());
+  return conn;
+}
+
+void ServiceHub::close_connection(std::uint64_t conn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  conns_.erase(conn);
+}
+
+std::size_t ServiceHub::connection_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return conns_.size();
+}
+
+ServiceHub::Connection* ServiceHub::find_connection(std::uint64_t conn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = conns_.find(conn);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void ServiceHub::handle_line(std::uint64_t conn, std::string_view line,
+                             std::vector<std::string>& out) {
+  // The pointer stays valid without the lock: only close_connection()
+  // invalidates it, and the concurrency contract forbids racing it with
+  // this connection's own traffic.
+  Connection* c = find_connection(conn);
+  CB_CHECK(c != nullptr, "handle_line for an unregistered connection");
+
+  JsonParseError parse_error;
+  const std::optional<JsonValue> parsed = parse_json(line, &parse_error);
+  if (!parsed.has_value()) {
+    out.push_back(error_line(
+        errc::kBadJson, parse_error.message + " (byte " +
+                            std::to_string(parse_error.offset) + ")"));
+    return;
+  }
+  const JsonValue& msg = *parsed;
+  if (!msg.is_object()) {
+    out.push_back(
+        error_line(errc::kBadMessage, "a message must be a JSON object"));
+    return;
+  }
+  const JsonValue* type = msg.find("type");
+  if (type == nullptr || !type->is_string()) {
+    out.push_back(error_line(errc::kBadMessage,
+                             "a message requires a string 'type' field"));
+    return;
+  }
+  const RequestShape* shape = find_request_shape(type->str_v);
+  if (shape == nullptr) {
+    out.push_back(error_line(errc::kBadMessage,
+                             "unknown message type '" + type->str_v + "'"));
+    return;
+  }
+  if (const std::string_view unknown = first_unknown_field(msg, *shape);
+      !unknown.empty()) {
+    out.push_back(error_line(
+        errc::kBadMessage, "unknown field '" + std::string(unknown) +
+                               "' in '" + type->str_v + "'"));
+    return;
+  }
+
+  if (type->str_v == "hello") {
+    handle_hello(*c, msg, out);
+    return;
+  }
+  if (!c->hello_done) {
+    out.push_back(error_line(errc::kBadSequence,
+                             "a connection must open with 'hello'"));
+    return;
+  }
+  if (type->str_v == "shutdown") {
+    shutdown_.store(true, std::memory_order_release);
+    out.push_back(goodbye_line());
+    return;
+  }
+  if (type->str_v == "open") {
+    handle_open(*c, msg, out);
+    return;
+  }
+
+  // Everything else is session-scoped.
+  const std::string* name = session_name(msg);
+  if (name == nullptr) {
+    out.push_back(error_line(errc::kBadMessage,
+                             "'" + type->str_v +
+                                 "' requires a string 'session' field"));
+    return;
+  }
+  const auto it = c->sessions.find(*name);
+  if (it == c->sessions.end()) {
+    out.push_back(error_line(errc::kUnknownSession,
+                             "no open session named '" + *name + "'",
+                             *name));
+    return;
+  }
+  ServiceSession& session = *it->second;
+  if (type->str_v == "submit") {
+    session.handle_submit(msg, out);
+  } else if (type->str_v == "complete") {
+    session.handle_complete(msg, out);
+  } else if (type->str_v == "tick") {
+    session.handle_tick(msg, out);
+  } else if (type->str_v == "step") {
+    session.handle_step(out);
+  } else if (type->str_v == "drain") {
+    session.handle_drain(out);
+  } else if (type->str_v == "query") {
+    session.handle_query(out);
+  } else {
+    CB_CHECK(type->str_v == "close", "request shape table out of sync");
+    session.handle_close(out);
+    c->sessions.erase(it);
+  }
+}
+
+void ServiceHub::handle_hello(Connection& c, const JsonValue& msg,
+                              std::vector<std::string>& out) {
+  if (c.hello_done) {
+    out.push_back(
+        error_line(errc::kBadSequence, "'hello' already exchanged"));
+    return;
+  }
+  const JsonValue* version = msg.find("version");
+  const auto v = (version != nullptr && version->is_number())
+                     ? json_to_uint(version->num_v)
+                     : std::nullopt;
+  if (!v.has_value()) {
+    out.push_back(error_line(errc::kBadMessage,
+                             "'hello' requires an integer 'version'"));
+    return;
+  }
+  if (*v != static_cast<std::uint64_t>(kProtocolVersion)) {
+    out.push_back(error_line(
+        errc::kUnsupportedVersion,
+        "server speaks version " + std::to_string(kProtocolVersion)));
+    return;
+  }
+  c.hello_done = true;
+  out.push_back(welcome_line());
+}
+
+void ServiceHub::handle_open(Connection& c, const JsonValue& msg,
+                             std::vector<std::string>& out) {
+  const std::string* name = session_name(msg);
+  if (name == nullptr || name->empty()) {
+    out.push_back(error_line(
+        errc::kBadMessage,
+        "'open' requires a non-empty string 'session' field"));
+    return;
+  }
+  if (c.sessions.size() >= kMaxSessionsPerConnection) {
+    out.push_back(error_line(errc::kBadMessage,
+                             "session limit reached for this connection",
+                             *name));
+    return;
+  }
+  if (c.sessions.contains(*name)) {
+    out.push_back(error_line(errc::kDuplicateSession,
+                             "session '" + *name + "' is already open",
+                             *name));
+    return;
+  }
+  const JsonValue* algo = msg.find("algo");
+  if (algo == nullptr || !algo->is_string()) {
+    out.push_back(error_line(errc::kBadMessage,
+                             "'open' requires a string 'algo' field",
+                             *name));
+    return;
+  }
+  const SchedulerEntry* entry = find_scheduler(algo->str_v);
+  if (entry == nullptr) {
+    out.push_back(error_line(errc::kUnknownAlgo,
+                             "no registered algorithm named '" +
+                                 algo->str_v + "'",
+                             *name));
+    return;
+  }
+  const JsonValue* procs_field = msg.find("procs");
+  const auto procs = (procs_field != nullptr && procs_field->is_number())
+                         ? json_to_uint(procs_field->num_v)
+                         : std::nullopt;
+  if (!procs.has_value() || *procs < 1 ||
+      *procs > static_cast<std::uint64_t>(kMaxProcs)) {
+    out.push_back(error_line(
+        errc::kBadMessage,
+        "'open' requires an integer 'procs' in [1, " +
+            std::to_string(kMaxProcs) + "]",
+        *name));
+    return;
+  }
+
+  SessionOptions options;
+  options.mode = ScheduleMode::Counting;
+  if (const JsonValue* mode = msg.find("mode"); mode != nullptr) {
+    if (mode->is_string() && mode->str_v == "identity") {
+      options.mode = ScheduleMode::Identity;
+    } else if (mode->is_string() && mode->str_v == "counting") {
+      options.mode = ScheduleMode::Counting;
+    } else {
+      out.push_back(error_line(errc::kBadMessage,
+                               "'mode' must be 'identity' or 'counting'",
+                               *name));
+      return;
+    }
+  }
+  if (const JsonValue* clock = msg.find("clock"); clock != nullptr) {
+    if (clock->is_string() && clock->str_v == "external") {
+      options.clock = SessionClock::External;
+    } else if (clock->is_string() && clock->str_v == "simulated") {
+      options.clock = SessionClock::Simulated;
+    } else {
+      out.push_back(error_line(errc::kBadMessage,
+                               "'clock' must be 'simulated' or 'external'",
+                               *name));
+      return;
+    }
+  }
+
+  c.sessions.emplace(*name, std::make_unique<ServiceSession>(
+                                *name, *entry, static_cast<int>(*procs),
+                                options));
+  out.push_back(opened_line(*name));
+}
+
+}  // namespace catbatch

@@ -1,0 +1,88 @@
+// ServiceHub: the transport-free core of catbatchd.
+//
+// A hub multiplexes protocol connections, each holding its own namespace
+// of sessions (one SessionEngine per session, any registry algorithm by
+// name). Transports — the stdio loop, the unix-socket daemon, in-process
+// test and bench clients, the protocol fuzzer — all reduce to the same
+// three calls: open_connection(), handle_line() per request line,
+// close_connection(). Everything protocol-visible therefore has exactly
+// one implementation, and the equivalence/fuzz suites exercise the real
+// serving code without sockets.
+//
+// Concurrency contract: handle_line() calls for the SAME connection must
+// be serialized by the caller (the daemon runs one strand per connection);
+// calls for DIFFERENT connections may run concurrently — the hub only
+// locks the connection table, never a session. close_connection() for a
+// connection may only race with nothing: callers close after that
+// connection's strand drained.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "service/session.hpp"
+
+namespace catbatch {
+
+class ServiceHub {
+ public:
+  /// Sessions a single connection may hold open; an "open" past the cap
+  /// answers bad-message. Keeps one misbehaving client from holding every
+  /// engine.
+  static constexpr std::size_t kMaxSessionsPerConnection = 4096;
+  /// Platform-size bound accepted in "open" (matches sched_cli --procs).
+  static constexpr std::int64_t kMaxProcs = 1 << 20;
+
+  ServiceHub();
+  ~ServiceHub();
+
+  ServiceHub(const ServiceHub&) = delete;
+  ServiceHub& operator=(const ServiceHub&) = delete;
+
+  /// Registers a connection and returns its id.
+  [[nodiscard]] std::uint64_t open_connection();
+
+  /// Destroys a connection and every session it holds. See the
+  /// concurrency contract above.
+  void close_connection(std::uint64_t conn);
+
+  /// Processes one request line, appending one (or, for unparseable
+  /// traffic, exactly one error) reply line per request. Lines carry no
+  /// trailing newline in either direction.
+  void handle_line(std::uint64_t conn, std::string_view line,
+                   std::vector<std::string>& out);
+
+  /// True once any connection sent {"type":"shutdown"}. Transports poll
+  /// this to stop accepting and exit after in-flight strands drain.
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t connection_count() const;
+
+ private:
+  struct Connection {
+    bool hello_done = false;
+    std::unordered_map<std::string, std::unique_ptr<ServiceSession>>
+        sessions;
+  };
+
+  Connection* find_connection(std::uint64_t conn);
+  void handle_hello(Connection& c, const JsonValue& msg,
+                    std::vector<std::string>& out);
+  void handle_open(Connection& c, const JsonValue& msg,
+                   std::vector<std::string>& out);
+
+  mutable std::mutex mutex_;  // guards conns_ (the table, not the sessions)
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_ = 1;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace catbatch

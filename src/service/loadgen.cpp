@@ -1,0 +1,330 @@
+#include "service/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+namespace {
+
+using SendFn = std::function<std::string(const std::string&)>;
+
+/// Sends a line and parses the reply, throwing a descriptive error on an
+/// "error" reply or a reply of the wrong type.
+JsonValue exchange(const SendFn& send, const std::string& line,
+                   std::string_view want_type) {
+  const std::string reply = send(line);
+  std::optional<JsonValue> parsed = parse_json(reply);
+  if (!parsed.has_value() || !parsed->is_object()) {
+    throw std::runtime_error("unparseable reply: " + reply);
+  }
+  const JsonValue* type = parsed->find("type");
+  if (type == nullptr || !type->is_string() || type->str_v != want_type) {
+    throw std::runtime_error("expected '" + std::string(want_type) +
+                             "' reply, got: " + reply);
+  }
+  return std::move(*parsed);
+}
+
+std::string hello_request() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("hello");
+  w.key("version").value(kProtocolVersion);
+  w.end_object();
+  return w.str();
+}
+
+std::string open_request(const std::string& session, const std::string& algo,
+                         int procs, std::string_view mode,
+                         std::string_view clock) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("open");
+  w.key("session").value(session);
+  w.key("algo").value(algo);
+  w.key("procs").value(procs);
+  w.key("mode").value(std::string(mode));
+  w.key("clock").value(std::string(clock));
+  w.end_object();
+  return w.str();
+}
+
+std::string submit_request(const std::string& session,
+                           const TaskGraph& graph) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("submit");
+  w.key("session").value(session);
+  w.key("tasks").begin_array();
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const Task& task = graph.task(id);
+    w.begin_object();
+    w.key("work").value(task.work);
+    w.key("procs").value(task.procs);
+    const std::span<const TaskId> preds = graph.predecessors(id);
+    if (!preds.empty()) {
+      w.key("preds").begin_array();
+      for (const TaskId pred : preds) {
+        w.value(static_cast<std::uint64_t>(pred));
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string session_request(std::string_view type,
+                            const std::string& session) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value(std::string(type));
+  w.key("session").value(session);
+  w.end_object();
+  return w.str();
+}
+
+std::string complete_request(const std::string& session, TaskId task,
+                             Time at) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("complete");
+  w.key("session").value(session);
+  w.key("task").value(static_cast<std::uint64_t>(task));
+  w.key("at").value(at);
+  w.end_object();
+  return w.str();
+}
+
+/// Appends a "decisions" reply's entries to `out` and returns the
+/// "complete" flag.
+bool collect_decisions(const JsonValue& reply, std::vector<Decision>& out) {
+  const JsonValue* list = reply.find("decisions");
+  CB_CHECK(list != nullptr && list->is_array(),
+           "decisions reply lacks a decisions array");
+  for (const JsonValue& entry : list->items) {
+    CB_CHECK(entry.is_object(), "decision entry must be an object");
+    const JsonValue* task = entry.find("task");
+    const JsonValue* at = entry.find("at");
+    const JsonValue* procs = entry.find("procs");
+    CB_CHECK(task != nullptr && task->is_number() && at != nullptr &&
+                 at->is_number() && procs != nullptr && procs->is_number(),
+             "decision entry lacks task/at/procs");
+    const auto id = json_to_uint(task->num_v);
+    const auto p = json_to_uint(procs->num_v);
+    CB_CHECK(id.has_value() && p.has_value(), "non-integral decision field");
+    out.push_back(Decision{static_cast<TaskId>(*id), at->num_v,
+                           static_cast<int>(*p)});
+  }
+  const JsonValue* complete = reply.find("complete");
+  return complete != nullptr && complete->is_bool() && complete->bool_v;
+}
+
+ReplayResult run_session(const SendFn& send, const std::string& session,
+                         const std::string& algo, int procs,
+                         const TaskGraph& graph, std::string_view mode,
+                         std::string_view clock) {
+  ReplayResult result;
+  (void)exchange(send, open_request(session, algo, procs, mode, clock),
+                 "opened");
+  const JsonValue submitted =
+      exchange(send, submit_request(session, graph), "decisions");
+  collect_decisions(submitted, result.decisions);
+
+  if (clock == "external") {
+    // Client-side clock: complete dispatched tasks in (finish,
+    // dispatch-order) order — exactly the engine's event-queue tie-break,
+    // so the decision stream matches the simulated run bit for bit.
+    std::size_t next_undispatched = 0;  // prefix of decisions completed
+    std::vector<std::size_t> running;   // indices into result.decisions
+    std::size_t completed = 0;
+    auto absorb = [&] {
+      for (; next_undispatched < result.decisions.size();
+           ++next_undispatched) {
+        running.push_back(next_undispatched);
+      }
+    };
+    absorb();
+    while (completed < graph.size()) {
+      CB_CHECK(!running.empty(),
+               "external replay stalled with tasks outstanding");
+      std::size_t best = 0;
+      Time best_finish = 0.0;
+      for (std::size_t i = 0; i < running.size(); ++i) {
+        const Decision& d = result.decisions[running[i]];
+        const Time finish = d.at + graph.task(d.id).work;
+        if (i == 0 || finish < best_finish) {
+          best = i;
+          best_finish = finish;
+        }
+      }
+      const Decision done = result.decisions[running[best]];
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(best));
+      const JsonValue reply = exchange(
+          send, complete_request(session, done.id, best_finish),
+          "decisions");
+      collect_decisions(reply, result.decisions);
+      ++completed;
+      absorb();
+    }
+  } else {
+    const JsonValue drained =
+        exchange(send, session_request("drain", session), "decisions");
+    const bool complete = collect_decisions(drained, result.decisions);
+    CB_CHECK(complete, "drain left a simulated session incomplete");
+  }
+
+  const JsonValue closed =
+      exchange(send, session_request("close", session), "closed");
+  const JsonValue* makespan = closed.find("makespan");
+  const JsonValue* points = closed.find("decision_points");
+  const JsonValue* events = closed.find("events");
+  CB_CHECK(makespan != nullptr && makespan->is_number(),
+           "closed reply lacks makespan");
+  result.makespan = makespan->num_v;
+  if (points != nullptr && points->is_number()) {
+    result.decision_points = json_to_uint(points->num_v).value_or(0);
+  }
+  if (events != nullptr && events->is_number()) {
+    result.events = json_to_uint(events->num_v).value_or(0);
+  }
+  return result;
+}
+
+/// A pseudo-random layered DAG: the traffic shape for the load generator.
+TaskGraph make_loadgen_graph(Rng& rng, int tasks, int procs) {
+  TaskGraph graph;
+  for (int i = 0; i < tasks; ++i) {
+    const Time work = rng.uniform_real(0.5, 8.0);
+    const int p = static_cast<int>(rng.uniform_int(1, procs));
+    const TaskId id = graph.add_task(work, p);
+    if (i > 0 && rng.bernoulli(0.6)) {
+      const std::int64_t fanin =
+          rng.uniform_int(1, std::min<std::int64_t>(3, i));
+      for (std::int64_t k = 0; k < fanin; ++k) {
+        graph.add_edge(static_cast<TaskId>(rng.index(id)), id);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace
+
+void protocol_handshake(LineClient& client) {
+  const SendFn send = [&client](const std::string& line) {
+    return client.request(line);
+  };
+  (void)exchange(send, hello_request(), "welcome");
+}
+
+ReplayResult replay_session(LineClient& client, const std::string& session,
+                            const std::string& algo, int procs,
+                            const TaskGraph& graph, std::string_view mode,
+                            std::string_view clock) {
+  const SendFn send = [&client](const std::string& line) {
+    return client.request(line);
+  };
+  return run_session(send, session, algo, procs, graph, mode, clock);
+}
+
+LoadgenStats run_loadgen(const ClientFactory& make_client,
+                         const LoadgenOptions& options) {
+  CB_CHECK(options.sessions > 0, "loadgen needs at least one session");
+  CB_CHECK(options.tasks_per_session > 0, "loadgen needs non-empty sessions");
+  CB_CHECK(options.procs >= 1, "loadgen needs at least one processor");
+  const int threads =
+      std::clamp(options.concurrency, 1, options.sessions);
+
+  struct ThreadResult {
+    std::vector<double> latencies_us;
+    std::uint64_t decisions = 0;
+    std::uint64_t requests = 0;
+  };
+  std::vector<ThreadResult> results(static_cast<std::size_t>(threads));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadResult& mine = results[static_cast<std::size_t>(t)];
+      try {
+        const std::unique_ptr<LineClient> client = make_client();
+        const SendFn timed = [&](const std::string& line) {
+          const auto t0 = std::chrono::steady_clock::now();
+          std::string reply = client->request(line);
+          const auto t1 = std::chrono::steady_clock::now();
+          mine.latencies_us.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+          ++mine.requests;
+          return reply;
+        };
+        (void)exchange(timed, hello_request(), "welcome");
+        for (int s = t; s < options.sessions; s += threads) {
+          Rng rng(options.seed + static_cast<std::uint64_t>(s) *
+                                     std::uint64_t{0x9e3779b97f4a7c15});
+          const TaskGraph graph = make_loadgen_graph(
+              rng, options.tasks_per_session, options.procs);
+          const ReplayResult run = run_session(
+              timed, "s" + std::to_string(s), options.algo, options.procs,
+              graph, "counting", options.clock);
+          mine.decisions += run.decisions.size();
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  LoadgenStats stats;
+  stats.sessions = static_cast<std::uint64_t>(options.sessions);
+  std::vector<double> latencies;
+  for (const ThreadResult& r : results) {
+    stats.decisions += r.decisions;
+    stats.requests += r.requests;
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+  }
+  stats.elapsed_sec =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (stats.elapsed_sec > 0.0) {
+    stats.sessions_per_sec =
+        static_cast<double>(stats.sessions) / stats.elapsed_sec;
+    stats.decisions_per_sec =
+        static_cast<double>(stats.decisions) / stats.elapsed_sec;
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto at = [&](double q) {
+      const double pos = q * static_cast<double>(latencies.size() - 1);
+      return latencies[static_cast<std::size_t>(pos)];
+    };
+    stats.p50_latency_us = at(0.50);
+    stats.p99_latency_us = at(0.99);
+    stats.max_latency_us = latencies.back();
+  }
+  return stats;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,83 @@
+// Protocol drivers: a session-replay helper and a multi-threaded load
+// generator, both speaking the wire protocol through any LineClient.
+//
+// replay_session() is the reference driver — it runs one TaskGraph through
+// one protocol session and returns the decision sequence and makespan the
+// server reported. The equivalence suite replays the golden corpus through
+// it and asserts bit-identity with simulate(); under clock=="external" it
+// also acts as the reference *client-side* clock: completions are replayed
+// in (finish, dispatch-order) order, mirroring the engine's simulated
+// event queue tie-break, which is what makes external-mode decision
+// streams bit-identical to simulated ones.
+//
+// run_loadgen() drives many sessions from `concurrency` threads (each with
+// its own connection) and reports throughput plus per-request latency
+// percentiles. The service bench and examples/catbatch_loadgen wrap it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "service/client.hpp"
+#include "sim/session.hpp"
+
+namespace catbatch {
+
+/// Sends "hello" and checks for "welcome". Throws std::runtime_error on
+/// any other reply (carrying the server's error line).
+void protocol_handshake(LineClient& client);
+
+struct ReplayResult {
+  std::vector<Decision> decisions;  // dispatch order, across all replies
+  double makespan = 0.0;            // from the "closed" reply
+  std::uint64_t decision_points = 0;
+  std::uint64_t events = 0;
+};
+
+/// Runs `graph` through one protocol session on an already-handshaken
+/// client: open, submit every task (ids map 1:1 to graph ids), drain (or,
+/// for clock=="external", replay completions), close. Throws
+/// std::runtime_error on any error reply.
+ReplayResult replay_session(LineClient& client, const std::string& session,
+                            const std::string& algo, int procs,
+                            const TaskGraph& graph,
+                            std::string_view mode = "counting",
+                            std::string_view clock = "simulated");
+
+struct LoadgenOptions {
+  int sessions = 256;         // total sessions across all threads
+  int concurrency = 8;        // client threads, one connection each
+  int tasks_per_session = 64;
+  int procs = 64;             // platform size per session
+  std::string algo = "catbatch";
+  std::string clock = "simulated";  // "simulated" | "external"
+  std::uint64_t seed = 1;
+};
+
+struct LoadgenStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t decisions = 0;
+  double elapsed_sec = 0.0;
+  double sessions_per_sec = 0.0;
+  double decisions_per_sec = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+};
+
+using ClientFactory = std::function<std::unique_ptr<LineClient>()>;
+
+/// Generates options.sessions pseudo-random layered DAGs (deterministic in
+/// options.seed) and replays each through a protocol session, timing every
+/// request. The factory is called once per thread. Throws on any error
+/// reply — the generated traffic is always well-formed.
+LoadgenStats run_loadgen(const ClientFactory& make_client,
+                         const LoadgenOptions& options);
+
+}  // namespace catbatch

@@ -1,0 +1,200 @@
+#include "service/protocol.hpp"
+
+#include <array>
+#include <cstddef>
+
+#include "sched/registry.hpp"
+#include "support/json.hpp"
+
+namespace catbatch {
+
+namespace {
+
+constexpr std::array<std::string_view, 1> kHelloFields = {"version:int"};
+constexpr std::array<std::string_view, 5> kOpenFields = {
+    "session:string", "algo:string", "procs:int", "mode?:string",
+    "clock?:string"};
+constexpr std::array<std::string_view, 3> kSubmitFields = {
+    "session:string", "tasks:array", "now?:number"};
+constexpr std::array<std::string_view, 3> kCompleteFields = {
+    "session:string", "task:int", "at:number"};
+constexpr std::array<std::string_view, 2> kTickFields = {"session:string",
+                                                         "at:number"};
+constexpr std::array<std::string_view, 1> kSessionOnly = {"session:string"};
+constexpr std::array<std::string_view, 0> kNoFields = {};
+
+// This table *is* the accepted message set — the hub validates incoming
+// messages against it, and protocol_spec_text() renders it for docs_check.
+constexpr std::array<RequestShape, 10> kRequests = {{
+    {"hello", kHelloFields, "welcome"},
+    {"open", kOpenFields, "opened"},
+    {"submit", kSubmitFields, "decisions"},
+    {"complete", kCompleteFields, "decisions"},
+    {"tick", kTickFields, "decisions"},
+    {"step", kSessionOnly, "decisions"},
+    {"drain", kSessionOnly, "decisions"},
+    {"query", kSessionOnly, "stats"},
+    {"close", kSessionOnly, "closed"},
+    {"shutdown", kNoFields, "goodbye"},
+}};
+
+constexpr std::array<std::string_view, 8> kErrorCodes = {
+    errc::kBadJson,          errc::kBadMessage,
+    errc::kBadSequence,      errc::kUnsupportedVersion,
+    errc::kUnknownSession,   errc::kDuplicateSession,
+    errc::kUnknownAlgo,      errc::kContract,
+};
+
+}  // namespace
+
+std::span<const RequestShape> request_shapes() { return kRequests; }
+
+std::span<const std::string_view> error_codes() { return kErrorCodes; }
+
+const RequestShape* find_request_shape(std::string_view type) {
+  for (const RequestShape& shape : kRequests) {
+    if (shape.type == type) return &shape;
+  }
+  return nullptr;
+}
+
+std::string_view first_unknown_field(const JsonValue& msg,
+                                     const RequestShape& shape) {
+  for (const auto& [name, value] : msg.members) {
+    if (name == "type") continue;
+    bool known = false;
+    for (const std::string_view field : shape.fields) {
+      // Compare against the name part of "name[?]:kind".
+      std::string_view base = field.substr(0, field.find(':'));
+      if (!base.empty() && base.back() == '?') base.remove_suffix(1);
+      if (base == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return name;
+  }
+  return {};
+}
+
+std::string protocol_spec_text() {
+  std::string out;
+  out += "version ";
+  out += std::to_string(kProtocolVersion);
+  out += '\n';
+  for (const RequestShape& spec : kRequests) {
+    out += "request ";
+    out += spec.type;
+    for (const std::string_view field : spec.fields) {
+      out += ' ';
+      out += field;
+    }
+    out += " -> ";
+    out += spec.reply;
+    out += '\n';
+  }
+  out += "errors";
+  for (const std::string_view code : kErrorCodes) {
+    out += ' ';
+    out += code;
+  }
+  out += '\n';
+  return out;
+}
+
+std::string error_line(std::string_view code, std::string_view message,
+                       std::string_view session) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("error");
+  w.key("code").value(std::string(code));
+  w.key("message").value(std::string(message));
+  if (!session.empty()) w.key("session").value(std::string(session));
+  w.end_object();
+  return w.str();
+}
+
+std::string welcome_line() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("welcome");
+  w.key("version").value(kProtocolVersion);
+  w.key("server").value("catbatchd");
+  w.key("algos").begin_array();
+  for (const std::string& name : scheduler_names()) w.value(name);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string opened_line(std::string_view session) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("opened");
+  w.key("session").value(std::string(session));
+  w.end_object();
+  return w.str();
+}
+
+std::string decisions_line(std::string_view session, Time now,
+                           std::span<const Decision> decisions,
+                           bool complete) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("decisions");
+  w.key("session").value(std::string(session));
+  w.key("now").value(now);
+  w.key("decisions").begin_array();
+  for (const Decision& d : decisions) {
+    w.begin_object();
+    w.key("task").value(static_cast<std::uint64_t>(d.id));
+    w.key("at").value(d.at);
+    w.key("procs").value(d.procs);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("complete").value(complete);
+  w.end_object();
+  return w.str();
+}
+
+std::string stats_line(std::string_view session, std::string_view algo,
+                       const SessionStats& stats) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("stats");
+  w.key("session").value(std::string(session));
+  w.key("algo").value(std::string(algo));
+  w.key("now").value(stats.now);
+  w.key("submitted").value(static_cast<std::uint64_t>(stats.submitted));
+  w.key("completed").value(static_cast<std::uint64_t>(stats.completed));
+  w.key("decisions").value(static_cast<std::uint64_t>(stats.decisions));
+  w.key("makespan").value(stats.makespan);
+  w.end_object();
+  return w.str();
+}
+
+std::string closed_line(std::string_view session, const SimResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("closed");
+  w.key("session").value(std::string(session));
+  w.key("makespan").value(result.makespan);
+  w.key("tasks").value(static_cast<std::uint64_t>(result.stats.task_count));
+  w.key("decision_points")
+      .value(static_cast<std::uint64_t>(result.stats.decision_points));
+  w.key("events").value(static_cast<std::uint64_t>(result.stats.events));
+  w.key("busy_area").value(result.stats.busy_area);
+  w.end_object();
+  return w.str();
+}
+
+std::string goodbye_line() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("goodbye");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace catbatch

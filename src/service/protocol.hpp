@@ -1,0 +1,100 @@
+// catbatchd wire protocol, version 1: line-delimited JSON.
+//
+// Every message is one JSON object on one line, with a string "type"
+// field. The protocol is lockstep per session: every request produces
+// exactly one reply line (a "decisions", "stats", or lifecycle reply on
+// success, an "error" envelope on failure), so clients can measure
+// per-decision latency and pipeline across sessions with one outstanding
+// request per session. Message schemas, the versioning rule, and the
+// session lifecycle are documented in docs/SERVICE.md; the
+// machine-readable spec below (protocol_spec_text) is what
+// tools/docs_check.sh diffs that document against.
+//
+// Versioning rule: a connection opens with {"type":"hello","version":N}.
+// The server accepts exactly the versions it implements (currently 1) and
+// answers "unsupported-version" otherwise; within a version, servers may
+// add optional reply fields but never remove or re-type existing ones, and
+// unknown *request* fields are rejected (a client talking a newer dialect
+// fails loudly, not silently).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "sim/session.hpp"
+#include "support/json_parse.hpp"
+
+namespace catbatch {
+
+inline constexpr int kProtocolVersion = 1;
+
+// Error-envelope codes ({"type":"error","code":...}).
+namespace errc {
+inline constexpr std::string_view kBadJson = "bad-json";
+inline constexpr std::string_view kBadMessage = "bad-message";
+inline constexpr std::string_view kBadSequence = "bad-sequence";
+inline constexpr std::string_view kUnsupportedVersion = "unsupported-version";
+inline constexpr std::string_view kUnknownSession = "unknown-session";
+inline constexpr std::string_view kDuplicateSession = "duplicate-session";
+inline constexpr std::string_view kUnknownAlgo = "unknown-algo";
+inline constexpr std::string_view kContract = "contract";
+}  // namespace errc
+
+/// The machine-readable protocol spec: one line per request type
+/// ("request <type> <field>[?]:<kind>... -> <reply>"), one line per error
+/// code, one version line. Printed by `catbatchd --protocol-spec`; the
+/// parser's accepted message set is generated from the same tables, so the
+/// spec cannot drift from the implementation.
+[[nodiscard]] std::string protocol_spec_text();
+
+/// One accepted request type. `fields` entries are "name[?]:kind" — '?'
+/// marks an optional field. The hub validates every incoming message
+/// against this table (unknown type, unknown field) before dispatching, so
+/// the table is authoritative, not documentation.
+struct RequestShape {
+  std::string_view type;
+  std::span<const std::string_view> fields;
+  std::string_view reply;
+};
+
+/// All accepted request shapes, in spec order.
+[[nodiscard]] std::span<const RequestShape> request_shapes();
+
+/// Every error-envelope code the server can emit, in spec order.
+[[nodiscard]] std::span<const std::string_view> error_codes();
+
+/// Shape for `type`, or nullptr if the type is not part of the protocol.
+[[nodiscard]] const RequestShape* find_request_shape(std::string_view type);
+
+/// Name of the first member of `msg` (other than "type") that the shape
+/// does not accept; empty when every member is known.
+[[nodiscard]] std::string_view first_unknown_field(const JsonValue& msg,
+                                                   const RequestShape& shape);
+
+// ---- reply builders -------------------------------------------------------
+// Each returns one complete reply line (no trailing newline).
+
+[[nodiscard]] std::string error_line(std::string_view code,
+                                     std::string_view message,
+                                     std::string_view session = {});
+[[nodiscard]] std::string welcome_line();
+[[nodiscard]] std::string opened_line(std::string_view session);
+[[nodiscard]] std::string decisions_line(std::string_view session, Time now,
+                                         std::span<const Decision> decisions,
+                                         bool complete);
+struct SessionStats {
+  Time now = 0.0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t decisions = 0;
+  Time makespan = 0.0;
+};
+[[nodiscard]] std::string stats_line(std::string_view session,
+                                     std::string_view algo,
+                                     const SessionStats& stats);
+[[nodiscard]] std::string closed_line(std::string_view session,
+                                      const SimResult& result);
+[[nodiscard]] std::string goodbye_line();
+
+}  // namespace catbatch

@@ -1,0 +1,385 @@
+#include "service/session.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+namespace {
+
+/// Appends a bad-message error and returns false (for use in `return
+/// fail(...)` chains).
+bool fail(std::vector<std::string>& out, std::string_view code,
+          std::string_view session, const std::string& message) {
+  out.push_back(error_line(code, message, session));
+  return false;
+}
+
+[[nodiscard]] bool finite_number(const JsonValue* v) {
+  return v != nullptr && v->is_number() && std::isfinite(v->num_v);
+}
+
+/// Allowed members of one element of submit.tasks (the per-task schema of
+/// docs/SERVICE.md).
+[[nodiscard]] bool task_field_known(std::string_view name) {
+  return name == "work" || name == "procs" || name == "preds" ||
+         name == "release" || name == "declared" || name == "name";
+}
+
+}  // namespace
+
+ServiceSession::ServiceSession(std::string name, const SchedulerEntry& entry,
+                               int procs, SessionOptions options)
+    : name_(std::move(name)),
+      entry_(entry),
+      procs_(procs),
+      options_(options),
+      external_(options.clock == SessionClock::External) {
+  if (entry_.kind == SchedulerKind::Online) {
+    scheduler_ = entry_.make(nullptr);
+    engine_ = std::make_unique<SessionEngine>(*scheduler_, procs_, options_);
+  }
+  // Offline: construction waits for the first submit (the algorithm needs
+  // the realized graph).
+}
+
+ServiceSession::~ServiceSession() = default;
+
+bool ServiceSession::ensure_usable(std::vector<std::string>& out) {
+  if (!poisoned_) return true;
+  return fail(out, errc::kContract, name_,
+              "session poisoned by an earlier contract violation");
+}
+
+template <typename Body>
+bool ServiceSession::guarded(Body&& body, std::vector<std::string>& out) {
+  try {
+    body();
+    return true;
+  } catch (const ContractViolation& e) {
+    poisoned_ = true;
+    out.push_back(error_line(errc::kContract, e.what(), name_));
+    return false;
+  }
+}
+
+void ServiceSession::emit_decisions(std::span<const Decision> decisions,
+                                    std::vector<std::string>& out) {
+  out.push_back(decisions_line(name_, engine_->now(), decisions,
+                               engine_->complete()));
+}
+
+void ServiceSession::handle_submit(const JsonValue& msg,
+                                   std::vector<std::string>& out) {
+  if (!ensure_usable(out)) return;
+  const JsonValue* tasks_field = msg.find("tasks");
+  if (tasks_field == nullptr || !tasks_field->is_array()) {
+    fail(out, errc::kBadMessage, name_, "submit requires a 'tasks' array");
+    return;
+  }
+  const bool offline = entry_.kind == SchedulerKind::Offline;
+  if (offline && engine_ != nullptr) {
+    fail(out, errc::kBadSequence, name_,
+         "an offline algorithm accepts a single submission");
+    return;
+  }
+
+  Time now = engine_ != nullptr ? engine_->now() : 0.0;
+  if (const JsonValue* now_field = msg.find("now"); now_field != nullptr) {
+    if (!finite_number(now_field)) {
+      fail(out, errc::kBadMessage, name_, "'now' must be a finite number");
+      return;
+    }
+    now = now_field->num_v;
+    if (engine_ != nullptr && now < engine_->now()) {
+      fail(out, errc::kBadSequence, name_,
+           "'now' moves the session clock backwards");
+      return;
+    }
+    if (offline && now != 0.0) {
+      fail(out, errc::kBadMessage, name_,
+           "an offline algorithm requires submission at time 0");
+      return;
+    }
+  }
+
+  // Validate the whole batch before the engine sees any of it, so a
+  // malformed element is a protocol error, not a poisoned session.
+  const std::size_t base =
+      engine_ != nullptr ? engine_->tasks_submitted() : 0;
+  const std::size_t count = tasks_field->items.size();
+  std::vector<SourceTask> tasks;
+  tasks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const JsonValue& t = tasks_field->items[i];
+    const std::string at_task = " (task " + std::to_string(i) + ")";
+    if (!t.is_object()) {
+      fail(out, errc::kBadMessage, name_, "task must be an object" + at_task);
+      return;
+    }
+    for (const auto& [field_name, field_value] : t.members) {
+      if (!task_field_known(field_name)) {
+        fail(out, errc::kBadMessage, name_,
+             "unknown task field '" + field_name + "'" + at_task);
+        return;
+      }
+    }
+    SourceTask st;
+    const JsonValue* work = t.find("work");
+    if (!finite_number(work) || work->num_v <= 0.0) {
+      fail(out, errc::kBadMessage, name_,
+           "'work' must be a positive finite number" + at_task);
+      return;
+    }
+    st.work = work->num_v;
+    if (const JsonValue* procs = t.find("procs"); procs != nullptr) {
+      const auto p = procs->is_number() ? json_to_uint(procs->num_v)
+                                        : std::nullopt;
+      if (!p.has_value() || *p < 1 ||
+          *p > static_cast<std::uint64_t>(procs_)) {
+        fail(out, errc::kBadMessage, name_,
+             "'procs' must be an integer in [1, platform size]" + at_task);
+        return;
+      }
+      st.procs = static_cast<int>(*p);
+    }
+    if (const JsonValue* preds = t.find("preds"); preds != nullptr) {
+      if (!preds->is_array()) {
+        fail(out, errc::kBadMessage, name_,
+             "'preds' must be an array of task ids" + at_task);
+        return;
+      }
+      st.predecessors.reserve(preds->items.size());
+      for (const JsonValue& pred : preds->items) {
+        const auto id = pred.is_number() ? json_to_uint(pred.num_v)
+                                         : std::nullopt;
+        if (!id.has_value() || *id >= base + count || *id == base + i) {
+          fail(out, errc::kBadMessage, name_,
+               "'preds' entries must reference other submitted tasks" +
+                   at_task);
+          return;
+        }
+        st.predecessors.push_back(static_cast<TaskId>(*id));
+      }
+    }
+    if (const JsonValue* release = t.find("release"); release != nullptr) {
+      if (!finite_number(release) || release->num_v < 0.0) {
+        fail(out, errc::kBadMessage, name_,
+             "'release' must be a non-negative finite number" + at_task);
+        return;
+      }
+      st.release = release->num_v;
+    }
+    if (const JsonValue* declared = t.find("declared");
+        declared != nullptr) {
+      if (!finite_number(declared) || declared->num_v <= 0.0) {
+        fail(out, errc::kBadMessage, name_,
+             "'declared' must be a positive finite number" + at_task);
+        return;
+      }
+      st.declared_work = declared->num_v;
+    }
+    if (const JsonValue* task_name = t.find("name"); task_name != nullptr) {
+      if (!task_name->is_string()) {
+        fail(out, errc::kBadMessage, name_, "'name' must be a string" +
+                                                at_task);
+        return;
+      }
+      st.name = task_name->str_v;
+    }
+    if (offline && (st.release != 0.0 || st.declared_work >= 0.0)) {
+      fail(out, errc::kBadMessage, name_,
+           "offline algorithms take neither 'release' nor 'declared'" +
+               at_task);
+      return;
+    }
+    if (entry_.independent_only && !st.predecessors.empty()) {
+      fail(out, errc::kBadMessage, name_,
+           "algorithm '" + entry_.name +
+               "' accepts independent tasks only" + at_task);
+      return;
+    }
+    tasks.push_back(std::move(st));
+  }
+
+  if (offline) {
+    // Materialize the realized instance and construct the algorithm from
+    // it — the service-side equivalent of make_scheduler(name, graph) +
+    // simulate(graph). Construction failures (cycles, an independent-only
+    // packer fed precedence edges) are message errors: no engine exists
+    // yet, so nothing is poisoned.
+    try {
+      for (const SourceTask& st : tasks) {
+        graph_.add_task(st.work, st.procs, st.name);
+      }
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        for (const TaskId pred : tasks[i].predecessors) {
+          graph_.add_edge(pred, static_cast<TaskId>(i));
+        }
+      }
+      graph_.validate(procs_);
+      scheduler_ = entry_.make(&graph_);
+    } catch (const ContractViolation& e) {
+      graph_ = TaskGraph{};
+      scheduler_.reset();
+      fail(out, errc::kBadMessage, name_, e.what());
+      return;
+    }
+    engine_ = std::make_unique<SessionEngine>(*scheduler_, procs_, options_);
+  }
+
+  guarded(
+      [&] {
+        const auto decisions = engine_->submit(std::move(tasks), now);
+        emit_decisions(decisions, out);
+      },
+      out);
+}
+
+void ServiceSession::handle_complete(const JsonValue& msg,
+                                     std::vector<std::string>& out) {
+  if (!ensure_usable(out)) return;
+  if (!external_) {
+    fail(out, errc::kBadSequence, name_,
+         "'complete' requires a session opened with the external clock");
+    return;
+  }
+  const JsonValue* task = msg.find("task");
+  const JsonValue* at = msg.find("at");
+  const auto id = (task != nullptr && task->is_number())
+                      ? json_to_uint(task->num_v)
+                      : std::nullopt;
+  if (!id.has_value() || !finite_number(at)) {
+    fail(out, errc::kBadMessage, name_,
+         "'complete' requires an integer 'task' and a finite 'at'");
+    return;
+  }
+  if (engine_ == nullptr || *id >= engine_->tasks_submitted()) {
+    fail(out, errc::kBadSequence, name_,
+         "completion for a task this session never submitted");
+    return;
+  }
+  if (at->num_v < engine_->now()) {
+    fail(out, errc::kBadSequence, name_,
+         "'at' moves the session clock backwards");
+    return;
+  }
+  guarded(
+      [&] {
+        const auto decisions = engine_->advance(
+            SessionEvent::completion(static_cast<TaskId>(*id), at->num_v));
+        emit_decisions(decisions, out);
+      },
+      out);
+}
+
+void ServiceSession::handle_tick(const JsonValue& msg,
+                                 std::vector<std::string>& out) {
+  if (!ensure_usable(out)) return;
+  if (!external_) {
+    fail(out, errc::kBadSequence, name_,
+         "'tick' requires a session opened with the external clock");
+    return;
+  }
+  const JsonValue* at = msg.find("at");
+  if (!finite_number(at)) {
+    fail(out, errc::kBadMessage, name_, "'tick' requires a finite 'at'");
+    return;
+  }
+  if (engine_ == nullptr) {
+    out.push_back(decisions_line(name_, at->num_v, {}, true));
+    return;
+  }
+  if (at->num_v < engine_->now()) {
+    fail(out, errc::kBadSequence, name_,
+         "'at' moves the session clock backwards");
+    return;
+  }
+  guarded(
+      [&] {
+        const auto decisions =
+            engine_->advance(SessionEvent::tick(at->num_v));
+        emit_decisions(decisions, out);
+      },
+      out);
+}
+
+void ServiceSession::handle_step(std::vector<std::string>& out) {
+  if (!ensure_usable(out)) return;
+  if (external_) {
+    fail(out, errc::kBadSequence, name_,
+         "'step' requires a session opened with the simulated clock");
+    return;
+  }
+  if (engine_ == nullptr) {
+    out.push_back(decisions_line(name_, 0.0, {}, true));
+    return;
+  }
+  guarded(
+      [&] {
+        const auto decisions = engine_->step();
+        emit_decisions(decisions, out);
+      },
+      out);
+}
+
+void ServiceSession::handle_drain(std::vector<std::string>& out) {
+  if (!ensure_usable(out)) return;
+  if (external_) {
+    fail(out, errc::kBadSequence, name_,
+         "'drain' requires a session opened with the simulated clock");
+    return;
+  }
+  if (engine_ == nullptr) {
+    out.push_back(decisions_line(name_, 0.0, {}, true));
+    return;
+  }
+  // Step-collect rather than SessionEngine::drain(): the client gets every
+  // decision the drain produced, in dispatch order, in one reply.
+  guarded(
+      [&] {
+        std::vector<Decision> all;
+        while (!engine_->idle()) {
+          const auto decisions = engine_->step();
+          all.insert(all.end(), decisions.begin(), decisions.end());
+        }
+        emit_decisions(all, out);
+      },
+      out);
+}
+
+void ServiceSession::handle_query(std::vector<std::string>& out) {
+  if (!ensure_usable(out)) return;
+  SessionStats stats;
+  if (engine_ != nullptr) {
+    stats.now = engine_->now();
+    stats.submitted = engine_->tasks_submitted();
+    stats.completed = engine_->tasks_completed();
+    stats.decisions = engine_->decisions_made();
+    stats.makespan = engine_->schedule().makespan();
+  }
+  out.push_back(stats_line(name_, entry_.name, stats));
+}
+
+void ServiceSession::handle_close(std::vector<std::string>& out) {
+  if (!ensure_usable(out)) return;
+  if (engine_ == nullptr) {
+    out.push_back(closed_line(name_, SimResult{}));
+    return;
+  }
+  guarded(
+      [&] {
+        if (!external_) {
+          // Batch semantics: run the event loop dry (the deadlock check of
+          // the simulated clock fires here if the scheduler wedged).
+          while (!engine_->idle()) (void)engine_->step();
+        }
+        const SimResult result = engine_->finish();
+        out.push_back(closed_line(name_, result));
+      },
+      out);
+}
+
+}  // namespace catbatch

@@ -1,0 +1,85 @@
+// One protocol session: a named SessionEngine + scheduler pair driven by
+// parsed protocol messages.
+//
+// A ServiceSession owns everything one client simulation needs — the
+// scheduler (any registry algorithm by name), the stepwise engine, and for
+// offline algorithms the realized TaskGraph the algorithm was constructed
+// from. Handlers take the already-shape-checked message (service/hub.cpp
+// validates type and field names against protocol.hpp's table) and append
+// exactly one reply line.
+//
+// Error discipline: protocol-level misuse that the session can detect
+// before touching the engine — wrong clock for the verb, unknown task id,
+// clock moving backwards, a second submit to an offline algorithm —
+// answers "bad-sequence"/"bad-message" and leaves the session usable. A
+// ContractViolation escaping the engine (scheduler bug, or misuse only the
+// engine can detect) answers "contract" and *poisons* the session: the
+// engine's state is no longer trustworthy, so every later message on it
+// answers "contract" until the client closes it.
+//
+// Threading: a ServiceSession is single-threaded by construction — the
+// daemon serializes each connection onto one strand, and sessions belong
+// to exactly one connection.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "sched/registry.hpp"
+#include "service/protocol.hpp"
+#include "sim/session.hpp"
+#include "support/json_parse.hpp"
+
+namespace catbatch {
+
+class ServiceSession {
+ public:
+  /// `entry` must outlive the session (registry entries are static).
+  /// Throws nothing; offline-scheduler construction is deferred to the
+  /// first submit (it needs the realized graph).
+  ServiceSession(std::string name, const SchedulerEntry& entry, int procs,
+                 SessionOptions options);
+  ~ServiceSession();
+
+  ServiceSession(const ServiceSession&) = delete;
+  ServiceSession& operator=(const ServiceSession&) = delete;
+
+  void handle_submit(const JsonValue& msg, std::vector<std::string>& out);
+  void handle_complete(const JsonValue& msg, std::vector<std::string>& out);
+  void handle_tick(const JsonValue& msg, std::vector<std::string>& out);
+  void handle_step(std::vector<std::string>& out);
+  void handle_drain(std::vector<std::string>& out);
+  void handle_query(std::vector<std::string>& out);
+  /// Simulated-clock sessions drain before finishing; a deadlocked
+  /// scheduler therefore surfaces here as a "contract" error. On success
+  /// appends the "closed" reply. The session must be destroyed afterwards
+  /// (the hub erases it whether or not close succeeded).
+  void handle_close(std::vector<std::string>& out);
+
+ private:
+  bool ensure_usable(std::vector<std::string>& out);
+  void emit_decisions(std::span<const Decision> decisions,
+                      std::vector<std::string>& out);
+  /// Runs `body()` (an engine call sequence) translating ContractViolation
+  /// into a "contract" error reply + poisoning. Returns false on poison.
+  template <typename Body>
+  bool guarded(Body&& body, std::vector<std::string>& out);
+
+  std::string name_;
+  const SchedulerEntry& entry_;
+  int procs_;
+  SessionOptions options_;
+  bool external_;
+
+  // Offline algorithms: the realized instance, owned here because the
+  // scheduler captures a pointer to it. Declared before the scheduler and
+  // engine so it outlives both (reverse destruction order).
+  TaskGraph graph_;
+  std::unique_ptr<OnlineScheduler> scheduler_;
+  std::unique_ptr<SessionEngine> engine_;
+  bool poisoned_ = false;
+};
+
+}  // namespace catbatch

@@ -1,4 +1,5 @@
-// Discrete-event simulation of online rigid-DAG scheduling.
+// Discrete-event simulation of online rigid-DAG scheduling — batch entry
+// points.
 //
 // The engine owns the clock, the processor pool, and the revelation rule:
 // a task is revealed to the scheduler exactly when its last predecessor
@@ -7,6 +8,12 @@
 // capacity constraint on every start and detects schedulers that deadlock
 // (idle platform, no selection, work remaining).
 //
+// The event loop itself lives in sim/session.hpp as the stepwise
+// SessionEngine; the simulate() overloads below are thin wrappers —
+// submit(source) + drain() + finish() under the Simulated clock — kept as
+// the convenient batch API. Service callers (catbatchd) drive the
+// SessionEngine directly, one event at a time.
+//
 // Hot-path layout: emitted tasks live in a flat arena (plain-old-data rows,
 // CSR predecessor/successor adjacency, batch-sized buffer growth), the
 // scheduler protocol exchanges spans and a reused picks buffer, and the
@@ -14,71 +21,24 @@
 // counting-mode run performs zero heap allocations per event (see
 // DESIGN.md, "Engine complexity").
 //
-// Observability: SimOptions::observer (obs/observer.hpp) receives every
-// event-loop transition — reveal, ready, select (with wall-clock
+// Observability: SessionOptions::observer (obs/observer.hpp) receives
+// every event-loop transition — reveal, ready, select (with wall-clock
 // duration), dispatch, completion, busy-period boundaries. The contract,
 // including the null-observer zero-overhead guarantee, is in
 // docs/OBSERVABILITY.md.
 #pragma once
 
-#include <cstddef>
-
 #include "sim/schedule.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/session.hpp"
 #include "sim/source.hpp"
 
 namespace catbatch {
 
-/// How the engine tracks processor occupancy.
-enum class ScheduleMode {
-  /// Concrete processor indices per task (lowest-free-first), full Gantt /
-  /// SVG / per-processor validation support.
-  Identity,
-  /// Only *counts* of busy processors: acquire/release is O(1), schedule
-  /// entries carry the width but no processor identities. The makespan,
-  /// decision sequence and every metric derived from start/finish times are
-  /// bit-identical to Identity mode (schedulers never see identities).
-  /// Intended for sweeps and benches that never render a Gantt chart.
-  Counting,
-};
-
-class EngineObserver;  // obs/observer.hpp
-
-struct SimOptions {
-  ScheduleMode mode = ScheduleMode::Identity;
-  /// Optional observability sink (obs/observer.hpp): when non-null the
-  /// engine reports every event-loop transition — task reveal/ready,
-  /// select() calls with wall-clock duration, dispatch, completion,
-  /// busy-period boundaries — to it. The default (null) compiles each hook
-  /// site down to one predictable branch, preserving the zero-alloc hot
-  /// path and the perf gate (see docs/OBSERVABILITY.md, "Overhead").
-  EngineObserver* observer = nullptr;
-};
-
-struct SimStats {
-  std::size_t task_count = 0;
-  std::size_t decision_points = 0;
-  /// Events processed by the main loop (completions + delayed releases).
-  std::size_t events = 0;
-  /// Total processor-time actually used (Σ t_i p_i over simulated tasks).
-  Time busy_area = 0.0;
-};
-
-struct SimResult {
-  Schedule schedule;
-  Time makespan = 0.0;
-  SimStats stats;
-  /// Time each task became ready (revealed to the scheduler), indexed by
-  /// TaskId. Basis for waiting-time / stretch flow metrics.
-  std::vector<Time> ready_times;
-
-  /// Average fraction of the platform busy over [0, makespan].
-  [[nodiscard]] double average_utilization(int procs) const {
-    if (makespan <= 0.0) return 0.0;
-    return static_cast<double>(stats.busy_area) /
-           (static_cast<double>(procs) * static_cast<double>(makespan));
-  }
-};
+/// Deprecated alias, kept for one release: batch and service callers now
+/// share the SessionOptions surface (sim/session.hpp). simulate() ignores
+/// SessionOptions::clock — a batch run always owns its own time.
+using SimOptions = SessionOptions;
 
 /// Runs `scheduler` against the (possibly adaptive) instance produced by
 /// `source` on `procs` processors. Throws ContractViolation on scheduler

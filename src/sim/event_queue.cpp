@@ -35,6 +35,35 @@ SimEvent EventQueue::pop() {
   return pop_calendar();
 }
 
+bool EventQueue::pop_until(Time until, SimEvent& out) {
+  if (size_ == 0) return false;
+  if (!calendar_) [[likely]] {
+    if (heap_.front().at > until) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    out = heap_.back();
+    heap_.pop_back();
+    --size_;
+    return true;
+  }
+  // The calendar has no cheap peek; pop the exact minimum and, when it is
+  // past `until`, put it back with its seq intact — the pop cursor still
+  // sits at (or before) its day, so the observable order is unchanged.
+  const SimEvent ev = pop_calendar();
+  if (ev.at <= until) {
+    out = ev;
+    return true;
+  }
+  ++size_;
+  if (calendar_) {
+    insert_calendar(ev);
+  } else {
+    // pop_calendar drained below the threshold and collapsed to the heap.
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  return false;
+}
+
 void EventQueue::insert_calendar(const SimEvent& ev) {
   const std::uint64_t day = day_of(ev.at);
   // The engine only pushes at times >= the last popped time, but the queue

@@ -74,6 +74,12 @@ class EventQueue {
   /// Removes and returns the (at, seq)-minimum pending event.
   [[nodiscard]] SimEvent pop();
 
+  /// Pops the (at, seq)-minimum event into `out` if its time is <= `until`;
+  /// returns false (queue untouched in observable order, seq preserved)
+  /// otherwise. This is the peek the stepwise session engine needs to fire
+  /// internal releases before an external event at an equal-or-later time.
+  [[nodiscard]] bool pop_until(Time until, SimEvent& out);
+
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 

@@ -1,0 +1,737 @@
+#include "sim/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "core/criticality.hpp"
+#include "core/soa_graph.hpp"
+#include "obs/observer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/processor_pool.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+
+// ---------------------------------------------------------------------------
+// SessionEngine::Impl
+//
+// Per-task state lives in one packed 32-byte TaskRec per task. The CSR
+// adjacency stays columnar (it is streamed), but every scalar the event
+// loop touches for a task — work, criticality finish, remaining
+// predecessor count, width, lifecycle bits — shares a single cache line.
+// That layout choice is what the 1M-10M tiers are gated on: task ids at
+// scale arrive in data-dependent (effectively random) order, so each
+// separate per-task column costs one DRAM miss per touch, and folding five
+// columns into one record turns ~five misses into one at every reveal,
+// start, and completion. The ingest paths differ only in how the records
+// are filled:
+//
+//   soa      — records are filled from the source's SoaGraph in one
+//              sequential pass; the CSR adjacency (both directions) is
+//              *borrowed* from the frozen graph. This is the 1M-10M-task
+//              path: ingest is O(n) streaming, not a copy of the instance.
+//   static   — records filled from the graph's task rows, predecessors
+//              copied into one CSR arena; names stay viewed through the
+//              graph.
+//   generic  — adaptive sources and external submit() batches append
+//              records per batch; the CSR views are refreshed after every
+//              batch (vector growth moves the storage).
+//
+// The engine also owns the f∞ recurrence (Lemma 1): at reveal it computes
+// s∞ = max over predecessors of their recorded crit_finish and hands it to
+// the scheduler in ReadyTask::earliest_start. Every scheduler used to
+// re-derive exactly this from a private finish-time table — one random
+// read per predecessor plus a random write per task, per scheduler —
+// so centralizing it removes the last per-task random traffic outside the
+// record itself. The max is order-independent in IEEE-754, so the values
+// are bit-identical to the scheduler-side recurrence they replace.
+
+namespace {
+
+// Per-task lifecycle bits (TaskRec::state).
+constexpr std::uint8_t kRevealed = 1;
+constexpr std::uint8_t kStarted = 2;
+constexpr std::uint8_t kDone = 4;
+
+/// Hot per-task state: exactly half a cache line, so two tasks share a
+/// line and one task never straddles two. The processor requirement and
+/// the lifecycle bits share one word (procs in the high 24 bits), which is
+/// what makes room for the ready time inside the record — keeping it here
+/// instead of in a parallel column saves one DRAM miss per task at scale.
+struct TaskRec {
+  Time work = 0.0;  // actual (simulated) execution time
+  // Criticality slot: s∞ (pre-filled at ingest) for fixed instances, or
+  // f∞ = s∞ + declared work (set at reveal) under the online recurrence of
+  // adaptive sources — see Impl::crit_precomputed_.
+  Time crit_finish = 0.0;
+  Time ready_time = 0.0;  // when the task was revealed (SimResult)
+  std::uint32_t procs_state = 0;  // procs << 8 | lifecycle bits
+  // Remaining-predecessor countdown, decremented by the completion
+  // cascade. Keeping it inside the record (rather than a separate dense
+  // column) measured at parity under interleaved A/B at 1M tasks: the
+  // cascade's decrement usually shares a cache line with the reveal that
+  // follows it, so splitting the countdown out buys no locality.
+  std::uint32_t unfinished = 0;
+
+  [[nodiscard]] int procs() const noexcept {
+    return static_cast<int>(procs_state >> 8);
+  }
+  [[nodiscard]] std::uint8_t state() const noexcept {
+    return static_cast<std::uint8_t>(procs_state & 0xff);
+  }
+  void set_procs(int procs) noexcept {
+    procs_state = (static_cast<std::uint32_t>(procs) << 8) | (procs_state & 0xff);
+  }
+  void mark(std::uint8_t bit) noexcept { procs_state |= bit; }
+};
+static_assert(sizeof(TaskRec) == 32, "TaskRec must stay half a cache line");
+
+/// Widest processor requirement that fits TaskRec's packed word. Far above
+/// any simulatable platform; checked at ingest so packing can never wrap.
+constexpr int kMaxProcs = (1 << 24) - 1;
+
+}  // namespace
+
+struct SessionEngine::Impl {
+  Impl(OnlineScheduler& scheduler, int procs, const SessionOptions& options)
+      : scheduler_(scheduler),
+        procs_(procs),
+        counting_(options.mode == ScheduleMode::Counting),
+        external_(options.clock == SessionClock::External),
+        obs_(options.observer),
+        avail_(procs),
+        pool_(counting_ ? 1 : procs) {
+    CB_CHECK(procs >= 1, "platform must have at least one processor");
+  }
+
+  // -- public entry points ---------------------------------------------------
+
+  std::span<const Decision> bind_source(InstanceSource& source) {
+    CB_CHECK(!started_, "a session accepts one source, before any submit");
+    started_ = true;
+    source_ = &source;
+    begin_call();
+    scheduler_.reset();
+    if ((soa_ = source.soa_graph()) != nullptr) {
+      scheduler_.instance_hint(soa_->size());
+      ingest_soa(*soa_);
+    } else if ((static_graph_ = source.static_graph()) != nullptr) {
+      scheduler_.instance_hint(static_graph_->size());
+      ingest_graph(*static_graph_);
+    } else {
+      ingest_batch(source.start(), /*now=*/0.0);
+    }
+    decision_point(/*now=*/0.0);
+    return decisions();
+  }
+
+  std::span<const Decision> submit_batch(std::vector<SourceTask> tasks,
+                                         Time now) {
+    CB_CHECK(source_ == nullptr,
+             "a source-bound session cannot accept external submissions");
+    CB_CHECK(now >= now_, "submission time moves the session clock backwards");
+    begin_call();
+    if (!started_) {
+      started_ = true;
+      scheduler_.reset();
+    }
+    run_internal_until(now);
+    now_ = now;
+    ingest_batch(std::move(tasks), now);
+    decision_point(now);
+    return decisions();
+  }
+
+  std::span<const Decision> advance(const SessionEvent& event) {
+    CB_CHECK(external_,
+             "advance() drives the External clock; use step() under the "
+             "Simulated clock");
+    CB_CHECK(event.at >= now_, "event moves the session clock backwards");
+    begin_call();
+    run_internal_until(event.at);
+    now_ = event.at;
+    if (event.kind == SessionEvent::Kind::Completion) {
+      const TaskId id = event.id;
+      CB_CHECK(id < n_, "completion for an unknown task");
+      const TaskRec& rec = records_[id];
+      CB_CHECK(rec.state() & kStarted, "completion for a task never started");
+      CB_CHECK(!(rec.state() & kDone), "task completed twice");
+      ++events_processed_;
+      complete(id, event.at);
+      decision_point(event.at);
+    }
+    return decisions();
+  }
+
+  std::span<const Decision> step() {
+    CB_CHECK(!external_,
+             "step() drives the Simulated clock; use advance() under the "
+             "External clock");
+    begin_call();
+    if (!events_.empty()) step_one();
+    return decisions();
+  }
+
+  void drain() {
+    CB_CHECK(!external_, "drain() requires the Simulated clock");
+    while (!events_.empty()) {
+      decisions_.clear();
+      step_one();
+    }
+    CB_CHECK(done_count_ == n_,
+             "simulation drained with unfinished tasks (scheduler deadlock)");
+  }
+
+  SimResult finish() {
+    if (!external_) {
+      CB_CHECK(done_count_ == n_,
+               "simulation drained with unfinished tasks (scheduler deadlock)");
+    }
+    SimResult result;
+    result.schedule = std::move(schedule_);
+    result.makespan = result.schedule.makespan();
+    if (obs_ != nullptr) {
+      obs_->on_run_end(result.makespan, busy_area_, procs_, n_);
+    }
+    result.stats.task_count = n_;
+    result.stats.decision_points = decisions_total_;
+    result.stats.events = events_processed_;
+    result.stats.busy_area = busy_area_;
+    result.ready_times.resize(n_);
+    for (TaskId id = 0; id < n_; ++id) {
+      result.ready_times[id] = records_[id].ready_time;
+    }
+    return result;
+  }
+
+  [[nodiscard]] std::span<const Decision> decisions() const {
+    return {decisions_.data(), decisions_.size()};
+  }
+
+  // -- stepping helpers -----------------------------------------------------
+
+  void begin_call() { decisions_.clear(); }
+
+  /// One iteration of the classic event loop: pop, prefetch the next
+  /// event's record, process, decide. Exactly the batch simulate() body.
+  void step_one() {
+    const SimEvent ev = events_.pop();
+    // Start the *next* event's record and successor row toward the cache
+    // while this event is processed; at 1M+ tasks both are DRAM-cold.
+    const TaskId next = events_.peek_id();
+    if (next < n_) {
+      __builtin_prefetch(&records_[next]);
+      if (next < csr_tasks_) __builtin_prefetch(succ_off_ + next);
+    }
+    ++events_processed_;
+    now_ = ev.at;
+    if (ev.kind == SimEvent::Kind::Completion) {
+      complete(ev.id, ev.at);
+    } else {
+      reveal(ev.id, ev.at);
+    }
+    decision_point(ev.at);
+  }
+
+  /// Fires internal events at or before `until` (each with its own
+  /// decision point) before an external submission or event is applied.
+  /// Under the External clock only release-time reveals live on the queue;
+  /// under the Simulated clock a mid-run submit() also drains completions
+  /// scheduled before the submission time.
+  void run_internal_until(Time until) {
+    SimEvent ev;
+    while (events_.pop_until(until, ev)) {
+      ++events_processed_;
+      now_ = ev.at;
+      if (ev.kind == SimEvent::Kind::Completion) {
+        complete(ev.id, ev.at);
+      } else {
+        reveal(ev.id, ev.at);
+      }
+      decision_point(ev.at);
+    }
+  }
+
+  // -- ingestion ------------------------------------------------------------
+
+  /// SoA fast path: borrow both CSR adjacencies from the frozen graph and
+  /// fill the task records in one streaming pass. build_soa_graph already
+  /// validated work/procs/adjacency; only the instance-vs-platform fit is
+  /// checked here.
+  void ingest_soa(const SoaGraph& g) {
+    CB_CHECK(g.max_procs <= procs_,
+             "source emitted a task that cannot fit the platform");
+    CB_CHECK(g.max_procs <= kMaxProcs,
+             "task processor requirement too large");
+    const std::size_t n = g.size();
+    n_ = n;
+    pred_off_ = g.pred_offsets.data();
+    pred_dat_ = g.pred_data.data();
+    succ_off_ = g.succ_offsets.data();
+    succ_dat_ = g.succ_data.data();
+    csr_tasks_ = n;
+    csr_built_ = true;
+    records_.resize(n);
+    const Time* work = g.work.data();
+    const int* procs = g.procs.data();
+    for (TaskId id = 0; id < n; ++id) {
+      TaskRec& rec = records_[id];
+      rec.work = work[id];
+      rec.set_procs(procs[id]);
+      rec.unfinished = pred_off_[id + 1] - pred_off_[id];
+    }
+    // Lemma 1 as one level-ordered sweep (the core SoA criticality kernel,
+    // inlined over the records): level k reads only finishes of levels < k.
+    // Precomputing s∞ here removes the per-predecessor random reads from
+    // every reveal — the exact-time model guarantees the online recurrence
+    // would produce these very values (max is order-insensitive), so the
+    // scheduler-visible stream is bit-identical.
+    {
+      std::vector<Time> fin(n);
+      for (std::size_t lvl = 0; lvl < g.level_count(); ++lvl) {
+        for (const TaskId id : g.level(lvl)) {
+          Time s = 0.0;
+          for (const TaskId pred : preds_of(id)) s = std::max(s, fin[pred]);
+          records_[id].crit_finish = s;  // holds s∞ when precomputed
+          fin[id] = s + work[id];
+        }
+      }
+    }
+    crit_precomputed_ = true;
+    finalize_batch(/*base=*/0, /*now=*/0.0);
+  }
+
+  /// Static fast path: tasks come straight from the graph. Scalars are
+  /// copied into the task records (so the hot loop never chases the
+  /// graph's AoS rows); name views keep pointing into graph-owned storage.
+  void ingest_graph(const TaskGraph& g) {
+    const std::size_t n = g.size();
+    n_ = n;
+    records_.reserve(n);
+    pred_offsets_.reserve(n + 1);
+    std::size_t edges = 0;
+    for (TaskId id = 0; id < n; ++id) edges += g.predecessors(id).size();
+    pred_data_.reserve(edges);
+    for (TaskId id = 0; id < n; ++id) {
+      const Task& t = g.task(id);
+      CB_CHECK(t.work > 0.0, "source emitted a task with non-positive work");
+      CB_CHECK(t.procs >= 1 && t.procs <= procs_,
+               "source emitted a task that cannot fit the platform");
+      CB_CHECK(t.procs <= kMaxProcs, "task processor requirement too large");
+      const auto preds = g.predecessors(id);
+      TaskRec rec;
+      rec.work = t.work;
+      rec.set_procs(t.procs);
+      rec.unfinished = static_cast<std::uint32_t>(preds.size());
+      records_.push_back(rec);
+      pred_data_.insert(pred_data_.end(), preds.begin(), preds.end());
+      pred_offsets_.push_back(static_cast<std::uint32_t>(pred_data_.size()));
+    }
+    pred_off_ = pred_offsets_.data();
+    pred_dat_ = pred_data_.data();
+    // Same precomputed-s∞ scheme as the SoA path (see ingest_soa); the
+    // TaskGraph kernel handles the topological ordering.
+    const std::vector<Criticality> crit = compute_criticalities(g);
+    for (TaskId id = 0; id < n; ++id) {
+      records_[id].crit_finish = crit[id].earliest_start;
+    }
+    crit_precomputed_ = true;
+    finalize_batch(/*base=*/0, /*now=*/0.0);
+  }
+
+  /// Generic path for adaptive sources and external submissions. Two
+  /// passes: tasks of one batch may reference each other in any order (ids
+  /// need not be topological — e.g. series-parallel generators), so create
+  /// every task before resolving predecessor states.
+  void ingest_batch(std::vector<SourceTask> emitted, Time now) {
+    if (emitted.empty() && csr_built_) return;
+    const auto base = static_cast<TaskId>(n_);
+    for (SourceTask& st : emitted) {
+      CB_CHECK(st.work > 0.0, "source emitted a task with non-positive work");
+      CB_CHECK(st.procs >= 1 && st.procs <= procs_,
+               "source emitted a task that cannot fit the platform");
+      CB_CHECK(st.release >= 0.0, "release time must be non-negative");
+      CB_CHECK(st.procs <= kMaxProcs, "task processor requirement too large");
+      TaskRec rec;
+      rec.work = st.work;
+      rec.set_procs(st.procs);
+      records_.push_back(rec);
+      declared_store_.push_back(st.declared());
+      release_store_.push_back(st.release);
+      pred_data_.insert(pred_data_.end(), st.predecessors.begin(),
+                        st.predecessors.end());
+      pred_offsets_.push_back(static_cast<std::uint32_t>(pred_data_.size()));
+      name_chars_.append(st.name);
+      name_offsets_.push_back(static_cast<std::uint32_t>(name_chars_.size()));
+    }
+    n_ = records_.size();
+    pred_off_ = pred_offsets_.data();
+    pred_dat_ = pred_data_.data();
+    for (TaskId id = base; id < n_; ++id) {
+      std::uint32_t unfinished = 0;
+      for (const TaskId pred : preds_of(id)) {
+        CB_CHECK(pred < n_ && pred != id,
+                 "source referenced an unknown predecessor");
+        if (!(records_[pred].state() & kDone)) ++unfinished;
+      }
+      records_[id].unfinished = unfinished;
+    }
+    finalize_batch(base, now);
+  }
+
+  /// Sizes every per-task buffer once for the whole batch (the per-event
+  /// loop then never grows them), wires the reverse adjacency, and reveals
+  /// the batch's ready tasks in id order.
+  void finalize_batch(TaskId base, Time now) {
+    const std::size_t n = n_;
+    // A task has at most one pending event at any moment, but the typical
+    // peak is far smaller (P running tasks plus pending releases), so cap
+    // the up-front reservation: at 10M tasks a full-size event buffer
+    // would cost 24 bytes/task for a queue that stays kilobytes deep.
+    // Release-heavy instances grow it amortized (and the calendar queue
+    // takes over well before that matters).
+    events_.reserve(std::min<std::size_t>(n, 65536));
+    picks_.reserve(std::min<std::size_t>(n, 4096));
+    decisions_.reserve(std::min<std::size_t>(n, 4096));
+    schedule_.reserve(n);
+    if (!csr_built_) {
+      build_succ_csr();
+      csr_built_ = true;
+    } else if (soa_ == nullptr && pred_off_[n] > pred_off_[base]) {
+      // Later (adaptive) batches append to the overflow adjacency; ids grow
+      // monotonically, so csr-then-overflow traversal stays ascending.
+      if (extra_succs_.size() < n) extra_succs_.resize(n);
+      for (TaskId id = base; id < n; ++id) {
+        for (const TaskId pred : preds_of(id)) {
+          extra_succs_[pred].push_back(id);
+        }
+      }
+      has_extra_ = true;
+    }
+    if (obs_ != nullptr) {
+      for (TaskId id = base; id < n; ++id) obs_->on_task_revealed(id, now);
+    }
+    for (TaskId id = base; id < n; ++id) {
+      if (records_[id].unfinished == 0) reveal_or_defer(id, now);
+    }
+  }
+
+  /// CSR reverse adjacency over the first batch (the whole instance for
+  /// static sources): counting sort of the predecessor arena, one pass, so
+  /// each successor row is ascending — the same order the per-successor
+  /// push_back construction produced historically.
+  void build_succ_csr() {
+    const std::size_t n = n_;
+    csr_tasks_ = n;
+    succ_offsets_.assign(n + 1, 0);
+    succ_data_.resize(pred_data_.size());
+    for (const TaskId pred : pred_data_) ++succ_offsets_[pred + 1];
+    for (std::size_t i = 1; i <= n; ++i) succ_offsets_[i] += succ_offsets_[i - 1];
+    std::vector<std::uint32_t> cursor(succ_offsets_.begin(),
+                                      succ_offsets_.end() - 1);
+    for (TaskId id = 0; id < n; ++id) {
+      for (const TaskId pred : preds_of(id)) {
+        succ_data_[cursor[pred]++] = id;
+      }
+    }
+    succ_off_ = succ_offsets_.data();
+    succ_dat_ = succ_data_.data();
+  }
+
+  // -- column views ---------------------------------------------------------
+
+  [[nodiscard]] std::span<const TaskId> preds_of(TaskId id) const {
+    return {pred_dat_ + pred_off_[id], pred_dat_ + pred_off_[id + 1]};
+  }
+
+  [[nodiscard]] std::span<const TaskId> csr_successors(TaskId id) const {
+    if (id >= csr_tasks_) return {};
+    return {succ_dat_ + succ_off_[id], succ_dat_ + succ_off_[id + 1]};
+  }
+
+  [[nodiscard]] Time release_of(TaskId id) const {
+    return release_store_.empty() ? 0.0 : release_store_[id];
+  }
+
+  [[nodiscard]] std::string_view name_of(TaskId id) const {
+    if (soa_ != nullptr) return soa_->name(id);
+    if (static_graph_ != nullptr) return static_graph_->task(id).name;
+    const std::uint32_t from = name_offsets_[id];
+    return std::string_view(name_chars_).substr(from,
+                                                name_offsets_[id + 1] - from);
+  }
+
+  // -- simulation steps -----------------------------------------------------
+
+  /// Reveals `id` now if its release time has passed; otherwise schedules a
+  /// release event.
+  void reveal_or_defer(TaskId id, Time now) {
+    const Time release = release_of(id);
+    if (release <= now) {
+      reveal(id, now);
+    } else {
+      events_.push(release, id, SimEvent::Kind::Release);
+    }
+  }
+
+  void reveal(TaskId id, Time now) {
+    TaskRec& rec = records_[id];
+    CB_DCHECK(!(rec.state() & kRevealed), "task revealed twice");
+    rec.mark(kRevealed);
+    rec.ready_time = now;
+    // Lemma 1, maintained once for every scheduler. Fixed instances (SoA
+    // and static paths) have s∞ precomputed into the record at ingest;
+    // adaptive sources run the online recurrence — s∞ is the max f∞ over
+    // the predecessors, all revealed (and their crit_finish recorded)
+    // strictly earlier. Declared work feeds f∞ — the scheduler must batch
+    // on the information it was shown, not the simulated truth.
+    const auto preds = preds_of(id);
+    const Time declared =
+        declared_store_.empty() ? rec.work : declared_store_[id];
+    Time s_inf;
+    if (crit_precomputed_) {
+      s_inf = rec.crit_finish;  // filled with s∞ at ingest
+    } else {
+      s_inf = 0.0;
+      for (const TaskId pred : preds) {
+        s_inf = std::max(s_inf, records_[pred].crit_finish);
+      }
+      rec.crit_finish = s_inf + declared;
+    }
+    ReadyTask rt;
+    rt.id = id;
+    rt.work = declared;
+    rt.procs = rec.procs();
+    rt.predecessors = preds;
+    rt.name = name_of(id);
+    rt.earliest_start = s_inf;
+    scheduler_.task_ready(rt, now);
+    if (obs_ != nullptr) obs_->on_task_ready(id, now);
+  }
+
+  void decision_point(Time now) {
+    ++decisions_total_;
+    const int free_at_decision = counting_ ? avail_ : pool_.available();
+    picks_.clear();
+    // Wall-clock select timing only exists when someone is listening; the
+    // un-observed path stays exactly the PR 2 hot loop.
+    double select_wall_us = 0.0;
+    if (obs_ != nullptr && obs_->wants_select_timing()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      scheduler_.select(now, free_at_decision, picks_);
+      select_wall_us = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    } else {
+      scheduler_.select(now, free_at_decision, picks_);
+    }
+    if (obs_ != nullptr) {
+      obs_->on_select(now, free_at_decision, select_wall_us, picks_.size());
+    }
+    if (picks_.size() > 1) {
+      // The records were last touched at reveal time, typically long
+      // evicted; fetch them all in parallel before the serial pick loop.
+      for (const TaskId id : picks_) {
+        if (id < n_) __builtin_prefetch(&records_[id], 1);
+      }
+    }
+    int requested = 0;
+    for (const TaskId id : picks_) {
+      CB_CHECK(id < n_, "scheduler selected an unknown task");
+      TaskRec& rec = records_[id];
+      CB_CHECK(rec.state() & kRevealed,
+               "scheduler selected an unrevealed task");
+      CB_CHECK(!(rec.state() & kStarted),
+               "scheduler selected an already started task");
+      const int procs = rec.procs();
+      const Time work = rec.work;
+      requested += procs;
+      CB_CHECK(requested <= free_at_decision,
+               "scheduler selection exceeds free processors");
+      rec.mark(kStarted);
+      if (counting_) {
+        avail_ -= procs;
+        schedule_.add_counted(id, now, now + work, procs);
+      } else {
+        schedule_.add(id, now, now + work, pool_.acquire(procs));
+      }
+      // External sessions hear about completions from the caller; the
+      // Simulated clock schedules them itself.
+      if (!external_) events_.push(now + work, id, SimEvent::Kind::Completion);
+      decisions_.push_back(Decision{id, now, procs});
+      if (obs_ != nullptr) {
+        if (running_ == 0) obs_->on_busy_open(now);
+        obs_->on_dispatch(id, now, now + work, procs);
+      }
+      ++running_;
+    }
+    // Pending release events mean the platform may legitimately sit idle
+    // waiting for future arrivals — and an External-clock session may
+    // always receive more submissions, so the deadlock diagnosis is only
+    // decidable under the Simulated clock.
+    if (!external_) {
+      CB_CHECK(running_ > 0 || !events_.empty() || done_count_ == n_,
+               "scheduler deadlock: platform idle, no selection, work remains");
+    }
+  }
+
+  void complete(TaskId id, Time now) {
+    TaskRec& rec = records_[id];
+    CB_DCHECK((rec.state() & kStarted) && !(rec.state() & kDone),
+              "completion of a task not running");
+    rec.mark(kDone);
+    --running_;
+    ++done_count_;
+    const int procs = rec.procs();
+    busy_area_ += rec.work * static_cast<Time>(procs);
+    if (counting_) {
+      avail_ += procs;
+    } else {
+      pool_.release(schedule_.entry_for(id).processors);
+    }
+    // The successors' records are scattered; start them all toward the
+    // cache before the scheduler callback, so the cascade below finds the
+    // lines in flight instead of missing serially. The predecessor CSR row
+    // is fetched more gently — only the successors this completion actually
+    // readies will walk it (at reveal, for the Lemma 1 fold).
+    const auto succs = csr_successors(id);
+    for (const TaskId succ : succs) {
+      __builtin_prefetch(&records_[succ], 1);
+      __builtin_prefetch(pred_off_ + succ, 0, 1);
+    }
+    if (obs_ != nullptr) {
+      obs_->on_complete(id, now, procs);
+      if (running_ == 0) obs_->on_busy_close(now);
+    }
+    scheduler_.task_finished(id, now);
+
+    // Readiness cascade over the reverse adjacency (CSR span, plus the
+    // overflow rows for adaptively emitted batches).
+    for (const TaskId succ : succs) on_pred_done(succ, now);
+    if (has_extra_ && id < extra_succs_.size()) {
+      for (const TaskId succ : extra_succs_[id]) on_pred_done(succ, now);
+    }
+
+    // Adaptive sources may extend the instance now. Fixed-instance sources
+    // promised otherwise via static_graph()/soa_graph(), so the per-task
+    // callback (a virtual call per completion) is skipped outright;
+    // externally submitted sessions have no source at all.
+    if (source_ != nullptr && static_graph_ == nullptr && soa_ == nullptr) {
+      std::vector<SourceTask> more = source_->on_complete(id, now);
+      if (!more.empty()) ingest_batch(std::move(more), now);
+    }
+  }
+
+  void on_pred_done(TaskId succ, Time now) {
+    CB_DCHECK(records_[succ].unfinished > 0, "readiness underflow");
+    if (--records_[succ].unfinished == 0) reveal_or_defer(succ, now);
+  }
+
+  OnlineScheduler& scheduler_;
+  int procs_;
+  bool counting_;
+  bool external_;
+  EngineObserver* obs_;  // null = observability off (no hook overhead)
+  int avail_;           // counting-mode occupancy (O(1) acquire/release)
+  ProcessorPool pool_;  // identity-mode concrete indices (unused otherwise)
+  InstanceSource* source_ = nullptr;  // bound source, or null (submit mode)
+  const TaskGraph* static_graph_ = nullptr;
+  const SoaGraph* soa_ = nullptr;
+  bool started_ = false;  // scheduler reset + first ingest happened
+
+  // Packed per-task records, owned in every mode; filled at ingest.
+  std::vector<TaskRec> records_;
+
+  // Adjacency views (see the mode table above). Raw pointers, n_ (+1 for
+  // the offsets) elements; refreshed whenever the backing storage may have
+  // moved.
+  std::size_t n_ = 0;
+  const std::uint32_t* pred_off_ = nullptr;
+  const TaskId* pred_dat_ = nullptr;
+  const std::uint32_t* succ_off_ = nullptr;
+  const TaskId* succ_dat_ = nullptr;
+
+  // Engine-owned columns (static and generic paths; the SoA path never
+  // touches them).
+  std::vector<Time> declared_store_;  // generic only (may differ from actual)
+  std::vector<Time> release_store_;   // generic only; empty = all zero
+  std::vector<std::uint32_t> pred_offsets_{0};
+  std::vector<TaskId> pred_data_;
+  std::string name_chars_;
+  std::vector<std::uint32_t> name_offsets_{0};
+
+  // Reverse adjacency: CSR over the first batch, overflow rows for later
+  // adaptive batches.
+  std::vector<std::uint32_t> succ_offsets_;
+  std::vector<TaskId> succ_data_;
+  std::size_t csr_tasks_ = 0;
+  bool csr_built_ = false;
+  // True when TaskRec::crit_finish was pre-filled with s∞ at ingest (fixed
+  // instances); false keeps the online f∞ recurrence (adaptive sources).
+  bool crit_precomputed_ = false;
+  std::vector<std::vector<TaskId>> extra_succs_;
+  bool has_extra_ = false;
+
+  EventQueue events_;
+  std::vector<TaskId> picks_;      // reused select() output buffer
+  std::vector<Decision> decisions_;  // reused per-call decisions buffer
+  Time now_ = 0.0;
+  std::size_t running_ = 0;
+  std::size_t done_count_ = 0;
+  std::size_t decisions_total_ = 0;
+  std::size_t events_processed_ = 0;
+  Time busy_area_ = 0.0;
+  Schedule schedule_;
+};
+
+// ---------------------------------------------------------------------------
+// SessionEngine — thin forwarding layer over the Impl.
+
+SessionEngine::SessionEngine(OnlineScheduler& scheduler, int procs,
+                             const SessionOptions& options)
+    : impl_(std::make_unique<Impl>(scheduler, procs, options)) {}
+
+SessionEngine::~SessionEngine() = default;
+
+std::span<const Decision> SessionEngine::submit(InstanceSource& source) {
+  return impl_->bind_source(source);
+}
+
+std::span<const Decision> SessionEngine::submit(std::vector<SourceTask> tasks,
+                                                Time now) {
+  return impl_->submit_batch(std::move(tasks), now);
+}
+
+std::span<const Decision> SessionEngine::advance(const SessionEvent& event) {
+  return impl_->advance(event);
+}
+
+std::span<const Decision> SessionEngine::step() { return impl_->step(); }
+
+void SessionEngine::drain() { impl_->drain(); }
+
+bool SessionEngine::idle() const { return impl_->events_.empty(); }
+
+bool SessionEngine::complete() const {
+  return impl_->done_count_ == impl_->n_;
+}
+
+Time SessionEngine::now() const { return impl_->now_; }
+
+std::size_t SessionEngine::tasks_submitted() const { return impl_->n_; }
+
+std::size_t SessionEngine::tasks_completed() const {
+  return impl_->done_count_;
+}
+
+std::size_t SessionEngine::decisions_made() const {
+  return impl_->schedule_.size();
+}
+
+const Schedule& SessionEngine::schedule() const { return impl_->schedule_; }
+
+SimResult SessionEngine::finish() { return impl_->finish(); }
+
+}  // namespace catbatch

@@ -1,0 +1,224 @@
+// Stepwise session engine: the event loop of the simulator, inverted.
+//
+// The batch `simulate()` entry points (sim/engine.hpp) own the whole run —
+// ingest, event loop, result. A *session* exposes the same machinery one
+// decision point at a time, so an external driver (the catbatchd service
+// layer, a replay client, a test harness) can feed submissions and
+// completion events and collect the scheduler's decisions as they happen:
+//
+//   SessionEngine session(scheduler, procs, SessionOptions{}
+//                             .with_mode(ScheduleMode::Counting)
+//                             .with_clock(SessionClock::External));
+//   auto d0 = session.submit(tasks, /*now=*/0.0);   // t=0 decisions
+//   auto d1 = session.advance(SessionEvent::completion(id, at));
+//   ...
+//   SimResult result = session.finish();
+//
+// Two clock modes (SessionClock):
+//
+//   Simulated — the engine owns time: dispatching a task schedules its
+//               completion at start + work on the internal event queue,
+//               and step()/drain() pop it. simulate() is exactly
+//               bind() + drain() + finish(), so the golden-schedule
+//               corpus, counting==identity, and the zero-alloc hook pin
+//               this path bit-identically across the inversion.
+//   External  — the caller owns time: dispatch records the decision but
+//               queues nothing; completions arrive via advance(). Release
+//               times still live on the internal queue and fire before any
+//               external event at an equal-or-later time. The platform may
+//               legitimately idle between submissions, so the
+//               scheduler-deadlock check is deferred to the caller
+//               (complete() tells it whether all submitted work drained).
+//
+// Every entry point returns the decisions made during that call as a span
+// into an engine-owned buffer, valid until the next call — the same
+// zero-copy discipline as the scheduler protocol itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/schedule.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/source.hpp"
+
+namespace catbatch {
+
+/// How the engine tracks processor occupancy.
+enum class ScheduleMode {
+  /// Concrete processor indices per task (lowest-free-first), full Gantt /
+  /// SVG / per-processor validation support.
+  Identity,
+  /// Only *counts* of busy processors: acquire/release is O(1), schedule
+  /// entries carry the width but no processor identities. The makespan,
+  /// decision sequence and every metric derived from start/finish times are
+  /// bit-identical to Identity mode (schedulers never see identities).
+  /// Intended for sweeps and benches that never render a Gantt chart.
+  Counting,
+};
+
+/// Who owns the clock of a session (see file comment).
+enum class SessionClock {
+  Simulated,
+  External,
+};
+
+class EngineObserver;  // obs/observer.hpp
+
+/// The one options surface shared by batch (simulate()) and service
+/// (SessionEngine) callers. Plain aggregate — designated or positional
+/// initialization keeps working — with chainable setters for call-site
+/// construction. `SimOptions` remains as a deprecated alias for one
+/// release (sim/engine.hpp).
+struct SessionOptions {
+  ScheduleMode mode = ScheduleMode::Identity;
+  /// Optional observability sink (obs/observer.hpp): when non-null the
+  /// engine reports every event-loop transition — task reveal/ready,
+  /// select() calls with wall-clock duration, dispatch, completion,
+  /// busy-period boundaries — to it. The default (null) compiles each hook
+  /// site down to one predictable branch, preserving the zero-alloc hot
+  /// path and the perf gate (see docs/OBSERVABILITY.md, "Overhead").
+  EngineObserver* observer = nullptr;
+  /// Ignored by simulate(), which always runs the Simulated clock.
+  SessionClock clock = SessionClock::Simulated;
+
+  SessionOptions& with_mode(ScheduleMode m) {
+    mode = m;
+    return *this;
+  }
+  SessionOptions& with_observer(EngineObserver* o) {
+    observer = o;
+    return *this;
+  }
+  SessionOptions& with_clock(SessionClock c) {
+    clock = c;
+    return *this;
+  }
+};
+
+struct SimStats {
+  std::size_t task_count = 0;
+  std::size_t decision_points = 0;
+  /// Events processed by the main loop (completions + delayed releases).
+  std::size_t events = 0;
+  /// Total processor-time actually used (Σ t_i p_i over simulated tasks).
+  Time busy_area = 0.0;
+};
+
+struct SimResult {
+  Schedule schedule;
+  Time makespan = 0.0;
+  SimStats stats;
+  /// Time each task became ready (revealed to the scheduler), indexed by
+  /// TaskId. Basis for waiting-time / stretch flow metrics.
+  std::vector<Time> ready_times;
+
+  /// Average fraction of the platform busy over [0, makespan]. Returns 0
+  /// for a degenerate platform (procs <= 0) instead of dividing by it.
+  [[nodiscard]] double average_utilization(std::int64_t procs) const {
+    if (procs <= 0 || makespan <= 0.0) return 0.0;
+    return static_cast<double>(stats.busy_area) /
+           (static_cast<double>(procs) * static_cast<double>(makespan));
+  }
+};
+
+/// One scheduling decision: task `id` was started at time `at` on `procs`
+/// processors. Decisions are reported in dispatch order, which is also the
+/// order of the corresponding Schedule entries.
+struct Decision {
+  TaskId id = kInvalidTask;
+  Time at = 0.0;
+  int procs = 0;
+};
+
+/// An external event driving a session under SessionClock::External.
+struct SessionEvent {
+  enum class Kind : std::uint8_t {
+    /// Task `id`, previously started, finished at time `at`.
+    Completion,
+    /// No task state change; advance the clock to `at` so pending
+    /// release-time reveals at or before `at` fire.
+    Tick,
+  };
+
+  Kind kind = Kind::Completion;
+  TaskId id = kInvalidTask;
+  Time at = 0.0;
+
+  [[nodiscard]] static SessionEvent completion(TaskId id, Time at) {
+    return SessionEvent{Kind::Completion, id, at};
+  }
+  [[nodiscard]] static SessionEvent tick(Time at) {
+    return SessionEvent{Kind::Tick, kInvalidTask, at};
+  }
+};
+
+/// The simulation engine, one decision point at a time. Single-threaded:
+/// a session must be driven from one thread at a time (the service layer
+/// serializes per-session traffic onto the thread pool).
+class SessionEngine {
+ public:
+  /// The scheduler and (for Simulated-clock drains) any bound source must
+  /// outlive the engine.
+  SessionEngine(OnlineScheduler& scheduler, int procs,
+                const SessionOptions& options = {});
+  ~SessionEngine();
+
+  SessionEngine(const SessionEngine&) = delete;
+  SessionEngine& operator=(const SessionEngine&) = delete;
+
+  /// Binds a whole instance source (using the zero-copy SoA / static-graph
+  /// fast paths when the source offers them), reveals the ready roots, and
+  /// runs the t=0 decision point. May be called at most once, before any
+  /// submit(). Returns the t=0 decisions.
+  std::span<const Decision> submit(InstanceSource& source);
+
+  /// Ingests a batch of tasks at time `now` (generic path; predecessors
+  /// may reference any previously submitted task) and runs a decision
+  /// point. `now` must be >= now(). Internal release events at or before
+  /// `now` fire first. Usable in both clock modes; the service layer's
+  /// `submit` message lands here.
+  std::span<const Decision> submit(std::vector<SourceTask> tasks, Time now);
+
+  /// Applies one external event (External clock only). For a Completion,
+  /// internal release events at or before `event.at` fire first, then the
+  /// completion cascade and a decision point. Throws ContractViolation for
+  /// unknown/unstarted/finished tasks or a clock moving backwards.
+  std::span<const Decision> advance(const SessionEvent& event);
+
+  /// Simulated clock: processes the next internal event (completion or
+  /// release) and its decision point. Returns the decisions, or an empty
+  /// span when no events are pending.
+  std::span<const Decision> step();
+
+  /// Simulated clock: runs the event loop to completion — exactly the
+  /// batch simulate() loop, including the scheduler-deadlock check.
+  void drain();
+
+  /// True when no internal events are pending.
+  [[nodiscard]] bool idle() const;
+  /// True when every submitted task has completed.
+  [[nodiscard]] bool complete() const;
+  /// The session clock: the time of the latest processed event.
+  [[nodiscard]] Time now() const;
+  [[nodiscard]] std::size_t tasks_submitted() const;
+  [[nodiscard]] std::size_t tasks_completed() const;
+  [[nodiscard]] std::size_t decisions_made() const;
+  /// The schedule so far (entries in dispatch order).
+  [[nodiscard]] const Schedule& schedule() const;
+
+  /// Final result; the engine must not be used afterwards. Under the
+  /// Simulated clock this enforces the drained-without-deadlock contract;
+  /// under the External clock an incomplete session is legal (the caller
+  /// decides what an abandoned session means).
+  SimResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace catbatch

@@ -28,4 +28,30 @@ bool parse_flag_value(std::string_view program, std::string_view flag,
                           std::cerr);
 }
 
+bool parse_choice_flag(std::string_view program, std::string_view flag,
+                       std::string_view text,
+                       std::span<const std::string_view> choices,
+                       std::string& out, std::ostream& err) {
+  for (const std::string_view choice : choices) {
+    if (text == choice) {
+      out = text;
+      return true;
+    }
+  }
+  err << program << ": " << flag << " expects one of ";
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) err << '|';
+    err << choices[i];
+  }
+  err << ", got '" << text << "'\n";
+  return false;
+}
+
+bool parse_choice_flag(std::string_view program, std::string_view flag,
+                       std::string_view text,
+                       std::span<const std::string_view> choices,
+                       std::string& out) {
+  return parse_choice_flag(program, flag, text, choices, out, std::cerr);
+}
+
 }  // namespace catbatch

@@ -1,19 +1,42 @@
-// Shared strict CLI flag parsing for the example binaries.
+// Shared strict CLI flag parsing and the exit-code convention for the
+// example binaries.
 //
-// sched_cli and catbatch_fuzz (and any future front end) share one policy
-// for numeric flags: a value must parse as an integer (support/text.hpp
-// parse_integer — no trailing junk, no overflow) and fall inside the
-// flag's documented range, otherwise the program prints a one-line
-// diagnostic prefixed with its own name and exits nonzero. This header is
-// that policy's single home; the binaries only choose the program name and
-// the exit code.
+// sched_cli, catbatch_fuzz, catbatchd and catbatch_loadgen (and any future
+// front end) share one policy for flags: a numeric value must parse as an
+// integer (support/text.hpp parse_integer — no trailing junk, no overflow)
+// and fall inside the flag's documented range; an enumerated value must be
+// one of the flag's documented choices. Otherwise the program prints a
+// one-line diagnostic prefixed with its own name and exits with
+// kExitUsage. This header is that policy's single home; the binaries only
+// choose the program name.
+//
+// The service-facing binaries also share a flag *family* so the same
+// concept always has the same spelling: `--protocol NAME` (transport or
+// replay path, per-binary choice list), `--algo NAME` (registry algorithm)
+// and `--session N` (concurrent session count). parse_choice_flag is the
+// family's validator for the enumerated members.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
+#include <string>
 #include <string_view>
 
 namespace catbatch {
+
+// Exit-code convention, shared by every binary in examples/ (documented in
+// each --help and docs/SERVICE.md):
+//   0  success
+//   1  runtime failure or findings (fuzz findings, failed run, I/O errors)
+//   2  usage error (unknown flag, bad value) — the flag never ran
+//   3  protocol error (malformed wire traffic the peer sent)
+//   4  contract violation (a scheduler/engine invariant broke — a bug)
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRuntime = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitProtocol = 3;
+inline constexpr int kExitContract = 4;
 
 /// Parses `text` as a strict integer in [min_value, max_value]. On success
 /// stores the value in `out` and returns true. On failure prints
@@ -30,9 +53,24 @@ bool parse_flag_value(std::string_view program, std::string_view flag,
                       std::string_view text, std::int64_t min_value,
                       std::int64_t max_value, std::int64_t& out);
 
+/// Validates an enumerated flag value against its documented choices. On
+/// success stores `text` in `out` and returns true. On failure prints
+/// "<program>: <flag> expects one of a|b|c, got '<text>'" to `err` and
+/// returns false without touching `out`.
+bool parse_choice_flag(std::string_view program, std::string_view flag,
+                       std::string_view text,
+                       std::span<const std::string_view> choices,
+                       std::string& out, std::ostream& err);
+
+/// Convenience overload writing diagnostics to std::cerr.
+bool parse_choice_flag(std::string_view program, std::string_view flag,
+                       std::string_view text,
+                       std::span<const std::string_view> choices,
+                       std::string& out);
+
 /// Small binder so argument loops stay one-liners:
 ///   FlagParser flags("sched_cli");
-///   if (!flags.parse(arg, argv[++k], 1, 1 << 20, value)) return 1;
+///   if (!flags.parse(arg, argv[++k], 1, 1 << 20, value)) return kExitUsage;
 class FlagParser {
  public:
   explicit FlagParser(std::string_view program) : program_(program) {}
@@ -41,6 +79,12 @@ class FlagParser {
              std::int64_t min_value, std::int64_t max_value,
              std::int64_t& out) const {
     return parse_flag_value(program_, flag, text, min_value, max_value, out);
+  }
+
+  bool choice(std::string_view flag, std::string_view text,
+              std::span<const std::string_view> choices,
+              std::string& out) const {
+    return parse_choice_flag(program_, flag, text, choices, out);
   }
 
  private:

@@ -1,0 +1,295 @@
+#include "support/json_parse.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace catbatch {
+
+namespace {
+
+/// Recursive-descent parser over one string_view; errors carry the byte
+/// offset of the construct that failed.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(JsonParseError* error) {
+    JsonValue out;
+    if (!parse_value(out, 0)) {
+      if (error != nullptr) *error = err_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail(pos_, "trailing characters after the JSON value");
+      if (error != nullptr) *error = err_;
+      return std::nullopt;
+    }
+    return out;
+  }
+
+ private:
+  bool fail(std::size_t at, std::string message) {
+    err_.offset = at;
+    err_.message = std::move(message);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail(pos_, "invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    if (depth > kMaxJsonDepth) {
+      return fail(pos_, "nesting deeper than kMaxJsonDepth");
+    }
+    skip_ws();
+    if (at_end()) return fail(pos_, "unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        out.kind = JsonValue::Kind::Null;
+        return literal("null");
+      case 't':
+        out.kind = JsonValue::Kind::Bool;
+        out.bool_v = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::Bool;
+        out.bool_v = false;
+        return literal("false");
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.str_v);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        out.kind = JsonValue::Kind::Number;
+        return parse_number(out.num_v);
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      if (!parse_value(element, depth + 1)) return false;
+      out.items.push_back(std::move(element));
+      skip_ws();
+      if (at_end()) return fail(pos_, "unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') return fail(pos_ - 1, "expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (at_end() || peek() != '"') {
+        return fail(pos_, "expected a string object key");
+      }
+      const std::size_t key_at = pos_;
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (out.find(key) != nullptr) {
+        return fail(key_at, "duplicate object key '" + key + "'");
+      }
+      skip_ws();
+      if (at_end() || text_[pos_] != ':') {
+        return fail(pos_, "expected ':' after object key");
+      }
+      ++pos_;
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (at_end()) return fail(pos_, "unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') return fail(pos_ - 1, "expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    for (;;) {
+      if (at_end()) return fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail(pos_ - 1, "raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) return fail(pos_, "unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (!parse_unicode_escape(out)) return false;
+          break;
+        }
+        default:
+          return fail(pos_ - 1, "invalid escape character");
+      }
+    }
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) {
+      return fail(pos_, "truncated \\u escape");
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      std::uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint32_t>(c - 'A') + 10;
+      } else {
+        return fail(pos_ - 1, "invalid hex digit in \\u escape");
+      }
+      out = (out << 4) | digit;
+    }
+    return true;
+  }
+
+  bool parse_unicode_escape(std::string& out) {
+    const std::size_t at = pos_ - 2;  // points at the backslash
+    std::uint32_t cp;
+    if (!parse_hex4(cp)) return false;
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: a low surrogate escape must follow.
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return fail(at, "unpaired high surrogate");
+      }
+      pos_ += 2;
+      std::uint32_t lo;
+      if (!parse_hex4(lo)) return false;
+      if (lo < 0xDC00 || lo > 0xDFFF) {
+        return fail(at, "invalid low surrogate");
+      }
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      return fail(at, "unpaired low surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+    return true;
+  }
+
+  bool parse_number(double& out) {
+    const std::size_t start = pos_;
+    // Validate the JSON number grammar by hand (from_chars is laxer: it
+    // accepts "inf", hex floats, leading '+').
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end() || peek() < '0' || peek() > '9') {
+      return fail(start, "invalid number");
+    }
+    if (peek() == '0') {
+      ++pos_;  // a leading zero must stand alone ("01" is invalid)
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail(pos_, "digits required after decimal point");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail(pos_, "digits required in exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc{} || ptr != last || !std::isfinite(out)) {
+      return fail(start, "number out of double range");
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  JsonParseError err_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    JsonParseError* error) {
+  return Parser(text).run(error);
+}
+
+std::optional<std::uint64_t> json_to_uint(double v) noexcept {
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (!(v >= 0.0) || v > kMaxExact) return std::nullopt;
+  if (std::nearbyint(v) != v) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace catbatch

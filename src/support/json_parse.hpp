@@ -1,0 +1,93 @@
+// Minimal strict JSON parsing: the read-side counterpart of
+// support/json.hpp. One line-delimited protocol message is one JSON value;
+// the service layer (src/service) parses each line with parse_json() and
+// walks the resulting tree.
+//
+// The dialect matches the writer exactly — objects, arrays, strings,
+// bools, null and finite doubles — and the parser is strict where a wire
+// protocol wants strictness:
+//
+//   - the whole input must be one value (trailing whitespace allowed,
+//     trailing junk rejected);
+//   - duplicate object keys are an error (a message with two "type" fields
+//     has no well-defined meaning);
+//   - numbers must fit a finite double; overflow to infinity is rejected
+//     rather than folded;
+//   - nesting deeper than kMaxJsonDepth is rejected (the parser recurses,
+//     and protocol messages are shallow by design);
+//   - invalid escapes and raw control characters in strings are rejected.
+//
+// Doubles round-trip bit-identically through the writer/parser pair: the
+// writer emits shortest round-trip formatting and the parser reads with
+// std::from_chars, which is what the session-vs-batch equivalence suite
+// leans on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace catbatch {
+
+/// Deepest container nesting parse_json accepts.
+inline constexpr std::size_t kMaxJsonDepth = 64;
+
+/// One parsed JSON value. A small tree, not a zero-copy view: protocol
+/// messages are tiny (the bulk payload — task arrays — is a few dozen
+/// bytes per element), so clarity beats arena tricks here.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<JsonValue> items;  // Array elements
+  std::vector<std::pair<std::string, JsonValue>> members;  // Object, in order
+
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind == Kind::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::Object;
+  }
+
+  /// Object member lookup; nullptr when absent or this is not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept {
+    if (kind != Kind::Object) return nullptr;
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Where and why a parse failed; offset is a byte index into the input.
+struct JsonParseError {
+  std::size_t offset = 0;
+  std::string message;
+};
+
+/// Parses `text` as exactly one JSON value (see the strictness list in the
+/// file comment). Returns nullopt and fills `*error` (when non-null) on
+/// failure.
+[[nodiscard]] std::optional<JsonValue> parse_json(
+    std::string_view text, JsonParseError* error = nullptr);
+
+/// Reads a non-negative integer that was carried as a JSON number: the
+/// double must be integral and inside [0, 2^53] (exact-double range).
+/// Returns nullopt otherwise.
+[[nodiscard]] std::optional<std::uint64_t> json_to_uint(double v) noexcept;
+
+}  // namespace catbatch

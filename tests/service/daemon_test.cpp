@@ -1,0 +1,217 @@
+// Transport loops: serve_stdio over string streams and serve_unix over a
+// real AF_UNIX socket with concurrent clients. The unix test doubles as
+// the TSan target (registered as catbatch_tsan_service): many connections'
+// strands exercise the hub's locking discipline under a real reactor.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/hub.hpp"
+#include "service/loadgen.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Daemon, StdioServesLockstepConversation) {
+  std::istringstream in(
+      "{\"type\":\"hello\",\"version\":1}\n"
+      "{\"type\":\"open\",\"session\":\"s\",\"algo\":\"list-fifo\","
+      "\"procs\":2}\n"
+      "{\"type\":\"submit\",\"session\":\"s\",\"tasks\":"
+      "[{\"work\":1.0,\"procs\":1}]}\n"
+      "{\"type\":\"drain\",\"session\":\"s\"}\n"
+      "{\"type\":\"close\",\"session\":\"s\"}\n"
+      "{\"type\":\"shutdown\"}\n"
+      "{\"type\":\"query\",\"session\":\"s\"}\n");  // after shutdown: unread
+  std::ostringstream out;
+  ServiceHub hub;
+  serve_stdio(hub, in, out);
+
+  const std::vector<std::string> replies = lines_of(out.str());
+  ASSERT_EQ(replies.size(), 6u);  // lockstep; the post-shutdown line unread
+  EXPECT_NE(replies[0].find("\"type\":\"welcome\""), std::string::npos);
+  EXPECT_NE(replies[1].find("\"type\":\"opened\""), std::string::npos);
+  EXPECT_NE(replies[2].find("\"type\":\"decisions\""), std::string::npos);
+  EXPECT_NE(replies[3].find("\"type\":\"decisions\""), std::string::npos);
+  EXPECT_NE(replies[4].find("\"type\":\"closed\""), std::string::npos);
+  EXPECT_NE(replies[5].find("\"type\":\"goodbye\""), std::string::npos);
+  EXPECT_TRUE(hub.shutdown_requested());
+  EXPECT_EQ(hub.connection_count(), 0u);  // its connection was torn down
+}
+
+TEST(Daemon, StdioStopsAtEofWithoutShutdown) {
+  std::istringstream in("{\"type\":\"hello\",\"version\":1}\n");
+  std::ostringstream out;
+  ServiceHub hub;
+  serve_stdio(hub, in, out);
+  ASSERT_EQ(lines_of(out.str()).size(), 1u);
+  EXPECT_FALSE(hub.shutdown_requested());
+  EXPECT_EQ(hub.connection_count(), 0u);
+}
+
+TEST(Daemon, StdioRejectsOverlongLines) {
+  std::string giant(kMaxLineBytes + 1, 'x');
+  giant += '\n';
+  giant += "{\"type\":\"hello\",\"version\":1}\n";
+  std::istringstream in(giant);
+  std::ostringstream out;
+  ServiceHub hub;
+  serve_stdio(hub, in, out);
+  const std::vector<std::string> replies = lines_of(out.str());
+  ASSERT_GE(replies.size(), 1u);
+  EXPECT_NE(replies[0].find("bad-message"), std::string::npos);
+}
+
+std::string test_socket_path(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("catbatchd-test-" + std::string(tag) + "-" +
+           std::to_string(::getpid()) + ".sock"))
+      .string();
+}
+
+/// Connects with retries while the daemon thread is still binding.
+std::unique_ptr<SocketClient> connect_with_retry(const std::string& path) {
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    try {
+      return std::make_unique<SocketClient>(path);
+    } catch (const std::system_error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  throw std::runtime_error("daemon never came up on " + path);
+}
+
+TEST(Daemon, UnixSocketServesConcurrentSessions) {
+  const std::string path = test_socket_path("conc");
+  ServiceHub hub;
+  DaemonOptions options;
+  options.socket_path = path;
+  options.jobs = 4;
+  std::thread daemon([&] { serve_unix(hub, options); });
+
+  // 4 client threads x 4 sessions each, mixed clocks, over loopback.
+  constexpr int kThreads = 4;
+  std::vector<std::thread> clients;
+  std::vector<double> makespans(
+      static_cast<std::size_t>(kThreads) * 4, -1.0);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const auto client = connect_with_retry(path);
+      protocol_handshake(*client);
+      for (int s = 0; s < 4; ++s) {
+        Rng rng(std::uint64_t(17 + t * 4 + s));
+        TaskGraph graph;
+        for (int i = 0; i < 24; ++i) {
+          const TaskId id =
+              graph.add_task(rng.uniform_real(0.5, 4.0),
+                             static_cast<int>(rng.uniform_int(1, 4)));
+          if (id > 0 && rng.bernoulli(0.4)) {
+            graph.add_edge(static_cast<TaskId>(rng.index(id)), id);
+          }
+        }
+        const bool external = (t + s) % 2 == 0;
+        const ReplayResult result = replay_session(
+            *client, "t" + std::to_string(t) + "s" + std::to_string(s),
+            "catbatch", 4, graph, "counting",
+            external ? "external" : "simulated");
+        makespans[static_cast<std::size_t>(t * 4 + s)] = result.makespan;
+        EXPECT_EQ(result.decisions.size(), graph.size());
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (const double m : makespans) EXPECT_GT(m, 0.0);
+
+  // Same graphs replayed in-process must agree: the socket transport adds
+  // nothing to the decision path.
+  ServiceHub local;
+  HubClient local_client(local);
+  protocol_handshake(local_client);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int s = 0; s < 4; ++s) {
+      Rng rng(std::uint64_t(17 + t * 4 + s));
+      TaskGraph graph;
+      for (int i = 0; i < 24; ++i) {
+        const TaskId id =
+            graph.add_task(rng.uniform_real(0.5, 4.0),
+                           static_cast<int>(rng.uniform_int(1, 4)));
+        if (id > 0 && rng.bernoulli(0.4)) {
+          graph.add_edge(static_cast<TaskId>(rng.index(id)), id);
+        }
+      }
+      const ReplayResult result = replay_session(
+          local_client, "l" + std::to_string(t * 4 + s), "catbatch", 4,
+          graph, "counting", "simulated");
+      EXPECT_EQ(result.makespan,
+                makespans[static_cast<std::size_t>(t * 4 + s)]);
+    }
+  }
+
+  {
+    const auto stopper = connect_with_retry(path);
+    protocol_handshake(*stopper);
+    const std::string goodbye = stopper->request("{\"type\":\"shutdown\"}");
+    EXPECT_NE(goodbye.find("\"type\":\"goodbye\""), std::string::npos);
+  }
+  daemon.join();
+  EXPECT_FALSE(std::filesystem::exists(path));  // socket file removed
+  EXPECT_EQ(hub.connection_count(), 0u);
+}
+
+TEST(Daemon, UnixSocketSurvivesAbruptDisconnect) {
+  const std::string path = test_socket_path("drop");
+  ServiceHub hub;
+  DaemonOptions options;
+  options.socket_path = path;
+  options.jobs = 2;
+  std::thread daemon([&] { serve_unix(hub, options); });
+  {
+    // Open a session, then vanish without closing anything.
+    const auto client = connect_with_retry(path);
+    protocol_handshake(*client);
+    client->request(
+        "{\"type\":\"open\",\"session\":\"s\",\"algo\":\"catbatch\","
+        "\"procs\":4}");
+  }
+  {
+    // The server must still serve fresh connections normally.
+    const auto client = connect_with_retry(path);
+    protocol_handshake(*client);
+    Rng rng(3);
+    TaskGraph graph;
+    for (int i = 0; i < 8; ++i) {
+      graph.add_task(rng.uniform_real(1.0, 2.0),
+                     static_cast<int>(rng.uniform_int(1, 2)));
+    }
+    const ReplayResult result =
+        replay_session(*client, "fresh", "list-fifo", 2, graph);
+    EXPECT_GT(result.makespan, 0.0);
+    const std::string goodbye = client->request("{\"type\":\"shutdown\"}");
+    EXPECT_NE(goodbye.find("goodbye"), std::string::npos);
+  }
+  daemon.join();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,33 @@
+// In-suite smoke of the protocol fuzzer: a short deterministic run must
+// complete clean. The deep battery lives behind `catbatch_fuzz --protocol`.
+#include <gtest/gtest.h>
+
+#include "qa/protocol_fuzz.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(ProtocolFuzz, ShortBatteryIsClean) {
+  ProtocolFuzzOptions options;
+  options.seed = 20260808;
+  options.iterations = 60;
+  const ProtocolFuzzReport report = run_protocol_fuzz(options);
+  EXPECT_EQ(report.iterations_run, 60u);
+  EXPECT_GT(report.lines_sent, 60u);
+  EXPECT_GT(report.error_replies, 0u);  // adversarial traffic does err
+  EXPECT_TRUE(report.clean()) << report.findings.front();
+}
+
+TEST(ProtocolFuzz, DeterministicInTheSeed) {
+  ProtocolFuzzOptions options;
+  options.seed = 99;
+  options.iterations = 10;
+  const ProtocolFuzzReport a = run_protocol_fuzz(options);
+  const ProtocolFuzzReport b = run_protocol_fuzz(options);
+  EXPECT_EQ(a.lines_sent, b.lines_sent);
+  EXPECT_EQ(a.error_replies, b.error_replies);
+  EXPECT_EQ(a.findings, b.findings);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,169 @@
+// Protocol layer: the spec table, validation helpers, and reply builders.
+// The builders must produce lines the strict parser accepts, and doubles
+// must survive the writer/parser round trip bit for bit — that property is
+// what lets the equivalence suite assert bit-identity over the wire.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sched/registry.hpp"
+#include "service/protocol.hpp"
+#include "support/json_parse.hpp"
+
+namespace catbatch {
+namespace {
+
+JsonValue parsed(const std::string& line) {
+  const auto value = parse_json(line);
+  EXPECT_TRUE(value.has_value()) << line;
+  EXPECT_TRUE(value.has_value() && value->is_object()) << line;
+  return value.value_or(JsonValue{});
+}
+
+TEST(Protocol, SpecTextCoversEveryShapeAndCode) {
+  const std::string spec = protocol_spec_text();
+  EXPECT_NE(spec.find("version 1\n"), std::string::npos);
+  for (const RequestShape& shape : request_shapes()) {
+    EXPECT_NE(spec.find("request " + std::string(shape.type)),
+              std::string::npos)
+        << shape.type;
+    EXPECT_NE(spec.find("-> " + std::string(shape.reply)), std::string::npos)
+        << shape.type;
+  }
+  for (const std::string_view code : error_codes()) {
+    EXPECT_NE(spec.find(code), std::string::npos) << code;
+  }
+}
+
+TEST(Protocol, RequestShapeLookup) {
+  ASSERT_NE(find_request_shape("hello"), nullptr);
+  EXPECT_EQ(find_request_shape("hello")->reply, "welcome");
+  ASSERT_NE(find_request_shape("submit"), nullptr);
+  EXPECT_EQ(find_request_shape("submit")->reply, "decisions");
+  EXPECT_EQ(find_request_shape("no-such-type"), nullptr);
+  EXPECT_EQ(find_request_shape(""), nullptr);
+
+  std::set<std::string_view> types;
+  for (const RequestShape& shape : request_shapes()) {
+    EXPECT_TRUE(types.insert(shape.type).second)
+        << "duplicate shape " << shape.type;
+  }
+  EXPECT_EQ(types.size(), 10u);
+}
+
+TEST(Protocol, ErrorCodesAreDistinct) {
+  std::set<std::string_view> codes(error_codes().begin(),
+                                   error_codes().end());
+  EXPECT_EQ(codes.size(), error_codes().size());
+  EXPECT_TRUE(codes.contains(errc::kBadJson));
+  EXPECT_TRUE(codes.contains(errc::kContract));
+}
+
+TEST(Protocol, FirstUnknownFieldHonorsOptionalMarkers) {
+  const RequestShape* open = find_request_shape("open");
+  ASSERT_NE(open, nullptr);
+  // All declared fields — required and optional — are accepted.
+  const JsonValue ok = parsed(
+      R"({"type":"open","session":"s","algo":"a","procs":1,)"
+      R"("mode":"identity","clock":"external"})");
+  EXPECT_EQ(first_unknown_field(ok, *open), "");
+  const JsonValue bad = parsed(
+      R"({"type":"open","session":"s","bogus":1})");
+  EXPECT_EQ(first_unknown_field(bad, *open), "bogus");
+}
+
+TEST(Protocol, WelcomeAdvertisesEveryAlgorithm) {
+  const JsonValue welcome = parsed(welcome_line());
+  ASSERT_NE(welcome.find("type"), nullptr);
+  EXPECT_EQ(welcome.find("type")->str_v, "welcome");
+  ASSERT_NE(welcome.find("version"), nullptr);
+  EXPECT_EQ(welcome.find("version")->num_v, kProtocolVersion);
+  const JsonValue* algos = welcome.find("algos");
+  ASSERT_NE(algos, nullptr);
+  ASSERT_TRUE(algos->is_array());
+  const std::vector<std::string> names = scheduler_names();
+  ASSERT_EQ(algos->items.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(algos->items[i].str_v, names[i]);
+  }
+}
+
+TEST(Protocol, ErrorLineCarriesCodeAndOptionalSession) {
+  const JsonValue with = parsed(error_line(errc::kBadMessage, "why", "s1"));
+  EXPECT_EQ(with.find("type")->str_v, "error");
+  EXPECT_EQ(with.find("code")->str_v, "bad-message");
+  EXPECT_EQ(with.find("message")->str_v, "why");
+  ASSERT_NE(with.find("session"), nullptr);
+  EXPECT_EQ(with.find("session")->str_v, "s1");
+
+  const JsonValue without = parsed(error_line(errc::kBadJson, "why"));
+  EXPECT_EQ(without.find("session"), nullptr);
+}
+
+TEST(Protocol, DecisionsLineRoundTripsDoublesBitExactly) {
+  // Awkward values: a golden-corpus makespan, a repeating fraction, a
+  // denormal-adjacent tiny, and a value with a long shortest form.
+  const std::vector<Decision> decisions = {
+      {0, 0x1.5e8e904p+6, 3},
+      {1, 1.0 / 3.0, 1},
+      {2, 1e-17, 8},
+      {3, 0.1 + 0.2, 2},
+  };
+  const JsonValue reply =
+      parsed(decisions_line("s", 0x1.921fb54442d18p+1, decisions, false));
+  EXPECT_EQ(reply.find("type")->str_v, "decisions");
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(reply.find("now")->num_v),
+            std::bit_cast<std::uint64_t>(0x1.921fb54442d18p+1));
+  EXPECT_FALSE(reply.find("complete")->bool_v);
+  const JsonValue* list = reply.find("decisions");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->items.size(), decisions.size());
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const JsonValue& d = list->items[i];
+    EXPECT_EQ(d.find("task")->num_v, decisions[i].id);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(d.find("at")->num_v),
+              std::bit_cast<std::uint64_t>(decisions[i].at))
+        << i;
+    EXPECT_EQ(d.find("procs")->num_v, decisions[i].procs);
+  }
+}
+
+TEST(Protocol, StatsAndClosedLinesParseBack) {
+  SessionStats stats;
+  stats.now = 4.5;
+  stats.submitted = 10;
+  stats.completed = 7;
+  stats.decisions = 9;
+  stats.makespan = 4.25;
+  const JsonValue s = parsed(stats_line("sess", "catbatch", stats));
+  EXPECT_EQ(s.find("type")->str_v, "stats");
+  EXPECT_EQ(s.find("algo")->str_v, "catbatch");
+  EXPECT_EQ(s.find("submitted")->num_v, 10.0);
+  EXPECT_EQ(s.find("completed")->num_v, 7.0);
+  EXPECT_EQ(s.find("decisions")->num_v, 9.0);
+  EXPECT_EQ(s.find("makespan")->num_v, 4.25);
+
+  SimResult result;
+  result.makespan = 8.75;
+  result.stats.task_count = 3;
+  result.stats.decision_points = 2;
+  result.stats.events = 5;
+  result.stats.busy_area = 12.5;
+  const JsonValue c = parsed(closed_line("sess", result));
+  EXPECT_EQ(c.find("type")->str_v, "closed");
+  EXPECT_EQ(c.find("makespan")->num_v, 8.75);
+  EXPECT_EQ(c.find("tasks")->num_v, 3.0);
+  EXPECT_EQ(c.find("decision_points")->num_v, 2.0);
+  EXPECT_EQ(c.find("events")->num_v, 5.0);
+  EXPECT_EQ(c.find("busy_area")->num_v, 12.5);
+
+  const JsonValue g = parsed(goodbye_line());
+  EXPECT_EQ(g.find("type")->str_v, "goodbye");
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,330 @@
+// End-to-end protocol semantics through the real serving path
+// (HubClient -> ServiceHub::handle_line -> ServiceSession), covering the
+// lifecycle rules and the error-envelope discipline: which mistakes are
+// recoverable protocol errors and which poison a session.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/client.hpp"
+#include "service/hub.hpp"
+#include "service/protocol.hpp"
+#include "support/json_parse.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Sends one line and returns the parsed reply object.
+JsonValue ask(LineClient& client, const std::string& line) {
+  const std::string reply = client.request(line);
+  const auto value = parse_json(reply);
+  EXPECT_TRUE(value.has_value() && value->is_object()) << reply;
+  return value.value_or(JsonValue{});
+}
+
+std::string type_of(const JsonValue& reply) {
+  const JsonValue* type = reply.find("type");
+  return type != nullptr ? type->str_v : "<none>";
+}
+
+std::string code_of(const JsonValue& reply) {
+  const JsonValue* code = reply.find("code");
+  return code != nullptr ? code->str_v : "<none>";
+}
+
+void hello(LineClient& client) {
+  EXPECT_EQ(type_of(ask(client, R"({"type":"hello","version":1})")),
+            "welcome");
+}
+
+TEST(ServiceSessionProtocol, HelloMustComeFirst) {
+  ServiceHub hub;
+  HubClient client(hub);
+  const JsonValue early = ask(client, R"({"type":"query","session":"s"})");
+  EXPECT_EQ(type_of(early), "error");
+  EXPECT_EQ(code_of(early), "bad-sequence");
+
+  hello(client);
+  const JsonValue again = ask(client, R"({"type":"hello","version":1})");
+  EXPECT_EQ(code_of(again), "bad-sequence");  // duplicate hello
+}
+
+TEST(ServiceSessionProtocol, VersionNegotiation) {
+  ServiceHub hub;
+  HubClient client(hub);
+  const JsonValue wrong = ask(client, R"({"type":"hello","version":2})");
+  EXPECT_EQ(code_of(wrong), "unsupported-version");
+  const JsonValue missing = ask(client, R"({"type":"hello"})");
+  EXPECT_EQ(code_of(missing), "bad-message");
+  const JsonValue fractional =
+      ask(client, R"({"type":"hello","version":1.5})");
+  EXPECT_EQ(code_of(fractional), "bad-message");
+  // The connection is still fresh: a correct hello now succeeds.
+  hello(client);
+}
+
+TEST(ServiceSessionProtocol, MalformedTrafficIsRejectedPerLine) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  EXPECT_EQ(code_of(ask(client, "{not json")), "bad-json");
+  EXPECT_EQ(code_of(ask(client, "[1,2,3]")), "bad-message");  // not an object
+  EXPECT_EQ(code_of(ask(client, R"({"type":"frobnicate"})")), "bad-message");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"shutdown","extra":1})")),
+            "bad-message");  // unknown field
+  EXPECT_EQ(code_of(ask(client, R"({"type":"open","session":"s",)"
+                                R"("algo":"catbatch","procs":1e999})")),
+            "bad-json");  // overflowing number rejected at parse
+}
+
+TEST(ServiceSessionProtocol, OpenValidation) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  EXPECT_EQ(code_of(ask(client, R"({"type":"open","session":"s",)"
+                                R"("algo":"no-such","procs":4})")),
+            "unknown-algo");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"open","session":"s",)"
+                                R"("algo":"catbatch","procs":0})")),
+            "bad-message");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"open","session":"",)"
+                                R"("algo":"catbatch","procs":4})")),
+            "bad-message");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"open","session":"s",)"
+                                R"("algo":"catbatch","procs":4,)"
+                                R"("clock":"lunar"})")),
+            "bad-message");
+  EXPECT_EQ(type_of(ask(client, R"({"type":"open","session":"s",)"
+                                R"({"algo":"x"})")),
+            "error");  // malformed JSON still answers exactly one line
+
+  const JsonValue opened = ask(client, R"({"type":"open","session":"s",)"
+                                       R"("algo":"catbatch","procs":4})");
+  EXPECT_EQ(type_of(opened), "opened");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"open","session":"s",)"
+                                R"("algo":"list-fifo","procs":4})")),
+            "duplicate-session");
+  // Operations on sessions that were never opened:
+  EXPECT_EQ(code_of(ask(client, R"({"type":"step","session":"t"})")),
+            "unknown-session");
+}
+
+TEST(ServiceSessionProtocol, CloseThenReopenReusesTheName) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  ask(client, R"({"type":"open","session":"s","algo":"list-fifo",)"
+              R"("procs":2})");
+  const JsonValue closed = ask(client, R"({"type":"close","session":"s"})");
+  EXPECT_EQ(type_of(closed), "closed");
+  EXPECT_EQ(closed.find("makespan")->num_v, 0.0);  // nothing ever submitted
+  EXPECT_EQ(type_of(ask(client, R"({"type":"open","session":"s",)"
+                                R"("algo":"catbatch","procs":4})")),
+            "opened");
+}
+
+TEST(ServiceSessionProtocol, SubmitValidationLeavesSessionUsable) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  ask(client, R"({"type":"open","session":"s","algo":"list-fifo",)"
+              R"("procs":4})");
+  const auto rejected = [&](const std::string& tasks) {
+    const JsonValue reply = ask(
+        client, R"({"type":"submit","session":"s","tasks":)" + tasks + "}");
+    EXPECT_EQ(type_of(reply), "error") << tasks;
+    return code_of(reply);
+  };
+  EXPECT_EQ(rejected("[{}]"), "bad-message");               // missing work
+  EXPECT_EQ(rejected("[{\"work\":-1}]"), "bad-message");    // negative work
+  EXPECT_EQ(rejected("[{\"work\":1,\"procs\":9}]"),         // > platform
+            "bad-message");
+  EXPECT_EQ(rejected("[{\"work\":1,\"procs\":0}]"), "bad-message");
+  EXPECT_EQ(rejected("[{\"work\":1,\"preds\":[5]}]"),       // dangling pred
+            "bad-message");
+  EXPECT_EQ(rejected("[{\"work\":1,\"preds\":[0]}]"),       // self edge
+            "bad-message");
+  EXPECT_EQ(rejected("[{\"work\":1,\"color\":\"red\"}]"),   // unknown field
+            "bad-message");
+  EXPECT_EQ(rejected("[{\"work\":1,\"release\":-2}]"), "bad-message");
+  EXPECT_EQ(rejected("[3]"), "bad-message");                // not an object
+
+  // None of those rejections touched the engine: a clean batch still runs.
+  const JsonValue ok = ask(
+      client,
+      R"({"type":"submit","session":"s","tasks":)"
+      R"([{"work":2.0,"procs":2},{"work":1.0,"procs":4,"preds":[0]}]})");
+  ASSERT_EQ(type_of(ok), "decisions");
+  EXPECT_EQ(ok.find("decisions")->items.size(), 1u);  // root dispatched
+  const JsonValue drained = ask(client, R"({"type":"drain","session":"s"})");
+  ASSERT_EQ(type_of(drained), "decisions");
+  EXPECT_TRUE(drained.find("complete")->bool_v);
+  const JsonValue closed = ask(client, R"({"type":"close","session":"s"})");
+  EXPECT_EQ(closed.find("makespan")->num_v, 3.0);
+  EXPECT_EQ(closed.find("tasks")->num_v, 2.0);
+}
+
+TEST(ServiceSessionProtocol, ClockVerbsMatchTheSessionClock) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  ask(client, R"({"type":"open","session":"sim","algo":"list-fifo",)"
+              R"("procs":2})");
+  ask(client, R"({"type":"open","session":"ext","algo":"list-fifo",)"
+              R"("procs":2,"clock":"external"})");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"complete","session":"sim",)"
+                                R"("task":0,"at":1.0})")),
+            "bad-sequence");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"tick","session":"sim",)"
+                                R"("at":1.0})")),
+            "bad-sequence");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"step","session":"ext"})")),
+            "bad-sequence");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"drain","session":"ext"})")),
+            "bad-sequence");
+}
+
+TEST(ServiceSessionProtocol, ExternalClockFlow) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  ask(client, R"({"type":"open","session":"e","algo":"list-fifo",)"
+              R"("procs":2,"clock":"external"})");
+  const JsonValue d0 = ask(
+      client,
+      R"({"type":"submit","session":"e","tasks":)"
+      R"([{"work":2.0,"procs":1},{"work":1.0,"procs":2,"preds":[0]}]})");
+  ASSERT_EQ(type_of(d0), "decisions");
+  ASSERT_EQ(d0.find("decisions")->items.size(), 1u);
+  EXPECT_FALSE(d0.find("complete")->bool_v);
+
+  // Recoverable sequence errors first: they must not poison anything.
+  EXPECT_EQ(code_of(ask(client, R"({"type":"complete","session":"e",)"
+                                R"("task":7,"at":1.0})")),
+            "bad-sequence");  // never submitted
+  EXPECT_EQ(code_of(ask(client, R"({"type":"complete","session":"e",)"
+                                R"("task":0,"at":-1.0})")),
+            "bad-sequence");  // clock backwards
+
+  const JsonValue d1 = ask(client, R"({"type":"complete","session":"e",)"
+                                   R"("task":0,"at":2.0})");
+  ASSERT_EQ(type_of(d1), "decisions");
+  ASSERT_EQ(d1.find("decisions")->items.size(), 1u);
+  EXPECT_EQ(d1.find("decisions")->items[0].find("task")->num_v, 1.0);
+  EXPECT_EQ(d1.find("decisions")->items[0].find("at")->num_v, 2.0);
+
+  const JsonValue stats = ask(client, R"({"type":"query","session":"e"})");
+  ASSERT_EQ(type_of(stats), "stats");
+  EXPECT_EQ(stats.find("submitted")->num_v, 2.0);
+  EXPECT_EQ(stats.find("completed")->num_v, 1.0);
+  EXPECT_EQ(stats.find("decisions")->num_v, 2.0);
+
+  const JsonValue d2 = ask(client, R"({"type":"complete","session":"e",)"
+                                   R"("task":1,"at":3.0})");
+  EXPECT_TRUE(d2.find("complete")->bool_v);
+  const JsonValue closed = ask(client, R"({"type":"close","session":"e"})");
+  EXPECT_EQ(closed.find("makespan")->num_v, 3.0);
+}
+
+TEST(ServiceSessionProtocol, DoubleCompletionPoisonsTheSession) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  ask(client, R"({"type":"open","session":"e","algo":"list-fifo",)"
+              R"("procs":2,"clock":"external"})");
+  ask(client, R"({"type":"submit","session":"e","tasks":)"
+              R"([{"work":5.0,"procs":1},{"work":5.0,"procs":1}]})");
+  ask(client, R"({"type":"complete","session":"e","task":0,"at":5.0})");
+  // Completing the same task again passes the protocol pre-checks (known
+  // id, clock not backwards) — only the engine can catch it, so it is a
+  // contract violation and the session is poisoned.
+  const JsonValue poison = ask(client, R"({"type":"complete","session":"e",)"
+                                       R"("task":0,"at":6.0})");
+  EXPECT_EQ(code_of(poison), "contract");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"query","session":"e"})")),
+            "contract");  // every later verb answers contract
+  EXPECT_EQ(code_of(ask(client, R"({"type":"close","session":"e"})")),
+            "contract");
+  // ...but the close still freed the name, and other sessions are fine.
+  EXPECT_EQ(type_of(ask(client, R"({"type":"open","session":"e",)"
+                                R"("algo":"list-fifo","procs":2})")),
+            "opened");
+}
+
+TEST(ServiceSessionProtocol, OfflineAlgorithmsTakeOneSubmission) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  ask(client, R"({"type":"open","session":"o","algo":"divide-conquer",)"
+              R"("procs":4})");
+  // Offline algorithms reject arrival-time features.
+  EXPECT_EQ(code_of(ask(client,
+                        R"({"type":"submit","session":"o","tasks":)"
+                        R"([{"work":1.0,"release":2.0}]})")),
+            "bad-message");
+  const JsonValue first = ask(
+      client,
+      R"({"type":"submit","session":"o","tasks":)"
+      R"([{"work":2.0,"procs":2},{"work":1.0,"procs":1},)"
+      R"({"work":3.0,"procs":4,"preds":[0,1]}]})");
+  ASSERT_EQ(type_of(first), "decisions");
+  EXPECT_EQ(code_of(ask(client,
+                        R"({"type":"submit","session":"o","tasks":)"
+                        R"([{"work":1.0}]})")),
+            "bad-sequence");  // single-submission rule
+  const JsonValue drained = ask(client, R"({"type":"drain","session":"o"})");
+  EXPECT_TRUE(drained.find("complete")->bool_v);
+  const JsonValue closed = ask(client, R"({"type":"close","session":"o"})");
+  EXPECT_GT(closed.find("makespan")->num_v, 0.0);
+  EXPECT_EQ(closed.find("tasks")->num_v, 3.0);
+}
+
+TEST(ServiceSessionProtocol, IndependentOnlyPackersRejectEdges) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  ask(client, R"({"type":"open","session":"p","algo":"shelf-nfdh",)"
+              R"("procs":4})");
+  // Precedence edges violate the packer's preconditions — a message error
+  // (construction failed; no engine exists), and the session stays usable.
+  EXPECT_EQ(code_of(ask(client,
+                        R"({"type":"submit","session":"p","tasks":)"
+                        R"([{"work":1.0},{"work":1.0,"preds":[0]}]})")),
+            "bad-message");
+  const JsonValue ok = ask(client,
+                           R"({"type":"submit","session":"p","tasks":)"
+                           R"([{"work":1.0,"procs":2},{"work":2.0}]})");
+  EXPECT_EQ(type_of(ok), "decisions");
+  ask(client, R"({"type":"drain","session":"p"})");
+  EXPECT_EQ(type_of(ask(client, R"({"type":"close","session":"p"})")),
+            "closed");
+}
+
+TEST(ServiceSessionProtocol, ShutdownAnswersGoodbyeAndRaisesTheFlag) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  EXPECT_FALSE(hub.shutdown_requested());
+  EXPECT_EQ(type_of(ask(client, R"({"type":"shutdown"})")), "goodbye");
+  EXPECT_TRUE(hub.shutdown_requested());
+}
+
+TEST(ServiceSessionProtocol, ConnectionsAreIsolatedNamespaces) {
+  ServiceHub hub;
+  HubClient a(hub);
+  HubClient b(hub);
+  hello(a);
+  hello(b);
+  EXPECT_EQ(type_of(ask(a, R"({"type":"open","session":"s",)"
+                           R"("algo":"list-fifo","procs":2})")),
+            "opened");
+  // The same name is free on connection b, and b cannot see a's session
+  // state beyond that.
+  EXPECT_EQ(type_of(ask(b, R"({"type":"open","session":"s",)"
+                           R"("algo":"catbatch","procs":4})")),
+            "opened");
+  EXPECT_EQ(hub.connection_count(), 2u);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,0 +1,286 @@
+// SessionEngine: the stepwise (inverted) engine under both clocks.
+//
+// The batch pinning suites (golden schedules, counting==identity, the
+// alloc hook) already hold simulate() — and therefore the Simulated-clock
+// session path it wraps — bit-identical across the inversion. This suite
+// covers what only the stepwise API exposes: step/advance/drain semantics,
+// External-clock equivalence with the Simulated clock, incremental
+// cross-batch submissions, and the contract checks on external events.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/session.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+TaskGraph diamond_graph() {
+  TaskGraph g;
+  const TaskId a = g.add_task(2.0, 2, "a");
+  const TaskId b = g.add_task(1.0, 1, "b");
+  const TaskId c = g.add_task(3.0, 3, "c");
+  const TaskId d = g.add_task(1.5, 4, "d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+std::vector<SourceTask> tasks_of(const TaskGraph& graph) {
+  std::vector<SourceTask> tasks;
+  tasks.reserve(graph.size());
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    SourceTask t;
+    t.work = graph.task(id).work;
+    t.procs = graph.task(id).procs;
+    const auto preds = graph.predecessors(id);
+    t.predecessors.assign(preds.begin(), preds.end());
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+/// Replays a full-graph submission under the External clock, completing
+/// tasks in (finish, dispatch-order) order — the simulated queue's
+/// tie-break — and returns the decisions in dispatch order.
+std::vector<Decision> external_replay(OnlineScheduler& scheduler, int procs,
+                                      const TaskGraph& graph,
+                                      SimResult* result = nullptr) {
+  SessionEngine session(
+      scheduler, procs,
+      SessionOptions{}.with_clock(SessionClock::External));
+  std::vector<Decision> decisions;
+  const auto absorb = [&](std::span<const Decision> batch) {
+    decisions.insert(decisions.end(), batch.begin(), batch.end());
+  };
+  absorb(session.submit(tasks_of(graph), 0.0));
+  std::vector<std::size_t> running;
+  std::size_t dispatched = 0;
+  std::size_t completed = 0;
+  const auto adopt = [&] {
+    for (; dispatched < decisions.size(); ++dispatched) {
+      running.push_back(dispatched);
+    }
+  };
+  adopt();
+  while (completed < graph.size()) {
+    CB_CHECK(!running.empty(), "external replay stalled");
+    std::size_t best = 0;
+    Time best_finish = 0.0;
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      const Decision& d = decisions[running[i]];
+      const Time finish = d.at + graph.task(d.id).work;
+      if (i == 0 || finish < best_finish) {
+        best = i;
+        best_finish = finish;
+      }
+    }
+    const Decision done = decisions[running[best]];
+    running.erase(running.begin() + static_cast<std::ptrdiff_t>(best));
+    absorb(session.advance(SessionEvent::completion(done.id, best_finish)));
+    ++completed;
+    adopt();
+  }
+  EXPECT_TRUE(session.complete());
+  if (result != nullptr) *result = session.finish();
+  return decisions;
+}
+
+TEST(SessionEngine, StepLoopMatchesBatchSimulate) {
+  const TaskGraph graph = diamond_graph();
+
+  auto batch_sched = make_scheduler("catbatch");
+  const SimResult batch = simulate(graph, *batch_sched, 4);
+
+  auto step_sched = make_scheduler("catbatch");
+  SessionEngine session(*step_sched, 4);
+  GraphSource source(graph);
+  std::size_t decisions = session.submit(source).size();
+  while (!session.idle()) decisions += session.step().size();
+  EXPECT_TRUE(session.complete());
+  const SimResult stepped = session.finish();
+
+  EXPECT_EQ(decisions, graph.size());
+  EXPECT_EQ(stepped.makespan, batch.makespan);
+  EXPECT_EQ(stepped.stats.decision_points, batch.stats.decision_points);
+  EXPECT_EQ(stepped.stats.events, batch.stats.events);
+  ASSERT_EQ(stepped.schedule.size(), batch.schedule.size());
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    EXPECT_EQ(stepped.schedule.entry_for(id).start,
+              batch.schedule.entry_for(id).start);
+  }
+}
+
+TEST(SessionEngine, StepOnIdleSessionReturnsNothing) {
+  auto scheduler = make_scheduler("list-fifo");
+  SessionEngine session(*scheduler, 2);
+  EXPECT_TRUE(session.idle());
+  EXPECT_TRUE(session.step().empty());
+  EXPECT_EQ(session.now(), 0.0);
+}
+
+TEST(SessionEngine, ExternalClockMatchesSimulatedDecisions) {
+  // Random instances across several schedulers: the External-clock replay
+  // must reproduce the Simulated decision stream bit for bit.
+  for (const char* algo : {"catbatch", "easy-backfill", "list-fifo"}) {
+    Rng rng(42);
+    TaskGraph graph;
+    for (int i = 0; i < 60; ++i) {
+      const TaskId id =
+          graph.add_task(rng.uniform_real(0.5, 6.0),
+                         static_cast<int>(rng.uniform_int(1, 6)));
+      if (id > 0 && rng.bernoulli(0.5)) {
+        graph.add_edge(static_cast<TaskId>(rng.index(id)), id);
+      }
+    }
+
+    auto sim_sched = make_scheduler(algo);
+    SessionEngine sim_session(*sim_sched, 6);
+    std::vector<Decision> sim_decisions;
+    const auto absorb = [&](std::span<const Decision> batch) {
+      sim_decisions.insert(sim_decisions.end(), batch.begin(), batch.end());
+    };
+    absorb(sim_session.submit(tasks_of(graph), 0.0));
+    while (!sim_session.idle()) absorb(sim_session.step());
+    const SimResult sim_result = sim_session.finish();
+
+    auto ext_sched = make_scheduler(algo);
+    SimResult ext_result;
+    const std::vector<Decision> ext_decisions =
+        external_replay(*ext_sched, 6, graph, &ext_result);
+
+    ASSERT_EQ(ext_decisions.size(), sim_decisions.size()) << algo;
+    for (std::size_t i = 0; i < sim_decisions.size(); ++i) {
+      EXPECT_EQ(ext_decisions[i].id, sim_decisions[i].id) << algo;
+      EXPECT_EQ(ext_decisions[i].at, sim_decisions[i].at) << algo;
+      EXPECT_EQ(ext_decisions[i].procs, sim_decisions[i].procs) << algo;
+    }
+    EXPECT_EQ(ext_result.makespan, sim_result.makespan) << algo;
+    EXPECT_EQ(ext_result.stats.busy_area, sim_result.stats.busy_area)
+        << algo;
+  }
+}
+
+TEST(SessionEngine, IncrementalSubmitAcrossBatches) {
+  // Second batch arrives later and depends on a task from the first.
+  auto scheduler = make_scheduler("list-fifo");
+  SessionEngine session(
+      *scheduler, 2, SessionOptions{}.with_clock(SessionClock::External));
+
+  std::vector<SourceTask> first(1);
+  first[0].work = 2.0;
+  first[0].procs = 1;
+  auto d0 = session.submit(std::move(first), 0.0);
+  ASSERT_EQ(d0.size(), 1u);
+
+  std::vector<SourceTask> second(1);
+  second[0].work = 1.0;
+  second[0].procs = 2;
+  second[0].predecessors = {0};
+  auto d1 = session.submit(std::move(second), 1.0);
+  EXPECT_TRUE(d1.empty());  // predecessor still running
+
+  auto d2 = session.advance(SessionEvent::completion(0, 2.0));
+  ASSERT_EQ(d2.size(), 1u);
+  EXPECT_EQ(d2.front().id, 1u);
+  EXPECT_EQ(d2.front().at, 2.0);
+  EXPECT_EQ(session.tasks_submitted(), 2u);
+  EXPECT_FALSE(session.complete());
+  auto d3 = session.advance(SessionEvent::completion(1, 3.0));
+  EXPECT_TRUE(d3.empty());
+  EXPECT_TRUE(session.complete());
+  EXPECT_EQ(session.finish().makespan, 3.0);
+}
+
+TEST(SessionEngine, TickFiresPendingReleases) {
+  auto scheduler = make_scheduler("list-fifo");
+  SessionEngine session(
+      *scheduler, 2, SessionOptions{}.with_clock(SessionClock::External));
+  std::vector<SourceTask> tasks(2);
+  tasks[0].work = 1.0;
+  tasks[0].procs = 1;
+  tasks[0].release = 1.5;
+  tasks[1].work = 1.0;
+  tasks[1].procs = 1;
+  tasks[1].release = 4.0;
+  EXPECT_TRUE(session.submit(std::move(tasks), 0.0).empty());
+
+  const auto d1 = session.advance(SessionEvent::tick(2.0));
+  ASSERT_EQ(d1.size(), 1u);
+  EXPECT_EQ(d1.front().id, 0u);
+  EXPECT_EQ(d1.front().at, 1.5);  // released at its release time, not 2.0
+
+  const auto d2 = session.advance(SessionEvent::tick(4.0));
+  ASSERT_EQ(d2.size(), 1u);
+  EXPECT_EQ(d2.front().id, 1u);
+  EXPECT_EQ(session.now(), 4.0);
+}
+
+TEST(SessionEngine, ExternalEventContractChecks) {
+  const auto fresh = [] {
+    auto scheduler = make_scheduler("list-fifo");
+    auto session = std::make_unique<SessionEngine>(
+        *scheduler, 2, SessionOptions{}.with_clock(SessionClock::External));
+    std::vector<SourceTask> tasks(1);
+    tasks[0].work = 2.0;
+    tasks[0].procs = 1;
+    session->submit(std::move(tasks), 0.0);
+    return std::pair(std::move(scheduler), std::move(session));
+  };
+
+  {
+    auto [sched, session] = fresh();
+    EXPECT_THROW(session->advance(SessionEvent::completion(7, 1.0)),
+                 ContractViolation);  // unknown task
+  }
+  {
+    auto [sched, session] = fresh();
+    session->advance(SessionEvent::completion(0, 2.0));
+    EXPECT_THROW(session->advance(SessionEvent::completion(0, 3.0)),
+                 ContractViolation);  // already done
+  }
+  {
+    auto [sched, session] = fresh();
+    session->advance(SessionEvent::tick(5.0));
+    EXPECT_THROW(session->advance(SessionEvent::completion(0, 1.0)),
+                 ContractViolation);  // clock moved backwards
+  }
+  {
+    auto scheduler = make_scheduler("list-fifo");
+    SessionEngine session(*scheduler, 2);  // Simulated clock
+    EXPECT_THROW(session.advance(SessionEvent::tick(1.0)),
+                 ContractViolation);  // advance() needs the External clock
+  }
+}
+
+TEST(SessionEngine, OptionsBuilderChains) {
+  const SessionOptions options = SessionOptions{}
+                                     .with_mode(ScheduleMode::Counting)
+                                     .with_clock(SessionClock::External)
+                                     .with_observer(nullptr);
+  EXPECT_EQ(options.mode, ScheduleMode::Counting);
+  EXPECT_EQ(options.clock, SessionClock::External);
+  EXPECT_EQ(options.observer, nullptr);
+}
+
+TEST(SessionEngine, AverageUtilizationGuardsDegeneratePlatforms) {
+  SimResult result;
+  result.makespan = 2.0;
+  result.stats.busy_area = 8.0;
+  EXPECT_DOUBLE_EQ(result.average_utilization(4), 1.0);
+  EXPECT_DOUBLE_EQ(result.average_utilization(8), 0.5);
+  EXPECT_EQ(result.average_utilization(0), 0.0);
+  EXPECT_EQ(result.average_utilization(-3), 0.0);
+  // Wider-than-int platforms must not overflow the denominator.
+  EXPECT_GT(result.average_utilization(std::int64_t{1} << 40), 0.0);
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
-# cli_check.sh — strict numeric-flag validation contract for the CLIs.
+# cli_check.sh — flag-validation and exit-code contract for the CLIs.
 #
-# Registered as the `catbatch_cli_check` ctest target. Both binaries parse
-# numeric flags through support/text.hpp parse_integer: a zero count, a
-# negative thread count or a non-numeric value must produce a one-line
-# error on stderr and a nonzero exit — never an atoi zero silently reaching
-# the engine.
+# Registered as the `catbatch_cli_check` ctest target, covering sched_cli,
+# catbatch_fuzz, catbatchd and catbatch_loadgen. Two contracts:
 #
-# Usage: cli_check.sh <path-to-sched_cli> <path-to-catbatch_fuzz>
+#  * strict numeric flags — a zero count, a negative thread count or a
+#    non-numeric value must produce a one-line error on stderr and a usage
+#    exit, never an atoi zero silently reaching the engine;
+#  * exit codes — usage errors exit with code 2 (support/cli.hpp
+#    kExitUsage), reserving 1 for runtime failures, 3 for protocol errors
+#    and 4 for contract violations.
+#
+# Usage: cli_check.sh <sched_cli> <catbatch_fuzz> <catbatchd> <catbatch_loadgen>
 
 set -euo pipefail
 
-if [[ $# -ne 2 ]]; then
-  echo "usage: $0 <path-to-sched_cli> <path-to-catbatch_fuzz>" >&2
+if [[ $# -ne 4 ]]; then
+  echo "usage: $0 <sched_cli> <catbatch_fuzz> <catbatchd> <catbatch_loadgen>" >&2
   exit 2
 fi
 
 sched_cli="$1"
 fuzz_cli="$2"
+daemon_cli="$3"
+loadgen_cli="$4"
 fail=0
 
 err() {
@@ -25,15 +31,17 @@ err() {
   fail=1
 }
 
-# expect_reject <label> <binary> <args...>: the command must exit nonzero
-# and print exactly one line mentioning the offending flag on stderr.
+# expect_reject <label> <flag> <binary> <args...>: the command must exit
+# with the usage code (2) and print exactly one line mentioning the
+# offending flag on stderr.
 expect_reject() {
-  local label="$1" bin="$2" flag="$3"
-  shift 2
-  local stderr_file
+  local label="$1" flag="$2" bin="$3"
+  shift 3
+  local stderr_file status=0
   stderr_file="$(mktemp)"
-  if "$bin" "$@" >/dev/null 2>"$stderr_file"; then
-    err "$label: expected a nonzero exit"
+  "$bin" "$@" >/dev/null 2>"$stderr_file" || status=$?
+  if [[ "$status" -ne 2 ]]; then
+    err "$label: expected usage exit 2, got $status"
   fi
   local lines
   lines="$(wc -l <"$stderr_file")"
@@ -46,19 +54,44 @@ expect_reject() {
   rm -f "$stderr_file"
 }
 
-expect_reject "sched_cli --trials 0"    "$sched_cli" --trials  --demo --trials 0
-expect_reject "sched_cli --jobs -3"     "$sched_cli" --jobs    --demo --jobs -3
-expect_reject "sched_cli --tasks junk"  "$sched_cli" --tasks   --random layered --tasks banana
-expect_reject "sched_cli --procs 0"     "$sched_cli" --procs   --demo --procs 0
+expect_reject "sched_cli --trials 0"    --trials  "$sched_cli" --demo --trials 0
+expect_reject "sched_cli --jobs -3"     --jobs    "$sched_cli" --demo --jobs -3
+expect_reject "sched_cli --tasks junk"  --tasks   "$sched_cli" --random layered --tasks banana
+expect_reject "sched_cli --procs 0"     --procs   "$sched_cli" --demo --procs 0
 
-expect_reject "catbatch_fuzz --iters 0"     "$fuzz_cli" --iters     --iters 0
-expect_reject "catbatch_fuzz --jobs -3"     "$fuzz_cli" --jobs      --jobs -3
-expect_reject "catbatch_fuzz --seed junk"   "$fuzz_cli" --seed      --seed banana
-expect_reject "catbatch_fuzz --max-tasks 0" "$fuzz_cli" --max-tasks --max-tasks 0
+expect_reject "catbatch_fuzz --iters 0"     --iters     "$fuzz_cli" --iters 0
+expect_reject "catbatch_fuzz --jobs -3"     --jobs      "$fuzz_cli" --jobs -3
+expect_reject "catbatch_fuzz --seed junk"   --seed      "$fuzz_cli" --seed banana
+expect_reject "catbatch_fuzz --max-tasks 0" --max-tasks "$fuzz_cli" --max-tasks 0
+expect_reject "catbatch_fuzz --protocol 0"  --protocol  "$fuzz_cli" --protocol 0
 
-# Sanity: valid invocations still succeed.
+expect_reject "catbatchd --protocol bogus" --protocol "$daemon_cli" --protocol bogus
+expect_reject "catbatchd --jobs junk"      --jobs     "$daemon_cli" --jobs banana
+expect_reject "catbatchd unix, no socket"  --socket   "$daemon_cli" --protocol unix
+
+expect_reject "catbatch_loadgen --session 0"       --session     "$loadgen_cli" --session 0
+expect_reject "catbatch_loadgen --concurrency -1"  --concurrency "$loadgen_cli" --concurrency -1
+expect_reject "catbatch_loadgen --clock lunar"     --clock       "$loadgen_cli" --clock lunar
+expect_reject "catbatch_loadgen unix, no socket"   --socket      "$loadgen_cli" --protocol unix
+
+# Sanity: valid invocations still succeed (exit 0).
 if ! "$fuzz_cli" --iters 2 --quiet >/dev/null 2>&1; then
   err "catbatch_fuzz --iters 2 should succeed"
+fi
+if ! "$daemon_cli" --protocol-spec >/dev/null 2>&1; then
+  err "catbatchd --protocol-spec should succeed"
+fi
+if ! "$loadgen_cli" --session 2 --concurrency 1 --tasks 4 >/dev/null 2>&1; then
+  err "catbatch_loadgen --session 2 should succeed"
+fi
+
+# Exit-code convention, non-usage tiers: a loadgen pointed at a socket
+# nobody serves is a runtime failure (1), not a protocol error.
+status=0
+"$loadgen_cli" --protocol unix --socket /nonexistent/catbatch.sock \
+  --session 1 >/dev/null 2>&1 || status=$?
+if [[ "$status" -ne 1 ]]; then
+  err "loadgen on a dead socket: expected runtime exit 1, got $status"
 fi
 
 if [[ $fail -ne 0 ]]; then

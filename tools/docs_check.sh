@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # docs_check.sh — fail when the docs drift from the code.
 #
-# Registered as the `catbatch_docs_check` ctest target. Two contracts:
+# Registered as the `catbatch_docs_check` ctest target. The contracts:
 #
 #   1. every flag printed by `sched_cli --help` is documented in README.md
 #      and in the usage-derived docs (docs/OBSERVABILITY.md only needs the
@@ -10,23 +10,34 @@
 #   3. the perf-gate interface (bench_perf_engine modes and the gated
 #      metrics) is documented in docs/BENCHMARKS.md, and DESIGN.md's
 #      engine-complexity section names the hot-path structures it
-#      describes — both drifted silently during past engine rewrites.
+#      describes — both drifted silently during past engine rewrites;
+#   4. every catbatchd / catbatch_loadgen flag is documented in README.md
+#      and docs/SERVICE.md, and the protocol-spec block in docs/SERVICE.md
+#      is byte-identical to `catbatchd --protocol-spec`.
 #
-# Usage: docs_check.sh <path-to-sched_cli> <repo-source-dir> [path-to-catbatch_fuzz]
+# Usage: docs_check.sh <path-to-sched_cli> <repo-source-dir> \
+#            [path-to-catbatch_fuzz] [path-to-catbatchd] [path-to-catbatch_loadgen]
 #
 # When a catbatch_fuzz binary is given, a further contract applies: every
 # flag in its --help must be documented in README.md and docs/FUZZING.md.
+# When the service binaries are given, two more: every catbatchd /
+# catbatch_loadgen --help flag must be documented in README.md and
+# docs/SERVICE.md, and the ```protocol-spec fenced block in
+# docs/SERVICE.md must be byte-identical to `catbatchd --protocol-spec`.
 
 set -euo pipefail
 
-if [[ $# -lt 2 || $# -gt 3 ]]; then
-  echo "usage: $0 <path-to-sched_cli> <repo-source-dir> [path-to-catbatch_fuzz]" >&2
+if [[ $# -lt 2 || $# -gt 5 ]]; then
+  echo "usage: $0 <path-to-sched_cli> <repo-source-dir>" \
+       "[path-to-catbatch_fuzz] [path-to-catbatchd] [path-to-catbatch_loadgen]" >&2
   exit 2
 fi
 
 sched_cli="$1"
 src="$2"
 fuzz_cli="${3:-}"
+daemon_cli="${4:-}"
+loadgen_cli="${5:-}"
 fail=0
 
 err() {
@@ -90,7 +101,54 @@ if [[ -n "$fuzz_cli" ]]; then
   fuzz_flag_count="$(wc -w <<<"$fuzz_flags")"
 fi
 
-# --- 3. perf interface and engine-design docs ------------------------------
+# --- 3. service binaries and the wire-protocol spec ------------------------
+
+service_flag_count=0
+if [[ -n "$daemon_cli" || -n "$loadgen_cli" ]]; then
+  [[ -x "$daemon_cli" ]] || { echo "docs-check: not executable: $daemon_cli" >&2; exit 2; }
+  [[ -x "$loadgen_cli" ]] || { echo "docs-check: not executable: $loadgen_cli" >&2; exit 2; }
+  [[ -f "$src/docs/SERVICE.md" ]] || { echo "docs-check: missing $src/docs/SERVICE.md" >&2; exit 2; }
+
+  for pair in "catbatchd:$daemon_cli" "catbatch_loadgen:$loadgen_cli"; do
+    bin_name="${pair%%:*}"
+    bin_path="${pair#*:}"
+    bin_help="$("$bin_path" --help)"
+    bin_flags="$(grep -oE '\-\-[a-z][a-z-]*' <<<"$bin_help" | sort -u)"
+    if [[ -z "$bin_flags" ]]; then
+      err "$bin_name --help printed no --flags at all"
+    fi
+    for flag in $bin_flags; do
+      if ! grep -qF -- "$flag" "$src/README.md"; then
+        err "$bin_name flag '$flag' is not documented in README.md"
+      fi
+      if ! grep -qF -- "$flag" "$src/docs/SERVICE.md"; then
+        err "$bin_name flag '$flag' is not documented in docs/SERVICE.md"
+      fi
+    done
+    service_flag_count=$((service_flag_count + $(wc -w <<<"$bin_flags")))
+  done
+
+  # The spec block in SERVICE.md must be byte-identical to the binary's
+  # --protocol-spec output — the one place the protocol is documented twice.
+  documented_spec="$(awk '/^```protocol-spec$/{inside=1; next}
+                          /^```$/{inside=0} inside' "$src/docs/SERVICE.md")"
+  if [[ -z "$documented_spec" ]]; then
+    err "docs/SERVICE.md has no \`\`\`protocol-spec fenced block"
+  elif ! diff <("$daemon_cli" --protocol-spec) <(printf '%s\n' "$documented_spec") \
+      >/dev/null; then
+    err "docs/SERVICE.md protocol-spec block differs from 'catbatchd --protocol-spec'"
+    diff <("$daemon_cli" --protocol-spec) <(printf '%s\n' "$documented_spec") >&2 || true
+  fi
+
+  # The service gate's interface, same rule as the perf gate below.
+  for term in "bench_service" "BENCH_service.json" "service_baseline.txt"; do
+    if ! grep -qF -- "$term" "$src/docs/BENCHMARKS.md"; then
+      err "service bench term '$term' is not documented in docs/BENCHMARKS.md"
+    fi
+  done
+fi
+
+# --- 4. perf interface and engine-design docs ------------------------------
 
 # The perf bench's modes and gated metrics, as spelled in its usage text;
 # each must appear backquoted or verbatim in docs/BENCHMARKS.md.
@@ -110,7 +168,7 @@ for term in "TaskRec" "calendar" "earliest_start"; do
   fi
 done
 
-# --- 4. bench binaries -----------------------------------------------------
+# --- 5. bench binaries -----------------------------------------------------
 
 found_bench=0
 for bench_src in "$src"/bench/bench_*.cpp; do
@@ -127,4 +185,4 @@ if [[ $fail -ne 0 ]]; then
   echo "docs-check: FAILED" >&2
   exit 1
 fi
-echo "docs-check: OK ($(wc -w <<<"$flags") sched_cli flags, $fuzz_flag_count catbatch_fuzz flags, $(ls "$src"/bench/bench_*.cpp | wc -l) bench binaries)"
+echo "docs-check: OK ($(wc -w <<<"$flags") sched_cli flags, $fuzz_flag_count catbatch_fuzz flags, $service_flag_count service flags, $(ls "$src"/bench/bench_*.cpp | wc -l) bench binaries)"

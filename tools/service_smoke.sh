@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# service_smoke.sh — end-to-end daemon smoke test over a real unix socket.
+#
+# Registered as the `catbatch_service_smoke` ctest target: spawns catbatchd
+# --protocol unix, drives 100 mixed-clock sessions through catbatch_loadgen
+# over loopback (50 simulated + 50 external), asks the daemon to shut down
+# via the protocol, and requires a clean exit (code 0) plus socket-file
+# cleanup. This is the deployment shape — separate processes, real
+# transport — that the in-process suites cannot cover.
+#
+# Usage: service_smoke.sh <path-to-catbatchd> <path-to-catbatch_loadgen>
+
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <path-to-catbatchd> <path-to-catbatch_loadgen>" >&2
+  exit 2
+fi
+
+daemon="$1"
+loadgen="$2"
+sock="${TMPDIR:-/tmp}/catbatchd-smoke-$$.sock"
+
+cleanup() {
+  if [[ -n "${daemon_pid:-}" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -f "$sock"
+}
+trap cleanup EXIT
+
+"$daemon" --protocol unix --socket "$sock" --jobs 4 &
+daemon_pid=$!
+
+# Wait for the listener to come up (the daemon binds before serving).
+for _ in $(seq 1 500); do
+  [[ -S "$sock" ]] && break
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "service-smoke: daemon died before binding $sock" >&2
+    exit 1
+  fi
+  sleep 0.01
+done
+if [[ ! -S "$sock" ]]; then
+  echo "service-smoke: daemon never bound $sock" >&2
+  exit 1
+fi
+
+echo "service-smoke: daemon up (pid $daemon_pid), running 100 sessions"
+"$loadgen" --protocol unix --socket "$sock" \
+  --session 50 --concurrency 4 --tasks 32 --procs 16 --seed 11 \
+  --clock simulated
+"$loadgen" --protocol unix --socket "$sock" \
+  --session 50 --concurrency 4 --tasks 32 --procs 16 --seed 12 \
+  --clock external --shutdown
+
+# The daemon must exit 0 on its own after serving the shutdown request.
+status=0
+wait "$daemon_pid" || status=$?
+daemon_pid=""
+if [[ "$status" -ne 0 ]]; then
+  echo "service-smoke: daemon exited with $status, expected 0" >&2
+  exit 1
+fi
+if [[ -e "$sock" ]]; then
+  echo "service-smoke: daemon left the socket file behind" >&2
+  exit 1
+fi
+echo "service-smoke: OK"
