@@ -14,22 +14,39 @@
 //
 // Entry points (see bench/CMakeLists.txt):
 //
-//   --gate      runs 1k/10k/1M and compares against the checked-in
-//               baseline (bench/perf_baseline.txt): throughput must stay
-//               above CATBATCH_PERF_GATE_FACTOR (default 0.5) times the
-//               recorded value, and bytes/task must stay below
-//               CATBATCH_PERF_GATE_MEM_FACTOR (default 2.0) times it. A
-//               missing baseline file or a missing gated key FAILS the
-//               gate with regeneration instructions — a silent skip hides
-//               exactly the regressions the gate exists to catch.
+//   --gate      runs 1k/10k/100k/1M plus the 10M ingest tier and compares
+//               against the checked-in baseline (bench/perf_baseline.txt):
+//               throughput must stay above CATBATCH_PERF_GATE_FACTOR
+//               (default 0.5) times the recorded value, and bytes/task
+//               must stay below CATBATCH_PERF_GATE_MEM_FACTOR (default
+//               2.0) times it. A missing baseline file or a missing gated
+//               key FAILS the gate with regeneration instructions — a
+//               silent skip hides exactly the regressions the gate exists
+//               to catch. On hosts with >= 8 hardware threads the gate
+//               additionally requires the 8-thread 10M ingest to beat the
+//               serial ingest by CATBATCH_PERF_GATE_INGEST_SPEEDUP
+//               (default 2.5) — measured interleaved in the same window,
+//               like every A/B here; narrower hosts print a loud SKIP.
 //   --smoke     tiny sizes (also runnable under sanitizers), validates the
-//               JSON document's shape without gating.
+//               JSON document's shape without gating, and cross-checks the
+//               parallel build/criticality/chunked-ingest paths against
+//               their serial twins bit-for-bit.
 //   --smoke-1m  the 1M tier only, counting mode, no gating: the quick
 //               at-scale sanity run behind the catbatch_perf_smoke_1m
 //               build target.
+//   --threads-sweep  scaling table: the 1M ingest tier at 1/2/4/8
+//               threads, emitted as the threads_sweep array of
+//               BENCH_perf.json. No gating — a diagnosis tool.
 //   --write-baseline  runs the gate tiers and rewrites the cur.* keys of
 //               the baseline file in place (comments and pre.* lines are
 //               preserved verbatim).
+//
+// The ingest tier times the front half of the pipeline — raw-array SoA
+// freeze (validation, successor CSR, levels) plus SessionEngine ingest
+// (record fill, criticality precompute) — the part the parallel passes
+// accelerate; the event loop itself stays single-threaded by design. Its
+// rows carry scheduler names "ingest" (serial) and "ingest8" (8 threads,
+// fixed 4096 chunk) and gate like any other tasks_per_sec key.
 //
 // The baseline file is `key value` lines. `pre.*` keys hold the
 // pre-refactor engine's numbers on the same instances (for the
@@ -47,6 +64,8 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "analysis/json_report.hpp"
 #include "core/soa_graph.hpp"
 #include "instances/random_dags.hpp"
@@ -55,6 +74,8 @@
 #include "sched/catbatch_scheduler.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -95,7 +116,15 @@ struct Measurement {
   double bytes_per_task = 0.0;          // 0 = not measured for this tier
   std::size_t peak_rss_bytes = 0;       // of the dedicated memory run
   double instance_build_seconds = 0.0;  // SoA freeze / generation, unshared
+  /// True for the ingest+precompute tier rows ("ingest"/"ingestN"):
+  /// their throughput gates and serializes under the ingest_tasks_per_sec
+  /// metric instead of tasks_per_sec.
+  bool ingest = false;
 };
+
+const char* throughput_metric(const Measurement& m) {
+  return m.ingest ? "ingest_tasks_per_sec" : "tasks_per_sec";
+}
 
 double time_once(InstanceSource& source, const std::string& sched_name,
                  std::size_t* events_out) {
@@ -139,6 +168,74 @@ Measurement measure_source(InstanceSource& source,
   return m;
 }
 
+/// One timed ingest+precompute run: raw-array SoA freeze plus
+/// SessionEngine::submit(SoaSource) — everything up to (and including) the
+/// t=0 decision point, nothing of the event loop. The raw-array copies are
+/// taken outside the timer; the proto graph supplies identical inputs to
+/// every run, so serial and parallel time exactly the same work.
+double time_ingest_once(const SoaGraph& proto, const ParallelOptions& par) {
+  std::vector<Time> work = proto.work;
+  std::vector<int> procs = proto.procs;
+  std::vector<std::uint32_t> offsets = proto.pred_offsets;
+  std::vector<TaskId> preds = proto.pred_data;
+  CatBatchScheduler sched;
+  const auto t0 = std::chrono::steady_clock::now();
+  const SoaGraph g =
+      build_soa_graph(std::move(work), std::move(procs), std::move(offsets),
+                      std::move(preds), {}, nullptr, par);
+  SoaSource source(g);
+  SessionEngine engine(sched, kProcs,
+                       SimOptions{ScheduleMode::Counting}.with_parallel(par));
+  (void)engine.submit(source);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+/// Best-of-`reps` ingest throughput at `threads`. When `other` is non-null
+/// the reps are interleaved with the other configuration in the same
+/// measurement window (A/B/A/B...), the same drift-robust methodology the
+/// pre/cur baselines were measured with (see bench/perf_baseline.txt).
+Measurement measure_ingest(const SoaGraph& proto, int threads, int reps,
+                           double* best_out) {
+  const ParallelOptions par = ParallelOptions{}.with_threads(threads);
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    best = std::min(best, time_ingest_once(proto, par));
+  }
+  if (best_out != nullptr) *best_out = best;
+  Measurement m;
+  m.scheduler = threads <= 1 ? "ingest" : "ingest" + std::to_string(threads);
+  m.tasks = proto.size();
+  m.tasks_per_sec = static_cast<double>(proto.size()) / best;
+  m.ingest = true;
+  return m;
+}
+
+/// The interleaved serial-vs-8-thread ingest pair for one proto instance.
+std::vector<Measurement> measure_ingest_pair(const SoaGraph& proto,
+                                             int reps) {
+  (void)time_ingest_once(proto, ParallelOptions{});  // warmup
+  double best_serial = 1e300;
+  double best_par = 1e300;
+  const ParallelOptions par8 = ParallelOptions{}.with_threads(8);
+  for (int r = 0; r < reps; ++r) {
+    best_serial = std::min(best_serial, time_ingest_once(proto, {}));
+    best_par = std::min(best_par, time_ingest_once(proto, par8));
+  }
+  const auto n = static_cast<double>(proto.size());
+  Measurement serial;
+  serial.scheduler = "ingest";
+  serial.tasks = proto.size();
+  serial.tasks_per_sec = n / best_serial;
+  serial.ingest = true;
+  Measurement par;
+  par.scheduler = "ingest8";
+  par.tasks = proto.size();
+  par.tasks_per_sec = n / best_par;
+  par.ingest = true;
+  return {serial, par};
+}
+
 std::map<std::string, double> load_baseline(const std::string& path,
                                             bool* file_ok) {
   std::map<std::string, double> baseline;
@@ -169,9 +266,16 @@ double lookup(const std::map<std::string, double>& baseline,
   return it == baseline.end() ? 0.0 : it->second;
 }
 
+/// One row of the --threads-sweep scaling table.
+struct SweepPoint {
+  int threads = 1;
+  double ingest_tasks_per_sec = 0.0;
+};
+
 std::string report_json(const std::vector<Measurement>& results,
                         const std::map<std::string, double>& baseline,
-                        const char* mode) {
+                        const char* mode,
+                        const std::vector<SweepPoint>& sweep = {}) {
   JsonWriter w;
   w.begin_object();
   w.key("bench").value("perf");
@@ -179,16 +283,30 @@ std::string report_json(const std::vector<Measurement>& results,
   w.key("mode").value(mode);
   w.key("procs").value(kProcs);
   w.key("schedule_mode").value("counting");
+  if (!sweep.empty()) {
+    w.key("threads_sweep").begin_array();
+    const double serial = sweep.front().ingest_tasks_per_sec;
+    for (const SweepPoint& p : sweep) {
+      w.begin_object();
+      w.key("threads").value(p.threads);
+      w.key("ingest_tasks_per_sec").value(p.ingest_tasks_per_sec);
+      if (serial > 0.0) {
+        w.key("speedup_vs_serial").value(p.ingest_tasks_per_sec / serial);
+      }
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.key("results").begin_array();
   for (const Measurement& m : results) {
     const double pre =
-        lookup(baseline, baseline_key("pre", m, "tasks_per_sec"));
+        lookup(baseline, baseline_key("pre", m, throughput_metric(m)));
     const double cur =
-        lookup(baseline, baseline_key("cur", m, "tasks_per_sec"));
+        lookup(baseline, baseline_key("cur", m, throughput_metric(m)));
     w.begin_object();
     w.key("scheduler").value(m.scheduler);
     w.key("tasks").value(static_cast<std::uint64_t>(m.tasks));
-    w.key("tasks_per_sec").value(m.tasks_per_sec);
+    w.key(throughput_metric(m)).value(m.tasks_per_sec);
     w.key("events_per_sec").value(m.events_per_sec);
     if (m.bytes_per_task > 0.0) {
       w.key("bytes_per_task").value(m.bytes_per_task);
@@ -235,6 +353,81 @@ bool json_shape_ok(const std::string& json,
   return json.front() == '{' && json.back() == '}';
 }
 
+/// Smoke-tier determinism cross-check: the parallel SoA build, the
+/// parallel criticality sweep, and parallel chunked engine ingest must be
+/// bit-identical to their serial twins on a small instance. Runs under the
+/// sanitizer smoke configurations too, so TSan sees the parallel passes on
+/// every ctest run.
+bool smoke_parallel_ok() {
+  const ParallelOptions par = ParallelOptions{}.with_threads(2).with_chunk(64);
+  const TaskGraph graph = perf_graph(256);
+  const SoaGraph serial_soa = build_soa_graph(graph);
+  const SoaGraph par_soa = build_soa_graph(graph, /*with_names=*/false, par);
+  if (serial_soa.pred_offsets != par_soa.pred_offsets ||
+      serial_soa.pred_data != par_soa.pred_data ||
+      serial_soa.succ_offsets != par_soa.succ_offsets ||
+      serial_soa.succ_data != par_soa.succ_data ||
+      serial_soa.level_offsets != par_soa.level_offsets ||
+      serial_soa.level_order != par_soa.level_order ||
+      serial_soa.max_procs != par_soa.max_procs) {
+    std::fprintf(stderr, "smoke: parallel SoA build diverged from serial\n");
+    return false;
+  }
+  const CriticalityArrays serial_crit = compute_criticalities(serial_soa);
+  const CriticalityArrays par_crit = compute_criticalities(par_soa, par);
+  if (serial_crit.earliest_start != par_crit.earliest_start ||
+      serial_crit.earliest_finish != par_crit.earliest_finish) {
+    std::fprintf(stderr,
+                 "smoke: parallel criticality sweep diverged from serial\n");
+    return false;
+  }
+  const auto run_chunked = [&](const ParallelOptions& p) {
+    // FIFO list scheduling: CatBatch's Corollary 2 contract rejects
+    // same-instant arrivals of current-category tasks, which is exactly
+    // what chunked t=0 submission produces. The determinism under test
+    // lives in the engine's ingest, not in the policy.
+    const auto sched = make_sched("list-fifo");
+    SessionEngine engine(*sched, kProcs,
+                         SimOptions{ScheduleMode::Counting}.with_parallel(p));
+    StreamingGraphBuilder builder;
+    std::vector<TaskId> preds;
+    for (TaskId id = 0; id < serial_soa.size(); ++id) {
+      const auto row = serial_soa.predecessors(id);
+      preds.assign(row.begin(), row.end());
+      (void)builder.add_task(serial_soa.work[id], serial_soa.procs[id], preds);
+      if (builder.pending() == 64 || id + 1 == serial_soa.size()) {
+        (void)engine.submit(builder.freeze_chunk(), /*now=*/0.0);
+      }
+    }
+    engine.drain();
+    return engine.finish();
+  };
+  const SimResult chunk_serial = run_chunked({});
+  const SimResult chunk_par = run_chunked(par);
+  const auto a = chunk_serial.schedule.entries();
+  const auto b = chunk_par.schedule.entries();
+  if (a.size() != b.size() || chunk_serial.makespan != chunk_par.makespan) {
+    std::fprintf(stderr, "smoke: parallel chunked ingest diverged\n");
+    return false;
+  }
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].id != b[k].id || a[k].start != b[k].start ||
+        a[k].finish != b[k].finish || a[k].procs() != b[k].procs()) {
+      std::fprintf(stderr, "smoke: parallel chunked ingest diverged\n");
+      return false;
+    }
+  }
+  ValidationOptions counted;
+  counted.check_processor_sets = false;
+  if (const auto error =
+          validate_schedule(graph, chunk_par.schedule, kProcs, counted)) {
+    std::fprintf(stderr, "smoke: chunked schedule invalid: %s\n",
+                 error->c_str());
+    return false;
+  }
+  return true;
+}
+
 double env_factor(const char* name, double fallback) {
   if (const char* env = std::getenv(name)) {
     const double f = std::atof(env);
@@ -274,8 +467,8 @@ bool write_baseline(const std::string& path,
   out.precision(6);
   out.setf(std::ios::scientific, std::ios::floatfield);
   for (const Measurement& m : results) {
-    out << baseline_key("cur", m, "tasks_per_sec") << " " << m.tasks_per_sec
-        << "\n";
+    out << baseline_key("cur", m, throughput_metric(m)) << " "
+        << m.tasks_per_sec << "\n";
     if (m.bytes_per_task > 0.0) {
       out << baseline_key("cur", m, "bytes_per_task") << " "
           << m.bytes_per_task << "\n";
@@ -291,6 +484,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool smoke_1m = false;
   bool write = false;
+  bool threads_sweep = false;
   std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gate") == 0) {
@@ -299,14 +493,16 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--smoke-1m") == 0) {
       smoke_1m = true;
+    } else if (std::strcmp(argv[i], "--threads-sweep") == 0) {
+      threads_sweep = true;
     } else if (std::strcmp(argv[i], "--write-baseline") == 0) {
       write = true;
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--gate|--smoke|--smoke-1m|--write-baseline] "
-                   "[--baseline FILE]\n",
+                   "usage: %s [--gate|--smoke|--smoke-1m|--threads-sweep|"
+                   "--write-baseline] [--baseline FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -316,11 +512,37 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (threads_sweep) {
+    // Scaling diagnosis: the 1M ingest tier at 1/2/4/8 threads. The serial
+    // row anchors speedup_vs_serial; no gating happens here.
+    const SoaGraph proto = perf_soa_huge(1000000);
+    (void)time_ingest_once(proto, ParallelOptions{});  // warmup
+    std::vector<SweepPoint> sweep;
+    std::vector<Measurement> rows;
+    for (const int threads : {1, 2, 4, 8}) {
+      const Measurement m = measure_ingest(proto, threads, /*reps=*/3, nullptr);
+      SweepPoint p;
+      p.threads = threads;
+      p.ingest_tasks_per_sec = m.tasks_per_sec;
+      std::printf("sweep: threads=%d ingest_tasks_per_sec=%.6e speedup=%.2fx\n",
+                  threads, p.ingest_tasks_per_sec,
+                  sweep.empty() ? 1.0
+                                : p.ingest_tasks_per_sec /
+                                      sweep.front().ingest_tasks_per_sec);
+      sweep.push_back(p);
+      rows.push_back(m);
+    }
+    const std::string json = report_json(rows, {}, "threads-sweep", sweep);
+    const std::string path = write_bench_report("perf", json);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+  }
+
   const std::vector<std::size_t> sizes =
       smoke      ? std::vector<std::size_t>{64, 256}
       : smoke_1m ? std::vector<std::size_t>{1000000}
       : (gate || write)
-          ? std::vector<std::size_t>{1000, 10000, 1000000}
+          ? std::vector<std::size_t>{1000, 10000, 100000, 1000000}
           : std::vector<std::size_t>{1000, 10000, 100000, 1000000, 10000000};
 
   bool baseline_file_ok = false;
@@ -389,6 +611,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (gate || write || (!smoke && !smoke_1m)) {
+    // The 10M ingest tier: serial vs 8-thread A/B in the same window. The
+    // proto instance is generated once and copied per run outside the timer.
+    const SoaGraph proto = perf_soa_huge(10000000);
+    for (const Measurement& m : measure_ingest_pair(proto, /*reps=*/2)) {
+      std::printf("%-10s n=%-8zu ingest_tasks_per_sec=%.6e\n",
+                  m.scheduler.c_str(), m.tasks, m.tasks_per_sec);
+      results.push_back(m);
+    }
+  }
+
   const char* mode = smoke      ? "smoke"
                      : smoke_1m ? "smoke-1m"
                      : gate     ? "gate"
@@ -401,6 +634,10 @@ int main(int argc, char** argv) {
   if (smoke || smoke_1m) {
     if (!json_shape_ok(json, results)) return 1;
     std::printf("%s: BENCH_perf.json shape OK\n", mode);
+    if (smoke) {
+      if (!smoke_parallel_ok()) return 1;
+      std::printf("smoke: parallel passes bit-identical to serial\n");
+    }
     return 0;
   }
 
@@ -415,7 +652,7 @@ int main(int argc, char** argv) {
     const double mem_factor = env_factor("CATBATCH_PERF_GATE_MEM_FACTOR", 2.0);
     bool ok = true;
     for (const Measurement& m : results) {
-      const std::string key = baseline_key("cur", m, "tasks_per_sec");
+      const std::string key = baseline_key("cur", m, throughput_metric(m));
       const double cur = lookup(baseline, key);
       if (cur <= 0.0) {
         std::fprintf(stderr,
@@ -450,6 +687,39 @@ int main(int argc, char** argv) {
             mem_pass ? "PASS" : "FAIL");
         ok = ok && mem_pass;
       }
+    }
+    // Parallel ingest must actually pay for itself: on wide-enough hosts
+    // the 8-thread 10M ingest has to beat the serial run measured in the
+    // same window. Narrower hosts can't exhibit the speedup, so they skip
+    // -- loudly, never silently.
+    double ingest_serial = 0.0;
+    double ingest_par = 0.0;
+    for (const Measurement& m : results) {
+      if (!m.ingest) continue;
+      if (m.scheduler == "ingest") ingest_serial = m.tasks_per_sec;
+      if (m.scheduler == "ingest8") ingest_par = m.tasks_per_sec;
+    }
+    const double need =
+        env_factor("CATBATCH_PERF_GATE_INGEST_SPEEDUP", 2.5);
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (ingest_serial <= 0.0 || ingest_par <= 0.0) {
+      std::fprintf(stderr,
+                   "gate: FAIL -- ingest tier did not produce both the "
+                   "serial and 8-thread measurements.\n");
+      ok = false;
+    } else if (hw < 8) {
+      std::printf(
+          "gate: ingest speedup SKIP (host has %u hardware threads, the "
+          ">=%.2fx check needs 8; measured %.2fx)\n",
+          hw, need, ingest_par / ingest_serial);
+    } else {
+      const double speedup = ingest_par / ingest_serial;
+      const bool pass = speedup >= need;
+      std::printf(
+          "gate: ingest n=10000000 serial=%.3e par8=%.3e speedup=%.2fx "
+          "(need %.2fx) %s\n",
+          ingest_serial, ingest_par, speedup, need, pass ? "PASS" : "FAIL");
+      ok = ok && pass;
     }
     if (!ok) print_regenerate_hint(argv[0], baseline_path);
     return ok ? 0 : 1;

@@ -45,6 +45,13 @@ void print_usage(std::ostream& os) {
         "                   --mutate 0 and --no-shrink unless given\n"
         "  --mutate K       up to K mutations per instance (default 2,\n"
         "                   0 disables mutation)\n"
+        "  --threads T      with T > 1, additionally run every instance\n"
+        "                   through the parallel SoA build + parallel\n"
+        "                   engine ingest and require the schedule to be\n"
+        "                   bit-identical to the serial run (the\n"
+        "                   parallel-ingest oracle; default 1 = skip)\n"
+        "  --chunk C        block size for the parallel-ingest oracle's\n"
+        "                   fixed partition (default 4096)\n"
         "  --max-findings N stop recording after N findings (default 16)\n"
         "  --no-shrink      report findings without minimizing them\n"
         "  --corpus DIR     write shrunk repros into DIR as JSON\n"
@@ -157,6 +164,12 @@ int main(int argc, char** argv) {
       if (!parse_flag(arg, argv[++k], 0, 1'000, value)) return 2;
       options.mutations = static_cast<std::size_t>(value);
       mutate_given = true;
+    } else if (arg == "--threads" && has_value) {
+      if (!parse_flag(arg, argv[++k], 1, 1 << 10, value)) return 2;
+      options.oracles.parallel.threads = static_cast<int>(value);
+    } else if (arg == "--chunk" && has_value) {
+      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return 2;
+      options.oracles.parallel.chunk = static_cast<std::size_t>(value);
     } else if (arg == "--max-findings" && has_value) {
       if (!parse_flag(arg, argv[++k], 0, 1'000'000, value)) return 2;
       options.max_findings = static_cast<std::size_t>(value);

@@ -76,6 +76,11 @@ void print_usage(std::ostream& os) {
         "  --seed S       base seed for --random / --trials (default 1)\n"
         "  --jobs N       worker threads for multi-trial sweeps\n"
         "                 (default: CATBATCH_JOBS, else hardware)\n"
+        "  --threads T    ingest-side engine parallelism for single runs\n"
+        "                 (SoA build + criticality sweep); the schedule is\n"
+        "                 bit-identical for any T (default 1)\n"
+        "  --chunk C      block size of the fixed parallel partition\n"
+        "                 (default 4096; only meaningful with --threads)\n"
         "  --json FILE    write the sweep report as JSON to FILE\n"
         "  --gantt        print an ASCII Gantt chart (single run)\n"
         "  --svg FILE     write an SVG Gantt chart to FILE (single run)\n"
@@ -142,6 +147,7 @@ int main(int argc, char** argv) {
   std::size_t tasks = 100, trials = 1;
   std::uint64_t seed = 1;
   int jobs = 0;
+  ParallelOptions parallel;
   bool gantt = false, csv = false, dot = false, demo = false,
        emit_demo = false, show_metrics = false;
 
@@ -171,6 +177,14 @@ int main(int argc, char** argv) {
       // 0 keeps the CATBATCH_JOBS / hardware default; negatives are junk.
       if (!parse_flag(arg, argv[++k], 0, 1 << 20, value)) return kExitUsage;
       jobs = static_cast<int>(value);
+    } else if (arg == "--threads" && k + 1 < argc) {
+      if (!parse_flag(arg, argv[++k], 1, 1 << 10, value)) return kExitUsage;
+      parallel.threads = static_cast<int>(value);
+    } else if (arg == "--chunk" && k + 1 < argc) {
+      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) {
+        return kExitUsage;
+      }
+      parallel.chunk = static_cast<std::size_t>(value);
     } else if (arg == "--json" && k + 1 < argc) {
       json_path = argv[++k];
     } else if (arg == "--list-algos") {
@@ -353,6 +367,7 @@ int main(int argc, char** argv) {
     MetricsRegistry metrics_registry;
     EventTracer tracer;
     SimOptions sim_options;
+    sim_options.parallel = parallel;
     std::unique_ptr<EngineObserver> observer;
     if (observed) {
       scheduler = instrument_scheduler(std::move(scheduler), metrics_registry);

@@ -31,32 +31,75 @@ void blocked_parallel(int jobs, std::size_t count, const Body& body) {
 }
 
 /// Derives the successor CSR from the predecessor CSR by counting sort.
-/// Iterating successors in ascending id keeps every row ascending.
-void build_succ_csr(SoaGraph& g) {
+/// Iterating successors in ascending id keeps every row ascending. The
+/// parallel variant partitions the *target* id space into ranges: each
+/// worker scans the whole predecessor arena but counts/scatters only the
+/// edges whose predecessor falls in its range, so writes are disjoint and
+/// every edge lands at the same counting-sort position it would serially —
+/// the output is bit-identical for any thread count.
+void build_succ_csr(SoaGraph& g, const ParallelOptions& par) {
   const std::size_t n = g.size();
   g.succ_offsets.assign(n + 1, 0);
-  for (const TaskId pred : g.pred_data) {
-    CB_CHECK(pred < n, "predecessor id out of range");
-    ++g.succ_offsets[pred + 1];
+  g.succ_data.resize(g.pred_data.size());
+  const std::size_t ranges = static_cast<std::size_t>(
+      std::max(1, std::min<int>(par.threads, 16)));
+  if (ranges < 2 || n < 2 * kSweepBlock || g.pred_data.empty()) {
+    for (const TaskId pred : g.pred_data) {
+      CB_CHECK(pred < n, "predecessor id out of range");
+      ++g.succ_offsets[pred + 1];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      g.succ_offsets[i + 1] += g.succ_offsets[i];
+    }
+    std::vector<std::uint32_t> cursor(g.succ_offsets.begin(),
+                                      g.succ_offsets.end() - 1);
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto begin = g.pred_offsets[s];
+      const auto end = g.pred_offsets[s + 1];
+      for (std::uint32_t k = begin; k < end; ++k) {
+        g.succ_data[cursor[g.pred_data[k]]++] = static_cast<TaskId>(s);
+      }
+    }
+    return;
   }
+  const std::size_t span = (n + ranges - 1) / ranges;
+  // Count phase: worker r touches only succ_offsets[pred + 1] for preds in
+  // its id range — disjoint writes, no atomics.
+  parallel_for(static_cast<int>(ranges), ranges, [&](std::size_t r) {
+    const std::size_t lo = r * span;
+    const std::size_t hi = std::min(n, lo + span);
+    for (const TaskId pred : g.pred_data) {
+      CB_CHECK(pred < n, "predecessor id out of range");
+      if (pred >= lo && pred < hi) ++g.succ_offsets[pred + 1];
+    }
+  });
   for (std::size_t i = 0; i < n; ++i) {
     g.succ_offsets[i + 1] += g.succ_offsets[i];
   }
-  g.succ_data.resize(g.pred_data.size());
+  // Scatter phase: each worker owns the cursor entries (and therefore the
+  // succ_data regions) of its target range; scanning sources in ascending
+  // order keeps every row ascending, exactly as the serial sort does.
   std::vector<std::uint32_t> cursor(g.succ_offsets.begin(),
                                     g.succ_offsets.end() - 1);
-  for (std::size_t s = 0; s < n; ++s) {
-    const auto begin = g.pred_offsets[s];
-    const auto end = g.pred_offsets[s + 1];
-    for (std::uint32_t k = begin; k < end; ++k) {
-      g.succ_data[cursor[g.pred_data[k]]++] = static_cast<TaskId>(s);
+  parallel_for(static_cast<int>(ranges), ranges, [&](std::size_t r) {
+    const std::size_t lo = r * span;
+    const std::size_t hi = std::min(n, lo + span);
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto begin = g.pred_offsets[s];
+      const auto end = g.pred_offsets[s + 1];
+      for (std::uint32_t k = begin; k < end; ++k) {
+        const TaskId pred = g.pred_data[k];
+        if (pred >= lo && pred < hi) {
+          g.succ_data[cursor[pred]++] = static_cast<TaskId>(s);
+        }
+      }
     }
-  }
+  });
 }
 
 /// BFS level decomposition (Kahn's algorithm in layers). Doubles as the
 /// cycle check: a cycle leaves tasks with positive in-degree unplaced.
-void build_levels(SoaGraph& g) {
+void build_levels_bfs(SoaGraph& g) {
   const std::size_t n = g.size();
   std::vector<std::uint32_t> indegree(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -88,7 +131,44 @@ void build_levels(SoaGraph& g) {
   CB_CHECK(g.level_order.size() == n, "task graph contains a cycle");
 }
 
-void finish_build(SoaGraph& g) {
+/// Topological-id fast path: the Kahn layer of a task is exactly
+/// 1 + max(layer of its predecessors) (0 for roots), so when every pred id
+/// is smaller than its task's id one id-order scan computes all layers
+/// without a queue, and a stable counting sort by layer reproduces the BFS
+/// output — ascending ids within each level — bit for bit. Cycles are
+/// impossible with strictly-smaller predecessor ids, so the BFS cycle
+/// check has nothing to detect here.
+void build_levels_topo(SoaGraph& g) {
+  const std::size_t n = g.size();
+  g.level_order.clear();
+  g.level_offsets.assign(1, 0);
+  if (n == 0) return;
+  std::vector<std::uint32_t> level(n);
+  std::uint32_t max_level = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t lvl = 0;
+    const auto begin = g.pred_offsets[i];
+    const auto end = g.pred_offsets[i + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      lvl = std::max(lvl, level[g.pred_data[k]] + 1);
+    }
+    level[i] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  g.level_offsets.assign(max_level + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) ++g.level_offsets[level[i] + 1];
+  for (std::size_t k = 0; k <= max_level; ++k) {
+    g.level_offsets[k + 1] += g.level_offsets[k];
+  }
+  g.level_order.resize(n);
+  std::vector<std::uint32_t> cursor(g.level_offsets.begin(),
+                                    g.level_offsets.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.level_order[cursor[level[i]]++] = static_cast<TaskId>(i);
+  }
+}
+
+void finish_build(SoaGraph& g, const ParallelOptions& par) {
   const std::size_t n = g.size();
   CB_CHECK(g.procs.size() == n, "procs array does not match task count");
   CB_CHECK(g.pred_offsets.size() == n + 1,
@@ -98,32 +178,57 @@ void finish_build(SoaGraph& g) {
            "predecessor offsets do not span the data array");
   CB_CHECK(g.names.empty() || g.names.size() == n,
            "names array must be empty or match the task count");
-  g.max_procs = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    CB_CHECK(g.pred_offsets[i] <= g.pred_offsets[i + 1],
-             "predecessor offsets must be non-decreasing");
-    CB_CHECK(g.work[i] > 0.0, "task execution time must be strictly positive");
-    CB_CHECK(g.procs[i] >= 1, "task processor requirement must be >= 1");
-    g.max_procs = std::max(g.max_procs, g.procs[i]);
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto begin = g.pred_offsets[i];
-    const auto end = g.pred_offsets[i + 1];
-    for (std::uint32_t k = begin; k < end; ++k) {
-      CB_CHECK(g.pred_data[k] < n, "predecessor id out of range");
-      CB_CHECK(g.pred_data[k] != i, "self-loop in task graph");
-      CB_CHECK(k == begin || g.pred_data[k - 1] < g.pred_data[k],
-               "predecessor rows must be strictly ascending");
+  // Per-task validation and the two whole-graph facts it feeds (max procs,
+  // id topology) run over fixed chunk-sized blocks: each block writes its
+  // own reduction slot and the slots merge serially in block order, so the
+  // results never depend on the thread count. (Both reductions — integer
+  // max and boolean AND — are order-insensitive anyway.)
+  const std::size_t chunk = std::max<std::size_t>(1, par.chunk);
+  const std::size_t blocks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+  std::vector<int> block_max(blocks, 0);
+  std::vector<std::uint8_t> block_topo(blocks, 1);
+  parallel_chunks(par, n, [&](std::size_t lo, std::size_t hi) {
+    int pmax = 0;
+    bool topo = true;
+    for (std::size_t i = lo; i < hi; ++i) {
+      CB_CHECK(g.pred_offsets[i] <= g.pred_offsets[i + 1],
+               "predecessor offsets must be non-decreasing");
+      CB_CHECK(g.work[i] > 0.0,
+               "task execution time must be strictly positive");
+      CB_CHECK(g.procs[i] >= 1, "task processor requirement must be >= 1");
+      pmax = std::max(pmax, g.procs[i]);
+      const auto begin = g.pred_offsets[i];
+      const auto end = g.pred_offsets[i + 1];
+      for (std::uint32_t k = begin; k < end; ++k) {
+        CB_CHECK(g.pred_data[k] < n, "predecessor id out of range");
+        CB_CHECK(g.pred_data[k] != i, "self-loop in task graph");
+        CB_CHECK(k == begin || g.pred_data[k - 1] < g.pred_data[k],
+                 "predecessor rows must be strictly ascending");
+        topo = topo && g.pred_data[k] < i;
+      }
     }
+    block_max[lo / chunk] = pmax;
+    block_topo[lo / chunk] = topo ? 1 : 0;
+  });
+  g.max_procs = 0;
+  g.ids_topological = true;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    g.max_procs = std::max(g.max_procs, block_max[b]);
+    g.ids_topological = g.ids_topological && block_topo[b] != 0;
   }
   g.edge_count = g.pred_data.size();
-  build_succ_csr(g);
-  build_levels(g);
+  build_succ_csr(g, par);
+  if (g.ids_topological) {
+    build_levels_topo(g);
+  } else {
+    build_levels_bfs(g);
+  }
 }
 
 }  // namespace
 
-SoaGraph build_soa_graph(const TaskGraph& graph, bool with_names) {
+SoaGraph build_soa_graph(const TaskGraph& graph, bool with_names,
+                         const ParallelOptions& parallel) {
   const std::size_t n = graph.size();
   SoaGraph g;
   g.work.resize(n);
@@ -167,7 +272,7 @@ SoaGraph build_soa_graph(const TaskGraph& graph, bool with_names) {
     }
     g.name_storage = std::move(arena);
   }
-  finish_build(g);
+  finish_build(g, parallel);
   return g;
 }
 
@@ -175,7 +280,8 @@ SoaGraph build_soa_graph(std::vector<Time> work, std::vector<int> procs,
                          std::vector<std::uint32_t> pred_offsets,
                          std::vector<TaskId> pred_data,
                          std::vector<std::string_view> names,
-                         std::shared_ptr<const void> name_storage) {
+                         std::shared_ptr<const void> name_storage,
+                         const ParallelOptions& parallel) {
   SoaGraph g;
   g.work = std::move(work);
   g.procs = std::move(procs);
@@ -183,7 +289,7 @@ SoaGraph build_soa_graph(std::vector<Time> work, std::vector<int> procs,
   g.pred_data = std::move(pred_data);
   g.names = std::move(names);
   g.name_storage = std::move(name_storage);
-  finish_build(g);
+  finish_build(g, parallel);
   return g;
 }
 
@@ -207,6 +313,58 @@ CriticalityArrays compute_criticalities(const SoaGraph& graph, int jobs) {
         finish[id] = s + graph.work[id];
       }
     });
+  }
+  return out;
+}
+
+CriticalityArrays compute_criticalities(const SoaGraph& graph,
+                                        const ParallelOptions& parallel) {
+  const std::size_t n = graph.size();
+  CriticalityArrays out;
+  out.earliest_start.resize(n);
+  out.earliest_finish.resize(n);
+  Time* const start = out.earliest_start.data();
+  Time* const finish = out.earliest_finish.data();
+  const std::size_t levels = graph.level_count();
+  const std::size_t chunk = std::max<std::size_t>(1, parallel.chunk);
+  // Narrow levels (average width below one chunk) never fan out, so a
+  // graph with topological ids is better served by one prefetched id-order
+  // scan — same recurrence, same unique fixpoint, identical IEEE values.
+  const bool level_parallel =
+      !parallel.serial() && levels > 0 && n / levels >= chunk;
+  if (graph.ids_topological && !level_parallel) {
+    constexpr std::size_t kPrefetch = 16;
+    const std::uint32_t* const offsets = graph.pred_offsets.data();
+    const TaskId* const preds = graph.pred_data.data();
+    const Time* const work = graph.work.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kPrefetch < n) {
+        __builtin_prefetch(&preds[offsets[i + kPrefetch]]);
+      }
+      Time s = 0.0;
+      const std::uint32_t end = offsets[i + 1];
+      for (std::uint32_t k = offsets[i]; k < end; ++k) {
+        s = std::max(s, finish[preds[k]]);
+      }
+      start[i] = s;
+      finish[i] = s + work[i];
+    }
+    return out;
+  }
+  for (std::size_t lvl = 0; lvl < levels; ++lvl) {
+    const std::span<const TaskId> ids = graph.level(lvl);
+    parallel_chunks(parallel, ids.size(),
+                    [&](std::size_t lo, std::size_t hi) {
+                      for (std::size_t k = lo; k < hi; ++k) {
+                        const TaskId id = ids[k];
+                        Time s = 0.0;
+                        for (const TaskId pred : graph.predecessors(id)) {
+                          s = std::max(s, finish[pred]);
+                        }
+                        start[id] = s;
+                        finish[id] = s + graph.work[id];
+                      }
+                    });
   }
   return out;
 }

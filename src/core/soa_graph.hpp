@@ -28,6 +28,7 @@
 #include "core/category.hpp"
 #include "core/criticality.hpp"
 #include "core/task.hpp"
+#include "support/parallel.hpp"
 
 namespace catbatch {
 
@@ -54,6 +55,11 @@ struct SoaGraph {
 
   int max_procs = 0;          // max_i p_i (0 for an empty graph)
   std::size_t edge_count = 0;
+  /// True when every predecessor id is smaller than its task's id (the
+  /// streaming builders guarantee this by construction). Enables the
+  /// id-order level/criticality fast paths, which are bit-identical to
+  /// the level-by-level algorithms they replace.
+  bool ids_topological = false;
 
   // Optional task names: either empty or one view per task. The views
   // point into `name_storage` (or into storage the producer guarantees to
@@ -84,12 +90,38 @@ struct SoaGraph {
   }
 };
 
+/// One incremental slice of a streaming instance: tasks
+/// [base, base + size()) with chunk-local predecessor offsets over
+/// *global* predecessor ids (which may reference any earlier chunk).
+/// Produced by StreamingGraphBuilder::freeze_chunk() and consumed by
+/// SessionEngine::submit(SoaChunk, now) — the path that streams a 10M-task
+/// adaptive source through resolve/criticality without the full-resolve
+/// pause. Chunks are nameless (the interner stays with the full-freeze
+/// path).
+struct SoaChunk {
+  TaskId base = 0;
+  std::vector<Time> work;
+  std::vector<int> procs;
+  std::vector<std::uint32_t> pred_offsets{0};  // size() + 1, chunk-local
+  std::vector<TaskId> pred_data;               // global ids, ascending rows
+
+  [[nodiscard]] std::size_t size() const noexcept { return work.size(); }
+  [[nodiscard]] bool empty() const noexcept { return work.empty(); }
+  [[nodiscard]] std::span<const TaskId> predecessors(std::size_t k) const {
+    return {pred_data.data() + pred_offsets[k],
+            pred_data.data() + pred_offsets[k + 1]};
+  }
+};
+
 /// Freezes `graph` into SoA form. Throws ContractViolation on a cycle
 /// (detected by the level decomposition). With `with_names`, task names
 /// are packed into one arena string owned by the result; otherwise the
-/// result is nameless regardless of the graph's labels.
+/// result is nameless regardless of the graph's labels. `parallel` drives
+/// the validation / successor-CSR passes; the result is bit-identical for
+/// any thread count.
 [[nodiscard]] SoaGraph build_soa_graph(const TaskGraph& graph,
-                                       bool with_names = false);
+                                       bool with_names = false,
+                                       const ParallelOptions& parallel = {});
 
 /// Builds directly from raw arrays — the streaming path, which never
 /// materializes a TaskGraph. `pred_offsets` must have size work.size()+1
@@ -100,7 +132,8 @@ struct SoaGraph {
     std::vector<Time> work, std::vector<int> procs,
     std::vector<std::uint32_t> pred_offsets, std::vector<TaskId> pred_data,
     std::vector<std::string_view> names = {},
-    std::shared_ptr<const void> name_storage = nullptr);
+    std::shared_ptr<const void> name_storage = nullptr,
+    const ParallelOptions& parallel = {});
 
 /// Criticalities (s∞, f∞) as two parallel arrays — the SoA pass behind
 /// compute_criticalities(TaskGraph).
@@ -119,6 +152,16 @@ struct CriticalityArrays {
 /// runs serially on the calling thread.
 [[nodiscard]] CriticalityArrays compute_criticalities(const SoaGraph& graph,
                                                       int jobs = 1);
+
+/// ParallelOptions-driven variant of the same sweep: levels are
+/// partitioned into fixed `parallel.chunk`-sized blocks claimed by the
+/// caller plus global-pool helpers; graphs with topological ids and
+/// levels narrower than one block take a prefetched id-order scan
+/// instead. Every path computes the identical IEEE-754 values (the
+/// recurrence has a unique fixpoint and max is order-insensitive), so
+/// the arrays are bit-identical for any {threads, chunk}.
+[[nodiscard]] CriticalityArrays compute_criticalities(
+    const SoaGraph& graph, const ParallelOptions& parallel);
 
 /// Definitions 2-3 for every task, from the SoA criticalities. Tasks are
 /// independent; parallelized over fixed blocks, bit-identical at any jobs.

@@ -16,7 +16,7 @@ StreamingGraphBuilder::StreamingGraphBuilder(std::size_t expected_tasks) {
 TaskId StreamingGraphBuilder::add_task(Time work, int procs,
                                        std::span<const TaskId> predecessors,
                                        std::string_view name) {
-  const auto id = static_cast<TaskId>(work_.size());
+  const auto id = static_cast<TaskId>(base_ + work_.size());
   CB_CHECK(work > 0.0, "task work must be positive");
   CB_CHECK(procs >= 1, "task needs at least one processor");
   pred_scratch_.assign(predecessors.begin(), predecessors.end());
@@ -41,14 +41,32 @@ TaskId StreamingGraphBuilder::add_task(Time work, int procs,
   return id;
 }
 
-SoaGraph StreamingGraphBuilder::finish() {
+SoaGraph StreamingGraphBuilder::finish(const ParallelOptions& parallel) {
+  CB_CHECK(base_ == 0,
+           "finish() cannot follow freeze_chunk(); drain via chunks instead");
   std::shared_ptr<const void> storage =
       any_names_ ? interner_.storage() : nullptr;
   SoaGraph g = build_soa_graph(std::move(work_), std::move(procs_),
                                std::move(pred_offsets_), std::move(pred_data_),
-                               std::move(names_), std::move(storage));
+                               std::move(names_), std::move(storage), parallel);
   *this = StreamingGraphBuilder();
   return g;
+}
+
+SoaChunk StreamingGraphBuilder::freeze_chunk() {
+  CB_CHECK(!any_names_, "chunked freezing does not support task names");
+  SoaChunk chunk;
+  chunk.base = base_;
+  chunk.work = std::move(work_);
+  chunk.procs = std::move(procs_);
+  chunk.pred_offsets = std::move(pred_offsets_);
+  chunk.pred_data = std::move(pred_data_);
+  base_ += static_cast<TaskId>(chunk.work.size());
+  work_.clear();
+  procs_.clear();
+  pred_offsets_.assign(1, 0);
+  pred_data_.clear();
+  return chunk;
 }
 
 std::vector<SourceTask> SoaSource::start() {

@@ -7,7 +7,11 @@
 //
 //   StreamingGraphBuilder — append tasks chunk by chunk (scalars + a
 //       predecessor span + an optional name, interned); finish() freezes
-//       into a validated SoaGraph via the raw build_soa_graph overload.
+//       into a validated SoaGraph via the raw build_soa_graph overload,
+//       while freeze_chunk() peels off everything appended since the last
+//       freeze as a SoaChunk for incremental engine ingest
+//       (SessionEngine::submit(SoaChunk, now)) — no full-graph resolve
+//       pause, predecessor ids may reach into any earlier chunk.
 //       Predecessor ids must reference earlier tasks only, which every
 //       streaming producer satisfies by construction.
 //   SoaSource — InstanceSource over a frozen SoaGraph: the engine borrows
@@ -40,18 +44,34 @@ class StreamingGraphBuilder {
 
   /// Adds one task and returns its id. `predecessors` may be unsorted and
   /// may contain duplicates (they are deduplicated, matching
-  /// TaskGraph::add_edge); every entry must reference an earlier task.
-  /// Non-empty names are interned — repeated labels cost one copy total.
+  /// TaskGraph::add_edge); every entry must reference an earlier task —
+  /// including tasks already peeled off by freeze_chunk(). Non-empty names
+  /// are interned — repeated labels cost one copy total.
   TaskId add_task(Time work, int procs, std::span<const TaskId> predecessors,
                   std::string_view name = {});
 
-  [[nodiscard]] std::size_t size() const noexcept { return work_.size(); }
+  /// Total tasks ever added, across frozen chunks and the pending tail.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return base_ + work_.size();
+  }
+  /// Tasks appended since the last freeze_chunk() (what the next one peels).
+  [[nodiscard]] std::size_t pending() const noexcept { return work_.size(); }
 
   /// Freezes into a validated SoaGraph (succ CSR + levels derived there).
-  /// The builder is empty afterwards.
-  [[nodiscard]] SoaGraph finish();
+  /// The builder is empty afterwards. Only valid when no chunk has been
+  /// peeled off — the two freeze styles do not mix.
+  [[nodiscard]] SoaGraph finish(const ParallelOptions& parallel = {});
+
+  /// Moves out every task appended since the last freeze as a SoaChunk
+  /// (ids [chunk.base, chunk.base + chunk.size())) and resets the builder
+  /// for the next slice; the builder keeps only the id watermark, so a
+  /// 10M-task stream never holds more than one chunk of arrays. Chunks are
+  /// nameless — mixing named tasks with chunked freezing is a contract
+  /// violation.
+  [[nodiscard]] SoaChunk freeze_chunk();
 
  private:
+  TaskId base_ = 0;  // ids [0, base_) were peeled off by freeze_chunk()
   std::vector<Time> work_;
   std::vector<int> procs_;
   std::vector<std::uint32_t> pred_offsets_{0};

@@ -11,6 +11,7 @@
 #include "sched/catbatch_contiguous.hpp"
 #include "sched/divide_conquer.hpp"
 #include "sched/shelf.hpp"
+#include "instances/streaming.hpp"
 #include "sim/engine.hpp"
 #include "sim/validate.hpp"
 #include "support/check.hpp"
@@ -225,6 +226,33 @@ std::vector<OracleFailure> check_scheduler(const FuzzInstance& instance,
       }
     } catch (const std::exception& e) {
       failures.push_back({"source-parity", name, e.what()});
+    }
+  }
+
+  if (options.parallel.threads > 1) {
+    // The determinism contract, fuzzed: the same instance through the
+    // parallel SoA build + parallel engine ingest must reproduce the
+    // serial identity schedule bit-for-bit (processor identities
+    // included). Catches any partition- or thread-count-dependence that
+    // slips into the parallel passes.
+    try {
+      const auto scheduler = entry.make(
+          entry.kind == SchedulerKind::Offline ? &instance.graph : nullptr);
+      const SoaGraph soa =
+          build_soa_graph(instance.graph, /*with_names=*/false,
+                          options.parallel);
+      SoaSource source(soa);
+      SimOptions sim;
+      sim.parallel = options.parallel;
+      const SimResult par =
+          simulate(source, *scheduler, instance.procs, sim);
+      if (const auto diff = compare_schedules(identity.schedule,
+                                              par.schedule,
+                                              /*compare_identities=*/true)) {
+        failures.push_back({"parallel-ingest", name, *diff});
+      }
+    } catch (const std::exception& e) {
+      failures.push_back({"parallel-ingest", name, e.what()});
     }
   }
 

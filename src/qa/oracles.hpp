@@ -10,6 +10,9 @@
 //   source-parity   — the generic InstanceSource ingest path produces the
 //                     same schedule as the zero-copy static-graph path;
 //   determinism     — a second identity run is bit-identical;
+//   parallel-ingest — (opt-in via OracleOptions::parallel) a run through
+//                     the parallel SoA build + parallel engine ingest is
+//                     bit-identical to the serial identity run;
 //   offline-replay  — a directly built offline schedule validates, and its
 //                     engine replay finishes no later than the plan;
 //   engine-contract — any ContractViolation out of the engine or scheduler.
@@ -20,6 +23,7 @@
 
 #include "qa/generator.hpp"
 #include "sched/registry.hpp"
+#include "support/parallel.hpp"
 
 namespace catbatch {
 
@@ -36,6 +40,12 @@ struct OracleOptions {
   /// four times). The survivors still exercise every oracle kind.
   /// 0 = run the full registry regardless of size.
   std::size_t scale_gate_tasks = 0;
+  /// With threads > 1, every instance additionally runs through the
+  /// parallel SoA build and parallel engine ingest (SoaSource +
+  /// SessionOptions::parallel) and the schedule is compared bit-for-bit
+  /// against the serial identity run — the fuzzing face of the
+  /// determinism contract. Default (serial) skips the extra run.
+  ParallelOptions parallel = {};
 };
 
 /// One broken invariant. `scheduler` is the registry name; empty for

@@ -92,6 +92,18 @@ static_assert(sizeof(TaskRec) == 32, "TaskRec must stay half a cache line");
 /// any simulatable platform; checked at ingest so packing can never wrap.
 constexpr int kMaxProcs = (1 << 24) - 1;
 
+/// Overflow reverse-adjacency arena node (successors appended after the
+/// first batch's CSR was frozen). A per-predecessor linked list through one
+/// flat arena replaces the historical vector-of-vectors: appending a chunk
+/// costs O(edges) arena pushes instead of one heap block per predecessor,
+/// which is what makes 10M-task chunked ingest feasible. List order is
+/// append order — identical to the push_back order the vectors had.
+struct ExtraNode {
+  TaskId succ = kInvalidTask;
+  std::uint32_t next = 0;
+};
+constexpr std::uint32_t kNoExtra = 0xffffffffu;
+
 }  // namespace
 
 struct SessionEngine::Impl {
@@ -101,6 +113,7 @@ struct SessionEngine::Impl {
         counting_(options.mode == ScheduleMode::Counting),
         external_(options.clock == SessionClock::External),
         obs_(options.observer),
+        par_(options.parallel),
         avail_(procs),
         pool_(counting_ ? 1 : procs) {
     CB_CHECK(procs >= 1, "platform must have at least one processor");
@@ -140,6 +153,22 @@ struct SessionEngine::Impl {
     run_internal_until(now);
     now_ = now;
     ingest_batch(std::move(tasks), now);
+    decision_point(now);
+    return decisions();
+  }
+
+  std::span<const Decision> submit_chunk(SoaChunk chunk, Time now) {
+    CB_CHECK(source_ == nullptr,
+             "a source-bound session cannot accept external submissions");
+    CB_CHECK(now >= now_, "submission time moves the session clock backwards");
+    begin_call();
+    if (!started_) {
+      started_ = true;
+      scheduler_.reset();
+    }
+    run_internal_until(now);
+    now_ = now;
+    ingest_chunk(std::move(chunk), now);
     decision_point(now);
     return decisions();
   }
@@ -276,26 +305,60 @@ struct SessionEngine::Impl {
     records_.resize(n);
     const Time* work = g.work.data();
     const int* procs = g.procs.data();
-    for (TaskId id = 0; id < n; ++id) {
-      TaskRec& rec = records_[id];
-      rec.work = work[id];
-      rec.set_procs(procs[id]);
-      rec.unfinished = pred_off_[id + 1] - pred_off_[id];
-    }
+    // Record fill is embarrassingly parallel: each task writes only its
+    // own record, so the fixed chunk partition (support/parallel.hpp) is
+    // race-free and the result is independent of the thread count.
+    parallel_chunks(par_, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t id = lo; id < hi; ++id) {
+        TaskRec& rec = records_[id];
+        rec.work = work[id];
+        rec.set_procs(procs[id]);
+        rec.unfinished = pred_off_[id + 1] - pred_off_[id];
+      }
+    });
     // Lemma 1 as one level-ordered sweep (the core SoA criticality kernel,
     // inlined over the records): level k reads only finishes of levels < k.
     // Precomputing s∞ here removes the per-predecessor random reads from
     // every reveal — the exact-time model guarantees the online recurrence
     // would produce these very values (max is order-insensitive), so the
-    // scheduler-visible stream is bit-identical.
+    // scheduler-visible stream is bit-identical. Wide levels fan out over
+    // fixed chunk-sized blocks; graphs with topological ids whose levels
+    // average below one block take a prefetched id-order scan instead —
+    // the recurrence has a unique fixpoint, so every path computes the
+    // same IEEE values (see compute_criticalities(SoaGraph,
+    // ParallelOptions), whose structure this mirrors).
     {
       std::vector<Time> fin(n);
-      for (std::size_t lvl = 0; lvl < g.level_count(); ++lvl) {
-        for (const TaskId id : g.level(lvl)) {
+      const std::size_t levels = g.level_count();
+      const std::size_t chunk = std::max<std::size_t>(1, par_.chunk);
+      const bool level_parallel =
+          !par_.serial() && levels > 0 && n / levels >= chunk;
+      if (g.ids_topological && !level_parallel) {
+        constexpr std::size_t kPrefetch = 16;
+        for (TaskId id = 0; id < n; ++id) {
+          if (id + kPrefetch < n) {
+            __builtin_prefetch(&pred_dat_[pred_off_[id + kPrefetch]]);
+          }
           Time s = 0.0;
           for (const TaskId pred : preds_of(id)) s = std::max(s, fin[pred]);
           records_[id].crit_finish = s;  // holds s∞ when precomputed
           fin[id] = s + work[id];
+        }
+      } else {
+        for (std::size_t lvl = 0; lvl < levels; ++lvl) {
+          const std::span<const TaskId> ids = g.level(lvl);
+          parallel_chunks(par_, ids.size(),
+                          [&](std::size_t lo, std::size_t hi) {
+                            for (std::size_t k = lo; k < hi; ++k) {
+                              const TaskId id = ids[k];
+                              Time s = 0.0;
+                              for (const TaskId pred : preds_of(id)) {
+                                s = std::max(s, fin[pred]);
+                              }
+                              records_[id].crit_finish = s;
+                              fin[id] = s + work[id];
+                            }
+                          });
         }
       }
     }
@@ -348,6 +411,7 @@ struct SessionEngine::Impl {
   void ingest_batch(std::vector<SourceTask> emitted, Time now) {
     if (emitted.empty() && csr_built_) return;
     const auto base = static_cast<TaskId>(n_);
+    align_generic_stores(base);
     for (SourceTask& st : emitted) {
       CB_CHECK(st.work > 0.0, "source emitted a task with non-positive work");
       CB_CHECK(st.procs >= 1 && st.procs <= procs_,
@@ -381,6 +445,85 @@ struct SessionEngine::Impl {
     finalize_batch(base, now);
   }
 
+  /// Chunked streaming path: one frozen SoaChunk is appended to the
+  /// engine-owned columns in O(size + edges), with validation and record
+  /// fill parallelized over fixed chunk-sized blocks. Criticalities follow
+  /// the online f∞ recurrence at reveal (crit_precomputed_ stays false),
+  /// exactly as if the same tasks had arrived as submit() batches — so a
+  /// fixed chunk partition replays bit-identically at any thread count.
+  void ingest_chunk(SoaChunk&& chunk, Time now) {
+    const auto base = static_cast<TaskId>(n_);
+    CB_CHECK(chunk.base == base,
+             "chunks must arrive in submission order (chunk.base != "
+             "tasks_submitted())");
+    const std::size_t add = chunk.size();
+    CB_CHECK(chunk.procs.size() == add &&
+                 chunk.pred_offsets.size() == add + 1 &&
+                 chunk.pred_offsets.front() == 0 &&
+                 chunk.pred_offsets.back() == chunk.pred_data.size(),
+             "chunk arrays are inconsistently sized");
+    if (add == 0 && csr_built_) return;
+    const std::size_t n = base + add;
+    records_.resize(n);
+    const auto arena_base = static_cast<std::uint32_t>(pred_data_.size());
+    pred_data_.insert(pred_data_.end(), chunk.pred_data.begin(),
+                      chunk.pred_data.end());
+    pred_offsets_.reserve(n + 1);
+    for (std::size_t k = 1; k <= add; ++k) {
+      pred_offsets_.push_back(arena_base + chunk.pred_offsets[k]);
+    }
+    pred_off_ = pred_offsets_.data();
+    pred_dat_ = pred_data_.data();
+    // Validate and fill in parallel. Each worker writes only its own
+    // records; predecessor *records* are read only for ids below `base`
+    // (frozen during this pass) — a same-chunk predecessor is by
+    // definition unfinished, so its record is never inspected and the
+    // pass is race-free.
+    parallel_chunks(par_, add, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        const auto id = static_cast<TaskId>(base + k);
+        CB_CHECK(chunk.work[k] > 0.0,
+                 "chunk task has non-positive work");
+        CB_CHECK(chunk.procs[k] >= 1 && chunk.procs[k] <= procs_,
+                 "chunk task cannot fit the platform");
+        CB_CHECK(chunk.procs[k] <= kMaxProcs,
+                 "task processor requirement too large");
+        TaskRec& rec = records_[id];
+        rec.work = chunk.work[k];
+        rec.set_procs(chunk.procs[k]);
+        std::uint32_t unfinished = 0;
+        const std::span<const TaskId> preds = preds_of(id);
+        for (std::size_t e = 0; e < preds.size(); ++e) {
+          const TaskId pred = preds[e];
+          CB_CHECK(pred < id, "chunk predecessor must be an earlier task");
+          CB_CHECK(e == 0 || preds[e - 1] < pred,
+                   "chunk predecessor rows must be strictly ascending");
+          if (pred >= base || !(records_[pred].state() & kDone)) ++unfinished;
+        }
+        rec.unfinished = unfinished;
+      }
+    });
+    n_ = n;
+    finalize_batch(base, now);
+  }
+
+  /// Backfills the generic-path per-task columns (declared work, release
+  /// times, name arena offsets) with their defaults up to `upto` tasks.
+  /// Chunked submissions skip these columns entirely — a chunk task's
+  /// declared work is its actual work, releases are zero, names empty — so
+  /// when a generic batch lands on a session that already ingested chunks,
+  /// the columns must first catch up to keep ids aligned. No-op unless
+  /// chunk and generic batches were actually mixed.
+  void align_generic_stores(TaskId upto) {
+    while (declared_store_.size() < upto) {
+      declared_store_.push_back(records_[declared_store_.size()].work);
+    }
+    if (release_store_.size() < upto) release_store_.resize(upto, 0.0);
+    if (name_offsets_.size() < upto + 1) {
+      name_offsets_.resize(upto + 1, name_offsets_.back());
+    }
+  }
+
   /// Sizes every per-task buffer once for the whole batch (the per-event
   /// loop then never grows them), wires the reverse adjacency, and reveals
   /// the batch's ready tasks in id order.
@@ -400,12 +543,26 @@ struct SessionEngine::Impl {
       build_succ_csr();
       csr_built_ = true;
     } else if (soa_ == nullptr && pred_off_[n] > pred_off_[base]) {
-      // Later (adaptive) batches append to the overflow adjacency; ids grow
-      // monotonically, so csr-then-overflow traversal stays ascending.
-      if (extra_succs_.size() < n) extra_succs_.resize(n);
+      // Later (adaptive/chunked) batches append to the overflow adjacency;
+      // ids grow monotonically, so csr-then-overflow traversal stays
+      // ascending. Per-predecessor linked lists through one arena: append
+      // order equals batch order, the order the per-pred vectors had.
+      if (extra_head_.size() < n) {
+        extra_head_.resize(n, kNoExtra);
+        extra_tail_.resize(n, kNoExtra);
+      }
+      extra_nodes_.reserve(extra_nodes_.size() +
+                           (pred_off_[n] - pred_off_[base]));
       for (TaskId id = base; id < n; ++id) {
         for (const TaskId pred : preds_of(id)) {
-          extra_succs_[pred].push_back(id);
+          const auto node = static_cast<std::uint32_t>(extra_nodes_.size());
+          extra_nodes_.push_back(ExtraNode{id, kNoExtra});
+          if (extra_tail_[pred] == kNoExtra) {
+            extra_head_[pred] = node;
+          } else {
+            extra_nodes_[extra_tail_[pred]].next = node;
+          }
+          extra_tail_[pred] = node;
         }
       }
       has_extra_ = true;
@@ -458,6 +615,9 @@ struct SessionEngine::Impl {
   [[nodiscard]] std::string_view name_of(TaskId id) const {
     if (soa_ != nullptr) return soa_->name(id);
     if (static_graph_ != nullptr) return static_graph_->task(id).name;
+    // Chunked submissions never append name offsets; a pure-chunk (or
+    // chunk-tail) session simply has no names.
+    if (id + 1 >= name_offsets_.size()) return {};
     const std::uint32_t from = name_offsets_[id];
     return std::string_view(name_chars_).substr(from,
                                                 name_offsets_[id + 1] - from);
@@ -610,8 +770,11 @@ struct SessionEngine::Impl {
     // Readiness cascade over the reverse adjacency (CSR span, plus the
     // overflow rows for adaptively emitted batches).
     for (const TaskId succ : succs) on_pred_done(succ, now);
-    if (has_extra_ && id < extra_succs_.size()) {
-      for (const TaskId succ : extra_succs_[id]) on_pred_done(succ, now);
+    if (has_extra_ && id < extra_head_.size()) {
+      for (std::uint32_t node = extra_head_[id]; node != kNoExtra;
+           node = extra_nodes_[node].next) {
+        on_pred_done(extra_nodes_[node].succ, now);
+      }
     }
 
     // Adaptive sources may extend the instance now. Fixed-instance sources
@@ -634,6 +797,7 @@ struct SessionEngine::Impl {
   bool counting_;
   bool external_;
   EngineObserver* obs_;  // null = observability off (no hook overhead)
+  ParallelOptions par_;  // ingest-side parallelism (event loop stays serial)
   int avail_;           // counting-mode occupancy (O(1) acquire/release)
   ProcessorPool pool_;  // identity-mode concrete indices (unused otherwise)
   InstanceSource* source_ = nullptr;  // bound source, or null (submit mode)
@@ -671,7 +835,11 @@ struct SessionEngine::Impl {
   // True when TaskRec::crit_finish was pre-filled with s∞ at ingest (fixed
   // instances); false keeps the online f∞ recurrence (adaptive sources).
   bool crit_precomputed_ = false;
-  std::vector<std::vector<TaskId>> extra_succs_;
+  // Overflow reverse adjacency: per-predecessor linked lists through one
+  // flat arena (see ExtraNode above). kNoExtra-terminated.
+  std::vector<std::uint32_t> extra_head_;
+  std::vector<std::uint32_t> extra_tail_;
+  std::vector<ExtraNode> extra_nodes_;
   bool has_extra_ = false;
 
   EventQueue events_;
@@ -702,6 +870,10 @@ std::span<const Decision> SessionEngine::submit(InstanceSource& source) {
 std::span<const Decision> SessionEngine::submit(std::vector<SourceTask> tasks,
                                                 Time now) {
   return impl_->submit_batch(std::move(tasks), now);
+}
+
+std::span<const Decision> SessionEngine::submit(SoaChunk chunk, Time now) {
+  return impl_->submit_chunk(std::move(chunk), now);
 }
 
 std::span<const Decision> SessionEngine::advance(const SessionEvent& event) {

@@ -41,9 +41,11 @@
 #include <span>
 #include <vector>
 
+#include "core/soa_graph.hpp"
 #include "sim/schedule.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/source.hpp"
+#include "support/parallel.hpp"
 
 namespace catbatch {
 
@@ -84,6 +86,12 @@ struct SessionOptions {
   EngineObserver* observer = nullptr;
   /// Ignored by simulate(), which always runs the Simulated clock.
   SessionClock clock = SessionClock::Simulated;
+  /// Drives the ingest-side parallel passes (record fill, criticality
+  /// sweep, chunk validation) — the event loop itself stays
+  /// single-threaded. Results are bit-identical for any {threads, chunk}
+  /// (support/parallel.hpp, determinism contract); the default runs
+  /// everything serially on the calling thread.
+  ParallelOptions parallel = {};
 
   SessionOptions& with_mode(ScheduleMode m) {
     mode = m;
@@ -95,6 +103,10 @@ struct SessionOptions {
   }
   SessionOptions& with_clock(SessionClock c) {
     clock = c;
+    return *this;
+  }
+  SessionOptions& with_parallel(const ParallelOptions& p) {
+    parallel = p;
     return *this;
   }
 };
@@ -182,6 +194,17 @@ class SessionEngine {
   /// `now` fire first. Usable in both clock modes; the service layer's
   /// `submit` message lands here.
   std::span<const Decision> submit(std::vector<SourceTask> tasks, Time now);
+
+  /// Ingests one frozen slice of a streaming instance
+  /// (StreamingGraphBuilder::freeze_chunk()) at time `now` and runs a
+  /// decision point. Chunks must arrive in order — `chunk.base` must equal
+  /// tasks_submitted() — and may reference predecessors in any earlier
+  /// chunk. Validation and record fill are parallelized per
+  /// SessionOptions::parallel; criticalities follow the online f∞
+  /// recurrence (chunk boundaries are revelation order, so a fixed-order
+  /// replay is bit-identical to the equivalent submit() batches). Usable
+  /// in both clock modes; mixing with submit(tasks, now) batches is fine.
+  std::span<const Decision> submit(SoaChunk chunk, Time now);
 
   /// Applies one external event (External clock only). For a Completion,
   /// internal release events at or before `event.at` fire first, then the

@@ -1,0 +1,121 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace catbatch {
+namespace {
+
+/// Set while a global-pool worker runs a task submitted by fan_out(); the
+/// serial-degrade check for nested parallel regions.
+thread_local bool tls_in_parallel_worker = false;
+
+/// Runs `claim_loop` on the calling thread plus up to `helpers` workers
+/// borrowed from the global pool. The loop must claim its work items
+/// atomically (each claimed exactly once across all participants). The
+/// caller participates unconditionally, so completion never depends on
+/// pool availability; helpers never block, so borrowed workers cannot
+/// deadlock each other. Exceptions are collected per call (never in the
+/// shared pool) and the first one is rethrown here after every helper has
+/// finished — stack-captured state stays valid for the helpers' lifetime.
+void fan_out(int helpers, const std::function<void()>& claim_loop) {
+  std::mutex mutex;
+  std::condition_variable done;
+  int pending = 0;
+  std::exception_ptr first_error;
+
+  auto guarded = [&claim_loop, &mutex, &first_error] {
+    try {
+      claim_loop();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  ThreadPool& pool = global_pool();
+  const int n = std::min(helpers, pool.thread_count());
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    pending = n;
+  }
+  for (int h = 0; h < n; ++h) {
+    pool.submit([&guarded, &mutex, &done, &pending] {
+      tls_in_parallel_worker = true;
+      guarded();
+      tls_in_parallel_worker = false;
+      // Notify while holding the mutex: the caller destroys `done` (stack
+      // storage) as soon as it observes pending == 0, which it can only do
+      // after this unlock — notifying outside the lock would race the
+      // destruction.
+      const std::lock_guard<std::mutex> lock(mutex);
+      --pending;
+      done.notify_one();
+    });
+  }
+  guarded();
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&pending] { return pending == 0; });
+  std::exception_ptr error = first_error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(ThreadPool::default_jobs());
+  return pool;
+}
+
+bool in_parallel_worker() noexcept { return tls_in_parallel_worker; }
+
+void parallel_chunks(const ParallelOptions& options, std::size_t count,
+                     const std::function<void(std::size_t, std::size_t)>&
+                         body) {
+  CB_CHECK(body != nullptr, "parallel_chunks needs a body");
+  if (count == 0) return;
+  const std::size_t chunk = std::max<std::size_t>(1, options.chunk);
+  const std::size_t blocks = (count + chunk - 1) / chunk;
+  if (options.threads <= 1 || blocks < 2 || tls_in_parallel_worker) {
+    body(0, count);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto participants =
+      std::min<std::size_t>(static_cast<std::size_t>(options.threads), blocks);
+  fan_out(static_cast<int>(participants) - 1, [&next, blocks, chunk, count,
+                                               &body] {
+    for (std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+         b < blocks; b = next.fetch_add(1, std::memory_order_relaxed)) {
+      body(b * chunk, std::min(count, (b + 1) * chunk));
+    }
+  });
+}
+
+void parallel_for(int jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  CB_CHECK(body != nullptr, "parallel_for needs a body");
+  jobs = ThreadPool::resolve_jobs(jobs);
+  if (jobs <= 1 || count <= 1 || tls_in_parallel_worker) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto participants =
+      std::min(static_cast<std::size_t>(jobs), count);
+  fan_out(static_cast<int>(participants) - 1, [&next, count, &body] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      body(i);
+    }
+  });
+}
+
+}  // namespace catbatch

@@ -1,0 +1,90 @@
+// Deterministic data-parallel primitives over one process-wide worker pool.
+//
+// PR 1 introduced parallel_for() for the sweep engine; every call used to
+// spin up (and join) a private ThreadPool, which priced each dispatch at
+// thread-creation cost and — worse — let concurrent subsystems multiply
+// threads: a catbatchd strand running an engine sweep would stack a fresh
+// pool on top of the service pool on top of the fuzzer pool. This header
+// centralizes the execution resources instead:
+//
+//   global_pool()     — one lazily-constructed pool, sized default_jobs()
+//                       once, shared by every parallel primitive in the
+//                       process. Subsystems with *blocking* workloads (the
+//                       service strands, which park in poll/read) keep
+//                       their own small pools; all compute fan-out lands
+//                       here, so the process thread count stays bounded by
+//                       pool sizes, not by call-site nesting.
+//   parallel_chunks() — the ParallelOptions-driven variant used by the
+//                       engine's ingest/precompute passes: [0, count) is
+//                       partitioned into fixed `chunk`-sized blocks
+//                       (independent of the worker count), the *caller*
+//                       participates in claiming blocks, and up to
+//                       threads-1 helpers are borrowed from the global
+//                       pool.
+//
+// Determinism contract (the same discipline as the sweeps): the partition
+// depends only on (count, chunk), bodies write only to their own slots,
+// and any cross-block reduction is done by the caller afterwards in fixed
+// block order — so results are bit-identical for any thread count,
+// including 1.
+//
+// Deadlock freedom: the caller always claims blocks itself, so progress
+// never depends on a pool worker being free; and a body that itself calls
+// a parallel primitive from inside a pool worker degrades to serial (a
+// thread-local in-worker flag), so borrowed workers never block on other
+// borrowed workers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace catbatch {
+
+class ThreadPool;
+
+/// Default block size for chunked parallel passes; the same grain the
+/// intra-level sweeps have always used (core/soa_graph.cpp).
+inline constexpr std::size_t kDefaultParallelChunk = 4096;
+
+/// The engine's parallelism knob, threaded through SessionOptions and the
+/// CLI/bench surfaces. `threads <= 1` means serial (the reference path all
+/// parallel results are checked against); `chunk` is the fixed partition
+/// grain — results are bit-identical for any `threads`, and `chunk` only
+/// changes the dispatch granularity, never the values.
+struct ParallelOptions {
+  int threads = 1;
+  std::size_t chunk = kDefaultParallelChunk;
+
+  ParallelOptions& with_threads(int t) {
+    threads = t;
+    return *this;
+  }
+  ParallelOptions& with_chunk(std::size_t c) {
+    chunk = c;
+    return *this;
+  }
+  [[nodiscard]] bool serial() const noexcept { return threads <= 1; }
+};
+
+/// The process-wide compute pool, constructed on first use with
+/// ThreadPool::default_jobs() workers (CATBATCH_JOBS overrides, as
+/// everywhere). Never destroyed before exit; submit-only usage (the
+/// primitives below track their own completion, so pool.wait() — which
+/// would observe other callers' tasks — is never used on it).
+[[nodiscard]] ThreadPool& global_pool();
+
+/// True while the calling thread is a global-pool worker executing a task
+/// submitted by one of the primitives in this header. Nested parallel
+/// regions test this to degrade to serial instead of deadlocking or
+/// oversubscribing.
+[[nodiscard]] bool in_parallel_worker() noexcept;
+
+/// Runs body(lo, hi) over fixed chunk-sized blocks of [0, count). The
+/// serial path (threads <= 1, fewer than two blocks, or already inside a
+/// pool worker) makes the single call body(0, count). Bodies must write
+/// only to slots they own; the first exception any body raised is
+/// rethrown on the calling thread after every helper finished.
+void parallel_chunks(const ParallelOptions& options, std::size_t count,
+                     const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace catbatch

@@ -1,6 +1,5 @@
 #include "support/thread_pool.hpp"
 
-#include <atomic>
 #include <cstdlib>
 #include <utility>
 
@@ -84,27 +83,8 @@ int ThreadPool::resolve_jobs(int requested) {
   return requested > 0 ? requested : default_jobs();
 }
 
-void parallel_for(int jobs, std::size_t count,
-                  const std::function<void(std::size_t)>& body) {
-  CB_CHECK(body != nullptr, "parallel_for needs a body");
-  jobs = ThreadPool::resolve_jobs(jobs);
-  if (jobs <= 1 || count <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
-  const auto worker_count =
-      std::min(static_cast<std::size_t>(jobs), count);
-  ThreadPool pool(static_cast<int>(worker_count));
-  std::atomic<std::size_t> next{0};
-  for (std::size_t w = 0; w < worker_count; ++w) {
-    pool.submit([&next, count, &body] {
-      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-           i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
-        body(i);
-      }
-    });
-  }
-  pool.wait();
-}
+// parallel_for() lives in support/parallel.cpp: it claims indices on the
+// calling thread plus helpers borrowed from the shared global pool, so it
+// no longer constructs a private ThreadPool per call.
 
 }  // namespace catbatch

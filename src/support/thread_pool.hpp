@@ -66,9 +66,13 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Runs body(0) ... body(count-1) on up to `jobs` workers. `jobs <= 1` (after
+/// Runs body(0) ... body(count-1) on the calling thread plus up to jobs-1
+/// helpers borrowed from the shared global pool (support/parallel.hpp) —
+/// no per-call pool construction, and the process thread count stays
+/// bounded however many subsystems fan out at once. `jobs <= 1` (after
 /// resolve_jobs for 0) executes serially on the calling thread — the
-/// reference path parallel sweeps are checked against. Indices are claimed
+/// reference path parallel sweeps are checked against; a call made from
+/// inside a pool worker also degrades to serial. Indices are claimed
 /// atomically, so each is executed exactly once; completion order is
 /// unspecified, which is why bodies must write to independent slots.
 /// Rethrows the first exception a body raised.

@@ -1,0 +1,204 @@
+// Determinism contract of the parallel ingest pipeline (ISSUE 8): the
+// parallel SoA build, the parallel criticality sweep, and parallel /
+// chunked engine ingest are bit-identical to their serial references for
+// every {threads, chunk} — same CSR arrays, same IEEE-754 criticalities,
+// same schedules on the golden corpus, same fuzz fingerprint. The
+// ParallelIngest* filter is the catbatch_tsan_parallel_ingest sanitizer
+// target.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "core/soa_graph.hpp"
+#include "instances/random_dags.hpp"
+#include "instances/streaming.hpp"
+#include "qa/fuzzer.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+constexpr int kProcs = 8;
+
+TaskGraph layered_instance(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomTaskParams params;
+  params.procs.max_procs = kProcs;
+  return random_layered_dag(rng, n, std::max<std::size_t>(2, n / 16), params);
+}
+
+void expect_same_soa(const SoaGraph& a, const SoaGraph& b) {
+  EXPECT_EQ(a.pred_offsets, b.pred_offsets);
+  EXPECT_EQ(a.pred_data, b.pred_data);
+  EXPECT_EQ(a.succ_offsets, b.succ_offsets);
+  EXPECT_EQ(a.succ_data, b.succ_data);
+  EXPECT_EQ(a.level_offsets, b.level_offsets);
+  EXPECT_EQ(a.level_order, b.level_order);
+  EXPECT_EQ(a.max_procs, b.max_procs);
+  EXPECT_EQ(a.ids_topological, b.ids_topological);
+}
+
+void expect_same_schedule(const Schedule& a, const Schedule& b) {
+  const auto ea = a.entries();
+  const auto eb = b.entries();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t k = 0; k < ea.size(); ++k) {
+    EXPECT_EQ(ea[k].id, eb[k].id) << "entry " << k;
+    EXPECT_EQ(ea[k].start, eb[k].start) << "entry " << k;
+    EXPECT_EQ(ea[k].finish, eb[k].finish) << "entry " << k;
+    EXPECT_EQ(ea[k].processors, eb[k].processors) << "entry " << k;
+    EXPECT_EQ(ea[k].width, eb[k].width) << "entry " << k;
+  }
+}
+
+TEST(ParallelIngest, SoaBuildIsThreadCountInvariant) {
+  const TaskGraph graph = layered_instance(4096, 31);
+  const SoaGraph serial = build_soa_graph(graph);
+  EXPECT_TRUE(serial.ids_topological);
+  for (const int threads : {2, 8}) {
+    for (const std::size_t chunk : {std::size_t{64}, std::size_t{4096}}) {
+      const SoaGraph par = build_soa_graph(
+          graph, /*with_names=*/false,
+          ParallelOptions{}.with_threads(threads).with_chunk(chunk));
+      expect_same_soa(serial, par);
+    }
+  }
+}
+
+TEST(ParallelIngest, CriticalitySweepIsThreadCountInvariant) {
+  const SoaGraph soa = build_soa_graph(layered_instance(4096, 32));
+  const CriticalityArrays serial = compute_criticalities(soa);
+  for (const int threads : {2, 8}) {
+    for (const std::size_t chunk : {std::size_t{16}, std::size_t{4096}}) {
+      const CriticalityArrays par = compute_criticalities(
+          soa, ParallelOptions{}.with_threads(threads).with_chunk(chunk));
+      // Bit-identical, not approximately equal: every path must do the
+      // same IEEE-754 arithmetic (the recurrence's unique fixpoint).
+      ASSERT_EQ(serial.earliest_start, par.earliest_start);
+      ASSERT_EQ(serial.earliest_finish, par.earliest_finish);
+    }
+  }
+}
+
+TEST(ParallelIngest, BfsFallbackHandlesNonTopologicalIds) {
+  // Edges from higher to lower ids force the BFS level path (the id-order
+  // fast scans require every pred < id); parallel must still match serial.
+  TaskGraph graph;
+  const TaskId sink = graph.add_task(2.0, 1);
+  const TaskId mid = graph.add_task(3.0, 2);
+  const TaskId root = graph.add_task(1.0, 1);
+  graph.add_edge(root, mid);
+  graph.add_edge(mid, sink);
+  for (std::size_t k = 0; k < 64; ++k) {
+    const TaskId leaf = graph.add_task(1.0 + static_cast<double>(k % 5), 1);
+    graph.add_edge(mid, leaf);
+  }
+  const SoaGraph serial = build_soa_graph(graph);
+  EXPECT_FALSE(serial.ids_topological);
+  const ParallelOptions par = ParallelOptions{}.with_threads(8).with_chunk(8);
+  expect_same_soa(serial, build_soa_graph(graph, false, par));
+  const CriticalityArrays a = compute_criticalities(serial);
+  const CriticalityArrays b = compute_criticalities(serial, par);
+  EXPECT_EQ(a.earliest_start, b.earliest_start);
+  EXPECT_EQ(a.earliest_finish, b.earliest_finish);
+}
+
+TEST(ParallelIngest, GoldenCorpusSchedulesMatchSerialIdentityRuns) {
+  // The golden-schedule corpus (standard_families(120, 8), seeds 7/8)
+  // replayed through the parallel SoA build + parallel engine ingest must
+  // reproduce the serial identity schedules decision-for-decision.
+  const auto families = standard_families(120, kProcs);
+  const ParallelOptions par = ParallelOptions{}.with_threads(8).with_chunk(64);
+  for (const auto& family : families) {
+    for (const std::uint64_t seed : {7u, 8u}) {
+      Rng rng(seed);
+      const TaskGraph graph = family.make(rng);
+      for (const char* name : {"catbatch", "list-fifo"}) {
+        const auto ref_sched = make_scheduler(name, graph);
+        ASSERT_NE(ref_sched, nullptr) << name;
+        const SimResult reference = simulate(graph, *ref_sched, kProcs);
+
+        const SoaGraph soa = build_soa_graph(graph, false, par);
+        SoaSource source(soa);
+        const auto par_sched = make_scheduler(name, graph);
+        const SimResult parallel =
+            simulate(source, *par_sched, kProcs, SimOptions{}.with_parallel(par));
+        ASSERT_EQ(reference.makespan, parallel.makespan)
+            << family.label << " seed=" << seed << " " << name;
+        expect_same_schedule(reference.schedule, parallel.schedule);
+      }
+    }
+  }
+}
+
+TEST(ParallelIngest, ChunkedIngestIsThreadCountInvariant) {
+  // Incremental freeze_chunk() submission (FIFO policy: CatBatch's
+  // Corollary 2 contract rejects same-instant same-category arrivals, and
+  // the property under test is the engine's, not the policy's).
+  const TaskGraph graph = layered_instance(2000, 33);
+  const SoaGraph soa = build_soa_graph(graph);
+  const auto run_chunked = [&](const ParallelOptions& par) {
+    const auto sched = make_scheduler("list-fifo", graph);
+    SessionEngine engine(*sched, kProcs,
+                         SimOptions{ScheduleMode::Counting}.with_parallel(par));
+    StreamingGraphBuilder builder;
+    std::vector<TaskId> preds;
+    for (TaskId id = 0; id < soa.size(); ++id) {
+      const auto row = soa.predecessors(id);
+      preds.assign(row.begin(), row.end());
+      (void)builder.add_task(soa.work[id], soa.procs[id], preds);
+      if (builder.pending() == 128 || id + 1 == soa.size()) {
+        (void)engine.submit(builder.freeze_chunk(), /*now=*/0.0);
+      }
+    }
+    engine.drain();
+    return engine.finish();
+  };
+  const SimResult serial = run_chunked({});
+  ValidationOptions counted;
+  counted.check_processor_sets = false;
+  EXPECT_EQ(validate_schedule(graph, serial.schedule, kProcs, counted),
+            std::nullopt);
+  for (const int threads : {2, 8}) {
+    const SimResult par =
+        run_chunked(ParallelOptions{}.with_threads(threads).with_chunk(64));
+    EXPECT_EQ(serial.makespan, par.makespan) << threads << " threads";
+    expect_same_schedule(serial.schedule, par.schedule);
+  }
+}
+
+TEST(ParallelIngest, FuzzFingerprintInvariantUnderParallelOracle) {
+  // The parallel-ingest oracle must never perturb the fuzzer's report:
+  // same instances, same fingerprint, zero findings at any thread count.
+  FuzzOptions base;
+  base.seed = 5;
+  base.iterations = 4;
+  base.generator.huge = true;
+  base.generator.max_tasks = 1200;
+  base.generator.max_procs = kProcs;
+  base.mutations = 0;
+  base.shrink = false;
+  base.oracles.scale_gate_tasks = 400;
+  const FuzzReport serial = run_fuzzer(base);
+  EXPECT_TRUE(serial.clean());
+  for (const int threads : {2, 8}) {
+    FuzzOptions options = base;
+    options.oracles.parallel =
+        ParallelOptions{}.with_threads(threads).with_chunk(256);
+    const FuzzReport par = run_fuzzer(options);
+    EXPECT_TRUE(par.clean()) << threads << " threads";
+    EXPECT_EQ(serial.instance_fingerprint, par.instance_fingerprint);
+    EXPECT_EQ(serial.iterations_run, par.iterations_run);
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

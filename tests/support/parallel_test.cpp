@@ -1,0 +1,142 @@
+// parallel_chunks() contract: the fixed block partition covers [0, count)
+// exactly once for any thread count, the serial path is one body call,
+// exceptions surface on the caller, nested regions degrade instead of
+// deadlocking, and the global pool keeps the process thread count bounded
+// (no per-call pool construction). The ParallelChunks* filter also runs
+// under the catbatch_tsan_thread_pool sanitizer target.
+#include "support/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(ParallelChunks, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10001;  // deliberately not a chunk multiple
+  for (const int threads : {1, 2, 8}) {
+    for (const std::size_t chunk : {std::size_t{64}, std::size_t{4096}}) {
+      std::vector<std::atomic<int>> hits(kCount);
+      const ParallelOptions options =
+          ParallelOptions{}.with_threads(threads).with_chunk(chunk);
+      parallel_chunks(options, kCount, [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LE(lo, hi);
+        ASSERT_LE(hi, kCount);
+        for (std::size_t i = lo; i < hi; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (std::size_t i = 0; i < kCount; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "index " << i << " threads=" << threads << " chunk=" << chunk;
+      }
+    }
+  }
+}
+
+TEST(ParallelChunks, SerialPathIsOneFullRangeCall) {
+  // threads <= 1 and fewer-than-two-blocks both take the single-call path.
+  for (const ParallelOptions options :
+       {ParallelOptions{}.with_threads(1).with_chunk(8),
+        ParallelOptions{}.with_threads(8).with_chunk(1000)}) {
+    std::vector<std::pair<std::size_t, std::size_t>> calls;
+    parallel_chunks(options, 100, [&](std::size_t lo, std::size_t hi) {
+      calls.emplace_back(lo, hi);
+    });
+    ASSERT_EQ(calls.size(), 1u);
+    EXPECT_EQ(calls.front().first, 0u);
+    EXPECT_EQ(calls.front().second, 100u);
+  }
+  // Zero count never invokes the body.
+  parallel_chunks(ParallelOptions{}.with_threads(4), 0,
+                  [](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ParallelChunks, BodyExceptionRethrownOnCaller) {
+  const ParallelOptions options =
+      ParallelOptions{}.with_threads(4).with_chunk(16);
+  EXPECT_THROW(
+      parallel_chunks(options, 1000,
+                      [&](std::size_t lo, std::size_t) {
+                        if (lo >= 512) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+  // The pool survives the exception and keeps dispatching.
+  std::atomic<int> covered{0};
+  parallel_chunks(options, 1000, [&](std::size_t lo, std::size_t hi) {
+    covered.fetch_add(static_cast<int>(hi - lo), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(covered.load(), 1000);
+}
+
+TEST(ParallelChunks, NestedRegionsDegradeWithoutDeadlock) {
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 64;
+  const ParallelOptions options =
+      ParallelOptions{}.with_threads(4).with_chunk(1);
+  std::vector<std::atomic<int>> inner_hits(kInner);
+  parallel_chunks(options, kOuter, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t o = lo; o < hi; ++o) {
+      // A body running on a borrowed pool worker must degrade its own
+      // parallel region to serial (never wait on another borrowed worker);
+      // either way the inner partition covers every index exactly once.
+      parallel_chunks(ParallelOptions{}.with_threads(4).with_chunk(8), kInner,
+                      [&](std::size_t ilo, std::size_t ihi) {
+                        for (std::size_t i = ilo; i < ihi; ++i) {
+                          inner_hits[i].fetch_add(1,
+                                                  std::memory_order_relaxed);
+                        }
+                      });
+    }
+  });
+  for (std::size_t i = 0; i < kInner; ++i) {
+    ASSERT_EQ(inner_hits[i].load(), static_cast<int>(kOuter)) << i;
+  }
+}
+
+/// Threads row of /proc/self/status, or -1 where procfs is unavailable.
+int process_thread_count() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  int threads = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "Threads: %d", &threads) == 1) break;
+  }
+  std::fclose(f);
+  return threads;
+}
+
+TEST(ParallelChunks, GlobalPoolKeepsProcessThreadCountBounded) {
+  const int before = process_thread_count();
+  if (before < 0) GTEST_SKIP() << "/proc/self/status not available";
+  // A blocking-subsystem pool (the daemon strands) coexisting with many
+  // chunked dispatches: the process gains at most that pool's workers plus
+  // the one global pool — repeated parallel_chunks calls must not stack
+  // private pools the way the per-call-ThreadPool design did.
+  ThreadPool strands(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sink{0};
+    parallel_chunks(ParallelOptions{}.with_threads(8).with_chunk(64), 4096,
+                    [&](std::size_t lo, std::size_t hi) {
+                      sink.fetch_add(static_cast<int>(hi - lo),
+                                     std::memory_order_relaxed);
+                    });
+    ASSERT_EQ(sink.load(), 4096);
+  }
+  const int after = process_thread_count();
+  ASSERT_GT(after, 0);
+  EXPECT_LE(after, before + 4 + global_pool().thread_count())
+      << "parallel_chunks dispatches must share the one global pool";
+}
+
+}  // namespace
+}  // namespace catbatch

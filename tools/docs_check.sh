@@ -152,9 +152,10 @@ fi
 
 # The perf bench's modes and gated metrics, as spelled in its usage text;
 # each must appear backquoted or verbatim in docs/BENCHMARKS.md.
-for term in "--gate" "--smoke" "--smoke-1m" "--write-baseline" \
-    "--baseline" "bytes_per_task" "speedup_vs_pre" \
-    "CATBATCH_PERF_GATE_FACTOR" "CATBATCH_PERF_GATE_MEM_FACTOR"; do
+for term in "--gate" "--smoke" "--smoke-1m" "--threads-sweep" \
+    "--write-baseline" "--baseline" "bytes_per_task" "speedup_vs_pre" \
+    "ingest_tasks_per_sec" "CATBATCH_PERF_GATE_FACTOR" \
+    "CATBATCH_PERF_GATE_MEM_FACTOR" "CATBATCH_PERF_GATE_INGEST_SPEEDUP"; do
   if ! grep -qF -- "$term" "$src/docs/BENCHMARKS.md"; then
     err "perf interface term '$term' is not documented in docs/BENCHMARKS.md"
   fi
@@ -162,7 +163,8 @@ done
 
 # DESIGN.md's engine-complexity section must describe the structures the
 # hot path actually uses (renames here mean the section went stale).
-for term in "TaskRec" "calendar" "earliest_start"; do
+for term in "TaskRec" "calendar" "earliest_start" "ParallelOptions" \
+    "freeze_chunk"; do
   if ! grep -qF -- "$term" "$src/DESIGN.md"; then
     err "DESIGN.md no longer mentions hot-path structure '$term'"
   fi
