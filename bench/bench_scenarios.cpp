@@ -1,0 +1,179 @@
+// Fault-tolerance degradation sweep: every registry algorithm under the
+// canonical scenario families (crash, sleep, noise — scenario/scenario.hpp)
+// on a fixed seeded instance, reporting the contract metrics of
+// docs/SCENARIOS.md — degradation vs the clairvoyant fault-free baseline,
+// lost-work ratio, recovery latency. Emits BENCH_scenarios.json.
+//
+// Entry points (see bench/CMakeLists.txt):
+//   (default)  full instance sizes, prints one line per (algo, family);
+//   --smoke    tiny sizes (sanitizer-safe), validates the JSON shape and
+//              feasibility of every run (the catbatch_scenario_smoke ctest
+//              gate).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/json_report.hpp"
+#include "core/graph.hpp"
+#include "scenario/runner.hpp"
+#include "sched/registry.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+constexpr int kProcs = 16;
+
+/// Seeded layered DAG for precedence-capable algorithms.
+TaskGraph layered_instance(std::size_t layers, std::size_t width,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  TaskGraph graph;
+  std::vector<TaskId> previous;
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    std::vector<TaskId> current;
+    for (std::size_t k = 0; k < width; ++k) {
+      const Time work = rng.uniform_real(0.5, 4.0);
+      const int procs = static_cast<int>(rng.uniform_int(1, kProcs / 2));
+      const TaskId id = graph.add_task(work, procs);
+      for (const TaskId pred : previous) {
+        if (rng.bernoulli(0.3)) graph.add_edge(pred, id);
+      }
+      current.push_back(id);
+    }
+    previous = std::move(current);
+  }
+  return graph;
+}
+
+/// Independent rigid tasks for the shelf packers.
+TaskGraph independent_instance(std::size_t tasks, std::uint64_t seed) {
+  Rng rng(seed);
+  TaskGraph graph;
+  for (std::size_t k = 0; k < tasks; ++k) {
+    (void)graph.add_task(rng.uniform_real(0.5, 4.0),
+                         static_cast<int>(rng.uniform_int(1, kProcs / 2)));
+  }
+  return graph;
+}
+
+struct Row {
+  std::string algo;
+  std::string family;
+  std::size_t tasks = 0;
+  ScenarioMetrics metrics;
+};
+
+std::string report_json(const std::vector<Row>& rows, const char* mode) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("scenarios");
+  w.key("schema").value(1);
+  w.key("mode").value(mode);
+  w.key("procs").value(kProcs);
+  w.key("results").begin_array();
+  for (const Row& row : rows) {
+    w.begin_object();
+    w.key("algo").value(row.algo);
+    w.key("family").value(row.family);
+    w.key("tasks").value(static_cast<std::uint64_t>(row.tasks));
+    w.key("realized_makespan").value(row.metrics.realized_makespan);
+    w.key("baseline_makespan").value(row.metrics.baseline_makespan);
+    w.key("degradation").value(row.metrics.degradation);
+    w.key("lost_work_ratio").value(row.metrics.lost_work_ratio);
+    w.key("recovery_latency").value(row.metrics.recovery_latency);
+    w.key("kills").value(static_cast<std::uint64_t>(row.metrics.kills));
+    w.key("capacity_changes")
+        .value(static_cast<std::uint64_t>(row.metrics.capacity_changes));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool json_shape_ok(const std::string& json, std::size_t expected_rows) {
+  const char* required[] = {"\"bench\"",       "\"scenarios\"",
+                            "\"results\"",     "\"degradation\"",
+                            "\"lost_work_ratio\"", "\"recovery_latency\""};
+  for (const char* token : required) {
+    if (json.find(token) == std::string::npos) {
+      std::fprintf(stderr, "BENCH_scenarios.json is missing %s\n", token);
+      return false;
+    }
+  }
+  std::size_t rows = 0;
+  for (std::size_t at = json.find("\"family\""); at != std::string::npos;
+       at = json.find("\"family\"", at + 1)) {
+    ++rows;
+  }
+  if (rows != expected_rows) {
+    std::fprintf(stderr, "BENCH_scenarios.json has %zu rows, expected %zu\n",
+                 rows, expected_rows);
+    return false;
+  }
+  return !json.empty() && json.front() == '{' && json.back() == '}';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const TaskGraph dag = smoke ? layered_instance(2, 8, 20260808)
+                              : layered_instance(4, 15, 20260808);
+  const TaskGraph independent =
+      independent_instance(smoke ? 16 : 60, 20260809);
+  const char* families[] = {"crash", "sleep", "noise"};
+
+  std::vector<Row> rows;
+  for (const SchedulerEntry& entry : scheduler_registry()) {
+    const TaskGraph& graph = entry.independent_only ? independent : dag;
+    // A scheduler-independent horizon (the area bound plus the longest
+    // task), so every algorithm faces the same script on each family.
+    const Time horizon =
+        graph.total_area() / static_cast<Time>(kProcs) + graph.max_work();
+    for (const char* family : families) {
+      const Scenario scenario =
+          make_scenario(family, kProcs, horizon, 20260810);
+      ScenarioRunOptions options;
+      options.mode = ScheduleMode::Counting;
+      const ScenarioOutcome outcome =
+          run_scenario(graph, entry.name, kProcs, scenario, options);
+      check_scenario_feasible(outcome.result, graph, scenario, kProcs);
+      Row row;
+      row.algo = entry.name;
+      row.family = family;
+      row.tasks = graph.size();
+      row.metrics = outcome.metrics;
+      std::printf(
+          "%-20s %-6s degradation=%.3f lost_work=%.3f recovery=%.3f "
+          "kills=%zu\n",
+          entry.name.c_str(), family, row.metrics.degradation,
+          row.metrics.lost_work_ratio, row.metrics.recovery_latency,
+          row.metrics.kills);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  const std::string json = report_json(rows, smoke ? "smoke" : "full");
+  const std::string path = write_bench_report("scenarios", json);
+  std::printf("wrote %s\n", path.c_str());
+
+  if (smoke) {
+    if (!json_shape_ok(json, rows.size())) return 1;
+    std::printf("smoke: BENCH_scenarios.json shape OK\n");
+  }
+  return 0;
+}

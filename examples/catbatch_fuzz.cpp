@@ -24,6 +24,7 @@
 #include "qa/corpus.hpp"
 #include "qa/fuzzer.hpp"
 #include "qa/protocol_fuzz.hpp"
+#include "qa/scenario_fuzz.hpp"
 #include "support/cli.hpp"
 
 namespace {
@@ -60,6 +61,10 @@ void print_usage(std::ostream& os) {
         "  --protocol N     fuzz the catbatchd wire protocol instead: N\n"
         "                   adversarial connection conversations against\n"
         "                   the in-process service hub\n"
+        "  --scenario N     fuzz the fault/dynamic-platform scenario layer\n"
+        "                   instead: N random (instance, scenario,\n"
+        "                   algorithm) runs checked against the scenario\n"
+        "                   contract battery (docs/SCENARIOS.md)\n"
         "  --quiet          only print the final summary line\n"
         "  --help           print this message and exit\n";
 }
@@ -76,6 +81,24 @@ bool parse_flag(const std::string& flag, const char* text,
                 std::int64_t& out) {
   return parse_flag_value("catbatch_fuzz", flag, text, min_value, max_value,
                           out);
+}
+
+int scenario_fuzz_main(std::uint64_t seed, std::size_t iterations,
+                       bool quiet) {
+  ScenarioFuzzOptions options;
+  options.seed = seed;
+  options.iterations = iterations;
+  const ScenarioFuzzReport report = run_scenario_fuzz(options);
+  if (!quiet) {
+    for (const std::string& finding : report.findings) {
+      std::cout << "FINDING " << finding << "\n";
+    }
+  }
+  std::cout << "scenario-fuzz: " << report.iterations_run << " runs, "
+            << report.kills_applied << " kills, "
+            << report.capacity_events << " capacity changes, "
+            << report.findings.size() << " finding(s)\n";
+  return report.clean() ? 0 : 1;
 }
 
 int protocol_fuzz_main(std::uint64_t seed, std::size_t iterations,
@@ -131,6 +154,7 @@ int main(int argc, char** argv) {
   FuzzOptions options;
   std::string replay_dir;
   std::size_t protocol_iters = 0;
+  std::size_t scenario_iters = 0;
   bool quiet = false;
   bool max_tasks_given = false;
   bool mutate_given = false;
@@ -182,6 +206,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--protocol" && has_value) {
       if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return 2;
       protocol_iters = static_cast<std::size_t>(value);
+    } else if (arg == "--scenario" && has_value) {
+      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return 2;
+      scenario_iters = static_cast<std::size_t>(value);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help") {
@@ -206,6 +233,9 @@ int main(int argc, char** argv) {
 
   if (protocol_iters > 0) {
     return protocol_fuzz_main(options.seed, protocol_iters, quiet);
+  }
+  if (scenario_iters > 0) {
+    return scenario_fuzz_main(options.seed, scenario_iters, quiet);
   }
   if (!replay_dir.empty()) return replay_corpus(replay_dir, quiet);
 

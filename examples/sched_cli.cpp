@@ -13,6 +13,7 @@
 // list below in --list-algos is generated, never hand-maintained. The JSON
 // instance dialect is documented in src/instances/io.hpp; export an example
 // with --emit-demo.
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -32,6 +33,8 @@
 #include "obs/metrics_export.hpp"
 #include "obs/observer.hpp"
 #include "obs/summary.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "sched/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/svg.hpp"
@@ -88,6 +91,11 @@ void print_usage(std::ostream& os) {
         "  --dot          print the instance in Graphviz DOT\n"
         "  --demo         use the paper's 11-task example instead of a file\n"
         "  --emit-demo    print the demo instance as JSON and exit\n"
+        "  --scenario FAM run the instance under a fault/dynamic-platform\n"
+        "                 scenario family (single run): one of\n"
+        "                 none | crash | sleep | noise (docs/SCENARIOS.md)\n"
+        "  --scenario-seed S  seed of the scenario script (default 1)\n"
+        "  --scenario-spec    print the scenario contract and exit\n"
         "  --trace-out FILE   write a Chrome trace_event JSON of the run\n"
         "                 (open in chrome://tracing or ui.perfetto.dev)\n"
         "  --metrics      print the engine/scheduler metrics summary\n"
@@ -142,10 +150,10 @@ std::vector<NamedScheduler> sweep_lineup(const std::string& algo,
 int main(int argc, char** argv) {
   std::string algo = "catbatch";
   std::string path, svg_path, json_path, family_label;
-  std::string trace_path, metrics_json_path;
+  std::string trace_path, metrics_json_path, scenario_family;
   int procs = 0;
   std::size_t tasks = 100, trials = 1;
-  std::uint64_t seed = 1;
+  std::uint64_t seed = 1, scenario_seed = 1;
   int jobs = 0;
   ParallelOptions parallel;
   bool gantt = false, csv = false, dot = false, demo = false,
@@ -202,6 +210,17 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (arg == "--emit-demo") {
       emit_demo = true;
+    } else if (arg == "--scenario" && k + 1 < argc) {
+      scenario_family = argv[++k];
+    } else if (arg == "--scenario-seed" && k + 1 < argc) {
+      if (!parse_flag(arg, argv[++k], 0,
+                      std::numeric_limits<std::int64_t>::max(), value)) {
+        return kExitUsage;
+      }
+      scenario_seed = static_cast<std::uint64_t>(value);
+    } else if (arg == "--scenario-spec") {
+      std::cout << scenario_contract_text();
+      return kExitOk;
     } else if (arg == "--trace-out" && k + 1 < argc) {
       trace_path = argv[++k];
     } else if (arg == "--metrics") {
@@ -215,6 +234,21 @@ int main(int argc, char** argv) {
       path = arg;
     } else {
       return usage();
+    }
+  }
+
+  if (!scenario_family.empty()) {
+    const std::vector<std::string> known = scenario_family_names();
+    if (std::find(known.begin(), known.end(), scenario_family) ==
+        known.end()) {
+      std::cerr << "sched_cli: --scenario family '" << scenario_family
+                << "' is not one of none, crash, sleep, noise\n";
+      return kExitUsage;
+    }
+    if (!family_label.empty() || trials > 1 || algo == "all") {
+      std::cerr << "sched_cli: --scenario needs a single fixed-instance run "
+                   "(no --random, --trials, or --algo all)\n";
+      return kExitUsage;
     }
   }
 
@@ -305,6 +339,56 @@ int main(int argc, char** argv) {
 
     if (dot) {
       std::cout << to_dot(graph);
+      return kExitOk;
+    }
+
+    // ---- Scenario run (fault/dynamic-platform families) ---------------
+    if (!scenario_family.empty()) {
+      if (find_scheduler(algo) == nullptr) {
+        std::cerr << "unknown algorithm '" << algo
+                  << "' (see --list-algos)\n";
+        return usage();
+      }
+      // Scheduler-independent horizon: the area bound plus the longest
+      // task, so the script does not depend on the algorithm under test.
+      const Time horizon =
+          graph.total_area() / static_cast<Time>(procs) + graph.max_work();
+      const Scenario scenario =
+          make_scenario(scenario_family, procs, horizon, scenario_seed);
+      ScenarioRunOptions scenario_options;
+      scenario_options.mode = ScheduleMode::Identity;
+      const ScenarioOutcome outcome =
+          run_scenario(graph, find_scheduler(algo)->name, procs, scenario,
+                       scenario_options);
+      check_scenario_feasible(outcome.result, graph, scenario, procs);
+      std::cerr << "algorithm   : " << find_scheduler(algo)->name << "\n"
+                << "scenario    : " << scenario_family << " (seed "
+                << scenario_seed << ")\n"
+                << "tasks       : " << graph.size() << "\n"
+                << "makespan    : "
+                << format_number(outcome.metrics.realized_makespan) << "\n"
+                << "baseline    : "
+                << format_number(outcome.metrics.baseline_makespan) << "\n"
+                << "degradation : "
+                << format_number(outcome.metrics.degradation, 3) << "\n"
+                << "lost work   : "
+                << format_number(outcome.metrics.lost_work_ratio, 3) << "\n"
+                << "recovery    : "
+                << format_number(outcome.metrics.recovery_latency, 3) << "\n"
+                << "kills       : " << outcome.metrics.kills << "\n"
+                << "capacity ev : " << outcome.metrics.capacity_changes
+                << "\n";
+      if (gantt) std::cout << ascii_gantt(graph, outcome.result.schedule, procs);
+      if (csv) std::cout << schedule_to_csv(graph, outcome.result.schedule);
+      if (!svg_path.empty()) {
+        std::ofstream out(svg_path);
+        if (!out) {
+          std::cerr << "cannot write " << svg_path << "\n";
+          return kExitRuntime;
+        }
+        out << svg_gantt(graph, outcome.result.schedule, procs);
+        std::cerr << "wrote " << svg_path << "\n";
+      }
       return kExitOk;
     }
 

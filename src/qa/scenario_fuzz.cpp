@@ -1,0 +1,140 @@
+#include "qa/scenario_fuzz.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qa/generator.hpp"
+#include "scenario/runner.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+namespace {
+
+constexpr std::size_t kMaxFindings = 16;
+
+void record(ScenarioFuzzReport& report, std::uint64_t iteration,
+            const std::string& oracle, const std::string& scheduler,
+            const std::string& detail) {
+  if (report.findings.size() >= kMaxFindings) return;
+  report.findings.push_back("[" + oracle + "] iter " +
+                            std::to_string(iteration) + " " + scheduler +
+                            ": " + detail);
+}
+
+bool same_decisions(const std::vector<Decision>& a,
+                    const std::vector<Decision>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].id != b[k].id || a[k].at != b[k].at ||
+        a[k].procs != b[k].procs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ScenarioFuzzReport run_scenario_fuzz(const ScenarioFuzzOptions& options) {
+  ScenarioFuzzReport report;
+  GeneratorOptions generator;
+  generator.max_tasks = 24;
+  generator.max_procs = 8;
+
+  const std::vector<SchedulerEntry>& registry = scheduler_registry();
+  for (std::uint64_t k = 0; k < options.iterations; ++k) {
+    Rng rng(mix_seed(options.seed, k));
+    const FuzzInstance instance = generate_instance(rng, generator);
+    const SchedulerEntry& entry = registry[rng.index(registry.size())];
+    if (entry.independent_only && instance.graph.edge_count() > 0) continue;
+    ++report.iterations_run;
+
+    // Horizon from the instance itself (area/P plus the longest task) —
+    // coarse, but it only scales the script, and random_scenario spreads
+    // events across it anyway.
+    const Time horizon =
+        instance.graph.total_area() / static_cast<Time>(instance.procs) +
+        instance.graph.max_work();
+    const Scenario scenario = random_scenario(rng, instance.procs, horizon);
+
+    ScenarioRunOptions run_options;
+    run_options.mode = ScheduleMode::Identity;
+    run_options.compute_baseline = false;
+    ScenarioOutcome simulated;
+    try {
+      simulated = run_scenario(instance.graph, entry.name, instance.procs,
+                               scenario, run_options);
+      check_scenario_feasible(simulated.result, instance.graph, scenario,
+                              instance.procs);
+    } catch (const ContractViolation& e) {
+      record(report, k, "feasibility-under-capacity", entry.name, e.what());
+      continue;
+    }
+    report.kills_applied += simulated.result.stats.kills;
+    report.capacity_events += simulated.result.stats.capacity_changes;
+
+    try {
+      // Determinism under the noise seed: a second identical run must
+      // reproduce the decision stream and makespan bit-for-bit.
+      const ScenarioOutcome again = run_scenario(
+          instance.graph, entry.name, instance.procs, scenario, run_options);
+      if (!same_decisions(simulated.decisions, again.decisions) ||
+          simulated.result.makespan != again.result.makespan) {
+        record(report, k, "determinism-under-noise-seed", entry.name,
+               "a second run diverged");
+      }
+
+      // Clock parity: the external-clock drive replays the simulated
+      // decision stream bit-for-bit.
+      ScenarioRunOptions external = run_options;
+      external.clock = SessionClock::External;
+      const ScenarioOutcome ext = run_scenario(
+          instance.graph, entry.name, instance.procs, scenario, external);
+      if (!same_decisions(simulated.decisions, ext.decisions) ||
+          simulated.result.makespan != ext.result.makespan) {
+        record(report, k, "clock-parity", entry.name,
+               "external-clock drive diverged from the simulated clock");
+      }
+
+      // No-op parity: the empty scenario is bit-identical to a plain
+      // simulate() run of the same instance.
+      const ScenarioOutcome noop =
+          run_scenario(instance.graph, entry.name, instance.procs,
+                       Scenario{}, run_options);
+      const std::unique_ptr<OnlineScheduler> plain =
+          make_scheduler(entry.name, instance.graph);
+      SimOptions sim_options;
+      sim_options.mode = ScheduleMode::Identity;
+      const SimResult direct =
+          simulate(instance.graph, *plain, instance.procs, sim_options);
+      bool match = noop.result.makespan == direct.makespan &&
+                   noop.result.schedule.size() == direct.schedule.size();
+      if (match) {
+        const auto lhs = noop.result.schedule.entries();
+        const auto rhs = direct.schedule.entries();
+        for (std::size_t i = 0; i < lhs.size(); ++i) {
+          if (lhs[i].id != rhs[i].id || lhs[i].start != rhs[i].start ||
+              lhs[i].finish != rhs[i].finish ||
+              lhs[i].processors != rhs[i].processors) {
+            match = false;
+            break;
+          }
+        }
+      }
+      if (!match) {
+        record(report, k, "no-op-parity", entry.name,
+               "the empty scenario diverged from plain simulate()");
+      }
+    } catch (const ContractViolation& e) {
+      record(report, k, "scenario-contract", entry.name, e.what());
+    }
+  }
+  return report;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,46 @@
+// Scenario fuzzing: random fault/dynamic-platform scripts (crash, sleep,
+// seeded noise — scenario/scenario.hpp's random_scenario family) applied
+// to random generator instances across the scheduler registry, checking
+// the scenario contract's own oracle battery (docs/FUZZING.md):
+//
+//   * feasibility-under-capacity — the realized schedule (final plus
+//     killed attempts) never exceeds the physical platform, respects the
+//     capacity in force at every dispatch, runs each task once for its
+//     realized work, and keeps precedence against final completions
+//     (check_scenario_feasible);
+//   * determinism-under-noise-seed — the same (instance, scenario, seed)
+//     reproduces the decision stream and makespan bit-for-bit;
+//   * clock-parity — the external-clock drive replays the simulated-clock
+//     decision stream bit-for-bit;
+//   * no-op-parity — the empty scenario is bit-identical to a plain
+//     simulate() run.
+//
+// Deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace catbatch {
+
+struct ScenarioFuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 200;  // one (instance, scenario, algorithm) each
+};
+
+struct ScenarioFuzzReport {
+  std::size_t iterations_run = 0;
+  std::size_t kills_applied = 0;
+  std::size_t capacity_events = 0;
+  /// One human-readable description per violated invariant, capped at 16
+  /// (the run that triggered it is reproducible from the seed).
+  std::vector<std::string> findings;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+[[nodiscard]] ScenarioFuzzReport run_scenario_fuzz(
+    const ScenarioFuzzOptions& options);
+
+}  // namespace catbatch

@@ -1,0 +1,615 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <initializer_list>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "sched/registry.hpp"
+#include "service/hub.hpp"
+#include "service/protocol.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+
+namespace catbatch {
+
+namespace {
+
+struct MirrorTask {
+  TaskId id = kInvalidTask;
+  Time start = 0.0;
+  Time finish = 0.0;  // start + realized work
+  int procs = 0;
+  std::uint64_t order = 0;  // dispatch ordinal across the whole run
+};
+
+/// Runner-side occupancy model: a pure function of the decision stream and
+/// the realized works, so every drive path selects identical crash victims
+/// and (under the external clock) schedules identical completions.
+class Mirror {
+ public:
+  explicit Mirror(const std::vector<Time>& works) : works_(works) {}
+
+  void on_decisions(std::span<const Decision> decisions) {
+    for (const Decision& d : decisions) {
+      running_.push_back(
+          MirrorTask{d.id, d.at, d.at + works_[d.id], d.procs, order_++});
+    }
+  }
+
+  /// Drops tasks whose completion is at or before `t` — a completion at t
+  /// beats a scenario event at t (scenario_contract_text()).
+  void settle(Time t) {
+    std::erase_if(running_,
+                  [t](const MirrorTask& m) { return m.finish <= t; });
+  }
+
+  void remove(TaskId id) {
+    std::erase_if(running_, [id](const MirrorTask& m) { return m.id == id; });
+  }
+
+  [[nodiscard]] int occupancy() const {
+    int total = 0;
+    for (const MirrorTask& m : running_) total += m.procs;
+    return total;
+  }
+
+  /// Crash victims at time `t` under new capacity `cap`: among the tasks
+  /// dispatched strictly before `t`, the most recently dispatched first,
+  /// until the surviving occupancy fits `cap`.
+  [[nodiscard]] std::vector<TaskId> crash_victims(Time t, int cap) const {
+    std::vector<const MirrorTask*> candidates;
+    for (const MirrorTask& m : running_) {
+      if (m.start < t) candidates.push_back(&m);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const MirrorTask* a, const MirrorTask* b) {
+                return a->order > b->order;
+              });
+    int occ = occupancy();
+    std::vector<TaskId> victims;
+    for (const MirrorTask* m : candidates) {
+      if (occ <= cap) break;
+      victims.push_back(m->id);
+      occ -= m->procs;
+    }
+    return victims;
+  }
+
+  /// Earliest pending completion by (finish, dispatch order) — the same
+  /// tie-break the simulated clock's internal queue applies. Nullptr when
+  /// nothing is running.
+  [[nodiscard]] const MirrorTask* next_completion() const {
+    const MirrorTask* best = nullptr;
+    for (const MirrorTask& m : running_) {
+      if (best == nullptr || m.finish < best->finish ||
+          (m.finish == best->finish && m.order < best->order)) {
+        best = &m;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] bool anything_running() const { return !running_.empty(); }
+
+  /// Start time of a running task (for lost-area bookkeeping on the
+  /// service drive, where no SimStats come back over the wire).
+  [[nodiscard]] Time start_of(TaskId id) const {
+    for (const MirrorTask& m : running_) {
+      if (m.id == id) return m.start;
+    }
+    CB_CHECK(false, "mirror has no running entry for the victim");
+    return 0.0;
+  }
+
+  [[nodiscard]] int procs_of(TaskId id) const {
+    for (const MirrorTask& m : running_) {
+      if (m.id == id) return m.procs;
+    }
+    return 0;
+  }
+
+ private:
+  const std::vector<Time>& works_;
+  std::vector<MirrorTask> running_;
+  std::uint64_t order_ = 0;
+};
+
+/// The realized per-task works (declared work x noise factor).
+std::vector<Time> realized_works(const TaskGraph& graph,
+                                 const Scenario& scenario) {
+  std::vector<Time> works(graph.size());
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    works[id] = graph.task(id).work * noise_factor(scenario, id);
+  }
+  return works;
+}
+
+/// Builds the generic-submit batch: realized execution times, declared
+/// times equal to the instance's original works when noise is on.
+std::vector<SourceTask> source_tasks(const TaskGraph& graph,
+                                     const std::vector<Time>& works,
+                                     bool noisy) {
+  std::vector<SourceTask> tasks;
+  tasks.reserve(graph.size());
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    SourceTask st;
+    st.work = works[id];
+    if (noisy) st.declared_work = graph.task(id).work;
+    st.procs = graph.task(id).procs;
+    const auto preds = graph.predecessors(id);
+    st.predecessors.assign(preds.begin(), preds.end());
+    tasks.push_back(std::move(st));
+  }
+  return tasks;
+}
+
+struct DriveResult {
+  SimResult result;
+  std::vector<Decision> decisions;
+};
+
+DriveResult drive_engine(const TaskGraph& graph,
+                         const std::string& scheduler_name, int procs,
+                         const Scenario& scenario,
+                         const std::vector<Time>& works,
+                         const ScenarioRunOptions& options) {
+  // Offline algorithms are clairvoyant about the *declared* instance: the
+  // plan is built from the original graph, and replay meets the realized
+  // times online — the standard uncertainty treatment.
+  const std::unique_ptr<OnlineScheduler> scheduler =
+      make_scheduler(scheduler_name, graph);
+  CB_CHECK(scheduler != nullptr,
+           "unknown scheduler '" + scheduler_name + "'");
+  SessionOptions engine_options;
+  engine_options.mode = options.mode;
+  engine_options.clock = options.clock;
+  SessionEngine engine(*scheduler, procs, engine_options);
+
+  Mirror mirror(works);
+  DriveResult out;
+  const auto absorb = [&](std::span<const Decision> decisions) {
+    mirror.on_decisions(decisions);
+    out.decisions.insert(out.decisions.end(), decisions.begin(),
+                         decisions.end());
+  };
+  const auto apply_event = [&](const CapacityEvent& ev) {
+    absorb(engine.set_capacity(ev.capacity, ev.at));
+    mirror.settle(ev.at);
+    if (!ev.crash) return;
+    for (const TaskId victim : mirror.crash_victims(ev.at, ev.capacity)) {
+      mirror.remove(victim);
+      absorb(engine.kill(victim, ev.at));
+    }
+  };
+
+  absorb(engine.submit(source_tasks(graph, works, scenario.has_noise()),
+                       0.0));
+
+  if (options.clock == SessionClock::Simulated) {
+    for (const CapacityEvent& ev : scenario.events) apply_event(ev);
+    while (!engine.idle()) absorb(engine.step());
+  } else {
+    // The runner owns the clock: completions come from the mirror, in the
+    // same (finish, dispatch order) sequence the simulated clock would
+    // pop, interleaved with the scenario script by time (completions first
+    // at ties).
+    std::size_t next_event = 0;
+    while (true) {
+      const MirrorTask* completion = mirror.next_completion();
+      const bool have_event = next_event < scenario.events.size();
+      if (completion == nullptr && !have_event) break;
+      if (completion != nullptr &&
+          (!have_event ||
+           completion->finish <= scenario.events[next_event].at)) {
+        const TaskId id = completion->id;
+        const Time at = completion->finish;
+        mirror.remove(id);
+        absorb(engine.advance(SessionEvent::completion(id, at)));
+      } else {
+        apply_event(scenario.events[next_event++]);
+      }
+    }
+  }
+  CB_CHECK(engine.complete(),
+           "scenario run wedged: work remains but nothing is running");
+  out.result = engine.finish();
+  return out;
+}
+
+// ---- service drive --------------------------------------------------------
+
+/// Parses one service reply that must be a "decisions" line; turns error
+/// envelopes into ContractViolations with the server's message.
+std::vector<Decision> parse_decisions_reply(const std::string& line) {
+  const std::optional<JsonValue> parsed = parse_json(line);
+  CB_CHECK(parsed.has_value(), "service reply is not valid JSON");
+  const JsonValue* type = parsed->find("type");
+  CB_CHECK(type != nullptr && type->is_string(),
+           "service reply carries no type");
+  if (type->str_v == "error") {
+    const JsonValue* message = parsed->find("message");
+    CB_CHECK(false, "service drive failed: " +
+                        (message != nullptr ? message->str_v
+                                            : std::string("(no message)")));
+  }
+  CB_CHECK(type->str_v == "decisions", "expected a decisions reply");
+  const JsonValue* array = parsed->find("decisions");
+  CB_CHECK(array != nullptr && array->is_array(),
+           "decisions reply carries no decisions array");
+  std::vector<Decision> out;
+  out.reserve(array->items.size());
+  for (const JsonValue& d : array->items) {
+    const JsonValue* task = d.find("task");
+    const JsonValue* at = d.find("at");
+    const JsonValue* procs = d.find("procs");
+    CB_CHECK(task != nullptr && at != nullptr && procs != nullptr,
+             "malformed decision in service reply");
+    out.push_back(Decision{static_cast<TaskId>(task->num_v), at->num_v,
+                           static_cast<int>(procs->num_v)});
+  }
+  return out;
+}
+
+class ServiceDriver {
+ public:
+  ServiceDriver() : conn_(hub_.open_connection()) {}
+  ~ServiceDriver() { hub_.close_connection(conn_); }
+
+  /// Sends one line, expects exactly one reply line and returns it.
+  std::string send(const std::string& line) {
+    replies_.clear();
+    hub_.handle_line(conn_, line, replies_);
+    CB_CHECK(replies_.size() == 1, "lockstep protocol must reply once");
+    return std::move(replies_.front());
+  }
+
+ private:
+  ServiceHub hub_;
+  std::uint64_t conn_;
+  std::vector<std::string> replies_;
+};
+
+std::string submit_line(const TaskGraph& graph,
+                        const std::vector<Time>& works, bool noisy) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("submit");
+  w.key("session").value("scenario");
+  w.key("tasks").begin_array();
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    w.begin_object();
+    w.key("work").value(works[id]);
+    if (noisy) w.key("declared").value(graph.task(id).work);
+    w.key("procs").value(graph.task(id).procs);
+    const auto preds = graph.predecessors(id);
+    if (!preds.empty()) {
+      w.key("preds").begin_array();
+      for (const TaskId pred : preds) {
+        w.value(static_cast<std::uint64_t>(pred));
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string simple_line(std::string_view type,
+                        std::initializer_list<std::pair<const char*, double>>
+                            numbers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value(std::string(type));
+  w.key("session").value("scenario");
+  for (const auto& [key, value] : numbers) w.key(key).value(value);
+  w.end_object();
+  return w.str();
+}
+
+DriveResult drive_service(const TaskGraph& graph,
+                          const std::string& scheduler_name, int procs,
+                          const Scenario& scenario,
+                          const std::vector<Time>& works,
+                          const ScenarioRunOptions& options) {
+  const SchedulerEntry* entry = find_scheduler(scheduler_name);
+  CB_CHECK(entry != nullptr, "unknown scheduler '" + scheduler_name + "'");
+  CB_CHECK(!(scenario.has_noise() && entry->kind == SchedulerKind::Offline),
+           "the service drive cannot express a declared/realized split for "
+           "offline algorithms (use the engine drive)");
+  const bool external = options.clock == SessionClock::External;
+
+  ServiceDriver driver;
+  (void)driver.send(R"({"type":"hello","version":1})");
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("type").value("open");
+    w.key("session").value("scenario");
+    w.key("algo").value(scheduler_name);
+    w.key("procs").value(procs);
+    w.key("mode").value(options.mode == ScheduleMode::Identity
+                            ? "identity"
+                            : "counting");
+    w.key("clock").value(external ? "external" : "simulated");
+    w.end_object();
+    (void)driver.send(w.str());
+  }
+
+  Mirror mirror(works);
+  DriveResult out;
+  Time lost_area = 0.0;
+  std::size_t kills = 0;
+  std::size_t capacity_changes = 0;
+  int capacity = procs;
+  const auto absorb = [&](std::vector<Decision> decisions) {
+    mirror.on_decisions(decisions);
+    out.decisions.insert(out.decisions.end(), decisions.begin(),
+                         decisions.end());
+  };
+  const auto apply_event = [&](const CapacityEvent& ev) {
+    absorb(parse_decisions_reply(driver.send(simple_line(
+        "capacity",
+        {{"procs", static_cast<double>(ev.capacity)}, {"at", ev.at}}))));
+    if (ev.capacity != capacity) {
+      capacity = ev.capacity;
+      ++capacity_changes;
+    }
+    mirror.settle(ev.at);
+    if (!ev.crash) return;
+    for (const TaskId victim : mirror.crash_victims(ev.at, ev.capacity)) {
+      lost_area += (ev.at - mirror.start_of(victim)) *
+                   static_cast<Time>(mirror.procs_of(victim));
+      ++kills;
+      mirror.remove(victim);
+      absorb(parse_decisions_reply(driver.send(simple_line(
+          "kill",
+          {{"task", static_cast<double>(victim)}, {"at", ev.at}}))));
+    }
+  };
+
+  absorb(parse_decisions_reply(
+      driver.send(submit_line(graph, works, scenario.has_noise()))));
+
+  if (!external) {
+    for (const CapacityEvent& ev : scenario.events) apply_event(ev);
+    absorb(parse_decisions_reply(
+        driver.send(R"({"type":"drain","session":"scenario"})")));
+    // The drain completed everything inside the engine; the mirror only
+    // hears about completions it feeds in itself (external clock) or
+    // settles at event times, so settle the rest here before the wedge
+    // check below.
+    mirror.settle(std::numeric_limits<Time>::infinity());
+  } else {
+    std::size_t next_event = 0;
+    while (true) {
+      const MirrorTask* completion = mirror.next_completion();
+      const bool have_event = next_event < scenario.events.size();
+      if (completion == nullptr && !have_event) break;
+      if (completion != nullptr &&
+          (!have_event ||
+           completion->finish <= scenario.events[next_event].at)) {
+        const TaskId id = completion->id;
+        const Time at = completion->finish;
+        mirror.remove(id);
+        absorb(parse_decisions_reply(driver.send(simple_line(
+            "complete",
+            {{"task", static_cast<double>(id)}, {"at", at}}))));
+      } else {
+        apply_event(scenario.events[next_event++]);
+      }
+    }
+  }
+
+  // Close: the "closed" line carries makespan and busy_area, the only
+  // SimResult fields that cross the wire; kills/lost area come from the
+  // runner's own bookkeeping above.
+  const std::string closed =
+      driver.send(R"({"type":"close","session":"scenario"})");
+  const std::optional<JsonValue> parsed = parse_json(closed);
+  CB_CHECK(parsed.has_value(), "close reply is not valid JSON");
+  const JsonValue* type = parsed->find("type");
+  CB_CHECK(type != nullptr && type->is_string() && type->str_v == "closed",
+           "scenario service run did not close cleanly");
+  CB_CHECK(!mirror.anything_running(),
+           "scenario run wedged: work remains but nothing is running");
+  out.result.makespan = parsed->find("makespan")->num_v;
+  out.result.stats.task_count = graph.size();
+  out.result.stats.busy_area = parsed->find("busy_area")->num_v;
+  out.result.stats.lost_area = lost_area;
+  out.result.stats.kills = kills;
+  out.result.stats.capacity_changes = capacity_changes;
+  return out;
+}
+
+ScenarioMetrics compute_metrics(const DriveResult& run,
+                                const Scenario& scenario, int procs,
+                                Time baseline) {
+  ScenarioMetrics m;
+  m.realized_makespan = run.result.makespan;
+  m.baseline_makespan = baseline;
+  m.degradation =
+      baseline > 0.0 ? run.result.makespan / baseline : 1.0;
+  const double occupied =
+      run.result.stats.busy_area + run.result.stats.lost_area;
+  m.lost_work_ratio =
+      occupied > 0.0 ? run.result.stats.lost_area / occupied : 0.0;
+  m.kills = run.result.stats.kills;
+  m.capacity_changes = run.result.stats.capacity_changes;
+
+  // Recovery latency: decisions are in dispatch order, so their times are
+  // non-decreasing and a binary search finds the first dispatch at or
+  // after each capacity restore.
+  double total_latency = 0.0;
+  std::size_t restores_hit = 0;
+  int capacity = procs;
+  for (const CapacityEvent& ev : scenario.events) {
+    const bool restore = ev.capacity > capacity;
+    capacity = ev.capacity;
+    if (!restore) continue;
+    const auto it = std::lower_bound(
+        run.decisions.begin(), run.decisions.end(), ev.at,
+        [](const Decision& d, Time t) { return d.at < t; });
+    if (it == run.decisions.end()) continue;
+    total_latency += it->at - ev.at;
+    ++restores_hit;
+  }
+  if (restores_hit > 0) {
+    m.recovery_latency = total_latency / static_cast<double>(restores_hit);
+  }
+  return m;
+}
+
+void check_scenario_script(const Scenario& scenario, int procs) {
+  Time last = -1.0;
+  for (const CapacityEvent& ev : scenario.events) {
+    CB_CHECK(ev.at >= 0.0 && ev.at > last,
+             "scenario events must be strictly increasing in time");
+    CB_CHECK(ev.capacity >= 0 && ev.capacity <= procs,
+             "scenario capacity must be within [0, platform size]");
+    last = ev.at;
+  }
+}
+
+}  // namespace
+
+TaskGraph realized_graph(const TaskGraph& graph, const Scenario& scenario) {
+  TaskGraph out;
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const Task& task = graph.task(id);
+    (void)out.add_task(task.work * noise_factor(scenario, id), task.procs,
+                       task.name);
+  }
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    for (const TaskId pred : graph.predecessors(id)) {
+      out.add_edge(pred, id);
+    }
+  }
+  return out;
+}
+
+ScenarioOutcome run_scenario(const TaskGraph& graph,
+                             const std::string& scheduler_name, int procs,
+                             const Scenario& scenario,
+                             const ScenarioRunOptions& options) {
+  CB_CHECK(procs >= 1, "scenario platform must have at least one processor");
+  check_scenario_script(scenario, procs);
+  const std::vector<Time> works = realized_works(graph, scenario);
+
+  DriveResult run =
+      options.drive == ScenarioDrive::Engine
+          ? drive_engine(graph, scheduler_name, procs, scenario, works,
+                         options)
+          : drive_service(graph, scheduler_name, procs, scenario, works,
+                          options);
+
+  Time baseline = 0.0;
+  if (options.compute_baseline) {
+    // Clairvoyant re-run on the realized trace: the same algorithm, told
+    // the true execution times, at full capacity, fault-free.
+    const TaskGraph realized = realized_graph(graph, scenario);
+    const std::unique_ptr<OnlineScheduler> scheduler =
+        make_scheduler(scheduler_name, realized);
+    CB_CHECK(scheduler != nullptr,
+             "unknown scheduler '" + scheduler_name + "'");
+    SimOptions sim_options;
+    sim_options.mode = options.mode;
+    baseline = simulate(realized, *scheduler, procs, sim_options).makespan;
+  }
+
+  ScenarioOutcome outcome;
+  outcome.metrics = compute_metrics(run, scenario, procs, baseline);
+  outcome.result = std::move(run.result);
+  outcome.decisions = std::move(run.decisions);
+  return outcome;
+}
+
+void check_scenario_feasible(const SimResult& result, const TaskGraph& graph,
+                             const Scenario& scenario, int procs) {
+  const std::size_t n = graph.size();
+  const std::span<const ScheduledTask> entries = result.schedule.entries();
+  CB_CHECK(entries.size() == n,
+           "every submitted task must run to completion exactly once");
+
+  std::vector<Time> start(n, 0.0);
+  std::vector<Time> finish(n, -1.0);
+  for (const ScheduledTask& entry : entries) {
+    CB_CHECK(entry.id < n, "schedule entry for an unknown task");
+    CB_CHECK(finish[entry.id] < 0.0, "task scheduled twice");
+    const Time work = graph.task(entry.id).work *
+                      noise_factor(scenario, entry.id);
+    CB_CHECK(entry.finish == entry.start + work,
+             "finish must equal start + the realized work");
+    CB_CHECK(entry.procs() == graph.task(entry.id).procs,
+             "entry width must match the task requirement");
+    start[entry.id] = entry.start;
+    finish[entry.id] = entry.finish;
+  }
+  for (TaskId id = 0; id < n; ++id) {
+    for (const TaskId pred : graph.predecessors(id)) {
+      CB_CHECK(start[id] >= finish[pred],
+               "precedence violated against the final completion");
+    }
+  }
+
+  // Occupancy sweep over final and killed attempts together: frees sort
+  // before allocations at equal times (completions and kills release
+  // processors before any dispatch at the same instant).
+  struct Boundary {
+    Time at;
+    bool is_start;
+    int procs;
+  };
+  std::vector<Boundary> boundaries;
+  boundaries.reserve(2 * (entries.size() + result.schedule.aborted().size()));
+  const auto add_attempt = [&](const ScheduledTask& entry) {
+    boundaries.push_back(Boundary{entry.start, true, entry.procs()});
+    boundaries.push_back(Boundary{entry.finish, false, entry.procs()});
+  };
+  for (const ScheduledTask& entry : entries) add_attempt(entry);
+  for (const ScheduledTask& entry : result.schedule.aborted()) {
+    add_attempt(entry);
+  }
+  std::sort(boundaries.begin(), boundaries.end(),
+            [](const Boundary& a, const Boundary& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return !a.is_start && b.is_start;
+            });
+  // Capacity bound for a dispatch at time t. At exactly an event time both
+  // the old and the new capacity are legitimately in force — internal
+  // events at <= t run their decision points under the old capacity before
+  // the scenario event applies (contract), while the event's own decision
+  // point and kills dispatch under the new one — so the bound there is the
+  // larger of the two.
+  const auto capacity_at = [&](Time t) {
+    int before = procs;
+    int at_event = -1;
+    for (const CapacityEvent& ev : scenario.events) {
+      if (ev.at > t) break;
+      if (ev.at == t) {
+        at_event = ev.capacity;
+        break;
+      }
+      before = ev.capacity;
+    }
+    return std::max(before, at_event);
+  };
+  int occupancy = 0;
+  for (const Boundary& b : boundaries) {
+    occupancy += b.is_start ? b.procs : -b.procs;
+    CB_CHECK(occupancy <= procs,
+             "occupancy exceeds the physical platform");
+    if (b.is_start) {
+      CB_CHECK(occupancy <= capacity_at(b.at),
+               "dispatch exceeds the effective capacity at its start time");
+    }
+  }
+  CB_CHECK(occupancy == 0, "occupancy sweep did not return to idle");
+}
+
+}  // namespace catbatch

@@ -1,0 +1,97 @@
+// Scenario runner: applies a Scenario to an (instance, algorithm, platform)
+// triple, through any of the three drive paths the repo exposes —
+//
+//   Engine/Simulated — SessionEngine with the internal clock; scenario
+//                      events are interleaved by time (the engine fires
+//                      internal events up to each event's time first);
+//   Engine/External  — SessionEngine with the caller-owned clock; the
+//                      runner schedules every completion itself from the
+//                      realized works;
+//   Service          — the catbatchd wire protocol (ServiceHub +
+//                      line-delimited JSON), exercising the `capacity` and
+//                      `kill` messages end to end.
+//
+// All three produce the same decision stream for the same inputs (pinned
+// by tests/scenario), because victim selection is a pure function of the
+// decision stream plus the realized works: the runner mirrors occupancy
+// and, at a crash, kills the most recently dispatched running tasks until
+// occupancy fits the new capacity (scenario_contract_text()).
+//
+// The runner also computes the degradation metrics of docs/SCENARIOS.md
+// against a clairvoyant baseline: the same algorithm re-run on the
+// *realized* works at full capacity with no faults.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/session.hpp"
+
+namespace catbatch {
+
+/// Degradation metrics (definitions: scenario_contract_text()).
+struct ScenarioMetrics {
+  Time realized_makespan = 0.0;
+  /// Same algorithm on the realized works, full capacity, no faults.
+  Time baseline_makespan = 0.0;
+  /// realized / baseline (1.0 for a no-op scenario by construction).
+  double degradation = 1.0;
+  /// lost area / (busy area + lost area); 0 without kills.
+  double lost_work_ratio = 0.0;
+  /// Mean over capacity restores of (first dispatch >= restore) - restore;
+  /// 0 when the scenario never restores or nothing dispatches after one.
+  double recovery_latency = 0.0;
+  std::size_t kills = 0;
+  std::size_t capacity_changes = 0;
+};
+
+enum class ScenarioDrive {
+  Engine,   // SessionEngine, clock per ScenarioRunOptions::clock
+  Service,  // catbatchd protocol lines through a ServiceHub
+};
+
+struct ScenarioRunOptions {
+  ScheduleMode mode = ScheduleMode::Counting;
+  SessionClock clock = SessionClock::Simulated;
+  ScenarioDrive drive = ScenarioDrive::Engine;
+  /// Skip the baseline re-run (metrics.baseline_makespan stays 0 and
+  /// degradation 1.0) — for fuzz loops that only need the realized run.
+  bool compute_baseline = true;
+};
+
+struct ScenarioOutcome {
+  /// The realized run. For the Service drive only `makespan` and `stats`
+  /// fields reconstructible from the wire are filled (no Schedule).
+  SimResult result;
+  /// Every decision in dispatch order, identical across drive paths.
+  std::vector<Decision> decisions;
+  ScenarioMetrics metrics;
+};
+
+/// Runs `graph` under `scheduler_name` (any registry algorithm) on `procs`
+/// processors with `scenario` applied. Throws ContractViolation on
+/// scheduler misbehavior or an infeasible scenario script (e.g. one that
+/// parks capacity at 0 forever).
+[[nodiscard]] ScenarioOutcome run_scenario(const TaskGraph& graph,
+                                           const std::string& scheduler_name,
+                                           int procs,
+                                           const Scenario& scenario,
+                                           const ScenarioRunOptions& options = {});
+
+/// The realized instance: every work multiplied by the scenario's noise
+/// factor (structure, procs and names unchanged). Returns a plain copy for
+/// noise-free scenarios.
+[[nodiscard]] TaskGraph realized_graph(const TaskGraph& graph,
+                                       const Scenario& scenario);
+
+/// Scenario-aware feasibility validation of an Engine-drive outcome:
+/// every task runs exactly once for its realized work, precedence holds
+/// against *final* finishes, total occupancy (including killed attempts)
+/// never exceeds the platform, and no dispatch exceeds the capacity in
+/// effect at its start time. Throws ContractViolation on violation.
+void check_scenario_feasible(const SimResult& result, const TaskGraph& graph,
+                             const Scenario& scenario, int procs);
+
+}  // namespace catbatch

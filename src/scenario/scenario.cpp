@@ -1,0 +1,108 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+double noise_factor(const Scenario& scenario, TaskId id) {
+  if (!scenario.has_noise()) return 1.0;
+  CB_CHECK(scenario.noise_lo > 0.0 && scenario.noise_hi >= scenario.noise_lo,
+           "noise range must satisfy 0 < lo <= hi");
+  // One throwaway generator per (seed, id): the factor depends on nothing
+  // else, so the realized instance is invariant under schedule order and
+  // submission batching.
+  Rng rng(scenario.seed ^ (0x9e3779b97f4a7c15ULL *
+                           (static_cast<std::uint64_t>(id) + 1)));
+  return rng.uniform_real(scenario.noise_lo, scenario.noise_hi);
+}
+
+std::vector<std::string> scenario_family_names() {
+  return {"none", "crash", "sleep", "noise"};
+}
+
+Scenario make_scenario(std::string_view family, int procs, Time horizon,
+                       std::uint64_t seed) {
+  CB_CHECK(procs >= 1, "scenario platform must have at least one processor");
+  CB_CHECK(horizon > 0.0, "scenario horizon must be positive");
+  Scenario s;
+  s.seed = seed;
+  const int lost = std::max(1, procs / 2);
+  if (family == "none") {
+    return s;
+  }
+  if (family == "crash") {
+    s.events.push_back(
+        CapacityEvent{0.25 * horizon, procs - lost, /*crash=*/true});
+    s.events.push_back(CapacityEvent{0.6 * horizon, procs, /*crash=*/false});
+    return s;
+  }
+  if (family == "sleep") {
+    s.events.push_back(
+        CapacityEvent{0.3 * horizon, procs - lost, /*crash=*/false});
+    s.events.push_back(CapacityEvent{0.7 * horizon, procs, /*crash=*/false});
+    return s;
+  }
+  if (family == "noise") {
+    s.noise_lo = 0.75;
+    s.noise_hi = 1.25;
+    return s;
+  }
+  CB_CHECK(false, "unknown scenario family (use none|crash|sleep|noise)");
+  return s;
+}
+
+Scenario random_scenario(Rng& rng, int procs, Time horizon) {
+  CB_CHECK(procs >= 1, "scenario platform must have at least one processor");
+  CB_CHECK(horizon > 0.0, "scenario horizon must be positive");
+  Scenario s;
+  s.seed = rng();
+  if (rng.bernoulli(0.5)) {
+    s.noise_lo = rng.uniform_real(0.5, 1.0);
+    s.noise_hi = rng.uniform_real(1.0, 1.6);
+  }
+  const int pairs = static_cast<int>(rng.uniform_int(0, 3));
+  Time t = 0.0;
+  for (int i = 0; i < pairs; ++i) {
+    // Each pair drops somewhere after the previous restore and restores
+    // full capacity strictly later, so the script always ends wide open.
+    const Time drop = t + rng.uniform_real(0.05, 0.4) * horizon;
+    const Time restore = drop + rng.uniform_real(0.05, 0.4) * horizon;
+    const int cap = static_cast<int>(rng.uniform_int(0, procs - 1));
+    s.events.push_back(CapacityEvent{drop, cap, rng.bernoulli(0.5)});
+    s.events.push_back(CapacityEvent{restore, procs, false});
+    t = restore;
+  }
+  return s;
+}
+
+std::string scenario_contract_text() {
+  // One statement per line; docs_check.sh byte-diffs docs/SCENARIOS.md
+  // against exactly this text, so edits here must be mirrored there.
+  return
+      "scenario-contract version 1\n"
+      "event capacity(procs,at): effective capacity := procs in [0,P] from"
+      " at on; bounds dispatch only; never preempts running tasks\n"
+      "event kill(task,at): victim must be running; work since start is"
+      " lost; processors free at once; victim re-enters the ready set with"
+      " resubmit set and precedence intact\n"
+      "order: internal events at times <= t fire before a scenario event at"
+      " t; a completion at t beats a kill at t\n"
+      "kill state machine: started -> killed -> ready(resubmit) -> started"
+      " -> done; successors wait for the final completion\n"
+      "crash: a crash drop kills the most recently dispatched running tasks"
+      " until the surviving occupancy fits the new capacity\n"
+      "noise: realized work = declared work * factor(seed, task), factor"
+      " uniform in [lo,hi]; same seed => bit-identical run\n"
+      "no-op: the empty scenario is bit-identical to a run without the"
+      " scenario layer, on both clocks and both schedule modes\n"
+      "metric degradation = realized makespan / baseline makespan, baseline"
+      " = same algorithm on the realized works, full capacity, no faults\n"
+      "metric lost_work_ratio = lost area / (busy area + lost area)\n"
+      "metric recovery_latency = mean over capacity restores of (first"
+      " dispatch at or after the restore - restore time)\n";
+}
+
+}  // namespace catbatch

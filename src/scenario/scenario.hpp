@@ -1,0 +1,90 @@
+// Fault-tolerance and dynamic-platform scenarios.
+//
+// A Scenario is a deterministic script of platform events — capacity drops
+// and restores (node crash/return, machine sleep/wake), task kills implied
+// by crashes, and seeded execution-time noise — applied on top of any
+// instance/scheduler pair. The semantics the engine implements (dispatch-
+// only capacity, kill/resubmit state machine, event ordering at equal
+// times, noise-seed determinism) form the *scenario contract*:
+// scenario_contract_text() below is the machine-readable statement of it,
+// and tools/docs_check.sh byte-diffs docs/SCENARIOS.md against it, so the
+// document cannot drift from the implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace catbatch {
+
+class Rng;
+
+/// One scripted change of the platform's effective capacity.
+struct CapacityEvent {
+  Time at = 0.0;
+  /// Effective platform size in [0, P] from `at` on. The bound applies to
+  /// *dispatch* only; running tasks are never preempted by the change.
+  int capacity = 0;
+  /// True marks the drop as a *crash*: tasks running at `at` are killed —
+  /// most recently dispatched first — until the surviving occupancy fits
+  /// the new capacity. False is a *sleep*: running tasks ride it out.
+  bool crash = false;
+};
+
+/// A composable scenario script. `events` must be strictly increasing in
+/// time; the last event of a script that drops capacity must restore it
+/// (factories guarantee this), or a simulated run can legitimately wedge.
+struct Scenario {
+  std::vector<CapacityEvent> events;
+  /// Realized execution time = declared work x a per-task factor drawn
+  /// uniformly from [noise_lo, noise_hi]; 1.0/1.0 turns noise off.
+  double noise_lo = 1.0;
+  double noise_hi = 1.0;
+  /// Seed of the noise draw. Same seed => bit-identical realized instance,
+  /// independent of schedule order (noise_factor is a pure function of
+  /// (seed, task id)).
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool has_noise() const {
+    return noise_lo != 1.0 || noise_hi != 1.0;
+  }
+  /// True for the empty scenario, which must be bit-identical to a run
+  /// that never heard of scenarios (the no-op parity tests pin this).
+  [[nodiscard]] bool is_noop() const { return events.empty() && !has_noise(); }
+};
+
+/// The per-task noise factor in [noise_lo, noise_hi]: a pure function of
+/// (scenario.seed, id). Returns 1.0 when the scenario has no noise.
+[[nodiscard]] double noise_factor(const Scenario& scenario, TaskId id);
+
+/// The canonical scenario families, in presentation order:
+/// "none", "crash", "sleep", "noise".
+[[nodiscard]] std::vector<std::string> scenario_family_names();
+
+/// Builds a family scenario scaled to a platform of `procs` processors and
+/// a run of roughly `horizon` time units (use the fault-free makespan or a
+/// work/P lower bound). Families:
+///   none  — the empty scenario;
+///   crash — lose half the platform at 0.25*horizon (running tasks on the
+///           lost nodes are killed), full capacity back at 0.6*horizon;
+///   sleep — half the platform sleeps over [0.3, 0.7]*horizon, running
+///           tasks ride it out;
+///   noise — no platform events; realized work = declared * U[0.75, 1.25].
+/// Throws ContractViolation for an unknown family name.
+[[nodiscard]] Scenario make_scenario(std::string_view family, int procs,
+                                     Time horizon, std::uint64_t seed);
+
+/// Random scenario for the fuzzing battery: 0-3 capacity drop/restore
+/// pairs (each randomly crash or sleep) inside [0, horizon], optional
+/// noise, always ending at full capacity. Deterministic in `rng`.
+[[nodiscard]] Scenario random_scenario(Rng& rng, int procs, Time horizon);
+
+/// The machine-readable scenario contract. Printed by
+/// `sched_cli --scenario-spec`; tools/docs_check.sh diffs the
+/// ```scenario-contract block of docs/SCENARIOS.md against it.
+[[nodiscard]] std::string scenario_contract_text();
+
+}  // namespace catbatch

@@ -17,6 +17,12 @@ void EasyBackfill::task_ready(const ReadyTask& task, Time) {
 
 void EasyBackfill::task_finished(TaskId id, Time) { running_.erase(id); }
 
+void EasyBackfill::task_killed(TaskId id, Time) {
+  // A killed task stops holding processors, so its declared finish must
+  // leave the reservation math; the resubmit reveal re-queues it FIFO.
+  running_.erase(id);
+}
+
 void EasyBackfill::select(Time now, int available_procs,
                           std::vector<TaskId>& picks) {
   int avail = available_procs;
@@ -55,8 +61,15 @@ void EasyBackfill::select(Time now, int available_procs,
     free_at_reservation += run.procs;
     reservation = run.declared_finish;
   }
-  CB_DCHECK(free_at_reservation >= head.procs,
-            "reservation accounting failed to find enough processors");
+  if (free_at_reservation < head.procs) {
+    // Only possible under reduced effective capacity (docs/SCENARIOS.md):
+    // even with every running task finished the head cannot fit, so no
+    // reservation time exists. Hold the whole queue until capacity
+    // returns — backfilling against an unknowable reservation could
+    // starve the head. Fault-free runs always find a reservation
+    // (avail + Σ running procs == P >= head.procs).
+    return;
+  }
   extra = free_at_reservation - head.procs;
 
   // Backfill pass over the rest of the queue: a job may jump ahead if it

@@ -60,6 +60,18 @@ Category CatBatchScheduler::category_for(const ReadyTask& task) {
 void CatBatchScheduler::task_ready(const ReadyTask& task, Time) {
   const Category cat = category_for(task);
 
+  // A killed member of the running batch rejoins it (docs/SCENARIOS.md):
+  // s∞ and the declared work are unchanged, so its category equals the
+  // current one, and the batch barrier simply waits for the restarted
+  // attempt — Algorithm 2 with the lost work re-appended. This is the one
+  // legitimate reveal of a non-larger category while a batch runs.
+  if (task.resubmit && current_category_.has_value() &&
+      cat.value() == current_category_->value()) {
+    current_pending_.push_back(
+        Pending{task.id, task.work, task.procs, arrivals_++});
+    return;
+  }
+
   // Corollary 2: while a batch runs, only strictly larger categories can be
   // discovered. (Holds for the exact-time model; the uncertainty extension
   // routes through RelaxedCatBatch instead.)
@@ -152,6 +164,18 @@ void CatBatchScheduler::task_finished(TaskId id, Time now) {
     history_.back().finished = now;
     current_category_.reset();  // batch complete (Algorithm 2, line 17)
   }
+}
+
+void CatBatchScheduler::task_killed(TaskId id, Time now) {
+  (void)id, (void)now;
+  if (!current_category_.has_value()) return;
+  // Only tasks of the current batch can run under strict CatBatch, so the
+  // victim occupies a current_running_ slot. The batch is deliberately NOT
+  // closed even when nothing else is pending or running: the engine
+  // re-reveals the victim immediately after this callback, and it rejoins
+  // this very batch through the resubmit path of task_ready().
+  CB_DCHECK(current_running_ > 0, "kill outside the current batch");
+  --current_running_;
 }
 
 void CatBatchScheduler::select(Time now, int available_procs,

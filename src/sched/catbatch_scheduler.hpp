@@ -71,6 +71,7 @@ class CatBatchScheduler final : public OnlineScheduler {
   void reset() override;
   void task_ready(const ReadyTask& task, Time now) override;
   void task_finished(TaskId id, Time now) override;
+  void task_killed(TaskId id, Time now) override;
   void select(Time now, int available_procs,
               std::vector<TaskId>& picks) override;
 

@@ -42,9 +42,18 @@ class ReplayScheduler final : public OnlineScheduler {
     starts_.clear();
     next_ = 0;
     ready_.clear();
+    restarts_.clear();
   }
 
   void task_ready(const ReadyTask& task, Time /*now*/) override {
+    if (task.resubmit) {
+      // The plan entry of a killed task was consumed when it first
+      // started; the monotone `next_` cursor never revisits it. Restarted
+      // attempts therefore run from a FIFO side queue instead
+      // (docs/SCENARIOS.md), dispatched as soon as they fit.
+      restarts_.push_back(Restart{task.id, task.procs});
+      return;
+    }
     if (ready_.size() <= task.id) ready_.resize(task.id + 1, 0);
     ready_[task.id] = 1;
   }
@@ -67,6 +76,18 @@ class ReplayScheduler final : public OnlineScheduler {
       ++i;
     }
     next_ = i;
+    // Killed-and-resubmitted tasks, FIFO, after the plan entries due now:
+    // stop at the first that does not fit so the restart order is stable.
+    std::size_t r = 0;
+    while (r < restarts_.size() && restarts_[r].procs <= budget) {
+      picks.push_back(restarts_[r].id);
+      budget -= restarts_[r].procs;
+      ++r;
+    }
+    if (r > 0) {
+      restarts_.erase(restarts_.begin(),
+                      restarts_.begin() + static_cast<std::ptrdiff_t>(r));
+    }
     // Safety valve: the builders above produce start times that coincide
     // with completion events, so this never fires for them — but if a
     // replayed schedule ever placed a start strictly between events, the
@@ -104,6 +125,11 @@ class ReplayScheduler final : public OnlineScheduler {
               });
   }
 
+  struct Restart {
+    TaskId id;
+    int procs;
+  };
+
   std::string name_;
   const TaskGraph* graph_;
   Builder builder_;
@@ -112,6 +138,7 @@ class ReplayScheduler final : public OnlineScheduler {
   std::vector<Entry> starts_;
   std::size_t next_ = 0;
   std::vector<char> ready_;
+  std::vector<Restart> restarts_;  // killed tasks awaiting their re-run
 };
 
 /// Decision-time metering around any scheduler: forwards every callback to
@@ -145,6 +172,10 @@ class MeteredScheduler final : public OnlineScheduler {
 
   void task_finished(TaskId id, Time now) override {
     inner_->task_finished(id, now);
+  }
+
+  void task_killed(TaskId id, Time now) override {
+    inner_->task_killed(id, now);
   }
 
   void select(Time now, int available_procs,

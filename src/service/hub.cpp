@@ -127,6 +127,10 @@ void ServiceHub::handle_line(std::uint64_t conn, std::string_view line,
     session.handle_complete(msg, out);
   } else if (type->str_v == "tick") {
     session.handle_tick(msg, out);
+  } else if (type->str_v == "capacity") {
+    session.handle_capacity(msg, out);
+  } else if (type->str_v == "kill") {
+    session.handle_kill(msg, out);
   } else if (type->str_v == "step") {
     session.handle_step(out);
   } else if (type->str_v == "drain") {

@@ -20,17 +20,23 @@ constexpr std::array<std::string_view, 3> kCompleteFields = {
     "session:string", "task:int", "at:number"};
 constexpr std::array<std::string_view, 2> kTickFields = {"session:string",
                                                          "at:number"};
+constexpr std::array<std::string_view, 3> kCapacityFields = {
+    "session:string", "procs:int", "at:number"};
+constexpr std::array<std::string_view, 3> kKillFields = {
+    "session:string", "task:int", "at:number"};
 constexpr std::array<std::string_view, 1> kSessionOnly = {"session:string"};
 constexpr std::array<std::string_view, 0> kNoFields = {};
 
 // This table *is* the accepted message set — the hub validates incoming
 // messages against it, and protocol_spec_text() renders it for docs_check.
-constexpr std::array<RequestShape, 10> kRequests = {{
+constexpr std::array<RequestShape, 12> kRequests = {{
     {"hello", kHelloFields, "welcome"},
     {"open", kOpenFields, "opened"},
     {"submit", kSubmitFields, "decisions"},
     {"complete", kCompleteFields, "decisions"},
     {"tick", kTickFields, "decisions"},
+    {"capacity", kCapacityFields, "decisions"},
+    {"kill", kKillFields, "decisions"},
     {"step", kSessionOnly, "decisions"},
     {"drain", kSessionOnly, "decisions"},
     {"query", kSessionOnly, "stats"},

@@ -86,14 +86,14 @@ void ServiceSession::handle_submit(const JsonValue& msg,
     return;
   }
 
-  Time now = engine_ != nullptr ? engine_->now() : 0.0;
+  Time now = engine_ != nullptr ? engine_->now() : pre_engine_clock_;
   if (const JsonValue* now_field = msg.find("now"); now_field != nullptr) {
     if (!finite_number(now_field)) {
       fail(out, errc::kBadMessage, name_, "'now' must be a finite number");
       return;
     }
     now = now_field->num_v;
-    if (engine_ != nullptr && now < engine_->now()) {
+    if (now < (engine_ != nullptr ? engine_->now() : pre_engine_clock_)) {
       fail(out, errc::kBadSequence, name_,
            "'now' moves the session clock backwards");
       return;
@@ -289,6 +289,16 @@ void ServiceSession::handle_tick(const JsonValue& msg,
     return;
   }
   if (engine_ == nullptr) {
+    // No engine yet (offline algorithm before its submit), but the session
+    // clock is already ticking: time must stay monotone across the whole
+    // session, so a backwards pre-engine tick is the same bad-sequence
+    // error the engine would report — not a silent clamp.
+    if (at->num_v < pre_engine_clock_) {
+      fail(out, errc::kBadSequence, name_,
+           "'at' moves the session clock backwards");
+      return;
+    }
+    pre_engine_clock_ = at->num_v;
     out.push_back(decisions_line(name_, at->num_v, {}, true));
     return;
   }
@@ -301,6 +311,87 @@ void ServiceSession::handle_tick(const JsonValue& msg,
       [&] {
         const auto decisions =
             engine_->advance(SessionEvent::tick(at->num_v));
+        emit_decisions(decisions, out);
+      },
+      out);
+}
+
+void ServiceSession::handle_capacity(const JsonValue& msg,
+                                     std::vector<std::string>& out) {
+  if (!ensure_usable(out)) return;
+  const JsonValue* procs = msg.find("procs");
+  const JsonValue* at = msg.find("at");
+  const auto cap = (procs != nullptr && procs->is_number())
+                       ? json_to_uint(procs->num_v)
+                       : std::nullopt;
+  if (!cap.has_value() || !finite_number(at)) {
+    fail(out, errc::kBadMessage, name_,
+         "'capacity' requires an integer 'procs' and a finite 'at'");
+    return;
+  }
+  if (*cap > static_cast<std::uint64_t>(procs_)) {
+    fail(out, errc::kBadMessage, name_,
+         "'procs' must be in [0, platform size]");
+    return;
+  }
+  if (engine_ == nullptr) {
+    fail(out, errc::kBadSequence, name_,
+         "'capacity' requires a submitted instance");
+    return;
+  }
+  if (at->num_v < engine_->now()) {
+    fail(out, errc::kBadSequence, name_,
+         "'at' moves the session clock backwards");
+    return;
+  }
+  guarded(
+      [&] {
+        const auto decisions =
+            engine_->set_capacity(static_cast<int>(*cap), at->num_v);
+        emit_decisions(decisions, out);
+      },
+      out);
+}
+
+void ServiceSession::handle_kill(const JsonValue& msg,
+                                 std::vector<std::string>& out) {
+  if (!ensure_usable(out)) return;
+  const JsonValue* task = msg.find("task");
+  const JsonValue* at = msg.find("at");
+  const auto id = (task != nullptr && task->is_number())
+                      ? json_to_uint(task->num_v)
+                      : std::nullopt;
+  if (!id.has_value() || !finite_number(at)) {
+    fail(out, errc::kBadMessage, name_,
+         "'kill' requires an integer 'task' and a finite 'at'");
+    return;
+  }
+  if (engine_ == nullptr || *id >= engine_->tasks_submitted()) {
+    fail(out, errc::kBadSequence, name_,
+         "kill for a task this session never submitted");
+    return;
+  }
+  if (at->num_v < engine_->now()) {
+    fail(out, errc::kBadSequence, name_,
+         "'at' moves the session clock backwards");
+    return;
+  }
+  // The victim must still be running once internal events up to 'at' have
+  // fired; under the simulated clock a completion scheduled at or before
+  // 'at' wins the race (docs/SCENARIOS.md), so check *after* catching the
+  // engine up to 'at' would be ideal — but catching up is itself an engine
+  // mutation. Instead kill only tasks running right now and let the engine
+  // contract-check the rest; the common protocol mistakes (never started,
+  // already completed externally) are caught here without poisoning.
+  if (!engine_->task_running(static_cast<TaskId>(*id))) {
+    fail(out, errc::kBadSequence, name_,
+         "kill for a task that is not running");
+    return;
+  }
+  guarded(
+      [&] {
+        const auto decisions =
+            engine_->kill(static_cast<TaskId>(*id), at->num_v);
         emit_decisions(decisions, out);
       },
       out);

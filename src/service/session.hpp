@@ -49,6 +49,13 @@ class ServiceSession {
   void handle_submit(const JsonValue& msg, std::vector<std::string>& out);
   void handle_complete(const JsonValue& msg, std::vector<std::string>& out);
   void handle_tick(const JsonValue& msg, std::vector<std::string>& out);
+  /// Capacity change ("capacity"): effective platform size in [0, procs]
+  /// from `at` on. Works on both clocks (docs/SCENARIOS.md); dispatch-only,
+  /// never preempts.
+  void handle_capacity(const JsonValue& msg, std::vector<std::string>& out);
+  /// Task kill ("kill"): the victim must be running at `at`; its partial
+  /// work is lost and it re-enters the ready set with precedence intact.
+  void handle_kill(const JsonValue& msg, std::vector<std::string>& out);
   void handle_step(std::vector<std::string>& out);
   void handle_drain(std::vector<std::string>& out);
   void handle_query(std::vector<std::string>& out);
@@ -80,6 +87,10 @@ class ServiceSession {
   std::unique_ptr<OnlineScheduler> scheduler_;
   std::unique_ptr<SessionEngine> engine_;
   bool poisoned_ = false;
+  /// Session clock before the engine exists (offline algorithm, nothing
+  /// submitted yet): monotonicity must hold across the whole session, so
+  /// pre-engine 'tick's advance this and may never move it backwards.
+  Time pre_engine_clock_ = 0.0;
 };
 
 }  // namespace catbatch

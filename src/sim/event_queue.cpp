@@ -9,8 +9,9 @@
 
 namespace catbatch {
 
-void EventQueue::push(Time at, TaskId id, SimEvent::Kind kind) {
-  const SimEvent ev{at, seq_++, id, kind};
+void EventQueue::push(Time at, TaskId id, SimEvent::Kind kind,
+                      std::uint16_t gen) {
+  const SimEvent ev{at, seq_++, id, gen, kind};
   ++size_;
   if (!calendar_) [[likely]] {
     heap_.push_back(ev);

@@ -51,6 +51,12 @@ struct SimEvent {
   Time at = 0.0;
   std::uint64_t seq = 0;  // FIFO tie-break for equal times
   TaskId id = 0;
+  /// Attempt generation of the task this event belongs to. A task kill
+  /// (sim/session.hpp) bumps the task's generation, so the completion of
+  /// the killed attempt still sits in the queue but no longer matches and
+  /// is discarded on pop. Fits in the struct's former padding — the event
+  /// stays 24 bytes.
+  std::uint16_t gen = 0;
   Kind kind = Kind::Completion;
 
   [[nodiscard]] bool before(const SimEvent& o) const noexcept {
@@ -68,8 +74,10 @@ class EventQueue {
   /// Sizes the heap-mode vector; calendar storage is sized on activation.
   void reserve(std::size_t n) { heap_.reserve(n); }
 
-  /// Enqueues an event; the queue assigns the next seq internally.
-  void push(Time at, TaskId id, SimEvent::Kind kind);
+  /// Enqueues an event; the queue assigns the next seq internally. `gen`
+  /// is the attempt generation carried back out by pop() (0 for engines
+  /// that never kill tasks).
+  void push(Time at, TaskId id, SimEvent::Kind kind, std::uint16_t gen = 0);
 
   /// Removes and returns the (at, seq)-minimum pending event.
   [[nodiscard]] SimEvent pop();

@@ -89,6 +89,30 @@ void Schedule::materialize() const {
   materialized_ = true;
 }
 
+void Schedule::supersede(TaskId id, Time at) {
+  CB_CHECK(contains(id), "cannot supersede a task that was never scheduled");
+  if (!materialized_) materialize();
+  const std::size_t ord = index_[id];
+  ScheduledTask row = std::move(entries_[ord]);
+  CB_CHECK(at >= row.start, "cannot supersede before the attempt started");
+  CB_CHECK(at <= row.finish, "cannot supersede after the attempt finished");
+  row.finish = at;
+  aborted_.push_back(std::move(row));
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(ord));
+  index_[id] = npos;
+  for (std::size_t i = ord; i < entries_.size(); ++i) {
+    index_[entries_[i].id] = i;
+  }
+  indexed_ = entries_.size();
+  makespan_ = 0.0;
+  for (const ScheduledTask& e : entries_) {
+    makespan_ = std::max(makespan_, e.finish);
+  }
+  for (const ScheduledTask& e : aborted_) {
+    makespan_ = std::max(makespan_, e.finish);
+  }
+}
+
 void Schedule::reserve(std::size_t tasks) {
   if (materialized_) {
     entries_.reserve(tasks);

@@ -83,6 +83,22 @@ class Schedule {
   /// is maintained on every add.
   [[nodiscard]] Time makespan() const noexcept { return makespan_; }
 
+  /// Aborts the recorded execution of `id` at time `at` (a task kill,
+  /// docs/SCENARIOS.md): the entry leaves the live schedule — freeing the
+  /// id for the restart attempt's add()/add_counted() — and moves to the
+  /// aborted list with its finish truncated to `at`. `at` must be within
+  /// [start, finish] of the recorded attempt. O(size) per call (ordinal
+  /// compaction + makespan rescan); kills are scenario events, never the
+  /// pristine hot path. The makespan keeps counting aborted occupancy —
+  /// the platform really was busy until the kill.
+  void supersede(TaskId id, Time at);
+
+  /// Killed attempts, in kill order: `finish` is the kill time, so
+  /// `duration()` is the lost work per attempt. Empty for fault-free runs.
+  [[nodiscard]] std::span<const ScheduledTask> aborted() const noexcept {
+    return aborted_;
+  }
+
  private:
   void add_entry(TaskId id, Time start, Time finish,
                  std::vector<int> processors, int width);
@@ -99,6 +115,8 @@ class Schedule {
   // materialization is a caching step behind a const view.
   mutable std::vector<ScheduledTask> entries_;
   mutable bool materialized_ = false;
+  // Killed attempts (supersede); never indexed, never part of entries().
+  std::vector<ScheduledTask> aborted_;
 
   // SoA columns for counted entries, parallel by ordinal; emptied by
   // materialize().

@@ -50,6 +50,14 @@ struct ReadyTask {
   /// their own finish-time tables. Derived purely from information the
   /// online model reveals, so using it never leaks future knowledge.
   Time earliest_start = 0.0;
+  /// True when this reveal is a *resubmission*: the task was started, then
+  /// killed (docs/SCENARIOS.md), its partial work was lost, and it
+  /// re-enters the ready set with the same id, work, width, and
+  /// predecessors. Schedulers that key state on "seen this id before"
+  /// (batch membership, replay plans) use this to re-admit the task
+  /// instead of treating the duplicate reveal as a protocol violation.
+  /// Always false on an engine that never kills tasks.
+  bool resubmit = false;
 };
 
 class OnlineScheduler {
@@ -75,6 +83,16 @@ class OnlineScheduler {
 
   /// A previously started task completed at time `now`.
   virtual void task_finished(TaskId id, Time now) { (void)id, (void)now; }
+
+  /// A previously started task was killed at time `now` (fault injection,
+  /// docs/SCENARIOS.md): its processors are free again, its partial work is
+  /// lost, and it did NOT complete — successors stay unreleased. The engine
+  /// immediately re-reveals the task via task_ready() with
+  /// ReadyTask::resubmit set. Schedulers that track running tasks
+  /// (batch occupancy, backfill reservations) must drop this id from that
+  /// state; the default ignores the callback, which is correct for
+  /// schedulers whose only running-state is the engine's.
+  virtual void task_killed(TaskId id, Time now) { (void)id, (void)now; }
 
   /// Decision point: append the ids of ready tasks to start *now* to
   /// `picks`. The engine clears the buffer before every call and reuses it

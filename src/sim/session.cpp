@@ -110,6 +110,7 @@ struct SessionEngine::Impl {
   Impl(OnlineScheduler& scheduler, int procs, const SessionOptions& options)
       : scheduler_(scheduler),
         procs_(procs),
+        capacity_(procs),
         counting_(options.mode == ScheduleMode::Counting),
         external_(options.clock == SessionClock::External),
         obs_(options.observer),
@@ -203,6 +204,67 @@ struct SessionEngine::Impl {
     return decisions();
   }
 
+  std::span<const Decision> set_capacity(int cap, Time at) {
+    CB_CHECK(cap >= 0 && cap <= procs_,
+             "capacity must be within [0, platform size]");
+    CB_CHECK(at >= now_, "capacity change moves the session clock backwards");
+    begin_call();
+    if (!started_) {
+      started_ = true;
+      scheduler_.reset();
+    }
+    run_internal_until(at);
+    now_ = at;
+    if (cap < procs_) faults_seen_ = true;
+    if (cap != capacity_) {
+      capacity_ = cap;
+      ++capacity_changes_;
+    }
+    // A restore may make room for waiting tasks; a drop never preempts, so
+    // the decision point is at worst a no-op select().
+    decision_point(at);
+    return decisions();
+  }
+
+  std::span<const Decision> kill_task(TaskId id, Time at) {
+    CB_CHECK(at >= now_, "kill moves the session clock backwards");
+    begin_call();
+    run_internal_until(at);
+    now_ = at;
+    CB_CHECK(id < n_, "kill for an unknown task");
+    TaskRec& rec = records_[id];
+    CB_CHECK(rec.state() & kStarted, "kill for a task never started");
+    CB_CHECK(!(rec.state() & kDone), "kill for a task already completed");
+    faults_seen_ = true;
+    ++kills_;
+    const int procs = rec.procs();
+    {
+      const ScheduledTask& entry = schedule_.entry_for(id);
+      lost_area_ += (at - entry.start) * static_cast<Time>(procs);
+      if (counting_) {
+        avail_ += procs;
+      } else {
+        pool_.release(entry.processors);
+      }
+    }
+    schedule_.supersede(id, at);
+    --running_;
+    // Invalidate the killed attempt's pending completion (Simulated clock):
+    // the event still sits in the queue, but its generation no longer
+    // matches and the pop paths discard it.
+    if (kill_gen_.size() < n_) kill_gen_.resize(n_, 0);
+    CB_CHECK(kill_gen_[id] < 0xffff, "task killed too many times");
+    ++kill_gen_[id];
+    // Back to the ready (revealed, unstarted) state: the re-reveal below
+    // re-marks kRevealed and recomputes the same deterministic s∞.
+    rec.procs_state &=
+        ~static_cast<std::uint32_t>(std::uint32_t{kRevealed} | kStarted);
+    scheduler_.task_killed(id, at);
+    reveal(id, at, /*resubmit=*/true);
+    decision_point(at);
+    return decisions();
+  }
+
   void drain() {
     CB_CHECK(!external_, "drain() requires the Simulated clock");
     while (!events_.empty()) {
@@ -228,6 +290,9 @@ struct SessionEngine::Impl {
     result.stats.decision_points = decisions_total_;
     result.stats.events = events_processed_;
     result.stats.busy_area = busy_area_;
+    result.stats.lost_area = lost_area_;
+    result.stats.kills = kills_;
+    result.stats.capacity_changes = capacity_changes_;
     result.ready_times.resize(n_);
     for (TaskId id = 0; id < n_; ++id) {
       result.ready_times[id] = records_[id].ready_time;
@@ -243,10 +308,24 @@ struct SessionEngine::Impl {
 
   void begin_call() { decisions_.clear(); }
 
+  /// True for a completion event of an attempt that was killed after the
+  /// event was queued (the kill bumped the task's generation). Zero cost
+  /// for fault-free runs: kill_gen_ stays empty until the first kill.
+  [[nodiscard]] bool stale(const SimEvent& ev) const noexcept {
+    return !kill_gen_.empty() && ev.kind == SimEvent::Kind::Completion &&
+           ev.id < kill_gen_.size() && kill_gen_[ev.id] != ev.gen;
+  }
+
+  /// Generation stamp for a completion pushed now; 0 until the first kill.
+  [[nodiscard]] std::uint16_t gen_of(TaskId id) const noexcept {
+    return id < kill_gen_.size() ? kill_gen_[id] : 0;
+  }
+
   /// One iteration of the classic event loop: pop, prefetch the next
   /// event's record, process, decide. Exactly the batch simulate() body.
   void step_one() {
     const SimEvent ev = events_.pop();
+    if (stale(ev)) return;  // killed attempt's completion: discard silently
     // Start the *next* event's record and successor row toward the cache
     // while this event is processed; at 1M+ tasks both are DRAM-cold.
     const TaskId next = events_.peek_id();
@@ -272,6 +351,7 @@ struct SessionEngine::Impl {
   void run_internal_until(Time until) {
     SimEvent ev;
     while (events_.pop_until(until, ev)) {
+      if (stale(ev)) continue;  // killed attempt's completion: discard
       ++events_processed_;
       now_ = ev.at;
       if (ev.kind == SimEvent::Kind::Completion) {
@@ -636,7 +716,7 @@ struct SessionEngine::Impl {
     }
   }
 
-  void reveal(TaskId id, Time now) {
+  void reveal(TaskId id, Time now, bool resubmit = false) {
     TaskRec& rec = records_[id];
     CB_DCHECK(!(rec.state() & kRevealed), "task revealed twice");
     rec.mark(kRevealed);
@@ -667,13 +747,22 @@ struct SessionEngine::Impl {
     rt.predecessors = preds;
     rt.name = name_of(id);
     rt.earliest_start = s_inf;
+    rt.resubmit = resubmit;
     scheduler_.task_ready(rt, now);
     if (obs_ != nullptr) obs_->on_task_ready(id, now);
   }
 
   void decision_point(Time now) {
     ++decisions_total_;
-    const int free_at_decision = counting_ ? avail_ : pool_.available();
+    // Free-at-dispatch under dynamic capacity: occupancy is bounded by the
+    // *platform* (pool_free counts against procs_), and new dispatches are
+    // additionally bounded by the effective capacity — procs_ - capacity_
+    // processors are "down" and uncountable as free. At full capacity this
+    // is exactly pool_free, bit-for-bit the fault-free engine.
+    const int pool_free = counting_ ? avail_ : pool_.available();
+    const int free_at_decision =
+        capacity_ == procs_ ? pool_free
+                            : std::max(0, pool_free - (procs_ - capacity_));
     picks_.clear();
     // Wall-clock select timing only exists when someone is listening; the
     // un-observed path stays exactly the PR 2 hot loop.
@@ -719,7 +808,9 @@ struct SessionEngine::Impl {
       }
       // External sessions hear about completions from the caller; the
       // Simulated clock schedules them itself.
-      if (!external_) events_.push(now + work, id, SimEvent::Kind::Completion);
+      if (!external_) {
+        events_.push(now + work, id, SimEvent::Kind::Completion, gen_of(id));
+      }
       decisions_.push_back(Decision{id, now, procs});
       if (obs_ != nullptr) {
         if (running_ == 0) obs_->on_busy_open(now);
@@ -730,8 +821,11 @@ struct SessionEngine::Impl {
     // Pending release events mean the platform may legitimately sit idle
     // waiting for future arrivals — and an External-clock session may
     // always receive more submissions, so the deadlock diagnosis is only
-    // decidable under the Simulated clock.
-    if (!external_) {
+    // decidable under the Simulated clock. Once a fault event (kill or
+    // reduced capacity) has touched the session, idling is likewise
+    // legitimate — the scenario driver may restore capacity later — so the
+    // per-decision diagnosis defers to drain()'s final done-count check.
+    if (!external_ && !faults_seen_) {
       CB_CHECK(running_ > 0 || !events_.empty() || done_count_ == n_,
                "scheduler deadlock: platform idle, no selection, work remains");
     }
@@ -794,6 +888,7 @@ struct SessionEngine::Impl {
 
   OnlineScheduler& scheduler_;
   int procs_;
+  int capacity_;  // effective capacity, in [0, procs_]; procs_ until faults
   bool counting_;
   bool external_;
   EngineObserver* obs_;  // null = observability off (no hook overhead)
@@ -851,6 +946,13 @@ struct SessionEngine::Impl {
   std::size_t decisions_total_ = 0;
   std::size_t events_processed_ = 0;
   Time busy_area_ = 0.0;
+  // Fault-scenario state (docs/SCENARIOS.md). All of it stays at its
+  // defaults — and costs nothing on the hot path — for fault-free runs.
+  std::vector<std::uint16_t> kill_gen_;  // per-task attempt generation
+  Time lost_area_ = 0.0;
+  std::size_t kills_ = 0;
+  std::size_t capacity_changes_ = 0;
+  bool faults_seen_ = false;  // any kill or capacity reduction so far
   Schedule schedule_;
 };
 
@@ -883,6 +985,22 @@ std::span<const Decision> SessionEngine::advance(const SessionEvent& event) {
 std::span<const Decision> SessionEngine::step() { return impl_->step(); }
 
 void SessionEngine::drain() { impl_->drain(); }
+
+std::span<const Decision> SessionEngine::set_capacity(int procs, Time at) {
+  return impl_->set_capacity(procs, at);
+}
+
+std::span<const Decision> SessionEngine::kill(TaskId id, Time at) {
+  return impl_->kill_task(id, at);
+}
+
+int SessionEngine::capacity() const { return impl_->capacity_; }
+
+bool SessionEngine::task_running(TaskId id) const {
+  if (id >= impl_->n_) return false;
+  const std::uint8_t state = impl_->records_[id].state();
+  return (state & kStarted) != 0 && (state & kDone) == 0;
+}
 
 bool SessionEngine::idle() const { return impl_->events_.empty(); }
 

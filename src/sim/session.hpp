@@ -118,6 +118,14 @@ struct SimStats {
   std::size_t events = 0;
   /// Total processor-time actually used (Σ t_i p_i over simulated tasks).
   Time busy_area = 0.0;
+  /// Processor-time thrown away by task kills (Σ over killed attempts of
+  /// (kill − start)·p). 0 for fault-free runs (docs/SCENARIOS.md).
+  Time lost_area = 0.0;
+  /// Number of task_kill events applied.
+  std::size_t kills = 0;
+  /// Number of effective capacity changes (set_capacity calls that changed
+  /// the current capacity).
+  std::size_t capacity_changes = 0;
 };
 
 struct SimResult {
@@ -220,6 +228,39 @@ class SessionEngine {
   /// Simulated clock: runs the event loop to completion — exactly the
   /// batch simulate() loop, including the scheduler-deadlock check.
   void drain();
+
+  /// Changes the platform's *effective* capacity to `procs` processors at
+  /// time `at` (node crash/return, machine sleep/wake — docs/SCENARIOS.md).
+  /// `procs` must be in [0, platform size]; `at` must be >= now(). Internal
+  /// events at or before `at` fire first; running tasks are never
+  /// preempted (occupancy may transiently exceed a reduced capacity until
+  /// they complete — the capacity bound applies to *dispatch*), and a
+  /// capacity restore immediately runs a decision point, whose decisions
+  /// are returned. Works under both clocks. At full capacity the engine is
+  /// bit-identical to one that never heard of capacity.
+  std::span<const Decision> set_capacity(int procs, Time at);
+
+  /// Kills the *running* task `id` at time `at` (docs/SCENARIOS.md): its
+  /// attempt's work is lost (SimStats::lost_area), its processors free
+  /// immediately, the schedule entry moves to Schedule::aborted(), the
+  /// scheduler hears task_killed() and then a task_ready() re-reveal with
+  /// ReadyTask::resubmit set — precedence intact, successors still wait
+  /// for the task's eventual completion. A decision point runs at `at`
+  /// (the freed processors may be re-used at once). Throws
+  /// ContractViolation for unknown / not-running / already-done tasks or a
+  /// clock moving backwards. Works under both clocks; under the Simulated
+  /// clock the killed attempt's pending completion event is discarded.
+  std::span<const Decision> kill(TaskId id, Time at);
+
+  /// The current effective capacity (== the platform size until the first
+  /// set_capacity()).
+  [[nodiscard]] int capacity() const;
+
+  /// True while `id` was started and has neither completed nor been
+  /// killed. Safe for any id (out-of-range answers false) — the service
+  /// layer uses it to reject bad kill/complete requests without tripping
+  /// an engine contract check.
+  [[nodiscard]] bool task_running(TaskId id) const;
 
   /// True when no internal events are pending.
   [[nodiscard]] bool idle() const;

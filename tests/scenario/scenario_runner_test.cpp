@@ -1,0 +1,309 @@
+// Engine-level semantics of capacity/kill events, the scenario runner's
+// drive-path parity, the degradation metrics, and — the load-bearing
+// guarantee — no-op parity: an empty scenario replays every registry
+// algorithm bit-identically to a run that never heard of scenarios, on
+// both clocks and both schedule modes.
+#include "scenario/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "scenario/scenario.hpp"
+#include "sched/registry.hpp"
+#include "service/client.hpp"
+#include "service/hub.hpp"
+#include "sim/engine.hpp"
+#include "sim/session.hpp"
+#include "support/check.hpp"
+#include "support/json_parse.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+std::vector<SourceTask> unit_tasks(std::size_t n, Time work, int procs) {
+  std::vector<SourceTask> tasks(n);
+  for (SourceTask& task : tasks) {
+    task.work = work;
+    task.procs = procs;
+  }
+  return tasks;
+}
+
+/// Small seeded layered DAG shared by the parity suites.
+TaskGraph parity_dag(std::uint64_t seed) {
+  Rng rng(seed);
+  TaskGraph graph;
+  std::vector<TaskId> previous;
+  for (int layer = 0; layer < 3; ++layer) {
+    std::vector<TaskId> current;
+    for (int k = 0; k < 4; ++k) {
+      const TaskId id = graph.add_task(rng.uniform_real(0.5, 3.0),
+                                       static_cast<int>(rng.uniform_int(1, 3)));
+      for (const TaskId pred : previous) {
+        if (rng.bernoulli(0.4)) graph.add_edge(pred, id);
+      }
+      current.push_back(id);
+    }
+    previous = std::move(current);
+  }
+  return graph;
+}
+
+TaskGraph parity_independent(std::uint64_t seed) {
+  Rng rng(seed);
+  TaskGraph graph;
+  for (int k = 0; k < 10; ++k) {
+    (void)graph.add_task(rng.uniform_real(0.5, 3.0),
+                         static_cast<int>(rng.uniform_int(1, 3)));
+  }
+  return graph;
+}
+
+// ---- engine semantics -----------------------------------------------------
+
+TEST(ScenarioEngine, KillLosesWorkAndRedispatchesTheTask) {
+  const auto scheduler = make_scheduler("list-fifo");
+  SessionEngine engine(*scheduler, 2);
+  (void)engine.submit(unit_tasks(1, 4.0, 1), 0.0);
+  ASSERT_TRUE(engine.task_running(0));
+
+  const auto redispatch = engine.kill(0, 1.0);
+  ASSERT_EQ(redispatch.size(), 1u);  // the resubmitted task restarts at once
+  EXPECT_EQ(redispatch[0].id, 0u);
+  EXPECT_DOUBLE_EQ(redispatch[0].at, 1.0);
+
+  engine.drain();
+  const SimResult result = engine.finish();
+  EXPECT_DOUBLE_EQ(result.makespan, 5.0);  // 1 lost + 4 redone
+  EXPECT_EQ(result.stats.kills, 1u);
+  EXPECT_DOUBLE_EQ(result.stats.lost_area, 1.0);
+  ASSERT_EQ(result.schedule.aborted().size(), 1u);
+  EXPECT_DOUBLE_EQ(result.schedule.aborted()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule.aborted()[0].finish, 1.0);
+}
+
+TEST(ScenarioEngine, CapacityBoundsDispatchButNeverPreempts) {
+  const auto scheduler = make_scheduler("list-fifo");
+  SessionEngine engine(*scheduler, 2);
+  EXPECT_EQ(engine.capacity(), 2);
+  (void)engine.set_capacity(1, 0.0);
+  const auto at_zero = engine.submit(unit_tasks(2, 2.0, 1), 0.0);
+  ASSERT_EQ(at_zero.size(), 1u);  // one slot under the reduced capacity
+
+  // The restore runs a decision point; the waiting task starts there.
+  const auto restored = engine.set_capacity(2, 1.0);
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].id, 1u);
+  EXPECT_DOUBLE_EQ(restored[0].at, 1.0);
+
+  engine.drain();
+  const SimResult result = engine.finish();
+  EXPECT_DOUBLE_EQ(result.makespan, 3.0);
+  EXPECT_EQ(result.stats.kills, 0u);  // a sleep kills nothing
+  EXPECT_EQ(result.stats.capacity_changes, 2u);
+}
+
+TEST(ScenarioEngine, CompletionAtTheKillInstantWins) {
+  const auto scheduler = make_scheduler("list-fifo");
+  SessionEngine engine(*scheduler, 1);
+  (void)engine.submit(unit_tasks(1, 2.0, 1), 0.0);
+  // Internal events at or before the kill time fire first, so the task is
+  // already done when the kill lands — an engine-contract error the
+  // service layer pre-screens with task_running().
+  EXPECT_THROW((void)engine.kill(0, 2.0), ContractViolation);
+}
+
+TEST(ScenarioEngine, CapacityCannotExceedThePlatformOrRewindTime) {
+  const auto scheduler = make_scheduler("list-fifo");
+  SessionEngine engine(*scheduler, 2);
+  (void)engine.submit(unit_tasks(1, 1.0, 1), 0.0);
+  EXPECT_THROW((void)engine.set_capacity(3, 0.0), ContractViolation);
+  (void)engine.set_capacity(1, 0.5);
+  EXPECT_THROW((void)engine.set_capacity(2, 0.25), ContractViolation);
+}
+
+// ---- runner metrics -------------------------------------------------------
+
+TEST(ScenarioRunner, CrashScenarioReportsDegradationAndLostWork) {
+  const TaskGraph graph = parity_dag(11);
+  const Time horizon = graph.total_area() / 4.0 + graph.max_work();
+  const Scenario scenario = make_scenario("crash", 4, horizon, 5);
+  const ScenarioOutcome outcome = run_scenario(graph, "list-fifo", 4, scenario);
+  check_scenario_feasible(outcome.result, graph, scenario, 4);
+
+  EXPECT_EQ(outcome.metrics.capacity_changes, 2u);
+  EXPECT_GE(outcome.metrics.degradation, 1.0);
+  EXPECT_GT(outcome.metrics.baseline_makespan, 0.0);
+  EXPECT_GE(outcome.metrics.recovery_latency, 0.0);
+  if (outcome.metrics.kills > 0) {
+    EXPECT_GT(outcome.metrics.lost_work_ratio, 0.0);
+  }
+}
+
+TEST(ScenarioRunner, NoiseRealizesTheDeclaredInstanceDeterministically) {
+  const TaskGraph graph = parity_dag(12);
+  Scenario scenario;
+  scenario.noise_lo = 0.8;
+  scenario.noise_hi = 1.2;
+  scenario.seed = 3;
+  const TaskGraph realized = realized_graph(graph, scenario);
+  ASSERT_EQ(realized.size(), graph.size());
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    EXPECT_DOUBLE_EQ(realized.task(id).work,
+                     graph.task(id).work * noise_factor(scenario, id));
+    EXPECT_EQ(realized.task(id).procs, graph.task(id).procs);
+  }
+  // And the runner's outcome is reproducible bit-for-bit.
+  const ScenarioOutcome a = run_scenario(graph, "catbatch", 4, scenario);
+  const ScenarioOutcome b = run_scenario(graph, "catbatch", 4, scenario);
+  EXPECT_EQ(a.result.makespan, b.result.makespan);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t k = 0; k < a.decisions.size(); ++k) {
+    EXPECT_EQ(a.decisions[k].id, b.decisions[k].id);
+    EXPECT_EQ(a.decisions[k].at, b.decisions[k].at);
+    EXPECT_EQ(a.decisions[k].procs, b.decisions[k].procs);
+  }
+}
+
+// ---- no-op golden parity --------------------------------------------------
+
+void expect_noop_parity(const TaskGraph& graph, const std::string& algo,
+                        int procs, ScheduleMode mode, SessionClock clock) {
+  ScenarioRunOptions options;
+  options.mode = mode;
+  options.clock = clock;
+  options.compute_baseline = false;
+  const ScenarioOutcome outcome =
+      run_scenario(graph, algo, procs, Scenario{}, options);
+
+  const auto plain = make_scheduler(algo, graph);
+  SimOptions sim_options;
+  sim_options.mode = mode;
+  const SimResult direct = simulate(graph, *plain, procs, sim_options);
+
+  const char* label = clock == SessionClock::Simulated ? "sim" : "ext";
+  EXPECT_EQ(outcome.result.makespan, direct.makespan) << algo << "/" << label;
+  const auto lhs = outcome.result.schedule.entries();
+  const auto rhs = direct.schedule.entries();
+  ASSERT_EQ(lhs.size(), rhs.size()) << algo << "/" << label;
+  for (std::size_t k = 0; k < lhs.size(); ++k) {
+    EXPECT_EQ(lhs[k].id, rhs[k].id) << algo << "/" << label;
+    EXPECT_EQ(lhs[k].start, rhs[k].start) << algo << "/" << label;
+    EXPECT_EQ(lhs[k].finish, rhs[k].finish) << algo << "/" << label;
+    EXPECT_EQ(lhs[k].processors, rhs[k].processors) << algo << "/" << label;
+  }
+}
+
+TEST(ScenarioRunner, NoopScenarioIsBitIdenticalForEveryRegistryAlgorithm) {
+  const TaskGraph dag = parity_dag(7);
+  const TaskGraph independent = parity_independent(8);
+  for (const SchedulerEntry& entry : scheduler_registry()) {
+    const TaskGraph& graph = entry.independent_only ? independent : dag;
+    for (const ScheduleMode mode :
+         {ScheduleMode::Identity, ScheduleMode::Counting}) {
+      expect_noop_parity(graph, entry.name, 4, mode,
+                         SessionClock::Simulated);
+      expect_noop_parity(graph, entry.name, 4, mode,
+                         SessionClock::External);
+    }
+  }
+}
+
+// ---- drive parity ---------------------------------------------------------
+
+TEST(ScenarioRunner, ServiceDriveMatchesTheEngineDrive) {
+  const TaskGraph graph = parity_dag(21);
+  const Time horizon = graph.total_area() / 4.0 + graph.max_work();
+  const Scenario scenario = make_scenario("crash", 4, horizon, 9);
+  for (const std::string algo : {"catbatch", "list-fifo", "easy-backfill"}) {
+    for (const SessionClock clock :
+         {SessionClock::Simulated, SessionClock::External}) {
+      ScenarioRunOptions engine_options;
+      engine_options.clock = clock;
+      engine_options.compute_baseline = false;
+      const ScenarioOutcome via_engine =
+          run_scenario(graph, algo, 4, scenario, engine_options);
+
+      ScenarioRunOptions service_options = engine_options;
+      service_options.drive = ScenarioDrive::Service;
+      const ScenarioOutcome via_service =
+          run_scenario(graph, algo, 4, scenario, service_options);
+
+      EXPECT_EQ(via_engine.result.makespan, via_service.result.makespan)
+          << algo;
+      ASSERT_EQ(via_engine.decisions.size(), via_service.decisions.size())
+          << algo;
+      for (std::size_t k = 0; k < via_engine.decisions.size(); ++k) {
+        EXPECT_EQ(via_engine.decisions[k].id, via_service.decisions[k].id);
+        EXPECT_EQ(via_engine.decisions[k].at, via_service.decisions[k].at);
+        EXPECT_EQ(via_engine.decisions[k].procs,
+                  via_service.decisions[k].procs);
+      }
+      EXPECT_EQ(via_engine.metrics.kills, via_service.metrics.kills) << algo;
+    }
+  }
+}
+
+TEST(ScenarioRunner, ServiceDriveRejectsNoiseForOfflineAlgorithms) {
+  const TaskGraph graph = parity_dag(22);
+  Scenario scenario;
+  scenario.noise_lo = 0.9;
+  scenario.noise_hi = 1.1;
+  scenario.seed = 1;
+  ScenarioRunOptions options;
+  options.drive = ScenarioDrive::Service;
+  EXPECT_THROW((void)run_scenario(graph, "rank", 4, scenario, options),
+               ContractViolation);
+}
+
+// ---- concurrent scenario sessions (the catbatch_tsan_scenario filter) -----
+
+TEST(ScenarioConcurrent, ManyConnectionsDriveFaultSessionsOnOneHub) {
+  ServiceHub hub;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::atomic<int> failures{0};
+
+  const auto worker = [&hub, &failures](int /*who*/) {
+    HubClient client(hub);
+    const auto ok = [&](const std::string& line, const char* expect) {
+      const std::string reply = client.request(line);
+      if (reply.find(expect) == std::string::npos) {
+        failures.fetch_add(1);
+      }
+    };
+    ok(R"({"type":"hello","version":1})", "welcome");
+    for (int round = 0; round < kRounds; ++round) {
+      ok(R"({"type":"open","session":"s","algo":"list-fifo","procs":4})",
+         "opened");
+      ok(R"({"type":"submit","session":"s","tasks":[{"work":2.0},)"
+         R"({"work":2.0},{"work":2.0},{"work":2.0}]})",
+         "decisions");
+      ok(R"({"type":"capacity","session":"s","procs":2,"at":0.5})",
+         "decisions");
+      ok(R"({"type":"kill","session":"s","task":0,"at":1.0})", "decisions");
+      ok(R"({"type":"capacity","session":"s","procs":4,"at":1.5})",
+         "decisions");
+      ok(R"({"type":"drain","session":"s"})", "decisions");
+      ok(R"({"type":"close","session":"s"})", "closed");
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every client closed its connection on destruction.
+  EXPECT_EQ(hub.connection_count(), 0u);
+}
+
+}  // namespace
+}  // namespace catbatch

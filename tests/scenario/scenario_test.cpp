@@ -1,0 +1,128 @@
+// Unit tests for the scenario scripts themselves (src/scenario/scenario.hpp):
+// the family factories, the noise-factor purity guarantee, the random
+// scenario generator's well-formedness, and the contract text the docs
+// gate byte-diffs against docs/SCENARIOS.md.
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(Scenario, EmptyScenarioIsANoop) {
+  const Scenario scenario;
+  EXPECT_TRUE(scenario.is_noop());
+  EXPECT_FALSE(scenario.has_noise());
+  EXPECT_EQ(noise_factor(scenario, 0), 1.0);
+  EXPECT_EQ(noise_factor(scenario, 41), 1.0);
+}
+
+TEST(Scenario, NoiseFactorIsAPureFunctionOfSeedAndId) {
+  Scenario scenario;
+  scenario.noise_lo = 0.5;
+  scenario.noise_hi = 1.5;
+  scenario.seed = 77;
+  EXPECT_TRUE(scenario.has_noise());
+  for (TaskId id = 0; id < 64; ++id) {
+    const double factor = noise_factor(scenario, id);
+    EXPECT_GE(factor, scenario.noise_lo);
+    EXPECT_LE(factor, scenario.noise_hi);
+    // Pure: the same (seed, id) answers the same factor, in any order.
+    EXPECT_EQ(factor, noise_factor(scenario, id));
+  }
+  // Different seeds draw different realized instances (overwhelmingly).
+  Scenario other = scenario;
+  other.seed = 78;
+  int diffs = 0;
+  for (TaskId id = 0; id < 64; ++id) {
+    if (noise_factor(scenario, id) != noise_factor(other, id)) ++diffs;
+  }
+  EXPECT_GT(diffs, 32);
+}
+
+TEST(Scenario, FamilyNamesArePinned) {
+  const auto names = scenario_family_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "none");
+  EXPECT_EQ(names[1], "crash");
+  EXPECT_EQ(names[2], "sleep");
+  EXPECT_EQ(names[3], "noise");
+}
+
+TEST(Scenario, CrashFamilyDropsKillsAndRestores) {
+  const Scenario scenario = make_scenario("crash", 8, 10.0, 1);
+  ASSERT_EQ(scenario.events.size(), 2u);
+  EXPECT_FALSE(scenario.has_noise());
+  EXPECT_DOUBLE_EQ(scenario.events[0].at, 2.5);
+  EXPECT_EQ(scenario.events[0].capacity, 4);
+  EXPECT_TRUE(scenario.events[0].crash);
+  EXPECT_DOUBLE_EQ(scenario.events[1].at, 6.0);
+  EXPECT_EQ(scenario.events[1].capacity, 8);  // always back to full
+}
+
+TEST(Scenario, SleepFamilyNeverKills) {
+  const Scenario scenario = make_scenario("sleep", 8, 10.0, 1);
+  ASSERT_EQ(scenario.events.size(), 2u);
+  EXPECT_FALSE(scenario.events[0].crash);
+  EXPECT_FALSE(scenario.events[1].crash);
+  EXPECT_EQ(scenario.events[1].capacity, 8);
+}
+
+TEST(Scenario, NoiseFamilyHasNoPlatformEvents) {
+  const Scenario scenario = make_scenario("noise", 8, 10.0, 1);
+  EXPECT_TRUE(scenario.events.empty());
+  EXPECT_DOUBLE_EQ(scenario.noise_lo, 0.75);
+  EXPECT_DOUBLE_EQ(scenario.noise_hi, 1.25);
+  EXPECT_FALSE(scenario.is_noop());
+
+  const Scenario none = make_scenario("none", 8, 10.0, 1);
+  EXPECT_TRUE(none.is_noop());
+}
+
+TEST(Scenario, UnknownFamilyThrows) {
+  EXPECT_THROW((void)make_scenario("bogus", 8, 10.0, 1), ContractViolation);
+}
+
+TEST(Scenario, RandomScenariosAreWellFormedScripts) {
+  Rng rng(9);
+  for (int k = 0; k < 200; ++k) {
+    const int procs = static_cast<int>(rng.uniform_int(1, 12));
+    const Scenario scenario = random_scenario(rng, procs, 20.0);
+    Time last = -1.0;
+    for (const CapacityEvent& event : scenario.events) {
+      EXPECT_GT(event.at, last);  // strictly increasing
+      EXPECT_GE(event.capacity, 0);
+      EXPECT_LE(event.capacity, procs);
+      last = event.at;
+    }
+    if (!scenario.events.empty()) {
+      EXPECT_EQ(scenario.events.back().capacity, procs);  // ends restored
+    }
+    if (scenario.has_noise()) {
+      EXPECT_GT(scenario.noise_lo, 0.0);
+      EXPECT_GE(scenario.noise_hi, scenario.noise_lo);
+    }
+  }
+}
+
+TEST(Scenario, ContractTextIsVersionedAndComplete) {
+  const std::string text = scenario_contract_text();
+  EXPECT_EQ(text.rfind("scenario-contract version 1\n", 0), 0u);
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 11);
+  for (const char* term :
+       {"event capacity", "event kill", "kill state machine", "crash:",
+        "noise:", "no-op:", "metric degradation", "metric lost_work_ratio",
+        "metric recovery_latency"}) {
+    EXPECT_NE(text.find(term), std::string::npos) << term;
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

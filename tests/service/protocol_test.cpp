@@ -44,6 +44,10 @@ TEST(Protocol, RequestShapeLookup) {
   EXPECT_EQ(find_request_shape("hello")->reply, "welcome");
   ASSERT_NE(find_request_shape("submit"), nullptr);
   EXPECT_EQ(find_request_shape("submit")->reply, "decisions");
+  ASSERT_NE(find_request_shape("capacity"), nullptr);
+  EXPECT_EQ(find_request_shape("capacity")->reply, "decisions");
+  ASSERT_NE(find_request_shape("kill"), nullptr);
+  EXPECT_EQ(find_request_shape("kill")->reply, "decisions");
   EXPECT_EQ(find_request_shape("no-such-type"), nullptr);
   EXPECT_EQ(find_request_shape(""), nullptr);
 
@@ -52,7 +56,7 @@ TEST(Protocol, RequestShapeLookup) {
     EXPECT_TRUE(types.insert(shape.type).second)
         << "duplicate shape " << shape.type;
   }
-  EXPECT_EQ(types.size(), 10u);
+  EXPECT_EQ(types.size(), 12u);
 }
 
 TEST(Protocol, ErrorCodesAreDistinct) {

@@ -300,6 +300,112 @@ TEST(ServiceSessionProtocol, IndependentOnlyPackersRejectEdges) {
             "closed");
 }
 
+TEST(ServiceSessionProtocol, CapacityAndKillFlow) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  ask(client, R"({"type":"open","session":"f","algo":"list-fifo",)"
+              R"("procs":2})");
+  const JsonValue d0 = ask(
+      client, R"({"type":"submit","session":"f","tasks":)"
+              R"([{"work":2.0},{"work":2.0},{"work":2.0}]})");
+  ASSERT_EQ(type_of(d0), "decisions");
+  ASSERT_EQ(d0.find("decisions")->items.size(), 2u);
+
+  // A sleep: nothing dispatches into the reduced slot, nothing dies.
+  const JsonValue narrowed = ask(
+      client, R"({"type":"capacity","session":"f","procs":1,"at":0.5})");
+  ASSERT_EQ(type_of(narrowed), "decisions");
+  EXPECT_TRUE(narrowed.find("decisions")->items.empty());
+
+  // A kill: the running task 0 loses its work and rejoins the ready set.
+  const JsonValue killed = ask(
+      client, R"({"type":"kill","session":"f","task":0,"at":1.0})");
+  ASSERT_EQ(type_of(killed), "decisions");
+
+  const JsonValue restored = ask(
+      client, R"({"type":"capacity","session":"f","procs":2,"at":1.5})");
+  ASSERT_EQ(type_of(restored), "decisions");
+
+  ask(client, R"({"type":"drain","session":"f"})");
+  const JsonValue closed = ask(client, R"({"type":"close","session":"f"})");
+  ASSERT_EQ(type_of(closed), "closed");
+  EXPECT_GT(closed.find("makespan")->num_v, 2.0);  // the kill cost time
+  EXPECT_EQ(closed.find("tasks")->num_v, 3.0);
+}
+
+TEST(ServiceSessionProtocol, CapacityAndKillValidation) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  // Offline algorithms have no engine until their one submission, so
+  // platform events have nothing to act on yet: bad-sequence.
+  ask(client, R"({"type":"open","session":"w","algo":"rank","procs":2})");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"capacity","session":"w",)"
+                                R"("procs":1,"at":0.0})")),
+            "bad-sequence");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"kill","session":"w",)"
+                                R"("task":0,"at":0.0})")),
+            "bad-sequence");
+  // Online sessions build their engine at open; a kill before any task
+  // exists is still a sequence error.
+  ask(client, R"({"type":"open","session":"v","algo":"list-fifo",)"
+              R"("procs":2})");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"kill","session":"v",)"
+                                R"("task":0,"at":0.0})")),
+            "bad-sequence");
+  ask(client, R"({"type":"submit","session":"v","tasks":)"
+              R"([{"work":4.0},{"work":4.0},{"work":4.0}]})");
+  // Above the platform size is a message error, not a sequence error.
+  EXPECT_EQ(code_of(ask(client, R"({"type":"capacity","session":"v",)"
+                                R"("procs":3,"at":0.5})")),
+            "bad-message");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"kill","session":"v",)"
+                                R"("task":9,"at":0.5})")),
+            "bad-sequence");  // never submitted
+  EXPECT_EQ(code_of(ask(client, R"({"type":"kill","session":"v",)"
+                                R"("task":2,"at":0.5})")),
+            "bad-sequence");  // submitted but waiting, not running
+  ask(client, R"({"type":"capacity","session":"v","procs":1,"at":1.0})");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"capacity","session":"v",)"
+                                R"("procs":2,"at":0.5})")),
+            "bad-sequence");  // clock backwards
+  // None of the rejections poisoned the session.
+  ask(client, R"({"type":"capacity","session":"v","procs":2,"at":1.5})");
+  ask(client, R"({"type":"drain","session":"v"})");
+  EXPECT_EQ(type_of(ask(client, R"({"type":"close","session":"v"})")),
+            "closed");
+}
+
+TEST(ServiceSessionProtocol, PreEngineTickCannotMoveTimeBackwards) {
+  ServiceHub hub;
+  HubClient client(hub);
+  hello(client);
+  // An offline algorithm has no engine until its one submission arrives,
+  // but the session clock already ticks: a backwards tick must be the
+  // documented bad-sequence error, not a silent clamp (regression test).
+  ask(client, R"({"type":"open","session":"t","algo":"rank",)"
+              R"("procs":2,"clock":"external"})");
+  const JsonValue forward =
+      ask(client, R"({"type":"tick","session":"t","at":5.0})");
+  ASSERT_EQ(type_of(forward), "decisions");
+  EXPECT_EQ(code_of(ask(client, R"({"type":"tick","session":"t",)"
+                                R"("at":3.0})")),
+            "bad-sequence");
+  // The pre-engine clock also gates the first submission's 'now'...
+  EXPECT_EQ(code_of(ask(client, R"({"type":"submit","session":"t",)"
+                                R"("tasks":[{"work":1.0}],"now":4.0})")),
+            "bad-sequence");
+  // ...and is the default 'now' when the field is omitted: the engine is
+  // born at t = 5, not rewound to 0.
+  const JsonValue accepted = ask(
+      client, R"({"type":"submit","session":"t","tasks":[{"work":1.0}]})");
+  ASSERT_EQ(type_of(accepted), "decisions");
+  EXPECT_EQ(accepted.find("now")->num_v, 5.0);
+  EXPECT_EQ(type_of(ask(client, R"({"type":"close","session":"t"})")),
+            "closed");
+}
+
 TEST(ServiceSessionProtocol, ShutdownAnswersGoodbyeAndRaisesTheFlag) {
   ServiceHub hub;
   HubClient client(hub);

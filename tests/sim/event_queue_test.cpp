@@ -23,7 +23,7 @@ namespace {
 class ReferenceHeap {
  public:
   void push(Time at, TaskId id, SimEvent::Kind kind) {
-    heap_.push(SimEvent{at, seq_++, id, kind});
+    heap_.push(SimEvent{at, seq_++, id, /*gen=*/0, kind});
   }
   SimEvent pop() {
     const SimEvent ev = heap_.top();

@@ -58,12 +58,16 @@ expect_reject "sched_cli --trials 0"    --trials  "$sched_cli" --demo --trials 0
 expect_reject "sched_cli --jobs -3"     --jobs    "$sched_cli" --demo --jobs -3
 expect_reject "sched_cli --tasks junk"  --tasks   "$sched_cli" --random layered --tasks banana
 expect_reject "sched_cli --procs 0"     --procs   "$sched_cli" --demo --procs 0
+expect_reject "sched_cli --scenario bogus"     --scenario      "$sched_cli" --demo --scenario bogus
+expect_reject "sched_cli --scenario-seed junk" --scenario-seed "$sched_cli" --demo --scenario crash --scenario-seed banana
+expect_reject "sched_cli --scenario + sweep"   --scenario      "$sched_cli" --random layered --scenario crash
 
 expect_reject "catbatch_fuzz --iters 0"     --iters     "$fuzz_cli" --iters 0
 expect_reject "catbatch_fuzz --jobs -3"     --jobs      "$fuzz_cli" --jobs -3
 expect_reject "catbatch_fuzz --seed junk"   --seed      "$fuzz_cli" --seed banana
 expect_reject "catbatch_fuzz --max-tasks 0" --max-tasks "$fuzz_cli" --max-tasks 0
 expect_reject "catbatch_fuzz --protocol 0"  --protocol  "$fuzz_cli" --protocol 0
+expect_reject "catbatch_fuzz --scenario 0"  --scenario  "$fuzz_cli" --scenario 0
 
 expect_reject "catbatchd --protocol bogus" --protocol "$daemon_cli" --protocol bogus
 expect_reject "catbatchd --jobs junk"      --jobs     "$daemon_cli" --jobs banana
@@ -75,8 +79,17 @@ expect_reject "catbatch_loadgen --clock lunar"     --clock       "$loadgen_cli" 
 expect_reject "catbatch_loadgen unix, no socket"   --socket      "$loadgen_cli" --protocol unix
 
 # Sanity: valid invocations still succeed (exit 0).
+if ! "$sched_cli" --scenario-spec >/dev/null 2>&1; then
+  err "sched_cli --scenario-spec should succeed"
+fi
+if ! "$sched_cli" --demo --scenario crash >/dev/null 2>&1; then
+  err "sched_cli --demo --scenario crash should succeed"
+fi
 if ! "$fuzz_cli" --iters 2 --quiet >/dev/null 2>&1; then
   err "catbatch_fuzz --iters 2 should succeed"
+fi
+if ! "$fuzz_cli" --scenario 3 --quiet >/dev/null 2>&1; then
+  err "catbatch_fuzz --scenario 3 should succeed"
 fi
 if ! "$daemon_cli" --protocol-spec >/dev/null 2>&1; then
   err "catbatchd --protocol-spec should succeed"

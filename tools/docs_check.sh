@@ -13,7 +13,10 @@
 #      describes — both drifted silently during past engine rewrites;
 #   4. every catbatchd / catbatch_loadgen flag is documented in README.md
 #      and docs/SERVICE.md, and the protocol-spec block in docs/SERVICE.md
-#      is byte-identical to `catbatchd --protocol-spec`.
+#      is byte-identical to `catbatchd --protocol-spec`;
+#   5. the scenario-contract block in docs/SCENARIOS.md is byte-identical
+#      to `sched_cli --scenario-spec`, and the scenario bench/gate names
+#      appear in docs/BENCHMARKS.md.
 #
 # Usage: docs_check.sh <path-to-sched_cli> <repo-source-dir> \
 #            [path-to-catbatch_fuzz] [path-to-catbatchd] [path-to-catbatch_loadgen]
@@ -148,7 +151,39 @@ if [[ -n "$daemon_cli" || -n "$loadgen_cli" ]]; then
   done
 fi
 
-# --- 4. perf interface and engine-design docs ------------------------------
+# --- 4. scenario contract and scenario docs --------------------------------
+
+[[ -f "$src/docs/SCENARIOS.md" ]] || { echo "docs-check: missing $src/docs/SCENARIOS.md" >&2; exit 2; }
+
+# Same rule as the protocol spec: the contract is documented twice — once
+# in scenario_contract_text(), once in docs/SCENARIOS.md — so the fenced
+# block must be byte-identical to `sched_cli --scenario-spec`.
+documented_contract="$(awk '/^```scenario-contract$/{inside=1; next}
+                            /^```$/{inside=0} inside' "$src/docs/SCENARIOS.md")"
+if [[ -z "$documented_contract" ]]; then
+  err "docs/SCENARIOS.md has no \`\`\`scenario-contract fenced block"
+elif ! diff <("$sched_cli" --scenario-spec) <(printf '%s\n' "$documented_contract") \
+    >/dev/null; then
+  err "docs/SCENARIOS.md scenario-contract block differs from 'sched_cli --scenario-spec'"
+  diff <("$sched_cli" --scenario-spec) <(printf '%s\n' "$documented_contract") >&2 || true
+fi
+
+# The scenario CLI surface must be covered by its contract document, and
+# the degradation bench + its ctest gate must be named in BENCHMARKS.md.
+for term in "--scenario" "--scenario-seed" "--scenario-spec" \
+    "crash" "sleep" "noise" "degradation" "lost_work_ratio" \
+    "recovery_latency"; do
+  if ! grep -qF -- "$term" "$src/docs/SCENARIOS.md"; then
+    err "scenario term '$term' is not documented in docs/SCENARIOS.md"
+  fi
+done
+for term in "BENCH_scenarios.json" "catbatch_scenario_smoke"; do
+  if ! grep -qF -- "$term" "$src/docs/BENCHMARKS.md"; then
+    err "scenario bench term '$term' is not documented in docs/BENCHMARKS.md"
+  fi
+done
+
+# --- 5. perf interface and engine-design docs ------------------------------
 
 # The perf bench's modes and gated metrics, as spelled in its usage text;
 # each must appear backquoted or verbatim in docs/BENCHMARKS.md.
@@ -170,7 +205,7 @@ for term in "TaskRec" "calendar" "earliest_start" "ParallelOptions" \
   fi
 done
 
-# --- 5. bench binaries -----------------------------------------------------
+# --- 6. bench binaries -----------------------------------------------------
 
 found_bench=0
 for bench_src in "$src"/bench/bench_*.cpp; do
