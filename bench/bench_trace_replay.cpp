@@ -1,0 +1,331 @@
+// Production trace replay: CatBatch against the backfilling lineup on an
+// SWF-shaped workload (instances/trace.hpp), reporting the flow metrics a
+// cluster operator actually watches — makespan, mean/max flow, mean/max
+// stretch — plus per-decision scheduler cost. Emits BENCH_trace_replay.json
+// (schema documented in docs/BENCHMARKS.md, "Trace replay").
+//
+// Entry points (see bench/CMakeLists.txt):
+//   (default)  synthesizes a 100k-job SWF workload at offered load 0.7 and
+//              replays the full lineup (one line per scheduler);
+//   --smoke    replays the bundled trace excerpt (tests/corpus/
+//              trace_excerpt.swf) and validates the JSON shape — the
+//              catbatch_trace_replay_smoke ctest gate;
+//   --gate     scheduler-only queue-drain throughput assertion: reveals a
+//              deep all-ready queue to each backfill scheduler and drives
+//              it to empty, requiring at least CATBATCH_TRACE_GATE_DECISIONS
+//              starts/sec (default 100000). The pre-rework EasyBackfill
+//              erased its FIFO vector per start — an O(n^2) drain that
+//              fails this gate by an order of magnitude;
+//   --trace F [--format swf|batsim]  replays a real archive trace instead
+//              of the synthetic workload.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/flow_metrics.hpp"
+#include "analysis/json_report.hpp"
+#include "instances/trace.hpp"
+#include "obs/metrics.hpp"
+#include "sched/backfill.hpp"
+#include "sched/conservative_backfill.hpp"
+#include "sched/registry.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace catbatch;
+
+// Strict catbatch is absent for the same reason as in bench_job_stream:
+// its batch barrier asserts that reveals only ever carry strictly-future
+// categories (Corollary 2), which holds in the pure precedence model but
+// not under arrival streams — a short job submitted late is a past
+// category. relaxed-catbatch is the repo's CatBatch under arrivals
+// (Section 7 heuristic: category priority without the barrier).
+constexpr const char* kLineup[] = {
+    "relaxed-catbatch",      "list-fifo",
+    "easy-backfill",         "easy-backfill-padded",
+    "easy-backfill-adaptive", "conservative-backfill"};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  std::string scheduler;
+  double makespan = 0.0;
+  double utilization = 0.0;
+  FlowMetrics flow;
+  std::size_t decisions = 0;
+  double decisions_per_sec = 0.0;
+  double select_mean_us = 0.0;
+  double wall_ms = 0.0;
+};
+
+Row replay_one(const TraceWorkload& trace, const std::string& name,
+               int procs) {
+  MetricsRegistry metrics;
+  auto scheduler = instrument_scheduler(make_scheduler(name), metrics);
+  const auto t0 = std::chrono::steady_clock::now();
+  const SimResult result = replay_trace(trace, *scheduler, procs);
+  const double wall = seconds_since(t0);
+
+  Row row;
+  row.scheduler = name;
+  row.makespan = result.makespan;
+  row.utilization = result.average_utilization(procs);
+  row.flow = compute_flow_metrics(
+      std::span<const Time>(trace.run.data(), trace.run.size()), result);
+  row.decisions = result.stats.decision_points;
+  row.decisions_per_sec =
+      wall > 0.0 ? static_cast<double>(row.decisions) / wall : 0.0;
+  row.wall_ms = wall * 1e3;
+  if (const auto* info = metrics.find("sched." + name + ".select_us");
+      info != nullptr) {
+    const auto view = metrics.histogram_view(info->id);
+    if (view.total > 0) {
+      row.select_mean_us = view.sum / static_cast<double>(view.total);
+    }
+  }
+  return row;
+}
+
+std::string report_json(const std::vector<Row>& rows, const char* mode,
+                        const std::string& trace_label, int procs,
+                        std::size_t jobs, std::size_t dropped) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("trace_replay");
+  w.key("schema").value(1);
+  w.key("mode").value(mode);
+  w.key("trace").value(trace_label);
+  w.key("procs").value(procs);
+  w.key("jobs").value(static_cast<std::uint64_t>(jobs));
+  w.key("dropped").value(static_cast<std::uint64_t>(dropped));
+  w.key("results").begin_array();
+  for (const Row& row : rows) {
+    w.begin_object();
+    w.key("scheduler").value(row.scheduler);
+    w.key("makespan").value(row.makespan);
+    w.key("utilization").value(row.utilization);
+    w.key("mean_wait").value(row.flow.mean_wait);
+    w.key("max_wait").value(row.flow.max_wait);
+    w.key("mean_flow").value(row.flow.mean_flow);
+    w.key("max_flow").value(row.flow.max_flow);
+    w.key("mean_stretch").value(row.flow.mean_stretch);
+    w.key("max_stretch").value(row.flow.max_stretch);
+    w.key("stretch_skipped")
+        .value(static_cast<std::uint64_t>(row.flow.stretch_skipped));
+    w.key("decisions").value(static_cast<std::uint64_t>(row.decisions));
+    w.key("decisions_per_sec").value(row.decisions_per_sec);
+    w.key("select_mean_us").value(row.select_mean_us);
+    w.key("wall_ms").value(row.wall_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool json_shape_ok(const std::string& json, std::size_t expected_rows) {
+  const char* required[] = {"\"bench\"",        "\"trace_replay\"",
+                            "\"results\"",      "\"makespan\"",
+                            "\"mean_flow\"",    "\"max_flow\"",
+                            "\"mean_stretch\"", "\"max_stretch\"",
+                            "\"decisions_per_sec\""};
+  for (const char* token : required) {
+    if (json.find(token) == std::string::npos) {
+      std::fprintf(stderr, "BENCH_trace_replay.json is missing %s\n", token);
+      return false;
+    }
+  }
+  std::size_t rows = 0;
+  for (std::size_t at = json.find("\"scheduler\""); at != std::string::npos;
+       at = json.find("\"scheduler\"", at + 1)) {
+    ++rows;
+  }
+  if (rows != expected_rows) {
+    std::fprintf(stderr,
+                 "BENCH_trace_replay.json has %zu rows, expected %zu\n",
+                 rows, expected_rows);
+    return false;
+  }
+  return !json.empty() && json.front() == '{' && json.back() == '}';
+}
+
+/// Scheduler-only drain: reveal `jobs` single-processor all-ready jobs,
+/// then alternate decision points and earliest-finish completions until
+/// everything started. Measures queue maintenance, not the engine — the
+/// head always fits as soon as a processor frees, so a linear-per-start
+/// queue turns this into an O(n^2) drain.
+double drain_starts_per_sec(OnlineScheduler& scheduler, std::size_t jobs,
+                            int procs) {
+  scheduler.reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < jobs; ++i) {
+    ReadyTask task;
+    task.id = static_cast<TaskId>(i);
+    task.work = 10.0 + static_cast<double>(i % 7);
+    task.procs = 1;
+    scheduler.task_ready(task, 0.0);
+  }
+  using Finish = std::pair<Time, std::pair<TaskId, int>>;
+  std::priority_queue<Finish, std::vector<Finish>, std::greater<Finish>>
+      running;
+  std::vector<TaskId> picks;
+  std::size_t started = 0;
+  Time now = 0.0;
+  int avail = procs;
+  while (started < jobs) {
+    picks.clear();
+    scheduler.select(now, avail, picks);
+    for (const TaskId id : picks) {
+      avail -= 1;
+      running.push({now + 10.0 + static_cast<double>(id % 7), {id, 1}});
+    }
+    started += picks.size();
+    if (started >= jobs) break;
+    if (running.empty() && picks.empty()) {
+      std::fprintf(stderr, "gate drive stalled at %zu/%zu starts\n",
+                   started, jobs);
+      return 0.0;
+    }
+    if (picks.empty()) {
+      const Finish next = running.top();
+      running.pop();
+      now = next.first;
+      avail += next.second.second;
+      scheduler.task_finished(next.second.first, now);
+    }
+  }
+  const double wall = seconds_since(t0);
+  return wall > 0.0 ? static_cast<double>(jobs) / wall : 0.0;
+}
+
+bool run_gate() {
+  double required = 100000.0;
+  if (const char* env = std::getenv("CATBATCH_TRACE_GATE_DECISIONS");
+      env != nullptr && *env != '\0') {
+    required = std::atof(env);
+  }
+  bool ok = true;
+  constexpr int kGateProcs = 64;
+  EasyBackfill easy;
+  ConservativeBackfill conservative;
+  const struct {
+    OnlineScheduler* scheduler;
+    std::size_t jobs;
+  } cases[] = {{&easy, 100000}, {&conservative, 50000}};
+  for (const auto& c : cases) {
+    const double rate = drain_starts_per_sec(*c.scheduler, c.jobs,
+                                             kGateProcs);
+    const bool pass = rate >= required;
+    std::printf("gate %-22s %zu jobs: %.0f starts/sec (required %.0f) %s\n",
+                c.scheduler->name().c_str(), c.jobs, rate, required,
+                pass ? "OK" : "FAIL");
+    ok = ok && pass;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool gate = false;
+  const char* trace_path = nullptr;
+  const char* format = "swf";
+  std::size_t jobs = 100000;
+  int procs = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      format = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
+      procs = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke | --gate] [--trace FILE "
+                   "[--format swf|batsim]] [--jobs N] [--procs N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (gate) return run_gate() ? 0 : 1;
+
+#ifdef CATBATCH_TRACE_EXCERPT
+  if (smoke && trace_path == nullptr) trace_path = CATBATCH_TRACE_EXCERPT;
+#endif
+
+  TraceWorkload trace;
+  std::string trace_label;
+  if (trace_path != nullptr) {
+    trace_label = trace_path;
+    if (std::strcmp(format, "batsim") == 0) {
+      std::ifstream in(trace_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", trace_path);
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      trace = parse_batsim_json(text.str());
+    } else {
+      std::ifstream in(trace_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", trace_path);
+        return 1;
+      }
+      trace = parse_swf(in);
+    }
+    if (trace.max_procs > 0) procs = trace.max_procs;
+  } else {
+    trace_label = "synthetic-swf";
+    Rng rng(20260808);
+    trace = generate_swf_workload(rng, smoke ? 256 : jobs, procs, 0.7);
+  }
+  if (trace.size() == 0) {
+    std::fprintf(stderr, "trace has no usable jobs\n");
+    return 1;
+  }
+
+  std::vector<Row> rows;
+  for (const char* name : kLineup) {
+    Row row = replay_one(trace, name, procs);
+    std::printf(
+        "%-24s makespan=%.0f util=%.2f mean_flow=%.1f max_stretch=%.1f "
+        "decisions=%zu (%.0f/sec, select %.2fus)\n",
+        row.scheduler.c_str(), row.makespan, row.utilization,
+        row.flow.mean_flow, row.flow.max_stretch, row.decisions,
+        row.decisions_per_sec, row.select_mean_us);
+    rows.push_back(std::move(row));
+  }
+
+  const std::string json =
+      report_json(rows, smoke ? "smoke" : "full", trace_label, procs,
+                  trace.size(), trace.dropped);
+  const std::string path = write_bench_report("trace_replay", json);
+  std::printf("wrote %s\n", path.c_str());
+
+  if (smoke) {
+    if (!json_shape_ok(json, rows.size())) return 1;
+    std::printf("smoke: BENCH_trace_replay.json shape OK\n");
+  }
+  return 0;
+}

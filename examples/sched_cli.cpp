@@ -26,9 +26,11 @@
 #include "analysis/experiment.hpp"
 #include "analysis/json_report.hpp"
 #include "analysis/metrics.hpp"
+#include "analysis/flow_metrics.hpp"
 #include "instances/examples.hpp"
 #include "instances/io.hpp"
 #include "instances/stg.hpp"
+#include "instances/trace.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics_export.hpp"
 #include "obs/observer.hpp"
@@ -96,6 +98,13 @@ void print_usage(std::ostream& os) {
         "                 none | crash | sleep | noise (docs/SCENARIOS.md)\n"
         "  --scenario-seed S  seed of the scenario script (default 1)\n"
         "  --scenario-spec    print the scenario contract and exit\n"
+        "  --trace FILE   replay a rigid-job workload trace (submit times,\n"
+        "                 no precedence) through an online --algo; prints\n"
+        "                 makespan plus flow/stretch metrics\n"
+        "  --trace-format F  trace dialect: swf | batsim (default: batsim\n"
+        "                 for .json files, else swf)\n"
+        "  --trace-jobs N cap on the number of trace jobs replayed\n"
+        "                 (default: all)\n"
         "  --trace-out FILE   write a Chrome trace_event JSON of the run\n"
         "                 (open in chrome://tracing or ui.perfetto.dev)\n"
         "  --metrics      print the engine/scheduler metrics summary\n"
@@ -151,6 +160,8 @@ int main(int argc, char** argv) {
   std::string algo = "catbatch";
   std::string path, svg_path, json_path, family_label;
   std::string trace_path, metrics_json_path, scenario_family;
+  std::string workload_trace_path, workload_trace_format;
+  std::size_t workload_trace_jobs = 0;  // 0: replay every job
   int procs = 0;
   std::size_t tasks = 100, trials = 1;
   std::uint64_t seed = 1, scenario_seed = 1;
@@ -221,6 +232,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--scenario-spec") {
       std::cout << scenario_contract_text();
       return kExitOk;
+    } else if (arg == "--trace" && k + 1 < argc) {
+      workload_trace_path = argv[++k];
+    } else if (arg == "--trace-format" && k + 1 < argc) {
+      workload_trace_format = argv[++k];
+    } else if (arg == "--trace-jobs" && k + 1 < argc) {
+      if (!parse_flag(arg, argv[++k], 1, 100'000'000, value)) return kExitUsage;
+      workload_trace_jobs = static_cast<std::size_t>(value);
     } else if (arg == "--trace-out" && k + 1 < argc) {
       trace_path = argv[++k];
     } else if (arg == "--metrics") {
@@ -255,6 +273,80 @@ int main(int argc, char** argv) {
   try {
     if (emit_demo) {
       std::cout << to_json(make_paper_example(), 4);
+      return kExitOk;
+    }
+
+    // ---- Workload-trace replay mode (docs/BENCHMARKS.md) --------------
+    if (!workload_trace_path.empty()) {
+      std::string format = workload_trace_format;
+      if (format.empty()) {
+        const bool json = workload_trace_path.size() >= 5 &&
+                          workload_trace_path.substr(
+                              workload_trace_path.size() - 5) == ".json";
+        format = json ? "batsim" : "swf";
+      }
+      if (format != "swf" && format != "batsim") {
+        std::cerr << "sched_cli: --trace-format '" << format
+                  << "' is not one of swf, batsim\n";
+        return kExitUsage;
+      }
+      const SchedulerEntry* entry = find_scheduler(algo);
+      if (entry == nullptr || entry->kind != SchedulerKind::Online) {
+        std::cerr << "sched_cli: --trace needs a single online algorithm "
+                     "(see --list-algos)\n";
+        return kExitUsage;
+      }
+      std::ifstream in(workload_trace_path);
+      if (!in) {
+        std::cerr << "cannot open " << workload_trace_path << "\n";
+        return kExitRuntime;
+      }
+      TraceWorkload trace;
+      if (format == "swf") {
+        trace = parse_swf(in);
+      } else {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        trace = parse_batsim_json(buffer.str());
+      }
+      if (workload_trace_jobs > 0 && workload_trace_jobs < trace.size()) {
+        trace.submit.resize(workload_trace_jobs);
+        trace.run.resize(workload_trace_jobs);
+        trace.walltime.resize(workload_trace_jobs);
+        trace.procs.resize(workload_trace_jobs);
+        if (!trace.names.empty()) trace.names.resize(workload_trace_jobs);
+      }
+      if (procs <= 0) procs = trace.max_procs > 0 ? trace.max_procs : 8;
+      auto scheduler = make_scheduler(entry->name);
+      const SimResult r = replay_trace(trace, *scheduler, procs);
+      const FlowMetrics flow = compute_flow_metrics(
+          std::span<const Time>(trace.run.data(), trace.run.size()), r);
+      Time area = 0.0;
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        area += trace.run[i] *
+                static_cast<Time>(std::min(trace.procs[i], procs));
+      }
+      const double utilization =
+          r.makespan > 0.0
+              ? static_cast<double>(area) /
+                    (static_cast<double>(r.makespan) * procs)
+              : 0.0;
+      std::cerr << "algorithm   : " << entry->name << "\n"
+                << "trace       : " << workload_trace_path << " (" << format
+                << ")\n"
+                << "jobs        : " << trace.size() << " (+" << trace.dropped
+                << " dropped)\n"
+                << "procs       : " << procs << "\n"
+                << "makespan    : " << format_number(r.makespan) << "\n"
+                << "utilization : " << format_number(utilization, 3) << "\n"
+                << "mean flow   : " << format_number(flow.mean_flow, 3)
+                << "\n"
+                << "max flow    : " << format_number(flow.max_flow, 3) << "\n"
+                << "mean stretch: " << format_number(flow.mean_stretch, 3)
+                << "\n"
+                << "max stretch : " << format_number(flow.max_stretch, 3)
+                << "\n"
+                << "decisions   : " << r.stats.decision_points << "\n";
       return kExitOk;
     }
 

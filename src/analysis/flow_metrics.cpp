@@ -6,32 +6,64 @@
 
 namespace catbatch {
 
-FlowMetrics compute_flow_metrics(const TaskGraph& graph,
-                                 const SimResult& result) {
-  CB_CHECK(result.ready_times.size() == graph.size(),
+namespace {
+
+FlowMetrics compute(std::span<const Time> work, const SimResult& result) {
+  CB_CHECK(result.ready_times.size() == work.size(),
            "result does not belong to this instance");
   FlowMetrics m;
-  m.task_count = graph.size();
-  if (graph.empty()) return m;
+  m.task_count = work.size();
+  if (work.empty()) return m;
 
   double wait_sum = 0.0;
+  double flow_sum = 0.0;
   double stretch_sum = 0.0;
-  for (TaskId id = 0; id < graph.size(); ++id) {
+  for (TaskId id = 0; id < work.size(); ++id) {
     const ScheduledTask& e = result.schedule.entry_for(id);
     const Time ready = result.ready_times[id];
     CB_CHECK(e.start >= ready - 1e-12,
              "task started before it became ready");
     const Time wait = e.start - ready;
-    const double stretch = static_cast<double>(e.finish - ready) /
-                           static_cast<double>(graph.task(id).work);
+    const Time flow = e.finish - ready;
     wait_sum += static_cast<double>(wait);
-    stretch_sum += stretch;
+    flow_sum += static_cast<double>(flow);
     m.max_wait = std::max(m.max_wait, wait);
+    m.max_flow = std::max(m.max_flow, flow);
+    if (work[id] <= 0.0) {
+      // Stretch divides by work: undefined here. Count the exclusion
+      // instead of letting one degenerate task turn the aggregates into
+      // inf/nan (the zero-work policy in the header).
+      ++m.stretch_skipped;
+      continue;
+    }
+    const double stretch =
+        static_cast<double>(flow) / static_cast<double>(work[id]);
+    stretch_sum += stretch;
     m.max_stretch = std::max(m.max_stretch, stretch);
   }
-  m.mean_wait = wait_sum / static_cast<double>(graph.size());
-  m.mean_stretch = stretch_sum / static_cast<double>(graph.size());
+  m.mean_wait = wait_sum / static_cast<double>(work.size());
+  m.mean_flow = flow_sum / static_cast<double>(work.size());
+  const std::size_t stretched = work.size() - m.stretch_skipped;
+  if (stretched > 0) {
+    m.mean_stretch = stretch_sum / static_cast<double>(stretched);
+  }
   return m;
+}
+
+}  // namespace
+
+FlowMetrics compute_flow_metrics(const TaskGraph& graph,
+                                 const SimResult& result) {
+  CB_CHECK(result.ready_times.size() == graph.size(),
+           "result does not belong to this instance");
+  std::vector<Time> work(graph.size());
+  for (TaskId id = 0; id < graph.size(); ++id) work[id] = graph.task(id).work;
+  return compute(work, result);
+}
+
+FlowMetrics compute_flow_metrics(std::span<const Time> work,
+                                 const SimResult& result) {
+  return compute(work, result);
 }
 
 }  // namespace catbatch

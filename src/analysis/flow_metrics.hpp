@@ -1,9 +1,17 @@
-// Flow metrics: per-task waiting time and stretch, computed from a
-// simulation result. Makespan is the paper's objective; waiting time and
-// stretch are what users of a shared HPC system feel — and where strict
-// CatBatch's batch barrier pays for its worst-case guarantee (tasks sit
-// ready while the current batch drains).
+// Flow metrics: per-task waiting time, flow (response) time and stretch,
+// computed from a simulation result. Makespan is the paper's objective;
+// waiting time, flow and stretch are what users of a shared HPC system
+// feel — and where strict CatBatch's batch barrier pays for its worst-case
+// guarantee (tasks sit ready while the current batch drains).
+//
+// Zero-work policy: stretch divides by the task's work, so a task with
+// non-positive work has no defined stretch. Such tasks are excluded from
+// the stretch aggregates and counted in `stretch_skipped`; their wait and
+// flow still count (both are well-defined regardless of work), and
+// mean_stretch divides by the tasks that actually contributed.
 #pragma once
+
+#include <span>
 
 #include "core/graph.hpp"
 #include "sim/engine.hpp"
@@ -13,16 +21,28 @@ namespace catbatch {
 struct FlowMetrics {
   double mean_wait = 0.0;  // start − ready, averaged over tasks
   Time max_wait = 0.0;
+  /// Flow (response) time of a task = finish − ready.
+  double mean_flow = 0.0;
+  Time max_flow = 0.0;
   /// Stretch of a task = (finish − ready) / work: 1 means "ran the moment
   /// it became ready".
   double mean_stretch = 0.0;
   double max_stretch = 0.0;
   std::size_t task_count = 0;
+  /// Tasks excluded from the stretch aggregates by the zero-work policy
+  /// (file comment).
+  std::size_t stretch_skipped = 0;
 };
 
 /// Computes flow metrics for a finished run of `graph`. The result must
 /// come from simulating exactly this instance (ready_times indexed by id).
 [[nodiscard]] FlowMetrics compute_flow_metrics(const TaskGraph& graph,
+                                               const SimResult& result);
+
+/// Same, from a bare work column (task id -> actual work) — the trace
+/// replay path, where no TaskGraph is materialized. `work.size()` must
+/// equal the result's task count.
+[[nodiscard]] FlowMetrics compute_flow_metrics(std::span<const Time> work,
                                                const SimResult& result);
 
 }  // namespace catbatch

@@ -1,0 +1,337 @@
+#include "instances/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "instances/interner.hpp"
+#include "instances/job_stream.hpp"
+#include "support/check.hpp"
+#include "support/json_parse.hpp"
+
+namespace catbatch {
+
+namespace {
+
+/// Stable-sorts the columns by submit time via one index permutation.
+/// Most archive traces are already sorted; callers check before paying.
+void sort_by_submit(TraceWorkload& trace) {
+  std::vector<std::size_t> order(trace.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return trace.submit[a] < trace.submit[b];
+                   });
+  TraceWorkload sorted;
+  sorted.submit.reserve(trace.size());
+  sorted.run.reserve(trace.size());
+  sorted.walltime.reserve(trace.size());
+  sorted.procs.reserve(trace.size());
+  if (!trace.names.empty()) sorted.names.reserve(trace.size());
+  for (const std::size_t i : order) {
+    sorted.submit.push_back(trace.submit[i]);
+    sorted.run.push_back(trace.run[i]);
+    sorted.walltime.push_back(trace.walltime[i]);
+    sorted.procs.push_back(trace.procs[i]);
+    if (!trace.names.empty()) sorted.names.push_back(trace.names[i]);
+  }
+  trace.submit = std::move(sorted.submit);
+  trace.run = std::move(sorted.run);
+  trace.walltime = std::move(sorted.walltime);
+  trace.procs = std::move(sorted.procs);
+  trace.names = std::move(sorted.names);
+}
+
+void push_job(TraceWorkload& trace, Time submit, Time run, Time walltime,
+              int procs) {
+  trace.submit.push_back(submit < 0.0 ? 0.0 : submit);
+  trace.run.push_back(run);
+  trace.walltime.push_back(walltime);
+  trace.procs.push_back(procs);
+}
+
+/// Case-insensitive search for "maxprocs:" in an SWF comment line;
+/// returns the declared value or -1.
+int parse_max_procs_comment(const std::string& line) {
+  static constexpr std::string_view kKey = "maxprocs:";
+  for (std::size_t i = 0; i + kKey.size() <= line.size(); ++i) {
+    std::size_t k = 0;
+    while (k < kKey.size() &&
+           std::tolower(static_cast<unsigned char>(line[i + k])) == kKey[k]) {
+      ++k;
+    }
+    if (k == kKey.size()) {
+      return std::atoi(line.c_str() + i + kKey.size());
+    }
+  }
+  return -1;
+}
+
+/// Prints a trace time: whole seconds without a decimal point (the archive
+/// format), anything fractional via %g.
+void print_time(std::ostream& out, Time value) {
+  char buf[32];
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", static_cast<double>(value));
+  }
+  out << buf;
+}
+
+}  // namespace
+
+TraceWorkload parse_swf(std::istream& in) {
+  TraceWorkload trace;
+  std::string line;
+  double fields[9];
+  bool sorted = true;
+  while (std::getline(in, line)) {
+    const char* p = line.c_str();
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0') continue;
+    if (*p == ';') {
+      const int declared = parse_max_procs_comment(line);
+      if (declared > 0) trace.max_procs = std::max(trace.max_procs, declared);
+      continue;
+    }
+    // First 9 whitespace-separated numbers: job, submit, wait, run,
+    // used procs, avg cpu, used mem, requested procs, requested walltime.
+    std::size_t n = 0;
+    char* end = nullptr;
+    while (n < 9) {
+      const double v = std::strtod(p, &end);
+      if (end == p) break;
+      fields[n++] = v;
+      p = end;
+    }
+    if (n < 9) {
+      ++trace.dropped;
+      continue;
+    }
+    const double run = fields[3];
+    const double used_procs = fields[4];
+    const double req_procs = fields[7];
+    const double req_wall = fields[8];
+    const double procs = req_procs > 0 ? req_procs : used_procs;
+    if (run <= 0 || procs <= 0 || procs > 1e9) {
+      ++trace.dropped;
+      continue;
+    }
+    const double walltime = req_wall > 0 ? req_wall : run;
+    if (!trace.submit.empty() && fields[1] < trace.submit.back()) {
+      sorted = false;
+    }
+    push_job(trace, fields[1], run, walltime, static_cast<int>(procs));
+  }
+  if (!sorted) sort_by_submit(trace);
+  for (const int p : trace.procs) {
+    trace.max_procs = std::max(trace.max_procs, p);
+  }
+  return trace;
+}
+
+TraceWorkload parse_batsim_json(std::string_view text) {
+  JsonParseError error;
+  const auto root = parse_json(text, &error);
+  CB_CHECK(root.has_value(),
+           "Batsim workload is not valid JSON: " + error.message);
+  CB_CHECK(root->is_object(), "Batsim workload must be a JSON object");
+
+  TraceWorkload trace;
+  if (const JsonValue* nb = root->find("nb_res");
+      nb != nullptr && nb->is_number()) {
+    trace.max_procs = static_cast<int>(nb->num_v);
+  }
+
+  // profile name -> delay duration; non-delay profiles get no entry and
+  // drop the jobs that reference them.
+  std::vector<std::pair<std::string_view, double>> delays;
+  if (const JsonValue* profiles = root->find("profiles");
+      profiles != nullptr && profiles->is_object()) {
+    for (const auto& [name, profile] : profiles->members) {
+      const JsonValue* type = profile.find("type");
+      if (type == nullptr || !type->is_string() || type->str_v != "delay") {
+        continue;
+      }
+      const JsonValue* delay = profile.find("delay");
+      if (delay == nullptr || !delay->is_number()) continue;
+      delays.emplace_back(name, delay->num_v);
+    }
+  }
+  const auto delay_of = [&](std::string_view name) -> const double* {
+    for (const auto& [key, value] : delays) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  };
+
+  const JsonValue* jobs = root->find("jobs");
+  CB_CHECK(jobs != nullptr && jobs->is_array(),
+           "Batsim workload needs a jobs array");
+  auto interner = std::make_shared<NameInterner>();
+  bool sorted = true;
+  for (const JsonValue& job : jobs->items) {
+    if (!job.is_object()) {
+      ++trace.dropped;
+      continue;
+    }
+    const JsonValue* res = job.find("res");
+    const JsonValue* subtime = job.find("subtime");
+    const JsonValue* profile = job.find("profile");
+    if (res == nullptr || !res->is_number() || res->num_v <= 0 ||
+        subtime == nullptr || !subtime->is_number() || profile == nullptr ||
+        !profile->is_string()) {
+      ++trace.dropped;
+      continue;
+    }
+    const double* delay = delay_of(profile->str_v);
+    if (delay == nullptr || *delay <= 0) {
+      ++trace.dropped;
+      continue;
+    }
+    const JsonValue* wall = job.find("walltime");
+    const double walltime =
+        (wall != nullptr && wall->is_number() && wall->num_v > 0)
+            ? wall->num_v
+            : *delay;
+    std::string id;
+    if (const JsonValue* idv = job.find("id"); idv != nullptr) {
+      if (idv->is_string()) {
+        id = idv->str_v;
+      } else if (idv->is_number()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(idv->num_v));
+        id = buf;
+      }
+    }
+    if (id.empty()) id = "job" + std::to_string(trace.size());
+    if (!trace.submit.empty() && subtime->num_v < trace.submit.back()) {
+      sorted = false;
+    }
+    push_job(trace, subtime->num_v, *delay, walltime,
+             static_cast<int>(res->num_v));
+    trace.names.push_back(interner->intern(id));
+  }
+  if (!sorted) sort_by_submit(trace);
+  for (const int p : trace.procs) {
+    trace.max_procs = std::max(trace.max_procs, p);
+  }
+  trace.name_storage = interner;
+  return trace;
+}
+
+void write_swf(const TraceWorkload& trace, std::ostream& out) {
+  out << "; MaxProcs: " << trace.max_procs << "\n";
+  out << "; Jobs: " << trace.size() << "\n";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    // 18 SWF columns; the ones a TraceWorkload does not carry are -1
+    // (status is 1 = completed). Field order per the archive spec.
+    out << (i + 1) << ' ';
+    print_time(out, trace.submit[i]);
+    out << " -1 ";
+    print_time(out, trace.run[i]);
+    out << ' ' << trace.procs[i] << " -1 -1 " << trace.procs[i] << ' ';
+    print_time(out, trace.walltime[i]);
+    out << " -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  }
+}
+
+TraceWorkload generate_swf_workload(Rng& rng, std::size_t jobs, int procs,
+                                    double load) {
+  CB_CHECK(procs > 0, "platform needs at least one processor");
+  CB_CHECK(load > 0.0, "offered load must be positive");
+  TraceWorkload trace;
+  trace.max_procs = procs;
+  trace.submit.reserve(jobs);
+  trace.run.reserve(jobs);
+  trace.walltime.reserve(jobs);
+  trace.procs.reserve(jobs);
+
+  int max_log = 0;
+  while ((1 << (max_log + 1)) <= procs) ++max_log;
+
+  double area = 0.0;
+  std::vector<double> gaps(jobs);
+  double gap_total = 0.0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    // Power-of-two-leaning widths (the archive's dominant shape), with a
+    // quarter of jobs uniform to keep odd widths in play.
+    int width = 1 << rng.index(static_cast<std::size_t>(max_log) + 1);
+    if (rng.bernoulli(0.25)) {
+      width = static_cast<int>(rng.uniform_int(1, procs));
+    }
+    width = std::min(width, procs);
+    // Log-uniform run times, ten seconds to an hour, whole seconds.
+    const double run = std::max(
+        1.0, std::floor(std::exp(rng.uniform_real(std::log(10.0),
+                                                  std::log(3600.0)))));
+    // Users pad: declared walltime is 1-3x the actual, in whole minutes.
+    const double padded = run * rng.uniform_real(1.0, 3.0);
+    const double walltime = std::ceil(padded / 60.0) * 60.0;
+    push_job(trace, 0.0, run, walltime, width);
+    area += run * width;
+    gaps[i] = -std::log(1.0 - rng.uniform_real(0.0, 1.0));
+    gap_total += gaps[i];
+  }
+  // Exponential inter-arrivals scaled so the span carries `load` of the
+  // platform: span = area / (load * procs).
+  const double span = area / (load * static_cast<double>(procs));
+  double cum = 0.0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    cum += gaps[i];
+    trace.submit[i] = std::floor(span * cum / gap_total);
+  }
+  return trace;
+}
+
+JobStream to_job_stream(const TraceWorkload& trace, std::size_t limit) {
+  JobStream stream;
+  const std::size_t count = std::min(limit, trace.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    Job job;
+    job.arrival = trace.submit[i];
+    job.name = trace.names.empty() ? "job" + std::to_string(i)
+                                   : std::string(trace.names[i]);
+    (void)job.graph.add_task(trace.run[i], trace.procs[i], "t");
+    stream.add_job(std::move(job));
+  }
+  return stream;
+}
+
+SimResult replay_trace(const TraceWorkload& trace,
+                       OnlineScheduler& scheduler, int procs,
+                       const TraceReplayOptions& options) {
+  CB_CHECK(procs > 0, "platform needs at least one processor");
+  CB_CHECK(options.chunk > 0, "chunk size must be positive");
+  SessionEngine session(scheduler, procs,
+                        SessionOptions{}.with_mode(options.mode));
+  std::vector<SourceTask> batch;
+  for (std::size_t base = 0; base < trace.size(); base += options.chunk) {
+    const std::size_t count = std::min(options.chunk, trace.size() - base);
+    batch.clear();
+    batch.reserve(count);
+    for (std::size_t i = base; i < base + count; ++i) {
+      SourceTask task;
+      task.work = trace.run[i];
+      task.declared_work = trace.walltime[i];
+      task.procs = std::min(trace.procs[i], procs);
+      task.release = trace.submit[i];
+      batch.push_back(std::move(task));
+    }
+    (void)session.submit(std::move(batch), 0.0);
+  }
+  session.drain();
+  return session.finish();
+}
+
+}  // namespace catbatch

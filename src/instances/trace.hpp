@@ -1,0 +1,110 @@
+// Production workload traces: the Standard Workload Format (SWF) of the
+// Parallel Workloads Archive and Batsim's JSON workload files, parsed into
+// a column-oriented TraceWorkload and replayed through the session engine.
+//
+// An SWF/Batsim job is exactly a rigid task with a release time: it needs
+// `procs` processors for `run` seconds, arrives at `submit`, and tells the
+// scheduler a declared walltime (usually padded). That makes archive
+// traces the natural production-shaped input for the backfilling lineup
+// and for CatBatch's release-time setting (Section 2.3) — millions of real
+// arrival patterns instead of synthetic DAGs.
+//
+// TraceWorkload is struct-of-arrays on purpose: a million-job trace is
+// five flat columns, not a million Job objects. SWF jobs keep no name at
+// all (their ids are line numbers); Batsim job ids are interned
+// string_views backed by one shared storage block. replay_trace() feeds
+// the engine in chunked submit() batches, so peak memory is one chunk of
+// SourceTask plus the columns.
+//
+// Format notes:
+//   SWF    — `;` header comments (MaxProcs is honored), 18 whitespace-
+//            separated fields per job. We read submit (1), run time (3),
+//            used processors (4), requested processors (7) and requested
+//            walltime (8), 0-based; requested values fall back to used
+//            ones when absent (-1), jobs with no positive run time or
+//            processor count are dropped and counted.
+//   Batsim — {"nb_res": N, "jobs": [{id, subtime, res, profile,
+//            walltime?}], "profiles": {name: {"type": "delay", ...}}}.
+//            Only delay profiles carry a duration; jobs with any other
+//            profile type are dropped and counted.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/task.hpp"
+#include "sim/engine.hpp"
+#include "sim/session.hpp"
+#include "support/rng.hpp"
+
+namespace catbatch {
+
+class JobStream;       // instances/job_stream.hpp
+class OnlineScheduler; // sim/scheduler.hpp
+
+/// A parsed trace, jobs sorted by submit time (stable: ties keep file
+/// order). Columns are parallel; `names` is empty for SWF traces (ids are
+/// positions) and interned views into `name_storage` for Batsim ones.
+struct TraceWorkload {
+  std::vector<Time> submit;
+  std::vector<Time> run;       // actual duration
+  std::vector<Time> walltime;  // declared (requested) duration
+  std::vector<int> procs;
+  std::vector<std::string_view> names;
+  std::shared_ptr<const void> name_storage;
+  /// Platform size: the header's MaxProcs / nb_res, or the widest job if
+  /// the header is silent.
+  int max_procs = 0;
+  /// Unusable records skipped during parsing (no positive run time or
+  /// processor count, too few fields, non-delay profile).
+  std::size_t dropped = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return submit.size(); }
+};
+
+/// Streaming SWF parser; tolerates comments, blank lines and short rows.
+[[nodiscard]] TraceWorkload parse_swf(std::istream& in);
+
+/// Batsim JSON workload parser. CB_CHECKs that `text` is valid JSON with
+/// the fields listed in the file comment.
+[[nodiscard]] TraceWorkload parse_batsim_json(std::string_view text);
+
+/// Writes `trace` back out as SWF (unknown columns as -1). parse_swf of
+/// the output reproduces the submit/run/walltime/procs columns.
+void write_swf(const TraceWorkload& trace, std::ostream& out);
+
+/// Synthesizes an SWF-shaped workload: power-of-two-leaning widths,
+/// log-uniform run times, declared walltimes padded by a random factor in
+/// [1, 3], Poisson arrivals scaled so the offered load (total work area
+/// over the arrival span times `procs`) is about `load`. Deterministic in
+/// `rng`; times are whole seconds, as in the archive.
+[[nodiscard]] TraceWorkload generate_swf_workload(Rng& rng, std::size_t jobs,
+                                                  int procs, double load);
+
+/// The first min(limit, size) jobs as a JobStream of single-task jobs —
+/// the simulate()/per-job-metrics path for trace excerpts. Job names are
+/// "job<index>" (or the Batsim id when present).
+[[nodiscard]] JobStream to_job_stream(const TraceWorkload& trace,
+                                      std::size_t limit);
+
+struct TraceReplayOptions {
+  /// Counting mode by default: trace replays never render a Gantt chart.
+  ScheduleMode mode = ScheduleMode::Counting;
+  /// Jobs per submit() batch — bounds peak SourceTask materialization.
+  std::size_t chunk = 65536;
+};
+
+/// Replays the whole trace through a SessionEngine: jobs become rigid
+/// tasks with release = submit, work = run and declared_work = walltime
+/// (so schedulers plan with the declared time but occupy for the actual
+/// one), submitted in chunked batches and drained to completion. Widths
+/// are clamped to `procs` (archive traces occasionally exceed their own
+/// header's MaxProcs).
+[[nodiscard]] SimResult replay_trace(const TraceWorkload& trace,
+                                     OnlineScheduler& scheduler, int procs,
+                                     const TraceReplayOptions& options = {});
+
+}  // namespace catbatch

@@ -1,11 +1,13 @@
 #include "qa/generator.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "instances/adversary.hpp"
 #include "instances/io.hpp"
 #include "instances/random_dags.hpp"
+#include "instances/trace.hpp"
 #include "instances/workloads.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sim/engine.hpp"
@@ -228,6 +230,34 @@ FuzzInstance degenerate_family(Rng& rng, const GeneratorOptions& options) {
   return out;
 }
 
+FuzzInstance swf_trace_family(Rng& rng, const GeneratorOptions& options) {
+  // SWF-shaped rigid jobs: archive-like width/run distributions drawn by
+  // the trace generator, then pushed through the write_swf -> parse_swf
+  // round trip so the battery also exercises the parser's field fallbacks
+  // and submit-order sort on every draw. The jobs land as an independent
+  // task set (release times are a SessionEngine concern; the oracle
+  // battery replays graphs), with procs clamped to the platform the same
+  // way replay_trace clamps them.
+  const std::size_t jobs = static_cast<std::size_t>(rng.uniform_int(
+      2, static_cast<std::int64_t>(std::max<std::size_t>(2, options.max_tasks))));
+  const int procs = std::max(1, options.max_procs);
+  const double load = rng.uniform_real(0.3, 1.2);
+  const TraceWorkload drawn = generate_swf_workload(rng, jobs, procs, load);
+  std::ostringstream text;
+  write_swf(drawn, text);
+  std::istringstream in(text.str());
+  const TraceWorkload trace = parse_swf(in);
+  FuzzInstance out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    // Archive runs are whole seconds, far above the quantization floor;
+    // quantize anyway to keep the battery's exact-arithmetic invariant.
+    (void)out.graph.add_task(quantize_time(trace.run[i]),
+                             std::min(trace.procs[i], procs));
+  }
+  out.origin = "swf-trace";
+  return out;
+}
+
 FuzzInstance huge_family(Rng& rng, const GeneratorOptions& options) {
   // Streaming-scale shapes: every family here is O(n) in tasks AND edges
   // with bounded in-degree, so a ~100k-task draw generates, ingests and
@@ -300,16 +330,19 @@ FuzzInstance generate_instance(Rng& rng, const GeneratorOptions& options) {
     return out;
   }
   // Random families dominate; the structured families keep the paper's
-  // constructions and realistic shapes in every run's diet.
-  const std::size_t roll = rng.index(10);
+  // constructions, realistic DAG shapes and archive-shaped rigid job
+  // mixes in every run's diet.
+  const std::size_t roll = rng.index(11);
   if (roll < 5) {
     out = random_family(rng, options);
   } else if (roll < 7) {
     out = workload_family(rng, options);
   } else if (roll < 9) {
     out = adversary_family(rng, options);
-  } else {
+  } else if (roll < 10) {
     out = degenerate_family(rng, options);
+  } else {
+    out = swf_trace_family(rng, options);
   }
   const int floor = std::max(1, out.graph.max_procs_required());
   const int ceiling = std::max(floor, options.max_procs);

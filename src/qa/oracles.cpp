@@ -96,8 +96,12 @@ std::optional<std::string> compare_schedules(const Schedule& a,
 /// huge-instance smoke tier cannot afford (measured: 15-60+ seconds each
 /// on a 100k-task wide-layered DAG vs. under a second for these).
 bool practical_at_scale(const std::string& name) {
+  // The EASY estimator variants share easy-backfill's amortized-O(1)
+  // queue; conservative-backfill is excluded because it rebuilds a
+  // per-queued-job reservation profile at every decision point.
   return name == "catbatch" || name == "offline-catbatch" ||
          name == "list-fifo" || name == "easy-backfill" ||
+         name == "easy-backfill-padded" || name == "easy-backfill-adaptive" ||
          name == "divide-conquer" || name == "contiguous-catbatch" ||
          name == "shelf-nfdh" || name == "shelf-ffdh";
 }

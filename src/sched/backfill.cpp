@@ -1,25 +1,44 @@
 #include "sched/backfill.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/check.hpp"
 
 namespace catbatch {
 
+EasyBackfill::EasyBackfill()
+    : EasyBackfill(std::make_unique<DeclaredWalltime>(), "easy-backfill") {}
+
+EasyBackfill::EasyBackfill(std::unique_ptr<WalltimeEstimator> estimator,
+                           std::string name)
+    : estimator_(std::move(estimator)), name_(std::move(name)) {
+  CB_CHECK(estimator_ != nullptr, "EasyBackfill needs a walltime estimator");
+}
+
 void EasyBackfill::reset() {
   queue_.clear();
   running_.clear();
+  estimator_->reset();
 }
 
 void EasyBackfill::task_ready(const ReadyTask& task, Time) {
-  queue_.push_back(Queued{task.id, task.work, task.procs});
+  queue_.push(task.id, task.work, task.procs);
 }
 
-void EasyBackfill::task_finished(TaskId id, Time) { running_.erase(id); }
+void EasyBackfill::task_finished(TaskId id, Time now) {
+  const auto it = running_.find(id);
+  if (it != running_.end()) {
+    estimator_->observe(it->second.declared_work, now - it->second.start);
+    running_.erase(it);
+  }
+}
 
 void EasyBackfill::task_killed(TaskId id, Time) {
   // A killed task stops holding processors, so its declared finish must
   // leave the reservation math; the resubmit reveal re-queues it FIFO.
+  // Killed attempts feed the estimator nothing: their duration is the
+  // fault's choice, not the task's.
   running_.erase(id);
 }
 
@@ -28,38 +47,44 @@ void EasyBackfill::select(Time now, int available_procs,
   int avail = available_procs;
 
   const auto start = [&](std::size_t queue_index) {
-    const Queued& q = queue_[queue_index];
+    const BackfillJob& q = queue_.at(queue_index);
     picks.push_back(q.id);
     avail -= q.procs;
-    running_.emplace(q.id,
-                     Running{now + q.declared_work, q.procs});
-    queue_.erase(queue_.begin() +
-                 static_cast<std::ptrdiff_t>(queue_index));
+    running_.emplace(
+        q.id, Running{now + estimator_->estimate(q.declared_work),
+                      q.declared_work, now, q.procs});
+    queue_.consume(queue_index);
   };
 
   // Start head jobs while they fit.
-  while (!queue_.empty() && queue_.front().procs <= avail) {
-    start(0);
+  std::size_t head_index = queue_.begin();
+  while (head_index < queue_.end() &&
+         queue_.at(head_index).procs <= avail) {
+    start(head_index);
+    head_index = queue_.begin();
   }
-  if (queue_.empty()) return;
+  if (head_index >= queue_.end()) {
+    queue_.maybe_compact();
+    return;
+  }
 
-  // Head is blocked: compute its reservation from the declared finish
+  // Head is blocked: compute its reservation from the estimated finish
   // times of the running tasks (sorted ascending, accumulate releases).
-  const Queued head = queue_.front();
-  std::vector<Running> by_finish;
-  by_finish.reserve(running_.size());
-  for (const auto& [id, run] : running_) by_finish.push_back(run);
-  std::sort(by_finish.begin(), by_finish.end(),
+  const BackfillJob head = queue_.at(head_index);
+  by_finish_.clear();
+  by_finish_.reserve(running_.size());
+  for (const auto& [id, run] : running_) by_finish_.push_back(run);
+  std::sort(by_finish_.begin(), by_finish_.end(),
             [](const Running& a, const Running& b) {
               return a.declared_finish < b.declared_finish;
             });
   Time reservation = now;
   int free_at_reservation = avail;
-  int extra = 0;  // processors free at the reservation beyond the head's need
-  for (const Running& run : by_finish) {
-    if (free_at_reservation >= head.procs) break;
-    free_at_reservation += run.procs;
-    reservation = run.declared_finish;
+  std::size_t release = 0;
+  while (release < by_finish_.size() && free_at_reservation < head.procs) {
+    free_at_reservation += by_finish_[release].procs;
+    reservation = by_finish_[release].declared_finish;
+    ++release;
   }
   if (free_at_reservation < head.procs) {
     // Only possible under reduced effective capacity (docs/SCENARIOS.md):
@@ -68,29 +93,41 @@ void EasyBackfill::select(Time now, int available_procs,
     // returns — backfilling against an unknowable reservation could
     // starve the head. Fault-free runs always find a reservation
     // (avail + Σ running procs == P >= head.procs).
+    queue_.maybe_compact();
     return;
   }
-  extra = free_at_reservation - head.procs;
+  // Every further running task whose estimated finish *ties* the
+  // reservation instant also frees its processors at that moment; they
+  // all count toward the spare pool, or EASY undercounts what is free at
+  // the reservation and backfills less than it safely could.
+  while (release < by_finish_.size() &&
+         by_finish_[release].declared_finish == reservation) {
+    free_at_reservation += by_finish_[release].procs;
+    ++release;
+  }
+  int extra = free_at_reservation - head.procs;
 
   // Backfill pass over the rest of the queue: a job may jump ahead if it
-  // fits now and either (a) its declared completion precedes the
+  // fits now and either (a) its estimated completion precedes the
   // reservation, or (b) it needs no more than the processors left over at
-  // the reservation.
-  for (std::size_t k = 1; k < queue_.size();) {
-    const Queued& q = queue_[k];
+  // the reservation. Once nothing is free the scan is pointless (every
+  // job needs at least one processor), which keeps blocked decision
+  // points from walking a deep queue for nothing.
+  for (std::size_t k = head_index + 1; k < queue_.end() && avail > 0; ++k) {
+    if (!queue_.is_live(k)) continue;
+    const BackfillJob& q = queue_.at(k);
     const bool fits_now = q.procs <= avail;
     const bool ends_before_reservation =
-        now + q.declared_work <= reservation;
+        now + estimator_->estimate(q.declared_work) <= reservation;
     const bool spares_reservation = q.procs <= extra;
     if (fits_now && (ends_before_reservation || spares_reservation)) {
       if (spares_reservation && !ends_before_reservation) {
         extra -= q.procs;
       }
       start(k);
-    } else {
-      ++k;
     }
   }
+  queue_.maybe_compact();
 }
 
 }  // namespace catbatch

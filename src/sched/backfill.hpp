@@ -5,29 +5,46 @@
 // The ready queue is FIFO. The head job starts as soon as it fits. When it
 // does not fit, it receives a *reservation*: the earliest future time at
 // which enough processors will be free assuming running tasks hold their
-// declared durations. Later jobs may start out of order ("backfill") only
+// estimated durations. Later jobs may start out of order ("backfill") only
 // if doing so cannot push the reservation back — either they finish (by
-// declaration) before the reserved time, or they only use processors the
-// reservation does not need.
+// estimate) before the reserved time, or they only use processors the
+// reservation does not need. All running tasks whose estimated finish
+// equals the reservation instant release their processors *at* it, so the
+// spare count includes every one of them, ties included.
 //
-// Uses declared execution times, so under the uncertainty extension its
-// reservations can be wrong — exactly the real-world failure mode EASY is
-// known for; the engine still keeps the schedule feasible (reservations are
-// advisory, starts are validated against actual free processors).
+// Durations are planned through a pluggable WalltimeEstimator
+// (sched/walltime.hpp); the default trusts declared times verbatim, so
+// under the uncertainty extension reservations can be wrong — exactly the
+// real-world failure mode EASY is known for. The engine still keeps the
+// schedule feasible (reservations are advisory, starts are validated
+// against actual free processors).
+//
+// Queue maintenance is O(1) amortized per start (sched/backfill_queue.hpp)
+// so trace-scale replays never pay a quadratic drain.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "sched/backfill_queue.hpp"
+#include "sched/walltime.hpp"
 #include "sim/scheduler.hpp"
 
 namespace catbatch {
 
 class EasyBackfill final : public OnlineScheduler {
  public:
-  EasyBackfill() = default;
+  /// Default: the "declared" estimator — bit-identical to classic EASY on
+  /// exact declared times.
+  EasyBackfill();
+  /// Registry variants inject the estimator and the name they registered
+  /// under (e.g. "easy-backfill-padded").
+  EasyBackfill(std::unique_ptr<WalltimeEstimator> estimator,
+               std::string name);
 
-  [[nodiscard]] std::string name() const override { return "easy-backfill"; }
+  [[nodiscard]] std::string name() const override { return name_; }
   void reset() override;
   void task_ready(const ReadyTask& task, Time now) override;
   void task_finished(TaskId id, Time now) override;
@@ -36,19 +53,18 @@ class EasyBackfill final : public OnlineScheduler {
               std::vector<TaskId>& picks) override;
 
  private:
-  struct Queued {
-    TaskId id;
-    Time declared_work;
-    int procs;
-  };
-
   struct Running {
-    Time declared_finish;
+    Time declared_finish;  // start + estimate(declared) at start time
+    Time declared_work;
+    Time start;
     int procs;
   };
 
-  std::vector<Queued> queue_;  // FIFO order
+  BackfillQueue queue_;
   std::unordered_map<TaskId, Running> running_;
+  std::unique_ptr<WalltimeEstimator> estimator_;
+  std::string name_;
+  std::vector<Running> by_finish_;  // reused sort buffer
 };
 
 }  // namespace catbatch

@@ -1,0 +1,107 @@
+// The FIFO ready queue shared by the backfilling schedulers.
+//
+// Both EASY and conservative backfilling keep an arrival-ordered queue and
+// remove jobs from two places: the head (jobs started in FIFO order) and
+// the middle (jobs backfilled past a blocked predecessor). The original
+// implementation erased from a std::vector, which is O(queue) per start —
+// an O(n²) full drain that a 100k-job trace replay cannot afford (the same
+// lesson batsched's `_fast` variants encode). This queue keeps the vector
+// but removes lazily:
+//
+//   - head removals advance a cursor (`head_`);
+//   - middle removals tombstone the entry (id = kInvalidTask);
+//   - when at least half the vector is dead, one O(live) compaction pass
+//     reclaims it.
+//
+// Every operation preserves arrival order exactly, so schedulers built on
+// it make bit-identical decisions to the erase-based original; a full
+// drain of an n-job queue is O(n) amortized plus whatever the scheduler's
+// own scan costs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace catbatch {
+
+struct BackfillJob {
+  TaskId id = kInvalidTask;
+  Time declared_work = 0.0;
+  int procs = 1;
+};
+
+class BackfillQueue {
+ public:
+  void clear() {
+    entries_.clear();
+    head_ = 0;
+    dead_ = 0;
+  }
+
+  void push(TaskId id, Time declared_work, int procs) {
+    entries_.push_back(BackfillJob{id, declared_work, procs});
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return live_count() == 0;
+  }
+
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return entries_.size() - head_ - dead_;
+  }
+
+  /// Index of the first live entry (== end() when the queue is empty).
+  /// Skipping leading tombstones here keeps head removal O(1) amortized.
+  [[nodiscard]] std::size_t begin() {
+    while (head_ < entries_.size() && entries_[head_].id == kInvalidTask) {
+      ++head_;
+      --dead_;
+    }
+    return head_;
+  }
+
+  [[nodiscard]] std::size_t end() const noexcept { return entries_.size(); }
+
+  [[nodiscard]] const BackfillJob& at(std::size_t index) const {
+    return entries_[index];
+  }
+
+  [[nodiscard]] bool is_live(std::size_t index) const {
+    return entries_[index].id != kInvalidTask;
+  }
+
+  /// Removes the entry at `index` (the scheduler just started it). The
+  /// head is consumed by cursor advance, anything later by tombstone.
+  void consume(std::size_t index) {
+    if (index == head_) {
+      ++head_;
+    } else {
+      entries_[index].id = kInvalidTask;
+      ++dead_;
+    }
+  }
+
+  /// Reclaims dead space once it dominates. Call between select() passes
+  /// only — indices obtained before compaction are invalidated by it.
+  void maybe_compact() {
+    const std::size_t dead_total = head_ + dead_;
+    if (dead_total < 32 || dead_total * 2 < entries_.size()) return;
+    std::size_t out = 0;
+    for (std::size_t k = head_; k < entries_.size(); ++k) {
+      if (entries_[k].id == kInvalidTask) continue;
+      entries_[out++] = entries_[k];
+    }
+    entries_.resize(out);
+    head_ = 0;
+    dead_ = 0;
+  }
+
+ private:
+  std::vector<BackfillJob> entries_;  // arrival order
+  std::size_t head_ = 0;              // entries before this are consumed
+  std::size_t dead_ = 0;              // tombstones at or after head_
+};
+
+}  // namespace catbatch

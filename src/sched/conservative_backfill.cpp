@@ -1,0 +1,155 @@
+#include "sched/conservative_backfill.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+ConservativeBackfill::ConservativeBackfill()
+    : ConservativeBackfill(std::make_unique<DeclaredWalltime>(),
+                           "conservative-backfill") {}
+
+ConservativeBackfill::ConservativeBackfill(
+    std::unique_ptr<WalltimeEstimator> estimator, std::string name)
+    : estimator_(std::move(estimator)), name_(std::move(name)) {
+  CB_CHECK(estimator_ != nullptr,
+           "ConservativeBackfill needs a walltime estimator");
+}
+
+void ConservativeBackfill::reset() {
+  queue_.clear();
+  running_.clear();
+  estimator_->reset();
+}
+
+void ConservativeBackfill::task_ready(const ReadyTask& task, Time) {
+  queue_.push(task.id, task.work, task.procs);
+}
+
+void ConservativeBackfill::task_finished(TaskId id, Time now) {
+  const auto it = running_.find(id);
+  if (it != running_.end()) {
+    estimator_->observe(it->second.declared_work, now - it->second.start);
+    running_.erase(it);
+  }
+}
+
+void ConservativeBackfill::task_killed(TaskId id, Time) {
+  // Same rule as EASY: the killed attempt's duration is the fault's
+  // choice, not the task's, so it never feeds the estimator.
+  running_.erase(id);
+}
+
+std::size_t ConservativeBackfill::find_reservation(int procs,
+                                                   Time length) const {
+  const std::size_t n = profile_times_.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (profile_free_[i] < procs) {
+      ++i;
+      continue;
+    }
+    // Candidate start at breakpoint i; the whole window must stay free.
+    const Time end = profile_times_[i] + length;
+    std::size_t j = i + 1;
+    bool fits = true;
+    while (j < n && profile_times_[j] < end) {
+      if (profile_free_[j] < procs) {
+        fits = false;
+        break;
+      }
+      ++j;
+    }
+    if (fits) return i;
+    i = j;  // restart from the breakpoint that broke the window
+  }
+  return n;
+}
+
+void ConservativeBackfill::reserve(std::size_t index, int procs,
+                                   Time length) {
+  const Time end = profile_times_[index] + length;
+  // Find the breakpoint in effect at `end` and split it if needed, so the
+  // free counts after the window are untouched.
+  std::size_t stop = index + 1;
+  while (stop < profile_times_.size() && profile_times_[stop] < end) ++stop;
+  if (stop == profile_times_.size() || profile_times_[stop] != end) {
+    const int free_after = profile_free_[stop - 1];
+    const auto offset = static_cast<std::ptrdiff_t>(stop);
+    profile_times_.insert(profile_times_.begin() + offset, end);
+    profile_free_.insert(profile_free_.begin() + offset, free_after);
+  }
+  for (std::size_t k = index; k < stop; ++k) profile_free_[k] -= procs;
+}
+
+void ConservativeBackfill::select(Time now, int available_procs,
+                                  std::vector<TaskId>& picks) {
+  int avail = available_procs;
+  const std::size_t head_index = queue_.begin();
+  // Reservations are recomputed from scratch next decision, so when
+  // nothing can start now there is nothing to decide.
+  if (head_index >= queue_.end() || avail <= 0) {
+    queue_.maybe_compact();
+    return;
+  }
+
+  // Build the free-processor profile from running tasks' estimated
+  // releases. Overdue finishes (estimate already passed) clamp to `now`:
+  // those processors are *planned* free even though the task still holds
+  // them, which can only delay reservations, never produce an infeasible
+  // start (starting is additionally gated on the actually free count).
+  by_finish_.clear();
+  by_finish_.reserve(running_.size());
+  for (const auto& [id, run] : running_) by_finish_.push_back(run);
+  std::sort(by_finish_.begin(), by_finish_.end(),
+            [](const Running& a, const Running& b) {
+              return a.declared_finish < b.declared_finish;
+            });
+  profile_times_.clear();
+  profile_free_.clear();
+  profile_times_.push_back(now);
+  profile_free_.push_back(avail);
+  int cumulative = avail;
+  for (const Running& run : by_finish_) {
+    const Time release = std::max(run.declared_finish, now);
+    cumulative += run.procs;
+    if (release == profile_times_.back()) {
+      profile_free_.back() = cumulative;
+    } else {
+      profile_times_.push_back(release);
+      profile_free_.push_back(cumulative);
+    }
+  }
+
+  // FIFO walk: every queued job gets the earliest reservation the profile
+  // allows after all earlier jobs' reservations were carved out. Starting
+  // requires reservation == now *and* fitting the actually free
+  // processors. Once those are exhausted no later job can start and the
+  // plans are moot (recomputed next decision) — stop scanning.
+  for (std::size_t k = head_index; k < queue_.end() && avail > 0; ++k) {
+    if (!queue_.is_live(k)) continue;
+    const BackfillJob q = queue_.at(k);
+    const Time length = estimator_->estimate(q.declared_work);
+    const std::size_t slot = find_reservation(q.procs, length);
+    if (slot == profile_times_.size()) {
+      // No feasible reservation: the job is wider than everything that
+      // can ever free up (reduced effective capacity, docs/SCENARIOS.md).
+      // Hold from here on — later jobs must not leapfrog an earlier job
+      // that cannot even be planned.
+      break;
+    }
+    if (slot == 0 && q.procs <= avail) {
+      picks.push_back(q.id);
+      avail -= q.procs;
+      running_.emplace(q.id, Running{now + length, q.declared_work, now,
+                                     q.procs});
+      queue_.consume(k);
+    }
+    reserve(slot, q.procs, length);
+  }
+  queue_.maybe_compact();
+}
+
+}  // namespace catbatch

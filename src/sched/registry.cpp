@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "sched/backfill.hpp"
 #include "sched/catbatch_contiguous.hpp"
+#include "sched/conservative_backfill.hpp"
 #include "sched/catbatch_scheduler.hpp"
 #include "sched/divide_conquer.hpp"
 #include "sched/list_scheduler.hpp"
@@ -282,6 +283,38 @@ std::vector<SchedulerEntry> build_registry() {
     return std::make_unique<EasyBackfill>();
   };
   r.push_back(std::move(backfill));
+
+  SchedulerEntry backfill_padded;
+  backfill_padded.name = "easy-backfill-padded";
+  backfill_padded.aliases = {"backfill-padded"};
+  backfill_padded.summary =
+      "EASY backfilling planning with declared walltimes padded 1.5x";
+  backfill_padded.make = [](const TaskGraph*) {
+    return std::make_unique<EasyBackfill>(make_walltime_estimator("padded"),
+                                          "easy-backfill-padded");
+  };
+  r.push_back(std::move(backfill_padded));
+
+  SchedulerEntry backfill_adaptive;
+  backfill_adaptive.name = "easy-backfill-adaptive";
+  backfill_adaptive.aliases = {"backfill-adaptive"};
+  backfill_adaptive.summary =
+      "EASY backfilling with a running-average walltime corrector";
+  backfill_adaptive.make = [](const TaskGraph*) {
+    return std::make_unique<EasyBackfill>(
+        make_walltime_estimator("adaptive"), "easy-backfill-adaptive");
+  };
+  r.push_back(std::move(backfill_adaptive));
+
+  SchedulerEntry conservative;
+  conservative.name = "conservative-backfill";
+  conservative.aliases = {"conservative"};
+  conservative.summary =
+      "conservative backfilling: a reservation for every queued job";
+  conservative.make = [](const TaskGraph*) {
+    return std::make_unique<ConservativeBackfill>();
+  };
+  r.push_back(std::move(conservative));
 
   SchedulerEntry rank;
   rank.name = "rank";

@@ -1,0 +1,39 @@
+#include "sched/walltime.hpp"
+
+#include "support/check.hpp"
+
+namespace catbatch {
+
+PaddedWalltime::PaddedWalltime(double factor) : factor_(factor) {
+  CB_CHECK(factor > 0.0, "walltime padding factor must be positive");
+}
+
+void RunningAverageWalltime::reset() {
+  ratio_sum_ = 0.0;
+  observations_ = 0;
+}
+
+double RunningAverageWalltime::ratio() const {
+  if (observations_ == 0) return 1.0;
+  return ratio_sum_ / static_cast<double>(observations_);
+}
+
+Time RunningAverageWalltime::estimate(Time declared) const {
+  return declared * ratio();
+}
+
+void RunningAverageWalltime::observe(Time declared, Time actual) {
+  if (declared <= 0.0) return;  // no ratio is defined
+  ratio_sum_ += static_cast<double>(actual) / static_cast<double>(declared);
+  ++observations_;
+}
+
+std::unique_ptr<WalltimeEstimator> make_walltime_estimator(
+    const std::string& name) {
+  if (name == "declared") return std::make_unique<DeclaredWalltime>();
+  if (name == "padded") return std::make_unique<PaddedWalltime>(1.5);
+  if (name == "adaptive") return std::make_unique<RunningAverageWalltime>();
+  return nullptr;
+}
+
+}  // namespace catbatch

@@ -1,0 +1,98 @@
+// Walltime estimators for the backfilling schedulers.
+//
+// Backfilling lives or dies on its walltime estimates: a reservation is
+// only as good as the declared finish times it is computed from, and real
+// users pad (or lowball) their requests wildly — the classic result on the
+// Feitelson workload archive is that *inaccurate* estimates often help
+// EASY by accident. The estimator is therefore a pluggable policy shared
+// by EasyBackfill and ConservativeBackfill:
+//
+//   declared — trust the declared walltime verbatim (the default; with it
+//              both backfill schedulers behave bit-identically to an
+//              estimator-free implementation);
+//   padded   — declared × a fixed factor, the "users always underestimate"
+//              correction production sites apply;
+//   adaptive — declared × the running mean of observed actual/declared
+//              ratios, learned online from completion feedback (1.0 until
+//              the first completion, so it starts out exactly `declared`).
+//
+// Estimators see only information the online model reveals: the declared
+// walltime at reveal time and, on completion, the attempt's actual
+// duration. Feedback flows through observe(); estimates must be
+// deterministic functions of the feedback history.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/task.hpp"
+
+namespace catbatch {
+
+class WalltimeEstimator {
+ public:
+  virtual ~WalltimeEstimator() = default;
+
+  /// Policy name as spelled in the registry suffixes and CLI flags.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Forgets all feedback (called from the owning scheduler's reset()).
+  virtual void reset() {}
+
+  /// The walltime to plan with for a task declared to run `declared`.
+  /// Must be positive whenever `declared` is.
+  [[nodiscard]] virtual Time estimate(Time declared) const = 0;
+
+  /// Completion feedback: a task declared as `declared` actually ran for
+  /// `actual`. Default ignores it (stateless policies).
+  virtual void observe(Time declared, Time actual) {
+    (void)declared, (void)actual;
+  }
+};
+
+/// Trusts the declared walltime verbatim: estimate(d) == d.
+class DeclaredWalltime final : public WalltimeEstimator {
+ public:
+  [[nodiscard]] std::string name() const override { return "declared"; }
+  [[nodiscard]] Time estimate(Time declared) const override {
+    return declared;
+  }
+};
+
+/// Declared × a fixed factor (>= 0, typically > 1).
+class PaddedWalltime final : public WalltimeEstimator {
+ public:
+  explicit PaddedWalltime(double factor);
+  [[nodiscard]] std::string name() const override { return "padded"; }
+  [[nodiscard]] Time estimate(Time declared) const override {
+    return declared * factor_;
+  }
+  [[nodiscard]] double factor() const noexcept { return factor_; }
+
+ private:
+  double factor_;
+};
+
+/// Declared × the running mean of observed actual/declared ratios. Before
+/// any feedback the ratio is 1.0 (== DeclaredWalltime); completions with a
+/// non-positive declared walltime are ignored (no ratio is defined).
+class RunningAverageWalltime final : public WalltimeEstimator {
+ public:
+  [[nodiscard]] std::string name() const override { return "adaptive"; }
+  void reset() override;
+  [[nodiscard]] Time estimate(Time declared) const override;
+  void observe(Time declared, Time actual) override;
+  /// The current mean actual/declared ratio (1.0 before any feedback).
+  [[nodiscard]] double ratio() const;
+
+ private:
+  double ratio_sum_ = 0.0;
+  std::size_t observations_ = 0;
+};
+
+/// Factory over the policy names above: "declared", "padded" (factor 1.5)
+/// and "adaptive". Returns nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<WalltimeEstimator> make_walltime_estimator(
+    const std::string& name);
+
+}  // namespace catbatch

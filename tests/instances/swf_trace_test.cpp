@@ -1,0 +1,166 @@
+#include "instances/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "instances/job_stream.hpp"
+#include "sched/backfill.hpp"
+#include "sim/validate.hpp"
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(SwfTrace, ParsesHeaderFieldsAndFallbacks) {
+  // Job 1: requested procs/walltime present; job 2 falls back to used
+  // procs and run time; job 3 dropped (zero run); job 4 dropped (short
+  // row); negative submit clamps to 0.
+  std::istringstream in(
+      "; Version: 2.2\n"
+      ";  MaxProcs: 128\n"
+      "\n"
+      "1 10 3 100 8 -1 -1 16 3600 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 -5 0 50 4 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "3 20 0 0 4 -1 -1 4 60 -1 0 -1 -1 -1 -1 -1 -1 -1\n"
+      "4 30 0 10\n");
+  const TraceWorkload trace = parse_swf(in);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped, 2u);
+  EXPECT_EQ(trace.max_procs, 128);
+  // Rows come back sorted by submit: job 2 (clamped to 0) first.
+  EXPECT_DOUBLE_EQ(trace.submit[0], 0.0);
+  EXPECT_DOUBLE_EQ(trace.run[0], 50.0);
+  EXPECT_DOUBLE_EQ(trace.walltime[0], 50.0);  // no request -> run
+  EXPECT_EQ(trace.procs[0], 4);               // no request -> used
+  EXPECT_DOUBLE_EQ(trace.submit[1], 10.0);
+  EXPECT_DOUBLE_EQ(trace.walltime[1], 3600.0);
+  EXPECT_EQ(trace.procs[1], 16);
+}
+
+TEST(SwfTrace, WriteParseRoundTripsTheColumns) {
+  Rng rng(77);
+  const TraceWorkload trace = generate_swf_workload(rng, 64, 32, 0.8);
+  std::ostringstream out;
+  write_swf(trace, out);
+  std::istringstream in(out.str());
+  const TraceWorkload parsed = parse_swf(in);
+  ASSERT_EQ(parsed.size(), trace.size());
+  EXPECT_EQ(parsed.dropped, 0u);
+  EXPECT_EQ(parsed.max_procs, trace.max_procs);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed.submit[i], trace.submit[i]);
+    EXPECT_DOUBLE_EQ(parsed.run[i], trace.run[i]);
+    EXPECT_DOUBLE_EQ(parsed.walltime[i], trace.walltime[i]);
+    EXPECT_EQ(parsed.procs[i], trace.procs[i]);
+  }
+}
+
+TEST(SwfTrace, GeneratorShapesAreArchiveLike) {
+  Rng rng(5);
+  const TraceWorkload trace = generate_swf_workload(rng, 500, 64, 0.7);
+  ASSERT_EQ(trace.size(), 500u);
+  EXPECT_EQ(trace.max_procs, 64);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GE(trace.submit[i], prev);  // sorted arrivals
+    prev = trace.submit[i];
+    EXPECT_GT(trace.run[i], 0.0);
+    EXPECT_GE(trace.walltime[i], trace.run[i]);  // users pad, never trim
+    EXPECT_GE(trace.procs[i], 1);
+    EXPECT_LE(trace.procs[i], 64);
+    EXPECT_DOUBLE_EQ(trace.run[i], std::floor(trace.run[i]));
+  }
+}
+
+TEST(BatsimTrace, ParsesJobsProfilesAndDropsNonDelay) {
+  const char* json = R"({
+    "nb_res": 16,
+    "jobs": [
+      {"id": "alpha", "subtime": 5, "res": 4, "profile": "p1"},
+      {"id": "beta", "subtime": 0, "res": 2, "profile": "p1",
+       "walltime": 90},
+      {"id": "gamma", "subtime": 7, "res": 1, "profile": "mpi"}
+    ],
+    "profiles": {
+      "p1": {"type": "delay", "delay": 60},
+      "mpi": {"type": "parallel_homogeneous", "cpu": 1e6, "com": 0}
+    }
+  })";
+  const TraceWorkload trace = parse_batsim_json(json);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped, 1u);  // non-delay profile
+  EXPECT_EQ(trace.max_procs, 16);
+  // Sorted by subtime: beta first.
+  EXPECT_EQ(trace.names[0], "beta");
+  EXPECT_DOUBLE_EQ(trace.walltime[0], 90.0);
+  EXPECT_EQ(trace.names[1], "alpha");
+  EXPECT_DOUBLE_EQ(trace.run[1], 60.0);
+  EXPECT_DOUBLE_EQ(trace.walltime[1], 60.0);  // no walltime -> delay
+  EXPECT_THROW(parse_batsim_json("not json"), ContractViolation);
+}
+
+TEST(SwfTrace, ReplayRespectsReleasesAndDeclaredWalltimes) {
+  // Two jobs: the second arrives at t=100 and must not start earlier;
+  // occupancy uses the actual run time, not the padded declared one.
+  TraceWorkload trace;
+  trace.submit = {0.0, 100.0};
+  trace.run = {10.0, 10.0};
+  trace.walltime = {60.0, 60.0};
+  trace.procs = {2, 2};
+  trace.max_procs = 4;
+  EasyBackfill sched;
+  const SimResult r = replay_trace(trace, sched, 4);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(0).finish, 10.0);  // actual run
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 100.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 110.0);
+  EXPECT_EQ(r.stats.task_count, 2u);
+}
+
+TEST(SwfTrace, ReplayClampsWiderThanPlatformJobs) {
+  TraceWorkload trace;
+  trace.submit = {0.0};
+  trace.run = {5.0};
+  trace.walltime = {5.0};
+  trace.procs = {64};  // wider than the platform below
+  trace.max_procs = 64;
+  EasyBackfill sched;
+  const SimResult r = replay_trace(trace, sched, 8);
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+  EXPECT_EQ(r.schedule.entry_for(0).procs(), 8);
+}
+
+TEST(SwfTrace, ReplayChunkingIsInvisible) {
+  Rng rng(13);
+  const TraceWorkload trace = generate_swf_workload(rng, 300, 16, 0.9);
+  EasyBackfill a;
+  const SimResult big = replay_trace(trace, a, 16);
+  EasyBackfill b;
+  TraceReplayOptions tiny;
+  tiny.chunk = 7;
+  const SimResult small = replay_trace(trace, b, 16, tiny);
+  // Chunking adds one (empty) decision point per extra submit() batch but
+  // must not move a single start.
+  EXPECT_DOUBLE_EQ(big.makespan, small.makespan);
+  for (TaskId id = 0; id < trace.size(); ++id) {
+    EXPECT_DOUBLE_EQ(big.schedule.entry_for(id).start,
+                     small.schedule.entry_for(id).start);
+  }
+}
+
+TEST(SwfTrace, ToJobStreamCarriesArrivalsAndNames) {
+  Rng rng(3);
+  const TraceWorkload trace = generate_swf_workload(rng, 20, 8, 0.5);
+  JobStream stream = to_job_stream(trace, 10);
+  ASSERT_EQ(stream.job_count(), 10u);
+  for (std::size_t j = 0; j < stream.job_count(); ++j) {
+    EXPECT_DOUBLE_EQ(stream.job(j).arrival, trace.submit[j]);
+    EXPECT_EQ(stream.job(j).graph.size(), 1u);
+    EXPECT_EQ(stream.job(j).name, "job" + std::to_string(j));
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <span>
+#include <vector>
+
 #include "instances/examples.hpp"
 #include "instances/random_dags.hpp"
 #include "sched/catbatch_scheduler.hpp"
@@ -88,6 +92,57 @@ TEST(FlowMetrics, EmptyInstance) {
   const SimResult r = simulate(g, sched, 1);
   const FlowMetrics m = compute_flow_metrics(g, r);
   EXPECT_EQ(m.task_count, 0u);
+}
+
+TEST(FlowMetrics, FlowFieldsTrackResponseTime) {
+  // One processor, two unit tasks: flows are 1 and 2.
+  TaskGraph g;
+  g.add_task(1.0, 1);
+  g.add_task(1.0, 1);
+  ListScheduler sched;
+  const SimResult r = simulate(g, sched, 1);
+  const FlowMetrics m = compute_flow_metrics(g, r);
+  EXPECT_DOUBLE_EQ(m.mean_flow, 1.5);
+  EXPECT_DOUBLE_EQ(m.max_flow, 2.0);
+}
+
+TEST(FlowMetrics, ZeroWorkTasksAreExcludedFromStretch) {
+  // Regression: stretch divides by work, and a zero-work entry used to
+  // turn mean/max stretch into inf. The policy (flow_metrics.hpp) excludes
+  // such tasks from the stretch aggregates — wait and flow still count —
+  // and reports the exclusion in stretch_skipped.
+  TaskGraph g;
+  g.add_task(2.0, 1, "a");
+  g.add_task(3.0, 1, "b");
+  ListScheduler sched;
+  const SimResult r = simulate(g, sched, 2);
+  const Time works[] = {2.0, 0.0};  // task b's work recorded as zero
+  const FlowMetrics m = compute_flow_metrics(std::span<const Time>(works), r);
+  EXPECT_EQ(m.task_count, 2u);
+  EXPECT_EQ(m.stretch_skipped, 1u);
+  EXPECT_TRUE(std::isfinite(m.mean_stretch));
+  EXPECT_TRUE(std::isfinite(m.max_stretch));
+  EXPECT_DOUBLE_EQ(m.mean_stretch, 1.0);  // task a alone
+  EXPECT_DOUBLE_EQ(m.max_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_flow, 2.5);  // flow still counts both
+  EXPECT_DOUBLE_EQ(m.max_flow, 3.0);
+}
+
+TEST(FlowMetrics, SpanOverloadMatchesGraphOverload) {
+  Rng rng(21);
+  const TaskGraph g = random_layered_dag(rng, 80, 8, RandomTaskParams{});
+  ListScheduler sched;
+  const SimResult r = simulate(g, sched, 8);
+  const FlowMetrics from_graph = compute_flow_metrics(g, r);
+  std::vector<Time> works(g.size());
+  for (TaskId id = 0; id < g.size(); ++id) works[id] = g.task(id).work;
+  const FlowMetrics from_span =
+      compute_flow_metrics(std::span<const Time>(works), r);
+  EXPECT_DOUBLE_EQ(from_span.mean_wait, from_graph.mean_wait);
+  EXPECT_DOUBLE_EQ(from_span.mean_flow, from_graph.mean_flow);
+  EXPECT_DOUBLE_EQ(from_span.mean_stretch, from_graph.mean_stretch);
+  EXPECT_DOUBLE_EQ(from_span.max_stretch, from_graph.max_stretch);
+  EXPECT_EQ(from_span.stretch_skipped, 0u);
 }
 
 }  // namespace

@@ -58,6 +58,27 @@ TEST(Generator, DrawsFromEveryFamilyGroup) {
               any_with_prefix("map-reduce") || any_with_prefix("montage"));
   EXPECT_TRUE(any_with_prefix("adversary-"));
   EXPECT_TRUE(any_with_prefix("degenerate-"));
+  EXPECT_TRUE(any_with_prefix("swf-trace"));
+}
+
+TEST(Generator, SwfTraceFamilyProducesRigidArchiveShapedJobs) {
+  GeneratorOptions options;
+  options.max_tasks = 32;
+  options.max_procs = 8;
+  bool seen = false;
+  for (std::uint64_t seed = 1; seed <= 400 && !seen; ++seed) {
+    Rng rng(seed);
+    const FuzzInstance instance = generate_instance(rng, options);
+    if (instance.origin != "swf-trace") continue;
+    seen = true;
+    EXPECT_GE(instance.graph.size(), 2u);
+    for (TaskId id = 0; id < instance.graph.size(); ++id) {
+      EXPECT_TRUE(instance.graph.predecessors(id).empty());
+      EXPECT_LE(instance.graph.task(id).procs, options.max_procs);
+      EXPECT_GT(instance.graph.task(id).work, 0.0);
+    }
+  }
+  EXPECT_TRUE(seen) << "no swf-trace draw in 400 seeds";
 }
 
 TEST(Generator, HugeFamilyStaysLinearAndValid) {

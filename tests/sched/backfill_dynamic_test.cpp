@@ -1,0 +1,117 @@
+// Backfilling under a dynamic platform (docs/SCENARIOS.md): capacity
+// drops must make both backfill schedulers hold their queues instead of
+// backfilling against a reservation that cannot exist, and killed tasks
+// must leave the reservation math and re-enter the FIFO order on
+// resubmission.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "sched/backfill.hpp"
+#include "sched/conservative_backfill.hpp"
+#include "sim/session.hpp"
+#include "sim/source.hpp"
+
+namespace catbatch {
+namespace {
+
+std::vector<SourceTask> one_task(Time work, int procs) {
+  SourceTask task;
+  task.work = work;
+  task.procs = procs;
+  return {task};
+}
+
+template <typename Scheduler>
+void capacity_drop_holds_queue() {
+  Scheduler sched;
+  SessionEngine session(sched, 4);
+  // A narrow long task starts; capacity then drops to 1 (fully occupied
+  // by it). A 3-wide arrival cannot fit even after every running task
+  // finishes — no reservation time exists — so the queue must hold.
+  const auto at0 = session.submit(one_task(10.0, 1), 0.0);
+  ASSERT_EQ(at0.size(), 1u);
+  EXPECT_EQ(session.set_capacity(1, 0.5).size(), 0u);
+  const auto blocked = session.submit(one_task(1.0, 3), 1.0);
+  EXPECT_EQ(blocked.size(), 0u);
+
+  // Capacity returns: the held job starts at the restore instant.
+  const auto restored = session.set_capacity(4, 2.0);
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].id, 1u);
+  EXPECT_DOUBLE_EQ(restored[0].at, 2.0);
+  EXPECT_EQ(restored[0].procs, 3);
+
+  session.drain();
+  const SimResult r = session.finish();
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+  EXPECT_EQ(r.stats.capacity_changes, 2u);
+}
+
+TEST(BackfillDynamic, EasyHoldsQueueUnderCapacityDrop) {
+  capacity_drop_holds_queue<EasyBackfill>();
+}
+
+TEST(BackfillDynamic, ConservativeHoldsQueueUnderCapacityDrop) {
+  capacity_drop_holds_queue<ConservativeBackfill>();
+}
+
+template <typename Scheduler>
+void kill_requeues_fifo() {
+  Scheduler sched;
+  SessionEngine session(sched, 4);
+  // wide(p=4) takes the platform; narrow(p=1) queues behind it.
+  auto tasks = one_task(10.0, 4);
+  tasks.push_back(one_task(5.0, 1)[0]);
+  const auto at0 = session.submit(std::move(tasks), 0.0);
+  ASSERT_EQ(at0.size(), 1u);
+  EXPECT_EQ(at0[0].id, 0u);
+
+  // Kill the wide task at t=1: its attempt leaves the reservation math,
+  // and the resubmission queues FIFO *behind* narrow — so narrow starts
+  // immediately and wide is reserved at narrow's estimated finish (t=6).
+  const auto after_kill = session.kill(0, 1.0);
+  ASSERT_EQ(after_kill.size(), 1u);
+  EXPECT_EQ(after_kill[0].id, 1u);
+  EXPECT_DOUBLE_EQ(after_kill[0].at, 1.0);
+
+  session.drain();
+  const SimResult r = session.finish();
+  EXPECT_EQ(r.stats.kills, 1u);
+  EXPECT_GT(r.stats.lost_area, 0.0);
+  EXPECT_EQ(r.schedule.aborted().size(), 1u);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(0).start, 6.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 16.0);
+}
+
+TEST(BackfillDynamic, EasyKillResubmitsBehindQueuedWork) {
+  kill_requeues_fifo<EasyBackfill>();
+}
+
+TEST(BackfillDynamic, ConservativeKillResubmitsBehindQueuedWork) {
+  kill_requeues_fifo<ConservativeBackfill>();
+}
+
+TEST(BackfillDynamic, NewSchedulersSurviveCrashScenarios) {
+  // The registry-wide no-op parity and fuzz batteries cover these names
+  // dynamically; this pins an explicit faulty run per new scheduler.
+  TaskGraph g;
+  for (int k = 0; k < 24; ++k) {
+    (void)g.add_task(1.0 + 0.25 * static_cast<double>(k % 4), 1 + k % 3,
+                     "t");
+  }
+  for (const char* name : {"conservative-backfill", "easy-backfill-padded",
+                           "easy-backfill-adaptive"}) {
+    const Scenario scenario = make_scenario("crash", 6, 12.0, 99);
+    ScenarioRunOptions options;
+    options.mode = ScheduleMode::Counting;
+    const ScenarioOutcome outcome =
+        run_scenario(g, name, 6, scenario, options);
+    check_scenario_feasible(outcome.result, g, scenario, 6);
+    EXPECT_GT(outcome.result.makespan, 0.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

@@ -67,6 +67,54 @@ TEST(EasyBackfill, LongJobMayUseSpareProcessorsAtReservation) {
   EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 2.0);  // on time
 }
 
+TEST(EasyBackfill, TiedFinishesAllCountTowardSpareProcessors) {
+  // Regression: the reservation scan used to stop at the first running
+  // task that made the head fit, so further tasks whose estimated finish
+  // *tied* the reservation instant were not counted as spare — and a
+  // backfill that was provably safe got rejected. Here A and B both
+  // finish at the reservation t=2: with the undercount extra = 0 and the
+  // narrow long job waits (makespan 7); counting the tie, extra = 2 and
+  // it backfills at t=0 (makespan 5).
+  TaskGraph g;
+  g.add_task(2.0, 2, "A");
+  g.add_task(2.0, 2, "B");
+  g.add_task(2.0, 3, "head");   // blocked at t=0 (1 processor free)
+  g.add_task(5.0, 1, "narrow"); // ends after t=2, needs the tie's spares
+  EasyBackfill sched;
+  const SimResult r = simulate(g, sched, 5);
+  require_valid_schedule(g, r.schedule, 5);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(3).start, 0.0);  // backfilled
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(2).start, 2.0);  // head on time
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+}
+
+TEST(EasyBackfill, PaddedEstimatorChangesBackfillDecisions) {
+  // Padding only diverges from declared once the blocker is mid-run (at
+  // decision time the padded finish is start + 1.5*declared, while the
+  // elapsed part is spent either way). At t=1 `hold` has one declared
+  // second left: the declared reservation is t=2, too early for the 1.2s
+  // backfill candidate; the padded reservation is t=3, late enough.
+  TaskGraph g;
+  g.add_task(2.0, 2, "hold");
+  g.add_task(1.0, 2, "trigger");
+  const TaskId wide = g.add_task(1.0, 4, "wide");
+  const TaskId narrow = g.add_task(1.2, 1, "narrow");
+  g.add_edge(1, wide);
+  g.add_edge(1, narrow);
+
+  EasyBackfill declared;
+  const SimResult with_declared = simulate(g, declared, 4);
+  require_valid_schedule(g, with_declared.schedule, 4);
+  EXPECT_DOUBLE_EQ(with_declared.schedule.entry_for(narrow).start, 3.0);
+
+  EasyBackfill padded(make_walltime_estimator("padded"),
+                      "easy-backfill-padded");
+  EXPECT_EQ(padded.name(), "easy-backfill-padded");
+  const SimResult with_padding = simulate(g, padded, 4);
+  require_valid_schedule(g, with_padding.schedule, 4);
+  EXPECT_DOUBLE_EQ(with_padding.schedule.entry_for(narrow).start, 1.0);
+}
+
 TEST(EasyBackfill, ValidOnRandomDags) {
   Rng rng(7);
   for (int trial = 0; trial < 8; ++trial) {

@@ -1,0 +1,101 @@
+#include "sched/conservative_backfill.hpp"
+
+#include <gtest/gtest.h>
+
+#include "instances/random_dags.hpp"
+#include "instances/workloads.hpp"
+#include "sched/backfill.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(ConservativeBackfill, Name) {
+  EXPECT_EQ(ConservativeBackfill().name(), "conservative-backfill");
+}
+
+TEST(ConservativeBackfill, StartsEverythingThatFitsNow) {
+  TaskGraph g;
+  g.add_task(1.0, 2, "a");
+  g.add_task(1.0, 2, "b");
+  ConservativeBackfill sched;
+  const SimResult r = simulate(g, sched, 4);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 0.0);
+}
+
+TEST(ConservativeBackfill, BackfillsWhenNoReservationIsDelayed) {
+  // hold(2.0, p=1) runs; head wide(p=4) reserved at t=2; short(1.0, p=1)
+  // fits before that reservation on untouched processors -> starts now.
+  TaskGraph g;
+  g.add_task(2.0, 1, "hold");
+  g.add_task(1.0, 4, "wide");
+  g.add_task(1.0, 1, "short");
+  ConservativeBackfill sched;
+  const SimResult r = simulate(g, sched, 4);
+  require_valid_schedule(g, r.schedule, 4);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(2).start, 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(1).start, 2.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+}
+
+TEST(ConservativeBackfill, ProtectsEveryReservationWhereEasyOnlyHeadsOne) {
+  // The distinguishing instance: EASY reserves only for the head, so the
+  // 100-second narrow job backfills at t=0 on spare processors and the
+  // p=4 job D — third in line, not the head — waits until t=100.
+  // Conservative gives D its own reservation; the narrow job would
+  // collide with it, so it must wait its FIFO turn and D runs at t=5.
+  TaskGraph g;
+  g.add_task(4.0, 3, "A");
+  g.add_task(1.0, 2, "B");
+  const TaskId d = g.add_task(1.0, 4, "D");
+  const TaskId narrow = g.add_task(100.0, 1, "narrow");
+
+  EasyBackfill easy;
+  const SimResult with_easy = simulate(g, easy, 4);
+  require_valid_schedule(g, with_easy.schedule, 4);
+  EXPECT_DOUBLE_EQ(with_easy.schedule.entry_for(narrow).start, 0.0);
+  EXPECT_DOUBLE_EQ(with_easy.schedule.entry_for(d).start, 100.0);
+
+  ConservativeBackfill conservative;
+  const SimResult r = simulate(g, conservative, 4);
+  require_valid_schedule(g, r.schedule, 4);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(d).start, 5.0);
+  EXPECT_DOUBLE_EQ(r.schedule.entry_for(narrow).start, 6.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 106.0);
+}
+
+TEST(ConservativeBackfill, FifoOrderAmongEqualJobs) {
+  // All-identical jobs leave nothing to backfill: pure FIFO waves.
+  TaskGraph g;
+  for (int k = 0; k < 6; ++k) g.add_task(1.0, 2, "j");
+  ConservativeBackfill sched;
+  const SimResult r = simulate(g, sched, 4);
+  require_valid_schedule(g, r.schedule, 4);
+  for (TaskId id = 0; id < g.size(); ++id) {
+    EXPECT_DOUBLE_EQ(r.schedule.entry_for(id).start,
+                     static_cast<Time>(id / 2));
+  }
+}
+
+TEST(ConservativeBackfill, ValidOnRandomDags) {
+  Rng rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    const TaskGraph g = random_layered_dag(rng, 120, 10, RandomTaskParams{});
+    ConservativeBackfill sched;
+    const SimResult r = simulate(g, sched, 8);
+    require_valid_schedule(g, r.schedule, 8);
+  }
+}
+
+TEST(ConservativeBackfill, HandlesWorkloadDags) {
+  for (const TaskGraph& g : {cholesky_dag(6), stencil_dag(8, 8)}) {
+    ConservativeBackfill sched;
+    const SimResult r = simulate(g, sched, 8);
+    require_valid_schedule(g, r.schedule, 8);
+  }
+}
+
+}  // namespace
+}  // namespace catbatch

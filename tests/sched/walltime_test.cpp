@@ -1,0 +1,63 @@
+#include "sched/walltime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace catbatch {
+namespace {
+
+TEST(Walltime, DeclaredIsIdentity) {
+  DeclaredWalltime est;
+  EXPECT_EQ(est.name(), "declared");
+  EXPECT_DOUBLE_EQ(est.estimate(7.5), 7.5);
+  est.observe(10.0, 2.0);  // stateless: feedback changes nothing
+  EXPECT_DOUBLE_EQ(est.estimate(7.5), 7.5);
+}
+
+TEST(Walltime, PaddedMultipliesByFactor) {
+  PaddedWalltime est(1.5);
+  EXPECT_EQ(est.name(), "padded");
+  EXPECT_DOUBLE_EQ(est.estimate(10.0), 15.0);
+  EXPECT_DOUBLE_EQ(est.factor(), 1.5);
+  EXPECT_THROW(PaddedWalltime(0.0), ContractViolation);
+  EXPECT_THROW(PaddedWalltime(-1.0), ContractViolation);
+}
+
+TEST(Walltime, AdaptiveStartsAtDeclaredAndLearnsTheMeanRatio) {
+  RunningAverageWalltime est;
+  EXPECT_EQ(est.name(), "adaptive");
+  EXPECT_DOUBLE_EQ(est.ratio(), 1.0);  // no feedback yet
+  EXPECT_DOUBLE_EQ(est.estimate(10.0), 10.0);
+  est.observe(10.0, 5.0);  // ratio 0.5
+  est.observe(10.0, 2.5);  // ratio 0.25
+  EXPECT_DOUBLE_EQ(est.ratio(), 0.375);
+  EXPECT_DOUBLE_EQ(est.estimate(8.0), 3.0);
+}
+
+TEST(Walltime, AdaptiveIgnoresUndefinedRatiosAndResets) {
+  RunningAverageWalltime est;
+  est.observe(0.0, 5.0);   // declared <= 0: no ratio defined
+  est.observe(-1.0, 5.0);
+  EXPECT_DOUBLE_EQ(est.ratio(), 1.0);
+  est.observe(4.0, 2.0);
+  EXPECT_DOUBLE_EQ(est.ratio(), 0.5);
+  est.reset();
+  EXPECT_DOUBLE_EQ(est.ratio(), 1.0);
+}
+
+TEST(Walltime, FactoryCoversThePolicyFamilies) {
+  const auto declared = make_walltime_estimator("declared");
+  ASSERT_NE(declared, nullptr);
+  EXPECT_EQ(declared->name(), "declared");
+  const auto padded = make_walltime_estimator("padded");
+  ASSERT_NE(padded, nullptr);
+  EXPECT_DOUBLE_EQ(padded->estimate(2.0), 3.0);  // factor 1.5
+  const auto adaptive = make_walltime_estimator("adaptive");
+  ASSERT_NE(adaptive, nullptr);
+  EXPECT_EQ(adaptive->name(), "adaptive");
+  EXPECT_EQ(make_walltime_estimator("nonsense"), nullptr);
+}
+
+}  // namespace
+}  // namespace catbatch

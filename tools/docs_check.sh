@@ -16,7 +16,11 @@
 #      is byte-identical to `catbatchd --protocol-spec`;
 #   5. the scenario-contract block in docs/SCENARIOS.md is byte-identical
 #      to `sched_cli --scenario-spec`, and the scenario bench/gate names
-#      appear in docs/BENCHMARKS.md.
+#      appear in docs/BENCHMARKS.md;
+#   6. the trace-replay interface (the backfilling lineup names, the
+#      estimator families, the bundled excerpt, and the smoke/gate ctest
+#      entries with their CATBATCH_TRACE_GATE_DECISIONS knob) is
+#      documented in docs/BENCHMARKS.md.
 #
 # Usage: docs_check.sh <path-to-sched_cli> <repo-source-dir> \
 #            [path-to-catbatch_fuzz] [path-to-catbatchd] [path-to-catbatch_loadgen]
@@ -205,7 +209,20 @@ for term in "TaskRec" "calendar" "earliest_start" "ParallelOptions" \
   fi
 done
 
-# --- 6. bench binaries -----------------------------------------------------
+# --- 6. trace-replay interface ---------------------------------------------
+
+# The trace bench's lineup, dialects and gate knobs, same rule as the perf
+# gate: each term must appear verbatim in docs/BENCHMARKS.md.
+for term in "BENCH_trace_replay.json" "catbatch_trace_replay_smoke" \
+    "catbatch_trace_replay_gate" "CATBATCH_TRACE_GATE_DECISIONS" \
+    "easy-backfill-padded" "easy-backfill-adaptive" "conservative-backfill" \
+    "tests/corpus/trace_excerpt.swf" "Batsim" "stretch_skipped"; do
+  if ! grep -qF -- "$term" "$src/docs/BENCHMARKS.md"; then
+    err "trace-replay term '$term' is not documented in docs/BENCHMARKS.md"
+  fi
+done
+
+# --- 7. bench binaries -----------------------------------------------------
 
 found_bench=0
 for bench_src in "$src"/bench/bench_*.cpp; do
